@@ -1,0 +1,92 @@
+//! Fixed-priority arbitration with a single hard real-time requester,
+//! after the CarCore approach of Mische et al. \[22\] (paper §5.3).
+//!
+//! The HRT requester always wins arbitration; since transfers are
+//! non-preemptive its worst case is one in-flight transfer, `L − 1`
+//! cycles. Every other requester is best-effort: starvation is possible,
+//! so its analysis-side bound is `None` — exactly the CarCore contract
+//! ("temporal thread isolation is ensured for the HRT only").
+
+use crate::Arbiter;
+
+/// Fixed-priority arbiter: `hrt` first, then ascending index.
+#[derive(Debug, Clone)]
+pub struct FixedPriority {
+    n: usize,
+    hrt: usize,
+}
+
+impl FixedPriority {
+    /// Creates the arbiter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hrt >= n` or `n == 0`.
+    #[must_use]
+    pub fn new(n: usize, hrt: usize) -> FixedPriority {
+        assert!(n > 0, "arbiter needs at least one requester");
+        assert!(hrt < n, "HRT index out of range");
+        FixedPriority { n, hrt }
+    }
+
+    /// The privileged requester.
+    #[must_use]
+    pub fn hrt(&self) -> usize {
+        self.hrt
+    }
+}
+
+impl Arbiter for FixedPriority {
+    fn num_requesters(&self) -> usize {
+        self.n
+    }
+
+    fn grant(&mut self, _cycle: u64, pending: &[bool], _transfer_len: u64) -> Option<usize> {
+        if pending[self.hrt] {
+            return Some(self.hrt);
+        }
+        pending.iter().position(|&p| p)
+    }
+
+    fn worst_case_delay(&self, requester: usize, transfer_len: u64) -> Option<u64> {
+        if requester == self.hrt {
+            Some(transfer_len.saturating_sub(1))
+        } else {
+            None // best-effort: unbounded under adversarial HRT traffic
+        }
+    }
+
+    fn reset(&mut self) {}
+
+    fn work_conserving(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hrt_always_wins() {
+        let mut a = FixedPriority::new(3, 1);
+        assert_eq!(a.grant(0, &[true, true, true], 4), Some(1));
+        assert_eq!(a.grant(0, &[true, false, true], 4), Some(0));
+        assert_eq!(a.grant(0, &[false, false, true], 4), Some(2));
+        assert_eq!(a.grant(0, &[false, false, false], 4), None);
+    }
+
+    #[test]
+    fn bounds() {
+        let a = FixedPriority::new(4, 2);
+        assert_eq!(a.worst_case_delay(2, 10), Some(9));
+        assert_eq!(a.worst_case_delay(0, 10), None);
+        assert_eq!(a.worst_case_delay(3, 10), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "HRT index out of range")]
+    fn bad_hrt_panics() {
+        let _ = FixedPriority::new(2, 2);
+    }
+}

@@ -1,0 +1,145 @@
+//! # wcet-arbiter — shared-bus arbitration and memory control
+//!
+//! Bandwidth resources (paper §5) are reallocated every cycle; what makes
+//! them analysable is an arbiter whose worst-case grant delay can be
+//! bounded. Every arbiter here implements both faces of that contract:
+//!
+//! * the **cycle-level grant rule** ([`Arbiter::grant`]) used by the
+//!   `wcet-sim` bus, and
+//! * the **analysis-side bound** ([`Arbiter::worst_case_delay`]) used by
+//!   the WCET analyser —
+//!
+//! and a property test checks the first never exceeds the second.
+//!
+//! Implemented schemes, mapped to the survey:
+//!
+//! | Module | Scheme | Paper §, source |
+//! |---|---|---|
+//! | [`round_robin`] | round-robin, bound `D = N·L − 1` | §5.3 |
+//! | [`tdma`] | slot-table TDMA (offset-precise + offset-blind bounds) | §5.2, Rosén et al. \[33\] |
+//! | [`mbba`] | multi-bandwidth weighted arbitration | §5.3, Bourgade et al. \[2\] |
+//! | [`fixed_priority`] | one hard real-time requester first | §5.3, Mische et al. \[22\] (CarCore) |
+//! | [`mod@memory_wheel`] | PRET memory wheel (equal private windows) | §5.3, Lickly et al. \[19\] |
+//! | [`memctrl`] | analysable memory controller | §5.3, Paolieri et al. \[24\] |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fixed_priority;
+pub mod mbba;
+pub mod memctrl;
+pub mod memory_wheel;
+pub mod replay;
+pub mod round_robin;
+pub mod tdma;
+
+pub use fixed_priority::FixedPriority;
+pub use mbba::MultiBandwidth;
+pub use memctrl::{MemoryController, MemoryKind};
+pub use memory_wheel::memory_wheel;
+pub use replay::{replay_trace, TraceRequest};
+pub use round_robin::RoundRobin;
+pub use tdma::{Slot, Tdma};
+
+/// A bus arbiter: decides, whenever the bus is free, which pending
+/// requester starts its (non-preemptive, `transfer_len`-cycle) transfer.
+pub trait Arbiter: std::fmt::Debug + Send {
+    /// Number of requesters this arbiter serves.
+    fn num_requesters(&self) -> usize;
+
+    /// Called by the bus at `cycle` when it is free. `pending[i]` is true
+    /// if requester `i` has a transfer waiting. Returns the requester that
+    /// starts now, or `None` (e.g. TDMA: current slot owner idle or the
+    /// transfer would not fit the slot remainder).
+    fn grant(&mut self, cycle: u64, pending: &[bool], transfer_len: u64) -> Option<usize>;
+
+    /// Analysis-side upper bound on the *waiting* time of `requester`: the
+    /// number of cycles between issuing a request and the start of its
+    /// transfer, valid for any behaviour of the other requesters. `None`
+    /// means unbounded (the requester is not timing-isolated under this
+    /// scheme).
+    fn worst_case_delay(&self, requester: usize, transfer_len: u64) -> Option<u64>;
+
+    /// Clears mutable state (simulation restart).
+    fn reset(&mut self);
+
+    /// True if a lone requester on an idle bus is always granted
+    /// immediately (round-robin, fixed priority). Slot-table arbiters
+    /// (TDMA, MBBA, memory wheel) are *not* work-conserving: a request
+    /// outside its owner's slot waits even with no competition — so even a
+    /// "task considered alone" analysis must charge their delay bound.
+    fn work_conserving(&self) -> bool;
+}
+
+/// Declarative arbiter selection shared by the analyser, the simulator
+/// configuration and the experiment harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArbiterKind {
+    /// Round-robin among all requesters.
+    RoundRobin,
+    /// TDMA with equal slots of the given length.
+    TdmaEqual {
+        /// Slot length in cycles.
+        slot_len: u64,
+    },
+    /// TDMA with an explicit slot table.
+    Tdma {
+        /// Slot table (owner, length).
+        slots: Vec<(usize, u64)>,
+    },
+    /// Weighted multi-bandwidth arbitration (Bourgade et al.).
+    Mbba {
+        /// Per-requester bandwidth weights (must be non-zero).
+        weights: Vec<u32>,
+        /// Slot length in cycles.
+        slot_len: u64,
+    },
+    /// Fixed priority with one hard real-time requester served first.
+    FixedPriority {
+        /// The HRT requester index.
+        hrt: usize,
+    },
+    /// PRET-style memory wheel: equal private windows.
+    MemoryWheel {
+        /// Window length in cycles.
+        window: u64,
+    },
+}
+
+impl ArbiterKind {
+    /// Instantiates the arbiter for `n` requesters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are inconsistent (e.g. wrong weight count);
+    /// configurations are built programmatically, so this indicates a bug
+    /// in the experiment setup.
+    #[must_use]
+    pub fn build(&self, n: usize) -> Box<dyn Arbiter> {
+        match self {
+            ArbiterKind::RoundRobin => Box::new(RoundRobin::new(n)),
+            ArbiterKind::TdmaEqual { slot_len } => {
+                let slots: Vec<Slot> =
+                    (0..n).map(|o| Slot { owner: o, len: *slot_len }).collect();
+                Box::new(Tdma::new(n, slots).expect("equal-slot TDMA is well-formed"))
+            }
+            ArbiterKind::Tdma { slots } => {
+                let slots: Vec<Slot> =
+                    slots.iter().map(|&(owner, len)| Slot { owner, len }).collect();
+                Box::new(Tdma::new(n, slots).expect("slot table must be well-formed"))
+            }
+            ArbiterKind::Mbba { weights, slot_len } => {
+                assert_eq!(weights.len(), n, "one weight per requester");
+                Box::new(
+                    MultiBandwidth::new(weights.clone(), *slot_len)
+                        .expect("MBBA weights must be non-zero"),
+                )
+            }
+            ArbiterKind::FixedPriority { hrt } => {
+                assert!(*hrt < n, "HRT index in range");
+                Box::new(FixedPriority::new(n, *hrt))
+            }
+            ArbiterKind::MemoryWheel { window } => Box::new(memory_wheel(n, *window)),
+        }
+    }
+}

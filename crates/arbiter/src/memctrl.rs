@@ -1,0 +1,139 @@
+//! Memory-controller timing models (Paolieri et al. \[24\], paper §5.3).
+//!
+//! A conventional DRAM controller's latency depends on row-buffer state,
+//! which is shared between cores and therefore unanalysable in isolation.
+//! The *analysable memory controller* (AMC) closes the row after every
+//! access: constant latency, at the price of losing row hits. Both models
+//! are provided so experiments can show the predictability/throughput
+//! trade-off.
+
+/// Controller policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryKind {
+    /// Closed-page, constant latency (analysable; Paolieri et al. \[24\]).
+    Predictable {
+        /// Fixed access latency in cycles.
+        latency: u64,
+    },
+    /// Open-page with a row buffer per bank: fast on row hits, slow on row
+    /// misses. Average-case friendly, worst-case opaque.
+    OpenPage {
+        /// Latency when the access hits the open row.
+        row_hit: u64,
+        /// Latency when the row must be opened (includes precharge).
+        row_miss: u64,
+        /// Row size in bytes.
+        row_bytes: u64,
+    },
+}
+
+/// A memory controller with per-access latency.
+#[derive(Debug, Clone)]
+pub struct MemoryController {
+    kind: MemoryKind,
+    /// Currently open row, for [`MemoryKind::OpenPage`].
+    open_row: Option<u64>,
+    accesses: u64,
+    total_cycles: u64,
+}
+
+impl MemoryController {
+    /// Creates a controller.
+    #[must_use]
+    pub fn new(kind: MemoryKind) -> MemoryController {
+        MemoryController { kind, open_row: None, accesses: 0, total_cycles: 0 }
+    }
+
+    /// The configured policy.
+    #[must_use]
+    pub fn kind(&self) -> MemoryKind {
+        self.kind
+    }
+
+    /// Latency of an access to byte address `addr`, updating row-buffer state.
+    pub fn access(&mut self, addr: u64) -> u64 {
+        let lat = match self.kind {
+            MemoryKind::Predictable { latency } => latency,
+            MemoryKind::OpenPage { row_hit, row_miss, row_bytes } => {
+                let row = addr / row_bytes.max(1);
+                if self.open_row == Some(row) {
+                    row_hit
+                } else {
+                    self.open_row = Some(row);
+                    row_miss
+                }
+            }
+        };
+        self.accesses += 1;
+        self.total_cycles += lat;
+        lat
+    }
+
+    /// Analysis-side upper bound on a single access latency.
+    #[must_use]
+    pub fn worst_case_latency(&self) -> u64 {
+        match self.kind {
+            MemoryKind::Predictable { latency } => latency,
+            MemoryKind::OpenPage { row_miss, .. } => row_miss,
+        }
+    }
+
+    /// `(accesses, total_latency_cycles)` since construction.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.accesses, self.total_cycles)
+    }
+
+    /// Clears row-buffer state and counters.
+    pub fn reset(&mut self) {
+        self.open_row = None;
+        self.accesses = 0;
+        self.total_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictable_is_constant() {
+        let mut m = MemoryController::new(MemoryKind::Predictable { latency: 30 });
+        assert_eq!(m.access(0), 30);
+        assert_eq!(m.access(0), 30);
+        assert_eq!(m.access(1 << 20), 30);
+        assert_eq!(m.worst_case_latency(), 30);
+        assert_eq!(m.stats(), (3, 90));
+    }
+
+    #[test]
+    fn open_page_row_hits_are_faster() {
+        let kind = MemoryKind::OpenPage { row_hit: 10, row_miss: 40, row_bytes: 1024 };
+        let mut m = MemoryController::new(kind);
+        assert_eq!(m.access(0), 40); // first access opens row
+        assert_eq!(m.access(512), 10); // same row
+        assert_eq!(m.access(2048), 40); // new row
+        assert_eq!(m.access(0), 40); // original row was closed
+        assert_eq!(m.worst_case_latency(), 40);
+    }
+
+    #[test]
+    fn open_page_latency_never_exceeds_bound() {
+        let kind = MemoryKind::OpenPage { row_hit: 10, row_miss: 40, row_bytes: 256 };
+        let mut m = MemoryController::new(kind);
+        for i in 0..200u64 {
+            let lat = m.access((i * 97) % 4096);
+            assert!(lat <= m.worst_case_latency());
+        }
+    }
+
+    #[test]
+    fn reset_clears_row() {
+        let kind = MemoryKind::OpenPage { row_hit: 10, row_miss: 40, row_bytes: 1024 };
+        let mut m = MemoryController::new(kind);
+        m.access(0);
+        m.reset();
+        assert_eq!(m.access(0), 40);
+        assert_eq!(m.stats(), (1, 40));
+    }
+}

@@ -1,0 +1,108 @@
+//! Round-robin bus arbitration (paper §5.3).
+//!
+//! The workhorse of task-isolation approaches: with `N` requesters and a
+//! transfer length of `L` cycles, a request waits at most
+//! `D = N·L − 1` cycles (the paper's formula) — a just-started transfer
+//! (`L − 1` remaining) plus `N − 1` competitors served first. The bound is
+//! independent of *what* the co-runners execute, which is exactly what
+//! task isolation (paper §3.3) requires.
+
+use crate::Arbiter;
+
+/// Round-robin arbiter over `n` requesters.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    n: usize,
+    /// Most recently granted requester; the scan starts after it.
+    last: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin arbiter for `n` requesters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> RoundRobin {
+        assert!(n > 0, "arbiter needs at least one requester");
+        RoundRobin { n, last: n - 1 }
+    }
+
+    /// The paper's bound `N·L − 1`.
+    #[must_use]
+    pub fn bound(n: u64, transfer_len: u64) -> u64 {
+        n * transfer_len - 1
+    }
+}
+
+impl Arbiter for RoundRobin {
+    fn num_requesters(&self) -> usize {
+        self.n
+    }
+
+    fn grant(&mut self, _cycle: u64, pending: &[bool], _transfer_len: u64) -> Option<usize> {
+        debug_assert_eq!(pending.len(), self.n);
+        for i in 1..=self.n {
+            let cand = (self.last + i) % self.n;
+            if pending[cand] {
+                self.last = cand;
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    fn worst_case_delay(&self, _requester: usize, transfer_len: u64) -> Option<u64> {
+        Some(RoundRobin::bound(self.n as u64, transfer_len))
+    }
+
+    fn reset(&mut self) {
+        self.last = self.n - 1;
+    }
+
+    fn work_conserving(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotates_fairly() {
+        let mut rr = RoundRobin::new(3);
+        let all = [true, true, true];
+        assert_eq!(rr.grant(0, &all, 2), Some(0));
+        assert_eq!(rr.grant(2, &all, 2), Some(1));
+        assert_eq!(rr.grant(4, &all, 2), Some(2));
+        assert_eq!(rr.grant(6, &all, 2), Some(0));
+    }
+
+    #[test]
+    fn skips_idle_requesters() {
+        let mut rr = RoundRobin::new(4);
+        assert_eq!(rr.grant(0, &[false, false, true, false], 1), Some(2));
+        assert_eq!(rr.grant(1, &[true, false, false, true], 1), Some(3));
+        assert_eq!(rr.grant(2, &[true, false, false, false], 1), Some(0));
+        assert_eq!(rr.grant(3, &[false, false, false, false], 1), None);
+    }
+
+    #[test]
+    fn bound_formula() {
+        assert_eq!(RoundRobin::bound(4, 10), 39);
+        assert_eq!(RoundRobin::bound(1, 10), 9);
+        let rr = RoundRobin::new(2);
+        assert_eq!(rr.worst_case_delay(0, 5), Some(9));
+    }
+
+    #[test]
+    fn reset_restores_initial_order() {
+        let mut rr = RoundRobin::new(2);
+        let all = [true, true];
+        assert_eq!(rr.grant(0, &all, 1), Some(0));
+        rr.reset();
+        assert_eq!(rr.grant(0, &all, 1), Some(0));
+    }
+}

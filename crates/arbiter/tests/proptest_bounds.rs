@@ -1,0 +1,165 @@
+//! The bandwidth-side soundness property (paper §5): for every arbiter,
+//! under arbitrary request traces, no observed waiting delay exceeds the
+//! analysis-side `worst_case_delay` bound.
+
+use proptest::prelude::*;
+use wcet_arbiter::{
+    memory_wheel, replay_trace, Arbiter, ArbiterKind, FixedPriority, MultiBandwidth, RoundRobin,
+    Slot, Tdma, TraceRequest,
+};
+
+/// Generates a contention-heavy trace: each requester issues a chain of
+/// requests, re-issuing `gap` cycles after the previous transfer could have
+/// completed (upper-bounded pessimistically so requests never overlap).
+fn chain_trace(n: usize, per_requester: usize, gaps: &[u64], transfer_len: u64) -> Vec<TraceRequest> {
+    // Round spacing must exceed jitter + the worst service time of any
+    // arbiter under test (periods are at most ~n·(L+16) here), so a
+    // requester never re-issues while a request is outstanding.
+    let round = (n as u64 + 1) * (transfer_len + 16) * 4 + 64;
+    let mut out = Vec::new();
+    for r in 0..n {
+        for k in 0..per_requester {
+            let jitter = gaps[(r * per_requester + k) % gaps.len()] % (round / 4);
+            out.push(TraceRequest { issue: k as u64 * round + jitter, requester: r });
+        }
+    }
+    out
+}
+
+fn check_bounds(arbiter: &mut dyn Arbiter, trace: &[TraceRequest], transfer_len: u64) {
+    let starts = replay_trace(arbiter, trace, transfer_len);
+    for (req, &start) in trace.iter().zip(&starts) {
+        let delay = start - req.issue;
+        if let Some(bound) = arbiter.worst_case_delay(req.requester, transfer_len) {
+            assert!(
+                delay <= bound,
+                "requester {} delay {delay} exceeds bound {bound}",
+                req.requester
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn round_robin_bound_holds(
+        n in 1usize..6,
+        transfer_len in 1u64..12,
+        gaps in proptest::collection::vec(0u64..40, 8),
+    ) {
+        let mut rr = RoundRobin::new(n);
+        let trace = chain_trace(n, 4, &gaps, transfer_len);
+        check_bounds(&mut rr, &trace, transfer_len);
+    }
+
+    #[test]
+    fn tdma_bound_holds(
+        n in 1usize..5,
+        slot_extra in 0u64..10,
+        transfer_len in 1u64..8,
+        gaps in proptest::collection::vec(0u64..60, 8),
+    ) {
+        let slot_len = transfer_len + slot_extra;
+        let slots: Vec<Slot> = (0..n).map(|owner| Slot { owner, len: slot_len }).collect();
+        let mut t = Tdma::new(n, slots).expect("valid");
+        let trace = chain_trace(n, 3, &gaps, transfer_len);
+        check_bounds(&mut t, &trace, transfer_len);
+    }
+
+    #[test]
+    fn mbba_bound_holds(
+        weights in proptest::collection::vec(1u32..5, 1..5),
+        transfer_extra in 0u64..4,
+        gaps in proptest::collection::vec(0u64..50, 8),
+    ) {
+        let transfer_len = 2 + transfer_extra;
+        let mut m = MultiBandwidth::new(weights.clone(), transfer_len).expect("valid");
+        let trace = chain_trace(weights.len(), 3, &gaps, transfer_len);
+        check_bounds(&mut m, &trace, transfer_len);
+    }
+
+    #[test]
+    fn fixed_priority_hrt_bound_holds(
+        n in 2usize..6,
+        hrt_seed in 0usize..6,
+        transfer_len in 1u64..10,
+        gaps in proptest::collection::vec(0u64..30, 8),
+    ) {
+        let hrt = hrt_seed % n;
+        let mut a = FixedPriority::new(n, hrt);
+        let trace = chain_trace(n, 3, &gaps, transfer_len);
+        check_bounds(&mut a, &trace, transfer_len);
+    }
+
+    #[test]
+    fn memory_wheel_bound_holds(
+        n in 1usize..7,
+        window_extra in 0u64..6,
+        transfer_len in 1u64..6,
+        gaps in proptest::collection::vec(0u64..80, 8),
+    ) {
+        let mut w = memory_wheel(n, transfer_len + window_extra);
+        let trace = chain_trace(n, 3, &gaps, transfer_len);
+        check_bounds(&mut w, &trace, transfer_len);
+    }
+
+    #[test]
+    fn tdma_offset_precise_matches_replay_single_requester(
+        slot_len in 2u64..10,
+        offset in 0u64..40,
+        transfer_len in 1u64..6,
+    ) {
+        prop_assume!(transfer_len <= slot_len);
+        // Two-owner wheel, single live requester 0: the replay's observed
+        // delay at a known offset must equal delay_at_offset exactly.
+        let t = memory_wheel(2, slot_len);
+        let mut t2 = t.clone();
+        let trace = [TraceRequest { issue: offset, requester: 0 }];
+        let starts = replay_trace(&mut t2, &trace, transfer_len);
+        let expected = t.delay_at_offset(0, offset % t.period(), transfer_len)
+            .expect("fits");
+        prop_assert_eq!(starts[0] - offset, expected);
+    }
+}
+
+#[test]
+fn arbiter_kind_builds_all_variants() {
+    let kinds = [
+        ArbiterKind::RoundRobin,
+        ArbiterKind::TdmaEqual { slot_len: 4 },
+        ArbiterKind::Tdma { slots: vec![(0, 4), (1, 2), (0, 2)] },
+        ArbiterKind::Mbba { weights: vec![2, 1], slot_len: 2 },
+        ArbiterKind::FixedPriority { hrt: 0 },
+        ArbiterKind::MemoryWheel { window: 4 },
+    ];
+    for k in kinds {
+        let a = k.build(2);
+        assert_eq!(a.num_requesters(), 2);
+    }
+}
+
+#[test]
+fn round_robin_bound_is_tight() {
+    // Construct the exact worst case: request issued one cycle after a
+    // competitor's transfer starts, with all other requesters ahead.
+    let n = 4;
+    let transfer_len = 5;
+    let mut rr = RoundRobin::new(n);
+    let mut trace = Vec::new();
+    // Requester 1..3 and 0 again saturate the bus from cycle 0; the victim
+    // (requester 0 again later) issues at cycle 1.
+    for r in 1..n {
+        trace.push(TraceRequest { issue: 0, requester: r });
+    }
+    trace.push(TraceRequest { issue: 1, requester: 0 });
+    let starts = replay_trace(&mut rr, &trace, transfer_len);
+    let victim_delay = starts[n - 1] - 1;
+    // This scenario achieves (n-1)·L − 1: the victim misses cycle 0's
+    // arbitration by one cycle and then waits behind n−1 full transfers.
+    assert_eq!(victim_delay, (n as u64 - 1) * transfer_len - 1);
+    let bound = RoundRobin::bound(n as u64, transfer_len);
+    assert!(victim_delay <= bound);
+    assert!(bound - victim_delay <= transfer_len, "bound should be near-tight");
+}

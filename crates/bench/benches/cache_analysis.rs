@@ -1,0 +1,23 @@
+//! Analysis-cost bench: the must/may fixpoint vs program size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wcet_cache::analysis::{analyze, AnalysisInput, LevelKind};
+use wcet_cache::config::CacheConfig;
+use wcet_ir::synth::{switchy, Placement};
+
+fn bench_fixpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_fixpoint");
+    g.sample_size(10);
+    let cache = CacheConfig::new(64, 4, 32, 4).expect("valid");
+    for cases in [8u32, 16, 32, 64] {
+        let p = switchy(cases, 20, 10, Placement::default());
+        let input = AnalysisInput::level1(cache, LevelKind::Unified);
+        g.bench_with_input(BenchmarkId::new("switchy_cases", cases), &cases, |b, _| {
+            b.iter(|| analyze(&p, &input).histogram())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fixpoint);
+criterion_main!(benches);

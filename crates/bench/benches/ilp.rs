@@ -1,0 +1,42 @@
+//! Analysis-cost bench: exact rational ILP solving (the IPET backend).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wcet_core::{wcet_ipet, IpetOptions};
+use wcet_ir::synth::{matmul, Placement};
+use wcet_pipeline::cost::BlockCosts;
+
+fn slot_costs(p: &wcet_ir::Program) -> BlockCosts {
+    BlockCosts {
+        base: p.cfg().iter().map(|(b, blk)| (b, blk.fetch_slots() as u64)).collect(),
+        loop_entry_extras: std::collections::BTreeMap::new(),
+        startup: 4,
+    }
+}
+
+fn bench_ipet_ilp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipet_ilp");
+    g.sample_size(10);
+    for n in [2u32, 4, 8] {
+        let p = matmul(n, Placement::default());
+        let costs = slot_costs(&p);
+        g.bench_with_input(BenchmarkId::new("matmul", n), &n, |b, _| {
+            b.iter(|| wcet_ipet(&p, &costs, &IpetOptions::default()).expect("solves").wcet)
+        });
+    }
+    g.finish();
+}
+
+fn bench_ipet_lp_relax(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipet_lp_relaxation");
+    g.sample_size(10);
+    let p = matmul(8, Placement::default());
+    let costs = slot_costs(&p);
+    let opts = IpetOptions { integer: false, ..IpetOptions::default() };
+    g.bench_function("matmul8", |b| {
+        b.iter(|| wcet_ipet(&p, &costs, &opts).expect("solves").wcet)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ipet_ilp, bench_ipet_lp_relax);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Analysis-cost bench: the full per-task pipeline (hierarchy analysis +
+//! cost model + IPET) in each analyser mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wcet_core::analyzer::Analyzer;
+use wcet_ir::synth::{fir, matmul, Placement};
+use wcet_sim::config::MachineConfig;
+
+fn bench_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analyzer_modes");
+    g.sample_size(10);
+    let machine = MachineConfig::symmetric(4);
+    let an = Analyzer::new(machine);
+    let p = fir(6, 24, Placement::slot(0));
+    g.bench_function("solo", |b| {
+        b.iter(|| an.wcet_solo(&p, 0, 0).expect("analyses").wcet)
+    });
+    g.bench_function("isolated", |b| {
+        b.iter(|| an.wcet_isolated(&p, 0, 0).expect("analyses").wcet)
+    });
+    let bully = matmul(10, Placement::slot(1));
+    let fp = an.l2_footprint(&bully, 1).expect("analyses");
+    g.bench_function("joint_1corunner", |b| {
+        b.iter(|| an.wcet_joint(&p, 0, 0, &[&fp]).expect("analyses").wcet)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

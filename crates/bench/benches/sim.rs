@@ -1,0 +1,25 @@
+//! Substrate bench: cycle-level simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wcet_ir::synth::{matmul, Placement};
+use wcet_sim::{Machine, MachineConfig};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    for cores in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("matmul8_cores", cores), &cores, |b, &n| {
+            b.iter(|| {
+                let mut m = Machine::new(MachineConfig::symmetric(n));
+                for core in 0..n {
+                    m.load(core, 0, matmul(8, Placement::slot(core as u32))).expect("slot");
+                }
+                m.run(500_000_000).expect("finishes").makespan
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Analysis-cost bench: global yield-graph ILP growth with thread count
+//! (the paper's §5.1 scalability objection, measured).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use wcet_core::yieldgraph::joint_yield_wcet;
+use wcet_ilp::IlpConfig;
+use wcet_ir::builder::CfgBuilder;
+use wcet_ir::cfg::Terminator;
+use wcet_ir::flow::{FlowFacts, LoopBound};
+use wcet_ir::isa::{r, Cond, Instr, Operand};
+use wcet_ir::program::Layout;
+use wcet_ir::{Addr, BlockId, Program};
+use wcet_pipeline::cost::BlockCosts;
+
+fn worker(iters: u64, code_base: u64, name: &str) -> Program {
+    let mut cb = CfgBuilder::new();
+    let entry = cb.add_block();
+    let header = cb.add_block();
+    let body = cb.add_block();
+    let exit = cb.add_block();
+    cb.push(entry, Instr::LoadImm { dst: r(1), imm: 0 });
+    cb.terminate(entry, Terminator::Jump(header));
+    cb.terminate(
+        header,
+        Terminator::Branch {
+            cond: Cond::Lt,
+            lhs: r(1),
+            rhs: Operand::Imm(iters as i64),
+            taken: body,
+            not_taken: exit,
+        },
+    );
+    cb.push(body, Instr::Yield);
+    cb.push(body, Instr::Alu { op: wcet_ir::AluOp::Add, dst: r(1), lhs: r(1), rhs: 1.into() });
+    cb.terminate(body, Terminator::Jump(header));
+    cb.terminate(exit, Terminator::Return);
+    let cfg = cb.build(entry).expect("valid");
+    let mut facts = FlowFacts::new();
+    facts.set_bound(BlockId::from_index(1), LoopBound(iters));
+    Program::new(name, cfg, facts, Layout { code_base: Addr(code_base) }).expect("valid")
+}
+
+fn unit_costs(p: &Program) -> BlockCosts {
+    BlockCosts {
+        base: p.cfg().iter().map(|(b, blk)| (b, blk.fetch_slots() as u64)).collect(),
+        loop_entry_extras: BTreeMap::new(),
+        startup: 4,
+    }
+}
+
+fn bench_growth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("yieldgraph_threads");
+    g.sample_size(10);
+    for n in [2usize, 4, 6] {
+        let threads: Vec<Program> =
+            (0..n).map(|i| worker(6, 0x1_0000 + 0x80 * i as u64, &format!("w{i}"))).collect();
+        let costs: Vec<BlockCosts> = threads.iter().map(unit_costs).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let tr: Vec<&Program> = threads.iter().collect();
+                let cr: Vec<&BlockCosts> = costs.iter().collect();
+                joint_yield_wcet(&tr, &cr, 4, IlpConfig::default()).expect("solves").wcet
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_growth);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Runs every experiment binary in sequence (the `EXPERIMENTS.md`
+//! regeneration driver): `cargo run -p wcet-bench --bin run_all --release`.
+
+use std::process::Command;
+
+fn main() {
+    let exps = [
+        "exp01_singlecore",
+        "exp02_shared_l2",
+        "exp03_lifetime",
+        "exp04_bypass",
+        "exp05_partition_lock",
+        "exp06_column_bank",
+        "exp07_yieldgraph",
+        "exp08_tdma",
+        "exp09_rr_bound",
+        "exp10_mbba",
+        "exp11_isolation",
+        "exp12_unsafe_solo",
+        "exp13_resource_phases",
+    ];
+    let mut failed = Vec::new();
+    for exp in exps {
+        println!("===== {exp} =====");
+        let status = Command::new(std::env::current_exe().expect("self path")
+            .parent().expect("bin dir").join(exp))
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("{exp} failed: {other:?}");
+                failed.push(exp);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("all {} experiments completed", exps.len());
+    } else {
+        eprintln!("failed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

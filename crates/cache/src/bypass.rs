@@ -1,0 +1,158 @@
+//! Single-usage bypass for shared caches, after Hardy et al. \[12\]
+//! (paper §4.1) and its extension to data caches by Lesage et al. \[16\].
+//!
+//! A memory line that can be accessed at most once during a whole task
+//! execution ("single usage") gains nothing from being cached in L2, but
+//! still pollutes the shared cache and inflates every co-runner's conflict
+//! footprint. The compiler-directed scheme marks such lines to *bypass* the
+//! shared level: they are never installed, shrinking both the task's own
+//! NOT_CLASSIFIED count and the interference it exerts on others.
+
+use std::collections::BTreeSet;
+
+use wcet_ir::Program;
+
+use crate::config::{CacheConfig, LineAddr};
+
+/// Result of single-usage detection.
+#[derive(Debug, Clone, Default)]
+pub struct BypassPlan {
+    /// Lines that bypass the shared cache level.
+    pub lines: BTreeSet<LineAddr>,
+    /// Total distinct lines inspected (diagnostics).
+    pub total_lines: usize,
+}
+
+impl BypassPlan {
+    /// Fraction of lines bypassed, in `\[0, 1\]`.
+    #[must_use]
+    pub fn bypass_ratio(&self) -> f64 {
+        if self.total_lines == 0 {
+            0.0
+        } else {
+            self.lines.len() as f64 / self.total_lines as f64
+        }
+    }
+}
+
+/// Detects single-usage lines of `program` w.r.t. `cache`.
+///
+/// A line is single-usage if its worst-case *use* count is ≤ 1, where a
+/// "use" collapses consecutive accesses to the same line (sequential
+/// fetches from one code line are one use — the trailing fetches hit in L1
+/// and never reach the shared level). Use counts come from the loop bounds
+/// (`Program::max_block_count`), so the analysis is purely static,
+/// mirroring the compiler-directed scheme of the paper.
+///
+/// Note that bypassing is *sound* for any line (a bypassed access simply
+/// always misses at this level); the use count only determines whether
+/// bypassing is *profitable*.
+#[must_use]
+pub fn single_usage_lines(program: &Program, cache: &CacheConfig) -> BypassPlan {
+    let counts = crate::lock::line_heat(program, cache, program.cfg().block_ids());
+    let total_lines = counts.len();
+    let lines = counts
+        .into_iter()
+        .filter(|&(_, c)| c <= 1)
+        .map(|(l, _)| l)
+        .collect();
+    BypassPlan { lines, total_lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, AnalysisInput, LevelKind};
+    use crate::shared::{conservative_footprint, InterferenceMap};
+    use wcet_ir::builder::CfgBuilder;
+    use wcet_ir::cfg::Terminator;
+    use wcet_ir::flow::{FlowFacts, LoopBound};
+    use wcet_ir::isa::{r, Addr, Cond, Instr, MemRef, Operand};
+    use wcet_ir::program::Layout;
+    use wcet_ir::synth::{twin_diamonds, Placement};
+    use wcet_ir::BlockId;
+
+    /// One cold scalar load outside the loop (single usage), one hot load
+    /// inside.
+    fn one_cold_one_hot() -> Program {
+        let mut cb = CfgBuilder::new();
+        let entry = cb.add_block();
+        let header = cb.add_block();
+        let body = cb.add_block();
+        let exit = cb.add_block();
+        cb.push(entry, Instr::LoadImm { dst: r(1), imm: 0 });
+        cb.push(entry, Instr::Load { dst: r(4), mem: MemRef::Static(Addr(0xA000)) }); // cold
+        cb.terminate(entry, Terminator::Jump(header));
+        cb.terminate(
+            header,
+            Terminator::Branch {
+                cond: Cond::Lt,
+                lhs: r(1),
+                rhs: Operand::Imm(16),
+                taken: body,
+                not_taken: exit,
+            },
+        );
+        cb.push(body, Instr::Load { dst: r(5), mem: MemRef::Static(Addr(0xB000)) }); // hot
+        cb.push(body, Instr::Alu { op: wcet_ir::AluOp::Add, dst: r(1), lhs: r(1), rhs: 1.into() });
+        cb.terminate(body, Terminator::Jump(header));
+        cb.terminate(exit, Terminator::Return);
+        let cfg = cb.build(entry).expect("valid");
+        let mut facts = FlowFacts::new();
+        facts.set_bound(BlockId::from_index(1), LoopBound(16));
+        Program::new("coldhot", cfg, facts, Layout::default()).expect("valid")
+    }
+
+    #[test]
+    fn cold_scalar_is_single_usage_hot_is_not() {
+        let p = one_cold_one_hot();
+        let cache = CacheConfig::new(16, 2, 32, 4).expect("valid");
+        let plan = single_usage_lines(&p, &cache);
+        let cold = cache.line_of(Addr(0xA000));
+        let hot = cache.line_of(Addr(0xB000));
+        assert!(plan.lines.contains(&cold), "cold load is single-usage");
+        assert!(!plan.lines.contains(&hot), "looped load is not single-usage");
+        // Entry-block code lines (executed once) are single-usage too; loop
+        // code lines are not.
+        assert!(plan.total_lines > plan.lines.len());
+        assert!(plan.bypass_ratio() > 0.0 && plan.bypass_ratio() < 1.0);
+    }
+
+    #[test]
+    fn bypass_shrinks_interference_footprint() {
+        // twin_diamonds is loop-free: its long straight-line arms are
+        // fetched at most once, so their interior code lines are
+        // single-usage and must vanish from the interference footprint.
+        let p = twin_diamonds(40, Placement::default());
+        let cache = CacheConfig::new(32, 2, 32, 4).expect("valid");
+        let plan = single_usage_lines(&p, &cache);
+        assert!(!plan.lines.is_empty());
+
+        let full = conservative_footprint(&p, &cache);
+        let im_full = InterferenceMap::from_footprints([&full]);
+        // Remove bypassed lines from the exported footprint.
+        let mut reduced = full.clone();
+        for lines in reduced.values_mut() {
+            lines.retain(|l| !plan.lines.contains(l));
+        }
+        let im_reduced = InterferenceMap::from_footprints([&reduced]);
+        assert!(im_reduced.total_lines() < im_full.total_lines());
+    }
+
+    #[test]
+    fn bypassed_lines_do_not_pollute_analysis_footprint() {
+        let p = one_cold_one_hot();
+        let cache = CacheConfig::new(16, 2, 32, 4).expect("valid");
+        let plan = single_usage_lines(&p, &cache);
+        let mut input = AnalysisInput::level1(cache, LevelKind::Unified);
+        input.bypass = plan.lines.clone();
+        let res = analyze(&p, &input);
+        for line in &plan.lines {
+            let set = cache.set_of(*line);
+            assert!(
+                !res.footprint().get(&set).map_or(false, |s| s.contains(line)),
+                "bypassed {line} must not appear in footprint"
+            );
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Cache geometry and address mapping.
+
+use std::fmt;
+
+use wcet_ir::Addr;
+
+/// A memory line (block) number: `address / line_bytes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(pub u64);
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ln{:#x}", self.0)
+    }
+}
+
+/// Errors from [`CacheConfig::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Sets must be non-zero.
+    ///
+    /// Non-power-of-two set counts are allowed (lines map by modulo) so
+    /// bank partitions of any size form valid effective caches.
+    BadSets(u32),
+    /// Ways must be non-zero.
+    BadWays(u32),
+    /// Line size must be a non-zero power of two.
+    BadLineBytes(u32),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadSets(s) => write!(f, "set count {s} must be non-zero"),
+            ConfigError::BadWays(w) => write!(f, "way count {w} must be non-zero"),
+            ConfigError::BadLineBytes(l) => {
+                write!(f, "line size {l} is not a non-zero power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Geometry and hit latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    sets: u32,
+    ways: u32,
+    line_bytes: u32,
+    /// Cycles for a hit in this cache (lookup time).
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// Creates a cache geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] unless `sets` and `line_bytes` are non-zero
+    /// powers of two and `ways` is non-zero.
+    pub fn new(sets: u32, ways: u32, line_bytes: u32, hit_latency: u32) -> Result<CacheConfig, ConfigError> {
+        if sets == 0 {
+            return Err(ConfigError::BadSets(sets));
+        }
+        if ways == 0 {
+            return Err(ConfigError::BadWays(ways));
+        }
+        if line_bytes == 0 || !line_bytes.is_power_of_two() {
+            return Err(ConfigError::BadLineBytes(line_bytes));
+        }
+        Ok(CacheConfig { sets, ways, line_bytes, hit_latency })
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    /// Associativity.
+    #[must_use]
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    #[must_use]
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        u64::from(self.sets) * u64::from(self.ways) * u64::from(self.line_bytes)
+    }
+
+    /// The line containing `addr`.
+    #[must_use]
+    pub fn line_of(&self, addr: Addr) -> LineAddr {
+        LineAddr(addr.0 / u64::from(self.line_bytes))
+    }
+
+    /// The set a line maps to.
+    #[must_use]
+    pub fn set_of(&self, line: LineAddr) -> u32 {
+        (line.0 % u64::from(self.sets)) as u32
+    }
+
+    /// All distinct lines covering the byte range `[base, base+bytes)`.
+    #[must_use]
+    pub fn lines_of_range(&self, base: Addr, bytes: u64) -> Vec<LineAddr> {
+        if bytes == 0 {
+            return Vec::new();
+        }
+        let first = self.line_of(base);
+        let last = self.line_of(Addr(base.0 + bytes - 1));
+        (first.0..=last.0).map(LineAddr).collect()
+    }
+
+    /// A derived geometry with a different way count (columnization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadWays`] if `ways` is zero.
+    pub fn with_ways(&self, ways: u32) -> Result<CacheConfig, ConfigError> {
+        CacheConfig::new(self.sets, ways, self.line_bytes, self.hit_latency)
+    }
+
+    /// A derived geometry with a different set count (bankization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadSets`] if `sets` is not a power of two.
+    pub fn with_sets(&self, sets: u32) -> Result<CacheConfig, ConfigError> {
+        CacheConfig::new(sets, self.ways, self.line_bytes, self.hit_latency)
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sets × {} ways × {} B (lat {})",
+            self.sets, self.ways, self.line_bytes, self.hit_latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_geometry() {
+        assert!(CacheConfig::new(16, 2, 32, 1).is_ok());
+        assert!(CacheConfig::new(3, 2, 32, 1).is_ok(), "non-pow2 sets allowed (banks)");
+        assert!(matches!(CacheConfig::new(0, 2, 32, 1), Err(ConfigError::BadSets(0))));
+        assert!(matches!(CacheConfig::new(16, 0, 32, 1), Err(ConfigError::BadWays(0))));
+        assert!(matches!(CacheConfig::new(16, 2, 24, 1), Err(ConfigError::BadLineBytes(24))));
+    }
+
+    #[test]
+    fn address_mapping() {
+        let c = CacheConfig::new(16, 2, 32, 1).expect("valid");
+        assert_eq!(c.line_of(Addr(0)), LineAddr(0));
+        assert_eq!(c.line_of(Addr(31)), LineAddr(0));
+        assert_eq!(c.line_of(Addr(32)), LineAddr(1));
+        assert_eq!(c.set_of(LineAddr(16)), 0);
+        assert_eq!(c.set_of(LineAddr(17)), 1);
+        assert_eq!(c.capacity_bytes(), 16 * 2 * 32);
+    }
+
+    #[test]
+    fn range_lines() {
+        let c = CacheConfig::new(16, 2, 32, 1).expect("valid");
+        assert_eq!(c.lines_of_range(Addr(0), 0), vec![]);
+        assert_eq!(c.lines_of_range(Addr(0), 1), vec![LineAddr(0)]);
+        assert_eq!(c.lines_of_range(Addr(0), 32), vec![LineAddr(0)]);
+        assert_eq!(c.lines_of_range(Addr(0), 33), vec![LineAddr(0), LineAddr(1)]);
+        assert_eq!(c.lines_of_range(Addr(30), 4), vec![LineAddr(0), LineAddr(1)]);
+    }
+
+    #[test]
+    fn derived_geometries() {
+        let c = CacheConfig::new(16, 4, 32, 2).expect("valid");
+        let col = c.with_ways(1).expect("valid");
+        assert_eq!(col.ways(), 1);
+        assert_eq!(col.sets(), 16);
+        let bank = c.with_sets(4).expect("valid");
+        assert_eq!(bank.sets(), 4);
+        assert_eq!(bank.ways(), 4);
+    }
+}

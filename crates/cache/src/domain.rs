@@ -1,0 +1,347 @@
+//! Abstract cache domains for LRU: *must* and *may* analyses
+//! (Ferdinand & Wilhelm \[11\] in the paper's bibliography).
+//!
+//! * **Must** ages are *upper bounds* on a line's LRU position; a line in
+//!   the must state is guaranteed cached, so an access to it is
+//!   `ALWAYS_HIT`.
+//! * **May** ages are *lower bounds*; a line absent from the may state is
+//!   guaranteed *not* cached, so an access to it is `ALWAYS_MISS`
+//!   (sound under the cold-start assumption: caches are invalidated when a
+//!   task starts, as predictable multicores such as MERASA do).
+//!
+//! Both updates rely on LRU positions within a set being *distinct*, which
+//! makes the textbook update rules exact:
+//!
+//! * must, access `l` with old upper bound `a`: `l → 0`; every other line
+//!   with age `< a` ages by 1 (evicted at `ways`); others keep their age.
+//! * may, access `l` with old lower bound `a`: `l → 0`; every other line
+//!   with age `≤ a` ages by 1 (removed at `ways`); others keep their age.
+//!
+//! Per-set way counts support locking (a locked way is invisible to the
+//! abstract state) and shared-cache interference shifts (paper §4.1).
+
+use std::collections::BTreeMap;
+
+use crate::config::{CacheConfig, LineAddr};
+
+/// Abstract state of one cache (all sets), carrying both domains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsCacheState {
+    /// Effective ways per set (reduced by locking).
+    set_ways: Vec<u32>,
+    /// Per set: line → age upper bound (invariant: age < set_ways).
+    must: Vec<BTreeMap<LineAddr, u32>>,
+    /// Per set: line → age lower bound (invariant: age < set_ways).
+    may: Vec<BTreeMap<LineAddr, u32>>,
+}
+
+impl AbsCacheState {
+    /// Cold-start state: nothing cached, nothing possibly cached.
+    #[must_use]
+    pub fn cold(config: &CacheConfig) -> AbsCacheState {
+        AbsCacheState::cold_with_ways(vec![config.ways(); config.sets() as usize])
+    }
+
+    /// Cold-start state with per-set effective way counts (locking support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set_ways` is empty.
+    #[must_use]
+    pub fn cold_with_ways(set_ways: Vec<u32>) -> AbsCacheState {
+        assert!(!set_ways.is_empty(), "cache must have at least one set");
+        let n = set_ways.len();
+        AbsCacheState {
+            set_ways,
+            must: vec![BTreeMap::new(); n],
+            may: vec![BTreeMap::new(); n],
+        }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.set_ways.len()
+    }
+
+    /// Effective ways of `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    #[must_use]
+    pub fn ways(&self, set: usize) -> u32 {
+        self.set_ways[set]
+    }
+
+    /// Must-age upper bound of `line`, if the line is guaranteed cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    #[must_use]
+    pub fn must_age(&self, set: usize, line: LineAddr) -> Option<u32> {
+        self.must[set].get(&line).copied()
+    }
+
+    /// True if `line` may be cached (absent ⇒ guaranteed miss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    #[must_use]
+    pub fn may_contain(&self, set: usize, line: LineAddr) -> bool {
+        self.may[set].contains_key(&line)
+    }
+
+    /// Applies an access to a *known* line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn access(&mut self, set: usize, line: LineAddr) {
+        let ways = self.set_ways[set];
+        if ways == 0 {
+            return; // fully locked set: no unlocked state to track
+        }
+        // Must update.
+        let old = self.must[set].get(&line).copied();
+        let threshold = old.unwrap_or(u32::MAX);
+        let mut next = BTreeMap::new();
+        for (&m, &age) in &self.must[set] {
+            if m == line {
+                continue;
+            }
+            let new_age = if age < threshold { age + 1 } else { age };
+            if new_age < ways {
+                next.insert(m, new_age);
+            }
+        }
+        next.insert(line, 0);
+        self.must[set] = next;
+
+        // May update.
+        let old = self.may[set].get(&line).copied();
+        let threshold = old.unwrap_or(u32::MAX);
+        let mut next = BTreeMap::new();
+        for (&m, &age) in &self.may[set] {
+            if m == line {
+                continue;
+            }
+            let new_age = if age <= threshold { age + 1 } else { age };
+            if new_age < ways {
+                next.insert(m, new_age);
+            }
+        }
+        next.insert(line, 0);
+        self.may[set] = next;
+    }
+
+    /// Applies an access to an *unknown* line drawn from `lines`
+    /// (a range-indexed load/store).
+    ///
+    /// Must: every tracked line in a touched set may be pushed, so ages
+    /// increase by 1 (nothing can be inserted). May: every candidate line
+    /// may now be cached at age 0; other may-ages are unchanged (their lower
+    /// bounds remain valid whether or not they shifted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a computed set index is out of range (config mismatch).
+    pub fn access_unknown_of(&mut self, config: &CacheConfig, lines: &[LineAddr]) {
+        let mut touched: Vec<usize> = lines.iter().map(|&l| config.set_of(l) as usize).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for &set in &touched {
+            let ways = self.set_ways[set];
+            if ways == 0 {
+                continue;
+            }
+            let mut next = BTreeMap::new();
+            for (&m, &age) in &self.must[set] {
+                if age + 1 < ways {
+                    next.insert(m, age + 1);
+                }
+            }
+            self.must[set] = next;
+        }
+        for &l in lines {
+            let set = config.set_of(l) as usize;
+            if self.set_ways[set] == 0 {
+                continue;
+            }
+            let e = self.may[set].entry(l).or_insert(0);
+            *e = (*e).min(0);
+        }
+    }
+
+    /// Least upper bound (control-flow join): must intersects with max age,
+    /// may unions with min age.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two states have different geometry.
+    pub fn join(&mut self, other: &AbsCacheState) {
+        assert_eq!(self.set_ways, other.set_ways, "joining incompatible cache states");
+        for set in 0..self.set_ways.len() {
+            // Must: intersection, max age.
+            let mut next = BTreeMap::new();
+            for (&l, &a) in &self.must[set] {
+                if let Some(&b) = other.must[set].get(&l) {
+                    next.insert(l, a.max(b));
+                }
+            }
+            self.must[set] = next;
+            // May: union, min age.
+            for (&l, &b) in &other.may[set] {
+                let e = self.may[set].entry(l).or_insert(b);
+                *e = (*e).min(b);
+            }
+        }
+    }
+
+    /// Shifts every must age in `set` up by `delta`, evicting lines whose
+    /// age reaches the way count (shared-cache interference, paper §4.1:
+    /// each conflicting line of a co-runner can age our contents by one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn shift_must_ages(&mut self, set: usize, delta: u32) {
+        if delta == 0 {
+            return;
+        }
+        let ways = self.set_ways[set];
+        let mut next = BTreeMap::new();
+        for (&l, &a) in &self.must[set] {
+            let shifted = a.saturating_add(delta);
+            if shifted < ways {
+                next.insert(l, shifted);
+            }
+        }
+        self.must[set] = next;
+    }
+
+    /// Number of lines tracked in the must state of `set` (diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    #[must_use]
+    pub fn must_len(&self, set: usize) -> usize {
+        self.must[set].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcet_ir::Addr;
+
+    fn cfg2() -> CacheConfig {
+        CacheConfig::new(1, 2, 32, 1).expect("valid")
+    }
+
+    #[test]
+    fn must_hit_after_access() {
+        let c = cfg2();
+        let mut s = AbsCacheState::cold(&c);
+        let l = c.line_of(Addr(0));
+        assert_eq!(s.must_age(0, l), None);
+        s.access(0, l);
+        assert_eq!(s.must_age(0, l), Some(0));
+        assert!(s.may_contain(0, l));
+    }
+
+    #[test]
+    fn must_eviction_at_ways() {
+        let c = cfg2(); // 2 ways
+        let mut s = AbsCacheState::cold(&c);
+        let (a, b, d) = (LineAddr(0), LineAddr(1), LineAddr(2));
+        s.access(0, a);
+        s.access(0, b);
+        assert_eq!(s.must_age(0, a), Some(1));
+        s.access(0, d); // pushes a out
+        assert_eq!(s.must_age(0, a), None);
+        assert_eq!(s.must_age(0, b), Some(1));
+        assert_eq!(s.must_age(0, d), Some(0));
+    }
+
+    #[test]
+    fn repeated_access_does_not_age_others() {
+        let c = cfg2();
+        let mut s = AbsCacheState::cold(&c);
+        let (a, b) = (LineAddr(0), LineAddr(1));
+        s.access(0, a);
+        s.access(0, b);
+        s.access(0, b); // b already age 0: a must not age
+        assert_eq!(s.must_age(0, a), Some(1));
+    }
+
+    #[test]
+    fn join_must_intersects_max() {
+        let c = cfg2();
+        let (a, b) = (LineAddr(0), LineAddr(1));
+        let mut s1 = AbsCacheState::cold(&c);
+        s1.access(0, a);
+        s1.access(0, b); // a:1 b:0
+        let mut s2 = AbsCacheState::cold(&c);
+        s2.access(0, a); // a:0
+        s1.join(&s2);
+        assert_eq!(s1.must_age(0, a), Some(1)); // max(1, 0)
+        assert_eq!(s1.must_age(0, b), None); // not in s2
+        // May keeps the union.
+        assert!(s1.may_contain(0, a));
+        assert!(s1.may_contain(0, b));
+    }
+
+    #[test]
+    fn unknown_access_ages_must_and_feeds_may() {
+        let c = CacheConfig::new(2, 2, 32, 1).expect("valid");
+        let mut s = AbsCacheState::cold(&c);
+        let known = LineAddr(0); // set 0
+        s.access(0, known);
+        let range = [LineAddr(2), LineAddr(4)]; // both set 0
+        s.access_unknown_of(&c, &range);
+        assert_eq!(s.must_age(0, known), Some(1));
+        assert!(s.may_contain(0, LineAddr(2)));
+        assert!(s.may_contain(0, LineAddr(4)));
+        // Second unknown access evicts `known` from must (age 2 == ways).
+        s.access_unknown_of(&c, &range);
+        assert_eq!(s.must_age(0, known), None);
+    }
+
+    #[test]
+    fn shift_must_ages_evicts() {
+        let c = cfg2();
+        let mut s = AbsCacheState::cold(&c);
+        let (a, b) = (LineAddr(0), LineAddr(1));
+        s.access(0, a);
+        s.access(0, b); // a:1, b:0
+        s.shift_must_ages(0, 1);
+        assert_eq!(s.must_age(0, a), None); // 1+1 == ways
+        assert_eq!(s.must_age(0, b), Some(1));
+    }
+
+    #[test]
+    fn zero_way_set_is_inert() {
+        let mut s = AbsCacheState::cold_with_ways(vec![0]);
+        s.access(0, LineAddr(0));
+        assert_eq!(s.must_age(0, LineAddr(0)), None);
+        assert!(!s.may_contain(0, LineAddr(0)));
+    }
+
+    #[test]
+    fn may_eviction_needs_full_aging() {
+        let c = cfg2();
+        let mut s = AbsCacheState::cold(&c);
+        let (a, b, d) = (LineAddr(0), LineAddr(1), LineAddr(2));
+        s.access(0, a);
+        s.access(0, b);
+        s.access(0, d);
+        // a's may-age lower bound is 2 >= ways ⇒ definitely evicted.
+        assert!(!s.may_contain(0, a));
+        assert!(s.may_contain(0, b));
+        assert!(s.may_contain(0, d));
+    }
+}

@@ -1,0 +1,137 @@
+//! Multi-level (L1 → L2) cache analysis with cache-access classification
+//! filtering, after Hardy & Puaut \[13\] (paper §2.1 and §4.1).
+//!
+//! An access reaches L2 only if it misses in L1. From the L1 classification
+//! we derive, per access site, whether it **always** (`L1 = AM`), **never**
+//! (`L1 = AH`) or **uncertainly** (`L1 ∈ {PS, NC}`) reaches L2, and feed
+//! that filter into the L2 analysis.
+
+use std::collections::BTreeMap;
+
+use wcet_ir::Program;
+
+use crate::analysis::{analyze, AnalysisInput, CacheAnalysis, Classification, LevelKind, Reach, SiteId};
+use crate::config::CacheConfig;
+
+/// Builds the L2 reach filter from one or more L1 analyses (e.g. separate
+/// L1I and L1D feeding a unified L2). Sites absent from every map never
+/// reach L2.
+#[must_use]
+pub fn reach_filter(l1_results: &[&CacheAnalysis]) -> BTreeMap<SiteId, Reach> {
+    let mut out = BTreeMap::new();
+    for l1 in l1_results {
+        for (site, class) in l1.iter() {
+            match class {
+                Classification::AlwaysHit => {} // never reaches L2
+                Classification::AlwaysMiss => {
+                    out.insert(site, Reach::Always);
+                }
+                Classification::Persistent { .. } | Classification::NotClassified => {
+                    out.insert(site, Reach::Uncertain);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Results of a full L1I/L1D/L2 hierarchy analysis.
+#[derive(Debug, Clone)]
+pub struct HierarchyAnalysis {
+    /// L1 instruction-cache classification.
+    pub l1i: CacheAnalysis,
+    /// L1 data-cache classification.
+    pub l1d: CacheAnalysis,
+    /// Unified L2 classification (only sites that may reach L2), if an L2
+    /// was configured.
+    pub l2: Option<CacheAnalysis>,
+}
+
+/// Hierarchy description for [`analyze_hierarchy`].
+#[derive(Debug, Clone)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Unified L2 input (geometry + locking/bypass/partition-derived
+    /// settings + interference shift). `None` = no L2.
+    pub l2: Option<AnalysisInput>,
+}
+
+/// Analyses a private-L1, (optionally) shared-unified-L2 hierarchy for one
+/// task. The L2 input's `reach` field is overwritten with the filter derived
+/// from the L1 results.
+#[must_use]
+pub fn analyze_hierarchy(program: &Program, config: &HierarchyConfig) -> HierarchyAnalysis {
+    let l1i = analyze(program, &AnalysisInput::level1(config.l1i, LevelKind::Instruction));
+    let l1d = analyze(program, &AnalysisInput::level1(config.l1d, LevelKind::Data));
+    let l2 = config.l2.as_ref().map(|l2_input| {
+        let mut input = l2_input.clone();
+        input.kind = LevelKind::Unified;
+        input.reach = Some(reach_filter(&[&l1i, &l1d]));
+        analyze(program, &input)
+    });
+    HierarchyAnalysis { l1i, l1d, l2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcet_ir::synth::{fir, Placement};
+
+    fn small_hierarchy() -> HierarchyConfig {
+        HierarchyConfig {
+            l1i: CacheConfig::new(8, 1, 16, 1).expect("valid"),
+            l1d: CacheConfig::new(4, 1, 16, 1).expect("valid"),
+            l2: Some(AnalysisInput::level1(
+                CacheConfig::new(64, 4, 32, 4).expect("valid"),
+                LevelKind::Unified,
+            )),
+        }
+    }
+
+    #[test]
+    fn l1_hits_never_reach_l2() {
+        let p = fir(4, 16, Placement::default());
+        let res = analyze_hierarchy(&p, &small_hierarchy());
+        let l2 = res.l2.expect("configured");
+        for (site, class) in res.l1i.iter().chain(res.l1d.iter()) {
+            if class == Classification::AlwaysHit {
+                assert_eq!(l2.class(site), None, "L1-AH site {site:?} must not reach L2");
+            }
+        }
+    }
+
+    #[test]
+    fn l1_misses_always_reach_l2() {
+        let p = fir(4, 16, Placement::default());
+        let res = analyze_hierarchy(&p, &small_hierarchy());
+        let l2 = res.l2.expect("configured");
+        for (site, class) in res.l1i.iter().chain(res.l1d.iter()) {
+            if class == Classification::AlwaysMiss {
+                assert!(l2.class(site).is_some(), "L1-AM site {site:?} must be analysed at L2");
+            }
+        }
+    }
+
+    #[test]
+    fn big_l2_turns_l1_misses_into_l2_hits_eventually() {
+        let p = fir(4, 16, Placement::default());
+        let res = analyze_hierarchy(&p, &small_hierarchy());
+        let l2 = res.l2.expect("configured");
+        let (ah, _am, ps, _nc) = l2.histogram();
+        // A 8 KiB L2 easily holds the working set: loop-resident L1 misses
+        // become L2 AH or PS.
+        assert!(ah + ps > 0, "expected some L2 locality");
+    }
+
+    #[test]
+    fn no_l2_is_allowed() {
+        let p = fir(2, 4, Placement::default());
+        let mut cfg = small_hierarchy();
+        cfg.l2 = None;
+        let res = analyze_hierarchy(&p, &cfg);
+        assert!(res.l2.is_none());
+    }
+}

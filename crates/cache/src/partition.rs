@@ -1,0 +1,357 @@
+//! Shared-cache partitioning schemes (paper §4.2).
+//!
+//! Two hardware mechanisms after Paolieri et al. \[23\]:
+//!
+//! * **Columnization** — each owner receives private *ways*; the effective
+//!   cache keeps all sets but loses associativity.
+//! * **Bankization** — each owner receives private *banks* (groups of
+//!   sets); the effective cache keeps full associativity but has fewer
+//!   sets. Paolieri et al. report bankization yields tighter WCETs, which
+//!   experiment E06 reproduces: associativity is what classification
+//!   thrives on.
+//!
+//! Plus the two allocation policies compared by Suhendra & Mitra \[37\]:
+//! **core-based** (each core owns a partition; tasks on the same core reuse
+//! the whole partition sequentially) and **task-based** (each task owns a
+//! partition; with more tasks than cores the slices shrink). Experiment E05
+//! reproduces their finding that core-based allocation dominates.
+//!
+//! A partition turns one physical shared cache into fully isolated
+//! per-owner *effective caches*, so a partitioned cache needs no
+//! interference analysis at all — that is precisely its appeal for task
+//! isolation (paper §3.3).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::config::{CacheConfig, ConfigError};
+
+/// Identifier of a partition owner (a core or a task, by the allocation
+/// policy's choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OwnerId(pub u32);
+
+impl fmt::Display for OwnerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "owner{}", self.0)
+    }
+}
+
+/// Errors from partition construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The allocations exceed the cache's capacity (ways or banks).
+    Overcommitted {
+        /// Total requested.
+        requested: u32,
+        /// Available.
+        available: u32,
+    },
+    /// An owner was allocated zero resources.
+    EmptyAllocation(OwnerId),
+    /// Bank count must divide the set count.
+    BadBankCount {
+        /// Requested number of banks.
+        banks: u32,
+        /// Cache sets.
+        sets: u32,
+    },
+    /// The owner is not part of this partition.
+    UnknownOwner(OwnerId),
+    /// Derived geometry was invalid.
+    Config(ConfigError),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::Overcommitted { requested, available } => {
+                write!(f, "partition requests {requested} units but only {available} exist")
+            }
+            PartitionError::EmptyAllocation(o) => write!(f, "{o} allocated zero resources"),
+            PartitionError::BadBankCount { banks, sets } => {
+                write!(f, "bank count {banks} does not divide set count {sets}")
+            }
+            PartitionError::UnknownOwner(o) => write!(f, "{o} is not in the partition"),
+            PartitionError::Config(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+impl From<ConfigError> for PartitionError {
+    fn from(e: ConfigError) -> Self {
+        PartitionError::Config(e)
+    }
+}
+
+/// A partitioning of one shared cache among owners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionPlan {
+    /// No partitioning: everyone shares everything (interference analysis
+    /// required).
+    Shared,
+    /// Way partitioning: owner → number of private ways.
+    Columns {
+        /// Ways per owner.
+        ways: BTreeMap<OwnerId, u32>,
+    },
+    /// Bank partitioning: owner → number of private banks out of
+    /// `total_banks` equal groups of sets.
+    Banks {
+        /// Number of equal banks the cache is split into.
+        total_banks: u32,
+        /// Banks per owner.
+        banks: BTreeMap<OwnerId, u32>,
+    },
+}
+
+impl PartitionPlan {
+    /// Even columnization among `owners` (remaining ways to the first
+    /// owners).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::Overcommitted`] if there are more owners
+    /// than ways.
+    pub fn even_columns(base: &CacheConfig, owners: u32) -> Result<PartitionPlan, PartitionError> {
+        if owners == 0 || owners > base.ways() {
+            return Err(PartitionError::Overcommitted {
+                requested: owners,
+                available: base.ways(),
+            });
+        }
+        let per = base.ways() / owners;
+        let extra = base.ways() % owners;
+        let ways = (0..owners)
+            .map(|o| (OwnerId(o), per + u32::from(o < extra)))
+            .collect();
+        Ok(PartitionPlan::Columns { ways })
+    }
+
+    /// Even bankization among `owners` with one bank per owner group,
+    /// using `total_banks = owners` (must divide the set count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::BadBankCount`] if `owners` does not divide
+    /// the set count, or [`PartitionError::Overcommitted`] if `owners == 0`.
+    pub fn even_banks(base: &CacheConfig, owners: u32) -> Result<PartitionPlan, PartitionError> {
+        if owners == 0 {
+            return Err(PartitionError::Overcommitted { requested: 0, available: 0 });
+        }
+        if base.sets() % owners != 0 {
+            return Err(PartitionError::BadBankCount { banks: owners, sets: base.sets() });
+        }
+        let banks = (0..owners).map(|o| (OwnerId(o), 1)).collect();
+        Ok(PartitionPlan::Banks { total_banks: owners, banks })
+    }
+
+    /// Validates allocations against `base`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PartitionError`].
+    pub fn validate(&self, base: &CacheConfig) -> Result<(), PartitionError> {
+        match self {
+            PartitionPlan::Shared => Ok(()),
+            PartitionPlan::Columns { ways } => {
+                let total: u32 = ways.values().sum();
+                if total > base.ways() {
+                    return Err(PartitionError::Overcommitted {
+                        requested: total,
+                        available: base.ways(),
+                    });
+                }
+                for (&o, &w) in ways {
+                    if w == 0 {
+                        return Err(PartitionError::EmptyAllocation(o));
+                    }
+                }
+                Ok(())
+            }
+            PartitionPlan::Banks { total_banks, banks } => {
+                if *total_banks == 0 || base.sets() % total_banks != 0 {
+                    return Err(PartitionError::BadBankCount {
+                        banks: *total_banks,
+                        sets: base.sets(),
+                    });
+                }
+                let total: u32 = banks.values().sum();
+                if total > *total_banks {
+                    return Err(PartitionError::Overcommitted {
+                        requested: total,
+                        available: *total_banks,
+                    });
+                }
+                for (&o, &b) in banks {
+                    if b == 0 {
+                        return Err(PartitionError::EmptyAllocation(o));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The private effective cache geometry of `owner`.
+    ///
+    /// * `Shared` → the base geometry itself (with interference!).
+    /// * `Columns` → same sets, owner's ways.
+    /// * `Banks` → `sets/total_banks × owned` sets, full ways. Address
+    ///   placement into the owner's banks is modelled as modulo remapping —
+    ///   software places each owner's code/data in its own banks, which is
+    ///   how bankization is deployed (Paolieri et al. \[23\]).
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::UnknownOwner`] if `owner` has no allocation, plus
+    /// validation errors.
+    pub fn effective_config(
+        &self,
+        base: &CacheConfig,
+        owner: OwnerId,
+    ) -> Result<CacheConfig, PartitionError> {
+        self.validate(base)?;
+        match self {
+            PartitionPlan::Shared => Ok(*base),
+            PartitionPlan::Columns { ways } => {
+                let w = *ways.get(&owner).ok_or(PartitionError::UnknownOwner(owner))?;
+                Ok(base.with_ways(w)?)
+            }
+            PartitionPlan::Banks { total_banks, banks } => {
+                let b = *banks.get(&owner).ok_or(PartitionError::UnknownOwner(owner))?;
+                let sets_per_bank = base.sets() / total_banks;
+                Ok(base.with_sets(sets_per_bank * b)?)
+            }
+        }
+    }
+
+    /// True when owners are fully isolated from each other (any partition).
+    #[must_use]
+    pub fn isolates(&self) -> bool {
+        !matches!(self, PartitionPlan::Shared)
+    }
+}
+
+/// Allocation policies compared by Suhendra & Mitra \[37\].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationPolicy {
+    /// One partition per core; tasks on a core use its whole partition
+    /// (sound under non-preemptive per-core execution).
+    CoreBased,
+    /// One partition per task.
+    TaskBased,
+}
+
+/// Builds an even way-partition for `n_cores` cores or `n_tasks` tasks
+/// according to `policy`, returning the plan plus the per-*task* effective
+/// geometry (what the WCET analysis of each task uses).
+///
+/// # Errors
+///
+/// Propagates [`PartitionError::Overcommitted`] when there are more owners
+/// than ways.
+pub fn policy_partition(
+    base: &CacheConfig,
+    policy: AllocationPolicy,
+    n_cores: u32,
+    n_tasks: u32,
+) -> Result<(PartitionPlan, CacheConfig), PartitionError> {
+    let owners = match policy {
+        AllocationPolicy::CoreBased => n_cores,
+        AllocationPolicy::TaskBased => n_tasks,
+    };
+    let plan = PartitionPlan::even_columns(base, owners)?;
+    // Every owner gets the same share here; report owner 0's geometry.
+    let eff = plan.effective_config(base, OwnerId(0))?;
+    Ok((plan, eff))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2() -> CacheConfig {
+        CacheConfig::new(64, 8, 32, 4).expect("valid")
+    }
+
+    #[test]
+    fn even_columns_split_ways() {
+        let plan = PartitionPlan::even_columns(&l2(), 4).expect("fits");
+        let eff = plan.effective_config(&l2(), OwnerId(2)).expect("owner exists");
+        assert_eq!(eff.ways(), 2);
+        assert_eq!(eff.sets(), 64);
+        assert!(plan.isolates());
+    }
+
+    #[test]
+    fn uneven_columns_give_extra_to_first() {
+        let plan = PartitionPlan::even_columns(&l2(), 3).expect("fits");
+        let w: Vec<u32> = (0..3)
+            .map(|o| plan.effective_config(&l2(), OwnerId(o)).expect("ok").ways())
+            .collect();
+        assert_eq!(w.iter().sum::<u32>(), 8);
+        assert_eq!(w, vec![3, 3, 2]);
+    }
+
+    #[test]
+    fn banks_keep_associativity() {
+        let plan = PartitionPlan::even_banks(&l2(), 4).expect("divides");
+        let eff = plan.effective_config(&l2(), OwnerId(0)).expect("ok");
+        assert_eq!(eff.ways(), 8);
+        assert_eq!(eff.sets(), 16);
+        assert_eq!(eff.capacity_bytes(), l2().capacity_bytes() / 4);
+    }
+
+    #[test]
+    fn columns_vs_banks_same_capacity_different_shape() {
+        let cols = PartitionPlan::even_columns(&l2(), 4).expect("ok");
+        let banks = PartitionPlan::even_banks(&l2(), 4).expect("ok");
+        let ec = cols.effective_config(&l2(), OwnerId(1)).expect("ok");
+        let eb = banks.effective_config(&l2(), OwnerId(1)).expect("ok");
+        assert_eq!(ec.capacity_bytes(), eb.capacity_bytes());
+        assert!(eb.ways() > ec.ways(), "bankization preserves associativity");
+    }
+
+    #[test]
+    fn overcommit_rejected() {
+        assert!(matches!(
+            PartitionPlan::even_columns(&l2(), 9),
+            Err(PartitionError::Overcommitted { .. })
+        ));
+        let mut ways = BTreeMap::new();
+        ways.insert(OwnerId(0), 6);
+        ways.insert(OwnerId(1), 6);
+        let plan = PartitionPlan::Columns { ways };
+        assert!(plan.validate(&l2()).is_err());
+    }
+
+    #[test]
+    fn bad_bank_count_rejected() {
+        assert!(matches!(
+            PartitionPlan::even_banks(&l2(), 5),
+            Err(PartitionError::BadBankCount { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_owner_rejected() {
+        let plan = PartitionPlan::even_columns(&l2(), 2).expect("ok");
+        assert!(matches!(
+            plan.effective_config(&l2(), OwnerId(7)),
+            Err(PartitionError::UnknownOwner(OwnerId(7)))
+        ));
+    }
+
+    #[test]
+    fn core_based_beats_task_based_in_share_size() {
+        // 2 cores, 6 tasks: core-based share (4 ways) > task-based (1 way).
+        let (_, core_eff) =
+            policy_partition(&l2(), AllocationPolicy::CoreBased, 2, 6).expect("ok");
+        let (_, task_eff) =
+            policy_partition(&l2(), AllocationPolicy::TaskBased, 2, 6).expect("ok");
+        assert!(core_eff.ways() > task_eff.ways());
+    }
+}

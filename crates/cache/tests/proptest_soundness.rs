@@ -1,0 +1,163 @@
+//! The repo-wide cache-soundness property: on every concrete execution,
+//! every access classified `ALWAYS_HIT` hits, every `ALWAYS_MISS` access
+//! misses, and every `PERSISTENT` access misses at most once per entry of
+//! its scope loop.
+//!
+//! Concrete runs come from the reference interpreter over randomly
+//! generated (but reducible, bounded) programs; the concrete cache is the
+//! same LRU component the cycle-level simulator uses.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use wcet_cache::analysis::{analyze, AnalysisInput, Classification, LevelKind};
+use wcet_cache::concrete::ConcreteCache;
+use wcet_cache::config::CacheConfig;
+use wcet_ir::interp::execute;
+use wcet_ir::program::AccessKind;
+use wcet_ir::synth::{random_program, Placement, RandomParams};
+use wcet_ir::Program;
+
+/// Replays an interpreter trace against a concrete cache and checks each
+/// access against its classification.
+fn check_soundness(program: &Program, cache_cfg: CacheConfig, kind: LevelKind) {
+    let analysis = analyze(program, &AnalysisInput::level1(cache_cfg, kind));
+    let run = execute(program, 3_000_000).expect("generated programs terminate");
+
+    let mut cache = ConcreteCache::new(cache_cfg);
+    // Walk blocks in trace order, pairing trace accesses with access sites.
+    let mut trace_pos = 0usize;
+    // Per PERSISTENT site: count of misses since last scope entry.
+    let mut ps_misses: BTreeMap<(wcet_ir::BlockId, u32), u64> = BTreeMap::new();
+    let loops = program.loops();
+
+    for (step, &block) in run.block_trace.iter().enumerate() {
+        // Detect scope entries: entering a loop from outside resets the
+        // persistent-miss budget of sites scoped to that loop.
+        if step > 0 {
+            let prev = run.block_trace[step - 1];
+            for l in loops.ids() {
+                let lp = loops.loop_of(l);
+                if lp.blocks.contains(&block) && !lp.blocks.contains(&prev) {
+                    ps_misses.retain(|site, _| {
+                        // Reset budgets for sites whose scope is this loop.
+                        !matches!(
+                            analysis.class(*site),
+                            Some(Classification::Persistent { scope }) if scope == lp.header
+                        )
+                    });
+                }
+            }
+        }
+        let sites = program.accesses(block);
+        let mut site_idx = 0usize;
+        while site_idx < sites.len() {
+            let site = &sites[site_idx];
+            let tr = &run.accesses[trace_pos];
+            assert_eq!(tr.block, block, "trace/block desync");
+            // The site list and the trace are both in program order; kinds
+            // must agree one-to-one.
+            assert_eq!(
+                tr.kind, site.kind,
+                "trace kind mismatch at {block} site {site_idx}"
+            );
+            let relevant = match kind {
+                LevelKind::Instruction => site.kind == AccessKind::Fetch,
+                LevelKind::Data => site.kind.is_data(),
+                LevelKind::Unified => true,
+            };
+            if relevant {
+                let line = cache_cfg.line_of(tr.addr);
+                let hit = cache.access(line).is_hit();
+                let class = analysis
+                    .class((site.block, site.seq))
+                    .expect("all relevant sites classified");
+                match class {
+                    Classification::AlwaysHit => {
+                        assert!(
+                            hit,
+                            "{}: AH access at {:?} missed (addr {})",
+                            program.name(),
+                            (site.block, site.seq),
+                            tr.addr
+                        );
+                    }
+                    Classification::AlwaysMiss => {
+                        assert!(
+                            !hit,
+                            "{}: AM access at {:?} hit (addr {})",
+                            program.name(),
+                            (site.block, site.seq),
+                            tr.addr
+                        );
+                    }
+                    Classification::Persistent { .. } => {
+                        if !hit {
+                            let c = ps_misses.entry((site.block, site.seq)).or_insert(0);
+                            *c += 1;
+                            assert!(
+                                *c <= 1,
+                                "{}: PS access at {:?} missed twice within its scope",
+                                program.name(),
+                                (site.block, site.seq),
+                            );
+                        }
+                    }
+                    Classification::NotClassified => {}
+                }
+            }
+            trace_pos += 1;
+            site_idx += 1;
+        }
+    }
+    assert_eq!(trace_pos, run.accesses.len(), "full trace consumed");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn icache_classification_sound(seed in 0u64..5_000, sets_log in 0u32..5, ways in 1u32..5) {
+        let program = random_program(seed, RandomParams::default(), Placement::default());
+        let cfg = CacheConfig::new(1 << sets_log, ways, 16, 1).expect("valid");
+        check_soundness(&program, cfg, LevelKind::Instruction);
+    }
+
+    #[test]
+    fn dcache_classification_sound(seed in 0u64..5_000, sets_log in 0u32..4, ways in 1u32..4) {
+        let program = random_program(seed, RandomParams::default(), Placement::default());
+        let cfg = CacheConfig::new(1 << sets_log, ways, 32, 1).expect("valid");
+        check_soundness(&program, cfg, LevelKind::Data);
+    }
+
+    #[test]
+    fn unified_classification_sound(seed in 0u64..5_000) {
+        let program = random_program(seed, RandomParams::default(), Placement::default());
+        let cfg = CacheConfig::new(8, 2, 32, 1).expect("valid");
+        check_soundness(&program, cfg, LevelKind::Unified);
+    }
+}
+
+#[test]
+fn kernels_are_sound_on_small_caches() {
+    use wcet_ir::synth;
+    let pl = Placement::default();
+    let programs = [
+        synth::matmul(4, pl),
+        synth::fir(4, 8, pl),
+        synth::crc(12, pl),
+        synth::bsort(6, pl),
+        synth::switchy(5, 10, 4, pl),
+        synth::single_path(4, 8, pl),
+        synth::pointer_chase(8, 16, pl),
+        synth::twin_diamonds(4, pl),
+    ];
+    for p in &programs {
+        for (sets, ways) in [(1, 1), (4, 1), (4, 2), (16, 4)] {
+            let cfg = CacheConfig::new(sets, ways, 32, 1).expect("valid");
+            check_soundness(p, cfg, LevelKind::Unified);
+            check_soundness(p, cfg, LevelKind::Instruction);
+            check_soundness(p, cfg, LevelKind::Data);
+        }
+    }
+}

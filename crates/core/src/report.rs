@@ -1,0 +1,121 @@
+//! Experiment tables: the uniform output format of the `wcet-bench`
+//! binaries (markdown-style pipe tables, deterministic ordering).
+
+use std::fmt;
+
+/// A rendered experiment table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (each must match `headers` in length).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with the given title and headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row<I: IntoIterator<Item = String>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().collect();
+        assert_eq!(row.len(), self.headers.len(), "row/header length mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a footnote.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        writeln!(f)?;
+        // Column widths.
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, " {cell:width$} |", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<width$}|", "", width = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "\n> {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio as `x.xx×`.
+#[must_use]
+pub fn ratio(n: u64, d: u64) -> String {
+    format!("{:.2}×", n as f64 / d.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown_pipe_table() {
+        let mut t = Table::new("Demo", &["workload", "wcet"]);
+        t.row(["fir".into(), "1234".into()]);
+        t.row(["a-long-name".into(), "9".into()]);
+        t.note("all cycles");
+        let s = t.to_string();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| workload    | wcet |"));
+        assert!(s.contains("| a-long-name | 9    |"));
+        assert!(s.contains("> all cycles"));
+        // Separator spans both columns.
+        assert!(s.contains("|-"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn row_length_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(["only-one".into()]);
+    }
+
+    #[test]
+    fn ratio_format() {
+        assert_eq!(ratio(3, 2), "1.50×");
+        assert_eq!(ratio(5, 0), "5.00×");
+    }
+}

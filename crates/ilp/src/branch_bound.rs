@@ -1,0 +1,235 @@
+//! Integer optimisation via branch & bound on the exact LP relaxation.
+
+use std::fmt;
+
+use crate::model::{CmpOp, LinExpr, LpModel, Solution, SolveStatus};
+use crate::rational::Rat;
+use crate::simplex::solve_lp;
+
+/// Branch-and-bound configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IlpConfig {
+    /// Maximum number of explored nodes before giving up.
+    pub max_nodes: usize,
+}
+
+impl Default for IlpConfig {
+    fn default() -> Self {
+        IlpConfig { max_nodes: 200_000 }
+    }
+}
+
+/// Branch-and-bound failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IlpError {
+    /// The node budget was exhausted before proving optimality.
+    NodeLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The relaxation (and hence the ILP) is unbounded above.
+    Unbounded,
+}
+
+impl fmt::Display for IlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IlpError::NodeLimit { limit } => {
+                write!(f, "branch-and-bound exceeded {limit} nodes")
+            }
+            IlpError::Unbounded => f.write_str("integer program is unbounded above"),
+        }
+    }
+}
+
+impl std::error::Error for IlpError {}
+
+/// Statistics of a completed ILP solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IlpStats {
+    /// Branch-and-bound nodes explored (1 = relaxation was already integral).
+    pub nodes: usize,
+}
+
+/// Solves `model` to integer optimality (variables marked integral must take
+/// integer values; continuous variables remain free).
+///
+/// # Errors
+///
+/// * [`IlpError::NodeLimit`] if the search exceeds `config.max_nodes`;
+/// * [`IlpError::Unbounded`] if the relaxation is unbounded above.
+pub fn solve_ilp(model: &LpModel, config: IlpConfig) -> Result<(Solution, IlpStats), IlpError> {
+    let mut stats = IlpStats::default();
+    let mut best: Option<Solution> = None;
+
+    // Work stack of extra bound constraints: (expr, op, rhs) triples.
+    type Bounds = Vec<(LinExpr, CmpOp, Rat)>;
+    let mut stack: Vec<Bounds> = vec![Vec::new()];
+
+    while let Some(bounds) = stack.pop() {
+        if stats.nodes >= config.max_nodes {
+            return Err(IlpError::NodeLimit { limit: config.max_nodes });
+        }
+        stats.nodes += 1;
+
+        let mut node = model.clone();
+        for (e, op, r) in &bounds {
+            node.add_constraint(e.clone(), *op, *r);
+        }
+        let relax = solve_lp(&node);
+        match relax.status {
+            SolveStatus::Infeasible => continue,
+            SolveStatus::Unbounded => {
+                // Unbounded at the root means the ILP is unbounded; at a
+                // child it cannot happen (children are restrictions).
+                return Err(IlpError::Unbounded);
+            }
+            SolveStatus::Optimal => {}
+        }
+        if let Some(b) = &best {
+            if relax.objective <= b.objective {
+                continue; // cannot beat the incumbent
+            }
+        }
+        // Most fractional integer variable.
+        let frac_var = model
+            .integer_vars()
+            .filter_map(|v| {
+                let val = relax.values[v.index()];
+                if val.is_integer() {
+                    None
+                } else {
+                    let f = val - Rat::int(val.floor());
+                    // distance from 1/2, smaller = more fractional
+                    let d = (f - Rat::new(1, 2)).abs();
+                    Some((v, val, d))
+                }
+            })
+            .min_by(|a, b| a.2.cmp(&b.2).then(a.0.cmp(&b.0)));
+
+        match frac_var {
+            None => {
+                // Integral on all integer vars: candidate incumbent.
+                let better = best
+                    .as_ref()
+                    .map(|b| relax.objective > b.objective)
+                    .unwrap_or(true);
+                if better {
+                    best = Some(relax);
+                }
+            }
+            Some((v, val, _)) => {
+                let down = Rat::int(val.floor());
+                let up = Rat::int(val.ceil());
+                let e = LinExpr::new().with_term(v, Rat::ONE);
+                // Push "down" first so the "up" branch (usually better for
+                // maximisation of counts) is explored first.
+                let mut b_down = bounds.clone();
+                b_down.push((e.clone(), CmpOp::Le, down));
+                let mut b_up = bounds;
+                b_up.push((e, CmpOp::Ge, up));
+                stack.push(b_down);
+                stack.push(b_up);
+            }
+        }
+    }
+
+    match best {
+        Some(s) => Ok((s, stats)),
+        None => Ok((Solution::non_optimal(SolveStatus::Infeasible), stats)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VarId;
+
+    fn expr(terms: &[(VarId, i64)]) -> LinExpr {
+        let mut e = LinExpr::new();
+        for &(v, c) in terms {
+            e.add_term(v, c);
+        }
+        e
+    }
+
+    #[test]
+    fn knapsack_like() {
+        // max 5x + 4y  s.t.  6x + 5y <= 10, x,y integer >= 0.
+        // LP optimum fractional; ILP optimum x=0,y=2 (8) or x=1,y=0 (5) →  8.
+        let mut m = LpModel::new();
+        let x = m.add_int_var("x");
+        let y = m.add_int_var("y");
+        m.add_constraint(expr(&[(x, 6), (y, 5)]), CmpOp::Le, 10);
+        m.set_objective(expr(&[(x, 5), (y, 4)]));
+        let (s, stats) = solve_ilp(&m, IlpConfig::default()).expect("solved");
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_eq!(s.objective, Rat::int(8));
+        assert!(stats.nodes >= 1);
+    }
+
+    #[test]
+    fn integral_relaxation_takes_one_node() {
+        let mut m = LpModel::new();
+        let x = m.add_int_var("x");
+        m.add_constraint(expr(&[(x, 1)]), CmpOp::Le, 3);
+        m.set_objective(expr(&[(x, 1)]));
+        let (s, stats) = solve_ilp(&m, IlpConfig::default()).expect("solved");
+        assert_eq!(s.objective, Rat::int(3));
+        assert_eq!(stats.nodes, 1);
+    }
+
+    #[test]
+    fn infeasible_ilp() {
+        // 2x == 1 with x integer: LP feasible (x=1/2), ILP infeasible.
+        let mut m = LpModel::new();
+        let x = m.add_int_var("x");
+        m.add_constraint(expr(&[(x, 2)]), CmpOp::Eq, 1);
+        m.set_objective(expr(&[(x, 1)]));
+        let (s, _) = solve_ilp(&m, IlpConfig::default()).expect("finished");
+        assert_eq!(s.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = LpModel::new();
+        let x = m.add_int_var("x");
+        m.set_objective(expr(&[(x, 1)]));
+        assert_eq!(solve_ilp(&m, IlpConfig::default()).unwrap_err(), IlpError::Unbounded);
+    }
+
+    #[test]
+    fn node_limit_enforced() {
+        let mut m = LpModel::new();
+        let vars: Vec<VarId> = (0..6).map(|i| m.add_int_var(format!("x{i}"))).collect();
+        // A system with many fractional vertices.
+        for w in vars.windows(2) {
+            m.add_constraint(expr(&[(w[0], 2), (w[1], 2)]), CmpOp::Le, 3);
+        }
+        let mut obj = LinExpr::new();
+        for &v in &vars {
+            obj.add_term(v, 1);
+        }
+        m.set_objective(obj);
+        let res = solve_ilp(&m, IlpConfig { max_nodes: 1 });
+        assert!(matches!(res, Err(IlpError::NodeLimit { limit: 1 })));
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max x + y, x integer, y continuous; x + y <= 5/2; y <= 1/2.
+        // Optimum: y = 1/2, x = 2 → 5/2.
+        let mut m = LpModel::new();
+        let x = m.add_int_var("x");
+        let y = m.add_var("y");
+        let mut e = LinExpr::new();
+        e.add_term(x, 1).add_term(y, 1);
+        m.add_constraint(e, CmpOp::Le, Rat::new(5, 2));
+        m.add_constraint(expr(&[(y, 2)]), CmpOp::Le, 1);
+        m.set_objective(expr(&[(x, 1), (y, 1)]));
+        let (s, _) = solve_ilp(&m, IlpConfig::default()).expect("solved");
+        assert_eq!(s.objective, Rat::new(5, 2));
+        assert_eq!(s.value(x), Rat::int(2));
+        assert_eq!(s.value(y), Rat::new(1, 2));
+    }
+}

@@ -1,0 +1,173 @@
+//! Longest-path computation on DAGs.
+//!
+//! For loop-free CFGs, IPET degenerates to a longest-path problem; solving
+//! it directly is both a fast path and an independent oracle used to
+//! cross-check the ILP pipeline in tests.
+
+use std::fmt;
+
+/// Error returned when the input graph contains a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleError;
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("graph contains a cycle; longest path is undefined")
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// Computes the maximum, over all paths from `source` to any node in
+/// `sinks`, of the sum of node weights along the path (both endpoints
+/// included) plus edge weights.
+///
+/// Nodes unreachable from `source` are ignored. Returns `None` when no sink
+/// is reachable.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the graph has a cycle reachable from `source`.
+///
+/// # Panics
+///
+/// Panics if an edge or sink references a node `>= n`, or `source >= n`.
+pub fn longest_path(
+    n: usize,
+    edges: &[(usize, usize, u64)],
+    node_weight: &[u64],
+    source: usize,
+    sinks: &[usize],
+) -> Result<Option<u64>, CycleError> {
+    assert!(source < n, "source out of range");
+    assert_eq!(node_weight.len(), n, "one weight per node required");
+    for &(a, b, _) in edges {
+        assert!(a < n && b < n, "edge endpoint out of range");
+    }
+    for &s in sinks {
+        assert!(s < n, "sink out of range");
+    }
+
+    // Restrict to nodes reachable from source.
+    let mut adj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+    for &(a, b, w) in edges {
+        adj[a].push((b, w));
+    }
+    let mut reach = vec![false; n];
+    let mut stack = vec![source];
+    reach[source] = true;
+    while let Some(v) = stack.pop() {
+        for &(s, _) in &adj[v] {
+            if !reach[s] {
+                reach[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+
+    // Kahn topological order over the reachable subgraph.
+    let mut indeg = vec![0usize; n];
+    for v in 0..n {
+        if reach[v] {
+            for &(s, _) in &adj[v] {
+                if reach[s] {
+                    indeg[s] += 1;
+                }
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&v| reach[v] && indeg[v] == 0).collect();
+    let mut order = Vec::new();
+    while let Some(v) = queue.pop() {
+        order.push(v);
+        for &(s, _) in &adj[v] {
+            if reach[s] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+    }
+    let reachable_count = reach.iter().filter(|&&r| r).count();
+    if order.len() != reachable_count {
+        return Err(CycleError);
+    }
+
+    // DP over topological order.
+    let mut dist: Vec<Option<u64>> = vec![None; n];
+    dist[source] = Some(node_weight[source]);
+    for &v in &order {
+        let Some(dv) = dist[v] else { continue };
+        for &(s, w) in &adj[v] {
+            let cand = dv + w + node_weight[s];
+            if dist[s].map_or(true, |cur| cand > cur) {
+                dist[s] = Some(cand);
+            }
+        }
+    }
+    Ok(sinks.iter().filter_map(|&s| dist[s]).max())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line() {
+        // 0 -> 1 -> 2 with node weights 1,2,3.
+        let d = longest_path(3, &[(0, 1, 0), (1, 2, 0)], &[1, 2, 3], 0, &[2])
+            .expect("acyclic")
+            .expect("reachable");
+        assert_eq!(d, 6);
+    }
+
+    #[test]
+    fn diamond_takes_heavier_arm() {
+        // 0 -> {1 (w=10), 2 (w=1)} -> 3.
+        let edges = [(0, 1, 0), (0, 2, 0), (1, 3, 0), (2, 3, 0)];
+        let d = longest_path(4, &edges, &[1, 10, 1, 1], 0, &[3])
+            .expect("acyclic")
+            .expect("reachable");
+        assert_eq!(d, 12);
+    }
+
+    #[test]
+    fn edge_weights_count() {
+        let d = longest_path(2, &[(0, 1, 5)], &[1, 1], 0, &[1])
+            .expect("acyclic")
+            .expect("reachable");
+        assert_eq!(d, 7);
+    }
+
+    #[test]
+    fn unreachable_sink_is_none() {
+        let d = longest_path(3, &[(0, 1, 0)], &[1, 1, 1], 0, &[2]).expect("acyclic");
+        assert_eq!(d, None);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let e = longest_path(2, &[(0, 1, 0), (1, 0, 0)], &[1, 1], 0, &[1]).unwrap_err();
+        assert_eq!(e, CycleError);
+    }
+
+    #[test]
+    fn cycle_outside_reachable_part_is_fine() {
+        // 1 <-> 2 cycle, but source 0 only reaches 3.
+        let edges = [(1, 2, 0), (2, 1, 0), (0, 3, 0)];
+        let d = longest_path(4, &edges, &[1, 1, 1, 1], 0, &[3])
+            .expect("cycle not reachable")
+            .expect("reachable");
+        assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn multiple_sinks_take_max() {
+        let edges = [(0, 1, 0), (0, 2, 0)];
+        let d = longest_path(3, &edges, &[1, 5, 9], 0, &[1, 2])
+            .expect("acyclic")
+            .expect("reachable");
+        assert_eq!(d, 10);
+    }
+}

@@ -1,0 +1,43 @@
+//! # wcet-ilp — exact integer linear programming for IPET
+//!
+//! The Implicit Path Enumeration Technique (IPET, Li & Malik \[17\] in the
+//! paper's bibliography) turns WCET computation into an ILP whose optimum is
+//! the WCET bound. Because the bound must never be under-estimated, this
+//! solver works over **exact rationals** ([`Rat`]) rather than floats:
+//!
+//! * [`simplex`] — two-phase primal simplex with Bland's rule (no cycling);
+//! * [`branch_bound`] — branch & bound for integrality;
+//! * [`dag`] — longest-path fast path / oracle for loop-free instances.
+//!
+//! ## Example
+//!
+//! ```
+//! use wcet_ilp::{CmpOp, IlpConfig, LinExpr, LpModel, solve_ilp};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // max 5x + 4y  s.t.  6x + 5y <= 10  (x, y integer)
+//! let mut m = LpModel::new();
+//! let x = m.add_int_var("x");
+//! let y = m.add_int_var("y");
+//! m.add_constraint(LinExpr::new().with_term(x, 6).with_term(y, 5), CmpOp::Le, 10);
+//! m.set_objective(LinExpr::new().with_term(x, 5).with_term(y, 4));
+//! let (solution, _stats) = solve_ilp(&m, IlpConfig::default())?;
+//! assert_eq!(solution.objective.to_integer(), Some(8));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod branch_bound;
+pub mod dag;
+pub mod model;
+pub mod rational;
+pub mod simplex;
+
+pub use branch_bound::{solve_ilp, IlpConfig, IlpError, IlpStats};
+pub use dag::{longest_path, CycleError};
+pub use model::{CmpOp, Constraint, LinExpr, LpModel, Solution, SolveStatus, VarId};
+pub use rational::Rat;
+pub use simplex::solve_lp;

@@ -1,0 +1,325 @@
+//! Exact rational arithmetic over checked `i128`.
+//!
+//! IPET computes a *maximum*; rounding the LP arithmetic down (as
+//! floating-point can) would under-estimate a WCET, which is unsound. All
+//! simplex pivots therefore run over exact rationals. Overflow is detected
+//! and panics with a clear message rather than silently wrapping — for the
+//! IPET instances this toolkit generates (coefficients are block costs and
+//! loop bounds) overflow would indicate a bug, not a legitimate input.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An exact rational number `num/den` with `den > 0`, always reduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+const fn gcd(mut a: i128, mut b: i128) -> i128 {
+    // Plain Euclid on absolute values.
+    if a < 0 {
+        a = -a;
+    }
+    if b < 0 {
+        b = -b;
+    }
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates `num/den`, reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    #[must_use]
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "rational with zero denominator");
+        let g = gcd(num, den).max(1);
+        let sign = if den < 0 { -1 } else { 1 };
+        Rat { num: sign * (num / g), den: (den / g).abs() }
+    }
+
+    /// Creates the integer `n`.
+    #[must_use]
+    pub fn int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    /// Numerator (after reduction; sign lives here).
+    #[must_use]
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    #[must_use]
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// True if the value is an integer.
+    #[must_use]
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// True if the value is zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Sign: -1, 0, or 1.
+    #[must_use]
+    pub fn signum(self) -> i128 {
+        self.num.signum()
+    }
+
+    /// Largest integer `<= self`.
+    #[must_use]
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer `>= self`.
+    #[must_use]
+    pub fn ceil(self) -> i128 {
+        -(-self.num).div_euclid(self.den)
+    }
+
+    /// Converts to `f64` (for reporting only; never used in pivoting).
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Exact integer value.
+    ///
+    /// Returns `None` if the value is not an integer.
+    #[must_use]
+    pub fn to_integer(self) -> Option<i128> {
+        self.is_integer().then_some(self.num)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    #[must_use]
+    pub fn recip(self) -> Rat {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rat::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(self) -> Rat {
+        Rat { num: self.num.abs(), den: self.den }
+    }
+
+    fn checked_mul_i128(a: i128, b: i128) -> i128 {
+        a.checked_mul(b).expect("rational arithmetic overflowed i128")
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::ZERO
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(n: i64) -> Self {
+        Rat::int(i128::from(n))
+    }
+}
+
+impl From<u64> for Rat {
+    fn from(n: u64) -> Self {
+        Rat::int(i128::from(n))
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(n: i32) -> Self {
+        Rat::int(i128::from(n))
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        // Cross-reduce to keep magnitudes small: a/b + c/d with g = gcd(b,d).
+        let g = gcd(self.den, rhs.den).max(1);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = Rat::checked_mul_i128(self.num, lhs_scale)
+            .checked_add(Rat::checked_mul_i128(rhs.num, rhs_scale))
+            .expect("rational addition overflowed i128");
+        let den = Rat::checked_mul_i128(self.den, lhs_scale);
+        Rat::new(num, den)
+    }
+}
+
+impl AddAssign for Rat {
+    fn add_assign(&mut self, rhs: Rat) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self + (-rhs)
+    }
+}
+
+impl SubAssign for Rat {
+    fn sub_assign(&mut self, rhs: Rat) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        // Cross-reduce before multiplying.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        let num = Rat::checked_mul_i128(self.num / g1, rhs.num / g2);
+        let den = Rat::checked_mul_i128(self.den / g2, rhs.den / g1);
+        Rat::new(num, den)
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: Rat) -> Rat {
+        self * rhs.recip()
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        (*self - *other).num.cmp(&0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, -7), Rat::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let half = Rat::new(1, 2);
+        let third = Rat::new(1, 3);
+        assert_eq!(half + third, Rat::new(5, 6));
+        assert_eq!(half - third, Rat::new(1, 6));
+        assert_eq!(half * third, Rat::new(1, 6));
+        assert_eq!(half / third, Rat::new(3, 2));
+        assert_eq!(-half, Rat::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert!(Rat::int(3) > Rat::new(5, 2));
+        let mut v = vec![Rat::int(2), Rat::new(1, 2), Rat::new(-3, 4)];
+        v.sort();
+        assert_eq!(v, vec![Rat::new(-3, 4), Rat::new(1, 2), Rat::int(2)]);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::int(5).floor(), 5);
+        assert_eq!(Rat::int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn integer_checks() {
+        assert!(Rat::int(4).is_integer());
+        assert!(!Rat::new(4, 3).is_integer());
+        assert_eq!(Rat::int(4).to_integer(), Some(4));
+        assert_eq!(Rat::new(4, 3).to_integer(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_zero_panics() {
+        let _ = Rat::ZERO.recip();
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rat::new(3, 1).to_string(), "3");
+        assert_eq!(Rat::new(-3, 7).to_string(), "-3/7");
+    }
+
+    #[test]
+    fn cross_reduction_avoids_overflow() {
+        // (2^100/3) * (3/2^100) = 1 — would overflow without cross-reduction.
+        let big = Rat::new(1 << 100, 3);
+        let small = Rat::new(3, 1 << 100);
+        assert_eq!(big * small, Rat::ONE);
+    }
+}

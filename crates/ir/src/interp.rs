@@ -1,0 +1,397 @@
+//! Reference functional interpreter.
+//!
+//! The interpreter defines the ISA's *functional* semantics (no timing). It
+//! serves three purposes:
+//!
+//! 1. **Semantics oracle** — the cycle-level simulator must follow exactly
+//!    the same path and touch exactly the same addresses;
+//! 2. **Flow-fact checker** — observed block counts must respect declared
+//!    loop bounds (tested in `wcet-ir` and again end-to-end in `wcet-core`);
+//! 3. **Trace source** — concrete address traces feed the cache-analysis
+//!    soundness property tests (`must`-classified accesses must hit in every
+//!    concrete run).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::cfg::{BlockId, Terminator};
+use crate::isa::{Addr, AluOp, Instr, Operand, NUM_REGS};
+use crate::program::{AccessKind, Program};
+
+/// Ordered record of one memory access performed by the interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceAccess {
+    /// Fetch / load / store.
+    pub kind: AccessKind,
+    /// Concrete byte address.
+    pub addr: Addr,
+    /// Block being executed.
+    pub block: BlockId,
+}
+
+/// Result of a completed interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecResult {
+    /// Blocks in execution order (entry first).
+    pub block_trace: Vec<BlockId>,
+    /// Execution count per block.
+    pub block_counts: BTreeMap<BlockId, u64>,
+    /// Every memory access in program order (fetches included).
+    pub accesses: Vec<TraceAccess>,
+    /// Final register file.
+    pub regs: [i64; NUM_REGS],
+    /// Total executed instruction slots (terminators included).
+    pub steps: u64,
+}
+
+impl ExecResult {
+    /// Execution count of `block` (0 if never executed).
+    #[must_use]
+    pub fn count(&self, block: BlockId) -> u64 {
+        self.block_counts.get(&block).copied().unwrap_or(0)
+    }
+}
+
+/// Interpreter failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The step limit was exceeded (non-termination guard).
+    StepLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::StepLimit { limit } => {
+                write!(f, "execution exceeded {limit} instruction slots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// ALU semantics shared by the interpreter and the cycle-level simulator.
+#[must_use]
+pub fn alu_eval(op: AluOp, lhs: i64, rhs: i64) -> i64 {
+    match op {
+        AluOp::Add => lhs.wrapping_add(rhs),
+        AluOp::Sub => lhs.wrapping_sub(rhs),
+        AluOp::And => lhs & rhs,
+        AluOp::Or => lhs | rhs,
+        AluOp::Xor => lhs ^ rhs,
+        AluOp::Shl => lhs.wrapping_shl((rhs & 63) as u32),
+        AluOp::Shr => lhs.wrapping_shr((rhs & 63) as u32),
+        AluOp::Slt => i64::from(lhs < rhs),
+        AluOp::Mul => lhs.wrapping_mul(rhs),
+        // Division/remainder by zero are defined as 0 so no execution traps.
+        AluOp::Div => {
+            if rhs == 0 {
+                0
+            } else {
+                lhs.wrapping_div(rhs)
+            }
+        }
+        AluOp::Rem => {
+            if rhs == 0 {
+                0
+            } else {
+                lhs.wrapping_rem(rhs)
+            }
+        }
+    }
+}
+
+/// Architectural state stepped by [`execute`]; also embedded in the
+/// cycle-level simulator cores so both engines share one semantics.
+#[derive(Debug, Clone)]
+pub struct ArchState {
+    /// Register file.
+    pub regs: [i64; NUM_REGS],
+    /// Data memory, word-addressed by exact byte address.
+    pub mem: BTreeMap<Addr, i64>,
+}
+
+impl ArchState {
+    /// Initial state for a program (registers and memory preloaded).
+    #[must_use]
+    pub fn for_program(program: &Program) -> ArchState {
+        let mut mem = BTreeMap::new();
+        for &(a, v) in program.init_mem() {
+            mem.insert(a, v);
+        }
+        ArchState { regs: *program.init_regs(), mem }
+    }
+
+    /// Reads `reg`.
+    #[must_use]
+    pub fn reg(&self, reg: crate::isa::Reg) -> i64 {
+        self.regs[reg.index()]
+    }
+
+    /// Reads an operand.
+    #[must_use]
+    pub fn operand(&self, op: Operand) -> i64 {
+        match op {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(i) => i,
+        }
+    }
+
+    /// Reads memory (uninitialised words read as 0).
+    #[must_use]
+    pub fn load(&self, addr: Addr) -> i64 {
+        self.mem.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Writes memory.
+    pub fn store(&mut self, addr: Addr, value: i64) {
+        self.mem.insert(addr, value);
+    }
+
+    /// Executes one non-terminator instruction, returning the concrete data
+    /// address it touched, if any.
+    pub fn step_instr(&mut self, ins: &Instr) -> Option<(AccessKind, Addr)> {
+        match *ins {
+            Instr::Alu { op, dst, lhs, rhs } => {
+                let v = alu_eval(op, self.reg(lhs), self.operand(rhs));
+                self.regs[dst.index()] = v;
+                None
+            }
+            Instr::LoadImm { dst, imm } => {
+                self.regs[dst.index()] = imm;
+                None
+            }
+            Instr::Load { dst, mem } => {
+                let idx = match mem {
+                    crate::isa::MemRef::Indexed { index, .. } => self.reg(index),
+                    crate::isa::MemRef::Static(_) => 0,
+                };
+                let addr = mem.effective_addr(idx);
+                self.regs[dst.index()] = self.load(addr);
+                Some((AccessKind::Load, addr))
+            }
+            Instr::Store { src, mem } => {
+                let idx = match mem {
+                    crate::isa::MemRef::Indexed { index, .. } => self.reg(index),
+                    crate::isa::MemRef::Static(_) => 0,
+                };
+                let addr = mem.effective_addr(idx);
+                let v = self.reg(src);
+                self.store(addr, v);
+                Some((AccessKind::Store, addr))
+            }
+            Instr::Yield | Instr::Nop => None,
+        }
+    }
+
+    /// Evaluates a terminator, returning the successor block (or `None` for
+    /// `Return`).
+    #[must_use]
+    pub fn step_terminator(&self, term: &Terminator) -> Option<BlockId> {
+        match *term {
+            Terminator::Jump(t) => Some(t),
+            Terminator::Branch { cond, lhs, rhs, taken, not_taken } => {
+                if cond.eval(self.reg(lhs), self.operand(rhs)) {
+                    Some(taken)
+                } else {
+                    Some(not_taken)
+                }
+            }
+            Terminator::Return => None,
+        }
+    }
+}
+
+/// Executes `program` to completion.
+///
+/// # Errors
+///
+/// Returns [`InterpError::StepLimit`] if more than `step_limit` instruction
+/// slots execute — treat as a non-terminating or wrongly-bounded program.
+pub fn execute(program: &Program, step_limit: u64) -> Result<ExecResult, InterpError> {
+    let mut st = ArchState::for_program(program);
+    let cfg = program.cfg();
+    let mut block = cfg.entry();
+    let mut block_trace = Vec::new();
+    let mut block_counts: BTreeMap<BlockId, u64> = BTreeMap::new();
+    let mut accesses = Vec::new();
+    let mut steps: u64 = 0;
+    loop {
+        block_trace.push(block);
+        *block_counts.entry(block).or_insert(0) += 1;
+        let blk = cfg.block(block);
+        for (slot, ins) in blk.instrs().iter().enumerate() {
+            steps += 1;
+            if steps > step_limit {
+                return Err(InterpError::StepLimit { limit: step_limit });
+            }
+            accesses.push(TraceAccess {
+                kind: AccessKind::Fetch,
+                addr: program.fetch_addr(block, slot),
+                block,
+            });
+            if let Some((kind, addr)) = st.step_instr(ins) {
+                accesses.push(TraceAccess { kind, addr, block });
+            }
+        }
+        // Terminator slot.
+        steps += 1;
+        if steps > step_limit {
+            return Err(InterpError::StepLimit { limit: step_limit });
+        }
+        accesses.push(TraceAccess {
+            kind: AccessKind::Fetch,
+            addr: program.fetch_addr(block, blk.fetch_slots() - 1),
+            block,
+        });
+        match st.step_terminator(blk.terminator()) {
+            Some(next) => block = next,
+            None => break,
+        }
+    }
+    Ok(ExecResult { block_trace, block_counts, accesses, regs: st.regs, steps })
+}
+
+/// Checks that an execution respects the program's declared loop bounds:
+/// for every loop, back-edge traversals ≤ bound × entries.
+///
+/// Returns the first violated header, or `None` if all bounds hold.
+#[must_use]
+pub fn check_loop_bounds(program: &Program, result: &ExecResult) -> Option<BlockId> {
+    let loops = program.loops();
+    for l in loops.loops() {
+        let bound = program
+            .flow()
+            .bound(l.header)
+            .expect("validated program has bounds for every loop");
+        // Count back-edge traversals and entries from the block trace.
+        let mut back = 0u64;
+        let mut entries = 0u64;
+        for w in result.block_trace.windows(2) {
+            let (from, to) = (w[0], w[1]);
+            if l.back_edges.iter().any(|e| e.from == from && e.to == to) {
+                back += 1;
+            }
+            if l.entry_edges.iter().any(|e| e.from == from && e.to == to) {
+                entries += 1;
+            }
+        }
+        if program.cfg().entry() == l.header {
+            entries += 1;
+        }
+        if back > bound.0.saturating_mul(entries.max(1)) {
+            return Some(l.header);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CfgBuilder;
+    use crate::cfg::Terminator;
+    use crate::flow::{FlowFacts, LoopBound};
+    use crate::isa::{r, AluOp, Cond, MemRef};
+    use crate::program::Layout;
+
+    /// for i in 0..5 { sum += i } — counted loop.
+    fn counted_sum() -> Program {
+        let mut cb = CfgBuilder::new();
+        let entry = cb.add_block();
+        let header = cb.add_block();
+        let body = cb.add_block();
+        let exit = cb.add_block();
+        // r1 = i, r2 = sum
+        cb.push(entry, Instr::LoadImm { dst: r(1), imm: 0 });
+        cb.push(entry, Instr::LoadImm { dst: r(2), imm: 0 });
+        cb.terminate(entry, Terminator::Jump(header));
+        cb.terminate(
+            header,
+            Terminator::Branch {
+                cond: Cond::Lt,
+                lhs: r(1),
+                rhs: Operand::Imm(5),
+                taken: body,
+                not_taken: exit,
+            },
+        );
+        cb.push(body, Instr::Alu { op: AluOp::Add, dst: r(2), lhs: r(2), rhs: r(1).into() });
+        cb.push(body, Instr::Alu { op: AluOp::Add, dst: r(1), lhs: r(1), rhs: 1.into() });
+        cb.terminate(body, Terminator::Jump(header));
+        cb.terminate(exit, Terminator::Return);
+        let cfg = cb.build(entry).expect("valid");
+        let mut facts = FlowFacts::new();
+        facts.set_bound(header, LoopBound(5));
+        Program::new("sum5", cfg, facts, Layout::default()).expect("valid program")
+    }
+
+    #[test]
+    fn sums_zero_to_four() {
+        let p = counted_sum();
+        let res = execute(&p, 10_000).expect("terminates");
+        assert_eq!(res.regs[2], 0 + 1 + 2 + 3 + 4);
+        assert_eq!(res.count(BlockId::from_index(1)), 6); // header: 5 + exit check
+        assert_eq!(res.count(BlockId::from_index(2)), 5); // body
+        assert_eq!(check_loop_bounds(&p, &res), None);
+    }
+
+    #[test]
+    fn step_limit_triggers() {
+        let p = counted_sum();
+        let err = execute(&p, 3).unwrap_err();
+        assert_eq!(err, InterpError::StepLimit { limit: 3 });
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let mut cb = CfgBuilder::new();
+        let a = cb.add_block();
+        cb.push(a, Instr::LoadImm { dst: r(1), imm: 77 });
+        cb.push(a, Instr::Store { src: r(1), mem: MemRef::Static(Addr(0x9000)) });
+        cb.push(a, Instr::Load { dst: r(2), mem: MemRef::Static(Addr(0x9000)) });
+        cb.terminate(a, Terminator::Return);
+        let cfg = cb.build(a).expect("valid");
+        let p = Program::new("mem", cfg, FlowFacts::new(), Layout::default()).expect("valid");
+        let res = execute(&p, 100).expect("terminates");
+        assert_eq!(res.regs[2], 77);
+        // fetch x4 (3 instrs + ret) + store + load accesses = 6.
+        assert_eq!(res.accesses.len(), 6);
+        assert_eq!(
+            res.accesses.iter().filter(|a| a.kind == AccessKind::Store).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn indexed_access_wraps() {
+        let mut cb = CfgBuilder::new();
+        let a = cb.add_block();
+        cb.push(a, Instr::LoadImm { dst: r(1), imm: 6 }); // index 6 mod 4 = 2
+        cb.push(
+            a,
+            Instr::Load {
+                dst: r(2),
+                mem: MemRef::Indexed { base: Addr(0x9000), stride: 8, count: 4, index: r(1) },
+            },
+        );
+        cb.terminate(a, Terminator::Return);
+        let cfg = cb.build(a).expect("valid");
+        let p = Program::new("idx", cfg, FlowFacts::new(), Layout::default())
+            .expect("valid")
+            .with_init_mem(Addr(0x9010), 123);
+        let res = execute(&p, 100).expect("terminates");
+        assert_eq!(res.regs[2], 123);
+    }
+
+    #[test]
+    fn alu_div_by_zero_is_zero() {
+        assert_eq!(alu_eval(AluOp::Div, 5, 0), 0);
+        assert_eq!(alu_eval(AluOp::Rem, 5, 0), 0);
+        assert_eq!(alu_eval(AluOp::Div, i64::MIN, -1), i64::MIN.wrapping_div(-1));
+    }
+}

@@ -1,0 +1,396 @@
+//! Natural-loop detection and the loop-nesting forest.
+//!
+//! WCET analysis requires every loop to carry a bound (paper §2.1, "flow
+//! facts like loop bounds"). This module finds the loops; bounds live in
+//! [`FlowFacts`](crate::flow::FlowFacts).
+//!
+//! Only *reducible* CFGs are accepted: every cycle must be closed by a back
+//! edge whose head dominates its tail. The synthetic workload generator only
+//! produces such CFGs, mirroring the restriction real WCET tools place on
+//! analysable code.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::cfg::{BlockId, Cfg, Edge};
+
+/// Identifier of a loop inside one [`LoopForest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopId(u32);
+
+impl LoopId {
+    /// Raw index into [`LoopForest::loops`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// One natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// The loop header (unique entry block of the loop).
+    pub header: BlockId,
+    /// All blocks belonging to the loop, header included.
+    pub blocks: BTreeSet<BlockId>,
+    /// Back edges `latch -> header` closing this loop.
+    pub back_edges: Vec<Edge>,
+    /// Edges entering the loop from outside (they all target the header in a
+    /// reducible CFG).
+    pub entry_edges: Vec<Edge>,
+    /// Edges leaving the loop (source inside, target outside).
+    pub exit_edges: Vec<Edge>,
+    /// Enclosing loop, if any.
+    pub parent: Option<LoopId>,
+    /// Nesting depth: 1 for outermost loops.
+    pub depth: u32,
+}
+
+/// Error returned when the CFG is irreducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrreducibleError {
+    /// A block that participates in a cycle not closed by a dominating back
+    /// edge.
+    pub witness: BlockId,
+}
+
+impl fmt::Display for IrreducibleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "control-flow graph is irreducible (cycle through {} has no dominating back edge)",
+            self.witness
+        )
+    }
+}
+
+impl std::error::Error for IrreducibleError {}
+
+/// The loop-nesting forest of a CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+    /// Innermost loop containing each block, if any.
+    innermost: Vec<Option<LoopId>>,
+}
+
+impl LoopForest {
+    /// Detects all natural loops of `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrreducibleError`] if removing dominator-back-edges leaves a
+    /// cyclic graph, i.e. the CFG is irreducible.
+    pub fn analyze(cfg: &Cfg) -> Result<LoopForest, IrreducibleError> {
+        let back_edges = cfg.back_edges();
+
+        // Reducibility: the graph minus back edges must be acyclic.
+        Self::check_acyclic_without(cfg, &back_edges)?;
+
+        // Group back edges by header; each header forms one loop.
+        let mut headers: Vec<BlockId> = back_edges.iter().map(|e| e.to).collect();
+        headers.sort_unstable();
+        headers.dedup();
+
+        let mut loops = Vec::new();
+        for &header in &headers {
+            let closing: Vec<Edge> =
+                back_edges.iter().copied().filter(|e| e.to == header).collect();
+            // Natural loop body: header + all blocks that reach a latch
+            // without passing through the header.
+            let mut body: BTreeSet<BlockId> = BTreeSet::new();
+            body.insert(header);
+            let mut stack: Vec<BlockId> = Vec::new();
+            for e in &closing {
+                if body.insert(e.from) {
+                    stack.push(e.from);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in cfg.predecessors(b) {
+                    if body.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            let entry_edges: Vec<Edge> = cfg
+                .predecessors(header)
+                .iter()
+                .filter(|p| !body.contains(p))
+                .map(|&p| Edge::new(p, header))
+                .collect();
+            let mut exit_edges = Vec::new();
+            for &b in &body {
+                for s in cfg.successors(b) {
+                    if !body.contains(&s) {
+                        exit_edges.push(Edge::new(b, s));
+                    }
+                }
+            }
+            loops.push(Loop {
+                header,
+                blocks: body,
+                back_edges: closing,
+                entry_edges,
+                exit_edges,
+                parent: None,
+                depth: 0,
+            });
+        }
+
+        // Nesting: parent = smallest strict superset.
+        let n_loops = loops.len();
+        for i in 0..n_loops {
+            let mut best: Option<usize> = None;
+            for j in 0..n_loops {
+                if i == j {
+                    continue;
+                }
+                if loops[j].blocks.is_superset(&loops[i].blocks)
+                    && loops[j].blocks.len() > loops[i].blocks.len()
+                {
+                    best = match best {
+                        None => Some(j),
+                        Some(cur) if loops[j].blocks.len() < loops[cur].blocks.len() => Some(j),
+                        keep => keep,
+                    };
+                }
+            }
+            loops[i].parent = best.map(|j| LoopId(j as u32));
+        }
+        // Depths.
+        for i in 0..n_loops {
+            let mut d = 1;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                d += 1;
+                cur = loops[p.index()].parent;
+            }
+            loops[i].depth = d;
+        }
+
+        // Innermost loop per block = containing loop with max depth.
+        let mut innermost: Vec<Option<LoopId>> = vec![None; cfg.num_blocks()];
+        for (i, l) in loops.iter().enumerate() {
+            for &b in &l.blocks {
+                let slot = &mut innermost[b.index()];
+                let replace = match slot {
+                    None => true,
+                    Some(cur) => loops[cur.index()].depth < l.depth,
+                };
+                if replace {
+                    *slot = Some(LoopId(i as u32));
+                }
+            }
+        }
+
+        Ok(LoopForest { loops, innermost })
+    }
+
+    fn check_acyclic_without(cfg: &Cfg, back: &[Edge]) -> Result<(), IrreducibleError> {
+        let back: BTreeSet<Edge> = back.iter().copied().collect();
+        let n = cfg.num_blocks();
+        // Kahn's algorithm on the forward graph.
+        let mut indeg = vec![0usize; n];
+        for e in cfg.edges() {
+            if !back.contains(&e) {
+                indeg[e.to.index()] += 1;
+            }
+        }
+        let mut queue: Vec<BlockId> =
+            cfg.block_ids().filter(|b| indeg[b.index()] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(b) = queue.pop() {
+            seen += 1;
+            for s in cfg.successors(b) {
+                if back.contains(&Edge::new(b, s)) {
+                    continue;
+                }
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if seen != n {
+            let witness = cfg
+                .block_ids()
+                .find(|b| indeg[b.index()] > 0)
+                .expect("some block remains in a cycle");
+            return Err(IrreducibleError { witness });
+        }
+        Ok(())
+    }
+
+    /// All loops, indexable by [`LoopId`].
+    #[must_use]
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// The loop with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn loop_of(&self, id: LoopId) -> &Loop {
+        &self.loops[id.index()]
+    }
+
+    /// The innermost loop containing `block`, if any.
+    #[must_use]
+    pub fn innermost(&self, block: BlockId) -> Option<LoopId> {
+        self.innermost[block.index()]
+    }
+
+    /// All loops containing `block`, innermost first.
+    #[must_use]
+    pub fn containing(&self, block: BlockId) -> Vec<LoopId> {
+        let mut out = Vec::new();
+        let mut cur = self.innermost(block);
+        while let Some(l) = cur {
+            out.push(l);
+            cur = self.loops[l.index()].parent;
+        }
+        out
+    }
+
+    /// The loop whose header is `block`, if any.
+    #[must_use]
+    pub fn headed_by(&self, block: BlockId) -> Option<LoopId> {
+        self.loops
+            .iter()
+            .position(|l| l.header == block)
+            .map(|i| LoopId(i as u32))
+    }
+
+    /// Number of loops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// True if the CFG has no loops.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Ids of all loops.
+    pub fn ids(&self) -> impl Iterator<Item = LoopId> {
+        (0..self.loops.len() as u32).map(LoopId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CfgBuilder;
+    use crate::cfg::Terminator;
+    use crate::isa::{r, Cond, Instr, Operand};
+
+    /// entry -> h1 { b1 -> h2 { b2 } } -> exit ; two nested loops.
+    fn nested() -> Cfg {
+        let mut cb = CfgBuilder::new();
+        let entry = cb.add_block();
+        let h1 = cb.add_block();
+        let b1 = cb.add_block();
+        let h2 = cb.add_block();
+        let b2 = cb.add_block();
+        let latch1 = cb.add_block();
+        let exit = cb.add_block();
+        cb.terminate(entry, Terminator::Jump(h1));
+        cb.terminate(
+            h1,
+            Terminator::Branch {
+                cond: Cond::Lt,
+                lhs: r(1),
+                rhs: Operand::Imm(8),
+                taken: b1,
+                not_taken: exit,
+            },
+        );
+        cb.terminate(b1, Terminator::Jump(h2));
+        cb.terminate(
+            h2,
+            Terminator::Branch {
+                cond: Cond::Lt,
+                lhs: r(2),
+                rhs: Operand::Imm(4),
+                taken: b2,
+                not_taken: latch1,
+            },
+        );
+        cb.push(b2, Instr::Nop);
+        cb.terminate(b2, Terminator::Jump(h2));
+        cb.terminate(latch1, Terminator::Jump(h1));
+        cb.terminate(exit, Terminator::Return);
+        cb.build(entry).expect("valid nested cfg")
+    }
+
+    #[test]
+    fn finds_two_nested_loops() {
+        let cfg = nested();
+        let forest = LoopForest::analyze(&cfg).expect("reducible");
+        assert_eq!(forest.len(), 2);
+        let outer = forest
+            .ids()
+            .find(|&l| forest.loop_of(l).depth == 1)
+            .expect("outer loop exists");
+        let inner = forest
+            .ids()
+            .find(|&l| forest.loop_of(l).depth == 2)
+            .expect("inner loop exists");
+        assert_eq!(forest.loop_of(inner).parent, Some(outer));
+        assert!(forest
+            .loop_of(outer)
+            .blocks
+            .is_superset(&forest.loop_of(inner).blocks));
+        assert_eq!(forest.loop_of(outer).entry_edges.len(), 1);
+        assert_eq!(forest.loop_of(inner).back_edges.len(), 1);
+    }
+
+    #[test]
+    fn innermost_maps_blocks_correctly() {
+        let cfg = nested();
+        let forest = LoopForest::analyze(&cfg).expect("reducible");
+        let inner = forest
+            .ids()
+            .find(|&l| forest.loop_of(l).depth == 2)
+            .expect("inner loop");
+        let inner_header = forest.loop_of(inner).header;
+        assert_eq!(forest.innermost(inner_header), Some(inner));
+        assert_eq!(forest.innermost(cfg.entry()), None);
+        assert_eq!(forest.containing(inner_header).len(), 2);
+    }
+
+    #[test]
+    fn acyclic_cfg_has_no_loops() {
+        let mut cb = CfgBuilder::new();
+        let a = cb.add_block();
+        let b = cb.add_block();
+        cb.terminate(a, Terminator::Jump(b));
+        cb.terminate(b, Terminator::Return);
+        let cfg = cb.build(a).expect("valid");
+        let forest = LoopForest::analyze(&cfg).expect("reducible");
+        assert!(forest.is_empty());
+    }
+
+    #[test]
+    fn headed_by_finds_header() {
+        let cfg = nested();
+        let forest = LoopForest::analyze(&cfg).expect("reducible");
+        for l in forest.ids() {
+            let h = forest.loop_of(l).header;
+            assert_eq!(forest.headed_by(h), Some(l));
+        }
+        assert_eq!(forest.headed_by(cfg.entry()), None);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the CFG substrate: dominators against a brute-force
+//! oracle, reverse-postorder invariants, loop-forest well-formedness, and
+//! flow-fact consistency of every generated program.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use wcet_ir::interp::{check_loop_bounds, execute};
+use wcet_ir::loops::LoopForest;
+use wcet_ir::synth::{random_program, Placement, RandomParams};
+use wcet_ir::{BlockId, Cfg};
+
+/// Brute-force dominance: `a` dominates `b` iff removing `a` makes `b`
+/// unreachable from the entry (or `a == b`).
+fn dominates_oracle(cfg: &Cfg, a: BlockId, b: BlockId) -> bool {
+    if a == b {
+        return true;
+    }
+    if a == cfg.entry() {
+        return true;
+    }
+    let mut seen: BTreeSet<BlockId> = BTreeSet::new();
+    let mut stack = vec![cfg.entry()];
+    seen.insert(cfg.entry());
+    while let Some(v) = stack.pop() {
+        if v == a {
+            continue; // blocked: paths through `a` don't count
+        }
+        for s in cfg.successors(v) {
+            if seen.insert(s) {
+                stack.push(s);
+            }
+        }
+    }
+    !seen.contains(&b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn idom_matches_brute_force_dominance(seed in 0u64..3_000) {
+        let p = random_program(seed, RandomParams::default(), Placement::default());
+        let cfg = p.cfg();
+        let idom = cfg.immediate_dominators();
+        for a in cfg.block_ids() {
+            for b in cfg.block_ids() {
+                let fast = cfg.dominates(&idom, a, b);
+                let slow = dominates_oracle(cfg, a, b);
+                prop_assert_eq!(
+                    fast, slow,
+                    "dominates({}, {}) mismatch on seed {}", a, b, seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rpo_is_a_permutation_visiting_entry_first(seed in 0u64..3_000) {
+        let p = random_program(seed, RandomParams::default(), Placement::default());
+        let cfg = p.cfg();
+        let rpo = cfg.reverse_postorder();
+        prop_assert_eq!(rpo.len(), cfg.num_blocks());
+        let set: BTreeSet<BlockId> = rpo.iter().copied().collect();
+        prop_assert_eq!(set.len(), cfg.num_blocks());
+        prop_assert_eq!(rpo[0], cfg.entry());
+        // Forward edges (non-back) go forward in RPO.
+        let back: BTreeSet<_> = cfg.back_edges().into_iter().collect();
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).expect("in rpo");
+        for e in cfg.edges() {
+            if !back.contains(&e) {
+                prop_assert!(pos(e.from) < pos(e.to), "forward edge {} out of order", e);
+            }
+        }
+    }
+
+    #[test]
+    fn loop_forest_is_well_formed(seed in 0u64..3_000) {
+        let p = random_program(seed, RandomParams::default(), Placement::default());
+        let cfg = p.cfg();
+        let forest = LoopForest::analyze(cfg).expect("generated programs are reducible");
+        for l in forest.loops() {
+            // Header is in the body; back edges come from the body.
+            prop_assert!(l.blocks.contains(&l.header));
+            for e in &l.back_edges {
+                prop_assert!(l.blocks.contains(&e.from));
+                prop_assert_eq!(e.to, l.header);
+            }
+            // All entries target the header (reducibility).
+            for e in &l.entry_edges {
+                prop_assert!(!l.blocks.contains(&e.from));
+                prop_assert_eq!(e.to, l.header);
+            }
+            // Parent strictly contains the child.
+            if let Some(par) = l.parent {
+                let parent = forest.loop_of(par);
+                prop_assert!(parent.blocks.is_superset(&l.blocks));
+                prop_assert!(parent.blocks.len() > l.blocks.len());
+            }
+        }
+    }
+
+    #[test]
+    fn declared_bounds_hold_and_are_exact(seed in 0u64..3_000) {
+        let p = random_program(seed, RandomParams::default(), Placement::default());
+        let run = execute(&p, 3_000_000).expect("terminates");
+        prop_assert_eq!(check_loop_bounds(&p, &run), None);
+        // Exact counted loops: back-edge traversals == min == max per entry.
+        let loops = p.loops();
+        for l in loops.loops() {
+            let max = p.flow().bound(l.header).expect("bounded").0;
+            let min = p.flow().min_bound(l.header);
+            prop_assert_eq!(min, max, "generator emits exact bounds");
+            // Count entries and back edges in the trace.
+            let mut entries = 0u64;
+            let mut backs = 0u64;
+            for w in run.block_trace.windows(2) {
+                if l.entry_edges.iter().any(|e| e.from == w[0] && e.to == w[1]) {
+                    entries += 1;
+                }
+                if l.back_edges.iter().any(|e| e.from == w[0] && e.to == w[1]) {
+                    backs += 1;
+                }
+            }
+            if p.cfg().entry() == l.header {
+                entries += 1;
+            }
+            prop_assert_eq!(backs, entries * max, "counted loop must run exactly");
+        }
+    }
+}

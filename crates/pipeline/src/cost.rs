@@ -1,0 +1,377 @@
+//! Worst-case basic-block costs from cache classifications and bus bounds
+//! (the second half of the paper's low-level analysis, §2.1).
+//!
+//! For every block the model produces a *base* worst-case cost; accesses
+//! classified `PERSISTENT` additionally produce a per-loop-entry *extra*
+//! (their one possible miss), which IPET charges on the loop's entry edges
+//! rather than on every iteration — the standard persistence encoding.
+
+use std::collections::BTreeMap;
+
+use wcet_cache::analysis::{CacheAnalysis, Classification, SiteId};
+use wcet_cache::multilevel::HierarchyAnalysis;
+use wcet_ir::{BlockId, Program};
+
+use crate::timing::{instr_time, smt_instr_time, MemTimings, PipelineConfig};
+
+/// Thread-level execution mode of the core running the task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreMode {
+    /// Single hardware thread.
+    Single,
+    /// Predictable SMT / thread-interleaved core with `threads` slots
+    /// (PRET is `threads = 6`): see
+    /// [`crate::timing::smt_instr_time`].
+    PredictableSmt {
+        /// Number of hardware threads sharing the pipeline.
+        threads: u32,
+    },
+}
+
+impl CoreMode {
+    fn k(self) -> u64 {
+        match self {
+            CoreMode::Single => 1,
+            CoreMode::PredictableSmt { threads } => u64::from(threads.max(1)),
+        }
+    }
+}
+
+/// Inputs of block-cost computation.
+#[derive(Debug, Clone)]
+pub struct CostInput {
+    /// Pipeline geometry.
+    pub pipeline: PipelineConfig,
+    /// Memory-system latencies (with `mem_latency` = the controller's
+    /// worst case).
+    pub timings: MemTimings,
+    /// Upper bound on the bus waiting time per memory transaction, from
+    /// the arbiter's `worst_case_delay`; `None` means the task is not
+    /// isolated on the bus and has **no finite WCET**.
+    pub bus_wait_bound: Option<u64>,
+    /// Core threading mode.
+    pub mode: CoreMode,
+}
+
+/// Per-block worst-case costs plus persistence extras.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockCosts {
+    /// Worst-case cost of each block, charged per execution.
+    pub base: BTreeMap<BlockId, u64>,
+    /// Extra cost charged once per entry of the loop headed by the key
+    /// (sum of the `PERSISTENT` miss extras scoped to it).
+    pub loop_entry_extras: BTreeMap<BlockId, u64>,
+    /// One-time pipeline fill cost at task start.
+    pub startup: u64,
+}
+
+impl BlockCosts {
+    /// The cost of `block` (0 if unknown — cannot happen for blocks of the
+    /// analysed program).
+    #[must_use]
+    pub fn cost(&self, block: BlockId) -> u64 {
+        self.base.get(&block).copied().unwrap_or(0)
+    }
+}
+
+/// Error: the configuration gives the task no finite WCET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnboundedError;
+
+impl std::fmt::Display for UnboundedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(
+            "no finite WCET: the bus arbiter gives this requester no delay bound \
+             (best-effort thread under fixed-priority arbitration)",
+        )
+    }
+}
+
+impl std::error::Error for UnboundedError {}
+
+/// Worst-case extra of one access site, split into the always-paid part
+/// and an optional per-scope extra.
+struct SiteCost {
+    base: u64,
+    scope_extra: Option<(BlockId, u64)>,
+}
+
+fn site_cost(
+    l1_class: Classification,
+    l2: Option<&CacheAnalysis>,
+    site: SiteId,
+    t: &MemTimings,
+    bus_wait: u64,
+) -> SiteCost {
+    let h1 = t.l1_hit_extra();
+    // Worst cost of one trip past L1 (L2 lookup and beyond), given the L2
+    // classification of this site.
+    let l2_class = l2.and_then(|a| a.class(site));
+    let beyond_l1_worst = || -> (u64, Option<(BlockId, u64)>) {
+        match (t.l2_hit, l2_class) {
+            // No L2 configured: straight to memory.
+            (None, _) => (t.mem_extra(bus_wait) - h1, None),
+            (Some(_), Some(Classification::AlwaysHit)) => (t.l2_hit_extra() - h1, None),
+            (Some(_), Some(Classification::Persistent { scope })) => {
+                // Pays the L2 hit path always; the single possible L2 miss
+                // (memory path minus the L2-hit path) goes to the scope.
+                (
+                    t.l2_hit_extra() - h1,
+                    Some((scope, t.mem_extra(bus_wait) - t.l2_hit_extra())),
+                )
+            }
+            // AM, NC, or absent from the L2 map (conservative).
+            (Some(_), _) => (t.mem_extra(bus_wait) - h1, None),
+        }
+    };
+    match l1_class {
+        Classification::AlwaysHit => SiteCost { base: h1, scope_extra: None },
+        Classification::AlwaysMiss | Classification::NotClassified => {
+            let (beyond, extra) = beyond_l1_worst();
+            SiteCost { base: h1 + beyond, scope_extra: extra }
+        }
+        Classification::Persistent { scope } => {
+            // Hit path always; at most one trip beyond L1 per scope entry.
+            // That one trip is worst-cased all the way to memory (its L2
+            // persistence cannot help: the single visit may be the miss).
+            let beyond = match t.l2_hit {
+                None => t.mem_extra(bus_wait) - h1,
+                Some(_) => match l2_class {
+                    Some(Classification::AlwaysHit) => t.l2_hit_extra() - h1,
+                    _ => t.mem_extra(bus_wait) - h1,
+                },
+            };
+            SiteCost { base: h1, scope_extra: Some((scope, beyond)) }
+        }
+    }
+}
+
+/// Computes worst-case block costs for `program` from its hierarchy
+/// analysis.
+///
+/// # Errors
+///
+/// Returns [`UnboundedError`] if `input.bus_wait_bound` is `None` and the
+/// program performs any access that may reach memory.
+pub fn block_costs(
+    program: &Program,
+    hierarchy: &HierarchyAnalysis,
+    input: &CostInput,
+) -> Result<BlockCosts, UnboundedError> {
+    let k = input.mode.k();
+    let t = &input.timings;
+    let mut base = BTreeMap::new();
+    let mut loop_entry_extras: BTreeMap<BlockId, u64> = BTreeMap::new();
+
+    // A site's class at L1 (I or D by kind).
+    let l1_class = |site: SiteId, is_fetch: bool| -> Classification {
+        let a = if is_fetch { &hierarchy.l1i } else { &hierarchy.l1d };
+        a.class(site).unwrap_or(Classification::NotClassified)
+    };
+
+    for (b, blk) in program.cfg().iter() {
+        let sites = program.accesses(b);
+        // Group the block's sites per instruction slot: each slot has one
+        // fetch plus at most one data access.
+        let mut cost: u64 = 0;
+        let mut site_iter = sites.iter().peekable();
+        let mut needs_bus = false;
+
+        let take_extra = |site: &wcet_ir::AccessSite,
+                              is_fetch: bool,
+                              extras: &mut BTreeMap<BlockId, u64>,
+                              needs_bus: &mut bool|
+         -> u64 {
+            let id = (site.block, site.seq);
+            let class = l1_class(id, is_fetch);
+            // Whether this site can reach memory at all (for the
+            // unbounded-bus check): anything not AH at L1 with a non-AH
+            // possibility at L2.
+            let sc = site_cost(class, hierarchy.l2.as_ref(), id, t, input.bus_wait_bound.unwrap_or(0));
+            let reaches_mem = match class {
+                Classification::AlwaysHit => false,
+                _ => match (t.l2_hit, hierarchy.l2.as_ref().and_then(|a| a.class(id))) {
+                    (Some(_), Some(Classification::AlwaysHit)) => false,
+                    _ => true,
+                },
+            };
+            if reaches_mem {
+                *needs_bus = true;
+            }
+            if let Some((scope, amount)) = sc.scope_extra {
+                let stretched = if amount > 0 { amount + (k - 1) } else { 0 };
+                *extras.entry(scope).or_insert(0) += stretched;
+            }
+            sc.base
+        };
+
+        for (slot, ins) in blk.instrs().iter().enumerate() {
+            let fetch_site = site_iter.next().expect("fetch site per slot");
+            debug_assert_eq!(fetch_site.kind, wcet_ir::AccessKind::Fetch);
+            let fetch_extra = take_extra(fetch_site, true, &mut loop_entry_extras, &mut needs_bus);
+            let data_extra = if ins.mem_ref().is_some() {
+                let data_site = site_iter.next().expect("data site after its fetch");
+                take_extra(data_site, false, &mut loop_entry_extras, &mut needs_bus)
+            } else {
+                0
+            };
+            if k == 1 {
+                cost += instr_time(ins, fetch_extra, data_extra);
+            } else {
+                // Fetch and data stalls realign to the thread's slot
+                // independently, so each pays its own alignment.
+                cost += k * u64::from(ins.exec_latency())
+                    + crate::timing::smt_mem_stall(fetch_extra, k)
+                    + crate::timing::smt_mem_stall(data_extra, k);
+            }
+            let _ = slot;
+        }
+        // Terminator slot: fetch only, executes like a 1-cycle instruction.
+        let term_site = site_iter.next().expect("terminator fetch site");
+        let term_extra = take_extra(term_site, true, &mut loop_entry_extras, &mut needs_bus);
+        if k == 1 {
+            cost += 1 + term_extra;
+        } else {
+            cost += smt_instr_time(1, term_extra, k);
+        }
+        debug_assert!(site_iter.next().is_none());
+
+        if needs_bus && input.bus_wait_bound.is_none() {
+            return Err(UnboundedError);
+        }
+        base.insert(b, cost);
+    }
+
+    Ok(BlockCosts {
+        base,
+        loop_entry_extras,
+        startup: input.pipeline.startup_cycles() * k,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcet_cache::config::CacheConfig;
+    use wcet_cache::multilevel::{analyze_hierarchy, HierarchyConfig};
+    use wcet_cache::analysis::{AnalysisInput, LevelKind};
+    use wcet_ir::synth::{fir, single_path, Placement};
+
+    fn hierarchy(program: &wcet_ir::Program, with_l2: bool) -> (HierarchyAnalysis, MemTimings) {
+        let l1i = CacheConfig::new(16, 2, 16, 1).expect("valid");
+        let l1d = CacheConfig::new(16, 2, 32, 1).expect("valid");
+        let l2cfg = CacheConfig::new(128, 4, 32, 4).expect("valid");
+        let cfg = HierarchyConfig {
+            l1i,
+            l1d,
+            l2: with_l2.then(|| AnalysisInput::level1(l2cfg, LevelKind::Unified)),
+        };
+        let h = analyze_hierarchy(program, &cfg);
+        let t = MemTimings {
+            l1_hit: 1,
+            l2_hit: with_l2.then_some(4),
+            bus_transfer: 8,
+            mem_latency: 30,
+        };
+        (h, t)
+    }
+
+    fn input(t: MemTimings, bus: Option<u64>) -> CostInput {
+        CostInput {
+            pipeline: PipelineConfig::default(),
+            timings: t,
+            bus_wait_bound: bus,
+            mode: CoreMode::Single,
+        }
+    }
+
+    #[test]
+    fn bigger_bus_wait_bound_raises_costs() {
+        let p = fir(4, 8, Placement::default());
+        let (h, t) = hierarchy(&p, true);
+        let c0 = block_costs(&p, &h, &input(t, Some(0))).expect("bounded");
+        let c9 = block_costs(&p, &h, &input(t, Some(9))).expect("bounded");
+        let total0: u64 = c0.base.values().sum();
+        let total9: u64 = c9.base.values().sum();
+        assert!(total9 >= total0);
+        assert!(total9 > total0, "some block must touch memory");
+    }
+
+    #[test]
+    fn unbounded_bus_is_reported() {
+        let p = fir(4, 8, Placement::default());
+        let (h, t) = hierarchy(&p, true);
+        assert_eq!(block_costs(&p, &h, &input(t, None)).unwrap_err(), UnboundedError);
+    }
+
+    #[test]
+    fn persistence_moves_cost_to_loop_entries() {
+        // single_path reuses a tiny data buffer every iteration: its loads
+        // become PS; the per-iteration base must price them as hits, with
+        // the misses showing up as loop-entry extras.
+        let p = single_path(2, 50, Placement::default());
+        let (h, t) = hierarchy(&p, false);
+        let costs = block_costs(&p, &h, &input(t, Some(0))).expect("bounded");
+        assert!(
+            !costs.loop_entry_extras.is_empty(),
+            "expected persistent accesses in the loop"
+        );
+        let extras: u64 = costs.loop_entry_extras.values().sum();
+        assert!(extras > 0);
+    }
+
+    #[test]
+    fn smt_mode_stretches_costs() {
+        let p = fir(2, 4, Placement::default());
+        let (h, t) = hierarchy(&p, false);
+        let single = block_costs(&p, &h, &input(t, Some(0))).expect("bounded");
+        let mut smt_in = input(t, Some(0));
+        smt_in.mode = CoreMode::PredictableSmt { threads: 4 };
+        let smt = block_costs(&p, &h, &smt_in).expect("bounded");
+        for (b, &c1) in &single.base {
+            let c4 = smt.base[b];
+            assert!(c4 >= c1, "SMT cost must not shrink");
+            assert!(c4 <= 4 * c1 + 4, "stretch is at most K plus alignment");
+        }
+        assert_eq!(smt.startup, 4 * single.startup);
+    }
+
+    #[test]
+    fn l2_pays_off_when_l1_thrashes() {
+        // A 1-line L1D thrashes on FIR's interleaved c/x/y streams; a big
+        // L2 catches the reuse, so the L2 configuration must be cheaper
+        // despite its extra lookup latency on the pure-miss path.
+        let p = fir(4, 8, Placement::default());
+        let l1i = CacheConfig::new(16, 2, 16, 1).expect("valid");
+        let tiny_l1d = CacheConfig::new(1, 1, 32, 1).expect("valid");
+        let l2cfg = CacheConfig::new(256, 8, 32, 4).expect("valid");
+        let mk = |with_l2: bool| {
+            let cfg = HierarchyConfig {
+                l1i,
+                l1d: tiny_l1d,
+                l2: with_l2.then(|| AnalysisInput::level1(l2cfg, LevelKind::Unified)),
+            };
+            let h = analyze_hierarchy(&p, &cfg);
+            let t = MemTimings {
+                l1_hit: 1,
+                l2_hit: with_l2.then_some(4),
+                bus_transfer: 8,
+                mem_latency: 30,
+            };
+            let c = block_costs(&p, &h, &input(t, Some(0))).expect("bounded");
+            // Weight block costs by worst-case execution counts (what IPET
+            // does); extras are paid once per scope entry ≤ count(header).
+            c.base
+                .iter()
+                .map(|(&b, &cost)| cost * p.max_block_count(b))
+                .sum::<u64>()
+                + c.loop_entry_extras
+                    .iter()
+                    .map(|(&h_, &e)| e * p.max_block_count(h_).max(1))
+                    .sum::<u64>()
+        };
+        let with_l2 = mk(true);
+        let without = mk(false);
+        assert!(with_l2 < without, "L2 must pay off here ({with_l2} vs {without})");
+    }
+}

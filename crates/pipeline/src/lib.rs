@@ -1,0 +1,24 @@
+//! # wcet-pipeline — pipeline timing model and block-cost analysis
+//!
+//! The second half of the paper's low-level analysis (§2.1): computing the
+//! worst-case execution cost of each basic block, given the cache
+//! classifications (from `wcet-cache`) and bus delay bounds (from
+//! `wcet-arbiter`).
+//!
+//! The [`timing`] module holds the *single* set of timing equations shared
+//! with the `wcet-sim` simulator — the cornerstone of the toolkit's
+//! testable soundness story. [`cost`] turns classifications into per-block
+//! worst-case costs (with persistence extras attached to loop entries),
+//! and [`smt`] models the SMT issue policies of Barre et al. \[1\] and
+//! CarCore \[22\].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod smt;
+pub mod timing;
+
+pub use cost::{block_costs, BlockCosts, CoreMode, CostInput, UnboundedError};
+pub use smt::SmtPolicy;
+pub use timing::{instr_time, smt_instr_time, MemTimings, PipelineConfig};

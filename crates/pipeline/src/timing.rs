@@ -1,0 +1,190 @@
+//! The timing semantics shared by the WCET analyser and the cycle-level
+//! simulator.
+//!
+//! One set of equations, two consumers: the analyser feeds them worst-case
+//! inputs (classifications, arbiter bounds), the simulator feeds them
+//! concrete inputs (actual hits, actual waits). Soundness of the whole
+//! toolkit then reduces to soundness of those inputs, which the sibling
+//! crates property-test.
+//!
+//! The modelled core is in-order, scalar and stall-based — the
+//! *timing-compositional* design point the survey's references \[20, 31\]
+//! identify as free of timing anomalies, and the one the MERASA/CarCore/
+//! PRET designs (paper §5.3) adopt. Consequences used throughout:
+//! `miss ≥ hit` monotonicity (treating `NOT_CLASSIFIED` as miss is sound)
+//! and per-instruction additivity (block cost = Σ instruction times, plus
+//! one pipeline fill at task start).
+
+use wcet_ir::Instr;
+
+/// Latencies of the memory system as seen by one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemTimings {
+    /// L1 (I or D) hit latency in cycles; 1 means a hit never stalls.
+    pub l1_hit: u32,
+    /// L2 lookup latency (on an L1 miss), if an L2 exists.
+    pub l2_hit: Option<u32>,
+    /// Bus occupancy of one line transfer to/from memory.
+    pub bus_transfer: u64,
+    /// Memory-controller access latency (worst case for analysis, actual
+    /// for simulation).
+    pub mem_latency: u64,
+}
+
+impl MemTimings {
+    /// Extra cycles (beyond the instruction's EX occupancy) of an access
+    /// that hits in L1.
+    #[must_use]
+    pub fn l1_hit_extra(&self) -> u64 {
+        u64::from(self.l1_hit.saturating_sub(1))
+    }
+
+    /// Extra cycles of an access that misses L1 and hits L2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no L2 is configured.
+    #[must_use]
+    pub fn l2_hit_extra(&self) -> u64 {
+        self.l1_hit_extra()
+            + u64::from(self.l2_hit.expect("l2_hit_extra requires an L2"))
+    }
+
+    /// Extra cycles of an access that goes to memory, given the bus
+    /// waiting time `bus_wait` (actual or bound).
+    ///
+    /// The path is: L1 lookup, L2 lookup (if any), bus wait, line transfer,
+    /// memory access.
+    #[must_use]
+    pub fn mem_extra(&self, bus_wait: u64) -> u64 {
+        self.l1_hit_extra()
+            + self.l2_hit.map_or(0, u64::from)
+            + bus_wait
+            + self.bus_transfer
+            + self.mem_latency
+    }
+}
+
+/// Total time of one instruction given its memory stall cycles, on a
+/// single-threaded core.
+#[must_use]
+pub fn instr_time(instr: &Instr, fetch_extra: u64, data_extra: u64) -> u64 {
+    u64::from(instr.exec_latency()) + fetch_extra + data_extra
+}
+
+/// Total time of one instruction on a K-thread fine-grained/SMT core in
+/// *predictable* mode: the thread owns every K-th issue slot, so execution
+/// cycles stretch by K, while memory stalls overlap with other threads and
+/// only pay a slot re-alignment penalty of at most `K − 1`.
+///
+/// `mem_extra` must be the stall of **one** memory component (fetch *or*
+/// data); an instruction with both pays [`smt_mem_stall`] twice — each
+/// stall realigns to the thread's next slot independently.
+///
+/// The PRET thread-interleaved pipeline (paper §5.3) is the `k = 6` case.
+#[must_use]
+pub fn smt_instr_time(exec: u64, mem_extra: u64, k: u64) -> u64 {
+    k * exec + smt_mem_stall(mem_extra, k)
+}
+
+/// Worst-case cost of one memory stall on a K-slot core: the stall itself
+/// plus realignment to the thread's next owned slot (`K − 1` at most).
+/// Zero stalls cost nothing (the access pipelines within the slot).
+#[must_use]
+pub fn smt_mem_stall(mem_extra: u64, k: u64) -> u64 {
+    debug_assert!(k >= 1);
+    if mem_extra > 0 {
+        mem_extra + (k - 1)
+    } else {
+        0
+    }
+}
+
+/// Pipeline geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Number of stages; the fill cost `depth − 1` is paid once at task
+    /// start (the simplified context parameterisation of Rochange &
+    /// Sainrat \[32\]: on this compositional core the only inter-block
+    /// context is whether the pipeline is filled).
+    pub depth: u32,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { depth: 5 }
+    }
+}
+
+impl PipelineConfig {
+    /// One-time pipeline fill cost.
+    #[must_use]
+    pub fn startup_cycles(&self) -> u64 {
+        u64::from(self.depth.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcet_ir::isa::{r, AluOp, Operand};
+
+    fn timings(l2: Option<u32>) -> MemTimings {
+        MemTimings { l1_hit: 1, l2_hit: l2, bus_transfer: 8, mem_latency: 30 }
+    }
+
+    #[test]
+    fn hit_paths() {
+        let t = timings(Some(4));
+        assert_eq!(t.l1_hit_extra(), 0);
+        assert_eq!(t.l2_hit_extra(), 4);
+        assert_eq!(t.mem_extra(0), 4 + 8 + 30);
+        assert_eq!(t.mem_extra(7), 4 + 7 + 8 + 30);
+    }
+
+    #[test]
+    fn no_l2_path() {
+        let t = timings(None);
+        assert_eq!(t.mem_extra(5), 5 + 8 + 30);
+    }
+
+    #[test]
+    fn multi_cycle_l1() {
+        let t = MemTimings { l1_hit: 2, l2_hit: Some(4), bus_transfer: 8, mem_latency: 30 };
+        assert_eq!(t.l1_hit_extra(), 1);
+        assert_eq!(t.l2_hit_extra(), 5);
+    }
+
+    #[test]
+    fn instr_time_adds_components() {
+        let mul = Instr::Alu { op: AluOp::Mul, dst: r(1), lhs: r(2), rhs: Operand::Imm(3) };
+        assert_eq!(instr_time(&mul, 0, 0), 3);
+        assert_eq!(instr_time(&mul, 4, 10), 17);
+        assert_eq!(instr_time(&Instr::Nop, 0, 0), 1);
+    }
+
+    #[test]
+    fn smt_stretch() {
+        // K=1 degenerates to the single-threaded model.
+        assert_eq!(smt_instr_time(1, 0, 1), 1);
+        assert_eq!(smt_instr_time(1, 42, 1), 43);
+        // K=4: exec stretches, stalls pay slot re-alignment.
+        assert_eq!(smt_instr_time(1, 0, 4), 4);
+        assert_eq!(smt_instr_time(3, 0, 4), 12);
+        assert_eq!(smt_instr_time(1, 10, 4), 4 + 13);
+    }
+
+    #[test]
+    fn miss_dominates_hit() {
+        // The monotonicity the NC-as-miss argument relies on.
+        let t = timings(Some(4));
+        assert!(t.mem_extra(0) >= t.l2_hit_extra());
+        assert!(t.l2_hit_extra() >= t.l1_hit_extra());
+    }
+
+    #[test]
+    fn startup() {
+        assert_eq!(PipelineConfig::default().startup_cycles(), 4);
+        assert_eq!(PipelineConfig { depth: 1 }.startup_cycles(), 0);
+    }
+}

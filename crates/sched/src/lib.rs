@@ -1,0 +1,25 @@
+//! # wcet-sched — schedule-aware interference refinement
+//!
+//! Implements the scheduling side of Li et al. \[41\] (paper §4.1): tasks
+//! mapped to cores under **non-preemptive static-priority** execution,
+//! task *lifetime windows*, and the iterative WCET ⇄ schedule fixpoint
+//! that removes interference between tasks whose windows can never
+//! overlap.
+//!
+//! The fixpoint is monotone by construction: windows are
+//! `[earliest_start, latest_finish]` where the earliest side is computed
+//! from fixed lower bounds (releases, precedence, BCETs) and the latest
+//! side from the current WCET upper bounds. Refining WCETs downward can
+//! only shrink the latest side, so overlaps only ever disappear and the
+//! iteration terminates at a sound fixpoint.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lifetime;
+pub mod phases;
+pub mod taskset;
+
+pub use lifetime::{lifetime_fixpoint, LifetimeResult, Window};
+pub use phases::{wcrt as phased_wcrt, AccessModel, Phase, PhaseKind, PhasedTask, SuperBlock};
+pub use taskset::{Task, TaskId, TaskSet, TaskSetError};

@@ -1,0 +1,279 @@
+//! Task lifetime windows and the iterative WCET ⇄ schedule fixpoint of
+//! Li et al. \[41\] (paper §4.1).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::taskset::{TaskId, TaskSet};
+
+/// A task's lifetime window: it can only be executing within
+/// `[earliest_start, latest_finish]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Lower bound on the start time.
+    pub earliest_start: u64,
+    /// Upper bound on the finish time.
+    pub latest_finish: u64,
+}
+
+impl Window {
+    /// True if the two windows can overlap in time.
+    #[must_use]
+    pub fn overlaps(&self, other: &Window) -> bool {
+        self.earliest_start <= other.latest_finish && other.earliest_start <= self.latest_finish
+    }
+}
+
+/// Computes lifetime windows for all tasks, given per-task BCET lower
+/// bounds and WCET upper bounds.
+///
+/// * Earliest side (lower bounds): release, predecessors' earliest
+///   finishes, BCETs — independent of core contention (contention can only
+///   delay).
+/// * Latest side (upper bounds): tasks on one core run non-preemptively in
+///   priority order; a task starts after its release, its predecessors'
+///   latest finishes and all higher-priority same-core tasks' latest
+///   finishes.
+///
+/// # Panics
+///
+/// Panics if `bcet`/`wcet` lack an entry for some task.
+#[must_use]
+pub fn windows(
+    ts: &TaskSet,
+    bcet: &BTreeMap<TaskId, u64>,
+    wcet: &BTreeMap<TaskId, u64>,
+) -> BTreeMap<TaskId, Window> {
+    // Earliest pass: topological over precedence (TaskSet is validated
+    // acyclic); iterate until stable (tiny n).
+    let mut earliest: BTreeMap<TaskId, u64> = ts.ids().map(|t| (t, ts.task(t).release)).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for t in ts.ids() {
+            let mut es = ts.task(t).release;
+            for &p in &ts.task(t).predecessors {
+                es = es.max(earliest[&p] + bcet[&p]);
+            }
+            if es != earliest[&t] {
+                earliest.insert(t, es);
+                changed = true;
+            }
+        }
+    }
+    // Latest pass: per-core priority order + precedence; iterate until
+    // stable (cross-core precedence may need multiple sweeps).
+    let mut latest_finish: BTreeMap<TaskId, u64> =
+        ts.ids().map(|t| (t, u64::MAX)).collect();
+    // Initialise with a contention-free bound, then refine.
+    for t in ts.ids() {
+        latest_finish.insert(t, ts.task(t).release + wcet[&t]);
+    }
+    let mut changed = true;
+    let mut guard = 0;
+    while changed {
+        changed = false;
+        guard += 1;
+        assert!(guard < 10_000, "latest-pass failed to converge");
+        for core in ts.cores() {
+            let mut core_free: u64 = 0;
+            for t in ts.on_core(core) {
+                let mut ls = ts.task(t).release.max(core_free);
+                for &p in &ts.task(t).predecessors {
+                    ls = ls.max(latest_finish[&p]);
+                }
+                let lf = ls + wcet[&t];
+                if latest_finish[&t] != lf {
+                    latest_finish.insert(t, lf);
+                    changed = true;
+                }
+                core_free = lf;
+            }
+        }
+    }
+    ts.ids()
+        .map(|t| {
+            (t, Window { earliest_start: earliest[&t], latest_finish: latest_finish[&t] })
+        })
+        .collect()
+}
+
+/// Result of [`lifetime_fixpoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LifetimeResult {
+    /// Final per-task WCETs (computed against the final interference sets).
+    pub wcet: BTreeMap<TaskId, u64>,
+    /// Final lifetime windows.
+    pub windows: BTreeMap<TaskId, Window>,
+    /// Final per-task interference sets (co-runners that may overlap).
+    pub interference: BTreeMap<TaskId, BTreeSet<TaskId>>,
+    /// Number of analyse→schedule rounds performed.
+    pub iterations: u32,
+}
+
+/// The iterative framework: start assuming every cross-core pair
+/// interferes, analyse WCETs, derive windows, drop provably-disjoint
+/// pairs, re-analyse — until the interference relation stabilises.
+///
+/// `analyze(task, interfering)` must return a *sound WCET upper bound for
+/// the task given that only `interfering` tasks may run concurrently*, and
+/// must be monotone (fewer interferers ⇒ no larger WCET) — the cache
+/// interference analyses in `wcet-cache` are. Same-core tasks never
+/// interfere (non-preemptive execution serialises them).
+///
+/// # Panics
+///
+/// Panics if `bcet` lacks a task entry or the iteration exceeds an
+/// internal guard (would indicate non-monotone `analyze`).
+pub fn lifetime_fixpoint<F>(
+    ts: &TaskSet,
+    bcet: &BTreeMap<TaskId, u64>,
+    mut analyze: F,
+    max_rounds: u32,
+) -> LifetimeResult
+where
+    F: FnMut(TaskId, &BTreeSet<TaskId>) -> u64,
+{
+    // Initial assumption: all cross-core pairs interfere.
+    let mut interference: BTreeMap<TaskId, BTreeSet<TaskId>> = ts
+        .ids()
+        .map(|t| {
+            let others = ts
+                .ids()
+                .filter(|&o| o != t && ts.task(o).core != ts.task(t).core)
+                .collect();
+            (t, others)
+        })
+        .collect();
+
+    let mut wcet: BTreeMap<TaskId, u64> = BTreeMap::new();
+    let mut rounds = 0;
+    let wins = loop {
+        rounds += 1;
+        for t in ts.ids() {
+            let w = analyze(t, &interference[&t]);
+            wcet.insert(t, w);
+        }
+        let wins = windows(ts, bcet, &wcet);
+        // Refine: drop pairs whose windows are disjoint.
+        let mut next = interference.clone();
+        for t in ts.ids() {
+            let keep: BTreeSet<TaskId> = interference[&t]
+                .iter()
+                .copied()
+                .filter(|&o| wins[&t].overlaps(&wins[&o]))
+                .collect();
+            next.insert(t, keep);
+        }
+        if next == interference || rounds >= max_rounds {
+            interference = next;
+            break wins;
+        }
+        interference = next;
+    };
+    LifetimeResult { wcet, windows: wins, interference, iterations: rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taskset::Task;
+
+    fn ts3() -> TaskSet {
+        // Two cores; τ0 and τ1 on core 0 (priorities 1, 2), τ2 on core 1.
+        TaskSet::new(vec![
+            Task { name: "a".into(), core: 0, priority: 1, release: 0, predecessors: vec![] },
+            Task { name: "b".into(), core: 0, priority: 2, release: 0, predecessors: vec![] },
+            Task { name: "c".into(), core: 1, priority: 1, release: 0, predecessors: vec![] },
+        ])
+        .expect("valid")
+    }
+
+    #[test]
+    fn windows_respect_core_serialisation() {
+        let ts = ts3();
+        let bcet: BTreeMap<TaskId, u64> = ts.ids().map(|t| (t, 10)).collect();
+        let wcet: BTreeMap<TaskId, u64> = ts.ids().map(|t| (t, 20)).collect();
+        let w = windows(&ts, &bcet, &wcet);
+        // τ1 runs after τ0 on core 0.
+        assert_eq!(w[&TaskId(0)].latest_finish, 20);
+        assert_eq!(w[&TaskId(1)].latest_finish, 40);
+        assert_eq!(w[&TaskId(2)].latest_finish, 20);
+    }
+
+    #[test]
+    fn precedence_pushes_windows() {
+        let mut tasks = vec![
+            Task { name: "a".into(), core: 0, priority: 1, release: 0, predecessors: vec![] },
+            Task { name: "b".into(), core: 1, priority: 1, release: 0, predecessors: vec![TaskId(0)] },
+        ];
+        tasks[1].release = 5;
+        let ts = TaskSet::new(tasks).expect("valid");
+        let bcet: BTreeMap<TaskId, u64> = [(TaskId(0), 8), (TaskId(1), 8)].into();
+        let wcet: BTreeMap<TaskId, u64> = [(TaskId(0), 12), (TaskId(1), 12)].into();
+        let w = windows(&ts, &bcet, &wcet);
+        assert_eq!(w[&TaskId(1)].earliest_start, 8); // after a's BCET
+        assert_eq!(w[&TaskId(1)].latest_finish, 12 + 12);
+    }
+
+    #[test]
+    fn disjoint_windows_do_not_overlap() {
+        let a = Window { earliest_start: 0, latest_finish: 10 };
+        let b = Window { earliest_start: 11, latest_finish: 20 };
+        let c = Window { earliest_start: 5, latest_finish: 15 };
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn fixpoint_removes_staggered_interference() {
+        // τ0 on core 0 released at 0; τ2 on core 1 released far later:
+        // initially assumed to interfere, refinement must separate them.
+        let ts = TaskSet::new(vec![
+            Task { name: "a".into(), core: 0, priority: 1, release: 0, predecessors: vec![] },
+            Task { name: "c".into(), core: 1, priority: 1, release: 1000, predecessors: vec![] },
+        ])
+        .expect("valid");
+        let bcet: BTreeMap<TaskId, u64> = ts.ids().map(|t| (t, 10)).collect();
+        // WCET model: 100 alone, 200 with interference.
+        let res = lifetime_fixpoint(
+            &ts,
+            &bcet,
+            |_, interfering| if interfering.is_empty() { 100 } else { 200 },
+            10,
+        );
+        assert!(res.interference[&TaskId(0)].is_empty());
+        assert!(res.interference[&TaskId(1)].is_empty());
+        assert_eq!(res.wcet[&TaskId(0)], 100);
+        assert!(res.iterations >= 2);
+    }
+
+    #[test]
+    fn fixpoint_keeps_real_overlap() {
+        let ts = ts3();
+        let bcet: BTreeMap<TaskId, u64> = ts.ids().map(|t| (t, 10)).collect();
+        let res = lifetime_fixpoint(
+            &ts,
+            &bcet,
+            |_, interfering| 100 + 50 * interfering.len() as u64,
+            10,
+        );
+        // τ0 (core 0, [0,..]) and τ2 (core 1, [0,..]) genuinely overlap.
+        assert!(res.interference[&TaskId(0)].contains(&TaskId(2)));
+        // Same-core tasks never interfere.
+        assert!(!res.interference[&TaskId(0)].contains(&TaskId(1)));
+    }
+
+    #[test]
+    fn same_core_tasks_never_interfere() {
+        let ts = ts3();
+        let bcet: BTreeMap<TaskId, u64> = ts.ids().map(|t| (t, 1)).collect();
+        let res = lifetime_fixpoint(&ts, &bcet, |_, i| 10 + i.len() as u64, 5);
+        for t in ts.ids() {
+            for o in &res.interference[&t] {
+                assert_ne!(ts.task(*o).core, ts.task(t).core);
+            }
+        }
+    }
+}

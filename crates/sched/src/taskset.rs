@@ -1,0 +1,215 @@
+//! Task sets: core mapping, priorities, releases, precedence.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Identifier of a task within one [`TaskSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+/// One task of the workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Task name (for reports).
+    pub name: String,
+    /// Core the task is statically mapped to.
+    pub core: usize,
+    /// Static priority; smaller value = higher priority. Tasks sharing a
+    /// core execute non-preemptively in priority order.
+    pub priority: u32,
+    /// Release offset in cycles.
+    pub release: u64,
+    /// Tasks that must finish before this one starts.
+    pub predecessors: Vec<TaskId>,
+}
+
+/// Errors from [`TaskSet::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskSetError {
+    /// A predecessor id is out of range.
+    UnknownPredecessor {
+        /// The referring task.
+        task: TaskId,
+        /// The missing predecessor.
+        predecessor: TaskId,
+    },
+    /// The precedence relation has a cycle.
+    PrecedenceCycle,
+    /// Two tasks on one core share a priority (execution order would be
+    /// ambiguous).
+    AmbiguousPriority {
+        /// First task.
+        a: TaskId,
+        /// Second task.
+        b: TaskId,
+    },
+}
+
+impl fmt::Display for TaskSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskSetError::UnknownPredecessor { task, predecessor } => {
+                write!(f, "{task} references unknown predecessor {predecessor}")
+            }
+            TaskSetError::PrecedenceCycle => f.write_str("precedence relation has a cycle"),
+            TaskSetError::AmbiguousPriority { a, b } => {
+                write!(f, "{a} and {b} share a core and a priority")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskSetError {}
+
+/// A validated task set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSet {
+    tasks: Vec<Task>,
+}
+
+impl TaskSet {
+    /// Validates and wraps a task list.
+    ///
+    /// # Errors
+    ///
+    /// See [`TaskSetError`].
+    pub fn new(tasks: Vec<Task>) -> Result<TaskSet, TaskSetError> {
+        let n = tasks.len() as u32;
+        for (i, t) in tasks.iter().enumerate() {
+            for &p in &t.predecessors {
+                if p.0 >= n {
+                    return Err(TaskSetError::UnknownPredecessor {
+                        task: TaskId(i as u32),
+                        predecessor: p,
+                    });
+                }
+            }
+        }
+        // Priority uniqueness per core.
+        let mut seen: BTreeMap<(usize, u32), TaskId> = BTreeMap::new();
+        for (i, t) in tasks.iter().enumerate() {
+            if let Some(&other) = seen.get(&(t.core, t.priority)) {
+                return Err(TaskSetError::AmbiguousPriority { a: other, b: TaskId(i as u32) });
+            }
+            seen.insert((t.core, t.priority), TaskId(i as u32));
+        }
+        // Cycle check via Kahn.
+        let mut indeg = vec![0usize; tasks.len()];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); tasks.len()];
+        for (i, t) in tasks.iter().enumerate() {
+            for &p in &t.predecessors {
+                succs[p.0 as usize].push(i);
+                indeg[i] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..tasks.len()).filter(|&i| indeg[i] == 0).collect();
+        let mut seen_count = 0;
+        while let Some(v) = queue.pop() {
+            seen_count += 1;
+            for &s in &succs[v] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if seen_count != tasks.len() {
+            return Err(TaskSetError::PrecedenceCycle);
+        }
+        Ok(TaskSet { tasks })
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if there are no tasks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0 as usize]
+    }
+
+    /// All task ids.
+    pub fn ids(&self) -> impl Iterator<Item = TaskId> {
+        (0..self.tasks.len() as u32).map(TaskId)
+    }
+
+    /// Tasks mapped to `core`, sorted by ascending priority value.
+    #[must_use]
+    pub fn on_core(&self, core: usize) -> Vec<TaskId> {
+        let mut v: Vec<TaskId> =
+            self.ids().filter(|&t| self.task(t).core == core).collect();
+        v.sort_by_key(|&t| self.task(t).priority);
+        v
+    }
+
+    /// The set of cores used by the task set.
+    #[must_use]
+    pub fn cores(&self) -> BTreeSet<usize> {
+        self.tasks.iter().map(|t| t.core).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(core: usize, prio: u32) -> Task {
+        Task {
+            name: format!("t{core}-{prio}"),
+            core,
+            priority: prio,
+            release: 0,
+            predecessors: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn validates_and_sorts() {
+        let ts = TaskSet::new(vec![task(0, 2), task(0, 1), task(1, 1)]).expect("valid");
+        assert_eq!(ts.on_core(0), vec![TaskId(1), TaskId(0)]);
+        assert_eq!(ts.cores().len(), 2);
+    }
+
+    #[test]
+    fn rejects_duplicate_priorities_on_core() {
+        let err = TaskSet::new(vec![task(0, 1), task(0, 1)]).unwrap_err();
+        assert!(matches!(err, TaskSetError::AmbiguousPriority { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_predecessor() {
+        let mut t = task(0, 1);
+        t.predecessors.push(TaskId(5));
+        let err = TaskSet::new(vec![t]).unwrap_err();
+        assert!(matches!(err, TaskSetError::UnknownPredecessor { .. }));
+    }
+
+    #[test]
+    fn rejects_precedence_cycle() {
+        let mut a = task(0, 1);
+        a.predecessors.push(TaskId(1));
+        let mut b = task(0, 2);
+        b.predecessors.push(TaskId(0));
+        let err = TaskSet::new(vec![a, b]).unwrap_err();
+        assert_eq!(err, TaskSetError::PrecedenceCycle);
+    }
+}

@@ -1,0 +1,201 @@
+//! Machine configuration: cores, caches, bus, memory.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use wcet_arbiter::{ArbiterKind, MemoryKind};
+use wcet_cache::config::{CacheConfig, LineAddr};
+use wcet_cache::partition::PartitionPlan;
+use wcet_pipeline::smt::SmtPolicy;
+use wcet_pipeline::timing::PipelineConfig;
+
+/// Thread-level organisation of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreKind {
+    /// In-order scalar core, one hardware thread.
+    Scalar,
+    /// SMT / fine-grained multithreaded core (PRET's thread-interleaved
+    /// pipeline is `threads = 6` with
+    /// [`SmtPolicy::PredictableRoundRobin`] and a memory-wheel bus).
+    Smt {
+        /// Number of hardware threads.
+        threads: u32,
+        /// Issue policy.
+        policy: SmtPolicy,
+        /// If true, each thread gets a private way-slice of the L1s
+        /// (Barre et al. \[1\]: partitioned storage resources).
+        partitioned_l1: bool,
+    },
+    /// Cooperative (yield-switching) multithreaded core, after the network
+    /// processor of Crowley & Baer \[7\] (paper §5.1): one thread runs until
+    /// it executes `Yield`, then control passes round-robin to the next
+    /// live thread.
+    YieldMt {
+        /// Number of hardware thread contexts.
+        threads: u32,
+    },
+}
+
+impl CoreKind {
+    /// Number of hardware threads of this core.
+    #[must_use]
+    pub fn threads(&self) -> u32 {
+        match *self {
+            CoreKind::Scalar => 1,
+            CoreKind::Smt { threads, .. } | CoreKind::YieldMt { threads } => threads.max(1),
+        }
+    }
+}
+
+/// One core's configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Core organisation.
+    pub kind: CoreKind,
+    /// Private L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// Private L1 data cache.
+    pub l1d: CacheConfig,
+}
+
+/// Shared L2 configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L2Config {
+    /// Geometry of the physical cache.
+    pub cache: CacheConfig,
+    /// Partition among cores ([`PartitionPlan::Shared`] = free-for-all).
+    pub partition: PartitionPlan,
+    /// Lines locked in the L2 (preloaded at machine reset; they always hit
+    /// and are never evicted). With a partition, lines are locked in the
+    /// owning core's slice.
+    pub locked: BTreeSet<LineAddr>,
+    /// Lines that bypass the L2 entirely (single-usage bypass, Hardy et
+    /// al. \[12\]).
+    pub bypass: BTreeSet<LineAddr>,
+}
+
+impl L2Config {
+    /// A plain shared L2 with no partitioning, locking or bypass.
+    #[must_use]
+    pub fn plain(cache: CacheConfig) -> L2Config {
+        L2Config {
+            cache,
+            partition: PartitionPlan::Shared,
+            locked: BTreeSet::new(),
+            bypass: BTreeSet::new(),
+        }
+    }
+}
+
+/// Shared bus configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusConfig {
+    /// Cycles one line transfer occupies the bus.
+    pub transfer: u64,
+    /// Arbitration scheme.
+    pub arbiter: ArbiterKind,
+}
+
+/// Whole-machine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Cores (the bus requester index is the core index).
+    pub cores: Vec<CoreConfig>,
+    /// Optional shared L2.
+    pub l2: Option<L2Config>,
+    /// Shared bus to memory.
+    pub bus: BusConfig,
+    /// Memory controller policy.
+    pub memory: MemoryKind,
+    /// Pipeline geometry (startup cost).
+    pub pipeline: PipelineConfig,
+}
+
+impl MachineConfig {
+    /// A convenient symmetric multicore: `n` scalar cores with identical
+    /// private L1s, a shared L2, a round-robin bus and a predictable
+    /// memory controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the default geometries are invalid (a bug).
+    #[must_use]
+    pub fn symmetric(n: usize) -> MachineConfig {
+        assert!(n > 0, "need at least one core");
+        let l1i = CacheConfig::new(32, 2, 16, 1).expect("valid L1I");
+        let l1d = CacheConfig::new(16, 2, 32, 1).expect("valid L1D");
+        let l2 = CacheConfig::new(256, 8, 32, 4).expect("valid L2");
+        MachineConfig {
+            cores: (0..n)
+                .map(|_| CoreConfig { kind: CoreKind::Scalar, l1i, l1d })
+                .collect(),
+            l2: Some(L2Config::plain(l2)),
+            bus: BusConfig { transfer: 8, arbiter: ArbiterKind::RoundRobin },
+            memory: MemoryKind::Predictable { latency: 30 },
+            pipeline: PipelineConfig::default(),
+        }
+    }
+
+    /// Total hardware threads across cores.
+    #[must_use]
+    pub fn total_threads(&self) -> usize {
+        self.cores.iter().map(|c| c.kind.threads() as usize).sum()
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The cycle limit elapsed before all loaded tasks finished.
+    CycleLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// A `(core, thread)` slot outside the machine was addressed.
+    NoSuchSlot {
+        /// Core index.
+        core: usize,
+        /// Thread index.
+        thread: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CycleLimit { limit } => {
+                write!(f, "simulation exceeded {limit} cycles before completion")
+            }
+            SimError::NoSuchSlot { core, thread } => {
+                write!(f, "no thread slot (core {core}, thread {thread})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_machine_shape() {
+        let m = MachineConfig::symmetric(4);
+        assert_eq!(m.cores.len(), 4);
+        assert_eq!(m.total_threads(), 4);
+        assert!(m.l2.is_some());
+    }
+
+    #[test]
+    fn core_kind_threads() {
+        assert_eq!(CoreKind::Scalar.threads(), 1);
+        let smt = CoreKind::Smt {
+            threads: 4,
+            policy: SmtPolicy::PredictableRoundRobin,
+            partitioned_l1: true,
+        };
+        assert_eq!(smt.threads(), 4);
+        assert_eq!(CoreKind::YieldMt { threads: 3 }.threads(), 3);
+    }
+}

@@ -1,0 +1,174 @@
+//! The toolkit's flagship property: **analysed WCET bounds dominate
+//! simulated execution times** across random programs, machine geometries
+//! and analysis modes — with adversarial co-runners for the isolation
+//! mode, and alone for the solo mode.
+
+use proptest::prelude::*;
+use wcet_toolkit::arbiter::ArbiterKind;
+use wcet_toolkit::cache::config::CacheConfig;
+use wcet_toolkit::cache::partition::PartitionPlan;
+use wcet_toolkit::core::analyzer::Analyzer;
+use wcet_toolkit::core::validate::observe;
+use wcet_toolkit::ir::synth::{
+    self, random_program, Placement, RandomParams,
+};
+use wcet_toolkit::sim::config::MachineConfig;
+
+const CYCLE_LIMIT: u64 = 300_000_000;
+
+/// Small machine-geometry sampler.
+fn machine(seed: u64, cores: usize) -> MachineConfig {
+    let mut m = MachineConfig::symmetric(cores);
+    // Vary cache sizes deterministically from the seed.
+    let l1i_sets = [8u32, 16, 32][(seed % 3) as usize];
+    let l1d_sets = [4u32, 8, 16][((seed / 3) % 3) as usize];
+    let l2_sets = [64u32, 128][((seed / 9) % 2) as usize];
+    let l1i = CacheConfig::new(l1i_sets, 2, 16, 1).expect("valid");
+    let l1d = CacheConfig::new(l1d_sets, 2, 32, 1).expect("valid");
+    for c in &mut m.cores {
+        c.l1i = l1i;
+        c.l1d = l1d;
+    }
+    let l2 = m.l2.as_mut().expect("symmetric has L2");
+    l2.cache = CacheConfig::new(l2_sets, 4, 32, 4).expect("valid");
+    match (seed / 18) % 3 {
+        0 => m.bus.arbiter = ArbiterKind::RoundRobin,
+        1 => m.bus.arbiter = ArbiterKind::TdmaEqual { slot_len: m.bus.transfer + 2 },
+        _ => {
+            m.bus.arbiter = ArbiterKind::Mbba {
+                weights: vec![2; m.total_threads()],
+                slot_len: m.bus.transfer,
+            }
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Solo bounds hold when the task really is alone.
+    #[test]
+    fn solo_bound_holds_alone(seed in 0u64..2_000, mseed in 0u64..54) {
+        let m = machine(mseed, 2);
+        let p = random_program(seed, RandomParams::default(), Placement::slot(0));
+        let an = Analyzer::new(m.clone());
+        let bound = an.wcet_solo(&p, 0, 0).expect("analyses").wcet;
+        let obs = observe(&m, (0, 0, p), vec![], bound, CYCLE_LIMIT).expect("runs");
+        prop_assert!(
+            obs.sound(),
+            "solo bound violated alone: observed {} > bound {}",
+            obs.observed,
+            obs.bound
+        );
+    }
+
+    /// Isolation bounds hold under adversarial co-runners when the L2 is
+    /// partitioned (full isolation).
+    #[test]
+    fn isolated_bound_holds_with_corunners(seed in 0u64..2_000, mseed in 0u64..54) {
+        let mut m = machine(mseed, 4);
+        {
+            let l2 = m.l2.as_mut().expect("has l2");
+            l2.partition = PartitionPlan::even_columns(&l2.cache, 4).expect("fits");
+        }
+        let p = random_program(seed, RandomParams::default(), Placement::slot(0));
+        let an = Analyzer::new(m.clone());
+        let bound = an.wcet_isolated(&p, 0, 0).expect("analyses").wcet;
+        let corunners = vec![
+            (1, 0, synth::pointer_chase_stride(2048, 3000, 32, Placement::slot(1))),
+            (2, 0, synth::matmul(10, Placement::slot(2))),
+            (3, 0, random_program(seed ^ 0xabcd, RandomParams::default(), Placement::slot(3))),
+        ];
+        let obs = observe(&m, (0, 0, p), corunners, bound, CYCLE_LIMIT).expect("runs");
+        prop_assert!(
+            obs.sound(),
+            "isolation bound violated: observed {} > bound {}",
+            obs.observed,
+            obs.bound
+        );
+    }
+
+    /// Isolation bounds hold even on an *unpartitioned* shared L2 (the
+    /// analysis assumes full corruption).
+    #[test]
+    fn isolated_bound_holds_on_shared_l2(seed in 0u64..2_000) {
+        let m = machine(seed % 54, 2);
+        let p = random_program(seed, RandomParams::default(), Placement::slot(0));
+        let an = Analyzer::new(m.clone());
+        let bound = an.wcet_isolated(&p, 0, 0).expect("analyses").wcet;
+        let corunners =
+            vec![(1, 0, synth::pointer_chase_stride(2048, 3000, 32, Placement::slot(1)))];
+        let obs = observe(&m, (0, 0, p), corunners, bound, CYCLE_LIMIT).expect("runs");
+        prop_assert!(
+            obs.sound(),
+            "shared-L2 isolation bound violated: {} > {}",
+            obs.observed,
+            obs.bound
+        );
+    }
+
+    /// The BCET/WCET sandwich: BCET ≤ observed ≤ solo WCET when alone.
+    #[test]
+    fn bcet_observed_wcet_sandwich(seed in 0u64..2_000, mseed in 0u64..54) {
+        let m = machine(mseed, 1);
+        let p = random_program(seed, RandomParams::default(), Placement::slot(0));
+        let an = Analyzer::new(m.clone());
+        let bcet = an.bcet(&p, 0, 0).expect("analyses");
+        let wcet = an.wcet_solo(&p, 0, 0).expect("analyses").wcet;
+        let obs = observe(&m, (0, 0, p), vec![], wcet, CYCLE_LIMIT).expect("runs");
+        prop_assert!(bcet <= obs.observed, "BCET {} > observed {}", bcet, obs.observed);
+        prop_assert!(obs.sound(), "WCET {} < observed {}", wcet, obs.observed);
+    }
+
+    /// Joint-analysis bounds hold when the co-runner set used by the
+    /// analysis matches the co-runners actually running.
+    #[test]
+    fn joint_bound_holds_with_declared_corunners(seed in 0u64..2_000) {
+        let m = machine(seed % 54, 2);
+        let victim = random_program(seed, RandomParams::default(), Placement::slot(0));
+        let bully = random_program(seed ^ 0x5555, RandomParams::default(), Placement::slot(1));
+        let an = Analyzer::new(m.clone());
+        let fp = an.l2_footprint(&bully, 1).expect("analyses");
+        let bound = an.wcet_joint(&victim, 0, 0, &[&fp]).expect("analyses").wcet;
+        let obs = observe(&m, (0, 0, victim), vec![(1, 0, bully)], bound, CYCLE_LIMIT)
+            .expect("runs");
+        prop_assert!(
+            obs.sound(),
+            "joint bound violated: observed {} > bound {}",
+            obs.observed,
+            obs.bound
+        );
+    }
+}
+
+/// Deterministic kernel sweep: every named workload, every mode.
+#[test]
+fn kernel_sweep_all_modes_sound() {
+    let m = MachineConfig::symmetric(2);
+    let an = Analyzer::new(m.clone());
+    let kernels = [
+        synth::matmul(6, Placement::slot(0)),
+        synth::fir(6, 24, Placement::slot(0)),
+        synth::crc(48, Placement::slot(0)),
+        synth::bsort(10, Placement::slot(0)),
+        synth::switchy(8, 40, 8, Placement::slot(0)),
+        synth::single_path(6, 40, Placement::slot(0)),
+        synth::pointer_chase(64, 200, Placement::slot(0)),
+        synth::twin_diamonds(12, Placement::slot(0)),
+    ];
+    for p in kernels {
+        let solo = an.wcet_solo(&p, 0, 0).expect("analyses").wcet;
+        let obs = observe(&m, (0, 0, p.clone()), vec![], solo, CYCLE_LIMIT).expect("runs");
+        assert!(
+            obs.sound(),
+            "{}: solo bound {} < observed {}",
+            p.name(),
+            obs.bound,
+            obs.observed
+        );
+        // Isolation must dominate solo.
+        let iso = an.wcet_isolated(&p, 0, 0).expect("analyses").wcet;
+        assert!(iso >= solo, "{}: isolation {} < solo {}", p.name(), iso, solo);
+    }
+}

@@ -1,0 +1,129 @@
+//! The *architectural isolation* property (paper §3.3): on a fully
+//! isolating configuration — partitioned L2, TDMA/wheel bus — a task's
+//! cycle count is **bit-identical** whatever its co-runners do. This is
+//! stronger than bound soundness: it is the property PRET and the MERASA
+//! HRT mode are built around.
+
+use wcet_toolkit::arbiter::ArbiterKind;
+use wcet_toolkit::cache::partition::PartitionPlan;
+use wcet_toolkit::core::validate::run_machine;
+use wcet_toolkit::ir::synth::{self, Placement};
+use wcet_toolkit::ir::Program;
+use wcet_toolkit::pipeline::smt::SmtPolicy;
+use wcet_toolkit::sim::config::{CoreKind, MachineConfig};
+
+const LIMIT: u64 = 300_000_000;
+
+fn isolating_machine(cores: usize) -> MachineConfig {
+    let mut m = MachineConfig::symmetric(cores);
+    {
+        let l2 = m.l2.as_mut().expect("has l2");
+        l2.partition = PartitionPlan::even_columns(&l2.cache, cores as u32).expect("fits");
+    }
+    // TDMA gives every core a private bus window: zero bandwidth coupling.
+    m.bus.arbiter = ArbiterKind::TdmaEqual { slot_len: m.bus.transfer };
+    m
+}
+
+fn victim() -> Program {
+    synth::fir(6, 24, Placement::slot(0))
+}
+
+fn cycles_with(m: &MachineConfig, corunners: Vec<(usize, usize, Program)>) -> u64 {
+    let mut loads = vec![(0, 0, victim())];
+    loads.extend(corunners);
+    run_machine(m, loads, LIMIT).expect("runs").cycles(0, 0)
+}
+
+#[test]
+fn partitioned_tdma_machine_isolates_exactly() {
+    let m = isolating_machine(4);
+    let alone = cycles_with(&m, vec![]);
+    let light = cycles_with(&m, vec![(1, 0, synth::crc(16, Placement::slot(1)))]);
+    let heavy = cycles_with(
+        &m,
+        vec![
+            (1, 0, synth::pointer_chase_stride(2048, 4000, 32, Placement::slot(1))),
+            (2, 0, synth::pointer_chase_stride(2048, 4000, 32, Placement::slot(2))),
+            (3, 0, synth::matmul(12, Placement::slot(3))),
+        ],
+    );
+    assert_eq!(alone, light, "any co-runner influence breaks isolation");
+    assert_eq!(alone, heavy, "adversarial co-runners must not matter");
+}
+
+#[test]
+fn round_robin_machine_does_not_isolate_exactly() {
+    // Contrast: RR bounds the delay but the *actual* timing still varies
+    // with co-runners — which is exactly why the RR bound must be charged.
+    let mut m = isolating_machine(4);
+    m.bus.arbiter = ArbiterKind::RoundRobin;
+    let alone = cycles_with(&m, vec![]);
+    let heavy = cycles_with(
+        &m,
+        vec![
+            (1, 0, synth::pointer_chase_stride(2048, 4000, 32, Placement::slot(1))),
+            (2, 0, synth::pointer_chase_stride(2048, 4000, 32, Placement::slot(2))),
+            (3, 0, synth::pointer_chase_stride(2048, 4000, 32, Placement::slot(3))),
+        ],
+    );
+    assert!(heavy >= alone);
+    assert!(heavy > alone, "expected visible RR jitter ({heavy} vs {alone})");
+}
+
+#[test]
+fn pret_style_core_isolates_threads() {
+    // 4-thread predictable-interleaved core, partitioned L1, memory wheel:
+    // thread 0's timing is independent of what threads 1..3 run.
+    let mut m = MachineConfig::symmetric(1);
+    m.cores[0].kind = CoreKind::Smt {
+        threads: 4,
+        policy: SmtPolicy::PredictableRoundRobin,
+        partitioned_l1: true,
+    };
+    {
+        let l2 = m.l2.as_mut().expect("has l2");
+        l2.partition = PartitionPlan::Shared; // single core: partition by bank not needed
+    }
+    m.bus.arbiter = ArbiterKind::MemoryWheel { window: m.bus.transfer };
+
+    // NOTE: threads share the L2 here; to keep strict isolation the victim
+    // must not depend on L2 state — use a tiny-footprint task that fits
+    // its private L1 slice.
+    let tiny = || synth::single_path(2, 24, Placement::slot(0));
+    let run = |others: Vec<(usize, usize, Program)>| {
+        let mut loads = vec![(0, 0, tiny())];
+        loads.extend(others);
+        run_machine(&m, loads, LIMIT).expect("runs").cycles(0, 0)
+    };
+    let alone = run(vec![]);
+    let busy = run(vec![
+        (0, 1, synth::crc(32, Placement::slot(1))),
+        (0, 2, synth::pointer_chase(64, 400, Placement::slot(2))),
+        (0, 3, synth::matmul(8, Placement::slot(3))),
+    ]);
+    assert_eq!(alone, busy, "PRET-style threads must not see each other");
+}
+
+#[test]
+fn free_for_all_smt_visibly_couples_threads() {
+    let mut m = MachineConfig::symmetric(1);
+    m.cores[0].kind = CoreKind::Smt {
+        threads: 2,
+        policy: SmtPolicy::FreeForAll,
+        partitioned_l1: true,
+    };
+    let victim = || synth::single_path(2, 100, Placement::slot(0));
+    let alone = {
+        let loads = vec![(0, 0, victim())];
+        run_machine(&m, loads, LIMIT).expect("runs").cycles(0, 0)
+    };
+    let contended = {
+        let loads = vec![(0, 0, victim()), (0, 1, synth::single_path(2, 100, Placement::slot(1)))];
+        run_machine(&m, loads, LIMIT).expect("runs").cycles(0, 0)
+    };
+    assert!(
+        contended > alone,
+        "free-for-all SMT must show co-runner coupling ({contended} vs {alone})"
+    );
+}
