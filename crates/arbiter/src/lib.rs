@@ -119,13 +119,19 @@ impl ArbiterKind {
         match self {
             ArbiterKind::RoundRobin => Box::new(RoundRobin::new(n)),
             ArbiterKind::TdmaEqual { slot_len } => {
-                let slots: Vec<Slot> =
-                    (0..n).map(|o| Slot { owner: o, len: *slot_len }).collect();
+                let slots: Vec<Slot> = (0..n)
+                    .map(|o| Slot {
+                        owner: o,
+                        len: *slot_len,
+                    })
+                    .collect();
                 Box::new(Tdma::new(n, slots).expect("equal-slot TDMA is well-formed"))
             }
             ArbiterKind::Tdma { slots } => {
-                let slots: Vec<Slot> =
-                    slots.iter().map(|&(owner, len)| Slot { owner, len }).collect();
+                let slots: Vec<Slot> = slots
+                    .iter()
+                    .map(|&(owner, len)| Slot { owner, len })
+                    .collect();
                 Box::new(Tdma::new(n, slots).expect("slot table must be well-formed"))
             }
             ArbiterKind::Mbba { weights, slot_len } => {

@@ -86,7 +86,10 @@ impl MultiBandwidth {
                 .max_by_key(|&i| (credit[i], std::cmp::Reverse(i)))
                 .expect("non-empty");
             credit[best] -= i64::try_from(total).expect("total fits i64");
-            frame.push(Slot { owner: best, len: slot_len });
+            frame.push(Slot {
+                owner: best,
+                len: slot_len,
+            });
         }
         let inner = Tdma::new(weights.len(), frame).expect("generated frame is valid");
         Ok(MultiBandwidth { weights, inner })
@@ -160,18 +163,26 @@ mod tests {
     #[test]
     fn equal_weights_equal_bounds() {
         let m = MultiBandwidth::new(vec![2, 2, 2], 3).expect("valid");
-        let b: Vec<u64> = (0..3).map(|i| m.worst_case_delay(i, 3).expect("fits")).collect();
+        let b: Vec<u64> = (0..3)
+            .map(|i| m.worst_case_delay(i, 3).expect("fits"))
+            .collect();
         assert_eq!(b[0], b[1]);
         assert_eq!(b[1], b[2]);
     }
 
     #[test]
     fn rejects_bad_input() {
-        assert_eq!(MultiBandwidth::new(vec![], 1).unwrap_err(), MbbaError::Empty);
+        assert_eq!(
+            MultiBandwidth::new(vec![], 1).unwrap_err(),
+            MbbaError::Empty
+        );
         assert_eq!(
             MultiBandwidth::new(vec![1, 0], 1).unwrap_err(),
             MbbaError::ZeroWeight { requester: 1 }
         );
-        assert_eq!(MultiBandwidth::new(vec![1], 0).unwrap_err(), MbbaError::ZeroSlot);
+        assert_eq!(
+            MultiBandwidth::new(vec![1], 0).unwrap_err(),
+            MbbaError::ZeroSlot
+        );
     }
 }

@@ -41,7 +41,12 @@ impl MemoryController {
     /// Creates a controller.
     #[must_use]
     pub fn new(kind: MemoryKind) -> MemoryController {
-        MemoryController { kind, open_row: None, accesses: 0, total_cycles: 0 }
+        MemoryController {
+            kind,
+            open_row: None,
+            accesses: 0,
+            total_cycles: 0,
+        }
     }
 
     /// The configured policy.
@@ -54,7 +59,11 @@ impl MemoryController {
     pub fn access(&mut self, addr: u64) -> u64 {
         let lat = match self.kind {
             MemoryKind::Predictable { latency } => latency,
-            MemoryKind::OpenPage { row_hit, row_miss, row_bytes } => {
+            MemoryKind::OpenPage {
+                row_hit,
+                row_miss,
+                row_bytes,
+            } => {
                 let row = addr / row_bytes.max(1);
                 if self.open_row == Some(row) {
                     row_hit
@@ -108,7 +117,11 @@ mod tests {
 
     #[test]
     fn open_page_row_hits_are_faster() {
-        let kind = MemoryKind::OpenPage { row_hit: 10, row_miss: 40, row_bytes: 1024 };
+        let kind = MemoryKind::OpenPage {
+            row_hit: 10,
+            row_miss: 40,
+            row_bytes: 1024,
+        };
         let mut m = MemoryController::new(kind);
         assert_eq!(m.access(0), 40); // first access opens row
         assert_eq!(m.access(512), 10); // same row
@@ -119,7 +132,11 @@ mod tests {
 
     #[test]
     fn open_page_latency_never_exceeds_bound() {
-        let kind = MemoryKind::OpenPage { row_hit: 10, row_miss: 40, row_bytes: 256 };
+        let kind = MemoryKind::OpenPage {
+            row_hit: 10,
+            row_miss: 40,
+            row_bytes: 256,
+        };
         let mut m = MemoryController::new(kind);
         for i in 0..200u64 {
             let lat = m.access((i * 97) % 4096);
@@ -129,7 +146,11 @@ mod tests {
 
     #[test]
     fn reset_clears_row() {
-        let kind = MemoryKind::OpenPage { row_hit: 10, row_miss: 40, row_bytes: 1024 };
+        let kind = MemoryKind::OpenPage {
+            row_hit: 10,
+            row_miss: 40,
+            row_bytes: 1024,
+        };
         let mut m = MemoryController::new(kind);
         m.access(0);
         m.reset();

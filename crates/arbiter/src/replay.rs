@@ -51,7 +51,10 @@ pub fn replay_trace(
         .saturating_add(1_000_000);
 
     while done < requests.len() {
-        assert!(cycle < max_cycle_guard, "replay did not converge (starved requester?)");
+        assert!(
+            cycle < max_cycle_guard,
+            "replay did not converge (starved requester?)"
+        );
         // Admit requests issued at or before this cycle.
         while next_req < order.len() && requests[order[next_req]].issue <= cycle {
             let idx = order[next_req];
@@ -67,7 +70,9 @@ pub fn replay_trace(
         if cycle >= bus_free_at {
             let pending: Vec<bool> = outstanding.iter().map(Option::is_some).collect();
             if let Some(winner) = arbiter.grant(cycle, &pending, transfer_len) {
-                let idx = outstanding[winner].take().expect("granted requester had a request");
+                let idx = outstanding[winner]
+                    .take()
+                    .expect("granted requester had a request");
                 starts[idx] = cycle;
                 bus_free_at = cycle + transfer_len;
                 done += 1;
@@ -87,8 +92,14 @@ mod tests {
     fn sequential_requests_start_immediately() {
         let mut rr = RoundRobin::new(2);
         let reqs = [
-            TraceRequest { issue: 0, requester: 0 },
-            TraceRequest { issue: 10, requester: 1 },
+            TraceRequest {
+                issue: 0,
+                requester: 0,
+            },
+            TraceRequest {
+                issue: 10,
+                requester: 1,
+            },
         ];
         let starts = replay_trace(&mut rr, &reqs, 4);
         assert_eq!(starts, vec![0, 10]);
@@ -98,8 +109,14 @@ mod tests {
     fn contention_serialises_transfers() {
         let mut rr = RoundRobin::new(2);
         let reqs = [
-            TraceRequest { issue: 0, requester: 0 },
-            TraceRequest { issue: 0, requester: 1 },
+            TraceRequest {
+                issue: 0,
+                requester: 0,
+            },
+            TraceRequest {
+                issue: 0,
+                requester: 1,
+            },
         ];
         let starts = replay_trace(&mut rr, &reqs, 4);
         assert_eq!(starts, vec![0, 4]);
@@ -109,8 +126,14 @@ mod tests {
     fn late_request_waits_for_inflight_transfer() {
         let mut rr = RoundRobin::new(2);
         let reqs = [
-            TraceRequest { issue: 0, requester: 0 },
-            TraceRequest { issue: 1, requester: 1 },
+            TraceRequest {
+                issue: 0,
+                requester: 0,
+            },
+            TraceRequest {
+                issue: 1,
+                requester: 1,
+            },
         ];
         let starts = replay_trace(&mut rr, &reqs, 4);
         assert_eq!(starts, vec![0, 4]);

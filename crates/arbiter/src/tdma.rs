@@ -86,7 +86,12 @@ impl Tdma {
             starts.push(period);
             period += s.len;
         }
-        Ok(Tdma { n, slots, period, starts })
+        Ok(Tdma {
+            n,
+            slots,
+            period,
+            starts,
+        })
     }
 
     /// The schedule period (sum of slot lengths).
@@ -191,8 +196,20 @@ mod tests {
     use super::*;
 
     fn two_core(slot: u64) -> Tdma {
-        Tdma::new(2, vec![Slot { owner: 0, len: slot }, Slot { owner: 1, len: slot }])
-            .expect("valid")
+        Tdma::new(
+            2,
+            vec![
+                Slot {
+                    owner: 0,
+                    len: slot,
+                },
+                Slot {
+                    owner: 1,
+                    len: slot,
+                },
+            ],
+        )
+        .expect("valid")
     }
 
     #[test]
@@ -231,7 +248,7 @@ mod tests {
     #[test]
     fn delay_at_offset_exact_values() {
         let t = two_core(4); // period 8: [0..4) owner0, [4..8) owner1
-        // Owner 0 issuing at offset 0 with L=2: starts immediately.
+                             // Owner 0 issuing at offset 0 with L=2: starts immediately.
         assert_eq!(t.delay_at_offset(0, 0, 2), Some(0));
         // At offset 3 (1 cycle left in own slot, L=2 doesn't fit): wait to
         // next own slot at offset 8 → wait 5.
@@ -255,8 +272,11 @@ mod tests {
         let t = two_core(4);
         assert_eq!(t.delay_at_offset(0, 0, 5), None);
         assert_eq!(t.worst_delay(0, 5), None);
-        let t2 = Tdma::new(2, vec![Slot { owner: 0, len: 8 }, Slot { owner: 1, len: 2 }])
-            .expect("valid");
+        let t2 = Tdma::new(
+            2,
+            vec![Slot { owner: 0, len: 8 }, Slot { owner: 1, len: 2 }],
+        )
+        .expect("valid");
         // Owner 1's slot is too small for L=4; owner 0's is fine.
         assert_eq!(t2.worst_delay(1, 4), None);
         assert!(t2.worst_delay(0, 4).is_some());

@@ -11,7 +11,12 @@ use wcet_arbiter::{
 /// Generates a contention-heavy trace: each requester issues a chain of
 /// requests, re-issuing `gap` cycles after the previous transfer could have
 /// completed (upper-bounded pessimistically so requests never overlap).
-fn chain_trace(n: usize, per_requester: usize, gaps: &[u64], transfer_len: u64) -> Vec<TraceRequest> {
+fn chain_trace(
+    n: usize,
+    per_requester: usize,
+    gaps: &[u64],
+    transfer_len: u64,
+) -> Vec<TraceRequest> {
     // Round spacing must exceed jitter + the worst service time of any
     // arbiter under test (periods are at most ~n·(L+16) here), so a
     // requester never re-issues while a request is outstanding.
@@ -20,7 +25,10 @@ fn chain_trace(n: usize, per_requester: usize, gaps: &[u64], transfer_len: u64) 
     for r in 0..n {
         for k in 0..per_requester {
             let jitter = gaps[(r * per_requester + k) % gaps.len()] % (round / 4);
-            out.push(TraceRequest { issue: k as u64 * round + jitter, requester: r });
+            out.push(TraceRequest {
+                issue: k as u64 * round + jitter,
+                requester: r,
+            });
         }
     }
     out
@@ -129,8 +137,13 @@ fn arbiter_kind_builds_all_variants() {
     let kinds = [
         ArbiterKind::RoundRobin,
         ArbiterKind::TdmaEqual { slot_len: 4 },
-        ArbiterKind::Tdma { slots: vec![(0, 4), (1, 2), (0, 2)] },
-        ArbiterKind::Mbba { weights: vec![2, 1], slot_len: 2 },
+        ArbiterKind::Tdma {
+            slots: vec![(0, 4), (1, 2), (0, 2)],
+        },
+        ArbiterKind::Mbba {
+            weights: vec![2, 1],
+            slot_len: 2,
+        },
         ArbiterKind::FixedPriority { hrt: 0 },
         ArbiterKind::MemoryWheel { window: 4 },
     ];
@@ -151,9 +164,15 @@ fn round_robin_bound_is_tight() {
     // Requester 1..3 and 0 again saturate the bus from cycle 0; the victim
     // (requester 0 again later) issues at cycle 1.
     for r in 1..n {
-        trace.push(TraceRequest { issue: 0, requester: r });
+        trace.push(TraceRequest {
+            issue: 0,
+            requester: r,
+        });
     }
-    trace.push(TraceRequest { issue: 1, requester: 0 });
+    trace.push(TraceRequest {
+        issue: 1,
+        requester: 0,
+    });
     let starts = replay_trace(&mut rr, &trace, transfer_len);
     let victim_delay = starts[n - 1] - 1;
     // This scenario achieves (n-1)·L − 1: the victim misses cycle 0's
@@ -161,5 +180,8 @@ fn round_robin_bound_is_tight() {
     assert_eq!(victim_delay, (n as u64 - 1) * transfer_len - 1);
     let bound = RoundRobin::bound(n as u64, transfer_len);
     assert!(victim_delay <= bound);
-    assert!(bound - victim_delay <= transfer_len, "bound should be near-tight");
+    assert!(
+        bound - victim_delay <= transfer_len,
+        "bound should be near-tight"
+    );
 }

@@ -7,7 +7,11 @@ use wcet_pipeline::cost::BlockCosts;
 
 fn slot_costs(p: &wcet_ir::Program) -> BlockCosts {
     BlockCosts {
-        base: p.cfg().iter().map(|(b, blk)| (b, blk.fetch_slots() as u64)).collect(),
+        base: p
+            .cfg()
+            .iter()
+            .map(|(b, blk)| (b, blk.fetch_slots() as u64))
+            .collect(),
         loop_entry_extras: std::collections::BTreeMap::new(),
         startup: 4,
     }
@@ -20,7 +24,11 @@ fn bench_ipet_ilp(c: &mut Criterion) {
         let p = matmul(n, Placement::default());
         let costs = slot_costs(&p);
         g.bench_with_input(BenchmarkId::new("matmul", n), &n, |b, _| {
-            b.iter(|| wcet_ipet(&p, &costs, &IpetOptions::default()).expect("solves").wcet)
+            b.iter(|| {
+                wcet_ipet(&p, &costs, &IpetOptions::default())
+                    .expect("solves")
+                    .wcet
+            })
         });
     }
     g.finish();
@@ -31,7 +39,10 @@ fn bench_ipet_lp_relax(c: &mut Criterion) {
     g.sample_size(10);
     let p = matmul(8, Placement::default());
     let costs = slot_costs(&p);
-    let opts = IpetOptions { integer: false, ..IpetOptions::default() };
+    let opts = IpetOptions {
+        integer: false,
+        ..IpetOptions::default()
+    };
     g.bench_function("matmul8", |b| {
         b.iter(|| wcet_ipet(&p, &costs, &opts).expect("solves").wcet)
     });

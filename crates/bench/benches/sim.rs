@@ -12,7 +12,8 @@ fn bench_sim(c: &mut Criterion) {
             b.iter(|| {
                 let mut m = Machine::new(MachineConfig::symmetric(n));
                 for core in 0..n {
-                    m.load(core, 0, matmul(8, Placement::slot(core as u32))).expect("slot");
+                    m.load(core, 0, matmul(8, Placement::slot(core as u32)))
+                        .expect("slot");
                 }
                 m.run(500_000_000).expect("finishes").makespan
             })

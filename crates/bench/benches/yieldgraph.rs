@@ -32,18 +32,38 @@ fn worker(iters: u64, code_base: u64, name: &str) -> Program {
         },
     );
     cb.push(body, Instr::Yield);
-    cb.push(body, Instr::Alu { op: wcet_ir::AluOp::Add, dst: r(1), lhs: r(1), rhs: 1.into() });
+    cb.push(
+        body,
+        Instr::Alu {
+            op: wcet_ir::AluOp::Add,
+            dst: r(1),
+            lhs: r(1),
+            rhs: 1.into(),
+        },
+    );
     cb.terminate(body, Terminator::Jump(header));
     cb.terminate(exit, Terminator::Return);
     let cfg = cb.build(entry).expect("valid");
     let mut facts = FlowFacts::new();
     facts.set_bound(BlockId::from_index(1), LoopBound(iters));
-    Program::new(name, cfg, facts, Layout { code_base: Addr(code_base) }).expect("valid")
+    Program::new(
+        name,
+        cfg,
+        facts,
+        Layout {
+            code_base: Addr(code_base),
+        },
+    )
+    .expect("valid")
 }
 
 fn unit_costs(p: &Program) -> BlockCosts {
     BlockCosts {
-        base: p.cfg().iter().map(|(b, blk)| (b, blk.fetch_slots() as u64)).collect(),
+        base: p
+            .cfg()
+            .iter()
+            .map(|(b, blk)| (b, blk.fetch_slots() as u64))
+            .collect(),
         loop_entry_extras: BTreeMap::new(),
         startup: 4,
     }
@@ -53,14 +73,17 @@ fn bench_growth(c: &mut Criterion) {
     let mut g = c.benchmark_group("yieldgraph_threads");
     g.sample_size(10);
     for n in [2usize, 4, 6] {
-        let threads: Vec<Program> =
-            (0..n).map(|i| worker(6, 0x1_0000 + 0x80 * i as u64, &format!("w{i}"))).collect();
+        let threads: Vec<Program> = (0..n)
+            .map(|i| worker(6, 0x1_0000 + 0x80 * i as u64, &format!("w{i}")))
+            .collect();
         let costs: Vec<BlockCosts> = threads.iter().map(unit_costs).collect();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let tr: Vec<&Program> = threads.iter().collect();
                 let cr: Vec<&BlockCosts> = costs.iter().collect();
-                joint_yield_wcet(&tr, &cr, 4, IlpConfig::default()).expect("solves").wcet
+                joint_yield_wcet(&tr, &cr, 4, IlpConfig::default())
+                    .expect("solves")
+                    .wcet
             })
         });
     }

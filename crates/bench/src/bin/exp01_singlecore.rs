@@ -1,32 +1,8 @@
 //! E01 (paper §2.1): classic solo WCET analysis on a predictable single
 //! core is sound and reasonably tight — the baseline every other
-//! experiment builds on.
-
-use wcet_bench::{machine, suite};
-use wcet_core::analyzer::Analyzer;
-use wcet_core::report::Table;
-use wcet_core::validate::observe;
+//! experiment builds on. Body in [`wcet_bench::experiments::exp01`]
+//! (shared with the in-process `run_all` driver).
 
 fn main() {
-    let m = machine(1);
-    let an = Analyzer::new(m.clone());
-    let mut t = Table::new(
-        "E01 — solo WCET vs simulated time, single predictable core",
-        &["task", "WCET bound", "observed", "bound/observed", "L1I (AH,AM,PS,NC)"],
-    );
-    for p in suite(0) {
-        let rep = an.wcet_solo(&p, 0, 0).expect("analyses");
-        let obs = observe(&m, (0, 0, p.clone()), vec![], rep.wcet, 500_000_000).expect("runs");
-        assert!(obs.sound(), "{}: solo bound violated alone", p.name());
-        t.row([
-            p.name().to_string(),
-            rep.wcet.to_string(),
-            obs.observed.to_string(),
-            format!("{:.2}×", obs.ratio()),
-            format!("{:?}", rep.l1i_hist),
-        ]);
-    }
-    t.note("bound/observed > 1 is required (soundness); the gap is analysis pessimism,");
-    t.note("dominated by range-indexed loads classified NOT_CLASSIFIED (matmul, chase).");
-    println!("{t}");
+    let _ = wcet_bench::experiments::exp01();
 }

@@ -1,70 +1,9 @@
 //! E02 (paper §4.1, Yan & Zhang \[40\]; Li et al. \[41\]): joint analysis of a
 //! shared L2 — the victim's WCET inflates as co-runners are added, and a
-//! direct-mapped L2 degrades catastrophically (every conflicting set goes
-//! straight to ALWAYS_MISS).
-
-use wcet_bench::{l2_bound_machine, l2_bound_victim};
-use wcet_cache::config::CacheConfig;
-use wcet_core::analyzer::Analyzer;
-use wcet_core::report::Table;
-use wcet_ir::synth::{matmul, Placement};
+//! direct-mapped L2 degrades catastrophically. Body in
+//! [`wcet_bench::experiments::exp02`] (shared with the in-process
+//! `run_all` driver).
 
 fn main() {
-    let n = 8;
-    // Set-associative shared L2 (4 ways).
-    let m = l2_bound_machine(n);
-    let an = Analyzer::new(m.clone());
-    let victim = l2_bound_victim(0);
-    let bullies: Vec<_> = (1..n as u32).map(|i| matmul(16, Placement::slot(i))).collect();
-    let fps: Vec<_> = bullies
-        .iter()
-        .enumerate()
-        .map(|(i, b)| an.l2_footprint(b, i + 1).expect("analyses"))
-        .collect();
-
-    let mut t = Table::new(
-        "E02a — victim WCET vs co-runner count, 4-way shared L2 (64 sets)",
-        &["co-runners", "WCET", "vs alone", "L2 (AH,AM,PS,NC)"],
-    );
-    let alone = an.wcet_joint(&victim, 0, 0, &[]).expect("analyses").wcet;
-    for k in 0..fps.len() + 1 {
-        let refs: Vec<_> = fps[..k].iter().collect();
-        let rep = an.wcet_joint(&victim, 0, 0, &refs).expect("analyses");
-        t.row([
-            k.to_string(),
-            rep.wcet.to_string(),
-            format!("{:.2}×", rep.wcet as f64 / alone as f64),
-            format!("{:?}", rep.l2_hist.expect("has L2")),
-        ]);
-    }
-    t.note("inflation saturates once interference shifts reach the associativity —");
-    t.note("beyond that, every L2 guarantee in a conflicted set is already gone.");
-    println!("{t}");
-
-    // Direct-mapped variant (Yan & Zhang's setting): 1 way, same capacity.
-    let mut mdm = m.clone();
-    mdm.l2.as_mut().expect("has L2").cache = CacheConfig::new(256, 1, 32, 4).expect("valid");
-    let an_dm = Analyzer::new(mdm);
-    let fps_dm: Vec<_> = bullies
-        .iter()
-        .enumerate()
-        .map(|(i, b)| an_dm.l2_footprint(b, i + 1).expect("analyses"))
-        .collect();
-    let mut t2 = Table::new(
-        "E02b — same, direct-mapped shared L2 (256 sets × 1 way)",
-        &["co-runners", "WCET", "vs alone"],
-    );
-    let alone_dm = an_dm.wcet_joint(&victim, 0, 0, &[]).expect("analyses").wcet;
-    for k in [0usize, 1, 2, 4, 7] {
-        let refs: Vec<_> = fps_dm[..k.min(fps_dm.len())].iter().collect();
-        let rep = an_dm.wcet_joint(&victim, 0, 0, &refs).expect("analyses");
-        t2.row([
-            k.to_string(),
-            rep.wcet.to_string(),
-            format!("{:.2}×", rep.wcet as f64 / alone_dm as f64),
-        ]);
-    }
-    t2.note("direct-mapped: a single conflicting line kills the whole set (ways = 1),");
-    t2.note("so degradation hits its ceiling with the very first co-runner.");
-    println!("{t2}");
+    let _ = wcet_bench::experiments::exp02();
 }

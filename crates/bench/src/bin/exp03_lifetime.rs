@@ -27,7 +27,9 @@ fn main() {
     let analyze = |task: TaskId, interfering: &std::collections::BTreeSet<TaskId>| {
         let idx = task.0 as usize;
         let refs: Vec<_> = interfering.iter().map(|o| &fps[o.0 as usize]).collect();
-        an.wcet_joint(programs[idx], idx, 0, &refs).expect("analyses").wcet
+        an.wcet_joint(programs[idx], idx, 0, &refs)
+            .expect("analyses")
+            .wcet
     };
 
     let mut t = Table::new(
@@ -68,7 +70,10 @@ fn main() {
     for (label, releases) in [
         ("all released at 0 (full overlap)", [0u64, 0, 0]),
         ("one bully staggered past victim", [0, 10_000_000, 0]),
-        ("all bullies staggered", [10_000_000, 10_000_000, 10_000_000]),
+        (
+            "all bullies staggered",
+            [10_000_000, 10_000_000, 10_000_000],
+        ),
     ] {
         let ts = mk_ts(releases);
         let res = lifetime_fixpoint(&ts, &bcet(&ts), analyze, 8);

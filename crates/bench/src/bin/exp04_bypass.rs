@@ -29,12 +29,27 @@ fn main() {
 
     let mut t = Table::new(
         "E04 — single-usage bypass: polluter footprint and victim WCET",
-        &["configuration", "polluter L2 lines", "victim WCET", "vs no-polluter"],
+        &[
+            "configuration",
+            "polluter L2 lines",
+            "victim WCET",
+            "vs no-polluter",
+        ],
     );
     let alone = an.wcet_joint(&victim, 0, 0, &[]).expect("analyses").wcet;
-    let rows: [(&str, &BTreeMap<u32, std::collections::BTreeSet<wcet_cache::config::LineAddr>>); 2] =
-        [("no bypass", &full_fp), ("single-usage bypass", &bypassed_fp)];
-    t.row(["(victim alone)".into(), "0".into(), alone.to_string(), "1.00×".into()]);
+    let rows: [(
+        &str,
+        &BTreeMap<u32, std::collections::BTreeSet<wcet_cache::config::LineAddr>>,
+    ); 2] = [
+        ("no bypass", &full_fp),
+        ("single-usage bypass", &bypassed_fp),
+    ];
+    t.row([
+        "(victim alone)".into(),
+        "0".into(),
+        alone.to_string(),
+        "1.00×".into(),
+    ]);
     for (label, fp) in rows {
         let wcet = an.wcet_joint(&victim, 0, 0, &[fp]).expect("analyses").wcet;
         let lines = InterferenceMap::from_footprints([fp]).total_lines();

@@ -4,13 +4,13 @@
 //! when loop nests have different hot sets.
 
 use wcet_bench::suite;
-use wcet_ir::synth::{switchy, two_phase, Placement};
-use wcet_ir::Program;
 use wcet_cache::config::CacheConfig;
 use wcet_cache::partition::{policy_partition, AllocationPolicy};
 use wcet_core::report::Table;
 use wcet_core::static_ctrl::{wcet_dynamic_lock, wcet_static_lock, wcet_unlocked, StaticParams};
 use wcet_core::IpetOptions;
+use wcet_ir::synth::{switchy, two_phase, Placement};
+use wcet_ir::Program;
 use wcet_pipeline::cost::CoreMode;
 use wcet_pipeline::timing::{MemTimings, PipelineConfig};
 
@@ -19,7 +19,12 @@ fn params(l2: CacheConfig) -> StaticParams {
         l1i: CacheConfig::new(8, 1, 16, 1).expect("valid"),
         l1d: CacheConfig::new(2, 1, 32, 1).expect("valid"),
         l2: Some(l2),
-        timings: MemTimings { l1_hit: 1, l2_hit: Some(4), bus_transfer: 8, mem_latency: 30 },
+        timings: MemTimings {
+            l1_hit: 1,
+            l2_hit: Some(4),
+            bus_transfer: 8,
+            mem_latency: 30,
+        },
         bus_wait_bound: Some(8 * 2 - 1), // RR over 2 cores
         pipeline: PipelineConfig::default(),
         mode: CoreMode::Single,
@@ -41,7 +46,12 @@ fn main() {
         policy_partition(&base_l2, AllocationPolicy::TaskBased, n_cores, n_tasks).expect("fits");
     let mut t1 = Table::new(
         "E05a — allocation policy (8 tasks on 2 cores, 8-way L2): per-task WCET",
-        &["task", "core-based (4 ways)", "task-based (1 way)", "task-based penalty"],
+        &[
+            "task",
+            "core-based (4 ways)",
+            "task-based (1 way)",
+            "task-based penalty",
+        ],
     );
     let mut worse = 0usize;
     let mut policy_tasks = suite(0);
@@ -71,7 +81,13 @@ fn main() {
     // (ii) Locking modes within a core partition.
     let mut t2 = Table::new(
         "E05b — locking mode within a 4-way core partition: per-task WCET",
-        &["task", "no lock", "static lock (3 ways)", "dynamic lock (3 ways)", "best"],
+        &[
+            "task",
+            "no lock",
+            "static lock (3 ways)",
+            "dynamic lock (3 ways)",
+            "best",
+        ],
     );
     let mut dyn_wins = 0usize;
     // The suite plus the canonical dynamic-locking winner: two sequential

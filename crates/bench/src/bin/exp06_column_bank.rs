@@ -6,16 +6,16 @@
 
 use wcet_bench::suite;
 use wcet_cache::config::CacheConfig;
+use wcet_cache::partition::{OwnerId, PartitionPlan};
+use wcet_core::report::Table;
+use wcet_core::static_ctrl::{wcet_unlocked, StaticParams};
+use wcet_core::IpetOptions;
 use wcet_ir::builder::CfgBuilder;
 use wcet_ir::cfg::Terminator;
 use wcet_ir::flow::{FlowFacts, LoopBound};
 use wcet_ir::isa::{r, Addr, AluOp, Cond, Instr, MemRef, Operand};
 use wcet_ir::program::Layout;
 use wcet_ir::{BlockId, Program};
-use wcet_cache::partition::{OwnerId, PartitionPlan};
-use wcet_core::report::Table;
-use wcet_core::static_ctrl::{wcet_unlocked, StaticParams};
-use wcet_core::IpetOptions;
 use wcet_pipeline::cost::CoreMode;
 use wcet_pipeline::timing::{MemTimings, PipelineConfig};
 
@@ -24,7 +24,12 @@ fn params(l2: CacheConfig) -> StaticParams {
         l1i: CacheConfig::new(8, 1, 16, 1).expect("valid"),
         l1d: CacheConfig::new(2, 1, 32, 1).expect("valid"),
         l2: Some(l2),
-        timings: MemTimings { l1_hit: 1, l2_hit: Some(4), bus_transfer: 8, mem_latency: 30 },
+        timings: MemTimings {
+            l1_hit: 1,
+            l2_hit: Some(4),
+            bus_transfer: 8,
+            mem_latency: 30,
+        },
         bus_wait_bound: Some(8 * 4 - 1),
         pipeline: PipelineConfig::default(),
         mode: CoreMode::Single,
@@ -58,11 +63,30 @@ fn column_sweep(lines: u32, iters: u32, stride: u64) -> Program {
     for k in 0..lines {
         cb.push(
             body,
-            Instr::Load { dst: r(8), mem: MemRef::Static(base_addr.offset(u64::from(k) * stride)) },
+            Instr::Load {
+                dst: r(8),
+                mem: MemRef::Static(base_addr.offset(u64::from(k) * stride)),
+            },
         );
-        cb.push(body, Instr::Alu { op: AluOp::Add, dst: r(16), lhs: r(16), rhs: r(8).into() });
+        cb.push(
+            body,
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: r(16),
+                lhs: r(16),
+                rhs: r(8).into(),
+            },
+        );
     }
-    cb.push(body, Instr::Alu { op: AluOp::Add, dst: r(1), lhs: r(1), rhs: 1.into() });
+    cb.push(
+        body,
+        Instr::Alu {
+            op: AluOp::Add,
+            dst: r(1),
+            lhs: r(1),
+            rhs: 1.into(),
+        },
+    );
     cb.terminate(body, Terminator::Jump(header));
     cb.terminate(exit, Terminator::Return);
     let cfg = cb.build(entry).expect("valid");
@@ -72,7 +96,9 @@ fn column_sweep(lines: u32, iters: u32, stride: u64) -> Program {
         format!("colsweep{lines}x{iters}"),
         cfg,
         facts,
-        Layout { code_base: Addr(0x1_0000) },
+        Layout {
+            code_base: Addr(0x1_0000),
+        },
     )
     .expect("valid")
 }
@@ -82,7 +108,12 @@ fn main() {
     let opts = IpetOptions::default();
     let mut t = Table::new(
         "E06 — columnization vs bankization, 4 cores sharing a 16 KiB 8-way L2",
-        &["task", "columnization (64s × 2w)", "bankization (16s × 8w)", "bank/column"],
+        &[
+            "task",
+            "columnization (64s × 2w)",
+            "bankization (16s × 8w)",
+            "bank/column",
+        ],
     );
     let cols = PartitionPlan::even_columns(&base, 4).expect("fits");
     let banks = PartitionPlan::even_banks(&base, 4).expect("divides");

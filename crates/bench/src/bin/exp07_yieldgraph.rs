@@ -51,16 +51,36 @@ fn stage(iters: u64, sites: u32, code_base: u64, name: &str) -> Program {
         },
     );
     for (i, &b) in bodies.iter().enumerate() {
-        let next = if i + 1 < bodies.len() { bodies[i + 1] } else { latch };
+        let next = if i + 1 < bodies.len() {
+            bodies[i + 1]
+        } else {
+            latch
+        };
         cb.terminate(b, Terminator::Jump(next));
     }
-    cb.push(latch, Instr::Alu { op: wcet_ir::AluOp::Add, dst: r(1), lhs: r(1), rhs: 1.into() });
+    cb.push(
+        latch,
+        Instr::Alu {
+            op: wcet_ir::AluOp::Add,
+            dst: r(1),
+            lhs: r(1),
+            rhs: 1.into(),
+        },
+    );
     cb.terminate(latch, Terminator::Jump(header));
     cb.terminate(exit, Terminator::Return);
     let cfg = cb.build(entry).expect("valid");
     let mut facts = FlowFacts::new();
     facts.set_bound(BlockId::from_index(1), LoopBound(iters));
-    Program::new(name, cfg, facts, Layout { code_base: Addr(code_base) }).expect("valid")
+    Program::new(
+        name,
+        cfg,
+        facts,
+        Layout {
+            code_base: Addr(code_base),
+        },
+    )
+    .expect("valid")
 }
 
 fn costs_for(p: &Program, m: &MachineConfig) -> BlockCosts {
@@ -90,7 +110,16 @@ fn costs_for(p: &Program, m: &MachineConfig) -> BlockCosts {
 fn main() {
     let mut t = Table::new(
         "E07 — yield-graph joint ILP: bound vs makespan, and model growth",
-        &["threads", "yield edges", "ILP vars", "constraints", "solve ms", "bound", "sim makespan", "sound"],
+        &[
+            "threads",
+            "yield edges",
+            "ILP vars",
+            "constraints",
+            "solve ms",
+            "bound",
+            "sim makespan",
+            "sound",
+        ],
     );
     for n in 2..=5usize {
         let mut m = machine(1);
@@ -109,8 +138,11 @@ fn main() {
         let t0 = Instant::now();
         let rep = joint_yield_wcet(&trefs, &crefs, 6, IlpConfig::default()).expect("solves");
         let ms = t0.elapsed().as_millis();
-        let loads: Vec<(usize, usize, Program)> =
-            threads.iter().enumerate().map(|(i, p)| (0, i, p.clone())).collect();
+        let loads: Vec<(usize, usize, Program)> = threads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (0, i, p.clone()))
+            .collect();
         let run = run_machine(&m, loads, 500_000_000).expect("runs");
         assert!(run.makespan <= rep.wcet, "joint bound violated");
         t.row([

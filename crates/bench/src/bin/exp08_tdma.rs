@@ -3,8 +3,8 @@
 //! on multi-path programs the offset-state sets explode, forcing the
 //! offset-blind bound — which degrades with slot length.
 
-use wcet_bench::machine;
 use wcet_arbiter::{Slot, Tdma};
+use wcet_bench::machine;
 use wcet_cache::config::CacheConfig;
 use wcet_cache::multilevel::{analyze_hierarchy, HierarchyConfig};
 use wcet_core::report::Table;
@@ -12,7 +12,9 @@ use wcet_core::static_ctrl::{
     offset_state_sizes, tdma_offset_aware_wcet, wcet_unlocked, StaticParams,
 };
 use wcet_core::IpetOptions;
-use wcet_ir::synth::{bsort, crc, random_program, single_path, twin_diamonds, Placement, RandomParams};
+use wcet_ir::synth::{
+    bsort, crc, random_program, single_path, twin_diamonds, Placement, RandomParams,
+};
 use wcet_pipeline::cost::{block_costs, CoreMode, CostInput};
 use wcet_pipeline::timing::{MemTimings, PipelineConfig};
 
@@ -21,7 +23,12 @@ fn params() -> StaticParams {
         l1i: CacheConfig::new(32, 2, 16, 1).expect("valid"),
         l1d: CacheConfig::new(4, 1, 32, 1).expect("valid"),
         l2: None,
-        timings: MemTimings { l1_hit: 1, l2_hit: None, bus_transfer: 8, mem_latency: 30 },
+        timings: MemTimings {
+            l1_hit: 1,
+            l2_hit: None,
+            bus_transfer: 8,
+            mem_latency: 30,
+        },
         bus_wait_bound: Some(0),
         pipeline: PipelineConfig::default(),
         mode: CoreMode::Single,
@@ -36,10 +43,21 @@ fn main() {
     // (a) Offset-aware vs offset-blind per slot length (single-path task).
     let mut t1 = Table::new(
         "E08a — single-path task on a 4-core TDMA bus: bound vs slot length",
-        &["slot len", "blind wait bound", "blind WCET", "offset-aware WCET", "aware/blind"],
+        &[
+            "slot len",
+            "blind wait bound",
+            "blind WCET",
+            "offset-aware WCET",
+            "aware/blind",
+        ],
     );
     for slot_len in [transfer, 2 * transfer, 4 * transfer, 8 * transfer] {
-        let slots: Vec<Slot> = (0..n).map(|owner| Slot { owner, len: slot_len }).collect();
+        let slots: Vec<Slot> = (0..n)
+            .map(|owner| Slot {
+                owner,
+                len: slot_len,
+            })
+            .collect();
         let tdma = Tdma::new(n, slots).expect("valid");
         let blind_wait = tdma.worst_delay(0, transfer).expect("fits");
         let mut pr = params();
@@ -61,14 +79,22 @@ fn main() {
     // (b) Offset-state explosion: single-path vs multi-path programs.
     let mut t2 = Table::new(
         "E08b — per-block offset-state sets (period 64): path multiplicity",
-        &["program", "paths", "max offsets/block", "blocks with >1 offset"],
+        &[
+            "program",
+            "paths",
+            "max offsets/block",
+            "blocks with >1 offset",
+        ],
     );
     let period = 64u64;
     for (p, label) in [
         (single_path(6, 32, Placement::slot(0)), "single-path"),
         (crc(24, Placement::slot(0)), "branchy, equal-cost arms"),
         (bsort(10, Placement::slot(0)), "branchy, unequal arms"),
-        (twin_diamonds(8, Placement::slot(0)), "two sequential diamonds"),
+        (
+            twin_diamonds(8, Placement::slot(0)),
+            "two sequential diamonds",
+        ),
         (
             random_program(3, RandomParams::default(), Placement::slot(0)),
             "random structured",
@@ -77,7 +103,11 @@ fn main() {
         let pr = params();
         let h = analyze_hierarchy(
             &p,
-            &HierarchyConfig { l1i: pr.l1i, l1d: pr.l1d, l2: None },
+            &HierarchyConfig {
+                l1i: pr.l1i,
+                l1d: pr.l1d,
+                l2: None,
+            },
         );
         let input = CostInput {
             pipeline: pr.pipeline,
@@ -103,7 +133,9 @@ fn main() {
     // (c) Soundness spot-check of the blind bound on the simulator.
     let m = {
         let mut m = machine(n);
-        m.bus.arbiter = wcet_arbiter::ArbiterKind::TdmaEqual { slot_len: transfer + 2 };
+        m.bus.arbiter = wcet_arbiter::ArbiterKind::TdmaEqual {
+            slot_len: transfer + 2,
+        };
         m
     };
     let an = wcet_core::analyzer::Analyzer::new(m.clone());

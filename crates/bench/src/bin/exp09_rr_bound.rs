@@ -14,7 +14,13 @@ fn main() {
     let transfer = 8u64;
     let mut t = Table::new(
         "E09 — round-robin bus: bound D = N·L − 1 vs observed worst wait",
-        &["cores N", "bound N·L−1", "max observed wait", "victim WCET", "WCET vs N=1"],
+        &[
+            "cores N",
+            "bound N·L−1",
+            "max observed wait",
+            "victim WCET",
+            "WCET vs N=1",
+        ],
     );
     let mut base_wcet = 0u64;
     for n in [1usize, 2, 4, 6, 8] {

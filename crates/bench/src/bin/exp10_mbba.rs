@@ -24,7 +24,13 @@ fn main() {
 
     let mut t = Table::new(
         "E10 — heterogeneous demand: per-task WCET under RR vs MBBA",
-        &["task", "demand", "RR WCET", "MBBA WCET (w=5,1,1,1)", "MBBA/RR"],
+        &[
+            "task",
+            "demand",
+            "RR WCET",
+            "MBBA WCET (w=5,1,1,1)",
+            "MBBA/RR",
+        ],
     );
     let demand = ["heavy", "light", "light", "light"];
 
@@ -35,7 +41,10 @@ fn main() {
         Analyzer::new(m)
     };
     let rr = mk(ArbiterKind::RoundRobin);
-    let mbba = mk(ArbiterKind::Mbba { weights: vec![5, 1, 1, 1], slot_len: transfer });
+    let mbba = mk(ArbiterKind::Mbba {
+        weights: vec![5, 1, 1, 1],
+        slot_len: transfer,
+    });
 
     let mut heavy_gain = 0.0f64;
     for (i, p) in tasks.iter().enumerate() {

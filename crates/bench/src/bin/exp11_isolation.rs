@@ -1,102 +1,9 @@
 //! E11 (paper §5.3, Mische et al. \[22\] CarCore; Lickly et al. \[19\] PRET):
 //! full task isolation — the WCET computed with *zero* knowledge of
-//! co-runners holds under every co-runner mix, and on slot-isolating
-//! hardware the observed timing is bit-identical across mixes.
-
-use wcet_arbiter::ArbiterKind;
-use wcet_bench::bully;
-use wcet_cache::partition::PartitionPlan;
-use wcet_core::analyzer::{AnalysisError, Analyzer};
-use wcet_core::report::Table;
-use wcet_core::validate::run_machine;
-use wcet_ir::synth::{self, Placement};
-use wcet_ir::Program;
-use wcet_pipeline::smt::SmtPolicy;
-use wcet_sim::config::{CoreKind, MachineConfig};
+//! co-runners holds under every co-runner mix. Body in
+//! [`wcet_bench::experiments::exp11`] (shared with the in-process
+//! `run_all` driver).
 
 fn main() {
-    // (a) Multicore isolation: partitioned L2 + TDMA bus.
-    let mut mc = MachineConfig::symmetric(4);
-    {
-        let l2 = mc.l2.as_mut().expect("has L2");
-        l2.partition = PartitionPlan::even_columns(&l2.cache, 4).expect("fits");
-    }
-    mc.bus.arbiter = ArbiterKind::TdmaEqual { slot_len: mc.bus.transfer };
-    let an = Analyzer::new(mc.clone());
-    let victim = synth::fir(6, 24, Placement::slot(0));
-    let bound = an.wcet_isolated(&victim, 0, 0).expect("analyses").wcet;
-
-    let mut t = Table::new(
-        "E11a — multicore isolation (partitioned L2 + TDMA): victim timing per mix",
-        &["co-runner mix", "observed", "bound", "identical to alone"],
-    );
-    let mixes: Vec<(&str, Vec<(usize, usize, Program)>)> = vec![
-        ("alone", vec![]),
-        ("one bully", vec![(1, 0, bully(1))]),
-        ("three bullies", vec![(1, 0, bully(1)), (2, 0, bully(2)), (3, 0, bully(3))]),
-    ];
-    let mut alone_cycles = None;
-    for (label, others) in mixes {
-        let mut loads = vec![(0, 0, victim.clone())];
-        loads.extend(others);
-        let cycles = run_machine(&mc, loads, 500_000_000).expect("runs").cycles(0, 0);
-        let identical = *alone_cycles.get_or_insert(cycles) == cycles;
-        assert!(cycles <= bound);
-        assert!(identical, "slot-isolated machine must be cycle-exact");
-        t.row([label.to_string(), cycles.to_string(), bound.to_string(), "yes".into()]);
-    }
-    println!("{t}");
-
-    // (b) CarCore-style SMT: HRT thread bounded, best-effort not.
-    let mut smt = MachineConfig::symmetric(1);
-    smt.cores[0].kind = CoreKind::Smt {
-        threads: 4,
-        policy: SmtPolicy::PredictableRoundRobin,
-        partitioned_l1: true,
-    };
-    smt.bus.arbiter = ArbiterKind::FixedPriority { hrt: 0 };
-    let an2 = Analyzer::new(smt.clone());
-    let hrt = synth::crc(32, Placement::slot(0));
-    let hrt_bound = an2.wcet_isolated(&hrt, 0, 0).expect("analyses").wcet;
-    let be = matches!(
-        an2.wcet_isolated(&synth::crc(16, Placement::slot(1)), 0, 1),
-        Err(AnalysisError::Unbounded)
-    );
-    let mut loads = vec![(0, 0, hrt.clone())];
-    for th in 1..4usize {
-        loads.push((0, th, synth::bsort(8, Placement::slot(th as u32))));
-    }
-    let observed = run_machine(&smt, loads, 500_000_000).expect("runs").cycles(0, 0);
-    assert!(observed <= hrt_bound);
-    println!(
-        "E11b — CarCore-style SMT: HRT bound {hrt_bound}, observed-with-siblings {observed} \
-         (sound), best-effort thread unbounded: {be}\n"
-    );
-
-    // (c) PRET: 6-thread interleave + wheel, no shared L2 — repeatable.
-    let mut pret = MachineConfig::symmetric(1);
-    pret.cores[0].kind = CoreKind::Smt {
-        threads: 6,
-        policy: SmtPolicy::PredictableRoundRobin,
-        partitioned_l1: true,
-    };
-    pret.bus.arbiter = ArbiterKind::MemoryWheel { window: pret.bus.transfer };
-    pret.l2 = None;
-    let an3 = Analyzer::new(pret.clone());
-    let th0 = synth::fir(4, 12, Placement::slot(0));
-    let pret_bound = an3.wcet_isolated(&th0, 0, 0).expect("analyses").wcet;
-    let alone = run_machine(&pret, vec![(0, 0, th0.clone())], 500_000_000)
-        .expect("runs")
-        .cycles(0, 0);
-    let mut full = vec![(0, 0, th0.clone())];
-    for th in 1..6usize {
-        full.push((0, th, synth::pointer_chase(32, 100, Placement::slot(th as u32))));
-    }
-    let busy = run_machine(&pret, full, 500_000_000).expect("runs").cycles(0, 0);
-    assert_eq!(alone, busy, "PRET must be repeatable");
-    assert!(busy <= pret_bound);
-    println!(
-        "E11c — PRET wheel: thread-0 timing {alone} cycles alone and {busy} under a full \
-         house (bit-identical), bound {pret_bound} holds\n"
-    );
+    let _ = wcet_bench::experiments::exp11();
 }

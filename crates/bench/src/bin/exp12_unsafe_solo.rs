@@ -1,55 +1,8 @@
 //! E12 (paper §2.2/§6): "it is absolutely unsafe to ignore the effects of
-//! resource sharing when computing WCETs" — measured. A solo bound that is
-//! perfectly sound on a private machine is violated on shared hardware,
-//! while the isolation bound (the paper's recommended approach) holds.
-
-use wcet_bench::bully;
-use wcet_core::analyzer::Analyzer;
-use wcet_core::report::Table;
-use wcet_core::validate::observe;
-use wcet_ir::synth::{pointer_chase_stride, Placement};
-use wcet_sim::config::MachineConfig;
+//! resource sharing when computing WCETs" — measured. Body in
+//! [`wcet_bench::experiments::exp12`] (shared with the in-process
+//! `run_all` driver).
 
 fn main() {
-    let mut m = MachineConfig::symmetric(4);
-    m.memory = wcet_arbiter::MemoryKind::Predictable { latency: 8 };
-    let an = Analyzer::new(m.clone());
-    // Memory-bound victim: ring larger than the L2, every hop over the bus.
-    let victim = pointer_chase_stride(4096, 400, 32, Placement::slot(0));
-    let solo = an.wcet_solo(&victim, 0, 0).expect("analyses").wcet;
-    let iso = an.wcet_isolated(&victim, 0, 0).expect("analyses").wcet;
-
-    let mut t = Table::new(
-        "E12 — the unsafe solo assumption on shared hardware",
-        &["scenario", "bound", "observed", "sound?"],
-    );
-    let alone = observe(&m, (0, 0, victim.clone()), vec![], solo, 500_000_000).expect("runs");
-    t.row([
-        "solo bound, run alone".into(),
-        solo.to_string(),
-        alone.observed.to_string(),
-        if alone.sound() { "yes".into() } else { "NO".to_string() },
-    ]);
-    let hostile = vec![(1, 0, bully(1)), (2, 0, bully(2)), (3, 0, bully(3))];
-    let contended =
-        observe(&m, (0, 0, victim.clone()), hostile.clone(), solo, 500_000_000).expect("runs");
-    t.row([
-        "solo bound, 3 bus hogs".into(),
-        solo.to_string(),
-        contended.observed.to_string(),
-        if contended.sound() { "yes".into() } else { "NO — bound violated".to_string() },
-    ]);
-    let iso_obs = observe(&m, (0, 0, victim), hostile, iso, 500_000_000).expect("runs");
-    t.row([
-        "isolation bound, 3 bus hogs".into(),
-        iso.to_string(),
-        iso_obs.observed.to_string(),
-        if iso_obs.sound() { "yes".into() } else { "NO".to_string() },
-    ]);
-    assert!(alone.sound());
-    assert!(!contended.sound(), "the demonstration requires a violation");
-    assert!(iso_obs.sound());
-    t.note("the same binary, the same hardware: only the analysis assumption differs.");
-    t.note("isolation charges N·L−1 per transaction and survives; solo does not.");
-    println!("{t}");
+    let _ = wcet_bench::experiments::exp12();
 }

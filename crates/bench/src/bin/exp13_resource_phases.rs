@@ -20,11 +20,24 @@ fn main() {
 
     let mut t = Table::new(
         "E13 — resource access models on a 4-core TDMA bus (Schranzhofer et al.)",
-        &["slot len", "general-access WCRT", "dedicated-phases WCRT", "gain"],
+        &[
+            "slot len",
+            "general-access WCRT",
+            "dedicated-phases WCRT",
+            "gain",
+        ],
     );
     for slot_len in [transfer, 2 * transfer, 4 * transfer, 8 * transfer] {
-        let tdma = Tdma::new(n, (0..n).map(|owner| Slot { owner, len: slot_len }).collect())
-            .expect("valid");
+        let tdma = Tdma::new(
+            n,
+            (0..n)
+                .map(|owner| Slot {
+                    owner,
+                    len: slot_len,
+                })
+                .collect(),
+        )
+        .expect("valid");
         let g = wcrt(&task, &tdma, 0, transfer, mem, AccessModel::GeneralAccess).expect("fits");
         let d = wcrt(&task, &tdma, 0, transfer, mem, AccessModel::DedicatedPhases).expect("fits");
         assert!(d <= g, "dedicated must dominate");

@@ -1,40 +1,205 @@
-//! Runs every experiment binary in sequence (the `EXPERIMENTS.md`
-//! regeneration driver): `cargo run -p wcet-bench --bin run_all --release`.
+//! Runs the full experiment suite (the `EXPERIMENTS.md` regeneration
+//! driver): `cargo run -p wcet-bench --bin run_all --release`.
+//!
+//! Experiments ported to the [`AnalysisEngine`] API run in-process (their
+//! WCET rows land in `BENCH_results.json`); the rest are spawned as
+//! sibling binaries (build them first: `cargo build --release`). The
+//! driver also measures batch-vs-sequential analysis wall-clock on a
+//! multi-task set, so the perf trajectory of the engine is recorded on
+//! every run.
 
 use std::process::Command;
+use std::time::Instant;
+
+use wcet_bench::experiments::{ExperimentRun, IN_PROCESS};
+use wcet_bench::json::Json;
+use wcet_bench::{comparison_workload, machine};
+use wcet_core::analyzer::Analyzer;
+use wcet_core::engine::AnalysisEngine;
+use wcet_core::mode::Isolated;
+use wcet_ir::Program;
+use wcet_sched::{Task, TaskSet};
+
+/// All experiment ids, in suite order.
+const EXPERIMENTS: [&str; 13] = [
+    "exp01_singlecore",
+    "exp02_shared_l2",
+    "exp03_lifetime",
+    "exp04_bypass",
+    "exp05_partition_lock",
+    "exp06_column_bank",
+    "exp07_yieldgraph",
+    "exp08_tdma",
+    "exp09_rr_bound",
+    "exp10_mbba",
+    "exp11_isolation",
+    "exp12_unsafe_solo",
+    "exp13_resource_phases",
+];
+
+fn rows_json(run: &ExperimentRun) -> Json {
+    Json::Arr(
+        run.rows
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("scenario", Json::str(&r.scenario)),
+                    ("task", Json::str(&r.task)),
+                    ("mode", Json::str(&r.mode)),
+                    ("wcet", Json::from(r.wcet)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn run_subprocess(exp: &str) -> bool {
+    let status = Command::new(
+        std::env::current_exe()
+            .expect("self path")
+            .parent()
+            .expect("bin dir")
+            .join(exp),
+    )
+    .status();
+    matches!(status, Ok(s) if s.success())
+}
+
+/// Times batch engine analysis of the workload against the same tasks
+/// through sequential `Analyzer` calls, checking result equivalence.
+fn batch_vs_sequential() -> Json {
+    let m = machine(4);
+    let workload = comparison_workload();
+
+    let sequential = Analyzer::new(m.clone());
+    let seq_start = Instant::now();
+    let seq_reports: Vec<_> = workload
+        .iter()
+        .map(|(core, prog)| sequential.wcet_isolated(prog, *core, 0).expect("analyses"))
+        .collect();
+    let seq_ms = seq_start.elapsed().as_secs_f64() * 1e3;
+
+    let set = TaskSet::new(
+        workload
+            .iter()
+            .enumerate()
+            .map(|(i, (core, prog))| Task {
+                name: prog.name().to_string(),
+                core: *core,
+                priority: i as u32,
+                release: 0,
+                predecessors: Vec::new(),
+            })
+            .collect(),
+    )
+    .expect("valid task set");
+    let programs: Vec<Program> = workload.iter().map(|(_, prog)| prog.clone()).collect();
+
+    let engine = AnalysisEngine::new(m);
+    let batch_start = Instant::now();
+    let batch_reports = engine.analyze_task_set(&set, &programs, &Isolated);
+    let batch_ms = batch_start.elapsed().as_secs_f64() * 1e3;
+
+    let identical = seq_reports.len() == batch_reports.len()
+        && seq_reports
+            .iter()
+            .zip(&batch_reports)
+            .all(|(seq, batch)| batch.as_ref().map(|b| b == seq).unwrap_or(false));
+    assert!(
+        identical,
+        "engine batch must reproduce sequential results exactly"
+    );
+
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let speedup = seq_ms / batch_ms.max(1e-9);
+    println!(
+        "batch-vs-sequential: {} tasks, {workers} workers: sequential {seq_ms:.1} ms, \
+         batch {batch_ms:.1} ms ({speedup:.2}× speedup), results identical",
+        programs.len()
+    );
+    if workers > 1 && speedup <= 1.0 {
+        eprintln!("warning: batch analysis not faster than sequential on this host");
+    }
+
+    Json::obj([
+        ("tasks", Json::from(programs.len())),
+        ("workers", Json::from(workers)),
+        ("sequential_ms", Json::from(seq_ms)),
+        ("batch_ms", Json::from(batch_ms)),
+        ("speedup", Json::from(speedup)),
+        ("identical_results", Json::from(identical)),
+    ])
+}
 
 fn main() {
-    let exps = [
-        "exp01_singlecore",
-        "exp02_shared_l2",
-        "exp03_lifetime",
-        "exp04_bypass",
-        "exp05_partition_lock",
-        "exp06_column_bank",
-        "exp07_yieldgraph",
-        "exp08_tdma",
-        "exp09_rr_bound",
-        "exp10_mbba",
-        "exp11_isolation",
-        "exp12_unsafe_solo",
-        "exp13_resource_phases",
-    ];
     let mut failed = Vec::new();
-    for exp in exps {
+    let mut experiment_json = Vec::new();
+    for exp in EXPERIMENTS {
         println!("===== {exp} =====");
-        let status = Command::new(std::env::current_exe().expect("self path")
-            .parent().expect("bin dir").join(exp))
-            .status();
-        match status {
-            Ok(s) if s.success() => {}
-            other => {
-                eprintln!("{exp} failed: {other:?}");
-                failed.push(exp);
+        let in_process = IN_PROCESS.iter().find(|(id, _)| *id == exp);
+        let start = Instant::now();
+        let (ok, title, rows) = match in_process {
+            Some((_, runner)) => {
+                // Match the subprocess path's failure isolation: a
+                // panicking experiment is recorded as failed, and the
+                // rest of the suite (and the JSON summary) still runs.
+                match std::panic::catch_unwind(runner) {
+                    Ok(run) => (true, Json::str(run.title), rows_json(&run)),
+                    Err(_) => {
+                        eprintln!("{exp} failed (panicked)");
+                        (false, Json::Null, Json::Arr(Vec::new()))
+                    }
+                }
             }
+            None => {
+                let ok = run_subprocess(exp);
+                if !ok {
+                    eprintln!("{exp} failed");
+                }
+                (ok, Json::Null, Json::Arr(Vec::new()))
+            }
+        };
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if !ok {
+            failed.push(exp);
+        }
+        experiment_json.push(Json::obj([
+            ("id", Json::str(exp)),
+            ("title", title),
+            (
+                "driver",
+                Json::str(if in_process.is_some() {
+                    "in-process"
+                } else {
+                    "subprocess"
+                }),
+            ),
+            ("ok", Json::from(ok)),
+            ("wall_ms", Json::from(wall_ms)),
+            ("rows", rows),
+        ]));
+    }
+
+    println!("===== engine benchmark =====");
+    let comparison = batch_vs_sequential();
+
+    let doc = Json::obj([
+        ("schema", Json::from(1_u64)),
+        ("suite", Json::str("wcet-bench run_all")),
+        ("experiments", Json::Arr(experiment_json)),
+        ("batch_vs_sequential", comparison),
+    ]);
+    let out = "BENCH_results.json";
+    match std::fs::write(out, format!("{doc}\n")) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
+            failed.push("BENCH_results.json");
         }
     }
+
     if failed.is_empty() {
-        println!("all {} experiments completed", exps.len());
+        println!("all {} experiments completed", EXPERIMENTS.len());
     } else {
         eprintln!("failed experiments: {failed:?}");
         std::process::exit(1);

@@ -1,0 +1,99 @@
+//! Engine-equivalence guarantee: batch [`AnalysisEngine`] results are
+//! identical — every `WcetReport` field — to sequential [`Analyzer`]
+//! per-task results, on the E01 and E02 experiment configurations.
+
+use wcet_bench::{l2_bound_machine, l2_bound_victim, machine, suite};
+use wcet_core::analyzer::Analyzer;
+use wcet_core::engine::{AnalysisEngine, Job};
+use wcet_core::mode::{Isolated, Joint, Solo};
+use wcet_ir::synth::{matmul, Placement};
+
+/// E01: the whole suite, solo mode, single predictable core.
+#[test]
+fn e01_batch_equals_sequential() {
+    let m = machine(1);
+    let engine = AnalysisEngine::new(m.clone());
+    let an = Analyzer::new(m);
+    let tasks = suite(0);
+    let jobs: Vec<Job<'_>> = tasks.iter().map(|p| Job::new(p, 0, &Solo)).collect();
+    let batch = engine.analyze_batch(&jobs);
+    assert_eq!(batch.len(), tasks.len());
+    for (p, batch_rep) in tasks.iter().zip(batch) {
+        let seq = an.wcet_solo(p, 0, 0).expect("analyses");
+        let batch_rep = batch_rep.expect("analyses");
+        assert_eq!(
+            seq,
+            batch_rep,
+            "{}: engine diverged from analyzer",
+            p.name()
+        );
+    }
+}
+
+/// E02: joint mode with growing co-runner sets on the L2-bound machine —
+/// engine footprints, shifts and reports all equal the sequential path.
+#[test]
+fn e02_joint_batch_equals_sequential() {
+    let n = 4; // smaller than the binary's 8: this is a test, not a bench
+    let m = l2_bound_machine(n);
+    let engine = AnalysisEngine::new(m.clone());
+    let an = Analyzer::new(m);
+    let victim = l2_bound_victim(0);
+    let bullies: Vec<_> = (1..n as u32)
+        .map(|i| matmul(16, Placement::slot(i)))
+        .collect();
+    let fps: Vec<_> = bullies
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let eng_fp = engine.l2_footprint(b, i + 1).expect("analyses");
+            let seq_fp = an.l2_footprint(b, i + 1).expect("analyses");
+            assert_eq!(eng_fp, seq_fp, "footprint diverged for bully {i}");
+            eng_fp
+        })
+        .collect();
+    for k in 0..=fps.len() {
+        let mode = Joint::new(fps[..k].iter().cloned());
+        let eng = engine.analyze(&victim, 0, 0, &mode).expect("analyses");
+        let refs: Vec<_> = fps[..k].iter().collect();
+        let seq = an.wcet_joint(&victim, 0, 0, &refs).expect("analyses");
+        assert_eq!(eng, seq, "k={k}: engine diverged from analyzer");
+    }
+    // The repeats above must have produced memo hits (k grows, but the
+    // victim fingerprint and L1 geometries repeat).
+    assert!(
+        engine.memo_stats().hits() > 0,
+        "memo never hit across E02 repeats"
+    );
+}
+
+/// Mixed-mode batch over the E01 machine: order preserved, every slot
+/// equal to its sequential counterpart.
+#[test]
+fn mixed_mode_batch_equals_sequential() {
+    let m = machine(2);
+    let engine = AnalysisEngine::new(m.clone());
+    let an = Analyzer::new(m);
+    let tasks = suite(0);
+    let jobs: Vec<Job<'_>> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if i % 2 == 0 {
+                Job::new(p, i % 2, &Solo)
+            } else {
+                Job::new(p, i % 2, &Isolated)
+            }
+        })
+        .collect();
+    let batch = engine.analyze_batch(&jobs);
+    for (i, (job, rep)) in jobs.iter().zip(batch).enumerate() {
+        let seq = if i % 2 == 0 {
+            an.wcet_solo(job.program, job.core, 0).expect("analyses")
+        } else {
+            an.wcet_isolated(job.program, job.core, 0)
+                .expect("analyses")
+        };
+        assert_eq!(seq, rep.expect("analyses"), "slot {i} diverged");
+    }
+}

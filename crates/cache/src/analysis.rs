@@ -244,8 +244,7 @@ pub fn analyze(program: &Program, input: &AnalysisInput) -> CacheAnalysis {
 
     // Loop pressure per (loop, set): distinct installable lines.
     let loops = program.loops();
-    let mut pressure: Vec<BTreeMap<u32, BTreeSet<LineAddr>>> =
-        vec![BTreeMap::new(); loops.len()];
+    let mut pressure: Vec<BTreeMap<u32, BTreeSet<LineAddr>>> = vec![BTreeMap::new(); loops.len()];
     for l in loops.ids() {
         for &b in &loops.loop_of(l).blocks {
             for acc in &accesses[b.index()] {
@@ -272,14 +271,21 @@ pub fn analyze(program: &Program, input: &AnalysisInput) -> CacheAnalysis {
             classes.insert(acc.site, class);
             for &line in &acc.lines {
                 if !input.locked.contains(&line) && !input.bypass.contains(&line) {
-                    footprint.entry(input.cache.set_of(line)).or_default().insert(line);
+                    footprint
+                        .entry(input.cache.set_of(line))
+                        .or_default()
+                        .insert(line);
                 }
             }
             apply_access(&mut state, acc, input);
         }
     }
 
-    CacheAnalysis { classes, footprint, sets: input.cache.sets() }
+    CacheAnalysis {
+        classes,
+        footprint,
+        sets: input.cache.sets(),
+    }
 }
 
 fn collect_accesses(program: &Program, input: &AnalysisInput) -> Vec<Vec<LevelAccess>> {
@@ -302,7 +308,11 @@ fn collect_accesses(program: &Program, input: &AnalysisInput) -> Vec<Vec<LevelAc
                 AccessAddrs::Exact(a) => vec![input.cache.line_of(a)],
                 AccessAddrs::Range { base, bytes } => input.cache.lines_of_range(base, bytes),
             };
-            out[b.index()].push(LevelAccess { site: id, lines, reach });
+            out[b.index()].push(LevelAccess {
+                site: id,
+                lines,
+                reach,
+            });
         }
     }
     out
@@ -392,7 +402,9 @@ fn classify(
     for l in containing.into_iter().rev() {
         let own = pressure[l.index()].get(&set).map_or(0, BTreeSet::len) as u32;
         if own.saturating_add(shift) <= ways {
-            return Classification::Persistent { scope: loops.loop_of(l).header };
+            return Classification::Persistent {
+                scope: loops.loop_of(l).header,
+            };
         }
     }
     Classification::NotClassified
@@ -427,12 +439,29 @@ mod tests {
                 not_taken: exit,
             },
         );
-        cb.push(body, Instr::Load { dst: r(2), mem: MemRef::Static(Addr(0x8000)) });
         cb.push(
             body,
-            Instr::Load { dst: r(3), mem: MemRef::Static(Addr(0x8000 + words_apart * 8)) },
+            Instr::Load {
+                dst: r(2),
+                mem: MemRef::Static(Addr(0x8000)),
+            },
         );
-        cb.push(body, Instr::Alu { op: wcet_ir::AluOp::Add, dst: r(1), lhs: r(1), rhs: 1.into() });
+        cb.push(
+            body,
+            Instr::Load {
+                dst: r(3),
+                mem: MemRef::Static(Addr(0x8000 + words_apart * 8)),
+            },
+        );
+        cb.push(
+            body,
+            Instr::Alu {
+                op: wcet_ir::AluOp::Add,
+                dst: r(1),
+                lhs: r(1),
+                rhs: 1.into(),
+            },
+        );
         cb.terminate(body, Terminator::Jump(header));
         cb.terminate(exit, Terminator::Return);
         let cfg = cb.build(entry).expect("valid");
@@ -463,7 +492,10 @@ mod tests {
         // first fixpoint but with 1 line vs 2 ways it must be PS at worst).
         let c0 = res.class(sites[0]).expect("classified");
         assert!(
-            matches!(c0, Classification::Persistent { .. } | Classification::AlwaysHit),
+            matches!(
+                c0,
+                Classification::Persistent { .. } | Classification::AlwaysHit
+            ),
             "unexpected class {c0}"
         );
         // Second load same line: always hit (just loaded by first).
@@ -476,7 +508,7 @@ mod tests {
         // alternately accessed in a loop: each load deterministically
         // evicts the other, so the may analysis proves ALWAYS_MISS.
         let p = reuse_loop(4); // 4 words * 8 = 32 bytes apart = next line
-        // sets=1 → both lines in set 0 of a 1-set 1-way cache.
+                               // sets=1 → both lines in set 0 of a 1-set 1-way cache.
         let input = AnalysisInput::level1(dcache(1, 1), LevelKind::Data);
         let res = analyze(&p, &input);
         let body = BlockId::from_index(2);
@@ -494,7 +526,10 @@ mod tests {
     #[test]
     fn first_fetch_is_always_miss_cold() {
         let p = reuse_loop(0);
-        let input = AnalysisInput::level1(CacheConfig::new(16, 2, 16, 1).expect("ok"), LevelKind::Instruction);
+        let input = AnalysisInput::level1(
+            CacheConfig::new(16, 2, 16, 1).expect("ok"),
+            LevelKind::Instruction,
+        );
         let res = analyze(&p, &input);
         // The very first fetch of the entry block misses (cold cache).
         let entry_sites: Vec<SiteId> = p
@@ -510,7 +545,10 @@ mod tests {
     fn loop_fetches_hit_when_code_fits() {
         let p = reuse_loop(0);
         // Big I-cache: whole loop fits easily → header/body fetches AH or PS.
-        let input = AnalysisInput::level1(CacheConfig::new(64, 4, 32, 1).expect("ok"), LevelKind::Instruction);
+        let input = AnalysisInput::level1(
+            CacheConfig::new(64, 4, 32, 1).expect("ok"),
+            LevelKind::Instruction,
+        );
         let res = analyze(&p, &input);
         let body = BlockId::from_index(2);
         let (_ah, am, _ps, nc) = res.histogram();
@@ -526,7 +564,12 @@ mod tests {
         for s in body_sites {
             let c = res.class(s).expect("classified");
             assert!(
-                matches!(c, Classification::AlwaysHit | Classification::Persistent { .. } | Classification::AlwaysMiss),
+                matches!(
+                    c,
+                    Classification::AlwaysHit
+                        | Classification::Persistent { .. }
+                        | Classification::AlwaysMiss
+                ),
                 "body fetch {c} should be AH/PS/AM"
             );
         }
@@ -558,7 +601,10 @@ mod tests {
         let res = analyze(&p, &input);
         let body = BlockId::from_index(2);
         for a in p.accesses(body).iter().filter(|a| a.kind.is_data()) {
-            assert_eq!(res.class((a.block, a.seq)), Some(Classification::AlwaysMiss));
+            assert_eq!(
+                res.class((a.block, a.seq)),
+                Some(Classification::AlwaysMiss)
+            );
         }
     }
 

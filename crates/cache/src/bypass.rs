@@ -81,7 +81,13 @@ mod tests {
         let body = cb.add_block();
         let exit = cb.add_block();
         cb.push(entry, Instr::LoadImm { dst: r(1), imm: 0 });
-        cb.push(entry, Instr::Load { dst: r(4), mem: MemRef::Static(Addr(0xA000)) }); // cold
+        cb.push(
+            entry,
+            Instr::Load {
+                dst: r(4),
+                mem: MemRef::Static(Addr(0xA000)),
+            },
+        ); // cold
         cb.terminate(entry, Terminator::Jump(header));
         cb.terminate(
             header,
@@ -93,8 +99,22 @@ mod tests {
                 not_taken: exit,
             },
         );
-        cb.push(body, Instr::Load { dst: r(5), mem: MemRef::Static(Addr(0xB000)) }); // hot
-        cb.push(body, Instr::Alu { op: wcet_ir::AluOp::Add, dst: r(1), lhs: r(1), rhs: 1.into() });
+        cb.push(
+            body,
+            Instr::Load {
+                dst: r(5),
+                mem: MemRef::Static(Addr(0xB000)),
+            },
+        ); // hot
+        cb.push(
+            body,
+            Instr::Alu {
+                op: wcet_ir::AluOp::Add,
+                dst: r(1),
+                lhs: r(1),
+                rhs: 1.into(),
+            },
+        );
         cb.terminate(body, Terminator::Jump(header));
         cb.terminate(exit, Terminator::Return);
         let cfg = cb.build(entry).expect("valid");
@@ -111,7 +131,10 @@ mod tests {
         let cold = cache.line_of(Addr(0xA000));
         let hot = cache.line_of(Addr(0xB000));
         assert!(plan.lines.contains(&cold), "cold load is single-usage");
-        assert!(!plan.lines.contains(&hot), "looped load is not single-usage");
+        assert!(
+            !plan.lines.contains(&hot),
+            "looped load is not single-usage"
+        );
         // Entry-block code lines (executed once) are single-usage too; loop
         // code lines are not.
         assert!(plan.total_lines > plan.lines.len());
@@ -150,7 +173,7 @@ mod tests {
         for line in &plan.lines {
             let set = cache.set_of(*line);
             assert!(
-                !res.footprint().get(&set).map_or(false, |s| s.contains(line)),
+                !res.footprint().get(&set).is_some_and(|s| s.contains(line)),
                 "bypassed {line} must not appear in footprint"
             );
         }

@@ -59,7 +59,12 @@ impl CacheConfig {
     ///
     /// Returns [`ConfigError`] unless `sets` and `line_bytes` are non-zero
     /// powers of two and `ways` is non-zero.
-    pub fn new(sets: u32, ways: u32, line_bytes: u32, hit_latency: u32) -> Result<CacheConfig, ConfigError> {
+    pub fn new(
+        sets: u32,
+        ways: u32,
+        line_bytes: u32,
+        hit_latency: u32,
+    ) -> Result<CacheConfig, ConfigError> {
         if sets == 0 {
             return Err(ConfigError::BadSets(sets));
         }
@@ -69,7 +74,12 @@ impl CacheConfig {
         if line_bytes == 0 || !line_bytes.is_power_of_two() {
             return Err(ConfigError::BadLineBytes(line_bytes));
         }
-        Ok(CacheConfig { sets, ways, line_bytes, hit_latency })
+        Ok(CacheConfig {
+            sets,
+            ways,
+            line_bytes,
+            hit_latency,
+        })
     }
 
     /// Number of sets.
@@ -155,10 +165,22 @@ mod tests {
     #[test]
     fn validates_geometry() {
         assert!(CacheConfig::new(16, 2, 32, 1).is_ok());
-        assert!(CacheConfig::new(3, 2, 32, 1).is_ok(), "non-pow2 sets allowed (banks)");
-        assert!(matches!(CacheConfig::new(0, 2, 32, 1), Err(ConfigError::BadSets(0))));
-        assert!(matches!(CacheConfig::new(16, 0, 32, 1), Err(ConfigError::BadWays(0))));
-        assert!(matches!(CacheConfig::new(16, 2, 24, 1), Err(ConfigError::BadLineBytes(24))));
+        assert!(
+            CacheConfig::new(3, 2, 32, 1).is_ok(),
+            "non-pow2 sets allowed (banks)"
+        );
+        assert!(matches!(
+            CacheConfig::new(0, 2, 32, 1),
+            Err(ConfigError::BadSets(0))
+        ));
+        assert!(matches!(
+            CacheConfig::new(16, 0, 32, 1),
+            Err(ConfigError::BadWays(0))
+        ));
+        assert!(matches!(
+            CacheConfig::new(16, 2, 24, 1),
+            Err(ConfigError::BadLineBytes(24))
+        ));
     }
 
     #[test]
@@ -178,8 +200,14 @@ mod tests {
         assert_eq!(c.lines_of_range(Addr(0), 0), vec![]);
         assert_eq!(c.lines_of_range(Addr(0), 1), vec![LineAddr(0)]);
         assert_eq!(c.lines_of_range(Addr(0), 32), vec![LineAddr(0)]);
-        assert_eq!(c.lines_of_range(Addr(0), 33), vec![LineAddr(0), LineAddr(1)]);
-        assert_eq!(c.lines_of_range(Addr(30), 4), vec![LineAddr(0), LineAddr(1)]);
+        assert_eq!(
+            c.lines_of_range(Addr(0), 33),
+            vec![LineAddr(0), LineAddr(1)]
+        );
+        assert_eq!(
+            c.lines_of_range(Addr(30), 4),
+            vec![LineAddr(0), LineAddr(1)]
+        );
     }
 
     #[test]

@@ -171,7 +171,7 @@ impl AbsCacheState {
                 continue;
             }
             let e = self.may[set].entry(l).or_insert(0);
-            *e = (*e).min(0);
+            *e = 0;
         }
     }
 
@@ -182,7 +182,10 @@ impl AbsCacheState {
     ///
     /// Panics if the two states have different geometry.
     pub fn join(&mut self, other: &AbsCacheState) {
-        assert_eq!(self.set_ways, other.set_ways, "joining incompatible cache states");
+        assert_eq!(
+            self.set_ways, other.set_ways,
+            "joining incompatible cache states"
+        );
         for set in 0..self.set_ways.len() {
             // Must: intersection, max age.
             let mut next = BTreeMap::new();
@@ -290,7 +293,7 @@ mod tests {
         s1.join(&s2);
         assert_eq!(s1.must_age(0, a), Some(1)); // max(1, 0)
         assert_eq!(s1.must_age(0, b), None); // not in s2
-        // May keeps the union.
+                                             // May keeps the union.
         assert!(s1.may_contain(0, a));
         assert!(s1.may_contain(0, b));
     }

@@ -49,7 +49,9 @@ pub mod multilevel;
 pub mod partition;
 pub mod shared;
 
-pub use analysis::{analyze, AnalysisInput, CacheAnalysis, Classification, LevelKind, Reach, SiteId};
+pub use analysis::{
+    analyze, AnalysisInput, CacheAnalysis, Classification, LevelKind, Reach, SiteId,
+};
 pub use concrete::{AccessOutcome, ConcreteCache};
 pub use config::{CacheConfig, ConfigError, LineAddr};
 pub use domain::AbsCacheState;

@@ -99,7 +99,11 @@ pub fn line_heat(
             if lines.len() == 1 && last == Some(lines[0]) {
                 continue; // same run, no new use
             }
-            last = if lines.len() == 1 { Some(lines[0]) } else { None };
+            last = if lines.len() == 1 {
+                Some(lines[0])
+            } else {
+                None
+            };
             for line in lines {
                 let e = heat.entry(line).or_insert(0);
                 *e = e.saturating_add(count);
@@ -117,7 +121,10 @@ fn select_hottest(
 ) -> BTreeSet<LineAddr> {
     let mut per_set: BTreeMap<u32, Vec<(u64, LineAddr)>> = BTreeMap::new();
     for (&line, &h) in heat {
-        per_set.entry(cache.set_of(line)).or_default().push((h, line));
+        per_set
+            .entry(cache.set_of(line))
+            .or_default()
+            .push((h, line));
     }
     let mut out = BTreeSet::new();
     for (_, mut cands) in per_set {
@@ -139,7 +146,10 @@ fn select_hottest(
 pub fn select_static(program: &Program, cache: &CacheConfig, max_ways: u32) -> LockPlan {
     let max_ways = max_ways.min(cache.ways());
     let heat = line_heat(program, cache, program.cfg().block_ids());
-    LockPlan { lines: select_hottest(cache, &heat, max_ways), locked_ways: max_ways }
+    LockPlan {
+        lines: select_hottest(cache, &heat, max_ways),
+        locked_ways: max_ways,
+    }
 }
 
 /// Selects dynamic lock contents: one per outermost loop, chosen from the
@@ -159,14 +169,28 @@ pub fn select_dynamic(program: &Program, cache: &CacheConfig, max_ways: u32) -> 
         let heat = line_heat(program, cache, lp.blocks.iter().copied());
         let lines = select_hottest(cache, &heat, max_ways);
         covered.extend(lp.blocks.iter().copied());
-        regions.push(LockRegion { scope: Some(lp.header), blocks: lp.blocks.clone(), lines });
+        regions.push(LockRegion {
+            scope: Some(lp.header),
+            blocks: lp.blocks.clone(),
+            lines,
+        });
     }
-    let residual: BTreeSet<BlockId> =
-        program.cfg().block_ids().filter(|b| !covered.contains(b)).collect();
+    let residual: BTreeSet<BlockId> = program
+        .cfg()
+        .block_ids()
+        .filter(|b| !covered.contains(b))
+        .collect();
     if !residual.is_empty() {
-        regions.push(LockRegion { scope: None, blocks: residual, lines: BTreeSet::new() });
+        regions.push(LockRegion {
+            scope: None,
+            blocks: residual,
+            lines: BTreeSet::new(),
+        });
     }
-    DynamicLockPlan { regions, locked_ways: max_ways }
+    DynamicLockPlan {
+        regions,
+        locked_ways: max_ways,
+    }
 }
 
 #[cfg(test)]
@@ -191,7 +215,10 @@ mod tests {
             let h_locked = heat[locked];
             for (line, &h) in &heat {
                 if cache().set_of(*line) == set && !plan.lines.contains(line) {
-                    assert!(h <= h_locked, "{line} (heat {h}) beats locked {locked} ({h_locked})");
+                    assert!(
+                        h <= h_locked,
+                        "{line} (heat {h}) beats locked {locked} ({h_locked})"
+                    );
                 }
             }
         }
@@ -210,8 +237,10 @@ mod tests {
         let p = fir(4, 32, Placement::default());
         let plan = select_static(&p, &cache(), 2);
         let coeff = &p.data_regions()[0];
-        let coeff_lines: BTreeSet<LineAddr> =
-            cache().lines_of_range(coeff.base, coeff.bytes).into_iter().collect();
+        let coeff_lines: BTreeSet<LineAddr> = cache()
+            .lines_of_range(coeff.base, coeff.bytes)
+            .into_iter()
+            .collect();
         assert!(
             plan.lines.intersection(&coeff_lines).next().is_some(),
             "expected hot coefficient lines locked"

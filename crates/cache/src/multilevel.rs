@@ -10,7 +10,9 @@ use std::collections::BTreeMap;
 
 use wcet_ir::Program;
 
-use crate::analysis::{analyze, AnalysisInput, CacheAnalysis, Classification, LevelKind, Reach, SiteId};
+use crate::analysis::{
+    analyze, AnalysisInput, CacheAnalysis, Classification, LevelKind, Reach, SiteId,
+};
 use crate::config::CacheConfig;
 
 /// Builds the L2 reach filter from one or more L1 analyses (e.g. separate
@@ -64,7 +66,10 @@ pub struct HierarchyConfig {
 /// from the L1 results.
 #[must_use]
 pub fn analyze_hierarchy(program: &Program, config: &HierarchyConfig) -> HierarchyAnalysis {
-    let l1i = analyze(program, &AnalysisInput::level1(config.l1i, LevelKind::Instruction));
+    let l1i = analyze(
+        program,
+        &AnalysisInput::level1(config.l1i, LevelKind::Instruction),
+    );
     let l1d = analyze(program, &AnalysisInput::level1(config.l1d, LevelKind::Data));
     let l2 = config.l2.as_ref().map(|l2_input| {
         let mut input = l2_input.clone();
@@ -98,7 +103,11 @@ mod tests {
         let l2 = res.l2.expect("configured");
         for (site, class) in res.l1i.iter().chain(res.l1d.iter()) {
             if class == Classification::AlwaysHit {
-                assert_eq!(l2.class(site), None, "L1-AH site {site:?} must not reach L2");
+                assert_eq!(
+                    l2.class(site),
+                    None,
+                    "L1-AH site {site:?} must not reach L2"
+                );
             }
         }
     }
@@ -110,7 +119,10 @@ mod tests {
         let l2 = res.l2.expect("configured");
         for (site, class) in res.l1i.iter().chain(res.l1d.iter()) {
             if class == Classification::AlwaysMiss {
-                assert!(l2.class(site).is_some(), "L1-AM site {site:?} must be analysed at L2");
+                assert!(
+                    l2.class(site).is_some(),
+                    "L1-AM site {site:?} must be analysed at L2"
+                );
             }
         }
     }

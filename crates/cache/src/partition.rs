@@ -65,8 +65,14 @@ pub enum PartitionError {
 impl fmt::Display for PartitionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PartitionError::Overcommitted { requested, available } => {
-                write!(f, "partition requests {requested} units but only {available} exist")
+            PartitionError::Overcommitted {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "partition requests {requested} units but only {available} exist"
+                )
             }
             PartitionError::EmptyAllocation(o) => write!(f, "{o} allocated zero resources"),
             PartitionError::BadBankCount { banks, sets } => {
@@ -139,13 +145,22 @@ impl PartitionPlan {
     /// the set count, or [`PartitionError::Overcommitted`] if `owners == 0`.
     pub fn even_banks(base: &CacheConfig, owners: u32) -> Result<PartitionPlan, PartitionError> {
         if owners == 0 {
-            return Err(PartitionError::Overcommitted { requested: 0, available: 0 });
+            return Err(PartitionError::Overcommitted {
+                requested: 0,
+                available: 0,
+            });
         }
-        if base.sets() % owners != 0 {
-            return Err(PartitionError::BadBankCount { banks: owners, sets: base.sets() });
+        if !base.sets().is_multiple_of(owners) {
+            return Err(PartitionError::BadBankCount {
+                banks: owners,
+                sets: base.sets(),
+            });
         }
         let banks = (0..owners).map(|o| (OwnerId(o), 1)).collect();
-        Ok(PartitionPlan::Banks { total_banks: owners, banks })
+        Ok(PartitionPlan::Banks {
+            total_banks: owners,
+            banks,
+        })
     }
 
     /// Validates allocations against `base`.
@@ -172,7 +187,7 @@ impl PartitionPlan {
                 Ok(())
             }
             PartitionPlan::Banks { total_banks, banks } => {
-                if *total_banks == 0 || base.sets() % total_banks != 0 {
+                if *total_banks == 0 || !base.sets().is_multiple_of(*total_banks) {
                     return Err(PartitionError::BadBankCount {
                         banks: *total_banks,
                         sets: base.sets(),
@@ -217,11 +232,15 @@ impl PartitionPlan {
         match self {
             PartitionPlan::Shared => Ok(*base),
             PartitionPlan::Columns { ways } => {
-                let w = *ways.get(&owner).ok_or(PartitionError::UnknownOwner(owner))?;
+                let w = *ways
+                    .get(&owner)
+                    .ok_or(PartitionError::UnknownOwner(owner))?;
                 Ok(base.with_ways(w)?)
             }
             PartitionPlan::Banks { total_banks, banks } => {
-                let b = *banks.get(&owner).ok_or(PartitionError::UnknownOwner(owner))?;
+                let b = *banks
+                    .get(&owner)
+                    .ok_or(PartitionError::UnknownOwner(owner))?;
                 let sets_per_bank = base.sets() / total_banks;
                 Ok(base.with_sets(sets_per_bank * b)?)
             }
@@ -280,7 +299,9 @@ mod tests {
     #[test]
     fn even_columns_split_ways() {
         let plan = PartitionPlan::even_columns(&l2(), 4).expect("fits");
-        let eff = plan.effective_config(&l2(), OwnerId(2)).expect("owner exists");
+        let eff = plan
+            .effective_config(&l2(), OwnerId(2))
+            .expect("owner exists");
         assert_eq!(eff.ways(), 2);
         assert_eq!(eff.sets(), 64);
         assert!(plan.isolates());
@@ -348,10 +369,8 @@ mod tests {
     #[test]
     fn core_based_beats_task_based_in_share_size() {
         // 2 cores, 6 tasks: core-based share (4 ways) > task-based (1 way).
-        let (_, core_eff) =
-            policy_partition(&l2(), AllocationPolicy::CoreBased, 2, 6).expect("ok");
-        let (_, task_eff) =
-            policy_partition(&l2(), AllocationPolicy::TaskBased, 2, 6).expect("ok");
+        let (_, core_eff) = policy_partition(&l2(), AllocationPolicy::CoreBased, 2, 6).expect("ok");
+        let (_, task_eff) = policy_partition(&l2(), AllocationPolicy::TaskBased, 2, 6).expect("ok");
         assert!(core_eff.ways() > task_eff.ways());
     }
 }

@@ -135,7 +135,9 @@ pub fn downgrade_direct_mapped(
     use wcet_ir::program::AccessAddrs;
 
     // Which sets are conflicted?
-    let conflicted: BTreeSet<u32> = (0..cache.sets()).filter(|&s| interference.lines(s) > 0).collect();
+    let conflicted: BTreeSet<u32> = (0..cache.sets())
+        .filter(|&s| interference.lines(s) > 0)
+        .collect();
 
     // Map each site to the sets it touches.
     let mut site_sets: BTreeMap<SiteId, Vec<u32>> = BTreeMap::new();
@@ -145,7 +147,10 @@ pub fn downgrade_direct_mapped(
                 AccessAddrs::Exact(a) => vec![cache.line_of(a)],
                 AccessAddrs::Range { base, bytes } => cache.lines_of_range(base, bytes),
             };
-            site_sets.insert((acc.block, acc.seq), lines.iter().map(|&l| cache.set_of(l)).collect());
+            site_sets.insert(
+                (acc.block, acc.seq),
+                lines.iter().map(|&l| cache.set_of(l)).collect(),
+            );
         }
     }
 
@@ -180,7 +185,9 @@ mod tests {
         let mut fp1: BTreeMap<u32, BTreeSet<LineAddr>> = BTreeMap::new();
         fp1.entry(0).or_default().extend([LineAddr(0), LineAddr(8)]);
         let mut fp2: BTreeMap<u32, BTreeSet<LineAddr>> = BTreeMap::new();
-        fp2.entry(0).or_default().extend([LineAddr(8), LineAddr(16)]);
+        fp2.entry(0)
+            .or_default()
+            .extend([LineAddr(8), LineAddr(16)]);
         fp2.entry(1).or_default().insert(LineAddr(1));
         let im = InterferenceMap::from_footprints([&fp1, &fp2]);
         assert_eq!(im.lines(0), 3); // 0, 8, 16 distinct
@@ -192,7 +199,9 @@ mod tests {
     #[test]
     fn shift_vector_saturates_at_ways() {
         let mut fp: BTreeMap<u32, BTreeSet<LineAddr>> = BTreeMap::new();
-        fp.entry(0).or_default().extend((0..10).map(|i| LineAddr(i * 4)));
+        fp.entry(0)
+            .or_default()
+            .extend((0..10).map(|i| LineAddr(i * 4)));
         let im = InterferenceMap::from_footprints([&fp]);
         let shifts = im.shift_vector(4, 2);
         assert_eq!(shifts, vec![2, 0, 0, 0]);
@@ -220,7 +229,10 @@ mod tests {
         let with_far = analyze(&victim, &input);
 
         let ah = |a: &crate::analysis::CacheAnalysis| a.histogram().0;
-        assert!(ah(&with_same) <= ah(&with_far), "identical placement can't be milder");
+        assert!(
+            ah(&with_same) <= ah(&with_far),
+            "identical placement can't be milder"
+        );
         assert!(ah(&with_far) <= ah(&baseline));
         assert!(ah(&with_same) < ah(&baseline), "full conflict must hurt");
     }

@@ -24,7 +24,6 @@ use wcet_cache::analysis::{AnalysisInput, LevelKind};
 use wcet_cache::config::{CacheConfig, LineAddr};
 use wcet_cache::multilevel::{analyze_hierarchy, HierarchyAnalysis, HierarchyConfig};
 use wcet_cache::partition::{OwnerId, PartitionPlan};
-use wcet_cache::shared::InterferenceMap;
 use wcet_ir::Program;
 use wcet_pipeline::cost::{block_costs, CoreMode, CostInput, UnboundedError};
 use wcet_pipeline::smt::SmtPolicy;
@@ -32,6 +31,7 @@ use wcet_pipeline::timing::MemTimings;
 use wcet_sim::config::{CoreKind, MachineConfig};
 
 use crate::ipet::{wcet_ipet, IpetError, IpetOptions, WcetBound};
+use crate::mode::{AnalysisMode, Isolated, JointRefs, Solo};
 
 /// Analysis failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,7 +122,10 @@ impl Analyzer {
     /// Creates an analyser for `machine`.
     #[must_use]
     pub fn new(machine: MachineConfig) -> Analyzer {
-        Analyzer { machine, options: IpetOptions::default() }
+        Analyzer {
+            machine,
+            options: IpetOptions::default(),
+        }
     }
 
     /// Overrides the IPET options (builder-style).
@@ -136,6 +139,12 @@ impl Analyzer {
     #[must_use]
     pub fn machine(&self) -> &MachineConfig {
         &self.machine
+    }
+
+    /// The IPET options in effect.
+    #[must_use]
+    pub fn options(&self) -> &IpetOptions {
+        &self.options
     }
 
     /// Total bus-requester slots (hardware threads).
@@ -160,11 +169,18 @@ impl Analyzer {
     ///
     /// [`AnalysisError::Unanalysable`] for configurations without a sound
     /// per-thread model.
-    fn core_context(&self, core: usize) -> Result<(CacheConfig, CacheConfig, CoreMode), AnalysisError> {
+    pub(crate) fn core_context(
+        &self,
+        core: usize,
+    ) -> Result<(CacheConfig, CacheConfig, CoreMode), AnalysisError> {
         let cc = &self.machine.cores[core];
         match cc.kind {
             CoreKind::Scalar => Ok((cc.l1i, cc.l1d, CoreMode::Single)),
-            CoreKind::Smt { threads, policy: SmtPolicy::PredictableRoundRobin, partitioned_l1 } => {
+            CoreKind::Smt {
+                threads,
+                policy: SmtPolicy::PredictableRoundRobin,
+                partitioned_l1,
+            } => {
                 if threads > 1 && !partitioned_l1 {
                     return Err(AnalysisError::Unanalysable(
                         "SMT threads share an unpartitioned L1".into(),
@@ -174,13 +190,19 @@ impl Analyzer {
                     let per = (c.ways() / threads.max(1)).max(1);
                     c.with_ways(per).expect("non-zero slice")
                 };
-                let (i, d) =
-                    if threads > 1 { (slice(cc.l1i), slice(cc.l1d)) } else { (cc.l1i, cc.l1d) };
+                let (i, d) = if threads > 1 {
+                    (slice(cc.l1i), slice(cc.l1d))
+                } else {
+                    (cc.l1i, cc.l1d)
+                };
                 Ok((i, d, CoreMode::PredictableSmt { threads }))
             }
-            CoreKind::Smt { policy: SmtPolicy::FreeForAll, .. } => Err(
-                AnalysisError::Unanalysable("free-for-all SMT issue policy".into()),
-            ),
+            CoreKind::Smt {
+                policy: SmtPolicy::FreeForAll,
+                ..
+            } => Err(AnalysisError::Unanalysable(
+                "free-for-all SMT issue policy".into(),
+            )),
             CoreKind::YieldMt { .. } => Err(AnalysisError::Unanalysable(
                 "yield-switching core: use the joint yield-graph analysis".into(),
             )),
@@ -207,7 +229,7 @@ impl Analyzer {
 
     /// The L2 analysis input for the task on `core`, under the given
     /// interference shift (empty = none).
-    fn l2_input(&self, core: usize, shift: Vec<u32>) -> Option<AnalysisInput> {
+    pub(crate) fn l2_input(&self, core: usize, shift: Vec<u32>) -> Option<AnalysisInput> {
         let l2 = self.machine.l2.as_ref()?;
         let effective = match &l2.partition {
             PartitionPlan::Shared => l2.cache,
@@ -242,7 +264,14 @@ impl Analyzer {
             Some(b) => b,
             None => self.bus_bound(core, thread),
         };
-        Ok(TaskContext { l1i, l1d, l2, timings, bus_wait_bound, mode })
+        Ok(TaskContext {
+            l1i,
+            l1d,
+            l2,
+            timings,
+            bus_wait_bound,
+            mode,
+        })
     }
 
     /// Runs hierarchy analysis + cost computation + IPET for one context.
@@ -256,7 +285,11 @@ impl Analyzer {
         ctx: &TaskContext,
         mode_name: &str,
     ) -> Result<WcetReport, AnalysisError> {
-        let hier_cfg = HierarchyConfig { l1i: ctx.l1i, l1d: ctx.l1d, l2: ctx.l2.clone() };
+        let hier_cfg = HierarchyConfig {
+            l1i: ctx.l1i,
+            l1d: ctx.l1d,
+            l2: ctx.l2.clone(),
+        };
         let hierarchy = analyze_hierarchy(program, &hier_cfg);
         let cost_input = CostInput {
             pipeline: self.machine.pipeline,
@@ -266,16 +299,34 @@ impl Analyzer {
         };
         let costs = block_costs(program, &hierarchy, &cost_input)?;
         let bound = wcet_ipet(program, &costs, &self.options)?;
-        Ok(WcetReport {
-            task: program.name().to_string(),
-            mode: mode_name.to_string(),
-            wcet: bound.wcet,
-            bus_wait_bound: ctx.bus_wait_bound,
-            l1i_hist: hierarchy.l1i.histogram(),
-            l1d_hist: hierarchy.l1d.histogram(),
-            l2_hist: hierarchy.l2.as_ref().map(|a| a.histogram()),
-            ipet: bound,
-        })
+        Ok(build_report(
+            program,
+            mode_name,
+            &hierarchy,
+            ctx.bus_wait_bound,
+            bound,
+        ))
+    }
+
+    /// Analyses one task under any [`AnalysisMode`] strategy: the mode
+    /// supplies the L2 interference shift and bus-bound policy, everything
+    /// else (context derivation, hierarchy analysis, cost model, IPET) is
+    /// shared.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn wcet_with(
+        &self,
+        program: &Program,
+        core: usize,
+        thread: usize,
+        mode: &dyn AnalysisMode,
+    ) -> Result<WcetReport, AnalysisError> {
+        let shift = mode.l2_shift(&self.machine);
+        let bus = mode.bus_bound(self, core, thread);
+        let ctx = self.task_context(core, thread, shift, bus)?;
+        self.analyze_with_context(program, &ctx, mode.name())
     }
 
     /// Classic solo analysis: the task is assumed alone on the machine —
@@ -286,18 +337,13 @@ impl Analyzer {
     /// # Errors
     ///
     /// See [`AnalysisError`].
-    pub fn wcet_solo(&self, program: &Program, core: usize, thread: usize) -> Result<WcetReport, AnalysisError> {
-        // "Alone" means zero *contention*, but a non-work-conserving
-        // arbiter (TDMA/MBBA/wheel) makes a lone requester wait for its
-        // slot anyway; that wait must be charged even in solo mode.
-        let arb = self.machine.bus.arbiter.build(self.total_slots());
-        let solo_wait = if arb.work_conserving() {
-            Some(0)
-        } else {
-            arb.worst_case_delay(self.bus_slot(core, thread), self.machine.bus.transfer)
-        };
-        let ctx = self.task_context(core, thread, Vec::new(), Some(solo_wait))?;
-        self.analyze_with_context(program, &ctx, "solo")
+    pub fn wcet_solo(
+        &self,
+        program: &Program,
+        core: usize,
+        thread: usize,
+    ) -> Result<WcetReport, AnalysisError> {
+        self.wcet_with(program, core, thread, &Solo)
     }
 
     /// Task-isolation analysis (paper §3.3): sound with *no* knowledge of
@@ -311,16 +357,13 @@ impl Analyzer {
     /// [`AnalysisError::Unbounded`] if the arbiter cannot bound this
     /// requester (e.g. a best-effort thread under CarCore-style fixed
     /// priority), plus the general errors.
-    pub fn wcet_isolated(&self, program: &Program, core: usize, thread: usize) -> Result<WcetReport, AnalysisError> {
-        let shift = match &self.machine.l2 {
-            Some(l2) if matches!(l2.partition, PartitionPlan::Shared) => {
-                // Unknown co-runners can evict anything.
-                vec![l2.cache.ways(); l2.cache.sets() as usize]
-            }
-            _ => Vec::new(),
-        };
-        let ctx = self.task_context(core, thread, shift, None)?;
-        self.analyze_with_context(program, &ctx, "isolated")
+    pub fn wcet_isolated(
+        &self,
+        program: &Program,
+        core: usize,
+        thread: usize,
+    ) -> Result<WcetReport, AnalysisError> {
+        self.wcet_with(program, core, thread, &Isolated)
     }
 
     /// Joint analysis (paper §3.1/§4.1): co-runner footprints are known;
@@ -338,15 +381,7 @@ impl Analyzer {
         thread: usize,
         corunner_footprints: &[&BTreeMap<u32, BTreeSet<LineAddr>>],
     ) -> Result<WcetReport, AnalysisError> {
-        let shift = match &self.machine.l2 {
-            Some(l2) => {
-                let im = InterferenceMap::from_footprints(corunner_footprints.iter().copied());
-                im.shift_vector(l2.cache.sets(), l2.cache.ways())
-            }
-            None => Vec::new(),
-        };
-        let ctx = self.task_context(core, thread, shift, None)?;
-        self.analyze_with_context(program, &ctx, "joint")
+        self.wcet_with(program, core, thread, &JointRefs(corunner_footprints))
     }
 
     /// The refined L2 footprint of a task (only lines whose accesses may
@@ -362,10 +397,37 @@ impl Analyzer {
         core: usize,
     ) -> Result<BTreeMap<u32, BTreeSet<LineAddr>>, AnalysisError> {
         let (l1i, l1d, _) = self.core_context(core)?;
-        let hier_cfg =
-            HierarchyConfig { l1i, l1d, l2: self.l2_input(core, Vec::new()) };
+        let hier_cfg = HierarchyConfig {
+            l1i,
+            l1d,
+            l2: self.l2_input(core, Vec::new()),
+        };
         let hierarchy: HierarchyAnalysis = analyze_hierarchy(program, &hier_cfg);
-        Ok(hierarchy.l2.map(|a| a.footprint().clone()).unwrap_or_default())
+        Ok(hierarchy
+            .l2
+            .map(|a| a.footprint().clone())
+            .unwrap_or_default())
+    }
+}
+
+/// Assembles a [`WcetReport`] from the analysis intermediates (shared by
+/// [`Analyzer::analyze_with_context`] and the memoizing engine).
+pub(crate) fn build_report(
+    program: &Program,
+    mode_name: &str,
+    hierarchy: &HierarchyAnalysis,
+    bus_wait_bound: Option<u64>,
+    bound: WcetBound,
+) -> WcetReport {
+    WcetReport {
+        task: program.name().to_string(),
+        mode: mode_name.to_string(),
+        wcet: bound.wcet,
+        bus_wait_bound,
+        l1i_hist: hierarchy.l1i.histogram(),
+        l1d_hist: hierarchy.l1d.histogram(),
+        l2_hist: hierarchy.l2.as_ref().map(|a| a.histogram()),
+        ipet: bound,
     }
 }
 
@@ -382,7 +444,12 @@ mod tests {
         let p = fir(4, 8, Placement::slot(0));
         let solo = an.wcet_solo(&p, 0, 0).expect("analyses");
         let iso = an.wcet_isolated(&p, 0, 0).expect("analyses");
-        assert!(solo.wcet <= iso.wcet, "solo {} vs isolated {}", solo.wcet, iso.wcet);
+        assert!(
+            solo.wcet <= iso.wcet,
+            "solo {} vs isolated {}",
+            solo.wcet,
+            iso.wcet
+        );
         assert!(solo.wcet < iso.wcet, "isolation must cost something here");
     }
 
@@ -402,15 +469,21 @@ mod tests {
 
     #[test]
     fn partitioned_l2_makes_isolated_tighter() {
-        let mut shared = MachineConfig::symmetric(4);
+        let shared = MachineConfig::symmetric(4);
         let mut partitioned = shared.clone();
         {
             let l2 = partitioned.l2.as_mut().expect("has l2");
             l2.partition = PartitionPlan::even_columns(&l2.cache, 4).expect("fits");
         }
         let p = fir(8, 16, Placement::slot(0));
-        let iso_shared = Analyzer::new(shared.clone()).wcet_isolated(&p, 0, 0).expect("ok").wcet;
-        let iso_part = Analyzer::new(partitioned).wcet_isolated(&p, 0, 0).expect("ok").wcet;
+        let iso_shared = Analyzer::new(shared.clone())
+            .wcet_isolated(&p, 0, 0)
+            .expect("ok")
+            .wcet;
+        let iso_part = Analyzer::new(partitioned)
+            .wcet_isolated(&p, 0, 0)
+            .expect("ok")
+            .wcet;
         assert!(
             iso_part <= iso_shared,
             "partitioning must help isolation: {iso_part} vs {iso_shared}"
@@ -427,7 +500,10 @@ mod tests {
         // HRT core bounded…
         assert!(an.wcet_isolated(&p, 0, 0).is_ok());
         // …best-effort core not.
-        assert_eq!(an.wcet_isolated(&p, 1, 0).unwrap_err(), AnalysisError::Unbounded);
+        assert_eq!(
+            an.wcet_isolated(&p, 1, 0).unwrap_err(),
+            AnalysisError::Unbounded
+        );
     }
 
     #[test]
@@ -461,7 +537,10 @@ mod tests {
         for k in 0..=fps.len() {
             let refs: Vec<&BTreeMap<u32, BTreeSet<LineAddr>>> = fps[..k].iter().collect();
             let w = an.wcet_joint(&victim, 0, 0, &refs).expect("ok").wcet;
-            assert!(w >= prev, "adding a co-runner shrank the WCET: {w} < {prev}");
+            assert!(
+                w >= prev,
+                "adding a co-runner shrank the WCET: {w} < {prev}"
+            );
             prev = w;
         }
     }

@@ -41,16 +41,17 @@ pub fn best_block_costs(
             let mut sites = program.accesses(b).into_iter();
             let best_extra = |site: &wcet_ir::AccessSite, is_fetch: bool| -> u64 {
                 let id = (site.block, site.seq);
-                let l1 = if is_fetch { &hierarchy.l1i } else { &hierarchy.l1d };
+                let l1 = if is_fetch {
+                    &hierarchy.l1i
+                } else {
+                    &hierarchy.l1d
+                };
                 match l1.class(id) {
                     Some(Classification::AlwaysMiss) => {
                         // Guaranteed past L1; cheapest continuation: L2 hit
                         // if an L2 exists and the access *may* hit there,
                         // else memory at zero wait.
-                        match (
-                            t.l2_hit,
-                            hierarchy.l2.as_ref().and_then(|a| a.class(id)),
-                        ) {
+                        match (t.l2_hit, hierarchy.l2.as_ref().and_then(|a| a.class(id))) {
                             (Some(_), Some(Classification::AlwaysMiss)) => t.mem_extra(0),
                             (Some(_), _) => t.l2_hit_extra(),
                             (None, _) => t.mem_extra(0),
@@ -93,11 +94,7 @@ pub fn best_block_costs(
 ///
 /// Returns [`IpetError`] if the flow system is infeasible or the solver
 /// gives up.
-pub fn bcet_ipet(
-    program: &Program,
-    costs: &BlockCosts,
-    ilp: IlpConfig,
-) -> Result<u64, IpetError> {
+pub fn bcet_ipet(program: &Program, costs: &BlockCosts, ilp: IlpConfig) -> Result<u64, IpetError> {
     let cfg = program.cfg();
     let mut model = LpModel::new();
     let x: std::collections::BTreeMap<BlockId, VarId> = cfg
@@ -181,9 +178,18 @@ impl Analyzer {
     /// # Errors
     ///
     /// See [`AnalysisError`].
-    pub fn bcet(&self, program: &Program, core: usize, thread: usize) -> Result<u64, AnalysisError> {
+    pub fn bcet(
+        &self,
+        program: &Program,
+        core: usize,
+        thread: usize,
+    ) -> Result<u64, AnalysisError> {
         let ctx: TaskContext = self.task_context(core, thread, Vec::new(), Some(Some(0)))?;
-        let hier_cfg = HierarchyConfig { l1i: ctx.l1i, l1d: ctx.l1d, l2: ctx.l2.clone() };
+        let hier_cfg = HierarchyConfig {
+            l1i: ctx.l1i,
+            l1d: ctx.l1d,
+            l2: ctx.l2.clone(),
+        };
         let hierarchy = analyze_hierarchy(program, &hier_cfg);
         let input = CostInput {
             pipeline: self.machine().pipeline,
@@ -237,7 +243,9 @@ mod tests {
         let an = Analyzer::new(m.clone());
         let p = synth::single_path(4, 20, Placement::slot(0));
         let bcet = an.bcet(&p, 0, 0).expect("analyses");
-        let obs = run_machine(&m, vec![(0, 0, p)], 100_000_000).expect("runs").cycles(0, 0);
+        let obs = run_machine(&m, vec![(0, 0, p)], 100_000_000)
+            .expect("runs")
+            .cycles(0, 0);
         assert!(bcet * 4 >= obs, "BCET {bcet} too weak vs observation {obs}");
     }
 
@@ -246,11 +254,7 @@ mod tests {
         let m = MachineConfig::symmetric(1);
         let an = Analyzer::new(m);
         for seed in 0..15u64 {
-            let p = synth::random_program(
-                seed,
-                synth::RandomParams::default(),
-                Placement::slot(0),
-            );
+            let p = synth::random_program(seed, synth::RandomParams::default(), Placement::slot(0));
             let bcet = an.bcet(&p, 0, 0).expect("analyses");
             let wcet = an.wcet_solo(&p, 0, 0).expect("analyses").wcet;
             assert!(bcet <= wcet, "seed {seed}: BCET {bcet} > WCET {wcet}");

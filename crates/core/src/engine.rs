@@ -1,0 +1,601 @@
+//! The batch analysis engine: memoized intermediates + parallel fan-out.
+//!
+//! [`crate::analyzer::Analyzer`] recomputes every intermediate — cache
+//! hierarchy fixpoints ([`wcet_cache::multilevel::analyze_hierarchy`]),
+//! block costs ([`wcet_pipeline::cost::block_costs`]) and the IPET solve —
+//! on every call. Experiment drivers ask for the same task under several
+//! modes, several co-runner sets and several machines, so whole fixpoints
+//! are recomputed dozens of times; and a task *set* is embarrassingly
+//! parallel across tasks.
+//!
+//! [`AnalysisEngine`] fixes both:
+//!
+//! * **Memoization** — shared intermediates are cached keyed by
+//!   `(task fingerprint, effective cache geometry, interference)`:
+//!   hierarchy fixpoints by [`HierKey`]-equivalence, block costs and IPET
+//!   bounds additionally by the bus bound and core mode. Two modes that
+//!   induce the same effective context (e.g. `solo` and `isolated` on a
+//!   partitioned L2) share everything but the report label.
+//! * **Parallelism** — [`AnalysisEngine::analyze_batch`] fans jobs out
+//!   across `std::thread::scope` workers (default: one per available
+//!   core), and [`AnalysisEngine::analyze_task_set`] does the same for a
+//!   whole [`wcet_sched::TaskSet`] in one call.
+//!
+//! Results are byte-identical to the sequential [`Analyzer`] path: every
+//! memoized function is deterministic in its key.
+
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use wcet_cache::analysis::AnalysisInput;
+use wcet_cache::config::{CacheConfig, LineAddr};
+use wcet_cache::multilevel::{analyze_hierarchy, HierarchyAnalysis, HierarchyConfig};
+use wcet_ir::Program;
+use wcet_pipeline::cost::{block_costs, BlockCosts, CoreMode, CostInput};
+use wcet_sched::TaskSet;
+use wcet_sim::config::MachineConfig;
+
+use crate::analyzer::{build_report, AnalysisError, Analyzer, TaskContext, WcetReport};
+use crate::ipet::{wcet_ipet, IpetOptions, WcetBound};
+use crate::mode::AnalysisMode;
+
+/// Memo key of one hierarchy fixpoint: the task's content fingerprint plus
+/// everything [`analyze_hierarchy`] reads from the context.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct HierKey {
+    task: (u64, u64),
+    l1i: CacheConfig,
+    l1d: CacheConfig,
+    l2: Option<L2Key>,
+}
+
+/// The L2 side of a [`HierKey`]: effective geometry, locking, bypass and
+/// the mode-dependent interference shift.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct L2Key {
+    cache: CacheConfig,
+    set_ways: Option<Vec<u32>>,
+    locked: Vec<LineAddr>,
+    bypass: Vec<LineAddr>,
+    shift: Vec<u32>,
+}
+
+impl L2Key {
+    fn of(input: &AnalysisInput) -> L2Key {
+        L2Key {
+            cache: input.cache,
+            set_ways: input.set_ways.clone(),
+            locked: input.locked.iter().copied().collect(),
+            bypass: input.bypass.iter().copied().collect(),
+            shift: input.interference_shift.clone(),
+        }
+    }
+}
+
+/// Memo key of block costs and IPET bounds: the hierarchy plus the two
+/// remaining cost inputs that vary per task context (pipeline geometry and
+/// timings are fixed by the engine's machine).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CostKey {
+    hier: HierKey,
+    bus_wait_bound: Option<u64>,
+    mode: CoreMode,
+}
+
+/// Streams `fmt` output straight into a hasher — no intermediate
+/// allocation of the (multi-KB) Debug dump.
+struct HashWriter<'a>(&'a mut DefaultHasher);
+
+impl std::fmt::Write for HashWriter<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// 128-bit structural fingerprint of a program (name + full content), so
+/// memo entries never alias distinct tasks that happen to share a name.
+/// Two independently-seeded 64-bit digests of the Debug rendering: a
+/// collision between distinct programs needs both halves to collide
+/// (~2⁻¹²⁸ per pair), which is below any practical concern — the memo
+/// never stores enough entries to make a birthday attack on 128 bits
+/// relevant.
+fn fingerprint(program: &Program) -> (u64, u64) {
+    use std::fmt::Write as _;
+    let mut h1 = DefaultHasher::new();
+    let mut h2 = DefaultHasher::new();
+    h2.write_u64(0x9e37_79b9_7f4a_7c15); // domain-separate the second half
+    for h in [&mut h1, &mut h2] {
+        program.name().hash(h);
+        write!(HashWriter(h), "{program:?}").expect("hashing never fails");
+    }
+    (h1.finish(), h2.finish())
+}
+
+/// Monotonic hit/miss counters for one memo table.
+#[derive(Debug, Default)]
+struct TableStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TableStats {
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time view of the engine's memoization effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Cache-hierarchy fixpoints served from the memo.
+    pub hierarchy_hits: u64,
+    /// Cache-hierarchy fixpoints computed.
+    pub hierarchy_misses: u64,
+    /// Block-cost tables served from the memo.
+    pub cost_hits: u64,
+    /// Block-cost tables computed.
+    pub cost_misses: u64,
+    /// IPET bounds served from the memo.
+    pub bound_hits: u64,
+    /// IPET bounds solved.
+    pub bound_misses: u64,
+}
+
+impl MemoStats {
+    /// Total lookups across all three tables.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hierarchy_hits
+            + self.hierarchy_misses
+            + self.cost_hits
+            + self.cost_misses
+            + self.bound_hits
+            + self.bound_misses
+    }
+
+    /// Total hits across all three tables.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hierarchy_hits + self.cost_hits + self.bound_hits
+    }
+}
+
+/// One unit of batch work: a task placed at `(core, thread)`, analysed
+/// under `mode`.
+#[derive(Clone, Copy)]
+pub struct Job<'a> {
+    /// The task.
+    pub program: &'a Program,
+    /// Core index in the engine's machine.
+    pub core: usize,
+    /// Hardware-thread index within the core.
+    pub thread: usize,
+    /// The approach family to apply.
+    pub mode: &'a dyn AnalysisMode,
+}
+
+impl<'a> Job<'a> {
+    /// A job at thread slot 0 of `core`.
+    #[must_use]
+    pub fn new(program: &'a Program, core: usize, mode: &'a dyn AnalysisMode) -> Job<'a> {
+        Job {
+            program,
+            core,
+            thread: 0,
+            mode,
+        }
+    }
+}
+
+impl std::fmt::Debug for Job<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("program", &self.program.name())
+            .field("core", &self.core)
+            .field("thread", &self.thread)
+            .field("mode", &self.mode.name())
+            .finish()
+    }
+}
+
+/// The memoizing, parallel batch analyser. See the [module docs](self).
+#[derive(Debug)]
+pub struct AnalysisEngine {
+    analyzer: Analyzer,
+    threads: Option<NonZeroUsize>,
+    hierarchies: RwLock<HashMap<HierKey, Arc<HierarchyAnalysis>>>,
+    costs: RwLock<HashMap<CostKey, Arc<BlockCosts>>>,
+    bounds: RwLock<HashMap<CostKey, WcetBound>>,
+    hier_stats: TableStats,
+    cost_stats: TableStats,
+    bound_stats: TableStats,
+}
+
+impl AnalysisEngine {
+    /// Creates an engine for `machine` with default IPET options and one
+    /// worker per available hardware thread.
+    #[must_use]
+    pub fn new(machine: MachineConfig) -> AnalysisEngine {
+        AnalysisEngine::from_analyzer(Analyzer::new(machine))
+    }
+
+    /// Wraps an existing analyser (keeping its IPET options).
+    #[must_use]
+    pub fn from_analyzer(analyzer: Analyzer) -> AnalysisEngine {
+        AnalysisEngine {
+            analyzer,
+            threads: None,
+            hierarchies: RwLock::new(HashMap::new()),
+            costs: RwLock::new(HashMap::new()),
+            bounds: RwLock::new(HashMap::new()),
+            hier_stats: TableStats::default(),
+            cost_stats: TableStats::default(),
+            bound_stats: TableStats::default(),
+        }
+    }
+
+    /// Overrides the IPET options (builder-style). Clears the memo: bounds
+    /// depend on the options.
+    #[must_use]
+    pub fn with_options(mut self, options: IpetOptions) -> AnalysisEngine {
+        self.analyzer = self.analyzer.clone().with_options(options);
+        self.bounds = RwLock::new(HashMap::new());
+        self
+    }
+
+    /// Overrides the worker count for batch calls (builder-style).
+    /// `0` restores the default of one worker per available core.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> AnalysisEngine {
+        self.threads = NonZeroUsize::new(threads);
+        self
+    }
+
+    /// The wrapped sequential analyser.
+    #[must_use]
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// The machine description.
+    #[must_use]
+    pub fn machine(&self) -> &MachineConfig {
+        self.analyzer.machine()
+    }
+
+    /// Current memoization counters.
+    #[must_use]
+    pub fn memo_stats(&self) -> MemoStats {
+        MemoStats {
+            hierarchy_hits: self.hier_stats.hits.load(Ordering::Relaxed),
+            hierarchy_misses: self.hier_stats.misses.load(Ordering::Relaxed),
+            cost_hits: self.cost_stats.hits.load(Ordering::Relaxed),
+            cost_misses: self.cost_stats.misses.load(Ordering::Relaxed),
+            bound_hits: self.bound_stats.hits.load(Ordering::Relaxed),
+            bound_misses: self.bound_stats.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Analyses one task under `mode`, reusing every memoized
+    /// intermediate. Identical results to
+    /// [`Analyzer::wcet_with`](crate::analyzer::Analyzer::wcet_with).
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn analyze(
+        &self,
+        program: &Program,
+        core: usize,
+        thread: usize,
+        mode: &dyn AnalysisMode,
+    ) -> Result<WcetReport, AnalysisError> {
+        let shift = mode.l2_shift(self.machine());
+        let bus = mode.bus_bound(&self.analyzer, core, thread);
+        let ctx = self.analyzer.task_context(core, thread, shift, bus)?;
+        self.analyze_in_context(program, &ctx, mode.name())
+    }
+
+    /// The memoized equivalent of [`Analyzer::analyze_with_context`].
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn analyze_in_context(
+        &self,
+        program: &Program,
+        ctx: &TaskContext,
+        mode_name: &str,
+    ) -> Result<WcetReport, AnalysisError> {
+        let hier_key = HierKey {
+            task: fingerprint(program),
+            l1i: ctx.l1i,
+            l1d: ctx.l1d,
+            l2: ctx.l2.as_ref().map(L2Key::of),
+        };
+        let hierarchy = self.hierarchy(program, ctx, &hier_key);
+        let cost_key = CostKey {
+            hier: hier_key,
+            bus_wait_bound: ctx.bus_wait_bound,
+            mode: ctx.mode,
+        };
+        let costs = self.block_costs(program, &hierarchy, ctx, &cost_key)?;
+        let bound = self.bound(program, &costs, &cost_key)?;
+        Ok(build_report(
+            program,
+            mode_name,
+            &hierarchy,
+            ctx.bus_wait_bound,
+            bound,
+        ))
+    }
+
+    /// Analyses a batch of jobs across worker threads. Results are
+    /// returned in job order; each job fails independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked (propagating the panic).
+    pub fn analyze_batch(&self, jobs: &[Job<'_>]) -> Vec<Result<WcetReport, AnalysisError>> {
+        let workers = self
+            .threads
+            .or_else(|| std::thread::available_parallelism().ok())
+            .map_or(1, NonZeroUsize::get)
+            .min(jobs.len());
+        if workers <= 1 {
+            return jobs
+                .iter()
+                .map(|j| self.analyze(j.program, j.core, j.thread, j.mode))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<WcetReport, AnalysisError>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let result = self.analyze(job.program, job.core, job.thread, job.mode);
+                    *slots[i].lock().expect("result slot") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("every job slot is filled")
+            })
+            .collect()
+    }
+
+    /// Analyses a whole task set in one batch call: task `i` runs
+    /// `programs[i]` on its mapped core (hardware-thread slot 0 — task
+    /// sets model timesharing, not SMT placement), all under `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != set.len()` or a worker panicked.
+    pub fn analyze_task_set(
+        &self,
+        set: &TaskSet,
+        programs: &[Program],
+        mode: &dyn AnalysisMode,
+    ) -> Vec<Result<WcetReport, AnalysisError>> {
+        assert_eq!(
+            programs.len(),
+            set.len(),
+            "one program per task: got {} programs for {} tasks",
+            programs.len(),
+            set.len()
+        );
+        let jobs: Vec<Job<'_>> = set
+            .ids()
+            .zip(programs)
+            .map(|(id, program)| Job::new(program, set.task(id).core, mode))
+            .collect();
+        self.analyze_batch(&jobs)
+    }
+
+    /// The memoized refined L2 footprint of a task on `core` (see
+    /// [`Analyzer::l2_footprint`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn l2_footprint(
+        &self,
+        program: &Program,
+        core: usize,
+    ) -> Result<crate::mode::Footprint, AnalysisError> {
+        let (l1i, l1d, _) = self.analyzer.core_context(core)?;
+        let l2 = self.analyzer.l2_input(core, Vec::new());
+        let hier_key = HierKey {
+            task: fingerprint(program),
+            l1i,
+            l1d,
+            l2: l2.as_ref().map(L2Key::of),
+        };
+        // Reuse the hierarchy memo via a synthetic context carrying only
+        // the fields `hierarchy` reads.
+        let hierarchy = self.hierarchy_from_parts(program, l1i, l1d, l2, &hier_key);
+        Ok(hierarchy
+            .l2
+            .as_ref()
+            .map(|a| a.footprint().clone())
+            .unwrap_or_default())
+    }
+
+    fn hierarchy(
+        &self,
+        program: &Program,
+        ctx: &TaskContext,
+        key: &HierKey,
+    ) -> Arc<HierarchyAnalysis> {
+        self.hierarchy_from_parts(program, ctx.l1i, ctx.l1d, ctx.l2.clone(), key)
+    }
+
+    fn hierarchy_from_parts(
+        &self,
+        program: &Program,
+        l1i: CacheConfig,
+        l1d: CacheConfig,
+        l2: Option<AnalysisInput>,
+        key: &HierKey,
+    ) -> Arc<HierarchyAnalysis> {
+        if let Some(hit) = self.hierarchies.read().expect("memo lock").get(key) {
+            self.hier_stats.hit();
+            return Arc::clone(hit);
+        }
+        // Compute outside the lock: fixpoints are slow, and duplicated
+        // work on a race is benign (deterministic result).
+        let computed = Arc::new(analyze_hierarchy(
+            program,
+            &HierarchyConfig { l1i, l1d, l2 },
+        ));
+        self.hier_stats.miss();
+        let mut table = self.hierarchies.write().expect("memo lock");
+        Arc::clone(table.entry(key.clone()).or_insert(computed))
+    }
+
+    fn block_costs(
+        &self,
+        program: &Program,
+        hierarchy: &HierarchyAnalysis,
+        ctx: &TaskContext,
+        key: &CostKey,
+    ) -> Result<Arc<BlockCosts>, AnalysisError> {
+        if let Some(hit) = self.costs.read().expect("memo lock").get(key) {
+            self.cost_stats.hit();
+            return Ok(Arc::clone(hit));
+        }
+        let input = CostInput {
+            pipeline: self.machine().pipeline,
+            timings: ctx.timings,
+            bus_wait_bound: ctx.bus_wait_bound,
+            mode: ctx.mode,
+        };
+        let computed = Arc::new(block_costs(program, hierarchy, &input)?);
+        self.cost_stats.miss();
+        let mut table = self.costs.write().expect("memo lock");
+        Ok(Arc::clone(table.entry(key.clone()).or_insert(computed)))
+    }
+
+    fn bound(
+        &self,
+        program: &Program,
+        costs: &BlockCosts,
+        key: &CostKey,
+    ) -> Result<WcetBound, AnalysisError> {
+        if let Some(hit) = self.bounds.read().expect("memo lock").get(key) {
+            self.bound_stats.hit();
+            return Ok(hit.clone());
+        }
+        let computed = wcet_ipet(program, costs, self.analyzer.options())?;
+        self.bound_stats.miss();
+        let mut table = self.bounds.write().expect("memo lock");
+        Ok(table.entry(key.clone()).or_insert(computed).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::{Isolated, Joint, Solo};
+    use wcet_ir::synth::{fir, matmul, Placement};
+
+    #[test]
+    fn engine_matches_sequential_analyzer() {
+        let machine = MachineConfig::symmetric(2);
+        let engine = AnalysisEngine::new(machine.clone());
+        let an = Analyzer::new(machine);
+        let p = fir(4, 8, Placement::slot(0));
+        for mode in [&Solo as &dyn AnalysisMode, &Isolated] {
+            let seq = an.wcet_with(&p, 0, 0, mode).expect("analyses");
+            let eng = engine.analyze(&p, 0, 0, mode).expect("analyses");
+            assert_eq!(seq, eng);
+        }
+    }
+
+    #[test]
+    fn memo_hits_on_repeat_and_across_modes() {
+        let mut machine = MachineConfig::symmetric(2);
+        // Partitioned L2: solo and isolated induce the same context.
+        let l2 = machine.l2.as_mut().expect("has l2");
+        l2.partition =
+            wcet_cache::partition::PartitionPlan::even_columns(&l2.cache, 2).expect("fits");
+        let engine = AnalysisEngine::new(machine);
+        let p = fir(4, 8, Placement::slot(0));
+        let solo = engine.analyze(&p, 0, 0, &Solo).expect("analyses");
+        let stats = engine.memo_stats();
+        assert_eq!(stats.hits(), 0);
+        // Same mode again: everything hits.
+        let again = engine.analyze(&p, 0, 0, &Solo).expect("analyses");
+        assert_eq!(solo, again);
+        let stats = engine.memo_stats();
+        assert_eq!(stats.hierarchy_hits, 1);
+        assert_eq!(stats.bound_hits, 1);
+        // Isolated on the partitioned L2 shares the hierarchy fixpoint
+        // (same shift) even though the bus bound differs.
+        let iso = engine.analyze(&p, 0, 0, &Isolated).expect("analyses");
+        assert_eq!(iso.mode, "isolated");
+        assert!(engine.memo_stats().hierarchy_hits >= 2);
+    }
+
+    #[test]
+    fn batch_preserves_order_and_independent_failures() {
+        let mut machine = MachineConfig::symmetric(4);
+        // Only core 0 is the HRT bus requester: jobs on other cores have
+        // no delay bound and must fail in isolation mode — alone.
+        machine.bus.arbiter = wcet_arbiter::ArbiterKind::FixedPriority { hrt: 0 };
+        let engine = AnalysisEngine::new(machine);
+        let a = fir(4, 8, Placement::slot(0));
+        let b = matmul(6, Placement::slot(1));
+        let jobs = [
+            Job::new(&a, 0, &Isolated),
+            Job {
+                program: &b,
+                core: 1,
+                thread: 0,
+                mode: &Isolated,
+            },
+            Job::new(&b, 2, &Solo),
+        ];
+        let results = engine.analyze_batch(&jobs);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().expect("ok").task, a.name());
+        assert_eq!(
+            results[1]
+                .as_ref()
+                .expect_err("best-effort core must be unbounded"),
+            &AnalysisError::Unbounded
+        );
+        assert_eq!(results[2].as_ref().expect("ok").task, b.name());
+    }
+
+    #[test]
+    fn joint_mode_through_engine_matches_analyzer() {
+        let machine = MachineConfig::symmetric(2);
+        let engine = AnalysisEngine::new(machine.clone());
+        let an = Analyzer::new(machine);
+        let victim = fir(4, 8, Placement::slot(0));
+        let bully = matmul(6, Placement::slot(1));
+        let fp = engine.l2_footprint(&bully, 1).expect("analyses");
+        let fp_seq = an.l2_footprint(&bully, 1).expect("analyses");
+        assert_eq!(fp, fp_seq);
+        let joint = Joint::new([fp.clone()]);
+        let eng = engine.analyze(&victim, 0, 0, &joint).expect("analyses");
+        let seq = an.wcet_joint(&victim, 0, 0, &[&fp]).expect("analyses");
+        assert_eq!(eng, seq);
+    }
+}

@@ -9,7 +9,9 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use wcet_ilp::{solve_ilp, solve_lp, CmpOp, IlpConfig, IlpError, LinExpr, LpModel, Rat, SolveStatus, VarId};
+use wcet_ilp::{
+    solve_ilp, solve_lp, CmpOp, IlpConfig, IlpError, LinExpr, LpModel, Rat, SolveStatus, VarId,
+};
 use wcet_ir::{BlockId, Edge, Program};
 use wcet_pipeline::cost::BlockCosts;
 
@@ -25,7 +27,10 @@ pub struct IpetOptions {
 
 impl Default for IpetOptions {
     fn default() -> Self {
-        IpetOptions { integer: true, ilp: IlpConfig::default() }
+        IpetOptions {
+            integer: true,
+            ilp: IlpConfig::default(),
+        }
     }
 }
 
@@ -46,7 +51,9 @@ impl fmt::Display for IpetError {
         match self {
             IpetError::Ilp(e) => write!(f, "{e}"),
             IpetError::Infeasible => f.write_str("IPET flow system is infeasible"),
-            IpetError::Unbounded => f.write_str("IPET objective is unbounded (missing loop bound?)"),
+            IpetError::Unbounded => {
+                f.write_str("IPET objective is unbounded (missing loop bound?)")
+            }
         }
     }
 }
@@ -159,7 +166,9 @@ pub fn wcet_ipet(
     for pair in program.flow().infeasible_pairs() {
         let once = |e: &Edge| program.max_block_count(e.from) <= 1;
         if once(&pair.a) && once(&pair.b) {
-            let expr = LinExpr::new().with_term(f[&pair.a], 1).with_term(f[&pair.b], 1);
+            let expr = LinExpr::new()
+                .with_term(f[&pair.a], 1)
+                .with_term(f[&pair.b], 1);
             model.add_constraint(expr, CmpOp::Le, 1);
         }
     }
@@ -273,19 +282,26 @@ mod tests {
             .into_iter()
             .map(|e| (e.from.index(), e.to.index(), 0))
             .collect();
-        let weights: Vec<u64> = cfg
-            .block_ids()
-            .map(|b| costs.cost(b))
-            .collect();
+        let weights: Vec<u64> = cfg.block_ids().map(|b| costs.cost(b)).collect();
         let sinks: Vec<usize> = cfg.exits().iter().map(|b| b.index()).collect();
-        let oracle = longest_path(cfg.num_blocks(), &edges, &weights, cfg.entry().index(), &sinks)
-            .expect("acyclic")
-            .expect("reachable");
+        let oracle = longest_path(
+            cfg.num_blocks(),
+            &edges,
+            &weights,
+            cfg.entry().index(),
+            &sinks,
+        )
+        .expect("acyclic")
+        .expect("reachable");
         assert!(bound.wcet <= oracle);
         // twin_diamonds: both heavy arms lie on mutually-exclusive paths,
         // so IPET with exclusions must be strictly below the free longest
         // path.
-        assert!(bound.wcet < oracle, "exclusion must bite: {} vs {oracle}", bound.wcet);
+        assert!(
+            bound.wcet < oracle,
+            "exclusion must bite: {} vs {oracle}",
+            bound.wcet
+        );
     }
 
     #[test]
@@ -322,8 +338,15 @@ mod tests {
         let p = crc(16, Placement::default());
         let costs = slot_costs(&p);
         let ilp = wcet_ipet(&p, &costs, &IpetOptions::default()).expect("solves");
-        let lp = wcet_ipet(&p, &costs, &IpetOptions { integer: false, ilp: IlpConfig::default() })
-            .expect("solves");
+        let lp = wcet_ipet(
+            &p,
+            &costs,
+            &IpetOptions {
+                integer: false,
+                ilp: IlpConfig::default(),
+            },
+        )
+        .expect("solves");
         assert!(lp.wcet >= ilp.wcet);
         assert_eq!(lp.solver_nodes, 0);
     }

@@ -42,7 +42,9 @@
 
 pub mod analyzer;
 pub mod bcet;
+pub mod engine;
 pub mod ipet;
+pub mod mode;
 pub mod report;
 pub mod static_ctrl;
 pub mod validate;
@@ -50,7 +52,9 @@ pub mod yieldgraph;
 
 pub use analyzer::{AnalysisError, Analyzer, TaskContext, WcetReport};
 pub use bcet::{bcet_ipet, best_block_costs};
+pub use engine::{AnalysisEngine, Job, MemoStats};
 pub use ipet::{wcet_ipet, IpetError, IpetOptions, WcetBound};
+pub use mode::{AnalysisMode, Footprint, Isolated, Joint, JointRefs, Solo};
 pub use report::Table;
 pub use validate::{observe, run_machine, Observation};
 pub use yieldgraph::{joint_yield_wcet, YieldReport};

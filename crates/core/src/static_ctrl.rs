@@ -41,7 +41,11 @@ pub struct StaticParams {
 
 impl StaticParams {
     fn hierarchy_with_l2(&self, l2_input: Option<AnalysisInput>) -> HierarchyConfig {
-        HierarchyConfig { l1i: self.l1i, l1d: self.l1d, l2: l2_input }
+        HierarchyConfig {
+            l1i: self.l1i,
+            l1d: self.l1d,
+            l2: l2_input,
+        }
     }
 
     fn cost_input(&self) -> CostInput {
@@ -54,7 +58,8 @@ impl StaticParams {
     }
 
     fn plain_l2_input(&self) -> Option<AnalysisInput> {
-        self.l2.map(|c| AnalysisInput::level1(c, LevelKind::Unified))
+        self.l2
+            .map(|c| AnalysisInput::level1(c, LevelKind::Unified))
     }
 }
 
@@ -63,7 +68,11 @@ impl StaticParams {
 /// # Errors
 ///
 /// See [`AnalysisError`].
-pub fn wcet_unlocked(program: &Program, params: &StaticParams, opts: &IpetOptions) -> Result<u64, AnalysisError> {
+pub fn wcet_unlocked(
+    program: &Program,
+    params: &StaticParams,
+    opts: &IpetOptions,
+) -> Result<u64, AnalysisError> {
     let hierarchy = analyze_hierarchy(program, &params.hierarchy_with_l2(params.plain_l2_input()));
     let costs = block_costs(program, &hierarchy, &params.cost_input())?;
     Ok(wcet_ipet(program, &costs, opts)?.wcet)
@@ -157,11 +166,18 @@ pub fn wcet_dynamic_lock(
             None => startup += reload,
         }
     }
-    let costs = BlockCosts { base, loop_entry_extras, startup };
+    let costs = BlockCosts {
+        base,
+        loop_entry_extras,
+        startup,
+    };
     Ok((wcet_ipet(program, &costs, opts)?.wcet, plan))
 }
 
-fn locked_ways_vector(l2: &CacheConfig, locked: &BTreeSet<wcet_cache::config::LineAddr>) -> Vec<u32> {
+fn locked_ways_vector(
+    l2: &CacheConfig,
+    locked: &BTreeSet<wcet_cache::config::LineAddr>,
+) -> Vec<u32> {
     let mut per_set = vec![0u32; l2.sets() as usize];
     for &line in locked {
         per_set[l2.set_of(line) as usize] += 1;
@@ -214,7 +230,9 @@ pub fn tdma_offset_aware_wcet(
             // Fetch access.
             let acc = run.accesses[trace_pos];
             debug_assert_eq!(acc.kind, AccessKind::Fetch);
-            t += access_time(acc.addr, true, &mut l1i, &mut l1d, &mut l2, params, tdma, slot_owner, t)?;
+            t += access_time(
+                acc.addr, true, &mut l1i, &mut l1d, &mut l2, params, tdma, slot_owner, t,
+            )?;
             trace_pos += 1;
             // Optional data access.
             let is_term = slot_idx + 1 == blk.fetch_slots();
@@ -267,7 +285,11 @@ fn access_time(
     }
     // Memory transaction at the current offset.
     let wait = tdma
-        .delay_at_offset(slot_owner, (now + extra) % tdma.period(), params.timings.bus_transfer)
+        .delay_at_offset(
+            slot_owner,
+            (now + extra) % tdma.period(),
+            params.timings.bus_transfer,
+        )
         .ok_or(AnalysisError::Unbounded)?;
     Ok(extra + wait + params.timings.bus_transfer + params.timings.mem_latency)
 }
@@ -308,7 +330,9 @@ pub fn offset_state_sizes(
             }
         }
     }
-    cfg.block_ids().map(|b| (b, states[b.index()].len())).collect()
+    cfg.block_ids()
+        .map(|b| (b, states[b.index()].len()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -322,7 +346,12 @@ mod tests {
             l1i: CacheConfig::new(32, 2, 16, 1).expect("valid"),
             l1d: CacheConfig::new(16, 2, 32, 1).expect("valid"),
             l2: Some(CacheConfig::new(64, 4, 32, 4).expect("valid")),
-            timings: MemTimings { l1_hit: 1, l2_hit: Some(4), bus_transfer: 8, mem_latency: 30 },
+            timings: MemTimings {
+                l1_hit: 1,
+                l2_hit: Some(4),
+                bus_transfer: 8,
+                mem_latency: 30,
+            },
             bus_wait_bound: Some(0),
             pipeline: PipelineConfig::default(),
             mode: CoreMode::Single,
@@ -330,8 +359,20 @@ mod tests {
     }
 
     fn tdma2(slot_len: u64) -> Tdma {
-        Tdma::new(2, vec![Slot { owner: 0, len: slot_len }, Slot { owner: 1, len: slot_len }])
-            .expect("valid")
+        Tdma::new(
+            2,
+            vec![
+                Slot {
+                    owner: 0,
+                    len: slot_len,
+                },
+                Slot {
+                    owner: 1,
+                    len: slot_len,
+                },
+            ],
+        )
+        .expect("valid")
     }
 
     #[test]

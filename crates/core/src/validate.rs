@@ -68,7 +68,10 @@ pub fn observe(
     let mut loads = vec![(core, thread, program)];
     loads.extend(corunners);
     let result = run_machine(config, loads, cycle_limit)?;
-    Ok(Observation { observed: result.cycles(core, thread), bound })
+    Ok(Observation {
+        observed: result.cycles(core, thread),
+        bound,
+    })
 }
 
 #[cfg(test)]
@@ -96,7 +99,12 @@ mod tests {
             100_000_000,
         )
         .expect("runs");
-        assert!(obs.sound(), "isolation bound violated: {} > {}", obs.observed, obs.bound);
+        assert!(
+            obs.sound(),
+            "isolation bound violated: {} > {}",
+            obs.observed,
+            obs.bound
+        );
     }
 
     #[test]
@@ -106,7 +114,12 @@ mod tests {
         let p = crc(24, Placement::slot(0));
         let bound = an.wcet_solo(&p, 0, 0).expect("analyses").wcet;
         let obs = observe(&machine, (0, 0, p), vec![], bound, 100_000_000).expect("runs");
-        assert!(obs.sound(), "solo bound must hold alone: {} > {}", obs.observed, obs.bound);
+        assert!(
+            obs.sound(),
+            "solo bound must hold alone: {} > {}",
+            obs.observed,
+            obs.bound
+        );
         assert!(obs.ratio() >= 1.0);
     }
 
@@ -129,9 +142,21 @@ mod tests {
             &machine,
             (0, 0, victim),
             vec![
-                (1, 0, pointer_chase_stride(4_096, 4_000, 32, Placement::slot(1))),
-                (2, 0, pointer_chase_stride(4_096, 4_000, 32, Placement::slot(2))),
-                (3, 0, pointer_chase_stride(4_096, 4_000, 32, Placement::slot(3))),
+                (
+                    1,
+                    0,
+                    pointer_chase_stride(4_096, 4_000, 32, Placement::slot(1)),
+                ),
+                (
+                    2,
+                    0,
+                    pointer_chase_stride(4_096, 4_000, 32, Placement::slot(2)),
+                ),
+                (
+                    3,
+                    0,
+                    pointer_chase_stride(4_096, 4_000, 32, Placement::slot(3)),
+                ),
             ],
             bound,
             200_000_000,

@@ -202,7 +202,13 @@ pub fn joint_yield_wcet(
     // the largest per-thread startup (threads share one pipeline).
     let startup = costs.iter().map(|c| c.startup).max().unwrap_or(0);
     let wcet = u64::try_from(solution.objective.ceil().max(0)).unwrap_or(u64::MAX) + startup;
-    Ok(YieldReport { wcet, yield_edges, num_vars, num_constraints, solver_nodes: stats.nodes })
+    Ok(YieldReport {
+        wcet,
+        yield_edges,
+        num_vars,
+        num_constraints,
+        solver_nodes: stats.nodes,
+    })
 }
 
 #[cfg(test)]
@@ -236,18 +242,38 @@ mod tests {
         );
         cb.push(body, Instr::Nop);
         cb.push(body, Instr::Yield);
-        cb.push(body, Instr::Alu { op: wcet_ir::AluOp::Add, dst: r(1), lhs: r(1), rhs: 1.into() });
+        cb.push(
+            body,
+            Instr::Alu {
+                op: wcet_ir::AluOp::Add,
+                dst: r(1),
+                lhs: r(1),
+                rhs: 1.into(),
+            },
+        );
         cb.terminate(body, Terminator::Jump(header));
         cb.terminate(exit, Terminator::Return);
         let cfg = cb.build(entry).expect("valid");
         let mut facts = FlowFacts::new();
         facts.set_bound(BlockId::from_index(1), LoopBound(iters));
-        Program::new(name, cfg, facts, Layout { code_base: Addr(code_base) }).expect("valid")
+        Program::new(
+            name,
+            cfg,
+            facts,
+            Layout {
+                code_base: Addr(code_base),
+            },
+        )
+        .expect("valid")
     }
 
     fn unit_costs(p: &Program) -> BlockCosts {
         BlockCosts {
-            base: p.cfg().iter().map(|(b, blk)| (b, blk.fetch_slots() as u64)).collect(),
+            base: p
+                .cfg()
+                .iter()
+                .map(|(b, blk)| (b, blk.fetch_slots() as u64))
+                .collect(),
             loop_entry_extras: BTreeMap::new(),
             startup: 4,
         }
@@ -265,8 +291,8 @@ mod tests {
         let b = yielding_worker(6, 0x2000, "b");
         let ca = unit_costs(&a);
         let cb_ = unit_costs(&b);
-        let report = joint_yield_wcet(&[&a, &b], &[&ca, &cb_], 3, IlpConfig::default())
-            .expect("solves");
+        let report =
+            joint_yield_wcet(&[&a, &b], &[&ca, &cb_], 3, IlpConfig::default()).expect("solves");
         // Path cost of each thread alone (no switches).
         let solo = |p: &Program, c: &BlockCosts| {
             crate::ipet::wcet_ipet(p, c, &crate::ipet::IpetOptions::default())

@@ -68,7 +68,9 @@ pub fn solve_ilp(model: &LpModel, config: IlpConfig) -> Result<(Solution, IlpSta
 
     while let Some(bounds) = stack.pop() {
         if stats.nodes >= config.max_nodes {
-            return Err(IlpError::NodeLimit { limit: config.max_nodes });
+            return Err(IlpError::NodeLimit {
+                limit: config.max_nodes,
+            });
         }
         stats.nodes += 1;
 
@@ -195,7 +197,10 @@ mod tests {
         let mut m = LpModel::new();
         let x = m.add_int_var("x");
         m.set_objective(expr(&[(x, 1)]));
-        assert_eq!(solve_ilp(&m, IlpConfig::default()).unwrap_err(), IlpError::Unbounded);
+        assert_eq!(
+            solve_ilp(&m, IlpConfig::default()).unwrap_err(),
+            IlpError::Unbounded
+        );
     }
 
     #[test]

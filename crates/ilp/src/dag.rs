@@ -101,7 +101,7 @@ pub fn longest_path(
         let Some(dv) = dist[v] else { continue };
         for &(s, w) in &adj[v] {
             let cand = dv + w + node_weight[s];
-            if dist[s].map_or(true, |cur| cand > cur) {
+            if dist[s].is_none_or(|cur| cand > cur) {
                 dist[s] = Some(cand);
             }
         }

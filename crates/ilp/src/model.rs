@@ -44,7 +44,7 @@ impl LinExpr {
     pub fn add_term(&mut self, var: VarId, coeff: impl Into<Rat>) -> &mut Self {
         let c = coeff.into();
         let e = self.terms.entry(var).or_insert(Rat::ZERO);
-        *e = *e + c;
+        *e += c;
         if e.is_zero() {
             self.terms.remove(&var);
         }
@@ -90,7 +90,7 @@ impl LinExpr {
     pub fn eval(&self, point: &[Rat]) -> Rat {
         let mut acc = Rat::ZERO;
         for (v, c) in self.terms() {
-            acc = acc + c * point[v.index()];
+            acc += c * point[v.index()];
         }
         acc
     }
@@ -203,7 +203,11 @@ impl LpModel {
 
     /// Adds `expr <op> rhs`.
     pub fn add_constraint(&mut self, expr: LinExpr, op: CmpOp, rhs: impl Into<Rat>) {
-        self.constraints.push(Constraint { expr, op, rhs: rhs.into() });
+        self.constraints.push(Constraint {
+            expr,
+            op,
+            rhs: rhs.into(),
+        });
     }
 
     /// The constraints.
@@ -286,7 +290,11 @@ pub struct Solution {
 
 impl Solution {
     pub(crate) fn non_optimal(status: SolveStatus) -> Solution {
-        Solution { status, objective: Rat::ZERO, values: Vec::new() }
+        Solution {
+            status,
+            objective: Rat::ZERO,
+            values: Vec::new(),
+        }
     }
 
     /// The value of `var` in the solution.
@@ -296,7 +304,12 @@ impl Solution {
     /// Panics if the solution is not optimal or `var` is out of range.
     #[must_use]
     pub fn value(&self, var: VarId) -> Rat {
-        assert_eq!(self.status, SolveStatus::Optimal, "no values in {} solution", self.status);
+        assert_eq!(
+            self.status,
+            SolveStatus::Optimal,
+            "no values in {} solution",
+            self.status
+        );
         self.values[var.index()]
     }
 }

@@ -50,7 +50,10 @@ impl Rat {
         assert!(den != 0, "rational with zero denominator");
         let g = gcd(num, den).max(1);
         let sign = if den < 0 { -1 } else { 1 };
-        Rat { num: sign * (num / g), den: (den / g).abs() }
+        Rat {
+            num: sign * (num / g),
+            den: (den / g).abs(),
+        }
     }
 
     /// Creates the integer `n`.
@@ -129,11 +132,15 @@ impl Rat {
     /// Absolute value.
     #[must_use]
     pub fn abs(self) -> Rat {
-        Rat { num: self.num.abs(), den: self.den }
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 
     fn checked_mul_i128(a: i128, b: i128) -> i128 {
-        a.checked_mul(b).expect("rational arithmetic overflowed i128")
+        a.checked_mul(b)
+            .expect("rational arithmetic overflowed i128")
     }
 }
 
@@ -208,7 +215,10 @@ impl SubAssign for Rat {
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -self.num, den: self.den }
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -229,6 +239,7 @@ impl Div for Rat {
     /// # Panics
     ///
     /// Panics if `rhs` is zero.
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal
     fn div(self, rhs: Rat) -> Rat {
         self * rhs.recip()
     }

@@ -61,9 +61,9 @@ impl Simplex {
         let mut extra_cols = 0usize;
         for op in &ops {
             extra_cols += match op {
-                CmpOp::Le => 1,          // slack
-                CmpOp::Ge => 2,          // surplus + artificial
-                CmpOp::Eq => 1,          // artificial
+                CmpOp::Le => 1, // slack
+                CmpOp::Ge => 2, // surplus + artificial
+                CmpOp::Eq => 1, // artificial
             };
         }
         let total = n + extra_cols;
@@ -101,7 +101,13 @@ impl Simplex {
             }
         }
         debug_assert_eq!(next, total);
-        Simplex { a, b, basis, artificial, n_struct: n }
+        Simplex {
+            a,
+            b,
+            basis,
+            artificial,
+            n_struct: n,
+        }
     }
 
     fn num_cols(&self) -> usize {
@@ -115,9 +121,8 @@ impl Simplex {
         for (i, &bi) in self.basis.iter().enumerate() {
             let cb = c[bi];
             if !cb.is_zero() {
-                for j in 0..self.num_cols() {
-                    let adj = cb * self.a[i][j];
-                    r[j] = r[j] - adj;
+                for (rj, &aij) in r.iter_mut().zip(&self.a[i]) {
+                    *rj -= cb * aij;
                 }
             }
         }
@@ -127,7 +132,7 @@ impl Simplex {
     fn objective_value(&self, c: &[Rat]) -> Rat {
         let mut z = Rat::ZERO;
         for (i, &bi) in self.basis.iter().enumerate() {
-            z = z + c[bi] * self.b[i];
+            z += c[bi] * self.b[i];
         }
         z
     }
@@ -150,10 +155,10 @@ impl Simplex {
             }
             for j in 0..self.num_cols() {
                 let adj = f * self.a[row][j];
-                self.a[i][j] = self.a[i][j] - adj;
+                self.a[i][j] -= adj;
             }
             let adj = f * self.b[row];
-            self.b[i] = self.b[i] - adj;
+            self.b[i] -= adj;
         }
         self.basis[row] = col;
     }
@@ -199,7 +204,13 @@ impl Simplex {
         // Phase 1: maximize -(sum of artificials); feasible iff optimum 0.
         if self.artificial.iter().any(|&x| x) {
             let c1: Vec<Rat> = (0..total)
-                .map(|j| if self.artificial[j] { -Rat::ONE } else { Rat::ZERO })
+                .map(|j| {
+                    if self.artificial[j] {
+                        -Rat::ONE
+                    } else {
+                        Rat::ZERO
+                    }
+                })
                 .collect();
             let ok = self.optimize(&c1, |_| true);
             debug_assert!(ok, "phase 1 is never unbounded (objective <= 0)");
@@ -211,8 +222,8 @@ impl Simplex {
             let mut row = 0;
             while row < self.a.len() {
                 if self.artificial[self.basis[row]] {
-                    let col = (0..total)
-                        .find(|&j| !self.artificial[j] && !self.a[row][j].is_zero());
+                    let col =
+                        (0..total).find(|&j| !self.artificial[j] && !self.a[row][j].is_zero());
                     match col {
                         Some(c) => self.pivot(row, c),
                         None => {
@@ -245,7 +256,11 @@ impl Simplex {
             }
         }
         let objective = model.objective().eval(&values);
-        Solution { status: SolveStatus::Optimal, objective, values }
+        Solution {
+            status: SolveStatus::Optimal,
+            objective,
+            values,
+        }
     }
 }
 

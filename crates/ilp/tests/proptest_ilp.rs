@@ -47,7 +47,7 @@ fn brute_force(model: &LpModel) -> Option<Rat> {
         let rats: Vec<Rat> = point.iter().map(|&p| Rat::from(p)).collect();
         if model.is_feasible(&rats) {
             let obj = model.objective().eval(&rats);
-            if best.map_or(true, |b| obj > b) {
+            if best.is_none_or(|b| obj > b) {
                 best = Some(obj);
             }
         }

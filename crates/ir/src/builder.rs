@@ -58,7 +58,11 @@ impl CfgBuilder {
     /// # Panics
     ///
     /// Panics if `block` was not allocated by this builder.
-    pub fn extend<I: IntoIterator<Item = Instr>>(&mut self, block: BlockId, instrs: I) -> &mut Self {
+    pub fn extend<I: IntoIterator<Item = Instr>>(
+        &mut self,
+        block: BlockId,
+        instrs: I,
+    ) -> &mut Self {
         self.blocks[block.index()].0.extend(instrs);
         self
     }
@@ -101,6 +105,14 @@ impl CfgBuilder {
 }
 
 #[cfg(test)]
+impl crate::cfg::Cfg {
+    /// Test helper: number of blocks (exercises the iterator API).
+    fn block_len_check(&self) -> usize {
+        self.iter().count()
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::isa::{r, Cond, Operand};
@@ -135,13 +147,5 @@ mod tests {
         let cfg = cb.build(a).expect("valid");
         assert_eq!(cfg.block(a).instrs().len(), 2);
         assert_eq!(cfg.block_len_check(), 2);
-    }
-}
-
-#[cfg(test)]
-impl crate::cfg::Cfg {
-    /// Test helper: number of blocks (exercises the iterator API).
-    fn block_len_check(&self) -> usize {
-        self.iter().count()
     }
 }

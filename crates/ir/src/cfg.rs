@@ -88,7 +88,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match *self {
             Terminator::Jump(t) => vec![t],
-            Terminator::Branch { taken, not_taken, .. } => vec![taken, not_taken],
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => vec![taken, not_taken],
             Terminator::Return => Vec::new(),
         }
     }
@@ -98,7 +100,13 @@ impl fmt::Display for Terminator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Terminator::Jump(t) => write!(f, "jmp {t}"),
-            Terminator::Branch { cond, lhs, rhs, taken, not_taken } => {
+            Terminator::Branch {
+                cond,
+                lhs,
+                rhs,
+                taken,
+                not_taken,
+            } => {
                 write!(f, "b{cond} {lhs}, {rhs} -> {taken} else {not_taken}")
             }
             Terminator::Return => f.write_str("ret"),
@@ -177,7 +185,10 @@ impl fmt::Display for CfgError {
                 write!(f, "block {block} targets non-existent block {target}")
             }
             CfgError::DuplicateEdge { block } => {
-                write!(f, "branch in block {block} has identical taken/not-taken targets")
+                write!(
+                    f,
+                    "branch in block {block} has identical taken/not-taken targets"
+                )
             }
             CfgError::Unreachable { block } => {
                 write!(f, "block {block} is unreachable from the entry")
@@ -217,19 +228,27 @@ impl Cfg {
         let n = blocks.len();
         let check = |b: BlockId, t: BlockId| -> Result<(), CfgError> {
             if t.index() >= n {
-                Err(CfgError::DanglingTarget { block: b, target: t })
+                Err(CfgError::DanglingTarget {
+                    block: b,
+                    target: t,
+                })
             } else {
                 Ok(())
             }
         };
         if entry.index() >= n {
-            return Err(CfgError::DanglingTarget { block: entry, target: entry });
+            return Err(CfgError::DanglingTarget {
+                block: entry,
+                target: entry,
+            });
         }
         for (i, blk) in blocks.iter().enumerate() {
             let id = BlockId::from_index(i);
             match *blk.terminator() {
                 Terminator::Jump(t) => check(id, t)?,
-                Terminator::Branch { taken, not_taken, .. } => {
+                Terminator::Branch {
+                    taken, not_taken, ..
+                } => {
                     check(id, taken)?;
                     check(id, not_taken)?;
                     if taken == not_taken {
@@ -252,7 +271,9 @@ impl Cfg {
             }
         }
         if let Some(i) = seen.iter().position(|&s| !s) {
-            return Err(CfgError::Unreachable { block: BlockId::from_index(i) });
+            return Err(CfgError::Unreachable {
+                block: BlockId::from_index(i),
+            });
         }
         let exits: Vec<BlockId> = blocks
             .iter()
@@ -269,7 +290,12 @@ impl Cfg {
                 preds[s.index()].push(BlockId::from_index(i));
             }
         }
-        Ok(Cfg { blocks, entry, preds, exits })
+        Ok(Cfg {
+            blocks,
+            entry,
+            preds,
+            exits,
+        })
     }
 
     /// The entry block.
@@ -302,7 +328,10 @@ impl Cfg {
 
     /// Iterator over `(BlockId, &BasicBlock)` in index order.
     pub fn iter(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId::from_index(i), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::from_index(i), b))
     }
 
     /// All block ids in index order.
@@ -410,7 +439,9 @@ impl Cfg {
                 }
             }
         }
-        idom.into_iter().map(|d| d.expect("all blocks reachable")).collect()
+        idom.into_iter()
+            .map(|d| d.expect("all blocks reachable"))
+            .collect()
     }
 
     /// True if `a` dominates `b` (reflexive).
@@ -531,8 +562,7 @@ mod tests {
         let rpo = cfg.reverse_postorder();
         assert_eq!(rpo.len(), 4);
         assert_eq!(rpo[0], cfg.entry());
-        let pos =
-            |b: BlockId| rpo.iter().position(|&x| x == b).expect("all blocks in rpo");
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).expect("all blocks in rpo");
         assert!(pos(BlockId::from_index(0)) < pos(BlockId::from_index(1)));
         assert!(pos(BlockId::from_index(1)) < pos(BlockId::from_index(3)));
         assert!(pos(BlockId::from_index(2)) < pos(BlockId::from_index(3)));
@@ -569,7 +599,10 @@ mod tests {
         let b3 = BasicBlock::new(vec![], Terminator::Return);
         let cfg = Cfg::new(vec![b0, b1, b2, b3], BlockId::from_index(0)).expect("valid loop");
         let back = cfg.back_edges();
-        assert_eq!(back, vec![Edge::new(BlockId::from_index(2), BlockId::from_index(1))]);
+        assert_eq!(
+            back,
+            vec![Edge::new(BlockId::from_index(2), BlockId::from_index(1))]
+        );
     }
 
     #[test]
@@ -577,7 +610,12 @@ mod tests {
         let b0 = BasicBlock::new(vec![], Terminator::Return);
         let b1 = BasicBlock::new(vec![], Terminator::Return);
         let err = Cfg::new(vec![b0, b1], BlockId::from_index(0)).unwrap_err();
-        assert_eq!(err, CfgError::Unreachable { block: BlockId::from_index(1) });
+        assert_eq!(
+            err,
+            CfgError::Unreachable {
+                block: BlockId::from_index(1)
+            }
+        );
     }
 
     #[test]

@@ -123,7 +123,10 @@ impl ArchState {
         for &(a, v) in program.init_mem() {
             mem.insert(a, v);
         }
-        ArchState { regs: *program.init_regs(), mem }
+        ArchState {
+            regs: *program.init_regs(),
+            mem,
+        }
     }
 
     /// Reads `reg`.
@@ -194,7 +197,13 @@ impl ArchState {
     pub fn step_terminator(&self, term: &Terminator) -> Option<BlockId> {
         match *term {
             Terminator::Jump(t) => Some(t),
-            Terminator::Branch { cond, lhs, rhs, taken, not_taken } => {
+            Terminator::Branch {
+                cond,
+                lhs,
+                rhs,
+                taken,
+                not_taken,
+            } => {
                 if cond.eval(self.reg(lhs), self.operand(rhs)) {
                     Some(taken)
                 } else {
@@ -253,7 +262,13 @@ pub fn execute(program: &Program, step_limit: u64) -> Result<ExecResult, InterpE
             None => break,
         }
     }
-    Ok(ExecResult { block_trace, block_counts, accesses, regs: st.regs, steps })
+    Ok(ExecResult {
+        block_trace,
+        block_counts,
+        accesses,
+        regs: st.regs,
+        steps,
+    })
 }
 
 /// Checks that an execution respects the program's declared loop bounds:
@@ -320,8 +335,24 @@ mod tests {
                 not_taken: exit,
             },
         );
-        cb.push(body, Instr::Alu { op: AluOp::Add, dst: r(2), lhs: r(2), rhs: r(1).into() });
-        cb.push(body, Instr::Alu { op: AluOp::Add, dst: r(1), lhs: r(1), rhs: 1.into() });
+        cb.push(
+            body,
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: r(2),
+                lhs: r(2),
+                rhs: r(1).into(),
+            },
+        );
+        cb.push(
+            body,
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: r(1),
+                lhs: r(1),
+                rhs: 1.into(),
+            },
+        );
         cb.terminate(body, Terminator::Jump(header));
         cb.terminate(exit, Terminator::Return);
         let cfg = cb.build(entry).expect("valid");
@@ -334,7 +365,7 @@ mod tests {
     fn sums_zero_to_four() {
         let p = counted_sum();
         let res = execute(&p, 10_000).expect("terminates");
-        assert_eq!(res.regs[2], 0 + 1 + 2 + 3 + 4);
+        assert_eq!(res.regs[2], 1 + 2 + 3 + 4);
         assert_eq!(res.count(BlockId::from_index(1)), 6); // header: 5 + exit check
         assert_eq!(res.count(BlockId::from_index(2)), 5); // body
         assert_eq!(check_loop_bounds(&p, &res), None);
@@ -352,8 +383,20 @@ mod tests {
         let mut cb = CfgBuilder::new();
         let a = cb.add_block();
         cb.push(a, Instr::LoadImm { dst: r(1), imm: 77 });
-        cb.push(a, Instr::Store { src: r(1), mem: MemRef::Static(Addr(0x9000)) });
-        cb.push(a, Instr::Load { dst: r(2), mem: MemRef::Static(Addr(0x9000)) });
+        cb.push(
+            a,
+            Instr::Store {
+                src: r(1),
+                mem: MemRef::Static(Addr(0x9000)),
+            },
+        );
+        cb.push(
+            a,
+            Instr::Load {
+                dst: r(2),
+                mem: MemRef::Static(Addr(0x9000)),
+            },
+        );
         cb.terminate(a, Terminator::Return);
         let cfg = cb.build(a).expect("valid");
         let p = Program::new("mem", cfg, FlowFacts::new(), Layout::default()).expect("valid");
@@ -362,7 +405,10 @@ mod tests {
         // fetch x4 (3 instrs + ret) + store + load accesses = 6.
         assert_eq!(res.accesses.len(), 6);
         assert_eq!(
-            res.accesses.iter().filter(|a| a.kind == AccessKind::Store).count(),
+            res.accesses
+                .iter()
+                .filter(|a| a.kind == AccessKind::Store)
+                .count(),
             1
         );
     }
@@ -376,7 +422,12 @@ mod tests {
             a,
             Instr::Load {
                 dst: r(2),
-                mem: MemRef::Indexed { base: Addr(0x9000), stride: 8, count: 4, index: r(1) },
+                mem: MemRef::Indexed {
+                    base: Addr(0x9000),
+                    stride: 8,
+                    count: 4,
+                    index: r(1),
+                },
             },
         );
         cb.terminate(a, Terminator::Return);
@@ -392,6 +443,9 @@ mod tests {
     fn alu_div_by_zero_is_zero() {
         assert_eq!(alu_eval(AluOp::Div, 5, 0), 0);
         assert_eq!(alu_eval(AluOp::Rem, 5, 0), 0);
-        assert_eq!(alu_eval(AluOp::Div, i64::MIN, -1), i64::MIN.wrapping_div(-1));
+        assert_eq!(
+            alu_eval(AluOp::Div, i64::MIN, -1),
+            i64::MIN.wrapping_div(-1)
+        );
     }
 }

@@ -221,9 +221,12 @@ impl MemRef {
     pub fn touched_region(&self) -> (Addr, u64) {
         match *self {
             MemRef::Static(a) => (a, 8),
-            MemRef::Indexed { base, stride, count, .. } => {
-                (base, u64::from(stride) * u64::from(count))
-            }
+            MemRef::Indexed {
+                base,
+                stride,
+                count,
+                ..
+            } => (base, u64::from(stride) * u64::from(count)),
         }
     }
 
@@ -234,7 +237,12 @@ impl MemRef {
     pub fn effective_addr(&self, index_value: i64) -> Addr {
         match *self {
             MemRef::Static(a) => a,
-            MemRef::Indexed { base, stride, count, .. } => {
+            MemRef::Indexed {
+                base,
+                stride,
+                count,
+                ..
+            } => {
                 let idx = (index_value as u64) % u64::from(count);
                 base.offset(idx * u64::from(stride))
             }
@@ -255,7 +263,12 @@ impl fmt::Display for MemRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             MemRef::Static(a) => write!(f, "[{a}]"),
-            MemRef::Indexed { base, stride, count, index } => {
+            MemRef::Indexed {
+                base,
+                stride,
+                count,
+                index,
+            } => {
                 write!(f, "[{base} + {stride}*({index} % {count})]")
             }
         }
@@ -441,12 +454,20 @@ mod tests {
 
     #[test]
     fn memref_indexed_wraps_modulo_count() {
-        let m = MemRef::Indexed { base: Addr(0x1000), stride: 8, count: 4, index: r(1) };
+        let m = MemRef::Indexed {
+            base: Addr(0x1000),
+            stride: 8,
+            count: 4,
+            index: r(1),
+        };
         assert_eq!(m.touched_region(), (Addr(0x1000), 32));
         assert_eq!(m.effective_addr(0), Addr(0x1000));
         assert_eq!(m.effective_addr(3), Addr(0x1018));
         assert_eq!(m.effective_addr(4), Addr(0x1000));
-        assert_eq!(m.effective_addr(-1), Addr(0x1000).offset(8 * ((-1i64 as u64) % 4)));
+        assert_eq!(
+            m.effective_addr(-1),
+            Addr(0x1000).offset(8 * ((-1i64 as u64) % 4))
+        );
         assert!(!m.is_singleton());
     }
 

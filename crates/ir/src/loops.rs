@@ -100,8 +100,11 @@ impl LoopForest {
 
         let mut loops = Vec::new();
         for &header in &headers {
-            let closing: Vec<Edge> =
-                back_edges.iter().copied().filter(|e| e.to == header).collect();
+            let closing: Vec<Edge> = back_edges
+                .iter()
+                .copied()
+                .filter(|e| e.to == header)
+                .collect();
             // Natural loop body: header + all blocks that reach a latch
             // without passing through the header.
             let mut body: BTreeSet<BlockId> = BTreeSet::new();
@@ -203,8 +206,7 @@ impl LoopForest {
                 indeg[e.to.index()] += 1;
             }
         }
-        let mut queue: Vec<BlockId> =
-            cfg.block_ids().filter(|b| indeg[b.index()] == 0).collect();
+        let mut queue: Vec<BlockId> = cfg.block_ids().filter(|b| indeg[b.index()] == 0).collect();
         let mut seen = 0usize;
         while let Some(b) = queue.pop() {
             seen += 1;

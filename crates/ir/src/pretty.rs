@@ -11,7 +11,11 @@ pub fn listing(program: &Program) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "; program {}", program.name());
     for region in program.data_regions() {
-        let _ = writeln!(out, "; data {:10} @ {} ({} bytes)", region.name, region.base, region.bytes);
+        let _ = writeln!(
+            out,
+            "; data {:10} @ {} ({} bytes)",
+            region.name, region.base, region.bytes
+        );
     }
     for (id, blk) in program.cfg().iter() {
         let _ = writeln!(out, "{id}: ; @ {}", program.block_addr(id));

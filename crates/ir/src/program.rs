@@ -29,7 +29,11 @@ impl DataRegion {
     /// Creates a region.
     #[must_use]
     pub fn new(name: impl Into<String>, base: Addr, bytes: u64) -> DataRegion {
-        DataRegion { name: name.into(), base, bytes }
+        DataRegion {
+            name: name.into(),
+            base,
+            bytes,
+        }
     }
 
     /// True if `addr` lies inside the region.
@@ -48,7 +52,9 @@ pub struct Layout {
 
 impl Default for Layout {
     fn default() -> Self {
-        Layout { code_base: Addr(0x1_0000) }
+        Layout {
+            code_base: Addr(0x1_0000),
+        }
     }
 }
 
@@ -131,7 +137,10 @@ impl fmt::Display for ProgramError {
             ProgramError::Irreducible(e) => write!(f, "{e}"),
             ProgramError::Flow(e) => write!(f, "{e}"),
             ProgramError::BadMemRef { block } => {
-                write!(f, "indexed memory reference in {block} has zero stride or count")
+                write!(
+                    f,
+                    "indexed memory reference in {block} has zero stride or count"
+                )
             }
         }
     }
@@ -300,7 +309,10 @@ impl Program {
     /// Panics if `block` or `slot` is out of range.
     #[must_use]
     pub fn fetch_addr(&self, block: BlockId, slot: usize) -> Addr {
-        assert!(slot < self.cfg.block(block).fetch_slots(), "slot out of range");
+        assert!(
+            slot < self.cfg.block(block).fetch_slots(),
+            "slot out of range"
+        );
         self.block_addrs[block.index()].offset(slot as u64 * INSTR_BYTES)
     }
 
@@ -327,13 +339,26 @@ impl Program {
         let mut out = Vec::with_capacity(blk.fetch_slots() + 4);
         let mut seq = 0u32;
         let mut push = |kind, addrs, seq: &mut u32| {
-            out.push(AccessSite { block, seq: *seq, kind, addrs });
+            out.push(AccessSite {
+                block,
+                seq: *seq,
+                kind,
+                addrs,
+            });
             *seq += 1;
         };
         for (slot, ins) in blk.instrs().iter().enumerate() {
-            push(AccessKind::Fetch, AccessAddrs::Exact(self.fetch_addr(block, slot)), &mut seq);
+            push(
+                AccessKind::Fetch,
+                AccessAddrs::Exact(self.fetch_addr(block, slot)),
+                &mut seq,
+            );
             if let Some(mem) = ins.mem_ref() {
-                let kind = if ins.is_store() { AccessKind::Store } else { AccessKind::Load };
+                let kind = if ins.is_store() {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                };
                 let addrs = match *mem {
                     MemRef::Static(a) => AccessAddrs::Exact(a),
                     MemRef::Indexed { .. } => {
@@ -360,7 +385,10 @@ impl Program {
     /// All access sites of the whole program, block by block.
     #[must_use]
     pub fn all_accesses(&self) -> BTreeMap<BlockId, Vec<AccessSite>> {
-        self.cfg.block_ids().map(|b| (b, self.accesses(b))).collect()
+        self.cfg
+            .block_ids()
+            .map(|b| (b, self.accesses(b)))
+            .collect()
     }
 
     /// The worst-case execution count of `block` (product of enclosing loop
@@ -383,13 +411,32 @@ mod tests {
         let a = cb.add_block();
         let b = cb.add_block();
         cb.push(a, Instr::Nop);
-        cb.push(a, Instr::Load { dst: r(1), mem: MemRef::Static(Addr(0x8000)) });
+        cb.push(
+            a,
+            Instr::Load {
+                dst: r(1),
+                mem: MemRef::Static(Addr(0x8000)),
+            },
+        );
         cb.terminate(a, Terminator::Jump(b));
-        cb.push(b, Instr::Store { src: r(1), mem: MemRef::Static(Addr(0x8008)) });
+        cb.push(
+            b,
+            Instr::Store {
+                src: r(1),
+                mem: MemRef::Static(Addr(0x8008)),
+            },
+        );
         cb.terminate(b, Terminator::Return);
         let cfg = cb.build(a).expect("valid");
-        Program::new("t", cfg, FlowFacts::new(), Layout { code_base: Addr(0x100) })
-            .expect("valid program")
+        Program::new(
+            "t",
+            cfg,
+            FlowFacts::new(),
+            Layout {
+                code_base: Addr(0x100),
+            },
+        )
+        .expect("valid program")
     }
 
     #[test]
@@ -429,7 +476,12 @@ mod tests {
             a,
             Instr::Load {
                 dst: r(1),
-                mem: MemRef::Indexed { base: Addr(0), stride: 0, count: 4, index: r(2) },
+                mem: MemRef::Indexed {
+                    base: Addr(0),
+                    stride: 0,
+                    count: 4,
+                    index: r(2),
+                },
             },
         );
         cb.terminate(a, Terminator::Return);

@@ -29,7 +29,10 @@ pub struct Placement {
 
 impl Default for Placement {
     fn default() -> Self {
-        Placement { code_base: Addr(0x1_0000), data_base: Addr(0x10_0000) }
+        Placement {
+            code_base: Addr(0x1_0000),
+            data_base: Addr(0x10_0000),
+        }
     }
 }
 
@@ -58,16 +61,30 @@ fn imm(v: i64) -> Operand {
 }
 
 fn alu(op: AluOp, dst: u8, lhs: u8, rhs: Operand) -> Instr {
-    Instr::Alu { op, dst: r(dst), lhs: r(lhs), rhs }
+    Instr::Alu {
+        op,
+        dst: r(dst),
+        lhs: r(lhs),
+        rhs,
+    }
 }
 
 fn li(dst: u8, v: i64) -> Instr {
-    Instr::LoadImm { dst: r(dst), imm: v }
+    Instr::LoadImm {
+        dst: r(dst),
+        imm: v,
+    }
 }
 
 /// `header` branches to `body` while `ctr < n`, else to `exit`.
 fn counted_branch(ctr: u8, n: i64, body: BlockId, exit: BlockId) -> Terminator {
-    Terminator::Branch { cond: Cond::Lt, lhs: r(ctr), rhs: imm(n), taken: body, not_taken: exit }
+    Terminator::Branch {
+        cond: Cond::Lt,
+        lhs: r(ctr),
+        rhs: imm(n),
+        taken: body,
+        not_taken: exit,
+    }
 }
 
 /// Dense `n×n` integer matrix multiply `C = A·B` (three nested counted
@@ -116,10 +133,22 @@ pub fn matmul(n: u32, place: Placement) -> Program {
     // T0 = i*n + k ; T1 = A[T0] ; T2 = k*n + j ; T3 = B[T2] ; ACC += T1*T3
     cb.push(kbody, alu(AluOp::Mul, T0, i, imm(i64::from(n))));
     cb.push(kbody, alu(AluOp::Add, T0, T0, r(k).into()));
-    cb.push(kbody, Instr::Load { dst: r(T1), mem: elem(a_base, T0) });
+    cb.push(
+        kbody,
+        Instr::Load {
+            dst: r(T1),
+            mem: elem(a_base, T0),
+        },
+    );
     cb.push(kbody, alu(AluOp::Mul, T2, k, imm(i64::from(n))));
     cb.push(kbody, alu(AluOp::Add, T2, T2, r(j).into()));
-    cb.push(kbody, Instr::Load { dst: r(T3), mem: elem(b_base, T2) });
+    cb.push(
+        kbody,
+        Instr::Load {
+            dst: r(T3),
+            mem: elem(b_base, T2),
+        },
+    );
     cb.push(kbody, alu(AluOp::Mul, T1, T1, r(T3).into()));
     cb.push(kbody, alu(AluOp::Add, ACC, ACC, r(T1).into()));
     cb.push(kbody, alu(AluOp::Add, k, k, imm(1)));
@@ -127,7 +156,13 @@ pub fn matmul(n: u32, place: Placement) -> Program {
     // C[i*n+j] = ACC
     cb.push(kdone, alu(AluOp::Mul, T0, i, imm(i64::from(n))));
     cb.push(kdone, alu(AluOp::Add, T0, T0, r(j).into()));
-    cb.push(kdone, Instr::Store { src: r(ACC), mem: elem(c_base, T0) });
+    cb.push(
+        kdone,
+        Instr::Store {
+            src: r(ACC),
+            mem: elem(c_base, T0),
+        },
+    );
     cb.push(kdone, alu(AluOp::Add, j, j, imm(1)));
     cb.terminate(kdone, Terminator::Jump(jh));
     cb.push(ilatch, alu(AluOp::Add, i, i, imm(1)));
@@ -139,11 +174,18 @@ pub fn matmul(n: u32, place: Placement) -> Program {
     facts.set_exact_bound(ih, u64::from(n));
     facts.set_exact_bound(jh, u64::from(n));
     facts.set_exact_bound(kh, u64::from(n));
-    let mut p = Program::new(format!("matmul{n}"), cfg, facts, Layout { code_base: place.code_base })
-        .expect("matmul program is well-formed")
-        .with_data_region(DataRegion::new("A", a_base, words * 8))
-        .with_data_region(DataRegion::new("B", b_base, words * 8))
-        .with_data_region(DataRegion::new("C", c_base, words * 8));
+    let mut p = Program::new(
+        format!("matmul{n}"),
+        cfg,
+        facts,
+        Layout {
+            code_base: place.code_base,
+        },
+    )
+    .expect("matmul program is well-formed")
+    .with_data_region(DataRegion::new("A", a_base, words * 8))
+    .with_data_region(DataRegion::new("B", b_base, words * 8))
+    .with_data_region(DataRegion::new("C", c_base, words * 8));
     // Deterministic input matrices.
     for idx in 0..words {
         p = p
@@ -190,14 +232,24 @@ pub fn fir(taps: u32, samples: u32, place: Placement) -> Program {
         tbody,
         Instr::Load {
             dst: r(T1),
-            mem: MemRef::Indexed { base: x_base, stride: 8, count: x_len as u32, index: r(T0) },
+            mem: MemRef::Indexed {
+                base: x_base,
+                stride: 8,
+                count: x_len as u32,
+                index: r(T0),
+            },
         },
     );
     cb.push(
         tbody,
         Instr::Load {
             dst: r(T2),
-            mem: MemRef::Indexed { base: c_base, stride: 8, count: taps, index: r(t) },
+            mem: MemRef::Indexed {
+                base: c_base,
+                stride: 8,
+                count: taps,
+                index: r(t),
+            },
         },
     );
     cb.push(tbody, alu(AluOp::Mul, T1, T1, r(T2).into()));
@@ -208,7 +260,12 @@ pub fn fir(taps: u32, samples: u32, place: Placement) -> Program {
         tdone,
         Instr::Store {
             src: r(ACC),
-            mem: MemRef::Indexed { base: y_base, stride: 8, count: samples, index: r(s) },
+            mem: MemRef::Indexed {
+                base: y_base,
+                stride: 8,
+                count: samples,
+                index: r(s),
+            },
         },
     );
     cb.push(tdone, alu(AluOp::Add, s, s, imm(1)));
@@ -219,12 +276,18 @@ pub fn fir(taps: u32, samples: u32, place: Placement) -> Program {
     let mut facts = FlowFacts::new();
     facts.set_exact_bound(sh, u64::from(samples));
     facts.set_exact_bound(th, u64::from(taps));
-    let mut p =
-        Program::new(format!("fir{taps}x{samples}"), cfg, facts, Layout { code_base: place.code_base })
-            .expect("fir program is well-formed")
-            .with_data_region(DataRegion::new("coeff", c_base, u64::from(taps) * 8))
-            .with_data_region(DataRegion::new("x", x_base, x_len * 8))
-            .with_data_region(DataRegion::new("y", y_base, u64::from(samples) * 8));
+    let mut p = Program::new(
+        format!("fir{taps}x{samples}"),
+        cfg,
+        facts,
+        Layout {
+            code_base: place.code_base,
+        },
+    )
+    .expect("fir program is well-formed")
+    .with_data_region(DataRegion::new("coeff", c_base, u64::from(taps) * 8))
+    .with_data_region(DataRegion::new("x", x_base, x_len * 8))
+    .with_data_region(DataRegion::new("y", y_base, u64::from(samples) * 8));
     for i in 0..u64::from(taps) {
         p = p.with_init_mem(c_base.offset(i * 8), (i as i64 % 5) - 2);
     }
@@ -265,7 +328,12 @@ pub fn crc(len: u32, place: Placement) -> Program {
         body,
         Instr::Load {
             dst: r(T0),
-            mem: MemRef::Indexed { base: data_base, stride: 8, count: len, index: r(i) },
+            mem: MemRef::Indexed {
+                base: data_base,
+                stride: 8,
+                count: len,
+                index: r(i),
+            },
         },
     );
     cb.push(body, alu(AluOp::Xor, T1, ACC, r(T0).into()));
@@ -274,7 +342,12 @@ pub fn crc(len: u32, place: Placement) -> Program {
         body,
         Instr::Load {
             dst: r(T2),
-            mem: MemRef::Indexed { base: table_base, stride: 8, count: 256, index: r(T1) },
+            mem: MemRef::Indexed {
+                base: table_base,
+                stride: 8,
+                count: 256,
+                index: r(T1),
+            },
         },
     );
     cb.push(body, alu(AluOp::Shr, ACC, ACC, imm(8)));
@@ -282,7 +355,13 @@ pub fn crc(len: u32, place: Placement) -> Program {
     cb.push(body, alu(AluOp::And, T3, T0, imm(1)));
     cb.terminate(
         body,
-        Terminator::Branch { cond: Cond::Ne, lhs: r(T3), rhs: imm(0), taken: odd, not_taken: even },
+        Terminator::Branch {
+            cond: Cond::Ne,
+            lhs: r(T3),
+            rhs: imm(0),
+            taken: odd,
+            not_taken: even,
+        },
     );
     cb.push(odd, alu(AluOp::Xor, ACC, ACC, imm(0x1021)));
     cb.terminate(odd, Terminator::Jump(merge));
@@ -295,15 +374,25 @@ pub fn crc(len: u32, place: Placement) -> Program {
     let cfg = cb.build(entry).expect("crc CFG is well-formed");
     let mut facts = FlowFacts::new();
     facts.set_exact_bound(header, u64::from(len));
-    let mut p = Program::new(format!("crc{len}"), cfg, facts, Layout { code_base: place.code_base })
-        .expect("crc program is well-formed")
-        .with_data_region(DataRegion::new("data", data_base, u64::from(len) * 8))
-        .with_data_region(DataRegion::new("table", table_base, 256 * 8));
+    let mut p = Program::new(
+        format!("crc{len}"),
+        cfg,
+        facts,
+        Layout {
+            code_base: place.code_base,
+        },
+    )
+    .expect("crc program is well-formed")
+    .with_data_region(DataRegion::new("data", data_base, u64::from(len) * 8))
+    .with_data_region(DataRegion::new("table", table_base, 256 * 8));
     for idx in 0..u64::from(len) {
         p = p.with_init_mem(data_base.offset(idx * 8), (idx as i64 * 37 + 11) % 256);
     }
     for idx in 0..256u64 {
-        p = p.with_init_mem(table_base.offset(idx * 8), ((idx as i64 * 5_179) ^ 0x2f) % 65_536);
+        p = p.with_init_mem(
+            table_base.offset(idx * 8),
+            ((idx as i64 * 5_179) ^ 0x2f) % 65_536,
+        );
     }
     p
 }
@@ -318,7 +407,12 @@ pub fn crc(len: u32, place: Placement) -> Program {
 pub fn bsort(n: u32, place: Placement) -> Program {
     assert!(n >= 2, "need at least two elements to sort");
     let arr = place.data_base;
-    let elem = |idx_reg: u8| MemRef::Indexed { base: arr, stride: 8, count: n, index: r(idx_reg) };
+    let elem = |idx_reg: u8| MemRef::Indexed {
+        base: arr,
+        stride: 8,
+        count: n,
+        index: r(idx_reg),
+    };
 
     let mut cb = CfgBuilder::new();
     let entry = cb.add_block();
@@ -341,9 +435,21 @@ pub fn bsort(n: u32, place: Placement) -> Program {
     cb.terminate(jinit, Terminator::Jump(jh));
     cb.terminate(jh, counted_branch(j, last, jbody, ilatch));
     // T0 = arr[j]; T2 = j+1; T1 = arr[j+1]; if T0 > T1 swap
-    cb.push(jbody, Instr::Load { dst: r(T0), mem: elem(j) });
+    cb.push(
+        jbody,
+        Instr::Load {
+            dst: r(T0),
+            mem: elem(j),
+        },
+    );
     cb.push(jbody, alu(AluOp::Add, T2, j, imm(1)));
-    cb.push(jbody, Instr::Load { dst: r(T1), mem: elem(T2) });
+    cb.push(
+        jbody,
+        Instr::Load {
+            dst: r(T1),
+            mem: elem(T2),
+        },
+    );
     cb.terminate(
         jbody,
         Terminator::Branch {
@@ -354,8 +460,20 @@ pub fn bsort(n: u32, place: Placement) -> Program {
             not_taken: noswap,
         },
     );
-    cb.push(swap, Instr::Store { src: r(T1), mem: elem(j) });
-    cb.push(swap, Instr::Store { src: r(T0), mem: elem(T2) });
+    cb.push(
+        swap,
+        Instr::Store {
+            src: r(T1),
+            mem: elem(j),
+        },
+    );
+    cb.push(
+        swap,
+        Instr::Store {
+            src: r(T0),
+            mem: elem(T2),
+        },
+    );
     cb.terminate(swap, Terminator::Jump(jlatch));
     cb.push(noswap, Instr::Nop);
     cb.terminate(noswap, Terminator::Jump(jlatch));
@@ -369,9 +487,16 @@ pub fn bsort(n: u32, place: Placement) -> Program {
     let mut facts = FlowFacts::new();
     facts.set_exact_bound(ih, (n - 1) as u64);
     facts.set_exact_bound(jh, (n - 1) as u64);
-    let mut p = Program::new(format!("bsort{n}"), cfg, facts, Layout { code_base: place.code_base })
-        .expect("bsort program is well-formed")
-        .with_data_region(DataRegion::new("arr", arr, u64::from(n) * 8));
+    let mut p = Program::new(
+        format!("bsort{n}"),
+        cfg,
+        facts,
+        Layout {
+            code_base: place.code_base,
+        },
+    )
+    .expect("bsort program is well-formed")
+    .with_data_region(DataRegion::new("arr", arr, u64::from(n) * 8));
     for idx in 0..u64::from(n) {
         // Reverse-sorted input: worst case for bubble sort.
         p = p.with_init_mem(arr.offset(idx * 8), i64::from(n) - idx as i64);
@@ -410,7 +535,11 @@ pub fn switchy(cases: u32, iters: u32, pad: u32, place: Placement) -> Program {
     for c in 0..cases as usize {
         // The selector is always in range, so the final default edge (to the
         // latch) is never taken at run time; it still keeps the CFG valid.
-        let next = if c + 1 < cases as usize { tests[c + 1] } else { latch };
+        let next = if c + 1 < cases as usize {
+            tests[c + 1]
+        } else {
+            latch
+        };
         cb.terminate(
             tests[c],
             Terminator::Branch {
@@ -440,7 +569,9 @@ pub fn switchy(cases: u32, iters: u32, pad: u32, place: Placement) -> Program {
         format!("switchy{cases}x{iters}"),
         cfg,
         facts,
-        Layout { code_base: place.code_base },
+        Layout {
+            code_base: place.code_base,
+        },
     )
     .expect("switchy program is well-formed")
 }
@@ -470,15 +601,25 @@ pub fn single_path(chain: u32, iters: u32, place: Placement) -> Program {
     cb.push(entry, li(i, 0));
     cb.push(entry, li(ACC, 0));
     cb.terminate(entry, Terminator::Jump(header));
-    cb.terminate(header, counted_branch(i, i64::from(iters), chain_blocks[0], exit));
+    cb.terminate(
+        header,
+        counted_branch(i, i64::from(iters), chain_blocks[0], exit),
+    );
     for (c, &blk) in chain_blocks.iter().enumerate() {
         cb.push(
             blk,
-            Instr::Load { dst: r(T0), mem: MemRef::Static(region.offset((c as u64 % 16) * 8)) },
+            Instr::Load {
+                dst: r(T0),
+                mem: MemRef::Static(region.offset((c as u64 % 16) * 8)),
+            },
         );
         cb.push(blk, alu(AluOp::Add, ACC, ACC, r(T0).into()));
         cb.push(blk, alu(AluOp::Mul, ACC, ACC, imm(3)));
-        let next = if c + 1 < chain_blocks.len() { chain_blocks[c + 1] } else { latch };
+        let next = if c + 1 < chain_blocks.len() {
+            chain_blocks[c + 1]
+        } else {
+            latch
+        };
         cb.terminate(blk, Terminator::Jump(next));
     }
     cb.push(latch, alu(AluOp::Add, i, i, imm(1)));
@@ -492,7 +633,9 @@ pub fn single_path(chain: u32, iters: u32, place: Placement) -> Program {
         format!("spath{chain}x{iters}"),
         cfg,
         facts,
-        Layout { code_base: place.code_base },
+        Layout {
+            code_base: place.code_base,
+        },
     )
     .expect("single_path program is well-formed")
     .with_data_region(DataRegion::new("buf", region, 16 * 8));
@@ -542,7 +685,12 @@ pub fn pointer_chase_stride(len: u32, rounds: u32, stride: u32, place: Placement
         body,
         Instr::Load {
             dst: r(ACC),
-            mem: MemRef::Indexed { base: ring, stride, count: len, index: r(ACC) },
+            mem: MemRef::Indexed {
+                base: ring,
+                stride,
+                count: len,
+                index: r(ACC),
+            },
         },
     );
     cb.push(body, alu(AluOp::Add, i, i, imm(1)));
@@ -556,14 +704,24 @@ pub fn pointer_chase_stride(len: u32, rounds: u32, stride: u32, place: Placement
         format!("chase{len}x{rounds}"),
         cfg,
         facts,
-        Layout { code_base: place.code_base },
+        Layout {
+            code_base: place.code_base,
+        },
     )
     .expect("pointer_chase program is well-formed")
-    .with_data_region(DataRegion::new("ring", ring, u64::from(len) * u64::from(stride)));
+    .with_data_region(DataRegion::new(
+        "ring",
+        ring,
+        u64::from(len) * u64::from(stride),
+    ));
     // Ring permutation with a stride coprime to len (len odd-ish handling:
     // use the largest odd step < len, which is coprime for power-of-two len;
     // for general len fall back to step 1).
-    let step = if len % 2 == 0 { (len - 1) as u64 } else { 1 };
+    let step = if len.is_multiple_of(2) {
+        (len - 1) as u64
+    } else {
+        1
+    };
     for idx in 0..u64::from(len) {
         p = p.with_init_mem(
             ring.offset(idx * u64::from(stride)),
@@ -598,7 +756,13 @@ pub fn twin_diamonds(heavy: u32, place: Placement) -> Program {
     cb.push(entry, alu(AluOp::And, T0, cond_reg, imm(1)));
     cb.terminate(
         entry,
-        Terminator::Branch { cond: Cond::Ne, lhs: r(T0), rhs: imm(0), taken: d1t, not_taken: d1f },
+        Terminator::Branch {
+            cond: Cond::Ne,
+            lhs: r(T0),
+            rhs: imm(0),
+            taken: d1t,
+            not_taken: d1f,
+        },
     );
     for _ in 0..heavy {
         cb.push(d1t, alu(AluOp::Mul, ACC, ACC, imm(3)));
@@ -609,7 +773,13 @@ pub fn twin_diamonds(heavy: u32, place: Placement) -> Program {
     cb.push(mid, alu(AluOp::Add, ACC, ACC, imm(1)));
     cb.terminate(
         mid,
-        Terminator::Branch { cond: Cond::Ne, lhs: r(T0), rhs: imm(0), taken: d2t, not_taken: d2f },
+        Terminator::Branch {
+            cond: Cond::Ne,
+            lhs: r(T0),
+            rhs: imm(0),
+            taken: d2t,
+            not_taken: d2f,
+        },
     );
     cb.push(d2t, Instr::Nop);
     cb.terminate(d2t, Terminator::Jump(exit));
@@ -630,8 +800,15 @@ pub fn twin_diamonds(heavy: u32, place: Placement) -> Program {
         crate::cfg::Edge::new(entry, d1f),
         crate::cfg::Edge::new(mid, d2t),
     );
-    Program::new(format!("twin{heavy}"), cfg, facts, Layout { code_base: place.code_base })
-        .expect("twin_diamonds program is well-formed")
+    Program::new(
+        format!("twin{heavy}"),
+        cfg,
+        facts,
+        Layout {
+            code_base: place.code_base,
+        },
+    )
+    .expect("twin_diamonds program is well-formed")
 }
 
 /// Two sequential loop nests with disjoint hot tables: phase 1 sweeps
@@ -671,7 +848,12 @@ pub fn two_phase(words: u32, iters: u32, place: Placement) -> Program {
             jbody,
             Instr::Load {
                 dst: r(T0),
-                mem: MemRef::Indexed { base: table, stride: 8, count: words, index: r(j) },
+                mem: MemRef::Indexed {
+                    base: table,
+                    stride: 8,
+                    count: words,
+                    index: r(j),
+                },
             },
         );
         cb.push(jbody, alu(AluOp::Add, ACC, ACC, r(T0).into()));
@@ -699,14 +881,20 @@ pub fn two_phase(words: u32, iters: u32, place: Placement) -> Program {
     // Identify loop headers generically instead of hard-coding ids.
     let loops = crate::loops::LoopForest::analyze(&cfg).expect("reducible");
     for l in loops.loops() {
-        let bound = if l.parent.is_some() { u64::from(words) } else { u64::from(iters) };
+        let bound = if l.parent.is_some() {
+            u64::from(words)
+        } else {
+            u64::from(iters)
+        };
         facts.set_exact_bound(l.header, bound);
     }
     let mut p = Program::new(
         format!("twophase{words}x{iters}"),
         cfg,
         facts,
-        Layout { code_base: place.code_base },
+        Layout {
+            code_base: place.code_base,
+        },
     )
     .expect("two_phase program is well-formed")
     .with_data_region(DataRegion::new("A", a_base, u64::from(words) * 8))
@@ -736,7 +924,13 @@ pub struct RandomParams {
 
 impl Default for RandomParams {
     fn default() -> Self {
-        RandomParams { max_depth: 3, max_loop_bound: 6, max_block_len: 5, data_words: 64, max_stmts: 24 }
+        RandomParams {
+            max_depth: 3,
+            max_loop_bound: 6,
+            max_block_len: 5,
+            data_words: 64,
+            max_stmts: 24,
+        }
     }
 }
 
@@ -770,10 +964,23 @@ pub fn random_program(seed: u64, params: RandomParams, place: Placement) -> Prog
     gen.cb.terminate(last, Terminator::Jump(exit));
     gen.cb.terminate(exit, Terminator::Return);
     let RandomGen { cb, facts, .. } = gen;
-    let cfg = cb.build(entry).expect("random CFG is well-formed by construction");
-    let mut p = Program::new(format!("rand{seed:#x}"), cfg, facts, Layout { code_base: place.code_base })
-        .expect("random program is well-formed by construction")
-        .with_data_region(DataRegion::new("data", place.data_base, u64::from(params.data_words) * 8));
+    let cfg = cb
+        .build(entry)
+        .expect("random CFG is well-formed by construction");
+    let mut p = Program::new(
+        format!("rand{seed:#x}"),
+        cfg,
+        facts,
+        Layout {
+            code_base: place.code_base,
+        },
+    )
+    .expect("random program is well-formed by construction")
+    .with_data_region(DataRegion::new(
+        "data",
+        place.data_base,
+        u64::from(params.data_words) * 8,
+    ));
     let mut vrng = StdRng::seed_from_u64(seed ^ 0xdead_beef);
     for idx in 0..u64::from(params.data_words) {
         p = p.with_init_mem(place.data_base.offset(idx * 8), vrng.gen_range(-64..64));
@@ -805,7 +1012,10 @@ impl RandomGen<'_> {
             first.get_or_insert(s_in);
             prev = Some(s_out);
         }
-        (first.expect("at least one statement"), prev.expect("at least one statement"))
+        (
+            first.expect("at least one statement"),
+            prev.expect("at least one statement"),
+        )
     }
 
     fn gen_stmt(&mut self, depth: u32) -> (BlockId, BlockId) {
@@ -832,9 +1042,17 @@ impl RandomGen<'_> {
             let kind = self.rng.gen_range(0..5);
             match kind {
                 0 => {
-                    let ops = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Mul];
+                    let ops = [
+                        AluOp::Add,
+                        AluOp::Sub,
+                        AluOp::Xor,
+                        AluOp::And,
+                        AluOp::Or,
+                        AluOp::Mul,
+                    ];
                     let op = ops[self.rng.gen_range(0..ops.len())];
-                    self.cb.push(b, alu(op, ACC, ACC, imm(self.rng.gen_range(1..16))));
+                    self.cb
+                        .push(b, alu(op, ACC, ACC, imm(self.rng.gen_range(1..16))));
                 }
                 1 => {
                     let idx = self.rng.gen_range(0..self.params.data_words);
@@ -936,7 +1154,12 @@ mod tests {
 
     fn runs_ok(p: &Program) {
         let res = execute(p, 5_000_000).expect("terminates");
-        assert_eq!(check_loop_bounds(p, &res), None, "{} violates bounds", p.name());
+        assert_eq!(
+            check_loop_bounds(p, &res),
+            None,
+            "{} violates bounds",
+            p.name()
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use wcet_ir::{BlockId, Program};
 use crate::timing::{instr_time, smt_instr_time, MemTimings, PipelineConfig};
 
 /// Thread-level execution mode of the core running the task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoreMode {
     /// Single hardware thread.
     Single,
@@ -125,10 +125,16 @@ fn site_cost(
         }
     };
     match l1_class {
-        Classification::AlwaysHit => SiteCost { base: h1, scope_extra: None },
+        Classification::AlwaysHit => SiteCost {
+            base: h1,
+            scope_extra: None,
+        },
         Classification::AlwaysMiss | Classification::NotClassified => {
             let (beyond, extra) = beyond_l1_worst();
-            SiteCost { base: h1 + beyond, scope_extra: extra }
+            SiteCost {
+                base: h1 + beyond,
+                scope_extra: extra,
+            }
         }
         Classification::Persistent { scope } => {
             // Hit path always; at most one trip beyond L1 per scope entry.
@@ -141,7 +147,10 @@ fn site_cost(
                     _ => t.mem_extra(bus_wait) - h1,
                 },
             };
-            SiteCost { base: h1, scope_extra: Some((scope, beyond)) }
+            SiteCost {
+                base: h1,
+                scope_extra: Some((scope, beyond)),
+            }
         }
     }
 }
@@ -165,7 +174,11 @@ pub fn block_costs(
 
     // A site's class at L1 (I or D by kind).
     let l1_class = |site: SiteId, is_fetch: bool| -> Classification {
-        let a = if is_fetch { &hierarchy.l1i } else { &hierarchy.l1d };
+        let a = if is_fetch {
+            &hierarchy.l1i
+        } else {
+            &hierarchy.l1d
+        };
         a.class(site).unwrap_or(Classification::NotClassified)
     };
 
@@ -178,22 +191,28 @@ pub fn block_costs(
         let mut needs_bus = false;
 
         let take_extra = |site: &wcet_ir::AccessSite,
-                              is_fetch: bool,
-                              extras: &mut BTreeMap<BlockId, u64>,
-                              needs_bus: &mut bool|
+                          is_fetch: bool,
+                          extras: &mut BTreeMap<BlockId, u64>,
+                          needs_bus: &mut bool|
          -> u64 {
             let id = (site.block, site.seq);
             let class = l1_class(id, is_fetch);
             // Whether this site can reach memory at all (for the
             // unbounded-bus check): anything not AH at L1 with a non-AH
             // possibility at L2.
-            let sc = site_cost(class, hierarchy.l2.as_ref(), id, t, input.bus_wait_bound.unwrap_or(0));
+            let sc = site_cost(
+                class,
+                hierarchy.l2.as_ref(),
+                id,
+                t,
+                input.bus_wait_bound.unwrap_or(0),
+            );
             let reaches_mem = match class {
                 Classification::AlwaysHit => false,
-                _ => match (t.l2_hit, hierarchy.l2.as_ref().and_then(|a| a.class(id))) {
-                    (Some(_), Some(Classification::AlwaysHit)) => false,
-                    _ => true,
-                },
+                _ => !matches!(
+                    (t.l2_hit, hierarchy.l2.as_ref().and_then(|a| a.class(id))),
+                    (Some(_), Some(Classification::AlwaysHit))
+                ),
             };
             if reaches_mem {
                 *needs_bus = true;
@@ -252,9 +271,9 @@ pub fn block_costs(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wcet_cache::analysis::{AnalysisInput, LevelKind};
     use wcet_cache::config::CacheConfig;
     use wcet_cache::multilevel::{analyze_hierarchy, HierarchyConfig};
-    use wcet_cache::analysis::{AnalysisInput, LevelKind};
     use wcet_ir::synth::{fir, single_path, Placement};
 
     fn hierarchy(program: &wcet_ir::Program, with_l2: bool) -> (HierarchyAnalysis, MemTimings) {
@@ -301,7 +320,10 @@ mod tests {
     fn unbounded_bus_is_reported() {
         let p = fir(4, 8, Placement::default());
         let (h, t) = hierarchy(&p, true);
-        assert_eq!(block_costs(&p, &h, &input(t, None)).unwrap_err(), UnboundedError);
+        assert_eq!(
+            block_costs(&p, &h, &input(t, None)).unwrap_err(),
+            UnboundedError
+        );
     }
 
     #[test]
@@ -372,6 +394,9 @@ mod tests {
         };
         let with_l2 = mk(true);
         let without = mk(false);
-        assert!(with_l2 < without, "L2 must pay off here ({with_l2} vs {without})");
+        assert!(
+            with_l2 < without,
+            "L2 must pay off here ({with_l2} vs {without})"
+        );
     }
 }

@@ -46,8 +46,7 @@ impl MemTimings {
     /// Panics if no L2 is configured.
     #[must_use]
     pub fn l2_hit_extra(&self) -> u64 {
-        self.l1_hit_extra()
-            + u64::from(self.l2_hit.expect("l2_hit_extra requires an L2"))
+        self.l1_hit_extra() + u64::from(self.l2_hit.expect("l2_hit_extra requires an L2"))
     }
 
     /// Extra cycles of an access that goes to memory, given the bus
@@ -130,7 +129,12 @@ mod tests {
     use wcet_ir::isa::{r, AluOp, Operand};
 
     fn timings(l2: Option<u32>) -> MemTimings {
-        MemTimings { l1_hit: 1, l2_hit: l2, bus_transfer: 8, mem_latency: 30 }
+        MemTimings {
+            l1_hit: 1,
+            l2_hit: l2,
+            bus_transfer: 8,
+            mem_latency: 30,
+        }
     }
 
     #[test]
@@ -150,14 +154,24 @@ mod tests {
 
     #[test]
     fn multi_cycle_l1() {
-        let t = MemTimings { l1_hit: 2, l2_hit: Some(4), bus_transfer: 8, mem_latency: 30 };
+        let t = MemTimings {
+            l1_hit: 2,
+            l2_hit: Some(4),
+            bus_transfer: 8,
+            mem_latency: 30,
+        };
         assert_eq!(t.l1_hit_extra(), 1);
         assert_eq!(t.l2_hit_extra(), 5);
     }
 
     #[test]
     fn instr_time_adds_components() {
-        let mul = Instr::Alu { op: AluOp::Mul, dst: r(1), lhs: r(2), rhs: Operand::Imm(3) };
+        let mul = Instr::Alu {
+            op: AluOp::Mul,
+            dst: r(1),
+            lhs: r(2),
+            rhs: Operand::Imm(3),
+        };
         assert_eq!(instr_time(&mul, 0, 0), 3);
         assert_eq!(instr_time(&mul, 4, 10), 17);
         assert_eq!(instr_time(&Instr::Nop, 0, 0), 1);

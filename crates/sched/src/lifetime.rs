@@ -62,8 +62,7 @@ pub fn windows(
     }
     // Latest pass: per-core priority order + precedence; iterate until
     // stable (cross-core precedence may need multiple sweeps).
-    let mut latest_finish: BTreeMap<TaskId, u64> =
-        ts.ids().map(|t| (t, u64::MAX)).collect();
+    let mut latest_finish: BTreeMap<TaskId, u64> = ts.ids().map(|t| (t, u64::MAX)).collect();
     // Initialise with a contention-free bound, then refine.
     for t in ts.ids() {
         latest_finish.insert(t, ts.task(t).release + wcet[&t]);
@@ -92,7 +91,13 @@ pub fn windows(
     }
     ts.ids()
         .map(|t| {
-            (t, Window { earliest_start: earliest[&t], latest_finish: latest_finish[&t] })
+            (
+                t,
+                Window {
+                    earliest_start: earliest[&t],
+                    latest_finish: latest_finish[&t],
+                },
+            )
         })
         .collect()
 }
@@ -170,7 +175,12 @@ where
         }
         interference = next;
     };
-    LifetimeResult { wcet, windows: wins, interference, iterations: rounds }
+    LifetimeResult {
+        wcet,
+        windows: wins,
+        interference,
+        iterations: rounds,
+    }
 }
 
 #[cfg(test)]
@@ -181,9 +191,27 @@ mod tests {
     fn ts3() -> TaskSet {
         // Two cores; τ0 and τ1 on core 0 (priorities 1, 2), τ2 on core 1.
         TaskSet::new(vec![
-            Task { name: "a".into(), core: 0, priority: 1, release: 0, predecessors: vec![] },
-            Task { name: "b".into(), core: 0, priority: 2, release: 0, predecessors: vec![] },
-            Task { name: "c".into(), core: 1, priority: 1, release: 0, predecessors: vec![] },
+            Task {
+                name: "a".into(),
+                core: 0,
+                priority: 1,
+                release: 0,
+                predecessors: vec![],
+            },
+            Task {
+                name: "b".into(),
+                core: 0,
+                priority: 2,
+                release: 0,
+                predecessors: vec![],
+            },
+            Task {
+                name: "c".into(),
+                core: 1,
+                priority: 1,
+                release: 0,
+                predecessors: vec![],
+            },
         ])
         .expect("valid")
     }
@@ -203,8 +231,20 @@ mod tests {
     #[test]
     fn precedence_pushes_windows() {
         let mut tasks = vec![
-            Task { name: "a".into(), core: 0, priority: 1, release: 0, predecessors: vec![] },
-            Task { name: "b".into(), core: 1, priority: 1, release: 0, predecessors: vec![TaskId(0)] },
+            Task {
+                name: "a".into(),
+                core: 0,
+                priority: 1,
+                release: 0,
+                predecessors: vec![],
+            },
+            Task {
+                name: "b".into(),
+                core: 1,
+                priority: 1,
+                release: 0,
+                predecessors: vec![TaskId(0)],
+            },
         ];
         tasks[1].release = 5;
         let ts = TaskSet::new(tasks).expect("valid");
@@ -217,9 +257,18 @@ mod tests {
 
     #[test]
     fn disjoint_windows_do_not_overlap() {
-        let a = Window { earliest_start: 0, latest_finish: 10 };
-        let b = Window { earliest_start: 11, latest_finish: 20 };
-        let c = Window { earliest_start: 5, latest_finish: 15 };
+        let a = Window {
+            earliest_start: 0,
+            latest_finish: 10,
+        };
+        let b = Window {
+            earliest_start: 11,
+            latest_finish: 20,
+        };
+        let c = Window {
+            earliest_start: 5,
+            latest_finish: 15,
+        };
         assert!(!a.overlaps(&b));
         assert!(a.overlaps(&c));
         assert!(c.overlaps(&b));
@@ -231,8 +280,20 @@ mod tests {
         // τ0 on core 0 released at 0; τ2 on core 1 released far later:
         // initially assumed to interfere, refinement must separate them.
         let ts = TaskSet::new(vec![
-            Task { name: "a".into(), core: 0, priority: 1, release: 0, predecessors: vec![] },
-            Task { name: "c".into(), core: 1, priority: 1, release: 1000, predecessors: vec![] },
+            Task {
+                name: "a".into(),
+                core: 0,
+                priority: 1,
+                release: 0,
+                predecessors: vec![],
+            },
+            Task {
+                name: "c".into(),
+                core: 1,
+                priority: 1,
+                release: 1000,
+                predecessors: vec![],
+            },
         ])
         .expect("valid");
         let bcet: BTreeMap<TaskId, u64> = ts.ids().map(|t| (t, 10)).collect();

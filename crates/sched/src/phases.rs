@@ -54,9 +54,21 @@ impl SuperBlock {
     pub fn aer(acq_requests: u64, compute: u64, rest_requests: u64) -> SuperBlock {
         SuperBlock {
             phases: vec![
-                Phase { kind: PhaseKind::Acquisition, compute: 0, requests: acq_requests },
-                Phase { kind: PhaseKind::Execution, compute, requests: 0 },
-                Phase { kind: PhaseKind::Restitution, compute: 0, requests: rest_requests },
+                Phase {
+                    kind: PhaseKind::Acquisition,
+                    compute: 0,
+                    requests: acq_requests,
+                },
+                Phase {
+                    kind: PhaseKind::Execution,
+                    compute,
+                    requests: 0,
+                },
+                Phase {
+                    kind: PhaseKind::Restitution,
+                    compute: 0,
+                    requests: rest_requests,
+                },
             ],
         }
     }
@@ -164,13 +176,23 @@ mod tests {
     use wcet_arbiter::Slot;
 
     fn tdma4(slot_len: u64) -> Tdma {
-        Tdma::new(4, (0..4).map(|owner| Slot { owner, len: slot_len }).collect())
-            .expect("valid")
+        Tdma::new(
+            4,
+            (0..4)
+                .map(|owner| Slot {
+                    owner,
+                    len: slot_len,
+                })
+                .collect(),
+        )
+        .expect("valid")
     }
 
     fn task(superblocks: usize, reqs: u64, compute: u64) -> PhasedTask {
         PhasedTask {
-            superblocks: (0..superblocks).map(|_| SuperBlock::aer(reqs, compute, reqs / 2)).collect(),
+            superblocks: (0..superblocks)
+                .map(|_| SuperBlock::aer(reqs, compute, reqs / 2))
+                .collect(),
         }
     }
 
@@ -210,7 +232,10 @@ mod tests {
     fn oversized_transfer_rejected() {
         let t = tdma4(8);
         let task = task(1, 2, 10);
-        assert_eq!(wcrt(&task, &t, 0, 16, 0, AccessModel::DedicatedPhases), None);
+        assert_eq!(
+            wcrt(&task, &t, 0, 16, 0, AccessModel::DedicatedPhases),
+            None
+        );
         assert_eq!(wcrt(&task, &t, 0, 16, 0, AccessModel::GeneralAccess), None);
     }
 

@@ -95,7 +95,10 @@ impl TaskSet {
         let mut seen: BTreeMap<(usize, u32), TaskId> = BTreeMap::new();
         for (i, t) in tasks.iter().enumerate() {
             if let Some(&other) = seen.get(&(t.core, t.priority)) {
-                return Err(TaskSetError::AmbiguousPriority { a: other, b: TaskId(i as u32) });
+                return Err(TaskSetError::AmbiguousPriority {
+                    a: other,
+                    b: TaskId(i as u32),
+                });
             }
             seen.insert((t.core, t.priority), TaskId(i as u32));
         }
@@ -155,8 +158,7 @@ impl TaskSet {
     /// Tasks mapped to `core`, sorted by ascending priority value.
     #[must_use]
     pub fn on_core(&self, core: usize) -> Vec<TaskId> {
-        let mut v: Vec<TaskId> =
-            self.ids().filter(|&t| self.task(t).core == core).collect();
+        let mut v: Vec<TaskId> = self.ids().filter(|&t| self.task(t).core == core).collect();
         v.sort_by_key(|&t| self.task(t).priority);
         v
     }

@@ -56,7 +56,10 @@ impl Bus {
             transfer,
             pending: vec![None; n],
             busy_until: 0,
-            stats: BusStats { per_core_max_wait: vec![0; n], ..BusStats::default() },
+            stats: BusStats {
+                per_core_max_wait: vec![0; n],
+                ..BusStats::default()
+            },
         }
     }
 
@@ -71,7 +74,11 @@ impl Bus {
             self.pending[core].is_none(),
             "core {core} issued a bus request while one is outstanding"
         );
-        self.pending[core] = Some(PendingReq { thread, addr, issued: cycle });
+        self.pending[core] = Some(PendingReq {
+            thread,
+            addr,
+            issued: cycle,
+        });
     }
 
     /// True if `core` has an outstanding request.
@@ -92,7 +99,9 @@ impl Bus {
             return None;
         }
         let winner = self.arbiter.grant(cycle, &pending_mask, self.transfer)?;
-        let req = self.pending[winner].take().expect("granted core had a request");
+        let req = self.pending[winner]
+            .take()
+            .expect("granted core had a request");
         self.busy_until = cycle + self.transfer;
         let mem = memctrl.access(req.addr.0);
         let waited = cycle - req.issued;
@@ -100,7 +109,12 @@ impl Bus {
         self.stats.total_wait += waited;
         self.stats.max_wait = self.stats.max_wait.max(waited);
         self.stats.per_core_max_wait[winner] = self.stats.per_core_max_wait[winner].max(waited);
-        Some(Grant { core: winner, thread: req.thread, stall: self.transfer + mem, waited })
+        Some(Grant {
+            core: winner,
+            thread: req.thread,
+            stall: self.transfer + mem,
+            waited,
+        })
     }
 
     /// Bus statistics so far.

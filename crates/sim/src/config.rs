@@ -127,10 +127,17 @@ impl MachineConfig {
         let l2 = CacheConfig::new(256, 8, 32, 4).expect("valid L2");
         MachineConfig {
             cores: (0..n)
-                .map(|_| CoreConfig { kind: CoreKind::Scalar, l1i, l1d })
+                .map(|_| CoreConfig {
+                    kind: CoreKind::Scalar,
+                    l1i,
+                    l1d,
+                })
                 .collect(),
             l2: Some(L2Config::plain(l2)),
-            bus: BusConfig { transfer: 8, arbiter: ArbiterKind::RoundRobin },
+            bus: BusConfig {
+                transfer: 8,
+                arbiter: ArbiterKind::RoundRobin,
+            },
             memory: MemoryKind::Predictable { latency: 30 },
             pipeline: PipelineConfig::default(),
         }

@@ -47,7 +47,11 @@ pub struct Hierarchy {
 
 fn build_l1(core: &CoreConfig, cfg: CacheConfig) -> Vec<ConcreteCache> {
     match core.kind {
-        CoreKind::Smt { threads, partitioned_l1: true, .. } if threads > 1 => {
+        CoreKind::Smt {
+            threads,
+            partitioned_l1: true,
+            ..
+        } if threads > 1 => {
             let per = (cfg.ways() / threads).max(1);
             let eff = cfg.with_ways(per).expect("non-zero way slice");
             (0..threads).map(|_| ConcreteCache::new(eff)).collect()
@@ -69,9 +73,17 @@ impl Hierarchy {
         let l1d = config.cores.iter().map(|c| build_l1(c, c.l1d)).collect();
         let (l2, l2_hit_latency) = match &config.l2 {
             None => (L2State::None, None),
-            Some(l2cfg) => (Self::build_l2(l2cfg, config.cores.len()), Some(l2cfg.cache.hit_latency)),
+            Some(l2cfg) => (
+                Self::build_l2(l2cfg, config.cores.len()),
+                Some(l2cfg.cache.hit_latency),
+            ),
         };
-        Hierarchy { l1i, l1d, l2, l2_hit_latency }
+        Hierarchy {
+            l1i,
+            l1d,
+            l2,
+            l2_hit_latency,
+        }
     }
 
     fn build_l2(l2cfg: &L2Config, n_cores: usize) -> L2State {
@@ -100,36 +112,64 @@ impl Hierarchy {
     }
 
     fn l1_of(&mut self, core: usize, thread: usize, is_fetch: bool) -> &mut ConcreteCache {
-        let banks = if is_fetch { &mut self.l1i } else { &mut self.l1d };
+        let banks = if is_fetch {
+            &mut self.l1i
+        } else {
+            &mut self.l1d
+        };
         let per_thread = &mut banks[core];
         let idx = if per_thread.len() > 1 { thread } else { 0 };
         &mut per_thread[idx]
     }
 
     /// Walks the hierarchy for one access, updating cache state.
-    pub fn lookup(&mut self, core: usize, thread: usize, is_fetch: bool, addr: Addr) -> LookupOutcome {
+    pub fn lookup(
+        &mut self,
+        core: usize,
+        thread: usize,
+        is_fetch: bool,
+        addr: Addr,
+    ) -> LookupOutcome {
         let l1 = self.l1_of(core, thread, is_fetch);
         let l1_lat = u64::from(l1.config().hit_latency.max(1)) - 1;
         let line = l1.config().line_of(addr);
         if l1.access(line).is_hit() {
-            return LookupOutcome { extra: l1_lat, needs_bus: false, l1_hit: true, l2_hit: false };
+            return LookupOutcome {
+                extra: l1_lat,
+                needs_bus: false,
+                l1_hit: true,
+                l2_hit: false,
+            };
         }
         match &mut self.l2 {
-            L2State::None => {
-                LookupOutcome { extra: l1_lat, needs_bus: true, l1_hit: false, l2_hit: false }
-            }
+            L2State::None => LookupOutcome {
+                extra: l1_lat,
+                needs_bus: true,
+                l1_hit: false,
+                l2_hit: false,
+            },
             L2State::Shared(l2) => {
                 let l2_line = l2.config().line_of(addr);
                 let extra = l1_lat + u64::from(self.l2_hit_latency.unwrap_or(0));
                 let hit = l2.access(l2_line).is_hit();
-                LookupOutcome { extra, needs_bus: !hit, l1_hit: false, l2_hit: hit }
+                LookupOutcome {
+                    extra,
+                    needs_bus: !hit,
+                    l1_hit: false,
+                    l2_hit: hit,
+                }
             }
             L2State::Partitioned(per_core) => {
                 let l2 = &mut per_core[core];
                 let l2_line = l2.config().line_of(addr);
                 let extra = l1_lat + u64::from(self.l2_hit_latency.unwrap_or(0));
                 let hit = l2.access(l2_line).is_hit();
-                LookupOutcome { extra, needs_bus: !hit, l1_hit: false, l2_hit: hit }
+                LookupOutcome {
+                    extra,
+                    needs_bus: !hit,
+                    l1_hit: false,
+                    l2_hit: hit,
+                }
             }
         }
     }
@@ -201,8 +241,7 @@ mod tests {
     fn partitioned_l2_isolates_cores() {
         let mut cfg = MachineConfig::symmetric(2);
         let l2 = cfg.l2.as_mut().expect("has l2");
-        l2.partition =
-            PartitionPlan::even_columns(&l2.cache, 2).expect("fits");
+        l2.partition = PartitionPlan::even_columns(&l2.cache, 2).expect("fits");
         let mut h = Hierarchy::new(&cfg);
         let a = Addr(0x2000);
         let _ = h.lookup(0, 0, true, a);

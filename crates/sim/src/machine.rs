@@ -69,7 +69,9 @@ impl RunResult {
     /// The result of the thread loaded at `(core, thread)`.
     #[must_use]
     pub fn thread(&self, core: usize, thread: usize) -> Option<&ThreadResult> {
-        self.threads.iter().find(|t| t.core == core && t.thread == thread)
+        self.threads
+            .iter()
+            .find(|t| t.core == core && t.thread == thread)
     }
 
     /// Cycles of `(core, thread)` — panics if absent or unfinished.
@@ -159,10 +161,15 @@ impl Core {
     fn slot_allows(&self, thread: usize, cycle: u64) -> bool {
         match self.kind {
             CoreKind::Scalar => true,
-            CoreKind::Smt { threads, policy: SmtPolicy::PredictableRoundRobin, .. } => {
-                cycle % u64::from(threads.max(1)) == thread as u64
-            }
-            CoreKind::Smt { policy: SmtPolicy::FreeForAll, .. } => true,
+            CoreKind::Smt {
+                threads,
+                policy: SmtPolicy::PredictableRoundRobin,
+                ..
+            } => cycle % u64::from(threads.max(1)) == thread as u64,
+            CoreKind::Smt {
+                policy: SmtPolicy::FreeForAll,
+                ..
+            } => true,
             CoreKind::YieldMt { .. } => self.active == thread,
         }
     }
@@ -212,7 +219,15 @@ impl Machine {
             total_slots,
         );
         let memctrl = MemoryController::new(config.memory);
-        Machine { config, cores, slot_base, hierarchy, bus, memctrl, cycle: 0 }
+        Machine {
+            config,
+            cores,
+            slot_base,
+            hierarchy,
+            bus,
+            memctrl,
+            cycle: 0,
+        }
     }
 
     /// The flattened bus-requester slot of `(core, thread)` — the index to
@@ -276,7 +291,7 @@ impl Machine {
         self.cores.iter().all(|c| {
             c.threads
                 .iter()
-                .all(|t| t.as_ref().map_or(true, |t| t.finished_at.is_some()))
+                .all(|t| t.as_ref().is_none_or(|t| t.finished_at.is_some()))
         })
     }
 
@@ -310,9 +325,16 @@ impl Machine {
         let n_threads = self.cores[core_idx].threads.len();
         let free_for_all = matches!(
             self.cores[core_idx].kind,
-            CoreKind::Smt { policy: SmtPolicy::FreeForAll, .. }
+            CoreKind::Smt {
+                policy: SmtPolicy::FreeForAll,
+                ..
+            }
         );
-        let start = if free_for_all { self.cores[core_idx].active % n_threads.max(1) } else { 0 };
+        let start = if free_for_all {
+            self.cores[core_idx].active % n_threads.max(1)
+        } else {
+            0
+        };
         for i in 0..n_threads {
             let t = (start + i) % n_threads;
             // A yield-switching core runs only its active thread; swapped-out
@@ -358,7 +380,7 @@ impl Machine {
             let cand = (active + i) % n;
             let live = core.threads[cand]
                 .as_ref()
-                .map_or(false, |t| t.finished_at.is_none());
+                .is_some_and(|t| t.finished_at.is_none());
             if live {
                 core.active = cand;
                 return;
@@ -370,13 +392,17 @@ impl Machine {
     /// (stall, bus wait or slot gate).
     fn act(&mut self, core_idx: usize, t: usize, now: u64, gated_ok: bool, issue_token: &mut bool) {
         let k = match self.cores[core_idx].kind {
-            CoreKind::Smt { threads, policy: SmtPolicy::PredictableRoundRobin, .. } => {
-                u64::from(threads.max(1))
-            }
+            CoreKind::Smt {
+                threads,
+                policy: SmtPolicy::PredictableRoundRobin,
+                ..
+            } => u64::from(threads.max(1)),
             _ => 1,
         };
         loop {
-            let th = self.cores[core_idx].threads[t].as_mut().expect("thread exists");
+            let th = self.cores[core_idx].threads[t]
+                .as_mut()
+                .expect("thread exists");
             let Some(&seg) = th.segments.front() else {
                 unreachable!("segment queue never empties without Advance")
             };
@@ -397,9 +423,12 @@ impl Machine {
                         }
                     }
                     let out = self.hierarchy.lookup(core_idx, t, true, addr);
-                    let th = self.cores[core_idx].threads[t].as_mut().expect("thread exists");
+                    let th = self.cores[core_idx].threads[t]
+                        .as_mut()
+                        .expect("thread exists");
                     if out.needs_bus {
-                        th.segments.push_front(Segment::BusRequest(addr, AccessKind::Fetch));
+                        th.segments
+                            .push_front(Segment::BusRequest(addr, AccessKind::Fetch));
                     }
                     if out.extra > 0 {
                         th.busy_until = now + out.extra;
@@ -416,11 +445,16 @@ impl Machine {
                         wcet_ir::MemRef::Static(_) => 0,
                     };
                     let addr = mem.effective_addr(idx);
-                    let kind =
-                        if ins.is_store() { AccessKind::Store } else { AccessKind::Load };
+                    let kind = if ins.is_store() {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    };
                     th.segments.pop_front();
                     let out = self.hierarchy.lookup(core_idx, t, false, addr);
-                    let th = self.cores[core_idx].threads[t].as_mut().expect("thread exists");
+                    let th = self.cores[core_idx].threads[t]
+                        .as_mut()
+                        .expect("thread exists");
                     if out.needs_bus {
                         th.segments.push_front(Segment::BusRequest(addr, kind));
                     }
@@ -448,9 +482,14 @@ impl Machine {
                     *issue_token = matches!(self.cores[core_idx].kind, CoreKind::Scalar)
                         || !matches!(
                             self.cores[core_idx].kind,
-                            CoreKind::Smt { policy: SmtPolicy::FreeForAll, .. }
+                            CoreKind::Smt {
+                                policy: SmtPolicy::FreeForAll,
+                                ..
+                            }
                         );
-                    let th = self.cores[core_idx].threads[t].as_mut().expect("thread exists");
+                    let th = self.cores[core_idx].threads[t]
+                        .as_mut()
+                        .expect("thread exists");
                     th.segments.pop_front();
                     th.segments.push_front(Segment::Advance);
                     th.busy_until = now + n * k;
@@ -460,7 +499,9 @@ impl Machine {
                     th.segments.pop_front();
                     th.stats.instrs += 1;
                     self.retire(core_idx, t, now);
-                    let th = self.cores[core_idx].threads[t].as_ref().expect("thread exists");
+                    let th = self.cores[core_idx].threads[t]
+                        .as_ref()
+                        .expect("thread exists");
                     if th.finished_at.is_some() {
                         return;
                     }
@@ -476,7 +517,9 @@ impl Machine {
     /// Retires the current slot: applies architectural effects and moves
     /// to the next slot/block.
     fn retire(&mut self, core_idx: usize, t: usize, now: u64) {
-        let th = self.cores[core_idx].threads[t].as_mut().expect("thread exists");
+        let th = self.cores[core_idx].threads[t]
+            .as_mut()
+            .expect("thread exists");
         if th.is_terminator_slot() {
             let term = *th.program.cfg().block(th.block).terminator();
             match th.arch.step_terminator(&term) {
@@ -612,8 +655,10 @@ mod tests {
             partitioned_l1: true,
         };
         let mut m = Machine::new(cfg);
-        m.load(0, 0, single_path(2, 16, Placement::slot(0))).expect("slot");
-        m.load(0, 1, single_path(2, 16, Placement::slot(1))).expect("slot");
+        m.load(0, 0, single_path(2, 16, Placement::slot(0)))
+            .expect("slot");
+        m.load(0, 1, single_path(2, 16, Placement::slot(1)))
+            .expect("slot");
         let res = m.run(50_000_000).expect("finishes");
         assert!(res.thread(0, 0).expect("t0").finished_at.is_some());
         assert!(res.thread(0, 1).expect("t1").finished_at.is_some());
@@ -623,8 +668,8 @@ mod tests {
     fn yield_core_interleaves_threads() {
         use wcet_ir::builder::CfgBuilder;
         use wcet_ir::cfg::Terminator;
-        use wcet_ir::isa::r;
         use wcet_ir::flow::FlowFacts;
+        use wcet_ir::isa::r;
         use wcet_ir::program::Layout;
         // Two tiny threads that yield once each.
         let mk = |base: u64| {
@@ -635,8 +680,15 @@ mod tests {
             cb.push(a, Instr::LoadImm { dst: r(2), imm: 2 });
             cb.terminate(a, Terminator::Return);
             let cfg = cb.build(a).expect("valid");
-            Program::new(format!("y{base}"), cfg, FlowFacts::new(), Layout { code_base: Addr(base) })
-                .expect("valid")
+            Program::new(
+                format!("y{base}"),
+                cfg,
+                FlowFacts::new(),
+                Layout {
+                    code_base: Addr(base),
+                },
+            )
+            .expect("valid")
         };
         let mut cfg = MachineConfig::symmetric(1);
         cfg.cores[0].kind = CoreKind::YieldMt { threads: 2 };

@@ -1,0 +1,80 @@
+//! The batch engine: analyse a whole task set in one call, in parallel,
+//! with memoized intermediates — and compare against sequential per-task
+//! `Analyzer` calls.
+//!
+//! Run with: `cargo run --release --example engine_batch`
+
+use std::time::Instant;
+
+use wcet_bench::comparison_workload;
+use wcet_toolkit::core::analyzer::Analyzer;
+use wcet_toolkit::core::engine::AnalysisEngine;
+use wcet_toolkit::core::mode::Isolated;
+use wcet_toolkit::core::report::Table;
+use wcet_toolkit::ir::Program;
+use wcet_toolkit::sched::{Task, TaskSet};
+use wcet_toolkit::sim::config::MachineConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = MachineConfig::symmetric(4);
+
+    // The shared 8-kernel comparison workload, spread round-robin over
+    // the four cores (same one `run_all` measures).
+    let programs: Vec<(usize, Program)> = comparison_workload();
+
+    // Sequential reference: one Analyzer call per task.
+    let analyzer = Analyzer::new(machine.clone());
+    let t0 = Instant::now();
+    let sequential: Vec<_> = programs
+        .iter()
+        .map(|(core, p)| analyzer.wcet_isolated(p, *core, 0))
+        .collect::<Result<_, _>>()?;
+    let seq = t0.elapsed();
+
+    // Batch: one engine call over the whole task set.
+    let set = TaskSet::new(
+        programs
+            .iter()
+            .enumerate()
+            .map(|(i, (core, p))| Task {
+                name: p.name().to_string(),
+                core: *core,
+                priority: i as u32,
+                release: 0,
+                predecessors: vec![],
+            })
+            .collect(),
+    )?;
+    let engine = AnalysisEngine::new(machine);
+    let plain: Vec<Program> = programs.iter().map(|(_, p)| p.clone()).collect();
+    let t1 = Instant::now();
+    let batch = engine.analyze_task_set(&set, &plain, &Isolated);
+    let par = t1.elapsed();
+
+    let mut table = Table::new(
+        "Task-set batch analysis (isolated mode)",
+        &["task", "core", "WCET", "batch == sequential"],
+    );
+    for ((core, p), (seq_rep, batch_rep)) in programs.iter().zip(sequential.iter().zip(&batch)) {
+        let batch_rep = batch_rep.as_ref().map_err(Clone::clone)?;
+        table.row([
+            p.name().to_string(),
+            core.to_string(),
+            batch_rep.wcet.to_string(),
+            (seq_rep == batch_rep).to_string(),
+        ]);
+        assert_eq!(
+            seq_rep, batch_rep,
+            "batch must reproduce sequential results"
+        );
+    }
+    println!("{table}");
+    println!(
+        "sequential {:.1} ms, batch {:.1} ms ({:.2}× speedup on {} workers)",
+        seq.as_secs_f64() * 1e3,
+        par.as_secs_f64() * 1e3,
+        seq.as_secs_f64() / par.as_secs_f64().max(1e-9),
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    );
+    Ok(())
+}

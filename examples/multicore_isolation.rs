@@ -1,11 +1,13 @@
 //! Task isolation (paper §3.3): a partitioned L2 plus a round-robin bus
 //! make every task's WCET computable with zero knowledge of co-runners —
-//! and the bound survives deliberately hostile ones.
+//! and the bound survives deliberately hostile ones. All three tasks are
+//! analysed in one parallel engine batch.
 //!
 //! Run with: `cargo run --example multicore_isolation`
 
 use wcet_toolkit::cache::partition::PartitionPlan;
-use wcet_toolkit::core::analyzer::Analyzer;
+use wcet_toolkit::core::engine::{AnalysisEngine, Job};
+use wcet_toolkit::core::mode::Isolated;
 use wcet_toolkit::core::report::Table;
 use wcet_toolkit::core::validate::observe;
 use wcet_toolkit::ir::synth::{self, Placement};
@@ -17,18 +19,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let l2 = machine.l2.as_mut().expect("symmetric machine has an L2");
         l2.partition = PartitionPlan::even_columns(&l2.cache, 4)?;
     }
-    let analyzer = Analyzer::new(machine.clone());
+    let engine = AnalysisEngine::new(machine.clone());
 
     let tasks = [
         synth::fir(6, 24, Placement::slot(0)),
         synth::crc(48, Placement::slot(0)),
         synth::bsort(10, Placement::slot(0)),
     ];
+    let jobs: Vec<Job<'_>> = tasks.iter().map(|t| Job::new(t, 0, &Isolated)).collect();
+    let reports = engine.analyze_batch(&jobs);
     let hostile = |exclude: usize| {
         (0..4usize)
             .filter(|&c| c != exclude)
             .map(|c| {
-                (c, 0, synth::pointer_chase_stride(2048, 5000, 32, Placement::slot(c as u32)))
+                (
+                    c,
+                    0,
+                    synth::pointer_chase_stride(2048, 5000, 32, Placement::slot(c as u32)),
+                )
             })
             .collect::<Vec<_>>()
     };
@@ -37,9 +45,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Isolation: WCET computed without knowing co-runners, validated against hostile ones",
         &["task", "isolated WCET", "observed (hostile)", "margin"],
     );
-    for task in tasks {
-        let report = analyzer.wcet_isolated(&task, 0, 0)?;
-        let obs = observe(&machine, (0, 0, task.clone()), hostile(0), report.wcet, 300_000_000)?;
+    for (task, report) in tasks.iter().zip(reports) {
+        let report = report?;
+        let obs = observe(
+            &machine,
+            (0, 0, task.clone()),
+            hostile(0),
+            report.wcet,
+            300_000_000,
+        )?;
         assert!(obs.sound(), "{}: bound violated!", task.name());
         table.row([
             task.name().to_string(),

@@ -5,7 +5,8 @@
 //! Run with: `cargo run --example pret_pipeline`
 
 use wcet_toolkit::arbiter::ArbiterKind;
-use wcet_toolkit::core::analyzer::Analyzer;
+use wcet_toolkit::core::engine::AnalysisEngine;
+use wcet_toolkit::core::mode::Isolated;
 use wcet_toolkit::core::validate::run_machine;
 use wcet_toolkit::ir::synth::{self, Placement};
 use wcet_toolkit::ir::Program;
@@ -20,31 +21,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         partitioned_l1: true,
     };
     // The memory wheel: each of the 6 threads owns a fixed window.
-    machine.bus.arbiter = ArbiterKind::MemoryWheel { window: machine.bus.transfer };
+    machine.bus.arbiter = ArbiterKind::MemoryWheel {
+        window: machine.bus.transfer,
+    };
     // PRET threads use private scratchpad-like storage: drop the shared L2
     // so no storage state is shared at all.
     machine.l2 = None;
 
-    let analyzer = Analyzer::new(machine.clone());
+    let engine = AnalysisEngine::new(machine.clone());
     let thread0 = synth::fir(4, 12, Placement::slot(0));
-    let report = analyzer.wcet_isolated(&thread0, 0, 0)?;
+    let report = engine.analyze(&thread0, 0, 0, &Isolated)?;
     println!(
         "thread 0 WCET = {} cycles (6× interleave, wheel wait bound {:?})",
         report.wcet, report.bus_wait_bound
     );
 
     // Repeatable timing: run thread 0 with three different sibling mixes.
-    let mixes: Vec<(&str, Vec<(usize, usize, Program)>)> = vec![
+    type Mix = (&'static str, Vec<(usize, usize, Program)>);
+    let mixes: Vec<Mix> = vec![
         ("alone", vec![]),
-        (
-            "light",
-            vec![(0, 1, synth::crc(8, Placement::slot(1)))],
-        ),
+        ("light", vec![(0, 1, synth::crc(8, Placement::slot(1)))]),
         (
             "full house",
             (1..6usize)
                 .map(|t| {
-                    (0, t, synth::pointer_chase(32, 100, Placement::slot(t as u32)))
+                    (
+                        0,
+                        t,
+                        synth::pointer_chase(32, 100, Placement::slot(t as u32)),
+                    )
                 })
                 .collect(),
         ),
@@ -61,7 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         assert!(cycles <= report.wcet, "bound violated");
     }
-    println!("bit-exact repeatability confirmed; bound holds with {:.2}× margin",
-        report.wcet as f64 / first.unwrap_or(1) as f64);
+    println!(
+        "bit-exact repeatability confirmed; bound holds with {:.2}× margin",
+        report.wcet as f64 / first.unwrap_or(1) as f64
+    );
     Ok(())
 }

@@ -1,9 +1,11 @@
-//! Quickstart: analyse one task on a 4-core machine and validate the
-//! bound against the cycle-level simulator.
+//! Quickstart: analyse one task on a 4-core machine under two modes in a
+//! single engine batch, and validate the bound against the cycle-level
+//! simulator.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use wcet_toolkit::core::analyzer::Analyzer;
+use wcet_toolkit::core::engine::{AnalysisEngine, Job};
+use wcet_toolkit::core::mode::{Isolated, Solo};
 use wcet_toolkit::core::validate::observe;
 use wcet_toolkit::ir::pretty::listing;
 use wcet_toolkit::ir::synth::{matmul, Placement};
@@ -13,18 +15,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A workload: 8×8 integer matrix multiply, placed at slot 0 of the
     //    address space.
     let task = matmul(8, Placement::slot(0));
-    println!("--- task ---\n{}", &listing(&task)[..400.min(listing(&task).len())]);
+    println!(
+        "--- task ---\n{}",
+        &listing(&task)[..400.min(listing(&task).len())]
+    );
 
     // 2. A machine: 4 in-order cores, private L1s, shared L2, round-robin
     //    bus, predictable memory controller.
     let machine = MachineConfig::symmetric(4);
 
-    // 3. Static WCET analysis, three ways.
-    let analyzer = Analyzer::new(machine.clone());
-    let solo = analyzer.wcet_solo(&task, 0, 0)?;
-    let isolated = analyzer.wcet_isolated(&task, 0, 0)?;
-    println!("solo     WCET = {:>8} cycles   (unsafe on shared hardware!)", solo.wcet);
-    println!("isolated WCET = {:>8} cycles   (safe against any co-runners)", isolated.wcet);
+    // 3. Static WCET analysis, two modes, one batch call. The engine
+    //    memoizes shared intermediates (here: the per-mode hierarchy
+    //    fixpoints) and fans jobs out across worker threads.
+    let engine = AnalysisEngine::new(machine.clone());
+    let reports = engine.analyze_batch(&[Job::new(&task, 0, &Solo), Job::new(&task, 0, &Isolated)]);
+    let solo = reports[0].as_ref().map_err(Clone::clone)?;
+    let isolated = reports[1].as_ref().map_err(Clone::clone)?;
+    println!(
+        "solo     WCET = {:>8} cycles   (unsafe on shared hardware!)",
+        solo.wcet
+    );
+    println!(
+        "isolated WCET = {:>8} cycles   (safe against any co-runners)",
+        isolated.wcet
+    );
     println!(
         "L1I classes (AH, AM, PS, NC) = {:?}   L1D = {:?}",
         isolated.l1i_hist, isolated.l1d_hist

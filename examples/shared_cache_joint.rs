@@ -1,16 +1,18 @@
 //! Joint analysis of a shared L2 (paper §4.1): the WCET of a task degrades
 //! as more co-runners' footprints are taken into account — and lifetime
 //! analysis (Li et al.) wins some of it back when releases keep tasks
-//! apart.
+//! apart. The WCET ⇄ schedule fixpoint re-queries the same joint analyses
+//! round after round, so the memoizing engine pays off directly here.
 //!
 //! Run with: `cargo run --example shared_cache_joint`
 
 use std::collections::BTreeMap;
 
-use wcet_toolkit::core::analyzer::Analyzer;
+use wcet_toolkit::cache::config::CacheConfig;
+use wcet_toolkit::core::engine::AnalysisEngine;
+use wcet_toolkit::core::mode::{Footprint, JointRefs};
 use wcet_toolkit::core::report::Table;
 use wcet_toolkit::ir::synth::{self, Placement};
-use wcet_toolkit::cache::config::CacheConfig;
 use wcet_toolkit::sched::{lifetime_fixpoint, Task, TaskId, TaskSet};
 use wcet_toolkit::sim::config::MachineConfig;
 
@@ -23,27 +25,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         c.l1d = CacheConfig::new(2, 1, 32, 1)?;
         c.l1i = CacheConfig::new(8, 1, 16, 1)?;
     }
-    let analyzer = Analyzer::new(machine);
+    let engine = AnalysisEngine::new(machine);
 
     // The victim's code footprint exceeds its L1I but fits the L2: its
     // loop fetches lean on the shared L2, where co-runners hurt.
     let victim = synth::switchy(16, 50, 20, Placement::slot(0));
-    let bullies: Vec<_> = (1..4u32).map(|i| synth::matmul(16, Placement::slot(i))).collect();
+    let bullies: Vec<_> = (1..4u32)
+        .map(|i| synth::matmul(16, Placement::slot(i)))
+        .collect();
     let footprints: Vec<_> = bullies
         .iter()
         .enumerate()
-        .map(|(i, b)| analyzer.l2_footprint(b, i + 1))
+        .map(|(i, b)| engine.l2_footprint(b, i + 1))
         .collect::<Result<_, _>>()?;
 
     let mut table = Table::new(
         "Joint shared-L2 analysis: WCET vs number of considered co-runners",
         &["co-runners", "victim WCET", "vs alone"],
     );
-    let alone = analyzer.wcet_joint(&victim, 0, 0, &[])?.wcet;
+    let alone = engine.analyze(&victim, 0, 0, &JointRefs(&[]))?.wcet;
     for k in 0..=footprints.len() {
-        let refs: Vec<_> = footprints[..k].iter().collect();
-        let wcet = analyzer.wcet_joint(&victim, 0, 0, &refs)?.wcet;
-        table.row([k.to_string(), wcet.to_string(), format!("{:.2}×", wcet as f64 / alone as f64)]);
+        let refs: Vec<&Footprint> = footprints[..k].iter().collect();
+        let wcet = engine.analyze(&victim, 0, 0, &JointRefs(&refs))?.wcet;
+        table.row([
+            k.to_string(),
+            wcet.to_string(),
+            format!("{:.2}×", wcet as f64 / alone as f64),
+        ]);
     }
     println!("{table}");
 
@@ -72,27 +80,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &bcet,
         |task, interfering| {
             let idx = task.0 as usize;
-            let fps: Vec<_> = interfering
+            let refs: Vec<&Footprint> = interfering
                 .iter()
                 .map(|o| &footprints[(o.0 as usize).saturating_sub(1).min(footprints.len() - 1)])
                 .collect();
-            analyzer
-                .wcet_joint(programs[idx], ts.task(task).core, 0, &fps)
+            // Every fixpoint round re-queries overlapping subsets; the
+            // engine memo makes repeats (same task, same interference)
+            // cache hits instead of fresh fixpoints + ILP solves.
+            engine
+                .analyze(programs[idx], ts.task(task).core, 0, &JointRefs(&refs))
                 .expect("analyses")
                 .wcet
         },
         8,
     );
+    let stats = engine.memo_stats();
     println!(
         "lifetime refinement: victim interferers {} (was {}), WCET {} (all-overlap: {}), {} rounds",
         result.interference[&TaskId(0)].len(),
         bullies.len(),
         result.wcet[&TaskId(0)],
         {
-            let refs: Vec<_> = footprints.iter().collect();
-            analyzer.wcet_joint(&victim, 0, 0, &refs)?.wcet
+            let refs: Vec<&Footprint> = footprints.iter().collect();
+            engine.analyze(&victim, 0, 0, &JointRefs(&refs))?.wcet
         },
         result.iterations,
+    );
+    println!(
+        "engine memo: {} hits / {} lookups across the fixpoint",
+        stats.hits(),
+        stats.lookups()
     );
     Ok(())
 }

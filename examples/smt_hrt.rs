@@ -7,7 +7,9 @@
 
 use wcet_toolkit::arbiter::ArbiterKind;
 use wcet_toolkit::cache::partition::PartitionPlan;
-use wcet_toolkit::core::analyzer::{AnalysisError, Analyzer};
+use wcet_toolkit::core::analyzer::AnalysisError;
+use wcet_toolkit::core::engine::AnalysisEngine;
+use wcet_toolkit::core::mode::Isolated;
 use wcet_toolkit::core::validate::observe;
 use wcet_toolkit::ir::synth::{self, Placement};
 use wcet_toolkit::pipeline::smt::SmtPolicy;
@@ -30,11 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // HRT = bus slot of (core 0, thread 0) = 0.
     machine.bus.arbiter = ArbiterKind::FixedPriority { hrt: 0 };
 
-    let analyzer = Analyzer::new(machine.clone());
+    let engine = AnalysisEngine::new(machine.clone());
     let hrt_task = synth::crc(32, Placement::slot(0));
 
     // The HRT thread is analysable in isolation…
-    let report = analyzer.wcet_isolated(&hrt_task, 0, 0)?;
+    let report = engine.analyze(&hrt_task, 0, 0, &Isolated)?;
     println!(
         "HRT thread WCET = {} cycles (bus wait bound {:?}, 4× SMT stretch included)",
         report.wcet, report.bus_wait_bound
@@ -42,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // …while a best-effort sibling genuinely has no bound.
     let be_task = synth::fir(4, 16, Placement::slot(1));
-    match analyzer.wcet_isolated(&be_task, 0, 1) {
+    match engine.analyze(&be_task, 0, 1, &Isolated) {
         Err(AnalysisError::Unbounded) => {
             println!("best-effort thread: no finite WCET (as CarCore promises only the HRT)");
         }
@@ -57,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (0, 1, synth::matmul(8, Placement::slot(1))),
             (0, 2, synth::bsort(8, Placement::slot(2))),
             (0, 3, synth::switchy(6, 30, 6, Placement::slot(3))),
-            (1, 0, synth::pointer_chase_stride(2048, 4000, 32, Placement::slot(4))),
+            (
+                1,
+                0,
+                synth::pointer_chase_stride(2048, 4000, 32, Placement::slot(4)),
+            ),
         ],
         report.wcet,
         300_000_000,

@@ -6,10 +6,10 @@
 //! Run with: `cargo run --example tdma_vs_roundrobin`
 
 use wcet_toolkit::arbiter::{RoundRobin, Slot, Tdma};
+use wcet_toolkit::cache::config::CacheConfig;
 use wcet_toolkit::core::report::Table;
 use wcet_toolkit::core::static_ctrl::{tdma_offset_aware_wcet, wcet_unlocked, StaticParams};
 use wcet_toolkit::core::IpetOptions;
-use wcet_toolkit::cache::config::CacheConfig;
 use wcet_toolkit::ir::synth::{single_path, Placement};
 use wcet_toolkit::pipeline::cost::CoreMode;
 use wcet_toolkit::pipeline::timing::{MemTimings, PipelineConfig};
@@ -21,7 +21,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         l1i: CacheConfig::new(32, 2, 16, 1)?,
         l1d: CacheConfig::new(4, 1, 32, 1)?, // small: keeps bus traffic alive
         l2: None,
-        timings: MemTimings { l1_hit: 1, l2_hit: None, bus_transfer: transfer, mem_latency: 30 },
+        timings: MemTimings {
+            l1_hit: 1,
+            l2_hit: None,
+            bus_transfer: transfer,
+            mem_latency: 30,
+        },
         bus_wait_bound: Some(0),
         pipeline: PipelineConfig::default(),
         mode: CoreMode::Single,
@@ -41,8 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     table.row(["round-robin".into(), rr_wait.to_string(), rr.to_string()]);
 
     for slot_len in [transfer, 2 * transfer, 4 * transfer] {
-        let slots: Vec<Slot> =
-            (0..n_cores as usize).map(|owner| Slot { owner, len: slot_len }).collect();
+        let slots: Vec<Slot> = (0..n_cores as usize)
+            .map(|owner| Slot {
+                owner,
+                len: slot_len,
+            })
+            .collect();
         let tdma = Tdma::new(n_cores as usize, slots)?;
         // Offset-blind: the only sound choice on multi-path code.
         let blind_wait = tdma.worst_delay(0, transfer).expect("fits");

@@ -13,7 +13,7 @@
 //! | [`arbiter`] | bus arbiters and memory controller (bounds + cycle-level) |
 //! | [`sim`] | deterministic cycle-level multicore/SMT simulator |
 //! | [`sched`] | task sets, lifetime windows, WCET ⇄ schedule fixpoint |
-//! | [`core`] | the WCET analyser: IPET + the paper's three approach families |
+//! | [`core`] | the WCET analyser: IPET + the paper's three approach families, plus the batch [`core::engine::AnalysisEngine`] |
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the regenerable experiment suite (E01–E12).
@@ -30,6 +30,27 @@
 //! let task = matmul(8, Placement::slot(0));
 //! let report = Analyzer::new(machine).wcet_isolated(&task, 0, 0)?;
 //! println!("WCET({}) = {} cycles", report.task, report.wcet);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! For many tasks (or many modes), batch through the memoizing parallel
+//! engine instead — identical reports, one call:
+//!
+//! ```
+//! use wcet_toolkit::core::engine::{AnalysisEngine, Job};
+//! use wcet_toolkit::core::mode::Isolated;
+//! use wcet_toolkit::ir::synth::{fir, matmul, Placement};
+//! use wcet_toolkit::sim::config::MachineConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let engine = AnalysisEngine::new(MachineConfig::symmetric(4));
+//! let (a, b) = (matmul(6, Placement::slot(0)), fir(4, 16, Placement::slot(1)));
+//! let reports = engine.analyze_batch(&[Job::new(&a, 0, &Isolated), Job::new(&b, 1, &Isolated)]);
+//! for report in reports {
+//!     let report = report?;
+//!     println!("WCET({}) = {} cycles", report.task, report.wcet);
+//! }
 //! # Ok(())
 //! # }
 //! ```

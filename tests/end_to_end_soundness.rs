@@ -9,9 +9,7 @@ use wcet_toolkit::cache::config::CacheConfig;
 use wcet_toolkit::cache::partition::PartitionPlan;
 use wcet_toolkit::core::analyzer::Analyzer;
 use wcet_toolkit::core::validate::observe;
-use wcet_toolkit::ir::synth::{
-    self, random_program, Placement, RandomParams,
-};
+use wcet_toolkit::ir::synth::{self, random_program, Placement, RandomParams};
 use wcet_toolkit::sim::config::MachineConfig;
 
 const CYCLE_LIMIT: u64 = 300_000_000;
@@ -33,7 +31,11 @@ fn machine(seed: u64, cores: usize) -> MachineConfig {
     l2.cache = CacheConfig::new(l2_sets, 4, 32, 4).expect("valid");
     match (seed / 18) % 3 {
         0 => m.bus.arbiter = ArbiterKind::RoundRobin,
-        1 => m.bus.arbiter = ArbiterKind::TdmaEqual { slot_len: m.bus.transfer + 2 },
+        1 => {
+            m.bus.arbiter = ArbiterKind::TdmaEqual {
+                slot_len: m.bus.transfer + 2,
+            }
+        }
         _ => {
             m.bus.arbiter = ArbiterKind::Mbba {
                 weights: vec![2; m.total_threads()],
@@ -169,6 +171,12 @@ fn kernel_sweep_all_modes_sound() {
         );
         // Isolation must dominate solo.
         let iso = an.wcet_isolated(&p, 0, 0).expect("analyses").wcet;
-        assert!(iso >= solo, "{}: isolation {} < solo {}", p.name(), iso, solo);
+        assert!(
+            iso >= solo,
+            "{}: isolation {} < solo {}",
+            p.name(),
+            iso,
+            solo
+        );
     }
 }

@@ -21,7 +21,9 @@ fn isolating_machine(cores: usize) -> MachineConfig {
         l2.partition = PartitionPlan::even_columns(&l2.cache, cores as u32).expect("fits");
     }
     // TDMA gives every core a private bus window: zero bandwidth coupling.
-    m.bus.arbiter = ArbiterKind::TdmaEqual { slot_len: m.bus.transfer };
+    m.bus.arbiter = ArbiterKind::TdmaEqual {
+        slot_len: m.bus.transfer,
+    };
     m
 }
 
@@ -43,8 +45,16 @@ fn partitioned_tdma_machine_isolates_exactly() {
     let heavy = cycles_with(
         &m,
         vec![
-            (1, 0, synth::pointer_chase_stride(2048, 4000, 32, Placement::slot(1))),
-            (2, 0, synth::pointer_chase_stride(2048, 4000, 32, Placement::slot(2))),
+            (
+                1,
+                0,
+                synth::pointer_chase_stride(2048, 4000, 32, Placement::slot(1)),
+            ),
+            (
+                2,
+                0,
+                synth::pointer_chase_stride(2048, 4000, 32, Placement::slot(2)),
+            ),
             (3, 0, synth::matmul(12, Placement::slot(3))),
         ],
     );
@@ -62,13 +72,28 @@ fn round_robin_machine_does_not_isolate_exactly() {
     let heavy = cycles_with(
         &m,
         vec![
-            (1, 0, synth::pointer_chase_stride(2048, 4000, 32, Placement::slot(1))),
-            (2, 0, synth::pointer_chase_stride(2048, 4000, 32, Placement::slot(2))),
-            (3, 0, synth::pointer_chase_stride(2048, 4000, 32, Placement::slot(3))),
+            (
+                1,
+                0,
+                synth::pointer_chase_stride(2048, 4000, 32, Placement::slot(1)),
+            ),
+            (
+                2,
+                0,
+                synth::pointer_chase_stride(2048, 4000, 32, Placement::slot(2)),
+            ),
+            (
+                3,
+                0,
+                synth::pointer_chase_stride(2048, 4000, 32, Placement::slot(3)),
+            ),
         ],
     );
     assert!(heavy >= alone);
-    assert!(heavy > alone, "expected visible RR jitter ({heavy} vs {alone})");
+    assert!(
+        heavy > alone,
+        "expected visible RR jitter ({heavy} vs {alone})"
+    );
 }
 
 #[test]
@@ -85,7 +110,9 @@ fn pret_style_core_isolates_threads() {
         let l2 = m.l2.as_mut().expect("has l2");
         l2.partition = PartitionPlan::Shared; // single core: partition by bank not needed
     }
-    m.bus.arbiter = ArbiterKind::MemoryWheel { window: m.bus.transfer };
+    m.bus.arbiter = ArbiterKind::MemoryWheel {
+        window: m.bus.transfer,
+    };
 
     // NOTE: threads share the L2 here; to keep strict isolation the victim
     // must not depend on L2 state — use a tiny-footprint task that fits
@@ -119,7 +146,10 @@ fn free_for_all_smt_visibly_couples_threads() {
         run_machine(&m, loads, LIMIT).expect("runs").cycles(0, 0)
     };
     let contended = {
-        let loads = vec![(0, 0, victim()), (0, 1, synth::single_path(2, 100, Placement::slot(1)))];
+        let loads = vec![
+            (0, 0, victim()),
+            (0, 1, synth::single_path(2, 100, Placement::slot(1))),
+        ];
         run_machine(&m, loads, LIMIT).expect("runs").cycles(0, 0)
     };
     assert!(

@@ -4,6 +4,9 @@
 
 use std::collections::BTreeMap;
 
+use wcet_toolkit::cache::analysis::{AnalysisInput, LevelKind};
+use wcet_toolkit::cache::config::CacheConfig;
+use wcet_toolkit::cache::multilevel::{analyze_hierarchy, HierarchyConfig};
 use wcet_toolkit::core::analyzer::Analyzer;
 use wcet_toolkit::core::validate::run_machine;
 use wcet_toolkit::core::yieldgraph::{joint_yield_wcet, yield_blocks};
@@ -16,9 +19,6 @@ use wcet_toolkit::ir::program::Layout;
 use wcet_toolkit::ir::synth::{fir, matmul, Placement};
 use wcet_toolkit::ir::{Addr, BlockId, Program};
 use wcet_toolkit::pipeline::cost::{block_costs, CoreMode, CostInput};
-use wcet_toolkit::cache::multilevel::{analyze_hierarchy, HierarchyConfig};
-use wcet_toolkit::cache::analysis::{AnalysisInput, LevelKind};
-use wcet_toolkit::cache::config::CacheConfig;
 use wcet_toolkit::pipeline::timing::{MemTimings, PipelineConfig};
 use wcet_toolkit::sched::{lifetime_fixpoint, Task, TaskId, TaskSet};
 use wcet_toolkit::sim::config::{CoreKind, MachineConfig};
@@ -35,7 +35,13 @@ fn lifetime_refinement_tightens_joint_wcets() {
     let fp1 = an.l2_footprint(&t1, 1).expect("analyses");
 
     let ts = TaskSet::new(vec![
-        Task { name: t0.name().into(), core: 0, priority: 1, release: 0, predecessors: vec![] },
+        Task {
+            name: t0.name().into(),
+            core: 0,
+            priority: 1,
+            release: 0,
+            predecessors: vec![],
+        },
         Task {
             name: t1.name().into(),
             core: 1,
@@ -96,13 +102,29 @@ fn yielding_worker(iters: u64, pad: u32, code_base: u64, name: &str) -> Program 
         cb.push(body, Instr::Nop);
     }
     cb.push(body, Instr::Yield);
-    cb.push(body, Instr::Alu { op: wcet_toolkit::ir::AluOp::Add, dst: r(1), lhs: r(1), rhs: 1.into() });
+    cb.push(
+        body,
+        Instr::Alu {
+            op: wcet_toolkit::ir::AluOp::Add,
+            dst: r(1),
+            lhs: r(1),
+            rhs: 1.into(),
+        },
+    );
     cb.terminate(body, Terminator::Jump(header));
     cb.terminate(exit, Terminator::Return);
     let cfg = cb.build(entry).expect("valid");
     let mut facts = FlowFacts::new();
     facts.set_bound(BlockId::from_index(1), LoopBound(iters));
-    Program::new(name, cfg, facts, Layout { code_base: Addr(code_base) }).expect("valid")
+    Program::new(
+        name,
+        cfg,
+        facts,
+        Layout {
+            code_base: Addr(code_base),
+        },
+    )
+    .expect("valid")
 }
 
 #[test]
@@ -160,8 +182,11 @@ fn yieldgraph_bound_dominates_simulated_makespan() {
     let report =
         joint_yield_wcet(&trefs, &crefs, switch_cost, IlpConfig::default()).expect("solves");
 
-    let loads: Vec<(usize, usize, Program)> =
-        threads.iter().enumerate().map(|(i, p)| (0, i, p.clone())).collect();
+    let loads: Vec<(usize, usize, Program)> = threads
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (0, i, p.clone()))
+        .collect();
     let run = run_machine(&machine, loads, 100_000_000).expect("runs");
     assert!(
         run.makespan <= report.wcet,

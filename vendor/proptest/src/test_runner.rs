@@ -1,0 +1,130 @@
+//! The deterministic case runner.
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::strategy::Strategy;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Maximum rejected cases (`prop_assume!`) tolerated globally.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl Config {
+    /// A default config with `cases` successful cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Config {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's assumptions did not hold; generate a fresh one.
+    Reject(String),
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected assumption.
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The per-case RNG: SplitMix64, seeded deterministically per case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator.
+    #[must_use]
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(0x1234_5678),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Runs `config.cases` generated cases of `body` over `strategy`.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) on the first failing case,
+/// printing the generated inputs; there is no shrinking.
+pub fn run_cases<S, F>(config: &Config, strategy: &S, name: &str, body: F)
+where
+    S: Strategy,
+    S::Value: Debug,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    let mut attempt = 0u64;
+    while case < config.cases {
+        let mut rng = TestRng::new((u64::from(case) << 32) ^ attempt);
+        attempt += 1;
+        let value = strategy.generate(&mut rng);
+        let shown = format!("{value:?}");
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(value)));
+        match outcome {
+            Ok(Ok(())) => case += 1,
+            Ok(Err(TestCaseError::Reject(why))) => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.max_global_rejects,
+                    "{name}: too many prop_assume! rejections (last: {why})"
+                );
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!("{name}: case {case} failed: {msg}\n  inputs: {shown}")
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                panic!("{name}: case {case} panicked: {msg}\n  inputs: {shown}")
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Offline stand-in for the [`rand`](https://docs.rs/rand) crate.
+//!
+//! The container building this workspace has no crates.io access, so the
+//! workspace vendors the slice of the rand API it uses:
+//! `StdRng::seed_from_u64` and `Rng::gen_range` over integer ranges.
+//!
+//! `StdRng` here is SplitMix64, **not** the real crate's ChaCha12 — the
+//! workload generator only requires determinism per seed, not a specific
+//! stream, and every artefact derived from seeds is regenerated from
+//! source in this repository.
+
+#![warn(missing_docs)]
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    /// The standard deterministic generator (SplitMix64 in this shim).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5bf0_3635,
+        }
+    }
+}
+
+/// A range `gen_range` can sample a `T` from uniformly.
+///
+/// Generic over the output type (like real rand's `SampleRange<T>`) so
+/// the sampled integer type is inferred from the call site.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng`.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = self.end.abs_diff(self.start) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = hi.abs_diff(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Value-generation methods (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
