@@ -7,8 +7,10 @@ use wcet_bench::suite;
 use wcet_cache::config::CacheConfig;
 use wcet_cache::partition::{policy_partition, AllocationPolicy};
 use wcet_core::report::Table;
-use wcet_core::static_ctrl::{wcet_dynamic_lock, wcet_static_lock, wcet_unlocked, StaticParams};
-use wcet_core::IpetOptions;
+use wcet_core::static_ctrl::{
+    wcet_dynamic_lock_ctx, wcet_static_lock_ctx, wcet_unlocked_ctx, StaticParams,
+};
+use wcet_core::{IpetOptions, SolveContext};
 use wcet_ir::synth::{switchy, two_phase, Placement};
 use wcet_ir::Program;
 use wcet_pipeline::cost::CoreMode;
@@ -36,6 +38,10 @@ fn main() {
     let n_cores = 2;
     let n_tasks = 8;
     let opts = IpetOptions::default();
+    // One warm-start context for the whole design-space sweep: every
+    // task is re-solved under several cache shapes and lock modes, and
+    // each re-solve reuses the task's cached phase-1 basis.
+    let ctx = SolveContext::new();
 
     // (i) Core-based vs task-based partitioning: the per-task effective
     // cache is the whole core share (core-based, tasks run sequentially on
@@ -60,8 +66,8 @@ fn main() {
     policy_tasks.push(switchy(32, 40, 40, Placement::slot(0)));
     let policy_total = policy_tasks.len();
     for p in policy_tasks {
-        let wc = wcet_unlocked(&p, &params(core_eff), &opts).expect("analyses");
-        let wt = wcet_unlocked(&p, &params(task_eff), &opts).expect("analyses");
+        let wc = wcet_unlocked_ctx(&p, &params(core_eff), &opts, Some(&ctx)).expect("analyses");
+        let wt = wcet_unlocked_ctx(&p, &params(task_eff), &opts, Some(&ctx)).expect("analyses");
         if wt >= wc {
             worse += 1;
         }
@@ -97,9 +103,9 @@ fn main() {
     let total_tasks = tasks.len();
     for p in tasks {
         let pr = params(core_eff);
-        let none = wcet_unlocked(&p, &pr, &opts).expect("analyses");
-        let (stat, _) = wcet_static_lock(&p, &pr, 3, &opts).expect("analyses");
-        let (dynm, _) = wcet_dynamic_lock(&p, &pr, 3, &opts).expect("analyses");
+        let none = wcet_unlocked_ctx(&p, &pr, &opts, Some(&ctx)).expect("analyses");
+        let (stat, _) = wcet_static_lock_ctx(&p, &pr, 3, &opts, Some(&ctx)).expect("analyses");
+        let (dynm, _) = wcet_dynamic_lock_ctx(&p, &pr, 3, &opts, Some(&ctx)).expect("analyses");
         if dynm <= stat {
             dyn_wins += 1;
         }
@@ -123,4 +129,9 @@ fn main() {
          (twophase) is where per-region contents pay (finding (ii))"
     ));
     println!("{t2}");
+    let s = ctx.stats();
+    println!(
+        "solver context: {} warm-started solves, {} cold (phase 1 runs once per task)",
+        s.warm_hits, s.cold_solves
+    );
 }

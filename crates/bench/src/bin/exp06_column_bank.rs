@@ -8,8 +8,8 @@ use wcet_bench::suite;
 use wcet_cache::config::CacheConfig;
 use wcet_cache::partition::{OwnerId, PartitionPlan};
 use wcet_core::report::Table;
-use wcet_core::static_ctrl::{wcet_unlocked, StaticParams};
-use wcet_core::IpetOptions;
+use wcet_core::static_ctrl::{wcet_unlocked_ctx, StaticParams};
+use wcet_core::{IpetOptions, SolveContext};
 use wcet_ir::builder::CfgBuilder;
 use wcet_ir::cfg::Terminator;
 use wcet_ir::flow::{FlowFacts, LoopBound};
@@ -121,14 +121,17 @@ fn main() {
     let bank_eff = banks.effective_config(&base, OwnerId(0)).expect("ok");
     assert_eq!(col_eff.capacity_bytes(), bank_eff.capacity_bytes());
 
+    // Each task solves twice (columnized, bankized) over one flow
+    // system: the shared context warm-starts the second solve.
+    let ctx = SolveContext::new();
     let mut bank_wins = 0usize;
     let mut tasks = suite(0);
     // 5 lines, one per column: > 2 ways, ≤ 8 ways.
     tasks.push(column_sweep(5, 40, 64 * 32));
     let total = tasks.len();
     for p in tasks {
-        let wc = wcet_unlocked(&p, &params(col_eff), &opts).expect("analyses");
-        let wb = wcet_unlocked(&p, &params(bank_eff), &opts).expect("analyses");
+        let wc = wcet_unlocked_ctx(&p, &params(col_eff), &opts, Some(&ctx)).expect("analyses");
+        let wb = wcet_unlocked_ctx(&p, &params(bank_eff), &opts, Some(&ctx)).expect("analyses");
         if wb <= wc {
             bank_wins += 1;
         }
@@ -145,4 +148,9 @@ fn main() {
          column-strided sweep (Paolieri et al.)"
     ));
     println!("{t}");
+    let s = ctx.stats();
+    println!(
+        "solver context: {} warm-started solves, {} cold",
+        s.warm_hits, s.cold_solves
+    );
 }

@@ -13,10 +13,11 @@ use std::time::Instant;
 
 use wcet_bench::experiments::{ExperimentRun, IN_PROCESS};
 use wcet_bench::json::Json;
-use wcet_bench::{comparison_workload, machine};
+use wcet_bench::{comparison_workload, l2_bound_machine, l2_bound_victim, machine};
 use wcet_core::analyzer::Analyzer;
-use wcet_core::engine::AnalysisEngine;
-use wcet_core::mode::Isolated;
+use wcet_core::engine::{AnalysisEngine, SolverStats};
+use wcet_core::mode::{Footprint, Isolated, JointRefs};
+use wcet_ir::synth::{matmul, Placement};
 use wcet_ir::Program;
 use wcet_sched::{Task, TaskSet};
 
@@ -51,6 +52,68 @@ fn rows_json(run: &ExperimentRun) -> Json {
             })
             .collect(),
     )
+}
+
+fn solver_json(s: &SolverStats) -> Json {
+    Json::obj([
+        ("warm_hits", Json::from(s.warm_hits)),
+        ("cold_solves", Json::from(s.cold_solves)),
+        ("pivots", Json::from(s.totals.pivots)),
+        ("phase1_pivots", Json::from(s.totals.phase1_pivots)),
+        ("dual_pivots", Json::from(s.totals.dual_pivots)),
+        ("bland_pivots", Json::from(s.totals.bland_pivots)),
+        ("warm_starts", Json::from(s.totals.warm_starts)),
+        ("phase1_skips", Json::from(s.totals.phase1_skips)),
+        ("refactorizations", Json::from(s.totals.refactorizations)),
+    ])
+}
+
+/// Re-runs the E02a k-sweep twice — cold per solve (sequential
+/// `Analyzer`, no context) and warm (engine `SolveContext`) — and
+/// records both pivot bills. The WCETs must match exactly; the warm
+/// pivot count is what the warm-start layers save on every sweep.
+fn solver_warm_vs_cold() -> Json {
+    let n = 6;
+    let m = l2_bound_machine(n);
+    let engine = AnalysisEngine::new(m.clone());
+    let cold = Analyzer::new(m);
+    let victim = l2_bound_victim(0);
+    let fps: Vec<Footprint> = (1..n as u32)
+        .map(|i| {
+            engine
+                .l2_footprint(&matmul(16, Placement::slot(i)), i as usize)
+                .expect("analyses")
+        })
+        .collect();
+
+    let mut cold_pivots = 0u64;
+    let mut identical = true;
+    for k in 0..=fps.len() {
+        let refs: Vec<&Footprint> = fps[..k].iter().collect();
+        let warm_rep = engine
+            .analyze(&victim, 0, 0, &JointRefs(&refs))
+            .expect("analyses");
+        let cold_rep = cold.wcet_joint(&victim, 0, 0, &refs).expect("analyses");
+        identical &= warm_rep == cold_rep;
+        cold_pivots += cold_rep.ipet.solver.pivots;
+    }
+    assert!(identical, "warm-started sweep diverged from cold solves");
+    let warm = engine.solver_stats();
+    println!(
+        "solver warm-vs-cold (E02a k-sweep, {} points): cold {cold_pivots} pivots, \
+         warm {} pivots ({} warm hits, {} phase-1 pivots left), WCETs identical",
+        fps.len() + 1,
+        warm.totals.pivots,
+        warm.warm_hits,
+        warm.totals.phase1_pivots,
+    );
+    Json::obj([
+        ("sweep_points", Json::from(fps.len() + 1)),
+        ("cold_pivots", Json::from(cold_pivots)),
+        ("warm_pivots", Json::from(warm.totals.pivots)),
+        ("identical_wcets", Json::from(identical)),
+        ("warm", solver_json(&warm)),
+    ])
 }
 
 fn run_subprocess(exp: &str) -> bool {
@@ -128,6 +191,7 @@ fn batch_vs_sequential() -> Json {
         ("batch_ms", Json::from(batch_ms)),
         ("speedup", Json::from(speedup)),
         ("identical_results", Json::from(identical)),
+        ("solver", solver_json(&engine.solver_stats())),
     ])
 }
 
@@ -138,16 +202,21 @@ fn main() {
         println!("===== {exp} =====");
         let in_process = IN_PROCESS.iter().find(|(id, _)| *id == exp);
         let start = Instant::now();
-        let (ok, title, rows) = match in_process {
+        let (ok, title, rows, solver) = match in_process {
             Some((_, runner)) => {
                 // Match the subprocess path's failure isolation: a
                 // panicking experiment is recorded as failed, and the
                 // rest of the suite (and the JSON summary) still runs.
                 match std::panic::catch_unwind(runner) {
-                    Ok(run) => (true, Json::str(run.title), rows_json(&run)),
+                    Ok(run) => (
+                        true,
+                        Json::str(run.title),
+                        rows_json(&run),
+                        solver_json(&run.solver),
+                    ),
                     Err(_) => {
                         eprintln!("{exp} failed (panicked)");
-                        (false, Json::Null, Json::Arr(Vec::new()))
+                        (false, Json::Null, Json::Arr(Vec::new()), Json::Null)
                     }
                 }
             }
@@ -156,7 +225,7 @@ fn main() {
                 if !ok {
                     eprintln!("{exp} failed");
                 }
-                (ok, Json::Null, Json::Arr(Vec::new()))
+                (ok, Json::Null, Json::Arr(Vec::new()), Json::Null)
             }
         };
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -177,17 +246,21 @@ fn main() {
             ("ok", Json::from(ok)),
             ("wall_ms", Json::from(wall_ms)),
             ("rows", rows),
+            ("solver", solver),
         ]));
     }
 
     println!("===== engine benchmark =====");
     let comparison = batch_vs_sequential();
+    println!("===== solver warm-vs-cold =====");
+    let warm_cold = solver_warm_vs_cold();
 
     let doc = Json::obj([
-        ("schema", Json::from(1_u64)),
+        ("schema", Json::from(2_u64)),
         ("suite", Json::str("wcet-bench run_all")),
         ("experiments", Json::Arr(experiment_json)),
         ("batch_vs_sequential", comparison),
+        ("solver_warm_vs_cold", warm_cold),
     ]);
     let out = "BENCH_results.json";
     match std::fs::write(out, format!("{doc}\n")) {

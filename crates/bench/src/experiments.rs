@@ -11,7 +11,7 @@ use wcet_arbiter::ArbiterKind;
 use wcet_cache::config::CacheConfig;
 use wcet_cache::partition::PartitionPlan;
 use wcet_core::analyzer::AnalysisError;
-use wcet_core::engine::{AnalysisEngine, Job};
+use wcet_core::engine::{AnalysisEngine, Job, SolverStats};
 use wcet_core::mode::{Footprint, Isolated, JointRefs, Solo};
 use wcet_core::report::Table;
 use wcet_core::validate::{observe, run_machine};
@@ -45,6 +45,19 @@ pub struct ExperimentRun {
     pub title: &'static str,
     /// Per-scenario measurements.
     pub rows: Vec<WcetRow>,
+    /// ILP-solver effort summed over every engine the experiment ran
+    /// (warm-start hits, pivots, phase-1 skips) — lands in
+    /// `BENCH_results.json` so the warm-start payoff is tracked per run.
+    pub solver: SolverStats,
+}
+
+/// Sums the solver counters of several engines.
+fn solver_totals<'a>(engines: impl IntoIterator<Item = &'a AnalysisEngine>) -> SolverStats {
+    let mut acc = SolverStats::default();
+    for e in engines {
+        acc.absorb(&e.solver_stats());
+    }
+    acc
 }
 
 fn row(
@@ -112,6 +125,7 @@ pub fn exp01() -> ExperimentRun {
         id: "exp01_singlecore",
         title: "solo WCET, single predictable core",
         rows,
+        solver: solver_totals([&engine]),
     }
 }
 
@@ -210,6 +224,7 @@ pub fn exp02() -> ExperimentRun {
         id: "exp02_shared_l2",
         title: "joint analysis of a shared L2",
         rows,
+        solver: solver_totals([&engine, &engine_dm]),
     }
 }
 
@@ -355,6 +370,7 @@ pub fn exp11() -> ExperimentRun {
         id: "exp11_isolation",
         title: "full task isolation",
         rows,
+        solver: solver_totals([&engine, &engine2, &engine3]),
     }
 }
 
@@ -436,6 +452,7 @@ pub fn exp12() -> ExperimentRun {
         id: "exp12_unsafe_solo",
         title: "the unsafe solo assumption",
         rows,
+        solver: solver_totals([&engine]),
     }
 }
 
@@ -457,6 +474,19 @@ mod tests {
         for (id, _) in IN_PROCESS {
             assert!(id.starts_with("exp"), "bad id {id}");
         }
+    }
+
+    #[test]
+    fn exp02_k_sweep_warm_starts_the_solver() {
+        // The acceptance bar for the warm-start layers: the interference
+        // k-sweep must actually hit the basis cache, not just run.
+        let run = exp02();
+        assert!(
+            run.solver.warm_hits > 0,
+            "E02 k-sweep produced no warm-start hits: {:?}",
+            run.solver
+        );
+        assert!(run.solver.totals.phase1_skips > 0);
     }
 
     #[test]

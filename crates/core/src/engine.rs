@@ -25,7 +25,6 @@
 //! memoized function is deterministic in its key.
 
 use std::collections::HashMap;
-use std::hash::{DefaultHasher, Hash, Hasher};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -33,13 +32,15 @@ use std::sync::{Arc, Mutex, RwLock};
 use wcet_cache::analysis::AnalysisInput;
 use wcet_cache::config::{CacheConfig, LineAddr};
 use wcet_cache::multilevel::{analyze_hierarchy, HierarchyAnalysis, HierarchyConfig};
+use wcet_ilp::SolveStats;
 use wcet_ir::Program;
 use wcet_pipeline::cost::{block_costs, BlockCosts, CoreMode, CostInput};
 use wcet_sched::TaskSet;
 use wcet_sim::config::MachineConfig;
 
 use crate::analyzer::{build_report, AnalysisError, Analyzer, TaskContext, WcetReport};
-use crate::ipet::{wcet_ipet, IpetOptions, WcetBound};
+use crate::fingerprint::program_fingerprint;
+use crate::ipet::{wcet_ipet_ctx, IpetOptions, SolveContext, WcetBound};
 use crate::mode::AnalysisMode;
 
 /// Memo key of one hierarchy fixpoint: the task's content fingerprint plus
@@ -83,36 +84,6 @@ struct CostKey {
     hier: HierKey,
     bus_wait_bound: Option<u64>,
     mode: CoreMode,
-}
-
-/// Streams `fmt` output straight into a hasher — no intermediate
-/// allocation of the (multi-KB) Debug dump.
-struct HashWriter<'a>(&'a mut DefaultHasher);
-
-impl std::fmt::Write for HashWriter<'_> {
-    fn write_str(&mut self, s: &str) -> std::fmt::Result {
-        self.0.write(s.as_bytes());
-        Ok(())
-    }
-}
-
-/// 128-bit structural fingerprint of a program (name + full content), so
-/// memo entries never alias distinct tasks that happen to share a name.
-/// Two independently-seeded 64-bit digests of the Debug rendering: a
-/// collision between distinct programs needs both halves to collide
-/// (~2⁻¹²⁸ per pair), which is below any practical concern — the memo
-/// never stores enough entries to make a birthday attack on 128 bits
-/// relevant.
-fn fingerprint(program: &Program) -> (u64, u64) {
-    use std::fmt::Write as _;
-    let mut h1 = DefaultHasher::new();
-    let mut h2 = DefaultHasher::new();
-    h2.write_u64(0x9e37_79b9_7f4a_7c15); // domain-separate the second half
-    for h in [&mut h1, &mut h2] {
-        program.name().hash(h);
-        write!(HashWriter(h), "{program:?}").expect("hashing never fails");
-    }
-    (h1.finish(), h2.finish())
 }
 
 /// Monotonic hit/miss counters for one memo table.
@@ -206,6 +177,29 @@ impl std::fmt::Debug for Job<'_> {
     }
 }
 
+/// A point-in-time view of the engine's ILP-solver effort: the warm-start
+/// context counters plus every solver counter summed over the bounds the
+/// engine actually solved (memo hits re-solve nothing and add nothing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// IPET solves that reused a cached basis (phase 1 skipped).
+    pub warm_hits: u64,
+    /// IPET solves that ran cold (first sight of a task's flow system).
+    pub cold_solves: u64,
+    /// Summed per-solve counters (pivots, dual pivots, phase-1 skips…).
+    pub totals: SolveStats,
+}
+
+impl SolverStats {
+    /// Adds `other`'s counters into `self` (kept beside the struct so a
+    /// new field can never be silently dropped from an aggregation).
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.warm_hits += other.warm_hits;
+        self.cold_solves += other.cold_solves;
+        self.totals.absorb(&other.totals);
+    }
+}
+
 /// The memoizing, parallel batch analyser. See the [module docs](self).
 #[derive(Debug)]
 pub struct AnalysisEngine {
@@ -217,6 +211,11 @@ pub struct AnalysisEngine {
     hier_stats: TableStats,
     cost_stats: TableStats,
     bound_stats: TableStats,
+    /// Warm-start basis cache threaded through every IPET solve. Keyed
+    /// by task content only, so it survives `with_options` (options
+    /// change the solve, never the constraint system the basis is for).
+    solve_ctx: SolveContext,
+    solver_totals: Mutex<SolveStats>,
 }
 
 impl AnalysisEngine {
@@ -239,6 +238,8 @@ impl AnalysisEngine {
             hier_stats: TableStats::default(),
             cost_stats: TableStats::default(),
             bound_stats: TableStats::default(),
+            solve_ctx: SolveContext::new(),
+            solver_totals: Mutex::new(SolveStats::default()),
         }
     }
 
@@ -284,6 +285,22 @@ impl AnalysisEngine {
         }
     }
 
+    /// Current ILP-solver effort counters (warm-start hits, pivots,
+    /// phase-1 skips) across every bound this engine has solved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread died while holding the stats lock.
+    #[must_use]
+    pub fn solver_stats(&self) -> SolverStats {
+        let ctx = self.solve_ctx.stats();
+        SolverStats {
+            warm_hits: ctx.warm_hits,
+            cold_solves: ctx.cold_solves,
+            totals: *self.solver_totals.lock().expect("solver stats lock"),
+        }
+    }
+
     /// Analyses one task under `mode`, reusing every memoized
     /// intermediate. Identical results to
     /// [`Analyzer::wcet_with`](crate::analyzer::Analyzer::wcet_with).
@@ -316,7 +333,7 @@ impl AnalysisEngine {
         mode_name: &str,
     ) -> Result<WcetReport, AnalysisError> {
         let hier_key = HierKey {
-            task: fingerprint(program),
+            task: program_fingerprint(program),
             l1i: ctx.l1i,
             l1d: ctx.l1d,
             l2: ctx.l2.as_ref().map(L2Key::of),
@@ -421,7 +438,7 @@ impl AnalysisEngine {
         let (l1i, l1d, _) = self.analyzer.core_context(core)?;
         let l2 = self.analyzer.l2_input(core, Vec::new());
         let hier_key = HierKey {
-            task: fingerprint(program),
+            task: program_fingerprint(program),
             l1i,
             l1d,
             l2: l2.as_ref().map(L2Key::of),
@@ -501,8 +518,12 @@ impl AnalysisEngine {
             self.bound_stats.hit();
             return Ok(hit.clone());
         }
-        let computed = wcet_ipet(program, costs, self.analyzer.options())?;
+        let computed = wcet_ipet_ctx(program, costs, self.analyzer.options(), &self.solve_ctx)?;
         self.bound_stats.miss();
+        self.solver_totals
+            .lock()
+            .expect("solver stats lock")
+            .absorb(&computed.solver);
         let mut table = self.bounds.write().expect("memo lock");
         Ok(table.entry(key.clone()).or_insert(computed).clone())
     }

@@ -1,0 +1,36 @@
+//! Program content fingerprinting, shared by the engine memo tables and
+//! the IPET warm-start context.
+
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+use wcet_ir::Program;
+
+/// Streams `fmt` output straight into a hasher — no intermediate
+/// allocation of the (multi-KB) Debug dump.
+struct HashWriter<'a>(&'a mut DefaultHasher);
+
+impl std::fmt::Write for HashWriter<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// 128-bit structural fingerprint of a program (name + full content), so
+/// memo entries never alias distinct tasks that happen to share a name.
+/// Two independently-seeded 64-bit digests of the Debug rendering: a
+/// collision between distinct programs needs both halves to collide
+/// (~2⁻¹²⁸ per pair), which is below any practical concern — the memo
+/// never stores enough entries to make a birthday attack on 128 bits
+/// relevant.
+pub(crate) fn program_fingerprint(program: &Program) -> (u64, u64) {
+    use std::fmt::Write as _;
+    let mut h1 = DefaultHasher::new();
+    let mut h2 = DefaultHasher::new();
+    h2.write_u64(0x9e37_79b9_7f4a_7c15); // domain-separate the second half
+    for h in [&mut h1, &mut h2] {
+        program.name().hash(h);
+        write!(HashWriter(h), "{program:?}").expect("hashing never fails");
+    }
+    (h1.finish(), h2.finish())
+}

@@ -10,10 +10,42 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use wcet_ilp::{
-    solve_ilp, solve_lp, CmpOp, IlpConfig, IlpError, LinExpr, LpModel, Rat, SolveStatus, VarId,
+    solve_ilp, solve_lp, CmpOp, ContextStats, IlpConfig, IlpError, LinExpr, LpModel, Rat,
+    SolveStats, SolveStatus, VarId,
 };
 use wcet_ir::{BlockId, Edge, Program};
 use wcet_pipeline::cost::BlockCosts;
+
+use crate::fingerprint::program_fingerprint;
+
+/// A warm-start cache for the IPET hot path, keyed by program content.
+///
+/// Interference/partition/lock sweeps re-analyse one task under many
+/// cost models. The flow-constraint system of the IPET ILP depends only
+/// on the program (CFG, loop bounds, infeasible pairs) — costs shape the
+/// *objective* alone — so every sweep point solves the same constraint
+/// system. `SolveContext` caches its phase-1 feasible basis (via
+/// [`wcet_ilp::SolveContext`]) and every re-solve skips phase 1.
+/// Results are bit-identical to cold solves by construction; a context
+/// is a pure accelerator and can be shared across threads.
+#[derive(Debug, Default)]
+pub struct SolveContext {
+    inner: wcet_ilp::SolveContext,
+}
+
+impl SolveContext {
+    /// Creates an empty context.
+    #[must_use]
+    pub fn new() -> SolveContext {
+        SolveContext::default()
+    }
+
+    /// Warm-hit / cold-solve counters.
+    #[must_use]
+    pub fn stats(&self) -> ContextStats {
+        self.inner.stats()
+    }
+}
 
 /// IPET options.
 #[derive(Debug, Clone, Copy)]
@@ -67,7 +99,11 @@ impl From<IlpError> for IpetError {
 }
 
 /// A computed WCET bound with solution details.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares the bound itself (wcet, counts, model size, nodes)
+/// and ignores [`solver`](WcetBound::solver): a warm-started solve that
+/// pivoted less still produced the same bound.
+#[derive(Debug, Clone)]
 pub struct WcetBound {
     /// The bound, in cycles (startup included).
     pub wcet: u64,
@@ -81,7 +117,21 @@ pub struct WcetBound {
     /// Branch-and-bound nodes (1 when the relaxation was integral; 0 for
     /// pure LP solves).
     pub solver_nodes: usize,
+    /// Solver-effort counters (pivots, warm starts, phase-1 skips).
+    pub solver: SolveStats,
 }
+
+impl PartialEq for WcetBound {
+    fn eq(&self, other: &WcetBound) -> bool {
+        self.wcet == other.wcet
+            && self.block_counts == other.block_counts
+            && self.num_vars == other.num_vars
+            && self.num_constraints == other.num_constraints
+            && self.solver_nodes == other.solver_nodes
+    }
+}
+
+impl Eq for WcetBound {}
 
 /// Computes the WCET bound of `program` under the given block costs.
 ///
@@ -93,6 +143,31 @@ pub fn wcet_ipet(
     program: &Program,
     costs: &BlockCosts,
     opts: &IpetOptions,
+) -> Result<WcetBound, IpetError> {
+    wcet_ipet_in(program, costs, opts, None)
+}
+
+/// [`wcet_ipet`] through a warm-start [`SolveContext`]: re-solves of the
+/// same program (any cost model) skip simplex phase 1. Bit-identical
+/// results to the cold path.
+///
+/// # Errors
+///
+/// See [`wcet_ipet`].
+pub fn wcet_ipet_ctx(
+    program: &Program,
+    costs: &BlockCosts,
+    opts: &IpetOptions,
+    ctx: &SolveContext,
+) -> Result<WcetBound, IpetError> {
+    wcet_ipet_in(program, costs, opts, Some(ctx))
+}
+
+fn wcet_ipet_in(
+    program: &Program,
+    costs: &BlockCosts,
+    opts: &IpetOptions,
+    ctx: Option<&SolveContext>,
 ) -> Result<WcetBound, IpetError> {
     let cfg = program.cfg();
     let mut model = LpModel::new();
@@ -202,11 +277,24 @@ pub fn wcet_ipet(
     let num_vars = model.num_vars();
     let num_constraints = model.num_constraints();
 
-    let (solution, nodes) = if opts.integer {
-        let (s, stats) = solve_ilp(&model, opts.ilp)?;
-        (s, stats.nodes)
-    } else {
-        (solve_lp(&model), 0)
+    let (solution, nodes) = match ctx {
+        Some(ctx) => {
+            let key = program_fingerprint(program);
+            if opts.integer {
+                let (s, stats) = ctx.inner.solve_ilp(key, &model, opts.ilp)?;
+                (s, stats.nodes)
+            } else {
+                (ctx.inner.solve_lp(key, &model), 0)
+            }
+        }
+        None => {
+            if opts.integer {
+                let (s, stats) = solve_ilp(&model, opts.ilp)?;
+                (s, stats.nodes)
+            } else {
+                (solve_lp(&model), 0)
+            }
+        }
     };
     match solution.status {
         SolveStatus::Infeasible => return Err(IpetError::Infeasible),
@@ -234,6 +322,7 @@ pub fn wcet_ipet(
         num_vars,
         num_constraints,
         solver_nodes: nodes,
+        solver: solution.stats,
     })
 }
 
@@ -360,6 +449,36 @@ mod tests {
         costs.startup = 0;
         let without = wcet_ipet(&p, &costs, &IpetOptions::default()).expect("solves");
         assert_eq!(with.wcet, without.wcet + 100);
+    }
+
+    #[test]
+    fn warm_context_is_bit_identical_to_cold() {
+        // Same program, swept cost models — the second and later solves
+        // hit the context's cached basis and must reproduce the cold
+        // bound field-for-field (block counts included).
+        let p = crc(16, Placement::default());
+        let ctx = SolveContext::new();
+        for scale in 1u64..=4 {
+            let mut costs = slot_costs(&p);
+            for c in costs.base.values_mut() {
+                *c *= scale;
+            }
+            let warm = wcet_ipet_ctx(&p, &costs, &IpetOptions::default(), &ctx).expect("solves");
+            let cold = wcet_ipet(&p, &costs, &IpetOptions::default()).expect("solves");
+            assert_eq!(warm, cold);
+            assert_eq!(warm.block_counts, cold.block_counts);
+        }
+        let stats = ctx.stats();
+        assert_eq!(stats.cold_solves, 1);
+        assert_eq!(stats.warm_hits, 3);
+        // Warm solves really skipped phase 1.
+        let mut costs = slot_costs(&p);
+        for c in costs.base.values_mut() {
+            *c *= 5;
+        }
+        let warm = wcet_ipet_ctx(&p, &costs, &IpetOptions::default(), &ctx).expect("solves");
+        assert!(warm.solver.phase1_skips > 0);
+        assert_eq!(warm.solver.phase1_pivots, 0);
     }
 
     #[test]

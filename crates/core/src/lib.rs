@@ -43,6 +43,7 @@
 pub mod analyzer;
 pub mod bcet;
 pub mod engine;
+mod fingerprint;
 pub mod ipet;
 pub mod mode;
 pub mod report;
@@ -52,8 +53,8 @@ pub mod yieldgraph;
 
 pub use analyzer::{AnalysisError, Analyzer, TaskContext, WcetReport};
 pub use bcet::{bcet_ipet, best_block_costs};
-pub use engine::{AnalysisEngine, Job, MemoStats};
-pub use ipet::{wcet_ipet, IpetError, IpetOptions, WcetBound};
+pub use engine::{AnalysisEngine, Job, MemoStats, SolverStats};
+pub use ipet::{wcet_ipet, wcet_ipet_ctx, IpetError, IpetOptions, SolveContext, WcetBound};
 pub use mode::{AnalysisMode, Footprint, Isolated, Joint, JointRefs, Solo};
 pub use report::Table;
 pub use validate::{observe, run_machine, Observation};

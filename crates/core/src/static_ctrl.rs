@@ -17,7 +17,24 @@ use wcet_pipeline::cost::{block_costs, BlockCosts, CoreMode, CostInput};
 use wcet_pipeline::timing::{MemTimings, PipelineConfig};
 
 use crate::analyzer::AnalysisError;
-use crate::ipet::{wcet_ipet, IpetOptions};
+use crate::ipet::{wcet_ipet, wcet_ipet_ctx, IpetOptions, SolveContext};
+
+/// One IPET solve, warm-started through `ctx` when provided. Sweep
+/// drivers (exp05/exp06) re-analyse each task under many cache shapes;
+/// the flow system is per-task, so a shared context skips phase 1 on
+/// every re-solve.
+fn ipet_wcet(
+    program: &Program,
+    costs: &wcet_pipeline::cost::BlockCosts,
+    opts: &IpetOptions,
+    ctx: Option<&SolveContext>,
+) -> Result<u64, AnalysisError> {
+    let bound = match ctx {
+        Some(ctx) => wcet_ipet_ctx(program, costs, opts, ctx)?,
+        None => wcet_ipet(program, costs, opts)?,
+    };
+    Ok(bound.wcet)
+}
 
 /// Parameters of a statically-controlled single-task study (the task's
 /// private view of the machine: its L1s, its L2 slice, its bus slot).
@@ -73,9 +90,24 @@ pub fn wcet_unlocked(
     params: &StaticParams,
     opts: &IpetOptions,
 ) -> Result<u64, AnalysisError> {
+    wcet_unlocked_ctx(program, params, opts, None)
+}
+
+/// [`wcet_unlocked`] with an optional warm-start [`SolveContext`]
+/// (bit-identical results, fewer simplex pivots across a sweep).
+///
+/// # Errors
+///
+/// See [`AnalysisError`].
+pub fn wcet_unlocked_ctx(
+    program: &Program,
+    params: &StaticParams,
+    opts: &IpetOptions,
+    ctx: Option<&SolveContext>,
+) -> Result<u64, AnalysisError> {
     let hierarchy = analyze_hierarchy(program, &params.hierarchy_with_l2(params.plain_l2_input()));
     let costs = block_costs(program, &hierarchy, &params.cost_input())?;
-    Ok(wcet_ipet(program, &costs, opts)?.wcet)
+    ipet_wcet(program, &costs, opts, ctx)
 }
 
 /// Static locking (Puaut & Decotigny \[27\]; Suhendra & Mitra \[37\]): lock
@@ -95,6 +127,25 @@ pub fn wcet_static_lock(
     lock_ways: u32,
     opts: &IpetOptions,
 ) -> Result<(u64, LockPlan), AnalysisError> {
+    wcet_static_lock_ctx(program, params, lock_ways, opts, None)
+}
+
+/// [`wcet_static_lock`] with an optional warm-start [`SolveContext`].
+///
+/// # Errors
+///
+/// See [`AnalysisError`].
+///
+/// # Panics
+///
+/// Panics if `params.l2` is `None`.
+pub fn wcet_static_lock_ctx(
+    program: &Program,
+    params: &StaticParams,
+    lock_ways: u32,
+    opts: &IpetOptions,
+    ctx: Option<&SolveContext>,
+) -> Result<(u64, LockPlan), AnalysisError> {
     let l2 = params.l2.expect("static locking needs an L2 slice");
     let plan = select_static(program, &l2, lock_ways);
     let mut input = AnalysisInput::level1(l2, LevelKind::Unified);
@@ -106,7 +157,7 @@ pub fn wcet_static_lock(
     let preload =
         plan.preload_lines() as u64 * params.timings.mem_extra(params.bus_wait_bound.unwrap_or(0));
     costs.startup += preload;
-    Ok((wcet_ipet(program, &costs, opts)?.wcet, plan))
+    Ok((ipet_wcet(program, &costs, opts, ctx)?, plan))
 }
 
 /// Dynamic locking (Suhendra & Mitra \[37\]): per-region (outermost loop)
@@ -128,6 +179,25 @@ pub fn wcet_dynamic_lock(
     params: &StaticParams,
     lock_ways: u32,
     opts: &IpetOptions,
+) -> Result<(u64, DynamicLockPlan), AnalysisError> {
+    wcet_dynamic_lock_ctx(program, params, lock_ways, opts, None)
+}
+
+/// [`wcet_dynamic_lock`] with an optional warm-start [`SolveContext`].
+///
+/// # Errors
+///
+/// See [`AnalysisError`].
+///
+/// # Panics
+///
+/// Panics if `params.l2` is `None`.
+pub fn wcet_dynamic_lock_ctx(
+    program: &Program,
+    params: &StaticParams,
+    lock_ways: u32,
+    opts: &IpetOptions,
+    ctx: Option<&SolveContext>,
 ) -> Result<(u64, DynamicLockPlan), AnalysisError> {
     let l2 = params.l2.expect("dynamic locking needs an L2 slice");
     let plan = select_dynamic(program, &l2, lock_ways);
@@ -171,7 +241,7 @@ pub fn wcet_dynamic_lock(
         loop_entry_extras,
         startup,
     };
-    Ok((wcet_ipet(program, &costs, opts)?.wcet, plan))
+    Ok((ipet_wcet(program, &costs, opts, ctx)?, plan))
 }
 
 fn locked_ways_vector(

@@ -1,10 +1,22 @@
-//! Integer optimisation via branch & bound on the exact LP relaxation.
+//! Integer optimisation via branch & bound on the exact LP relaxation,
+//! with **warm-started child nodes**.
+//!
+//! Branching appends a single variable-bound row to the parent's
+//! (already solved) instance. The parent's optimal basis, extended with
+//! the new row's slack, stays *dual feasible* — the bordered basis
+//! `B' = [[B, 0], [gᵀ, 1]]` keeps every reduced cost unchanged — so each
+//! child re-solves with a handful of dual-simplex pivots instead of a
+//! cold two-phase solve. An up-branch `x ≥ u` is encoded as `-x ≤ -u` so
+//! the appended row always carries a basic slack (no artificials, no
+//! phase 1). Child nodes that lose their warm basis (never expected —
+//! a bordered extension of an invertible basis is invertible) fall back
+//! to a cold solve of the equivalent constraint-extended model.
 
 use std::fmt;
 
-use crate::model::{CmpOp, LinExpr, LpModel, Solution, SolveStatus};
+use crate::model::{CmpOp, LinExpr, LpModel, Solution, SolveStats, SolveStatus, VarId};
 use crate::rational::Rat;
-use crate::simplex::solve_lp;
+use crate::simplex::{solve_lp_warm, Revised, WarmBasis};
 
 /// Branch-and-bound configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +63,33 @@ pub struct IlpStats {
     pub nodes: usize,
 }
 
+/// The full outcome of a (possibly warm-started) ILP solve.
+pub(crate) struct IlpOutcome {
+    pub solution: Solution,
+    pub stats: IlpStats,
+    /// The root relaxation's phase-1 feasible basis — what
+    /// [`crate::context::SolveContext`] caches for the next solve of the
+    /// same constraint system.
+    pub root_feasible_basis: Option<WarmBasis>,
+    /// Whether the supplied warm basis was actually adopted at the root.
+    pub root_warm_used: bool,
+}
+
+/// One branching decision: `var <= bound` (down) or `var >= bound` (up).
+#[derive(Clone, Copy)]
+struct Branch {
+    var: VarId,
+    upper: bool,
+    bound: Rat,
+}
+
+/// A pending subproblem: the branch trail plus the parent's optimal
+/// basis (columns per row of the parent's extended instance).
+struct Node {
+    bounds: Vec<Branch>,
+    parent_basis: Option<Vec<usize>>,
+}
+
 /// Solves `model` to integer optimality (variables marked integral must take
 /// integer values; continuous variables remain free).
 ///
@@ -59,14 +98,30 @@ pub struct IlpStats {
 /// * [`IlpError::NodeLimit`] if the search exceeds `config.max_nodes`;
 /// * [`IlpError::Unbounded`] if the relaxation is unbounded above.
 pub fn solve_ilp(model: &LpModel, config: IlpConfig) -> Result<(Solution, IlpStats), IlpError> {
+    let out = solve_ilp_warm(model, config, None)?;
+    Ok((out.solution, out.stats))
+}
+
+/// [`solve_ilp`] with an optional warm basis for the root relaxation
+/// (the phase-1 feasible basis of a previous solve of the *same*
+/// constraint system — see [`crate::context::SolveContext`]).
+pub(crate) fn solve_ilp_warm(
+    model: &LpModel,
+    config: IlpConfig,
+    warm_root: Option<&WarmBasis>,
+) -> Result<IlpOutcome, IlpError> {
+    let mut agg = SolveStats::default();
     let mut stats = IlpStats::default();
     let mut best: Option<Solution> = None;
+    let mut root_feasible_basis = None;
+    let mut root_warm_used = false;
 
-    // Work stack of extra bound constraints: (expr, op, rhs) triples.
-    type Bounds = Vec<(LinExpr, CmpOp, Rat)>;
-    let mut stack: Vec<Bounds> = vec![Vec::new()];
+    let mut stack: Vec<Node> = vec![Node {
+        bounds: Vec::new(),
+        parent_basis: None,
+    }];
 
-    while let Some(bounds) = stack.pop() {
+    while let Some(node) = stack.pop() {
         if stats.nodes >= config.max_nodes {
             return Err(IlpError::NodeLimit {
                 limit: config.max_nodes,
@@ -74,11 +129,17 @@ pub fn solve_ilp(model: &LpModel, config: IlpConfig) -> Result<(Solution, IlpSta
         }
         stats.nodes += 1;
 
-        let mut node = model.clone();
-        for (e, op, r) in &bounds {
-            node.add_constraint(e.clone(), *op, *r);
-        }
-        let relax = solve_lp(&node);
+        let (relax, optimal_basis) = if node.bounds.is_empty() {
+            // Root relaxation (optionally warm-started by the caller).
+            let r = solve_lp_warm(model, warm_root);
+            agg.absorb(&r.solution.stats);
+            root_warm_used = r.solution.stats.warm_starts > 0;
+            root_feasible_basis = r.feasible_basis;
+            (r.solution, r.optimal_basis.map(|b| b.cols))
+        } else {
+            solve_child(model, &node, &mut agg)
+        };
+
         match relax.status {
             SolveStatus::Infeasible => continue,
             SolveStatus::Unbounded => {
@@ -121,25 +182,88 @@ pub fn solve_ilp(model: &LpModel, config: IlpConfig) -> Result<(Solution, IlpSta
                 }
             }
             Some((v, val, _)) => {
-                let down = Rat::int(val.floor());
-                let up = Rat::int(val.ceil());
-                let e = LinExpr::new().with_term(v, Rat::ONE);
+                let mut b_down = node.bounds.clone();
+                b_down.push(Branch {
+                    var: v,
+                    upper: true,
+                    bound: Rat::int(val.floor()),
+                });
+                let mut b_up = node.bounds;
+                b_up.push(Branch {
+                    var: v,
+                    upper: false,
+                    bound: Rat::int(val.ceil()),
+                });
                 // Push "down" first so the "up" branch (usually better for
                 // maximisation of counts) is explored first.
-                let mut b_down = bounds.clone();
-                b_down.push((e.clone(), CmpOp::Le, down));
-                let mut b_up = bounds;
-                b_up.push((e, CmpOp::Ge, up));
-                stack.push(b_down);
-                stack.push(b_up);
+                stack.push(Node {
+                    bounds: b_down,
+                    parent_basis: optimal_basis.clone(),
+                });
+                stack.push(Node {
+                    bounds: b_up,
+                    parent_basis: optimal_basis,
+                });
             }
         }
     }
 
-    match best {
-        Some(s) => Ok((s, stats)),
-        None => Ok((Solution::non_optimal(SolveStatus::Infeasible), stats)),
+    let mut solution = match best {
+        Some(s) => s,
+        None => Solution::non_optimal(SolveStatus::Infeasible),
+    };
+    solution.stats = agg;
+    Ok(IlpOutcome {
+        solution,
+        stats,
+        root_feasible_basis,
+        root_warm_used,
+    })
+}
+
+/// Solves a non-root node: dual simplex from the parent's optimal basis
+/// when available, cold otherwise. Returns the relaxation solution and
+/// (when optimal) the node's optimal basis for its own children.
+fn solve_child(
+    model: &LpModel,
+    node: &Node,
+    agg: &mut SolveStats,
+) -> (Solution, Option<Vec<usize>>) {
+    if let Some(parent) = &node.parent_basis {
+        let mut t = Revised::build(model);
+        let mut last_slack = 0;
+        for br in &node.bounds {
+            last_slack = t.append_bound_row(br.var.index(), br.upper, br.bound);
+        }
+        // The parent basis covers every row except the newest bound row,
+        // whose slack is basic by construction.
+        let mut basis = parent.clone();
+        basis.push(last_slack);
+        if t.try_warm_start_dual(&basis) {
+            let c = t.phase2_costs(model);
+            let feasible = t.dual(&c);
+            agg.absorb(&t.stats);
+            return if feasible {
+                let optimal = t.warm_basis().cols;
+                (t.finish(SolveStatus::Optimal, model), Some(optimal))
+            } else {
+                (t.finish(SolveStatus::Infeasible, model), None)
+            };
+        }
+        agg.absorb(&t.stats);
     }
+    // Cold fallback: rebuild the node as a constraint-extended model.
+    // Its column layout differs from the append layout, so the basis is
+    // not propagated — children of a cold node also solve cold.
+    let mut node_model = model.clone();
+    for br in &node.bounds {
+        let expr = LinExpr::new().with_term(br.var, Rat::ONE);
+        let op = if br.upper { CmpOp::Le } else { CmpOp::Ge };
+        node_model.add_constraint(expr, op, br.bound);
+    }
+    let r = solve_lp_warm(&node_model, None);
+    agg.absorb(&r.solution.stats);
+    (r.solution, None)
 }
 
 #[cfg(test)]
@@ -168,6 +292,8 @@ mod tests {
         assert_eq!(s.status, SolveStatus::Optimal);
         assert_eq!(s.objective, Rat::int(8));
         assert!(stats.nodes >= 1);
+        // Children were warm-started via dual simplex, not cold-solved.
+        assert!(stats.nodes == 1 || s.stats.dual_pivots > 0);
     }
 
     #[test]
@@ -236,5 +362,34 @@ mod tests {
         assert_eq!(s.objective, Rat::new(5, 2));
         assert_eq!(s.value(x), Rat::int(2));
         assert_eq!(s.value(y), Rat::new(1, 2));
+    }
+
+    #[test]
+    fn deep_branching_with_equalities() {
+        // Equalities force phase 1 at the root; branching then exercises
+        // the dual warm path across several levels.
+        let mut m = LpModel::new();
+        let x = m.add_int_var("x");
+        let y = m.add_int_var("y");
+        let z = m.add_int_var("z");
+        m.add_constraint(expr(&[(x, 2), (y, 3), (z, 5)]), CmpOp::Eq, 17);
+        m.add_constraint(expr(&[(x, 1), (y, 1), (z, 1)]), CmpOp::Le, 6);
+        m.set_objective(expr(&[(x, 3), (y, 4), (z, 7)]));
+        let (s, stats) = solve_ilp(&m, IlpConfig::default()).expect("solved");
+        assert_eq!(s.status, SolveStatus::Optimal);
+        // Exhaustive check: 2x+3y+5z=17, x+y+z<=6, all >= 0 integer.
+        let mut brute = None::<i64>;
+        for x0 in 0..=8i64 {
+            for y0 in 0..=5i64 {
+                for z0 in 0..=3i64 {
+                    if 2 * x0 + 3 * y0 + 5 * z0 == 17 && x0 + y0 + z0 <= 6 {
+                        let obj = 3 * x0 + 4 * y0 + 7 * z0;
+                        brute = Some(brute.map_or(obj, |b: i64| b.max(obj)));
+                    }
+                }
+            }
+        }
+        assert_eq!(s.objective, Rat::int(i128::from(brute.expect("feasible"))));
+        assert!(stats.nodes >= 1);
     }
 }

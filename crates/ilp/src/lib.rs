@@ -5,9 +5,16 @@
 //! the WCET bound. Because the bound must never be under-estimated, this
 //! solver works over **exact rationals** ([`Rat`]) rather than floats:
 //!
-//! * [`simplex`] — two-phase primal simplex with Bland's rule (no cycling);
-//! * [`branch_bound`] — branch & bound for integrality;
-//! * [`dag`] — longest-path fast path / oracle for loop-free instances.
+//! * [`simplex`] — sparse revised simplex (Dantzig pricing with a Bland
+//!   anti-cycling fallback), warm-startable from a cached basis;
+//! * [`branch_bound`] — branch & bound whose child nodes re-solve via
+//!   dual simplex from the parent's optimal basis;
+//! * [`context`] — [`SolveContext`], a cross-solve cache of phase-1
+//!   feasible bases for sweep workloads that re-solve one constraint
+//!   system under many objectives;
+//! * [`dag`] — longest-path fast path / oracle for loop-free instances;
+//! * [`dense`] (feature `dense`, default on) — the pre-refactor dense
+//!   tableau solver, kept as the differential-test oracle.
 //!
 //! ## Example
 //!
@@ -31,13 +38,19 @@
 #![forbid(unsafe_code)]
 
 pub mod branch_bound;
+pub mod context;
 pub mod dag;
+#[cfg(feature = "dense")]
+pub mod dense;
 pub mod model;
 pub mod rational;
 pub mod simplex;
 
 pub use branch_bound::{solve_ilp, IlpConfig, IlpError, IlpStats};
+pub use context::{ContextStats, SolveContext, SolveKey};
 pub use dag::{longest_path, CycleError};
-pub use model::{CmpOp, Constraint, LinExpr, LpModel, Solution, SolveStatus, VarId};
+#[cfg(feature = "dense")]
+pub use dense::solve_lp_dense;
+pub use model::{CmpOp, Constraint, LinExpr, LpModel, Solution, SolveStats, SolveStatus, VarId};
 pub use rational::Rat;
-pub use simplex::solve_lp;
+pub use simplex::{solve_lp, solve_lp_warm, LpSolve, WarmBasis};

@@ -277,8 +277,49 @@ impl fmt::Display for SolveStatus {
     }
 }
 
+/// Solver-effort counters for one LP/ILP solve (accumulated over every
+/// simplex phase and, for ILPs, every branch-and-bound node).
+///
+/// Statistics describe *how* the optimum was reached, not *what* it is:
+/// two solves of the same model are equal ([`Solution`]'s `PartialEq`)
+/// even when one was warm-started and pivoted less.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Total simplex pivots (primal + dual, all phases).
+    pub pivots: u64,
+    /// Pivots spent in phase 1 (feasibility search).
+    pub phase1_pivots: u64,
+    /// Dual-simplex pivots (warm-started re-solves).
+    pub dual_pivots: u64,
+    /// Pivots taken under the Bland anti-cycling fallback.
+    pub bland_pivots: u64,
+    /// Solves that started from a reused basis instead of cold.
+    pub warm_starts: u64,
+    /// Solves that skipped phase 1 entirely thanks to a warm basis.
+    pub phase1_skips: u64,
+    /// Warm bases rebuilt by refactorization.
+    pub refactorizations: u64,
+}
+
+impl SolveStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.pivots += other.pivots;
+        self.phase1_pivots += other.phase1_pivots;
+        self.dual_pivots += other.dual_pivots;
+        self.bland_pivots += other.bland_pivots;
+        self.warm_starts += other.warm_starts;
+        self.phase1_skips += other.phase1_skips;
+        self.refactorizations += other.refactorizations;
+    }
+}
+
 /// A solution (only meaningful when `status == Optimal`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares the mathematical result (status, objective, values)
+/// and deliberately ignores [`SolveStats`]: a warm-started solve that
+/// found the same optimum with fewer pivots *is* the same solution.
+#[derive(Debug, Clone)]
 pub struct Solution {
     /// Solve status.
     pub status: SolveStatus,
@@ -286,7 +327,19 @@ pub struct Solution {
     pub objective: Rat,
     /// Variable assignment.
     pub values: Vec<Rat>,
+    /// Solver-effort counters (pivots, warm starts, phase-1 skips).
+    pub stats: SolveStats,
 }
+
+impl PartialEq for Solution {
+    fn eq(&self, other: &Solution) -> bool {
+        self.status == other.status
+            && self.objective == other.objective
+            && self.values == other.values
+    }
+}
+
+impl Eq for Solution {}
 
 impl Solution {
     pub(crate) fn non_optimal(status: SolveStatus) -> Solution {
@@ -294,6 +347,7 @@ impl Solution {
             status,
             objective: Rat::ZERO,
             values: Vec::new(),
+            stats: SolveStats::default(),
         }
     }
 

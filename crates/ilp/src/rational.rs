@@ -130,17 +130,87 @@ impl Rat {
     }
 
     /// Absolute value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the numerator is `i128::MIN` (its magnitude is
+    /// unrepresentable) — checked even in release builds, where the raw
+    /// `abs` would silently wrap.
     #[must_use]
     pub fn abs(self) -> Rat {
         Rat {
-            num: self.num.abs(),
+            num: self.num.checked_abs().unwrap_or_else(|| {
+                panic!("Rat absolute value overflowed i128: |{self}|");
+            }),
             den: self.den,
         }
     }
 
-    fn checked_mul_i128(a: i128, b: i128) -> i128 {
-        a.checked_mul(b)
-            .expect("rational arithmetic overflowed i128")
+    /// `a * b` over raw `i128` parts, panicking with a message that
+    /// names the offending operation and both operands (used by the
+    /// comparison path, which never forms a full `Rat`).
+    fn mul_i128(a: i128, b: i128, op: &'static str) -> i128 {
+        a.checked_mul(b).unwrap_or_else(|| {
+            panic!("Rat {op} overflowed i128: {a} * {b}");
+        })
+    }
+
+    /// The single addition core (Knuth 4.5.1): reduce by gcd of the
+    /// denominators *before* multiplying, then reduce the numerator sum
+    /// against that gcd so the final products stay as small as
+    /// possible. `Err` names the part that overflowed — the checked
+    /// entry points discard it, the panicking ones put it in the
+    /// message.
+    fn add_exact(self, rhs: Rat) -> Result<Rat, &'static str> {
+        let g = gcd(self.den, rhs.den).max(1);
+        let num = self
+            .num
+            .checked_mul(rhs.den / g)
+            .and_then(|l| l.checked_add(rhs.num.checked_mul(self.den / g)?))
+            .ok_or("numerator")?;
+        let g2 = gcd(num, g).max(1);
+        let den = (self.den / g)
+            .checked_mul(rhs.den / g2)
+            .ok_or("denominator")?;
+        Ok(Rat::new(num / g2, den))
+    }
+
+    /// The single multiplication core: cross-reduce before multiplying.
+    fn mul_exact(self, rhs: Rat) -> Result<Rat, &'static str> {
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .ok_or("numerator")?;
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .ok_or("denominator")?;
+        Ok(Rat::new(num, den))
+    }
+
+    /// Overflow-checked addition: `None` instead of a panic.
+    #[must_use]
+    pub fn checked_add(self, rhs: Rat) -> Option<Rat> {
+        self.add_exact(rhs).ok()
+    }
+
+    /// Overflow-checked subtraction: `None` instead of a panic.
+    ///
+    /// Conservatively `None` when `rhs`'s numerator is `i128::MIN`
+    /// (its negation is unrepresentable, so the subtraction cannot be
+    /// routed through the addition core without overflowing first).
+    #[must_use]
+    pub fn checked_sub(self, rhs: Rat) -> Option<Rat> {
+        if rhs.num == i128::MIN {
+            return None;
+        }
+        self.add_exact(-rhs).ok()
+    }
+
+    /// Overflow-checked multiplication: `None` instead of a panic.
+    #[must_use]
+    pub fn checked_mul(self, rhs: Rat) -> Option<Rat> {
+        self.mul_exact(rhs).ok()
     }
 }
 
@@ -178,18 +248,20 @@ impl From<i32> for Rat {
     }
 }
 
+impl Rat {
+    /// `self + rhs` with `op` naming the user-visible operation in any
+    /// overflow panic ("addition" or "subtraction").
+    fn add_impl(self, rhs: Rat, op: &'static str) -> Rat {
+        self.add_exact(rhs).unwrap_or_else(|part| {
+            panic!("Rat {op} overflowed i128 in the {part}: {self}, {rhs}");
+        })
+    }
+}
+
 impl Add for Rat {
     type Output = Rat;
     fn add(self, rhs: Rat) -> Rat {
-        // Cross-reduce to keep magnitudes small: a/b + c/d with g = gcd(b,d).
-        let g = gcd(self.den, rhs.den).max(1);
-        let lhs_scale = rhs.den / g;
-        let rhs_scale = self.den / g;
-        let num = Rat::checked_mul_i128(self.num, lhs_scale)
-            .checked_add(Rat::checked_mul_i128(rhs.num, rhs_scale))
-            .expect("rational addition overflowed i128");
-        let den = Rat::checked_mul_i128(self.den, lhs_scale);
-        Rat::new(num, den)
+        self.add_impl(rhs, "addition")
     }
 }
 
@@ -202,7 +274,7 @@ impl AddAssign for Rat {
 impl Sub for Rat {
     type Output = Rat;
     fn sub(self, rhs: Rat) -> Rat {
-        self + (-rhs)
+        self.add_impl(-rhs, "subtraction")
     }
 }
 
@@ -214,9 +286,17 @@ impl SubAssign for Rat {
 
 impl Neg for Rat {
     type Output = Rat;
+    /// # Panics
+    ///
+    /// Panics if the numerator is `i128::MIN` — checked even in release
+    /// builds, where the raw negation would silently wrap back to
+    /// `i128::MIN` (a sign error, the one thing an exact solver must
+    /// never produce).
     fn neg(self) -> Rat {
         Rat {
-            num: -self.num,
+            num: self.num.checked_neg().unwrap_or_else(|| {
+                panic!("Rat negation overflowed i128: -({self})");
+            }),
             den: self.den,
         }
     }
@@ -225,12 +305,9 @@ impl Neg for Rat {
 impl Mul for Rat {
     type Output = Rat;
     fn mul(self, rhs: Rat) -> Rat {
-        // Cross-reduce before multiplying.
-        let g1 = gcd(self.num, rhs.den).max(1);
-        let g2 = gcd(rhs.num, self.den).max(1);
-        let num = Rat::checked_mul_i128(self.num / g1, rhs.num / g2);
-        let den = Rat::checked_mul_i128(self.den / g2, rhs.den / g1);
-        Rat::new(num, den)
+        self.mul_exact(rhs).unwrap_or_else(|part| {
+            panic!("Rat multiplication overflowed i128 in the {part}: {self} * {rhs}");
+        })
     }
 }
 
@@ -253,7 +330,14 @@ impl PartialOrd for Rat {
 
 impl Ord for Rat {
     fn cmp(&self, other: &Rat) -> Ordering {
-        (*self - *other).num.cmp(&0)
+        // Cross-multiply after reducing by gcd(dens) — no subtraction, no
+        // re-normalization. This is the hot operation of every simplex
+        // ratio test, and the reduced products cannot overflow unless the
+        // operands themselves are near the i128 edge.
+        let g = gcd(self.den, other.den).max(1);
+        let lhs = Rat::mul_i128(self.num, other.den / g, "comparison (lhs)");
+        let rhs = Rat::mul_i128(other.num, self.den / g, "comparison (rhs)");
+        lhs.cmp(&rhs)
     }
 }
 
@@ -324,6 +408,55 @@ mod tests {
     fn display() {
         assert_eq!(Rat::new(3, 1).to_string(), "3");
         assert_eq!(Rat::new(-3, 7).to_string(), "-3/7");
+    }
+
+    #[test]
+    fn checked_paths_report_overflow_as_none() {
+        let huge = Rat::int(i128::MAX);
+        assert_eq!(huge.checked_add(Rat::ONE), None);
+        assert_eq!(huge.checked_mul(Rat::int(2)), None);
+        assert_eq!(Rat::int(i128::MIN + 1).checked_sub(Rat::int(2)), None);
+        // Non-overflowing inputs round-trip through the checked paths.
+        assert_eq!(
+            Rat::new(1, 2).checked_add(Rat::new(1, 3)),
+            Some(Rat::new(5, 6))
+        );
+        assert_eq!(
+            Rat::new(2, 3).checked_mul(Rat::new(3, 4)),
+            Some(Rat::new(1, 2))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Rat multiplication overflowed i128 in the numerator")]
+    fn overflow_panic_names_the_operation() {
+        let huge = Rat::int(i128::MAX);
+        let _ = huge * huge;
+    }
+
+    #[test]
+    #[should_panic(expected = "Rat negation overflowed i128")]
+    fn neg_of_minimum_panics_instead_of_wrapping() {
+        let _ = -Rat::int(i128::MIN);
+    }
+
+    #[test]
+    fn checked_sub_handles_unnegatable_minimum() {
+        // -i128::MIN is unrepresentable: the checked path must return
+        // None (not panic in the internal negation).
+        assert_eq!(Rat::ZERO.checked_sub(Rat::int(i128::MIN)), None);
+        assert_eq!(Rat::int(i128::MIN).checked_sub(Rat::int(i128::MIN)), None);
+    }
+
+    #[test]
+    fn comparison_survives_extreme_magnitudes() {
+        // Subtraction-based cmp would overflow computing MAX - MIN; the
+        // cross-multiplied compare never forms the difference.
+        let lo = Rat::int(i128::MIN + 1);
+        let hi = Rat::int(i128::MAX);
+        assert!(lo < hi);
+        assert!(hi > lo);
+        assert_eq!(hi.cmp(&hi), Ordering::Equal);
     }
 
     #[test]

@@ -1,11 +1,40 @@
-//! Two-phase primal simplex over exact rationals.
+//! Sparse revised simplex over exact rationals, with warm starts.
 //!
-//! Uses Bland's pivoting rule, which excludes cycling, so the solver always
-//! terminates. Dense tableau — IPET instances are small (hundreds of rows),
-//! so simplicity and auditability beat sparse cleverness here.
+//! The IPET hot path re-solves near-identical models dozens of times
+//! (interference sweeps change only the objective; branch-and-bound
+//! children add a single bound row), so this solver is built around
+//! **basis reuse**:
+//!
+//! * Constraint columns are stored sparsely (`Vec<(row, Rat)>`); the
+//!   working state is the basis, an explicit `B⁻¹` maintained by
+//!   product-form pivots, and the basic solution `x_B = B⁻¹b`.
+//! * Pricing is Dantzig (most-positive reduced cost) with a **Bland
+//!   fallback** that engages after [`BLAND_STREAK`] consecutive
+//!   degenerate pivots and disengages only on a strict objective
+//!   improvement. Termination: an infinite pivot sequence would have an
+//!   infinite all-degenerate tail, in which the fallback engages
+//!   permanently, and Bland's rule admits no cycle — contradiction.
+//! * A solve can be **warm-started** from a [`WarmBasis`]: the basis is
+//!   refactorized (sparse Gaussian elimination rebuilding `B⁻¹`) and, if
+//!   it is still primal feasible, phase 1 is skipped entirely. Because
+//!   the cached basis is the *phase-1* basis (objective-independent),
+//!   a warm-started solve takes the exact same phase-2 pivot path as a
+//!   cold solve of the same model — results are bit-identical by
+//!   construction, not just equal in objective.
+//! * [`crate::branch_bound`] appends bound rows to a solved instance and
+//!   re-optimizes with **dual simplex** from the parent's optimal basis
+//!   (which stays dual feasible under a bordered basis extension).
+//!
+//! Exactness is untouched: every pivot runs over [`Rat`]. The
+//! pre-refactor dense solver survives in [`crate::dense`] as the
+//! differential-test oracle (`tests/simplex_equivalence.rs`).
 
-use crate::model::{CmpOp, LpModel, Solution, SolveStatus};
+use crate::model::{CmpOp, LpModel, Solution, SolveStats, SolveStatus};
 use crate::rational::Rat;
+
+/// Degenerate-pivot streak after which pricing falls back to Bland's
+/// rule (and stays there until a strict objective improvement).
+const BLAND_STREAK: u32 = 12;
 
 /// Solves the LP relaxation of `model` (integrality markers are ignored).
 ///
@@ -13,173 +42,443 @@ use crate::rational::Rat;
 /// `status` distinguishes optimal / infeasible / unbounded.
 #[must_use]
 pub fn solve_lp(model: &LpModel) -> Solution {
-    Simplex::build(model).solve(model)
+    solve_lp_warm(model, None).solution
 }
 
-struct Simplex {
-    /// Dense tableau rows (canonical form is maintained across pivots).
-    a: Vec<Vec<Rat>>,
-    /// Right-hand sides (kept non-negative).
-    b: Vec<Rat>,
-    /// Basic variable (column index) of each row.
-    basis: Vec<usize>,
-    /// Per-column: is this an artificial variable?
+/// A reusable simplex basis: the basic column of every constraint row,
+/// plus the dimensions it was taken from (reuse is refused on mismatch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmBasis {
+    pub(crate) cols: Vec<usize>,
+    pub(crate) num_rows: usize,
+    pub(crate) num_cols: usize,
+}
+
+/// The full outcome of an LP solve: the solution plus the bases a caller
+/// can reuse to warm-start related solves.
+#[derive(Debug, Clone)]
+pub struct LpSolve {
+    /// The solution (status, objective, values, stats).
+    pub solution: Solution,
+    /// The feasible basis captured right after phase 1 — objective
+    /// independent, so reusing it on the *same* constraint system with a
+    /// *different* objective reproduces a cold solve minus phase 1.
+    /// `None` when the model is infeasible.
+    pub feasible_basis: Option<WarmBasis>,
+    /// The optimal basis (for dual-simplex re-solves after adding
+    /// rows). `None` unless the status is optimal.
+    pub optimal_basis: Option<WarmBasis>,
+}
+
+/// Solves `model`, optionally warm-starting from a basis of an identical
+/// constraint system (typically [`LpSolve::feasible_basis`] of an earlier
+/// solve). An incompatible or stale basis silently degrades to a cold
+/// solve — warm starting is an optimization, never a correctness input.
+#[must_use]
+pub fn solve_lp_warm(model: &LpModel, warm: Option<&WarmBasis>) -> LpSolve {
+    let mut t = Revised::build(model);
+    let mut warm_ok = false;
+    if let Some(wb) = warm {
+        if t.try_warm_start(wb) {
+            warm_ok = true;
+        }
+    }
+    if !warm_ok && !t.phase1() {
+        return LpSolve {
+            solution: t.finish(SolveStatus::Infeasible, model),
+            feasible_basis: None,
+            optimal_basis: None,
+        };
+    }
+    let feasible_basis = Some(t.warm_basis());
+    let c2 = t.phase2_costs(model);
+    if !t.primal(&c2, false) {
+        return LpSolve {
+            solution: t.finish(SolveStatus::Unbounded, model),
+            feasible_basis,
+            optimal_basis: None,
+        };
+    }
+    let optimal_basis = Some(t.warm_basis());
+    LpSolve {
+        solution: t.finish(SolveStatus::Optimal, model),
+        feasible_basis,
+        optimal_basis,
+    }
+}
+
+/// The revised-simplex working instance: sparse structure + basis state.
+pub(crate) struct Revised {
+    /// Sparse columns: `cols[j]` lists `(row, coefficient)`.
+    cols: Vec<Vec<(usize, Rat)>>,
+    /// Right-hand sides. Model rows are normalized to `rhs >= 0`; rows
+    /// appended by [`Revised::append_bound_row`] may be negative (they
+    /// are repaired by dual simplex).
+    rhs: Vec<Rat>,
+    /// Per-column artificial marker.
     artificial: Vec<bool>,
-    /// Number of structural (model) variables; they occupy columns `0..n`.
+    /// Number of structural (model) variables, columns `0..n_struct`.
     n_struct: usize,
+    /// The cold-start basic column of each row (slack or artificial).
+    init_basis: Vec<usize>,
+    /// Basic column of each row.
+    basis: Vec<usize>,
+    /// Per-column: currently basic?
+    in_basis: Vec<bool>,
+    /// Explicit basis inverse, row-major.
+    binv: Vec<Vec<Rat>>,
+    /// Basic solution `B⁻¹ b`.
+    xb: Vec<Rat>,
+    /// Effort counters for this instance.
+    pub(crate) stats: SolveStats,
 }
 
-impl Simplex {
-    fn build(model: &LpModel) -> Simplex {
+impl Revised {
+    /// Builds the sparse standard form of `model` in the cold-start
+    /// state. Row/column layout matches the dense oracle: rows keep
+    /// model order with `rhs` normalized non-negative, columns are
+    /// `[structural | per-row slack/surplus/artificial]`.
+    pub(crate) fn build(model: &LpModel) -> Revised {
         let n = model.num_vars();
         let m = model.num_constraints();
-        let mut rows: Vec<Vec<Rat>> = Vec::with_capacity(m);
-        let mut b: Vec<Rat> = Vec::with_capacity(m);
+        let mut cols: Vec<Vec<(usize, Rat)>> = vec![Vec::new(); n];
+        let mut rhs: Vec<Rat> = Vec::with_capacity(m);
         let mut ops: Vec<CmpOp> = Vec::with_capacity(m);
-        for c in model.constraints() {
-            let mut row = vec![Rat::ZERO; n];
-            for (v, coeff) in c.expr.terms() {
-                row[v.index()] = coeff;
-            }
-            let (row, rhs, op) = if c.rhs < Rat::ZERO {
-                // Normalize to rhs >= 0.
-                let flipped = match c.op {
-                    CmpOp::Le => CmpOp::Ge,
-                    CmpOp::Ge => CmpOp::Le,
-                    CmpOp::Eq => CmpOp::Eq,
-                };
-                (row.iter().map(|&x| -x).collect(), -c.rhs, flipped)
-            } else {
-                (row, c.rhs, c.op)
+        for (i, c) in model.constraints().iter().enumerate() {
+            let flip = c.rhs < Rat::ZERO;
+            let op = match (c.op, flip) {
+                (CmpOp::Le, true) => CmpOp::Ge,
+                (CmpOp::Ge, true) => CmpOp::Le,
+                (op, _) => op,
             };
-            rows.push(row);
-            b.push(rhs);
+            for (v, coeff) in c.expr.terms() {
+                cols[v.index()].push((i, if flip { -coeff } else { coeff }));
+            }
+            rhs.push(if flip { -c.rhs } else { c.rhs });
             ops.push(op);
         }
 
-        // Column layout: [structural | slacks/surplus | artificials].
-        let mut extra_cols = 0usize;
-        for op in &ops {
-            extra_cols += match op {
-                CmpOp::Le => 1, // slack
-                CmpOp::Ge => 2, // surplus + artificial
-                CmpOp::Eq => 1, // artificial
-            };
-        }
-        let total = n + extra_cols;
-        let mut a: Vec<Vec<Rat>> = rows
-            .into_iter()
-            .map(|mut r| {
-                r.resize(total, Rat::ZERO);
-                r
-            })
-            .collect();
-        let mut artificial = vec![false; total];
-        let mut basis = vec![usize::MAX; m];
-        let mut next = n;
+        let mut artificial = vec![false; n];
+        let mut init_basis = Vec::with_capacity(m);
         for (i, op) in ops.iter().enumerate() {
             match op {
                 CmpOp::Le => {
-                    a[i][next] = Rat::ONE; // slack
-                    basis[i] = next;
-                    next += 1;
+                    cols.push(vec![(i, Rat::ONE)]); // slack
+                    artificial.push(false);
+                    init_basis.push(cols.len() - 1);
                 }
                 CmpOp::Ge => {
-                    a[i][next] = -Rat::ONE; // surplus
-                    next += 1;
-                    a[i][next] = Rat::ONE; // artificial
-                    artificial[next] = true;
-                    basis[i] = next;
-                    next += 1;
+                    cols.push(vec![(i, -Rat::ONE)]); // surplus
+                    artificial.push(false);
+                    cols.push(vec![(i, Rat::ONE)]); // artificial
+                    artificial.push(true);
+                    init_basis.push(cols.len() - 1);
                 }
                 CmpOp::Eq => {
-                    a[i][next] = Rat::ONE; // artificial
-                    artificial[next] = true;
-                    basis[i] = next;
-                    next += 1;
+                    cols.push(vec![(i, Rat::ONE)]); // artificial
+                    artificial.push(true);
+                    init_basis.push(cols.len() - 1);
                 }
             }
         }
-        debug_assert_eq!(next, total);
-        Simplex {
-            a,
-            b,
-            basis,
+
+        let mut t = Revised {
+            cols,
+            rhs,
             artificial,
             n_struct: n,
-        }
+            init_basis,
+            basis: Vec::new(),
+            in_basis: Vec::new(),
+            binv: Vec::new(),
+            xb: Vec::new(),
+            stats: SolveStats::default(),
+        };
+        t.reset_cold();
+        t
+    }
+
+    fn num_rows(&self) -> usize {
+        self.rhs.len()
     }
 
     fn num_cols(&self) -> usize {
-        self.artificial.len()
+        self.cols.len()
     }
 
-    /// Reduced-cost row for cost vector `c`, canonicalized w.r.t. the
-    /// current basis: `r_j = c_j - Σ_i c_{basis(i)} a_ij`.
-    fn reduced_costs(&self, c: &[Rat]) -> Vec<Rat> {
-        let mut r = c.to_vec();
+    fn has_artificials(&self) -> bool {
+        self.artificial.iter().any(|&a| a)
+    }
+
+    /// Restores the cold-start state: unit basis, `B⁻¹ = I`, `x_B = b`.
+    fn reset_cold(&mut self) {
+        let m = self.num_rows();
+        self.basis = self.init_basis.clone();
+        self.in_basis = vec![false; self.num_cols()];
+        for &b in &self.basis {
+            self.in_basis[b] = true;
+        }
+        self.binv = identity(m);
+        self.xb = self.rhs.clone();
+    }
+
+    /// Appends the bound row `x_var <= bound` (or `x_var >= bound`,
+    /// encoded as `-x_var <= -bound` so the slack stays basic and dual
+    /// simplex repairs the negative right-hand side). Returns the new
+    /// slack column. Invalidates the basis state — callers must
+    /// re-initialize via [`Revised::try_warm_start`].
+    pub(crate) fn append_bound_row(&mut self, var: usize, upper: bool, bound: Rat) -> usize {
+        let row = self.num_rows();
+        let (coeff, rhs) = if upper {
+            (Rat::ONE, bound)
+        } else {
+            (-Rat::ONE, -bound)
+        };
+        self.cols[var].push((row, coeff));
+        self.rhs.push(rhs);
+        self.cols.push(vec![(row, Rat::ONE)]); // slack
+        self.artificial.push(false);
+        self.init_basis.push(self.cols.len() - 1);
+        self.cols.len() - 1
+    }
+
+    /// The current basis as a reusable [`WarmBasis`].
+    pub(crate) fn warm_basis(&self) -> WarmBasis {
+        WarmBasis {
+            cols: self.basis.clone(),
+            num_rows: self.num_rows(),
+            num_cols: self.num_cols(),
+        }
+    }
+
+    /// Attempts to adopt `wb`: dimension check, refactorization, and a
+    /// primal-feasibility check (`x_B >= 0`, required to skip phase 1).
+    /// On failure the instance is back in the cold-start state.
+    pub(crate) fn try_warm_start(&mut self, wb: &WarmBasis) -> bool {
+        if wb.num_rows != self.num_rows() || wb.num_cols != self.num_cols() {
+            return false;
+        }
+        if !self.factorize(&wb.cols) || self.xb.iter().any(|x| *x < Rat::ZERO) {
+            self.reset_cold();
+            return false;
+        }
+        if self.basic_artificial_nonzero() {
+            // A basic artificial above zero means the basis does NOT
+            // represent a feasible point of *this* model (a stale basis
+            // from a different system of the same shape could smuggle an
+            // infeasible model past phase 1) — run phase 1 instead.
+            self.reset_cold();
+            return false;
+        }
+        self.stats.warm_starts += 1;
+        if self.has_artificials() {
+            self.stats.phase1_skips += 1;
+        }
+        true
+    }
+
+    /// Adopts a basis that is dual feasible but possibly primal
+    /// infeasible (branch-and-bound children). No `x_B` sign check, but
+    /// basic artificials must still sit exactly at zero — anything else
+    /// is a stale basis, and dual simplex would never repair it (it only
+    /// fixes *negative* entries, and artificials never leave).
+    pub(crate) fn try_warm_start_dual(&mut self, basis_cols: &[usize]) -> bool {
+        if basis_cols.len() != self.num_rows()
+            || !self.factorize(basis_cols)
+            || self.basic_artificial_nonzero()
+        {
+            self.reset_cold();
+            return false;
+        }
+        self.stats.warm_starts += 1;
+        if self.has_artificials() {
+            self.stats.phase1_skips += 1;
+        }
+        true
+    }
+
+    /// True if any basic artificial variable sits away from zero — the
+    /// state no valid warm basis for this model can produce.
+    fn basic_artificial_nonzero(&self) -> bool {
+        self.basis
+            .iter()
+            .zip(&self.xb)
+            .any(|(&b, x)| self.artificial[b] && !x.is_zero())
+    }
+
+    /// Rebuilds `B⁻¹`, the row↔column assignment and `x_B` from a basis
+    /// column set, by Gaussian elimination in the given column order with
+    /// free row pivoting (always succeeds iff the columns are
+    /// independent). `false` leaves the state dirty — callers reset.
+    fn factorize(&mut self, basis_cols: &[usize]) -> bool {
+        let m = self.num_rows();
+        debug_assert_eq!(basis_cols.len(), m);
+        if basis_cols.iter().any(|&c| c >= self.num_cols()) {
+            return false;
+        }
+        self.stats.refactorizations += 1;
+        self.binv = identity(m);
+        self.xb.clear(); // recomputed below; empty disables eta updates on it
+        let mut assigned = vec![false; m];
+        let mut basis = vec![usize::MAX; m];
+        for &col in basis_cols {
+            let w = self.direction(col);
+            // Deterministic free pivot: smallest unassigned row with a
+            // nonzero transformed entry.
+            let Some(row) = (0..m).find(|&i| !assigned[i] && !w[i].is_zero()) else {
+                return false; // dependent column set
+            };
+            assigned[row] = true;
+            basis[row] = col;
+            self.eta_update(row, &w);
+        }
+        self.basis = basis;
+        self.in_basis = vec![false; self.num_cols()];
+        for &b in &self.basis {
+            self.in_basis[b] = true;
+        }
+        self.xb = mat_vec(&self.binv, &self.rhs);
+        true
+    }
+
+    /// `B⁻¹ · a_col` via the sparse column.
+    fn direction(&self, col: usize) -> Vec<Rat> {
+        let m = self.num_rows();
+        let mut w = vec![Rat::ZERO; m];
+        for &(r, v) in &self.cols[col] {
+            for (wi, bi) in w.iter_mut().zip(&self.binv) {
+                let b = bi[r];
+                if !b.is_zero() {
+                    *wi += b * v;
+                }
+            }
+        }
+        w
+    }
+
+    /// Dual prices `y = c_B B⁻¹` for cost vector `c`.
+    fn dual_prices(&self, c: &[Rat]) -> Vec<Rat> {
+        let m = self.num_rows();
+        let mut y = vec![Rat::ZERO; m];
         for (i, &bi) in self.basis.iter().enumerate() {
             let cb = c[bi];
-            if !cb.is_zero() {
-                for (rj, &aij) in r.iter_mut().zip(&self.a[i]) {
-                    *rj -= cb * aij;
+            if cb.is_zero() {
+                continue;
+            }
+            for (yk, &bk) in y.iter_mut().zip(&self.binv[i]) {
+                if !bk.is_zero() {
+                    *yk += cb * bk;
                 }
+            }
+        }
+        y
+    }
+
+    /// Reduced cost `c_j - y · a_j`.
+    fn reduced_cost(&self, c: &[Rat], y: &[Rat], j: usize) -> Rat {
+        let mut r = c[j];
+        for &(row, v) in &self.cols[j] {
+            let yv = y[row];
+            if !yv.is_zero() {
+                r -= yv * v;
             }
         }
         r
     }
 
-    fn objective_value(&self, c: &[Rat]) -> Rat {
+    fn objective_of(&self, c: &[Rat]) -> Rat {
         let mut z = Rat::ZERO;
         for (i, &bi) in self.basis.iter().enumerate() {
-            z += c[bi] * self.b[i];
+            let cb = c[bi];
+            if !cb.is_zero() {
+                z += cb * self.xb[i];
+            }
         }
         z
     }
 
-    fn pivot(&mut self, row: usize, col: usize) {
-        let p = self.a[row][col];
-        debug_assert!(!p.is_zero(), "pivot on zero element");
-        let inv = p.recip();
-        for j in 0..self.num_cols() {
-            self.a[row][j] = self.a[row][j] * inv;
+    /// Product-form update of `B⁻¹` and `x_B` for a pivot on `row` with
+    /// direction `w` (the entering column's `B⁻¹ a_j`).
+    fn eta_update(&mut self, row: usize, w: &[Rat]) {
+        let inv = w[row].recip();
+        let m = self.num_rows();
+        for k in 0..m {
+            let v = self.binv[row][k];
+            if !v.is_zero() {
+                self.binv[row][k] = v * inv;
+            }
         }
-        self.b[row] = self.b[row] * inv;
-        for i in 0..self.a.len() {
-            if i == row {
+        if !self.xb.is_empty() {
+            self.xb[row] = self.xb[row] * inv;
+        }
+        for i in 0..m {
+            if i == row || w[i].is_zero() {
                 continue;
             }
-            let f = self.a[i][col];
-            if f.is_zero() {
-                continue;
+            let f = w[i];
+            // Split borrows: the pivot row is read, row i is written.
+            let (pivot_row, target_row) = if i < row {
+                let (lo, hi) = self.binv.split_at_mut(row);
+                (&hi[0], &mut lo[i])
+            } else {
+                let (lo, hi) = self.binv.split_at_mut(i);
+                (&lo[row], &mut hi[0])
+            };
+            for (t, &p) in target_row.iter_mut().zip(pivot_row) {
+                if !p.is_zero() {
+                    *t -= f * p;
+                }
             }
-            for j in 0..self.num_cols() {
-                let adj = f * self.a[row][j];
-                self.a[i][j] -= adj;
+            if !self.xb.is_empty() {
+                let adj = f * self.xb[row];
+                self.xb[i] -= adj;
             }
-            let adj = f * self.b[row];
-            self.b[i] -= adj;
         }
-        self.basis[row] = col;
     }
 
-    /// Runs primal simplex for cost vector `c` with Bland's rule.
-    /// `allow(col)` filters candidate entering columns.
-    /// Returns `false` if the problem is unbounded in this phase.
-    fn optimize(&mut self, c: &[Rat], allow: impl Fn(usize) -> bool) -> bool {
+    fn pivot(&mut self, row: usize, col: usize, w: &[Rat]) {
+        self.eta_update(row, w);
+        self.in_basis[self.basis[row]] = false;
+        self.in_basis[col] = true;
+        self.basis[row] = col;
+        self.stats.pivots += 1;
+    }
+
+    /// Primal simplex for cost vector `c`: Dantzig pricing with the
+    /// Bland fallback. Artificial columns may enter only in phase 1.
+    /// Returns `false` if the objective is unbounded above.
+    fn primal(&mut self, c: &[Rat], phase1: bool) -> bool {
+        let mut bland = false;
+        let mut streak = 0u32;
         loop {
-            let r = self.reduced_costs(c);
-            // Bland: smallest-index column with positive reduced cost.
-            let entering = (0..self.num_cols())
-                .find(|&j| allow(j) && !self.basis.contains(&j) && r[j] > Rat::ZERO);
-            let Some(col) = entering else {
+            let y = self.dual_prices(c);
+            let mut entering: Option<(usize, Rat)> = None;
+            for j in 0..self.num_cols() {
+                if self.in_basis[j] || (!phase1 && self.artificial[j]) {
+                    continue;
+                }
+                let r = self.reduced_cost(c, &y, j);
+                if r > Rat::ZERO {
+                    if bland {
+                        entering = Some((j, r)); // smallest index: Bland
+                        break;
+                    }
+                    // Dantzig: most positive, ties to the smaller index.
+                    if entering.as_ref().is_none_or(|(_, br)| r > *br) {
+                        entering = Some((j, r));
+                    }
+                }
+            }
+            let Some((col, _)) = entering else {
                 return true; // optimal
             };
-            // Ratio test; Bland tie-break on smallest basis variable index.
+            let w = self.direction(col);
+            // Ratio test; tie-break on smallest basic variable index
+            // (with Bland entering this is exactly Bland's rule).
             let mut best: Option<(usize, Rat)> = None;
-            for i in 0..self.a.len() {
-                if self.a[i][col] > Rat::ZERO {
-                    let ratio = self.b[i] / self.a[i][col];
+            for (i, wi) in w.iter().enumerate() {
+                if *wi > Rat::ZERO {
+                    let ratio = self.xb[i] / *wi;
                     let better = match &best {
                         None => true,
                         Some((bi, br)) => {
@@ -191,68 +490,185 @@ impl Simplex {
                     }
                 }
             }
-            let Some((row, _)) = best else {
+            let Some((row, ratio)) = best else {
                 return false; // unbounded direction
             };
-            self.pivot(row, col);
+            // Attribute the pivot to the rule that actually selected its
+            // entering column (the streak update below only affects the
+            // *next* iteration's pricing).
+            if bland {
+                self.stats.bland_pivots += 1;
+            }
+            if ratio.is_zero() {
+                streak += 1;
+                if streak >= BLAND_STREAK {
+                    bland = true;
+                }
+            } else {
+                streak = 0;
+                bland = false;
+            }
+            if phase1 {
+                self.stats.phase1_pivots += 1;
+            }
+            self.pivot(row, col, &w);
         }
     }
 
-    fn solve(mut self, model: &LpModel) -> Solution {
-        let total = self.num_cols();
-
-        // Phase 1: maximize -(sum of artificials); feasible iff optimum 0.
-        if self.artificial.iter().any(|&x| x) {
-            let c1: Vec<Rat> = (0..total)
-                .map(|j| {
-                    if self.artificial[j] {
-                        -Rat::ONE
-                    } else {
-                        Rat::ZERO
-                    }
-                })
-                .collect();
-            let ok = self.optimize(&c1, |_| true);
-            debug_assert!(ok, "phase 1 is never unbounded (objective <= 0)");
-            if self.objective_value(&c1) < Rat::ZERO {
-                return Solution::non_optimal(SolveStatus::Infeasible);
-            }
-            // Drive remaining artificial basics (necessarily at 0) out, or
-            // drop redundant rows.
-            let mut row = 0;
-            while row < self.a.len() {
-                if self.artificial[self.basis[row]] {
-                    let col =
-                        (0..total).find(|&j| !self.artificial[j] && !self.a[row][j].is_zero());
-                    match col {
-                        Some(c) => self.pivot(row, c),
-                        None => {
-                            // Redundant constraint; remove the row.
-                            self.a.remove(row);
-                            self.b.remove(row);
-                            self.basis.remove(row);
-                            continue;
+    /// Dual simplex for cost vector `c`, from a dual-feasible basis
+    /// (all reduced costs `<= 0`). Repairs negative `x_B` entries;
+    /// terminates optimal (`true`) or primal infeasible (`false`).
+    pub(crate) fn dual(&mut self, c: &[Rat]) -> bool {
+        let mut bland = false;
+        let mut streak = 0u32;
+        loop {
+            // Leaving row: most negative x_B (ties to the smallest basic
+            // index); under the fallback, smallest basic index outright.
+            let mut leave: Option<usize> = None;
+            for (i, x) in self.xb.iter().enumerate() {
+                if *x >= Rat::ZERO {
+                    continue;
+                }
+                let better = match leave {
+                    None => true,
+                    Some(l) => {
+                        if bland {
+                            self.basis[i] < self.basis[l]
+                        } else {
+                            *x < self.xb[l] || (*x == self.xb[l] && self.basis[i] < self.basis[l])
                         }
                     }
+                };
+                if better {
+                    leave = Some(i);
                 }
-                row += 1;
+            }
+            let Some(row) = leave else {
+                return true; // primal feasible, hence optimal
+            };
+            let y = self.dual_prices(c);
+            // Entering: among alpha_j < 0, minimize r_j / alpha_j (>= 0),
+            // ties to the smallest index (Bland's dual rule).
+            let mut enter: Option<(usize, Rat)> = None;
+            for j in 0..self.num_cols() {
+                if self.in_basis[j] || self.artificial[j] {
+                    continue;
+                }
+                let mut alpha = Rat::ZERO;
+                for &(r, v) in &self.cols[j] {
+                    let b = self.binv[row][r];
+                    if !b.is_zero() {
+                        alpha += b * v;
+                    }
+                }
+                if alpha < Rat::ZERO {
+                    let r = self.reduced_cost(c, &y, j);
+                    debug_assert!(r <= Rat::ZERO, "dual simplex lost dual feasibility");
+                    let ratio = r / alpha;
+                    if enter.as_ref().is_none_or(|(_, br)| ratio < *br) {
+                        enter = Some((j, ratio));
+                    }
+                }
+            }
+            let Some((col, ratio)) = enter else {
+                return false; // no way to repair this row: infeasible
+            };
+            // As in primal(): count the pivot against the rule that
+            // selected it; the streak update governs the next iteration.
+            if bland {
+                self.stats.bland_pivots += 1;
+            }
+            if ratio.is_zero() {
+                streak += 1;
+                if streak >= BLAND_STREAK {
+                    bland = true;
+                }
+            } else {
+                streak = 0;
+                bland = false;
+            }
+            let w = self.direction(col);
+            self.stats.dual_pivots += 1;
+            self.pivot(row, col, &w);
+        }
+    }
+
+    /// Phase 1: drive the artificial variables to zero. Returns `false`
+    /// if the model is infeasible. On success every remaining basic
+    /// artificial sits in a redundant row (its transformed row is zero on
+    /// all non-artificial columns), where it is provably inert: no later
+    /// pivot can move it or its row (see `drive_out_artificials`).
+    fn phase1(&mut self) -> bool {
+        if !self.has_artificials() {
+            return true;
+        }
+        let c1: Vec<Rat> = self
+            .artificial
+            .iter()
+            .map(|&a| if a { -Rat::ONE } else { Rat::ZERO })
+            .collect();
+        let bounded = self.primal(&c1, true);
+        debug_assert!(bounded, "phase 1 is never unbounded (objective <= 0)");
+        if self.objective_of(&c1) < Rat::ZERO {
+            return false;
+        }
+        self.drive_out_artificials();
+        true
+    }
+
+    /// Pivots zero-level basic artificials out wherever their row has a
+    /// nonzero transformed entry on a non-artificial column. Rows where
+    /// it has none are redundant: for every non-artificial column `j`,
+    /// `(B⁻¹a_j)` is zero in that position, and the product-form update
+    /// preserves that zero under any pivot with a non-artificial entering
+    /// column — the artificial stays basic at exactly zero forever.
+    fn drive_out_artificials(&mut self) {
+        for row in 0..self.num_rows() {
+            if !self.artificial[self.basis[row]] {
+                continue;
+            }
+            let col = (0..self.num_cols()).find(|&j| {
+                if self.artificial[j] || self.in_basis[j] {
+                    return false;
+                }
+                let mut alpha = Rat::ZERO;
+                for &(r, v) in &self.cols[j] {
+                    let b = self.binv[row][r];
+                    if !b.is_zero() {
+                        alpha += b * v;
+                    }
+                }
+                !alpha.is_zero()
+            });
+            if let Some(col) = col {
+                // Degenerate pivot (the row is at zero): swaps the basis
+                // without moving x_B.
+                let w = self.direction(col);
+                self.pivot(row, col, &w);
             }
         }
+    }
 
-        // Phase 2: the real objective over structural columns only.
-        let mut c2 = vec![Rat::ZERO; total];
+    /// The phase-2 cost vector: model objective over structural columns.
+    pub(crate) fn phase2_costs(&self, model: &LpModel) -> Vec<Rat> {
+        let mut c = vec![Rat::ZERO; self.num_cols()];
         for (v, coeff) in model.objective().terms() {
-            c2[v.index()] = coeff;
+            c[v.index()] = coeff;
         }
-        let artificial = self.artificial.clone();
-        if !self.optimize(&c2, |j| !artificial[j]) {
-            return Solution::non_optimal(SolveStatus::Unbounded);
-        }
+        c
+    }
 
+    /// Packages the final state as a [`Solution`].
+    pub(crate) fn finish(&self, status: SolveStatus, model: &LpModel) -> Solution {
+        if status != SolveStatus::Optimal {
+            let mut s = Solution::non_optimal(status);
+            s.stats = self.stats;
+            return s;
+        }
         let mut values = vec![Rat::ZERO; self.n_struct];
         for (i, &bi) in self.basis.iter().enumerate() {
             if bi < self.n_struct {
-                values[bi] = self.b[i];
+                values[bi] = self.xb[i];
             }
         }
         let objective = model.objective().eval(&values);
@@ -260,8 +676,31 @@ impl Simplex {
             status: SolveStatus::Optimal,
             objective,
             values,
+            stats: self.stats,
         }
     }
+}
+
+fn identity(m: usize) -> Vec<Vec<Rat>> {
+    let mut id = vec![vec![Rat::ZERO; m]; m];
+    for (i, row) in id.iter_mut().enumerate() {
+        row[i] = Rat::ONE;
+    }
+    id
+}
+
+fn mat_vec(a: &[Vec<Rat>], v: &[Rat]) -> Vec<Rat> {
+    a.iter()
+        .map(|row| {
+            let mut acc = Rat::ZERO;
+            for (x, &y) in row.iter().zip(v) {
+                if !x.is_zero() && !y.is_zero() {
+                    acc += *x * y;
+                }
+            }
+            acc
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -292,12 +731,12 @@ mod tests {
         assert_eq!(s.objective, Rat::int(12));
         assert_eq!(s.value(x), Rat::int(4));
         assert_eq!(s.value(y), Rat::ZERO);
+        assert!(s.stats.pivots > 0);
     }
 
     #[test]
     fn fractional_optimum() {
-        // max x + y  s.t.  2x + y <= 3,  x + 2y <= 3  → x=y=1, obj 2.
-        // With x + y <= 1.5 binding: try 2x+2y <= 3 → obj 1.5 at x+y=1.5.
+        // max x + y  s.t.  2x + 2y <= 3 → obj 3/2 on the x+y=3/2 facet.
         let mut m = LpModel::new();
         let x = m.add_var("x");
         let y = m.add_var("y");
@@ -331,7 +770,7 @@ mod tests {
 
     #[test]
     fn equality_constraints() {
-        // max x + y  s.t.  x + y == 3, x <= 1  →  x=1, y=2.
+        // max 2x + y  s.t.  x + y == 3, x <= 1  →  x=1, y=2.
         let mut m = LpModel::new();
         let x = m.add_var("x");
         let y = m.add_var("y");
@@ -375,8 +814,9 @@ mod tests {
     }
 
     #[test]
-    fn redundant_equalities_dropped() {
-        // x + y == 2 twice (redundant row must be removed in phase 1).
+    fn redundant_equalities_kept_inert() {
+        // x + y == 2 twice: the duplicate row keeps a zero-level
+        // artificial basic; the solve must still reach the optimum.
         let mut m = LpModel::new();
         let x = m.add_var("x");
         let y = m.add_var("y");
@@ -386,6 +826,7 @@ mod tests {
         let s = solve_lp(&m);
         assert_eq!(s.status, SolveStatus::Optimal);
         assert_eq!(s.objective, Rat::int(2));
+        assert!(m.is_feasible(&s.values));
     }
 
     #[test]
@@ -401,5 +842,102 @@ mod tests {
         let s = solve_lp(&m);
         assert_eq!(s.status, SolveStatus::Optimal);
         assert!(m.is_feasible(&s.values));
+    }
+
+    #[test]
+    fn warm_start_skips_phase1_and_matches_cold() {
+        // An equality-heavy model (phase 1 does real work), re-solved
+        // with a different objective from the cached feasible basis.
+        let mut m = LpModel::new();
+        let x = m.add_var("x");
+        let y = m.add_var("y");
+        let z = m.add_var("z");
+        m.add_constraint(expr(&[(x, 1), (y, 1), (z, 1)]), CmpOp::Eq, 6);
+        m.add_constraint(expr(&[(x, 1), (y, -1)]), CmpOp::Ge, 1);
+        m.add_constraint(expr(&[(z, 1)]), CmpOp::Le, 3);
+        m.set_objective(expr(&[(x, 1), (y, 2), (z, 3)]));
+        let first = solve_lp_warm(&m, None);
+        assert_eq!(first.solution.status, SolveStatus::Optimal);
+        let basis = first.feasible_basis.expect("feasible");
+
+        // New objective, same constraints.
+        m.set_objective(expr(&[(x, 5), (y, 1), (z, 1)]));
+        let cold = solve_lp_warm(&m, None);
+        let warm = solve_lp_warm(&m, Some(&basis));
+        assert_eq!(warm.solution, cold.solution); // bit-identical result
+        assert_eq!(warm.solution.stats.warm_starts, 1);
+        assert_eq!(warm.solution.stats.phase1_skips, 1);
+        assert_eq!(warm.solution.stats.phase1_pivots, 0);
+        assert!(cold.solution.stats.phase1_pivots > 0);
+    }
+
+    #[test]
+    fn stale_warm_basis_degrades_to_cold() {
+        let mut m = LpModel::new();
+        let x = m.add_var("x");
+        m.add_constraint(expr(&[(x, 1)]), CmpOp::Le, 4);
+        m.set_objective(expr(&[(x, 1)]));
+        let bogus = WarmBasis {
+            cols: vec![7, 9],
+            num_rows: 2,
+            num_cols: 11,
+        };
+        let s = solve_lp_warm(&m, Some(&bogus));
+        assert_eq!(s.solution.status, SolveStatus::Optimal);
+        assert_eq!(s.solution.objective, Rat::int(4));
+        assert_eq!(s.solution.stats.warm_starts, 0);
+    }
+
+    #[test]
+    fn stale_basis_cannot_smuggle_infeasibility_past_phase1() {
+        // Cache the feasible basis of {x+y==2, x+y==2} — the redundant
+        // row keeps an inert artificial basic at zero. Reusing it on the
+        // dimension-compatible but infeasible {x+y==2, x+y==3} would put
+        // that artificial at level 1; the warm start must be refused and
+        // the cold solve must report infeasibility.
+        let mut a = LpModel::new();
+        let x = a.add_var("x");
+        let y = a.add_var("y");
+        a.add_constraint(expr(&[(x, 1), (y, 1)]), CmpOp::Eq, 2);
+        a.add_constraint(expr(&[(x, 1), (y, 1)]), CmpOp::Eq, 2);
+        a.set_objective(expr(&[(x, 1)]));
+        let basis = solve_lp_warm(&a, None).feasible_basis.expect("feasible");
+
+        let mut b = LpModel::new();
+        let x = b.add_var("x");
+        let y = b.add_var("y");
+        b.add_constraint(expr(&[(x, 1), (y, 1)]), CmpOp::Eq, 2);
+        b.add_constraint(expr(&[(x, 1), (y, 1)]), CmpOp::Eq, 3);
+        b.set_objective(expr(&[(x, 1)]));
+        let s = solve_lp_warm(&b, Some(&basis));
+        assert_eq!(s.solution.status, SolveStatus::Infeasible);
+        assert_eq!(s.solution.stats.warm_starts, 0);
+    }
+
+    #[test]
+    fn dual_simplex_reoptimizes_after_bound_row() {
+        // max x + y  s.t.  x + y <= 4; then append x <= 1 and repair.
+        let mut m = LpModel::new();
+        let x = m.add_var("x");
+        let y = m.add_var("y");
+        m.add_constraint(expr(&[(x, 1), (y, 1)]), CmpOp::Le, 4);
+        m.set_objective(expr(&[(x, 2), (y, 1)]));
+        let first = solve_lp_warm(&m, None);
+        assert_eq!(first.solution.objective, Rat::int(8)); // x = 4
+        let optimal = first.optimal_basis.expect("optimal");
+
+        let mut t = Revised::build(&m);
+        let slack = t.append_bound_row(x.index(), true, Rat::int(1));
+        let mut basis = optimal.cols;
+        basis.push(slack);
+        assert!(t.try_warm_start_dual(&basis));
+        let c = t.phase2_costs(&m);
+        assert!(t.dual(&c));
+        let s = t.finish(SolveStatus::Optimal, &m);
+        // x clamped to 1, y picks up the slack: 2·1 + 3 = 5.
+        assert_eq!(s.objective, Rat::int(5));
+        assert_eq!(s.value(x), Rat::int(1));
+        assert_eq!(s.value(y), Rat::int(3));
+        assert!(s.stats.dual_pivots > 0);
     }
 }

@@ -17,17 +17,30 @@ use std::time::{Duration, Instant};
 const TARGET_TIME: Duration = Duration::from_millis(500);
 
 /// The top-level benchmark driver.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    /// Smoke mode (`cargo bench -- --test`, mirroring real criterion):
+    /// run every benchmark body exactly once, measure nothing. CI uses
+    /// this so benches compile *and* run without paying for timing.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
 }
 
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             name: name.into(),
             sample_size: 10,
+            test_mode,
             _criterion: self,
         }
     }
@@ -78,6 +91,7 @@ impl Display for BenchmarkId {
 pub struct BenchmarkGroup<'c> {
     name: String,
     sample_size: usize,
+    test_mode: bool,
     _criterion: &'c mut Criterion,
 }
 
@@ -93,7 +107,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher::new(self.sample_size);
+        let mut b = Bencher::new(self.sample_size, self.test_mode);
         f(&mut b);
         b.report(&self.name, &id.to_string());
         self
@@ -105,7 +119,7 @@ impl BenchmarkGroup<'_> {
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher::new(self.sample_size);
+        let mut b = Bencher::new(self.sample_size, self.test_mode);
         f(&mut b, input);
         b.report(&self.name, &id.to_string());
         self
@@ -119,22 +133,30 @@ impl BenchmarkGroup<'_> {
 #[derive(Debug)]
 pub struct Bencher {
     sample_size: usize,
+    test_mode: bool,
     mean: Option<Duration>,
     iters: u64,
 }
 
 impl Bencher {
-    fn new(sample_size: usize) -> Bencher {
+    fn new(sample_size: usize, test_mode: bool) -> Bencher {
         Bencher {
             sample_size,
+            test_mode,
             mean: None,
             iters: 0,
         }
     }
 
     /// Times `routine`, repeating it until the per-benchmark time budget
-    /// or the sample budget is exhausted, whichever comes first.
+    /// or the sample budget is exhausted, whichever comes first. In
+    /// `--test` mode the routine runs exactly once, untimed.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.iters = 1;
+            return;
+        }
         // One untimed warmup iteration.
         black_box(routine());
         let start = Instant::now();
@@ -162,6 +184,9 @@ impl Bencher {
                     "bench {label:<48} {:>12.3?} /iter ({} iters)",
                     mean, self.iters
                 );
+            }
+            None if self.test_mode && self.iters == 1 => {
+                println!("bench {label:<48} ok (test mode, 1 iter)");
             }
             None => println!("bench {label:<48} (no measurement)"),
         }
