@@ -21,6 +21,27 @@
 //! | [`fixed_priority`] | one hard real-time requester first | §5.3, Mische et al. \[22\] (CarCore) |
 //! | [`mod@memory_wheel`] | PRET memory wheel (equal private windows) | §5.3, Lickly et al. \[19\] |
 //! | [`memctrl`] | analysable memory controller | §5.3, Paolieri et al. \[24\] |
+//!
+//! ## Example
+//!
+//! Every scheme is selected declaratively through [`ArbiterKind`] (also
+//! parseable from the compact spec strings scenario files use), and its
+//! analysis bound always dominates the cycle-level grant rule:
+//!
+//! ```
+//! use wcet_arbiter::ArbiterKind;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let kind: ArbiterKind = "tdma:10".parse()?;
+//! assert_eq!(kind, ArbiterKind::TdmaEqual { slot_len: 10 });
+//! let arbiter = kind.build(4); // four requesters
+//! // A round-trip of one 8-cycle transfer can wait at most the other
+//! // three slots plus the tail of its own: bounded, workload-independent.
+//! let bound = arbiter.worst_case_delay(0, 8).expect("TDMA is bounded");
+//! assert!(bound >= 3 * 8);
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -107,6 +128,27 @@ pub enum ArbiterKind {
 }
 
 impl ArbiterKind {
+    /// The compact spec label of this kind — the exact inverse of the
+    /// [`FromStr`](std::str::FromStr) parser, so labels copied out of a
+    /// report can be pasted back into a scenario spec.
+    #[must_use]
+    pub fn spec(&self) -> String {
+        match self {
+            ArbiterKind::RoundRobin => "rr".into(),
+            ArbiterKind::TdmaEqual { slot_len } => format!("tdma:{slot_len}"),
+            ArbiterKind::Tdma { slots } => {
+                let parts: Vec<String> = slots.iter().map(|(o, l)| format!("{o}@{l}")).collect();
+                format!("tdma-table:{}", parts.join(","))
+            }
+            ArbiterKind::Mbba { weights, slot_len } => {
+                let ws: Vec<String> = weights.iter().map(u32::to_string).collect();
+                format!("mbba:{}@{slot_len}", ws.join("-"))
+            }
+            ArbiterKind::FixedPriority { hrt } => format!("fp:{hrt}"),
+            ArbiterKind::MemoryWheel { window } => format!("wheel:{window}"),
+        }
+    }
+
     /// Instantiates the arbiter for `n` requesters.
     ///
     /// # Panics
@@ -146,6 +188,179 @@ impl ArbiterKind {
                 Box::new(FixedPriority::new(n, *hrt))
             }
             ArbiterKind::MemoryWheel { window } => Box::new(memory_wheel(n, *window)),
+        }
+    }
+}
+
+/// Error from parsing an [`ArbiterKind`] spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArbiterSpecError(String);
+
+impl std::fmt::Display for ArbiterSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bad arbiter spec {:?}: expected rr | tdma:SLOT | tdma-table:O@LEN,… | \
+             mbba:W1-W2-…@SLOT | fp:HRT | wheel:WINDOW",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ArbiterSpecError {}
+
+/// Parses the compact arbiter spec used by declarative scenario files:
+///
+/// | spec | scheme |
+/// |---|---|
+/// | `rr` / `round_robin` | [`ArbiterKind::RoundRobin`] |
+/// | `tdma:SLOT` | [`ArbiterKind::TdmaEqual`] with `SLOT`-cycle slots |
+/// | `tdma-table:O@LEN,O@LEN,…` | [`ArbiterKind::Tdma`] with an explicit slot table |
+/// | `mbba:W1-W2-…@SLOT` | [`ArbiterKind::Mbba`] with one weight per requester |
+/// | `fp:HRT` / `fixed_priority:HRT` | [`ArbiterKind::FixedPriority`] |
+/// | `wheel:WINDOW` / `memory_wheel:WINDOW` | [`ArbiterKind::MemoryWheel`] |
+impl std::str::FromStr for ArbiterKind {
+    type Err = ArbiterSpecError;
+
+    fn from_str(s: &str) -> Result<ArbiterKind, ArbiterSpecError> {
+        let bad = || ArbiterSpecError(s.to_string());
+        let (head, arg) = match s.split_once(':') {
+            Some((head, arg)) => (head.trim(), Some(arg.trim())),
+            None => (s.trim(), None),
+        };
+        let num = |a: Option<&str>| a.and_then(|a| a.parse::<u64>().ok()).ok_or_else(bad);
+        // Slot-table lengths must be positive, or the arbiter
+        // constructors reject them; specs are user input, so catch it
+        // here as a parse error rather than a later panic.
+        let positive = |a: Option<&str>| num(a).ok().filter(|&n| n > 0).ok_or_else(bad);
+        match head {
+            "rr" | "round_robin" => match arg {
+                None => Ok(ArbiterKind::RoundRobin),
+                Some(_) => Err(bad()),
+            },
+            "tdma" => Ok(ArbiterKind::TdmaEqual {
+                slot_len: positive(arg)?,
+            }),
+            "tdma-table" => {
+                let slots = arg
+                    .ok_or_else(bad)?
+                    .split(',')
+                    .map(|s| {
+                        let (owner, len) = s.trim().split_once('@')?;
+                        let owner = owner.trim().parse::<usize>().ok()?;
+                        let len = len.trim().parse::<u64>().ok().filter(|&l| l > 0)?;
+                        Some((owner, len))
+                    })
+                    .collect::<Option<Vec<(usize, u64)>>>()
+                    .ok_or_else(bad)?;
+                if slots.is_empty() {
+                    return Err(bad());
+                }
+                Ok(ArbiterKind::Tdma { slots })
+            }
+            "mbba" => {
+                let (weights, slot) = arg.and_then(|a| a.split_once('@')).ok_or_else(bad)?;
+                let weights = weights
+                    .split('-')
+                    .map(|w| w.trim().parse::<u32>().ok().filter(|&w| w > 0))
+                    .collect::<Option<Vec<u32>>>()
+                    .ok_or_else(bad)?;
+                Ok(ArbiterKind::Mbba {
+                    weights,
+                    slot_len: positive(Some(slot))?,
+                })
+            }
+            "fp" | "fixed_priority" => Ok(ArbiterKind::FixedPriority {
+                hrt: usize::try_from(num(arg)?).map_err(|_| bad())?,
+            }),
+            "wheel" | "memory_wheel" => Ok(ArbiterKind::MemoryWheel {
+                window: positive(arg)?,
+            }),
+            _ => Err(bad()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_arbiter_specs() {
+        assert_eq!("rr".parse::<ArbiterKind>(), Ok(ArbiterKind::RoundRobin));
+        assert_eq!(
+            "round_robin".parse::<ArbiterKind>(),
+            Ok(ArbiterKind::RoundRobin)
+        );
+        assert_eq!(
+            "tdma:16".parse::<ArbiterKind>(),
+            Ok(ArbiterKind::TdmaEqual { slot_len: 16 })
+        );
+        assert_eq!(
+            "mbba:2-1-1-1@8".parse::<ArbiterKind>(),
+            Ok(ArbiterKind::Mbba {
+                weights: vec![2, 1, 1, 1],
+                slot_len: 8
+            })
+        );
+        assert_eq!(
+            "fp:0".parse::<ArbiterKind>(),
+            Ok(ArbiterKind::FixedPriority { hrt: 0 })
+        );
+        assert_eq!(
+            "wheel:8".parse::<ArbiterKind>(),
+            Ok(ArbiterKind::MemoryWheel { window: 8 })
+        );
+        assert_eq!(
+            "tdma-table:0@8,1@16".parse::<ArbiterKind>(),
+            Ok(ArbiterKind::Tdma {
+                slots: vec![(0, 8), (1, 16)]
+            })
+        );
+        for bad in [
+            "",
+            "tdma",
+            "tdma:x",
+            "rr:1",
+            "mbba:8",
+            "mbba:0-1@8",
+            "lottery",
+            // Zero slot/window lengths would panic inside `build`.
+            "tdma:0",
+            "wheel:0",
+            "mbba:1-1@0",
+            "tdma-table:",
+            "tdma-table:0@0",
+            "tdma-table:x@8",
+        ] {
+            assert!(
+                bad.parse::<ArbiterKind>().is_err(),
+                "{bad:?} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_labels_round_trip() {
+        for kind in [
+            ArbiterKind::RoundRobin,
+            ArbiterKind::TdmaEqual { slot_len: 12 },
+            ArbiterKind::Tdma {
+                slots: vec![(0, 8), (1, 16), (0, 4)],
+            },
+            ArbiterKind::Mbba {
+                weights: vec![2, 1, 1],
+                slot_len: 8,
+            },
+            ArbiterKind::FixedPriority { hrt: 1 },
+            ArbiterKind::MemoryWheel { window: 8 },
+        ] {
+            assert_eq!(
+                kind.spec().parse::<ArbiterKind>().as_ref(),
+                Ok(&kind),
+                "{} must round-trip",
+                kind.spec()
+            );
         }
     }
 }

@@ -1,137 +1,11 @@
 //! E05 (paper §4.2, Suhendra & Mitra \[37\]): locking × partitioning design
 //! space. Expected shape: (i) core-based partitioning beats task-based
 //! when tasks outnumber cores; (ii) dynamic locking beats static locking
-//! when loop nests have different hot sets.
-
-use wcet_bench::suite;
-use wcet_cache::config::CacheConfig;
-use wcet_cache::partition::{policy_partition, AllocationPolicy};
-use wcet_core::report::Table;
-use wcet_core::static_ctrl::{
-    wcet_dynamic_lock_ctx, wcet_static_lock_ctx, wcet_unlocked_ctx, StaticParams,
-};
-use wcet_core::{IpetOptions, SolveContext};
-use wcet_ir::synth::{switchy, two_phase, Placement};
-use wcet_ir::Program;
-use wcet_pipeline::cost::CoreMode;
-use wcet_pipeline::timing::{MemTimings, PipelineConfig};
-
-fn params(l2: CacheConfig) -> StaticParams {
-    StaticParams {
-        l1i: CacheConfig::new(8, 1, 16, 1).expect("valid"),
-        l1d: CacheConfig::new(2, 1, 32, 1).expect("valid"),
-        l2: Some(l2),
-        timings: MemTimings {
-            l1_hit: 1,
-            l2_hit: Some(4),
-            bus_transfer: 8,
-            mem_latency: 30,
-        },
-        bus_wait_bound: Some(8 * 2 - 1), // RR over 2 cores
-        pipeline: PipelineConfig::default(),
-        mode: CoreMode::Single,
-    }
-}
+//! when loop nests have different hot sets. Body in
+//! [`wcet_bench::experiments::exp05`] — a thin wrapper over two
+//! declarative scenario matrices (shared with the in-process `run_all`
+//! driver).
 
 fn main() {
-    let base_l2 = CacheConfig::new(64, 8, 32, 4).expect("valid");
-    let n_cores = 2;
-    let n_tasks = 8;
-    let opts = IpetOptions::default();
-    // One warm-start context for the whole design-space sweep: every
-    // task is re-solved under several cache shapes and lock modes, and
-    // each re-solve reuses the task's cached phase-1 basis.
-    let ctx = SolveContext::new();
-
-    // (i) Core-based vs task-based partitioning: the per-task effective
-    // cache is the whole core share (core-based, tasks run sequentially on
-    // their core) vs a 1/n_tasks sliver (task-based).
-    let (_, core_eff) =
-        policy_partition(&base_l2, AllocationPolicy::CoreBased, n_cores, n_tasks).expect("fits");
-    let (_, task_eff) =
-        policy_partition(&base_l2, AllocationPolicy::TaskBased, n_cores, n_tasks).expect("fits");
-    let mut t1 = Table::new(
-        "E05a — allocation policy (8 tasks on 2 cores, 8-way L2): per-task WCET",
-        &[
-            "task",
-            "core-based (4 ways)",
-            "task-based (1 way)",
-            "task-based penalty",
-        ],
-    );
-    let mut worse = 0usize;
-    let mut policy_tasks = suite(0);
-    // ~160 code lines over 64 sets (≈2.5 lines/set): survives 4 ways,
-    // thrashes a 1-way sliver.
-    policy_tasks.push(switchy(32, 40, 40, Placement::slot(0)));
-    let policy_total = policy_tasks.len();
-    for p in policy_tasks {
-        let wc = wcet_unlocked_ctx(&p, &params(core_eff), &opts, Some(&ctx)).expect("analyses");
-        let wt = wcet_unlocked_ctx(&p, &params(task_eff), &opts, Some(&ctx)).expect("analyses");
-        if wt >= wc {
-            worse += 1;
-        }
-        t1.row([
-            p.name().to_string(),
-            wc.to_string(),
-            wt.to_string(),
-            format!("{:.2}×", wt as f64 / wc as f64),
-        ]);
-    }
-    t1.note(format!(
-        "core-based ≥ task-based on {worse}/{policy_total} tasks; the code-heavy task \
-         (switchy32) is crushed by the 1-way sliver (Suhendra & Mitra's finding (i))"
-    ));
-    println!("{t1}");
-
-    // (ii) Locking modes within a core partition.
-    let mut t2 = Table::new(
-        "E05b — locking mode within a 4-way core partition: per-task WCET",
-        &[
-            "task",
-            "no lock",
-            "static lock (3 ways)",
-            "dynamic lock (3 ways)",
-            "best",
-        ],
-    );
-    let mut dyn_wins = 0usize;
-    // The suite plus the canonical dynamic-locking winner: two sequential
-    // loop nests with disjoint hot tables.
-    let mut tasks: Vec<Program> = suite(0);
-    tasks.push(two_phase(512, 8, Placement::slot(0)));
-    let total_tasks = tasks.len();
-    for p in tasks {
-        let pr = params(core_eff);
-        let none = wcet_unlocked_ctx(&p, &pr, &opts, Some(&ctx)).expect("analyses");
-        let (stat, _) = wcet_static_lock_ctx(&p, &pr, 3, &opts, Some(&ctx)).expect("analyses");
-        let (dynm, _) = wcet_dynamic_lock_ctx(&p, &pr, 3, &opts, Some(&ctx)).expect("analyses");
-        if dynm <= stat {
-            dyn_wins += 1;
-        }
-        let best = if dynm <= stat && dynm <= none {
-            "dynamic"
-        } else if stat <= none {
-            "static"
-        } else {
-            "none"
-        };
-        t2.row([
-            p.name().to_string(),
-            none.to_string(),
-            stat.to_string(),
-            dynm.to_string(),
-            best.to_string(),
-        ]);
-    }
-    t2.note(format!(
-        "dynamic ≤ static on {dyn_wins}/{total_tasks} tasks; the multi-phase workload \
-         (twophase) is where per-region contents pay (finding (ii))"
-    ));
-    println!("{t2}");
-    let s = ctx.stats();
-    println!(
-        "solver context: {} warm-started solves, {} cold (phase 1 runs once per task)",
-        s.warm_hits, s.cold_solves
-    );
+    let _ = wcet_bench::experiments::exp05();
 }

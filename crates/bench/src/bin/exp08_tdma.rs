@@ -1,162 +1,11 @@
 //! E08 (paper §5.2, Rosén et al. \[33\] + Rochange's critique): TDMA bus
 //! scheduling. Offset-precise analysis is exact for single-path programs;
 //! on multi-path programs the offset-state sets explode, forcing the
-//! offset-blind bound — which degrades with slot length.
-
-use wcet_arbiter::{Slot, Tdma};
-use wcet_bench::machine;
-use wcet_cache::config::CacheConfig;
-use wcet_cache::multilevel::{analyze_hierarchy, HierarchyConfig};
-use wcet_core::report::Table;
-use wcet_core::static_ctrl::{
-    offset_state_sizes, tdma_offset_aware_wcet, wcet_unlocked, StaticParams,
-};
-use wcet_core::IpetOptions;
-use wcet_ir::synth::{
-    bsort, crc, random_program, single_path, twin_diamonds, Placement, RandomParams,
-};
-use wcet_pipeline::cost::{block_costs, CoreMode, CostInput};
-use wcet_pipeline::timing::{MemTimings, PipelineConfig};
-
-fn params() -> StaticParams {
-    StaticParams {
-        l1i: CacheConfig::new(32, 2, 16, 1).expect("valid"),
-        l1d: CacheConfig::new(4, 1, 32, 1).expect("valid"),
-        l2: None,
-        timings: MemTimings {
-            l1_hit: 1,
-            l2_hit: None,
-            bus_transfer: 8,
-            mem_latency: 30,
-        },
-        bus_wait_bound: Some(0),
-        pipeline: PipelineConfig::default(),
-        mode: CoreMode::Single,
-    }
-}
+//! offset-blind bound — which degrades with slot length. Body in
+//! [`wcet_bench::experiments::exp08`] — the blind-bound sweep is a
+//! declarative scenario matrix (shared with the in-process `run_all`
+//! driver).
 
 fn main() {
-    let n = 4usize;
-    let transfer = 8u64;
-    let task = single_path(6, 32, Placement::slot(0));
-
-    // (a) Offset-aware vs offset-blind per slot length (single-path task).
-    let mut t1 = Table::new(
-        "E08a — single-path task on a 4-core TDMA bus: bound vs slot length",
-        &[
-            "slot len",
-            "blind wait bound",
-            "blind WCET",
-            "offset-aware WCET",
-            "aware/blind",
-        ],
-    );
-    for slot_len in [transfer, 2 * transfer, 4 * transfer, 8 * transfer] {
-        let slots: Vec<Slot> = (0..n)
-            .map(|owner| Slot {
-                owner,
-                len: slot_len,
-            })
-            .collect();
-        let tdma = Tdma::new(n, slots).expect("valid");
-        let blind_wait = tdma.worst_delay(0, transfer).expect("fits");
-        let mut pr = params();
-        pr.bus_wait_bound = Some(blind_wait);
-        let blind = wcet_unlocked(&task, &pr, &IpetOptions::default()).expect("analyses");
-        let aware = tdma_offset_aware_wcet(&task, &params(), &tdma, 0).expect("analyses");
-        t1.row([
-            slot_len.to_string(),
-            blind_wait.to_string(),
-            blind.to_string(),
-            aware.to_string(),
-            format!("{:.2}×", aware as f64 / blind as f64),
-        ]);
-    }
-    t1.note("the offset-blind bound grows with slot length even though the bandwidth");
-    t1.note("share is constant — Rochange's §5.2 objection to coarse TDMA slots.");
-    println!("{t1}");
-
-    // (b) Offset-state explosion: single-path vs multi-path programs.
-    let mut t2 = Table::new(
-        "E08b — per-block offset-state sets (period 64): path multiplicity",
-        &[
-            "program",
-            "paths",
-            "max offsets/block",
-            "blocks with >1 offset",
-        ],
-    );
-    let period = 64u64;
-    for (p, label) in [
-        (single_path(6, 32, Placement::slot(0)), "single-path"),
-        (crc(24, Placement::slot(0)), "branchy, equal-cost arms"),
-        (bsort(10, Placement::slot(0)), "branchy, unequal arms"),
-        (
-            twin_diamonds(8, Placement::slot(0)),
-            "two sequential diamonds",
-        ),
-        (
-            random_program(3, RandomParams::default(), Placement::slot(0)),
-            "random structured",
-        ),
-    ] {
-        let pr = params();
-        let h = analyze_hierarchy(
-            &p,
-            &HierarchyConfig {
-                l1i: pr.l1i,
-                l1d: pr.l1d,
-                l2: None,
-            },
-        );
-        let input = CostInput {
-            pipeline: pr.pipeline,
-            timings: pr.timings,
-            bus_wait_bound: Some(0),
-            mode: CoreMode::Single,
-        };
-        let costs = block_costs(&p, &h, &input).expect("bounded");
-        let sizes = offset_state_sizes(&p, &costs, period);
-        let max = sizes.values().max().copied().unwrap_or(0);
-        let multi = sizes.values().filter(|&&s| s > 1).count();
-        t2.row([
-            p.name().to_string(),
-            label.to_string(),
-            max.to_string(),
-            format!("{multi}/{}", sizes.len()),
-        ]);
-    }
-    t2.note("single-path code keeps singleton offset sets (Rosén's analysis applies);");
-    t2.note("each branch multiplies the offsets a precise analysis must track.");
-    println!("{t2}");
-
-    // (c) Soundness spot-check of the blind bound on the simulator.
-    let m = {
-        let mut m = machine(n);
-        m.bus.arbiter = wcet_arbiter::ArbiterKind::TdmaEqual {
-            slot_len: transfer + 2,
-        };
-        m
-    };
-    let an = wcet_core::analyzer::Analyzer::new(m.clone());
-    let rep = an.wcet_isolated(&task, 0, 0).expect("analyses");
-    let obs = wcet_core::validate::observe(
-        &m,
-        (0, 0, task),
-        vec![
-            (1, 0, wcet_bench::bully(1)),
-            (2, 0, wcet_bench::bully(2)),
-            (3, 0, wcet_bench::bully(3)),
-        ],
-        rep.wcet,
-        500_000_000,
-    )
-    .expect("runs");
-    assert!(obs.sound());
-    println!(
-        "E08c — blind TDMA bound {} vs observed-with-bullies {} ({:.2}× margin): sound\n",
-        obs.bound,
-        obs.observed,
-        obs.ratio()
-    );
+    let _ = wcet_bench::experiments::exp08();
 }

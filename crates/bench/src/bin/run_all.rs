@@ -13,6 +13,7 @@ use std::time::Instant;
 
 use wcet_bench::experiments::{ExperimentRun, IN_PROCESS};
 use wcet_bench::json::Json;
+use wcet_bench::scenario::{matrix_json, parse_matrix, run_matrix, MatrixOptions};
 use wcet_bench::{comparison_workload, l2_bound_machine, l2_bound_victim, machine};
 use wcet_core::analyzer::Analyzer;
 use wcet_core::engine::{AnalysisEngine, SolverStats};
@@ -114,6 +115,42 @@ fn solver_warm_vs_cold() -> Json {
         ("identical_wcets", Json::from(identical)),
         ("warm", solver_json(&warm)),
     ])
+}
+
+/// The checked-in example matrix (compiled in, so `run_all` works from
+/// any working directory), analysed *and* simulator-validated: scenario
+/// soundness is re-checked on every suite run.
+fn scenario_sweep() -> Json {
+    let matrix =
+        parse_matrix(include_str!("../../../../scenarios/example.scn")).expect("example parses");
+    let start = Instant::now();
+    let run = run_matrix(
+        &matrix,
+        &MatrixOptions {
+            validate: true,
+            ctx: None,
+        },
+    );
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (validated, sound) = run.validation_counts();
+    println!(
+        "scenario sweep `{}`: {} cells ({} duplicates removed), {sound}/{validated} \
+         validated cells sound, {:.1} ms",
+        run.matrix,
+        run.cells.len(),
+        run.duplicates,
+        wall_ms,
+    );
+    assert!(
+        run.soundness_violations().is_empty(),
+        "example matrix produced unsound cells"
+    );
+    let mut doc = match matrix_json(&run) {
+        Json::Obj(map) => map,
+        _ => unreachable!("matrix_json returns an object"),
+    };
+    doc.insert("wall_ms".into(), Json::from(wall_ms));
+    Json::Obj(doc)
 }
 
 fn run_subprocess(exp: &str) -> bool {
@@ -254,13 +291,16 @@ fn main() {
     let comparison = batch_vs_sequential();
     println!("===== solver warm-vs-cold =====");
     let warm_cold = solver_warm_vs_cold();
+    println!("===== scenario sweep =====");
+    let scenarios = scenario_sweep();
 
     let doc = Json::obj([
-        ("schema", Json::from(2_u64)),
+        ("schema", Json::from(3_u64)),
         ("suite", Json::str("wcet-bench run_all")),
         ("experiments", Json::Arr(experiment_json)),
         ("batch_vs_sequential", comparison),
         ("solver_warm_vs_cold", warm_cold),
+        ("scenarios", scenarios),
     ]);
     let out = "BENCH_results.json";
     match std::fs::write(out, format!("{doc}\n")) {

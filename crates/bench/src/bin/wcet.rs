@@ -1,0 +1,175 @@
+//! The `wcet` CLI: declarative scenario matrices from the command line.
+//!
+//! ```text
+//! wcet scenarios list     <spec.scn>                 # expand + dedup, show cells
+//! wcet scenarios run      <spec.scn> [--json P] [--md P]   # analyse every cell
+//! wcet scenarios validate <spec.scn> [--json P] [--md P]   # analyse + simulate
+//! wcet scenarios report   <spec.scn> [--json P] [--md P]   # validate + write
+//! ```
+//!
+//! `run` performs analysis only; `validate` additionally replays every
+//! concrete cell on the cycle-level simulator and exits non-zero if a
+//! sound-by-construction cell breaks its bound; `report` is `validate`
+//! plus default output files (`SCENARIOS.json` / `SCENARIOS.md`).
+
+use std::process::ExitCode;
+
+use wcet_bench::scenario::{matrix_json, matrix_markdown, parse_matrix, run_matrix, MatrixOptions};
+use wcet_core::report::Table;
+
+const USAGE: &str = "usage: wcet scenarios <list|run|validate|report> <spec.scn> \
+                     [--json PATH] [--md PATH]";
+
+struct Args {
+    command: String,
+    spec_path: String,
+    json_out: Option<String>,
+    md_out: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut it = argv.iter();
+    match it.next().map(String::as_str) {
+        Some("scenarios") => {}
+        _ => return Err(USAGE.to_string()),
+    }
+    let command = it.next().ok_or(USAGE)?.clone();
+    if !matches!(command.as_str(), "list" | "run" | "validate" | "report") {
+        return Err(format!("unknown subcommand {command:?}\n{USAGE}"));
+    }
+    let spec_path = it.next().ok_or(USAGE)?.clone();
+    let mut json_out = None;
+    let mut md_out = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => {
+                json_out = Some(
+                    it.next()
+                        .ok_or_else(|| "--json needs a path".to_string())?
+                        .clone(),
+                );
+            }
+            "--md" => {
+                md_out = Some(
+                    it.next()
+                        .ok_or_else(|| "--md needs a path".to_string())?
+                        .clone(),
+                );
+            }
+            _ => return Err(format!("unknown flag {flag:?}\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        command,
+        spec_path,
+        json_out,
+        md_out,
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let src = match std::fs::read_to_string(&args.spec_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.spec_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let matrix = match parse_matrix(&src) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{}: {e}", args.spec_path);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.command == "list" {
+        let cells = matrix.expand();
+        let mut t = Table::new(
+            format!("Scenario matrix `{}` — {} cells", matrix.name, cells.len()),
+            &["cell", "description"],
+        );
+        for c in &cells {
+            t.row([c.name.clone(), c.summary()]);
+        }
+        t.note("duplicates (if any) are removed at run time, by semantic fingerprint.");
+        println!("{t}");
+        return ExitCode::SUCCESS;
+    }
+
+    let validate = matches!(args.command.as_str(), "validate" | "report");
+    let run = run_matrix(
+        &matrix,
+        &MatrixOptions {
+            validate,
+            ctx: None,
+        },
+    );
+    println!("{}", matrix_markdown(&run));
+
+    let json_out = args
+        .json_out
+        .clone()
+        .or_else(|| (args.command == "report").then(|| "SCENARIOS.json".to_string()));
+    let md_out = args
+        .md_out
+        .clone()
+        .or_else(|| (args.command == "report").then(|| "SCENARIOS.md".to_string()));
+    let mut failed = false;
+    if let Some(path) = json_out {
+        match std::fs::write(&path, format!("{}\n", matrix_json(&run))) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = md_out {
+        match std::fs::write(&path, matrix_markdown(&run)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    // A run in which not a single cell produced a bound is a failure —
+    // otherwise a regression that breaks every cell (bad spec value,
+    // analysis error) would keep smoke runs green.
+    let any_bound = run
+        .cells
+        .iter()
+        .any(|c| c.rows.iter().any(|r| r.outcome.is_ok()));
+    if !any_bound {
+        eprintln!("no cell produced a WCET bound — every cell failed to build or analyse");
+        failed = true;
+    }
+    let violations = run.soundness_violations();
+    if validate && !violations.is_empty() {
+        eprintln!(
+            "soundness violations in {} cell(s): {}",
+            violations.len(),
+            violations
+                .iter()
+                .map(|c| c.scenario.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -7,20 +7,32 @@
 //! in-process, time it, and emit `BENCH_results.json` without scraping
 //! stdout. Experiments not yet ported stay subprocess-driven.
 
-use wcet_arbiter::ArbiterKind;
+use std::sync::Arc;
+
+use wcet_arbiter::{ArbiterKind, Slot, Tdma};
 use wcet_cache::config::CacheConfig;
-use wcet_cache::partition::PartitionPlan;
+use wcet_cache::multilevel::{analyze_hierarchy, HierarchyConfig};
+use wcet_cache::partition::{policy_partition, AllocationPolicy, PartitionPlan};
 use wcet_core::analyzer::AnalysisError;
 use wcet_core::engine::{AnalysisEngine, Job, SolverStats};
-use wcet_core::mode::{Footprint, Isolated, JointRefs, Solo};
+use wcet_core::mode::{Isolated, Solo};
 use wcet_core::report::Table;
+use wcet_core::static_ctrl::{offset_state_sizes, tdma_offset_aware_wcet, StaticParams};
 use wcet_core::validate::{observe, run_machine};
-use wcet_ir::synth::{self, matmul, pointer_chase_stride, Placement};
+use wcet_core::SolveContext;
+use wcet_ir::synth::{
+    self, bsort, crc, pointer_chase_stride, random_program, single_path, twin_diamonds, Placement,
+    RandomParams,
+};
 use wcet_ir::Program;
+use wcet_pipeline::cost::{block_costs, CoreMode, CostInput};
 use wcet_pipeline::smt::SmtPolicy;
+use wcet_pipeline::timing::{MemTimings, PipelineConfig};
 use wcet_sim::config::{CoreKind, MachineConfig};
 
-use crate::{bully, l2_bound_machine, l2_bound_victim, machine, suite};
+use crate::scenario::run::{CellOutcome, MatrixOptions, MatrixRun};
+use crate::scenario::{parse_matrix, run_matrix};
+use crate::{bully, machine, suite};
 
 /// One machine-readable measurement: a task analysed under a mode within
 /// a named scenario of an experiment.
@@ -129,93 +141,101 @@ pub fn exp01() -> ExperimentRun {
     }
 }
 
+/// The E02 task-set axis: the victim plus `k` matmul bullies per value
+/// (task *i* lands on core *i*, exactly the old per-experiment layout).
+fn e02_task_axis(ks: &[usize]) -> String {
+    ks.iter()
+        .map(|&k| {
+            let mut tasks = vec!["switchy:16x50x20"];
+            tasks.extend((0..k).map(|_| "matmul:16"));
+            format!("\"{}\"", tasks.join(" "))
+        })
+        .collect::<Vec<_>>()
+        .join(",\n  ")
+}
+
+/// The E02 machine/mode preamble over a given L2 geometry. Only the
+/// victim (task 0) is bounded — the bullies are pure interference
+/// sources, exactly the pre-matrix experiment's shape and cost.
+fn e02_spec(name: &str, l2_geom: &str, ks: &[usize]) -> String {
+    format!(
+        "name = {name}\ncores = 8\nl1i = 8x1x16@1\nl1d = 2x1x32@1\n\
+         l2_geom = {l2_geom}\nmode = joint\nanalyze = victim\ntasks = [\n  {}\n]\n",
+        e02_task_axis(ks)
+    )
+}
+
+/// The victim's bound within one E02 cell (task 0 by construction).
+fn e02_victim(cell: &CellOutcome) -> (u64, String, String) {
+    let r = &cell.rows[0];
+    let b = r.outcome.as_ref().expect("analyses");
+    let hist = b
+        .report
+        .as_ref()
+        .and_then(|rep| rep.l2_hist)
+        .map(|h| format!("{h:?}"))
+        .unwrap_or_default();
+    (b.wcet, r.task.clone(), hist)
+}
+
 /// E02 (paper §4.1, Yan & Zhang; Li et al.): joint analysis of a shared
 /// L2 — WCET inflates with co-runner count; direct-mapped degrades
-/// catastrophically. Footprints and fixpoints come from the engine memo.
+/// catastrophically. Since PR 3 the k-sweep is a declarative scenario
+/// matrix (the co-runner count is the `tasks` axis), run through the
+/// scenario runner with one shared warm-start context.
 ///
 /// # Panics
 ///
-/// Panics if analysis fails.
+/// Panics if the embedded specs fail to parse or analysis fails.
 #[must_use]
 pub fn exp02() -> ExperimentRun {
-    let n = 8;
-    let m = l2_bound_machine(n);
-    let engine = AnalysisEngine::new(m);
-    let victim = l2_bound_victim(0);
-    let bullies: Vec<_> = (1..n as u32)
-        .map(|i| matmul(16, Placement::slot(i)))
-        .collect();
-    let fps: Vec<_> = bullies
-        .iter()
-        .enumerate()
-        .map(|(i, b)| engine.l2_footprint(b, i + 1).expect("analyses"))
-        .collect();
+    let ctx = Arc::new(SolveContext::new());
+    let opts = MatrixOptions {
+        validate: false,
+        ctx: Some(Arc::clone(&ctx)),
+    };
     let mut rows = Vec::new();
 
+    // E02a: 4-way shared L2, k = 0..=7 co-runners.
+    let spec_a = e02_spec("E02a", "64x4x32@4", &[0, 1, 2, 3, 4, 5, 6, 7]);
+    let run_a = run_matrix(&parse_matrix(&spec_a).expect("spec parses"), &opts);
     let mut t = Table::new(
         "E02a — victim WCET vs co-runner count, 4-way shared L2 (64 sets)",
         &["co-runners", "WCET", "vs alone", "L2 (AH,AM,PS,NC)"],
     );
-    let alone = engine
-        .analyze(&victim, 0, 0, &JointRefs(&[]))
-        .expect("analyses")
-        .wcet;
-    for k in 0..=fps.len() {
-        let refs: Vec<&Footprint> = fps[..k].iter().collect();
-        let rep = engine
-            .analyze(&victim, 0, 0, &JointRefs(&refs))
-            .expect("analyses");
+    let alone = e02_victim(&run_a.cells[0]).0;
+    for (k, cell) in run_a.cells.iter().enumerate() {
+        let (wcet, task, hist) = e02_victim(cell);
         t.row([
             k.to_string(),
-            rep.wcet.to_string(),
-            format!("{:.2}×", rep.wcet as f64 / alone as f64),
-            format!("{:?}", rep.l2_hist.expect("has L2")),
+            wcet.to_string(),
+            format!("{:.2}×", wcet as f64 / alone as f64),
+            hist,
         ]);
-        rows.push(row(
-            format!("E02a k={k}"),
-            victim.name(),
-            &rep.mode,
-            rep.wcet,
-        ));
+        rows.push(row(format!("E02a k={k}"), task, "joint", wcet));
     }
     t.note("inflation saturates once interference shifts reach the associativity —");
     t.note("beyond that, every L2 guarantee in a conflicted set is already gone.");
     println!("{t}");
 
-    // Direct-mapped variant (Yan & Zhang's setting): 1 way, same capacity.
-    let mut mdm = l2_bound_machine(n);
-    mdm.l2.as_mut().expect("has L2").cache = CacheConfig::new(256, 1, 32, 4).expect("valid");
-    let engine_dm = AnalysisEngine::new(mdm);
-    let fps_dm: Vec<_> = bullies
-        .iter()
-        .enumerate()
-        .map(|(i, b)| engine_dm.l2_footprint(b, i + 1).expect("analyses"))
-        .collect();
+    // E02b: direct-mapped variant (Yan & Zhang's setting): 1 way, same
+    // capacity.
+    let ks_dm = [0usize, 1, 2, 4, 7];
+    let spec_b = e02_spec("E02b", "256x1x32@4", &ks_dm);
+    let run_b = run_matrix(&parse_matrix(&spec_b).expect("spec parses"), &opts);
     let mut t2 = Table::new(
         "E02b — same, direct-mapped shared L2 (256 sets × 1 way)",
         &["co-runners", "WCET", "vs alone"],
     );
-    let alone_dm = engine_dm
-        .analyze(&victim, 0, 0, &JointRefs(&[]))
-        .expect("analyses")
-        .wcet;
-    for k in [0usize, 1, 2, 4, 7] {
-        let kk = k.min(fps_dm.len());
-        let refs: Vec<&Footprint> = fps_dm[..kk].iter().collect();
-        let rep = engine_dm
-            .analyze(&victim, 0, 0, &JointRefs(&refs))
-            .expect("analyses");
+    let alone_dm = e02_victim(&run_b.cells[0]).0;
+    for (&k, cell) in ks_dm.iter().zip(&run_b.cells) {
+        let (wcet, task, _) = e02_victim(cell);
         t2.row([
             k.to_string(),
-            rep.wcet.to_string(),
-            format!("{:.2}×", rep.wcet as f64 / alone_dm as f64),
+            wcet.to_string(),
+            format!("{:.2}×", wcet as f64 / alone_dm as f64),
         ]);
-        rows.push(row(
-            format!("E02b k={k}"),
-            victim.name(),
-            &rep.mode,
-            rep.wcet,
-        ));
+        rows.push(row(format!("E02b k={k}"), task, "joint", wcet));
     }
     t2.note("direct-mapped: a single conflicting line kills the whole set (ways = 1),");
     t2.note("so degradation hits its ceiling with the very first co-runner.");
@@ -224,7 +244,360 @@ pub fn exp02() -> ExperimentRun {
         id: "exp02_shared_l2",
         title: "joint analysis of a shared L2",
         rows,
-        solver: solver_totals([&engine, &engine_dm]),
+        solver: matrix_solver(&[&run_a, &run_b]),
+    }
+}
+
+/// Folds several matrix runs that shared one `SolveContext` into a
+/// single [`SolverStats`]: the context's warm/cold counters are
+/// cumulative (take the last run's view), pivot totals add up.
+fn matrix_solver(runs: &[&MatrixRun]) -> SolverStats {
+    let last = runs.last().expect("at least one run");
+    let mut totals = wcet_ilp::SolveStats::default();
+    for r in runs {
+        totals.absorb(&r.solver.totals);
+    }
+    SolverStats {
+        warm_hits: last.solver.warm_hits,
+        cold_solves: last.solver.cold_solves,
+        totals,
+    }
+}
+
+/// The E05 kernel axis: the standard suite plus `extra`.
+fn e05_tasks(extra: &str) -> String {
+    [
+        "matmul:8",
+        "fir:6x24",
+        "crc:48",
+        "bsort:10",
+        "switchy:8x40x8",
+        "spath:6x40",
+        "chase:64x200",
+        extra,
+    ]
+    .join(", ")
+}
+
+/// The per-cell bound of a single-task E05 cell.
+fn e05_wcet(cell: &CellOutcome) -> (u64, String) {
+    let r = &cell.rows[0];
+    (r.outcome.as_ref().expect("analyses").wcet, r.task.clone())
+}
+
+/// E05 (paper §4.2, Suhendra & Mitra): locking × partitioning design
+/// space. Expected shape: (i) core-based partitioning beats task-based
+/// when tasks outnumber cores; (ii) dynamic locking beats static locking
+/// when loop nests have different hot sets. Since PR 3 both sweeps are
+/// declarative scenario matrices (the effective cache is the `l2_geom`
+/// axis, the lock mode is the `mode` axis) sharing one warm-start
+/// context.
+///
+/// # Panics
+///
+/// Panics if the embedded specs fail to parse or analysis fails.
+#[must_use]
+pub fn exp05() -> ExperimentRun {
+    let base_l2 = CacheConfig::new(64, 8, 32, 4).expect("valid");
+    let (n_cores, n_tasks) = (2, 8);
+    let (_, core_eff) =
+        policy_partition(&base_l2, AllocationPolicy::CoreBased, n_cores, n_tasks).expect("fits");
+    let (_, task_eff) =
+        policy_partition(&base_l2, AllocationPolicy::TaskBased, n_cores, n_tasks).expect("fits");
+    let ctx = Arc::new(SolveContext::new());
+    let opts = MatrixOptions {
+        validate: false,
+        ctx: Some(Arc::clone(&ctx)),
+    };
+    let mut rows = Vec::new();
+    let preamble = "cores = 2\nl1i = 8x1x16@1\nl1d = 2x1x32@1\n";
+
+    // (i) Core-based vs task-based partitioning: the per-task effective
+    // cache is the whole core share (core-based, tasks run sequentially
+    // on their core) vs a 1/n_tasks sliver (task-based).
+    let spec_a = format!(
+        "name = E05a\n{preamble}l2_geom = [{}, {}]\nmode = static-ctrl\ntasks = [{}]\n",
+        core_eff.spec(),
+        task_eff.spec(),
+        e05_tasks("switchy:32x40x40"),
+    );
+    let run_a = run_matrix(&parse_matrix(&spec_a).expect("spec parses"), &opts);
+    let policy_total = run_a.cells.len() / 2;
+    let mut t1 = Table::new(
+        "E05a — allocation policy (8 tasks on 2 cores, 8-way L2): per-task WCET",
+        &[
+            "task",
+            "core-based (4 ways)",
+            "task-based (1 way)",
+            "task-based penalty",
+        ],
+    );
+    let mut worse = 0usize;
+    for i in 0..policy_total {
+        let (wc, task) = e05_wcet(&run_a.cells[i]);
+        let (wt, _) = e05_wcet(&run_a.cells[policy_total + i]);
+        if wt >= wc {
+            worse += 1;
+        }
+        t1.row([
+            task.clone(),
+            wc.to_string(),
+            wt.to_string(),
+            format!("{:.2}×", wt as f64 / wc as f64),
+        ]);
+        rows.push(row("E05a core-based", task.clone(), "static-ctrl", wc));
+        rows.push(row("E05a task-based", task, "static-ctrl", wt));
+    }
+    t1.note(format!(
+        "core-based ≥ task-based on {worse}/{policy_total} tasks; the code-heavy task \
+         (switchy32) is crushed by the 1-way sliver (Suhendra & Mitra's finding (i))"
+    ));
+    println!("{t1}");
+
+    // (ii) Locking modes within a core partition.
+    let spec_b = format!(
+        "name = E05b\n{preamble}l2_geom = {}\n\
+         mode = [static-ctrl, static-lock:3, dynamic-lock:3]\ntasks = [{}]\n",
+        core_eff.spec(),
+        e05_tasks("twophase:512x8"),
+    );
+    let run_b = run_matrix(&parse_matrix(&spec_b).expect("spec parses"), &opts);
+    let total_tasks = run_b.cells.len() / 3;
+    let mut t2 = Table::new(
+        "E05b — locking mode within a 4-way core partition: per-task WCET",
+        &[
+            "task",
+            "no lock",
+            "static lock (3 ways)",
+            "dynamic lock (3 ways)",
+            "best",
+        ],
+    );
+    let mut dyn_wins = 0usize;
+    for i in 0..total_tasks {
+        let (none, task) = e05_wcet(&run_b.cells[i]);
+        let (stat, _) = e05_wcet(&run_b.cells[total_tasks + i]);
+        let (dynm, _) = e05_wcet(&run_b.cells[2 * total_tasks + i]);
+        if dynm <= stat {
+            dyn_wins += 1;
+        }
+        let best = if dynm <= stat && dynm <= none {
+            "dynamic"
+        } else if stat <= none {
+            "static"
+        } else {
+            "none"
+        };
+        t2.row([
+            task.clone(),
+            none.to_string(),
+            stat.to_string(),
+            dynm.to_string(),
+            best.to_string(),
+        ]);
+        rows.push(row("E05b no lock", task.clone(), "static-ctrl", none));
+        rows.push(row("E05b static lock", task.clone(), "static-lock:3", stat));
+        rows.push(row("E05b dynamic lock", task, "dynamic-lock:3", dynm));
+    }
+    t2.note(format!(
+        "dynamic ≤ static on {dyn_wins}/{total_tasks} tasks; the multi-phase workload \
+         (twophase) is where per-region contents pay (finding (ii))"
+    ));
+    println!("{t2}");
+    let s = ctx.stats();
+    println!(
+        "solver context: {} warm-started solves, {} cold (phase 1 runs once per task)",
+        s.warm_hits, s.cold_solves
+    );
+    ExperimentRun {
+        id: "exp05_partition_lock",
+        title: "locking × partitioning design space",
+        rows,
+        solver: matrix_solver(&[&run_a, &run_b]),
+    }
+}
+
+/// The E08 blind-bound parameters, shared with the offset-aware walk.
+fn e08_params() -> StaticParams {
+    StaticParams {
+        l1i: CacheConfig::new(32, 2, 16, 1).expect("valid"),
+        l1d: CacheConfig::new(4, 1, 32, 1).expect("valid"),
+        l2: None,
+        timings: MemTimings {
+            l1_hit: 1,
+            l2_hit: None,
+            bus_transfer: 8,
+            mem_latency: 30,
+        },
+        bus_wait_bound: Some(0),
+        pipeline: PipelineConfig::default(),
+        mode: CoreMode::Single,
+    }
+}
+
+/// E08 (paper §5.2, Rosén et al. + Rochange's critique): TDMA bus
+/// scheduling. Offset-precise analysis is exact for single-path
+/// programs; on multi-path programs the offset-state sets explode,
+/// forcing the offset-blind bound — which degrades with slot length.
+/// Since PR 3 the blind-bound sweep is a declarative scenario matrix
+/// (the slot length is the `arbiter` axis); the offset-aware column and
+/// the state-explosion measurement stay bespoke.
+///
+/// # Panics
+///
+/// Panics if the embedded spec fails to parse, analysis/simulation
+/// fails, or the soundness spot-check breaks.
+#[must_use]
+pub fn exp08() -> ExperimentRun {
+    let n = 4usize;
+    let transfer = 8u64;
+    let task = single_path(6, 32, Placement::slot(0));
+    let slot_lens = [transfer, 2 * transfer, 4 * transfer, 8 * transfer];
+    let mut rows = Vec::new();
+
+    // (a) Offset-aware vs offset-blind per slot length (single-path
+    // task): the blind bound comes from the matrix (the machine-derived
+    // bus bound of a TDMA cell *is* the offset-blind wait).
+    let arbiter_axis: Vec<String> = slot_lens.iter().map(|s| format!("tdma:{s}")).collect();
+    let spec = format!(
+        "name = E08a\ncores = 4\nl1i = 32x2x16@1\nl1d = 4x1x32@1\nl2 = none\n\
+         arbiter = [{}]\nmode = static-ctrl\ntasks = spath:6x32\n",
+        arbiter_axis.join(", ")
+    );
+    let run = run_matrix(
+        &parse_matrix(&spec).expect("spec parses"),
+        &MatrixOptions::default(),
+    );
+    let mut t1 = Table::new(
+        "E08a — single-path task on a 4-core TDMA bus: bound vs slot length",
+        &[
+            "slot len",
+            "blind wait bound",
+            "blind WCET",
+            "offset-aware WCET",
+            "aware/blind",
+        ],
+    );
+    for (&slot_len, cell) in slot_lens.iter().zip(&run.cells) {
+        let slots: Vec<Slot> = (0..n)
+            .map(|owner| Slot {
+                owner,
+                len: slot_len,
+            })
+            .collect();
+        let tdma = Tdma::new(n, slots).expect("valid");
+        let blind_wait = tdma.worst_delay(0, transfer).expect("fits");
+        let blind = cell.rows[0].outcome.as_ref().expect("analyses").wcet;
+        let aware = tdma_offset_aware_wcet(&task, &e08_params(), &tdma, 0).expect("analyses");
+        t1.row([
+            slot_len.to_string(),
+            blind_wait.to_string(),
+            blind.to_string(),
+            aware.to_string(),
+            format!("{:.2}×", aware as f64 / blind as f64),
+        ]);
+        rows.push(row(
+            format!("E08a slot={slot_len} blind"),
+            task.name(),
+            "static-ctrl",
+            blind,
+        ));
+        rows.push(row(
+            format!("E08a slot={slot_len} aware"),
+            task.name(),
+            "tdma-offset-aware",
+            aware,
+        ));
+    }
+    t1.note("the offset-blind bound grows with slot length even though the bandwidth");
+    t1.note("share is constant — Rochange's §5.2 objection to coarse TDMA slots.");
+    println!("{t1}");
+
+    // (b) Offset-state explosion: single-path vs multi-path programs.
+    let mut t2 = Table::new(
+        "E08b — per-block offset-state sets (period 64): path multiplicity",
+        &[
+            "program",
+            "paths",
+            "max offsets/block",
+            "blocks with >1 offset",
+        ],
+    );
+    let period = 64u64;
+    for (p, label) in [
+        (single_path(6, 32, Placement::slot(0)), "single-path"),
+        (crc(24, Placement::slot(0)), "branchy, equal-cost arms"),
+        (bsort(10, Placement::slot(0)), "branchy, unequal arms"),
+        (
+            twin_diamonds(8, Placement::slot(0)),
+            "two sequential diamonds",
+        ),
+        (
+            random_program(3, RandomParams::default(), Placement::slot(0)),
+            "random structured",
+        ),
+    ] {
+        let pr = e08_params();
+        let h = analyze_hierarchy(
+            &p,
+            &HierarchyConfig {
+                l1i: pr.l1i,
+                l1d: pr.l1d,
+                l2: None,
+            },
+        );
+        let input = CostInput {
+            pipeline: pr.pipeline,
+            timings: pr.timings,
+            bus_wait_bound: Some(0),
+            mode: CoreMode::Single,
+        };
+        let costs = block_costs(&p, &h, &input).expect("bounded");
+        let sizes = offset_state_sizes(&p, &costs, period);
+        let max = sizes.values().max().copied().unwrap_or(0);
+        let multi = sizes.values().filter(|&&s| s > 1).count();
+        t2.row([
+            p.name().to_string(),
+            label.to_string(),
+            max.to_string(),
+            format!("{multi}/{}", sizes.len()),
+        ]);
+    }
+    t2.note("single-path code keeps singleton offset sets (Rosén's analysis applies);");
+    t2.note("each branch multiplies the offsets a precise analysis must track.");
+    println!("{t2}");
+
+    // (c) Soundness spot-check of the blind bound on the simulator.
+    let m = {
+        let mut m = machine(n);
+        m.bus.arbiter = ArbiterKind::TdmaEqual {
+            slot_len: transfer + 2,
+        };
+        m
+    };
+    let an = wcet_core::analyzer::Analyzer::new(m.clone());
+    let rep = an.wcet_isolated(&task, 0, 0).expect("analyses");
+    let obs = observe(
+        &m,
+        (0, 0, task.clone()),
+        vec![(1, 0, bully(1)), (2, 0, bully(2)), (3, 0, bully(3))],
+        rep.wcet,
+        500_000_000,
+    )
+    .expect("runs");
+    assert!(obs.sound());
+    println!(
+        "E08c — blind TDMA bound {} vs observed-with-bullies {} ({:.2}× margin): sound\n",
+        obs.bound,
+        obs.observed,
+        obs.ratio()
+    );
+    rows.push(row("E08c spot-check", task.name(), "isolated", rep.wcet));
+    ExperimentRun {
+        id: "exp08_tdma",
+        title: "TDMA bus scheduling",
+        rows,
+        solver: matrix_solver(&[&run]),
     }
 }
 
@@ -461,6 +834,8 @@ pub fn exp12() -> ExperimentRun {
 pub const IN_PROCESS: &[(&str, Runner)] = &[
     ("exp01_singlecore", exp01),
     ("exp02_shared_l2", exp02),
+    ("exp05_partition_lock", exp05),
+    ("exp08_tdma", exp08),
     ("exp11_isolation", exp11),
     ("exp12_unsafe_solo", exp12),
 ];

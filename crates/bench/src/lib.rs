@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod json;
+pub mod scenario;
 
 use wcet_cache::config::CacheConfig;
 use wcet_ir::synth::{self, Placement};

@@ -1,0 +1,23 @@
+//! The declarative scenario subsystem (the growth engine for "as many
+//! scenarios as you can imagine"):
+//!
+//! * [`spec`] — the `key = value` matrix format, [`ScenarioMatrix`]
+//!   parsing, and cross-product expansion into concrete [`Scenario`]s;
+//! * [`run`] — fingerprint deduplication, batch analysis through
+//!   [`wcet_core::AnalysisEngine`] (one shared warm-start context across
+//!   every machine of the batch) and the statically-controlled path, and
+//!   cycle-level cross-validation on `wcet-sim`;
+//! * [`report`] — the structured JSON report and the rendered Markdown
+//!   table.
+//!
+//! The `wcet` binary (`wcet scenarios list|run|validate|report`) is the
+//! CLI over this module; `exp02`/`exp05`/`exp08` are thin wrappers over
+//! embedded matrix specs.
+
+pub mod report;
+pub mod run;
+pub mod spec;
+
+pub use report::{matrix_json, matrix_markdown};
+pub use run::{run_matrix, CellOutcome, MatrixOptions, MatrixRun, TaskRow};
+pub use spec::{parse_matrix, L2Layout, ModeSpec, Scenario, ScenarioMatrix, SpecError};

@@ -1,0 +1,253 @@
+//! Structured reporting of a matrix run: a machine-readable JSON
+//! document (`wcet scenarios` schema 1) and a rendered Markdown table.
+
+use wcet_core::report::Table;
+use wcet_core::validate::Observation;
+
+use super::run::{CellOutcome, MatrixRun};
+use crate::json::Json;
+
+/// The JSON schema version of [`matrix_json`] documents.
+pub const SCHEMA: u64 = 1;
+
+fn fingerprint_hex(fp: (u64, u64)) -> String {
+    format!("{:016x}{:016x}", fp.0, fp.1)
+}
+
+fn observation_json(task: &str, obs: &Observation) -> Json {
+    Json::obj([
+        ("task", Json::str(task)),
+        ("observed", Json::from(obs.observed)),
+        ("bound", Json::from(obs.bound)),
+        ("sound", Json::from(obs.sound())),
+        ("ratio", Json::from(obs.ratio())),
+    ])
+}
+
+fn cell_json(cell: &CellOutcome) -> Json {
+    let scn = &cell.scenario;
+    let rows = cell
+        .rows
+        .iter()
+        .map(|r| {
+            let mut pairs = vec![
+                ("task", Json::str(&r.task)),
+                ("core", Json::from(r.core)),
+                ("thread", Json::from(r.thread)),
+                ("mode", Json::str(&r.mode)),
+            ];
+            match &r.outcome {
+                Ok(bound) => pairs.push(("wcet", Json::from(bound.wcet))),
+                Err(e) => pairs.push(("error", Json::str(e))),
+            }
+            Json::obj(pairs)
+        })
+        .collect();
+    let validation = match &cell.validation {
+        Some(v) => Json::obj([
+            ("all_sound", Json::from(v.all_sound)),
+            (
+                "rows",
+                Json::Arr(
+                    cell.rows
+                        .iter()
+                        .zip(&v.observations)
+                        .map(|(r, obs)| observation_json(&r.task, obs))
+                        .collect(),
+                ),
+            ),
+        ]),
+        None => Json::Null,
+    };
+    Json::obj([
+        ("name", Json::str(&scn.name)),
+        ("fingerprint", Json::str(fingerprint_hex(cell.fingerprint))),
+        ("cores", Json::from(scn.cores)),
+        (
+            "smt",
+            scn.smt_threads
+                .map_or(Json::Null, |t| Json::from(u64::from(t))),
+        ),
+        ("arbiter", Json::str(scn.arbiter.spec())),
+        (
+            "l2",
+            match scn.l2_geom {
+                Some(g) => Json::str(format!("{}@{}", scn.l2_layout.label(), g.spec())),
+                None => Json::str("none"),
+            },
+        ),
+        ("mode", Json::str(scn.mode.label())),
+        ("analyze", Json::str(scn.analyze.label())),
+        (
+            "tasks",
+            Json::Arr(scn.tasks.iter().map(Json::str).collect()),
+        ),
+        ("error", cell.error.as_ref().map_or(Json::Null, Json::str)),
+        ("rows", Json::Arr(rows)),
+        ("validation", validation),
+        (
+            "validation_skipped",
+            cell.validation_skipped
+                .as_ref()
+                .map_or(Json::Null, Json::str),
+        ),
+    ])
+}
+
+/// Serializes a whole run as the `wcet scenarios` schema-1 JSON document.
+#[must_use]
+pub fn matrix_json(run: &MatrixRun) -> Json {
+    let (validated, sound) = run.validation_counts();
+    Json::obj([
+        ("schema", Json::from(SCHEMA)),
+        ("suite", Json::str("wcet scenarios")),
+        ("matrix", Json::str(&run.matrix)),
+        (
+            "cells",
+            Json::Arr(run.cells.iter().map(cell_json).collect()),
+        ),
+        ("cells_total", Json::from(run.cells.len())),
+        ("duplicates", Json::from(run.duplicates)),
+        ("validated_cells", Json::from(validated)),
+        ("sound_cells", Json::from(sound)),
+        (
+            "solver",
+            Json::obj([
+                ("warm_hits", Json::from(run.solver.warm_hits)),
+                ("cold_solves", Json::from(run.solver.cold_solves)),
+                ("pivots", Json::from(run.solver.totals.pivots)),
+                ("phase1_skips", Json::from(run.solver.totals.phase1_skips)),
+            ]),
+        ),
+    ])
+}
+
+/// Renders a run as a Markdown document: a summary key/value table plus
+/// one row per (cell, task).
+#[must_use]
+pub fn matrix_markdown(run: &MatrixRun) -> String {
+    let (validated, sound) = run.validation_counts();
+    let summary = Table::kv(
+        format!("Scenario matrix `{}` — summary", run.matrix),
+        [
+            ("cells", run.cells.len().to_string()),
+            ("duplicates removed", run.duplicates.to_string()),
+            ("validated", validated.to_string()),
+            ("sound", format!("{sound}/{validated}")),
+            (
+                "solver warm/cold",
+                format!("{}/{}", run.solver.warm_hits, run.solver.cold_solves),
+            ),
+        ],
+    );
+
+    let mut t = Table::new(
+        format!("Scenario matrix `{}` — cells", run.matrix),
+        &[
+            "cell",
+            "machine",
+            "mode",
+            "task@slot",
+            "WCET",
+            "observed",
+            "bound/observed",
+            "sound",
+        ],
+    );
+    for cell in &run.cells {
+        let scn = &cell.scenario;
+        let machine = format!(
+            "{}c{} {} l2={}",
+            scn.cores,
+            scn.smt_threads
+                .map(|th| format!("x{th}t"))
+                .unwrap_or_default(),
+            scn.arbiter.spec(),
+            match scn.l2_geom {
+                Some(g) => format!("{}@{}", scn.l2_layout.label(), g.spec()),
+                None => "none".into(),
+            },
+        );
+        if let Some(e) = &cell.error {
+            t.row([
+                scn.name.clone(),
+                machine,
+                scn.mode.label(),
+                "—".into(),
+                format!("error: {e}"),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+            ]);
+            continue;
+        }
+        for (i, row) in cell.rows.iter().enumerate() {
+            let obs = cell.validation.as_ref().and_then(|v| v.observations.get(i));
+            let (wcet, observed, ratio, sound_cell) = match (&row.outcome, obs) {
+                (Ok(b), Some(o)) => (
+                    b.wcet.to_string(),
+                    o.observed.to_string(),
+                    format!("{:.2}×", o.ratio()),
+                    if o.sound() { "yes" } else { "NO" }.to_string(),
+                ),
+                (Ok(b), None) => (
+                    b.wcet.to_string(),
+                    "—".into(),
+                    "—".into(),
+                    cell.validation_skipped
+                        .as_deref()
+                        .map_or("—", |_| "skipped")
+                        .to_string(),
+                ),
+                (Err(e), _) => (format!("error: {e}"), "—".into(), "—".into(), "—".into()),
+            };
+            t.row([
+                scn.name.clone(),
+                machine.clone(),
+                row.mode.clone(),
+                format!("{}@{}.{}", row.task, row.core, row.thread),
+                wcet,
+                observed,
+                ratio,
+                sound_cell,
+            ]);
+        }
+    }
+    for violation in run.soundness_violations() {
+        t.note(format!(
+            "SOUNDNESS VIOLATION: {} ({})",
+            violation.scenario.name,
+            violation.scenario.summary()
+        ));
+    }
+    format!("{summary}\n{t}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::run::{run_matrix, MatrixOptions};
+    use crate::scenario::spec::parse_matrix;
+
+    #[test]
+    fn json_and_markdown_render_a_small_run() {
+        let m = parse_matrix("name = tiny\nmode = [isolated, solo]\ntasks = fir:2x4\n")
+            .expect("parses");
+        let run = run_matrix(
+            &m,
+            &MatrixOptions {
+                validate: true,
+                ctx: None,
+            },
+        );
+        assert_eq!(run.cells.len(), 2);
+        let doc = matrix_json(&run).to_string();
+        assert!(doc.contains("\"schema\":1"));
+        assert!(doc.contains("\"matrix\":\"tiny\""));
+        assert!(doc.contains("\"all_sound\":true"));
+        let md = matrix_markdown(&run);
+        assert!(md.contains("Scenario matrix `tiny` — cells"));
+        assert!(md.contains("isolated"));
+        assert!(!md.contains("SOUNDNESS VIOLATION"));
+    }
+}

@@ -1,0 +1,689 @@
+//! The scenario-matrix runner: builds each cell's machine and task set,
+//! deduplicates cells by semantic fingerprint, analyses every task
+//! through [`AnalysisEngine`] (engines share one warm-start
+//! [`SolveContext`] across the whole batch, so objective-only neighbour
+//! cells skip simplex phase 1) or the [`wcet_core::static_ctrl`] path,
+//! and cross-validates each concrete cell on the `wcet-sim` cycle-level
+//! machine via [`wcet_core::validate::observe_all`].
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use wcet_cache::bypass::single_usage_lines;
+use wcet_cache::lock::select_static;
+use wcet_cache::partition::PartitionPlan;
+use wcet_core::engine::{AnalysisEngine, SolverStats};
+use wcet_core::fingerprint::{debug_fingerprint, program_fingerprint};
+use wcet_core::mode::{Footprint, Isolated, JointRefs, Solo};
+use wcet_core::static_ctrl::{
+    wcet_dynamic_lock_ctx, wcet_static_lock_ctx, wcet_unlocked_ctx, StaticParams,
+};
+use wcet_core::validate::{observe_all, Observation};
+use wcet_core::{IpetOptions, SolveContext, WcetReport};
+use wcet_ir::synth::{parse_kernel, Placement};
+use wcet_ir::Program;
+use wcet_sched::TaskSet;
+use wcet_sim::config::{L2Config, MachineConfig};
+
+use super::spec::{AnalyzeSpec, L2Layout, ModeSpec, Scenario, ScenarioMatrix};
+
+/// Options of one matrix run.
+#[derive(Debug, Default)]
+pub struct MatrixOptions {
+    /// Replay every concrete cell on the cycle-level simulator and record
+    /// per-task [`Observation`]s.
+    pub validate: bool,
+    /// An external warm-start context: pass one context to several runs
+    /// (as the ported experiment drivers do) to share cached bases across
+    /// matrices. `None` creates a fresh context for this run.
+    ///
+    /// Note the context's warm/cold counters are cumulative across
+    /// everything it served, so [`MatrixRun::solver`] reflects the
+    /// context's lifetime when shared.
+    pub ctx: Option<Arc<SolveContext>>,
+}
+
+/// A concrete, buildable cell: machine + programs + placement.
+#[derive(Debug, Clone)]
+pub struct BuiltScenario {
+    /// The machine description shared by analysis and simulation.
+    pub machine: MachineConfig,
+    /// One program per task, placed at address slot = task index.
+    pub programs: Vec<Program>,
+    /// `(core, thread)` per task.
+    pub placement: Vec<(usize, usize)>,
+}
+
+/// One task's analysis outcome within a cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskRow {
+    /// Program name.
+    pub task: String,
+    /// Core index.
+    pub core: usize,
+    /// Hardware-thread index.
+    pub thread: usize,
+    /// Mode label (from [`ModeSpec::label`]).
+    pub mode: String,
+    /// The WCET bound, or the per-task analysis error.
+    pub outcome: Result<TaskBound, String>,
+}
+
+/// A successful per-task bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskBound {
+    /// The WCET bound in cycles.
+    pub wcet: u64,
+    /// The full engine report (engine-family modes only; the
+    /// statically-controlled path reports the bound alone).
+    pub report: Option<WcetReport>,
+}
+
+/// The simulator cross-check of one cell: all tasks loaded together, one
+/// observation per task against its own bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellValidation {
+    /// Per-task observations, aligned with the cell's rows.
+    pub observations: Vec<Observation>,
+    /// True if every observation satisfied `observed <= bound`.
+    pub all_sound: bool,
+}
+
+/// One cell's complete outcome.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The cell description.
+    pub scenario: Scenario,
+    /// Semantic fingerprint (machine + placed task contents + mode), the
+    /// deduplication key.
+    pub fingerprint: (u64, u64),
+    /// Per-task analysis rows (empty when the cell failed to build).
+    pub rows: Vec<TaskRow>,
+    /// Simulator cross-check, when run.
+    pub validation: Option<CellValidation>,
+    /// Why validation was skipped, when it was.
+    pub validation_skipped: Option<String>,
+    /// Build failure (unplaceable tasks, inconsistent machine…).
+    pub error: Option<String>,
+}
+
+impl CellOutcome {
+    /// True if every task row carries a bound.
+    #[must_use]
+    pub fn all_bounded(&self) -> bool {
+        self.error.is_none() && self.rows.iter().all(|r| r.outcome.is_ok())
+    }
+}
+
+/// The outcome of a whole matrix run.
+#[derive(Debug)]
+pub struct MatrixRun {
+    /// Matrix name.
+    pub matrix: String,
+    /// Unique cells, in expansion order.
+    pub cells: Vec<CellOutcome>,
+    /// Cells dropped because an earlier cell had the same fingerprint.
+    pub duplicates: usize,
+    /// Aggregated solver effort: warm/cold counters from the (possibly
+    /// shared) context, pivot totals summed over the run's engines. The
+    /// statically-controlled path contributes to the warm/cold counters
+    /// but keeps its per-solve pivot counts to itself.
+    pub solver: SolverStats,
+}
+
+impl MatrixRun {
+    /// Counts `(validated, sound)` cells.
+    #[must_use]
+    pub fn validation_counts(&self) -> (usize, usize) {
+        let validated = self.cells.iter().filter(|c| c.validation.is_some()).count();
+        let sound = self
+            .cells
+            .iter()
+            .filter(|c| c.validation.as_ref().is_some_and(|v| v.all_sound))
+            .count();
+        (validated, sound)
+    }
+
+    /// Cells that were validated, were expected to be sound (every mode
+    /// but multi-task `solo`), and broke their bound anyway — a soundness
+    /// bug if non-empty.
+    #[must_use]
+    pub fn soundness_violations(&self) -> Vec<&CellOutcome> {
+        self.cells
+            .iter()
+            .filter(|c| {
+                c.validation.as_ref().is_some_and(|v| !v.all_sound)
+                    && c.scenario.mode.expected_sound(c.scenario.tasks.len())
+            })
+            .collect()
+    }
+}
+
+/// Builds a cell's machine, programs and placement.
+///
+/// # Errors
+///
+/// Returns a human-readable description for unbuildable cells (more
+/// tasks than hardware threads, partition over-commit, arbiter/requester
+/// mismatch…).
+pub fn build_scenario(scn: &Scenario) -> Result<BuiltScenario, String> {
+    let programs: Vec<Program> = scn
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| parse_kernel(spec, Placement::slot(i as u32)))
+        .collect::<Result<_, _>>()?;
+
+    // Placement: round-robin over cores (the validated TaskSet builder),
+    // then hardware threads for the overflow.
+    let set = TaskSet::round_robin(programs.iter().map(|p| p.name().to_string()), scn.cores);
+    let threads_per_core = scn.smt_threads.unwrap_or(1) as usize;
+    let placement: Vec<(usize, usize)> = set
+        .ids()
+        .enumerate()
+        .map(|(i, id)| (set.task(id).core, i / scn.cores))
+        .collect();
+    if let Some(&(core, thread)) = placement.iter().find(|&&(_, t)| t >= threads_per_core) {
+        return Err(format!(
+            "unplaceable: {} tasks need thread {thread} of core {core}, but cores have \
+             {threads_per_core} hardware thread(s)",
+            programs.len()
+        ));
+    }
+
+    let mut machine = match scn.smt_threads {
+        Some(t) => MachineConfig::symmetric_smt(scn.cores, t),
+        None => MachineConfig::symmetric(scn.cores),
+    };
+    for core in &mut machine.cores {
+        core.l1i = scn.l1i;
+        core.l1d = scn.l1d;
+    }
+    machine.bus.transfer = scn.bus_transfer;
+    machine.bus.arbiter = scn.arbiter.clone();
+    machine.memory = wcet_arbiter::MemoryKind::Predictable {
+        latency: scn.mem_latency,
+    };
+    machine.l2 = match scn.l2_geom {
+        None => None,
+        Some(geom) => {
+            let mut l2 = L2Config::plain(geom);
+            match scn.l2_layout {
+                L2Layout::Shared => {}
+                L2Layout::Partitioned => {
+                    l2.partition = PartitionPlan::even_columns(&geom, scn.cores as u32)
+                        .map_err(|e| format!("partitioned L2: {e}"))?;
+                }
+                L2Layout::Locked { ways } => {
+                    for p in &programs {
+                        l2.locked.extend(select_static(p, &geom, ways).lines);
+                    }
+                }
+                L2Layout::Bypass => {
+                    for p in &programs {
+                        l2.bypass.extend(single_usage_lines(p, &geom).lines);
+                    }
+                }
+            }
+            Some(l2)
+        }
+    };
+
+    // Arbiter/requester consistency (`ArbiterKind::build` would panic).
+    let slots = machine.total_threads();
+    match &machine.bus.arbiter {
+        wcet_arbiter::ArbiterKind::Mbba { weights, .. } if weights.len() != slots => {
+            return Err(format!(
+                "mbba needs one weight per hardware thread: {} weights for {slots} threads",
+                weights.len()
+            ));
+        }
+        wcet_arbiter::ArbiterKind::FixedPriority { hrt } if *hrt >= slots => {
+            return Err(format!(
+                "fixed-priority HRT index {hrt} out of range for {slots} threads"
+            ));
+        }
+        wcet_arbiter::ArbiterKind::Tdma { slots: table } => {
+            if let Some(&(owner, _)) = table.iter().find(|&&(owner, _)| owner >= slots) {
+                return Err(format!(
+                    "tdma-table slot owner {owner} out of range for {slots} threads"
+                ));
+            }
+        }
+        _ => {}
+    }
+
+    Ok(BuiltScenario {
+        machine,
+        programs,
+        placement,
+    })
+}
+
+/// The deduplication fingerprint: machine description, placed task
+/// contents, and mode label (the label carries the mode parameters).
+fn cell_fingerprint(scn: &Scenario, built: Option<&BuiltScenario>) -> (u64, u64) {
+    match built {
+        Some(b) => {
+            let task_fps: Vec<(u64, u64)> = b.programs.iter().map(program_fingerprint).collect();
+            debug_fingerprint(&(
+                &b.machine,
+                &b.placement,
+                scn.mode.label(),
+                scn.analyze,
+                task_fps,
+                scn.cycle_limit,
+            ))
+        }
+        // Unbuildable cells: fingerprint the raw description (sans name).
+        None => debug_fingerprint(&(
+            scn.cores,
+            scn.smt_threads,
+            &scn.arbiter,
+            scn.bus_transfer,
+            scn.mem_latency,
+            scn.l1i,
+            scn.l1d,
+            scn.l2_geom,
+            scn.l2_layout,
+            scn.mode,
+            scn.analyze,
+            &scn.tasks,
+        )),
+    }
+}
+
+/// Runs one expanded matrix: dedup → analysis → (optional) validation.
+#[must_use]
+pub fn run_matrix(matrix: &ScenarioMatrix, opts: &MatrixOptions) -> MatrixRun {
+    let ctx = opts
+        .ctx
+        .clone()
+        .unwrap_or_else(|| Arc::new(SolveContext::new()));
+    let ipet = IpetOptions::default();
+    let mut engines: HashMap<(u64, u64), Arc<AnalysisEngine>> = HashMap::new();
+    let mut seen: HashSet<(u64, u64)> = HashSet::new();
+    let mut cells = Vec::new();
+    let mut duplicates = 0usize;
+
+    for scn in matrix.expand() {
+        let built = build_scenario(&scn);
+        let fingerprint = cell_fingerprint(&scn, built.as_ref().ok());
+        if !seen.insert(fingerprint) {
+            duplicates += 1;
+            continue;
+        }
+        let built = match built {
+            Ok(b) => b,
+            Err(e) => {
+                cells.push(CellOutcome {
+                    scenario: scn,
+                    fingerprint,
+                    rows: Vec::new(),
+                    validation: None,
+                    validation_skipped: None,
+                    error: Some(e),
+                });
+                continue;
+            }
+        };
+
+        let rows = if scn.mode.is_static_family() {
+            analyze_static(&scn, &built, &ipet, &ctx)
+        } else {
+            let machine_fp = debug_fingerprint(&built.machine);
+            let engine = engines.entry(machine_fp).or_insert_with(|| {
+                Arc::new(
+                    AnalysisEngine::new(built.machine.clone()).with_solve_context(Arc::clone(&ctx)),
+                )
+            });
+            analyze_engine(&scn, &built, engine)
+        };
+
+        let mut outcome = CellOutcome {
+            scenario: scn,
+            fingerprint,
+            rows,
+            validation: None,
+            validation_skipped: None,
+            error: None,
+        };
+        if opts.validate {
+            validate_cell(&built, &mut outcome);
+        }
+        cells.push(outcome);
+    }
+
+    let mut totals = wcet_ilp::SolveStats::default();
+    for engine in engines.values() {
+        totals.absorb(&engine.solver_stats().totals);
+    }
+    let ctx_stats = ctx.stats();
+    MatrixRun {
+        matrix: matrix.name.clone(),
+        cells,
+        duplicates,
+        solver: SolverStats {
+            warm_hits: ctx_stats.warm_hits,
+            cold_solves: ctx_stats.cold_solves,
+            totals,
+        },
+    }
+}
+
+/// The task indices a cell analyses: all of them, or just the victim.
+fn analyzed_range(scn: &Scenario, built: &BuiltScenario) -> std::ops::Range<usize> {
+    match scn.analyze {
+        AnalyzeSpec::All => 0..built.programs.len(),
+        AnalyzeSpec::Victim => 0..1.min(built.programs.len()),
+    }
+}
+
+/// Engine-family analysis (`solo` / `isolated` / `joint`) of the cell's
+/// analysed tasks.
+fn analyze_engine(scn: &Scenario, built: &BuiltScenario, engine: &AnalysisEngine) -> Vec<TaskRow> {
+    // Joint mode: each task is analysed against the footprints of every
+    // *other* task in the cell (including non-analysed ones).
+    let footprints: Vec<Option<Footprint>> = if scn.mode == ModeSpec::Joint {
+        built
+            .programs
+            .iter()
+            .zip(&built.placement)
+            .map(|(p, &(core, _))| engine.l2_footprint(p, core).ok())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    analyzed_range(scn, built)
+        .map(|i| {
+            let p = &built.programs[i];
+            let (core, thread) = built.placement[i];
+            let result = match scn.mode {
+                ModeSpec::Solo => engine.analyze(p, core, thread, &Solo),
+                ModeSpec::Isolated => engine.analyze(p, core, thread, &Isolated),
+                ModeSpec::Joint => {
+                    let refs: Vec<&Footprint> = footprints
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .filter_map(|(_, fp)| fp.as_ref())
+                        .collect();
+                    engine.analyze(p, core, thread, &JointRefs(&refs))
+                }
+                _ => unreachable!("static modes route through analyze_static"),
+            };
+            TaskRow {
+                task: p.name().to_string(),
+                core,
+                thread,
+                mode: scn.mode.label(),
+                outcome: result
+                    .map(|report| TaskBound {
+                        wcet: report.wcet,
+                        report: Some(report),
+                    })
+                    .map_err(|e| e.to_string()),
+            }
+        })
+        .collect()
+}
+
+/// Statically-controlled analysis (`static-ctrl` / lock modes) of every
+/// task, with machine-derived [`StaticParams`].
+fn analyze_static(
+    scn: &Scenario,
+    built: &BuiltScenario,
+    ipet: &IpetOptions,
+    ctx: &SolveContext,
+) -> Vec<TaskRow> {
+    analyzed_range(scn, built)
+        .map(|i| {
+            let p = &built.programs[i];
+            let (core, thread) = built.placement[i];
+            let wcet = StaticParams::from_machine(&built.machine, core, thread)
+                .and_then(|params| match scn.mode {
+                    ModeSpec::StaticCtrl => wcet_unlocked_ctx(p, &params, ipet, Some(ctx)),
+                    ModeSpec::StaticLock { ways } => {
+                        if params.l2.is_none() {
+                            return Err(missing_l2(scn));
+                        }
+                        wcet_static_lock_ctx(p, &params, ways, ipet, Some(ctx)).map(|(w, _)| w)
+                    }
+                    ModeSpec::DynamicLock { ways } => {
+                        if params.l2.is_none() {
+                            return Err(missing_l2(scn));
+                        }
+                        wcet_dynamic_lock_ctx(p, &params, ways, ipet, Some(ctx)).map(|(w, _)| w)
+                    }
+                    _ => unreachable!("engine modes route through analyze_engine"),
+                })
+                .map_err(|e| e.to_string());
+            TaskRow {
+                task: p.name().to_string(),
+                core,
+                thread,
+                mode: scn.mode.label(),
+                outcome: wcet.map(|wcet| TaskBound { wcet, report: None }),
+            }
+        })
+        .collect()
+}
+
+fn missing_l2(scn: &Scenario) -> wcet_core::AnalysisError {
+    wcet_core::AnalysisError::Unanalysable(format!(
+        "{} needs an L2 (cell has l2 = none)",
+        scn.mode.label()
+    ))
+}
+
+/// Replays the cell on the simulator, or records why it cannot be.
+fn validate_cell(built: &BuiltScenario, outcome: &mut CellOutcome) {
+    if outcome.scenario.mode.is_lock_mode() {
+        outcome.validation_skipped = Some(
+            "lock contents are an analysis assumption the simulated machine does not load"
+                .to_string(),
+        );
+        return;
+    }
+    // One watched slot per analysed row; every task is loaded regardless
+    // (non-analysed tasks are pure interference sources).
+    let watched: Vec<(usize, usize, u64)> = match outcome
+        .rows
+        .iter()
+        .map(|r| r.outcome.as_ref().map(|b| (r.core, r.thread, b.wcet)))
+        .collect::<Result<_, _>>()
+    {
+        Ok(w) => w,
+        Err(e) => {
+            outcome.validation_skipped = Some(format!("unbounded row: {e}"));
+            return;
+        }
+    };
+    let loads: Vec<(usize, usize, Program)> = built
+        .placement
+        .iter()
+        .zip(&built.programs)
+        .map(|(&(core, thread), p)| (core, thread, p.clone()))
+        .collect();
+    match observe_all(
+        &built.machine,
+        loads,
+        &watched,
+        outcome.scenario.cycle_limit,
+    ) {
+        Ok(observations) => {
+            let all_sound = observations.iter().all(Observation::sound);
+            outcome.validation = Some(CellValidation {
+                observations,
+                all_sound,
+            });
+        }
+        Err(e) => outcome.validation_skipped = Some(format!("simulation failed: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::spec::parse_matrix;
+
+    #[test]
+    fn duplicate_cells_are_dropped_by_fingerprint() {
+        // `l2 = none` makes the geometry irrelevant, so both l2_geom
+        // values collapse to the same machine — one cell survives.
+        let m = parse_matrix(
+            "name = dup\nl2_geom = [64x4x32@4, 128x4x32@4]\nl2 = none\ntasks = fir:2x4\n",
+        )
+        .expect("parses");
+        assert_eq!(m.num_cells(), 2);
+        let run = run_matrix(&m, &MatrixOptions::default());
+        assert_eq!(run.cells.len(), 1);
+        assert_eq!(run.duplicates, 1);
+    }
+
+    #[test]
+    fn unplaceable_cells_fail_independently() {
+        let m = parse_matrix("name = tight\ncores = 1\ntasks = [\"fir:2x4 crc:16\", fir:2x4]\n")
+            .expect("parses");
+        let run = run_matrix(
+            &m,
+            &MatrixOptions {
+                validate: true,
+                ctx: None,
+            },
+        );
+        assert_eq!(run.cells.len(), 2);
+        assert!(run.cells[0]
+            .error
+            .as_ref()
+            .expect("unplaceable")
+            .contains("unplaceable"));
+        assert!(run.cells[1].error.is_none());
+        assert!(
+            run.cells[1]
+                .validation
+                .as_ref()
+                .expect("validated")
+                .all_sound
+        );
+    }
+
+    #[test]
+    fn smt_overflow_placement_works() {
+        // 3 tasks on 2 cores need a second hardware thread on core 0.
+        let m =
+            parse_matrix("name = smt\ncores = 2\nsmt = 2\ntasks = \"fir:2x4 crc:16 bsort:4\"\n")
+                .expect("parses");
+        let run = run_matrix(
+            &m,
+            &MatrixOptions {
+                validate: true,
+                ctx: None,
+            },
+        );
+        let cell = &run.cells[0];
+        assert!(cell.error.is_none(), "{:?}", cell.error);
+        let placements: Vec<(usize, usize)> =
+            cell.rows.iter().map(|r| (r.core, r.thread)).collect();
+        assert_eq!(placements, vec![(0, 0), (1, 0), (0, 1)]);
+        assert!(cell.all_bounded());
+        assert!(cell.validation.as_ref().expect("validated").all_sound);
+    }
+
+    #[test]
+    fn victim_mode_bounds_only_task_zero_and_still_validates() {
+        let m = parse_matrix(
+            "name = v\ncores = 2\nmode = joint\nanalyze = victim\n\
+             tasks = \"fir:2x4 crc:16\"\n",
+        )
+        .expect("parses");
+        let run = run_matrix(
+            &m,
+            &MatrixOptions {
+                validate: true,
+                ctx: None,
+            },
+        );
+        let cell = &run.cells[0];
+        assert_eq!(cell.rows.len(), 1, "victim mode bounds one task");
+        assert_eq!(cell.rows[0].task, "fir2x4");
+        let v = cell.validation.as_ref().expect("validated");
+        assert_eq!(v.observations.len(), 1);
+        assert!(v.all_sound);
+        // The victim's joint bound equals the all-tasks run's first row:
+        // analyze=victim changes what is *bounded*, never the bound.
+        let m_all = parse_matrix("name = v\ncores = 2\nmode = joint\ntasks = \"fir:2x4 crc:16\"\n")
+            .expect("parses");
+        let run_all = run_matrix(&m_all, &MatrixOptions::default());
+        assert_eq!(
+            cell.rows[0].outcome.as_ref().expect("bounded").wcet,
+            run_all.cells[0].rows[0]
+                .outcome
+                .as_ref()
+                .expect("bounded")
+                .wcet
+        );
+    }
+
+    #[test]
+    fn oversubscribed_locked_layout_stays_sound() {
+        // The locked-union regression: two tasks each locking 2 ways of a
+        // tiny 2-way L2 over-commit every set; the analysis must mirror
+        // the machine's first-come lock rule, not assume the whole union.
+        let m = parse_matrix(
+            "name = lockfull\ncores = 2\nl2_geom = 4x2x32@4\nl2 = locked:2\n\
+             mode = isolated\ntasks = \"spath:2x200 spath:2x200\"\n",
+        )
+        .expect("parses");
+        let run = run_matrix(
+            &m,
+            &MatrixOptions {
+                validate: true,
+                ctx: None,
+            },
+        );
+        let cell = &run.cells[0];
+        assert!(cell.error.is_none(), "{:?}", cell.error);
+        let v = cell.validation.as_ref().expect("validated");
+        assert!(
+            v.all_sound,
+            "over-committed locked layout broke soundness: {:?}",
+            v.observations
+        );
+    }
+
+    #[test]
+    fn tdma_table_owner_out_of_range_fails_the_cell() {
+        let m = parse_matrix("name = t\ncores = 2\narbiter = tdma-table:2@8\ntasks = fir:2x4\n")
+            .expect("parses");
+        let run = run_matrix(&m, &MatrixOptions::default());
+        assert!(run.cells[0]
+            .error
+            .as_ref()
+            .expect("bad owner must fail the cell, not panic")
+            .contains("out of range"));
+    }
+
+    #[test]
+    fn lock_modes_are_analysis_only() {
+        let m = parse_matrix(
+            "name = lock\nl2_geom = 64x4x32@4\nmode = static-lock:2\ntasks = bsort:8\n",
+        )
+        .expect("parses");
+        let run = run_matrix(
+            &m,
+            &MatrixOptions {
+                validate: true,
+                ctx: None,
+            },
+        );
+        let cell = &run.cells[0];
+        assert!(cell.all_bounded());
+        assert!(cell.validation.is_none());
+        assert!(cell
+            .validation_skipped
+            .as_ref()
+            .expect("skipped")
+            .contains("analysis"));
+    }
+}

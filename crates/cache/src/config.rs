@@ -26,6 +26,9 @@ pub enum ConfigError {
     BadWays(u32),
     /// Line size must be a non-zero power of two.
     BadLineBytes(u32),
+    /// A geometry spec string (see the [`FromStr`](std::str::FromStr)
+    /// impl on [`CacheConfig`]) did not match `SETSxWAYSxLINE[@LATENCY]`.
+    BadSpec(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -35,6 +38,12 @@ impl fmt::Display for ConfigError {
             ConfigError::BadWays(w) => write!(f, "way count {w} must be non-zero"),
             ConfigError::BadLineBytes(l) => {
                 write!(f, "line size {l} is not a non-zero power of two")
+            }
+            ConfigError::BadSpec(s) => {
+                write!(
+                    f,
+                    "cache spec {s:?} does not match SETSxWAYSxLINE[@LATENCY]"
+                )
             }
         }
     }
@@ -146,6 +155,43 @@ impl CacheConfig {
     pub fn with_sets(&self, sets: u32) -> Result<CacheConfig, ConfigError> {
         CacheConfig::new(sets, self.ways, self.line_bytes, self.hit_latency)
     }
+
+    /// The compact spec form `SETSxWAYSxLINE@LATENCY` (e.g. `64x4x32@4`),
+    /// the inverse of the [`FromStr`](std::str::FromStr) parser used by
+    /// declarative scenario files.
+    #[must_use]
+    pub fn spec(&self) -> String {
+        format!(
+            "{}x{}x{}@{}",
+            self.sets, self.ways, self.line_bytes, self.hit_latency
+        )
+    }
+}
+
+/// Parses the compact geometry spec `SETSxWAYSxLINE[@LATENCY]` (latency
+/// defaults to 1), e.g. `64x4x32@4` = 64 sets, 4 ways, 32-byte lines,
+/// 4-cycle hits.
+impl std::str::FromStr for CacheConfig {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<CacheConfig, ConfigError> {
+        let bad = || ConfigError::BadSpec(s.to_string());
+        let (geom, lat) = match s.split_once('@') {
+            Some((geom, lat)) => (geom, lat.trim().parse::<u32>().map_err(|_| bad())?),
+            None => (s, 1),
+        };
+        let mut dims = geom.split('x');
+        let mut next = || -> Result<u32, ConfigError> {
+            dims.next()
+                .and_then(|d| d.trim().parse::<u32>().ok())
+                .ok_or_else(bad)
+        };
+        let (sets, ways, line) = (next()?, next()?, next()?);
+        if dims.next().is_some() {
+            return Err(bad());
+        }
+        CacheConfig::new(sets, ways, line, lat)
+    }
 }
 
 impl fmt::Display for CacheConfig {
@@ -208,6 +254,30 @@ mod tests {
             c.lines_of_range(Addr(30), 4),
             vec![LineAddr(0), LineAddr(1)]
         );
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let c = CacheConfig::new(64, 4, 32, 4).expect("valid");
+        assert_eq!(c.spec(), "64x4x32@4");
+        assert_eq!(c.spec().parse::<CacheConfig>().expect("parses"), c);
+        // Latency defaults to 1.
+        let d: CacheConfig = "16x2x32".parse().expect("parses");
+        assert_eq!(d, CacheConfig::new(16, 2, 32, 1).expect("valid"));
+        for bad in [
+            "",
+            "64",
+            "64x4",
+            "64x4x32x7",
+            "ax4x32",
+            "64x4x32@",
+            "64x0x32",
+        ] {
+            assert!(
+                bad.parse::<CacheConfig>().is_err(),
+                "{bad:?} must not parse"
+            );
+        }
     }
 
     #[test]

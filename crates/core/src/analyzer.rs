@@ -238,7 +238,27 @@ impl Analyzer {
                 .expect("machine partition covers every core"),
         };
         let mut input = AnalysisInput::level1(effective, LevelKind::Unified);
-        input.locked = l2.locked.clone();
+        // Mirror the concrete cache's lock rule exactly: lines are pinned
+        // first-come in sorted order, at most `ways` per set, and each
+        // pinned line consumes one way of the set's unlocked capacity.
+        // Assuming more (overflow lines always-hit, or full associativity
+        // left for unlocked lines) would be optimistic — i.e. unsound.
+        let mut locked_per_set = vec![0u32; effective.sets() as usize];
+        for &line in &l2.locked {
+            let set = effective.set_of(line) as usize;
+            if locked_per_set[set] < effective.ways() {
+                locked_per_set[set] += 1;
+                input.locked.insert(line);
+            }
+        }
+        if locked_per_set.iter().any(|&n| n > 0) {
+            input.set_ways = Some(
+                locked_per_set
+                    .iter()
+                    .map(|&n| effective.ways() - n)
+                    .collect(),
+            );
+        }
         input.bypass = l2.bypass.clone();
         input.interference_shift = shift;
         Some(input)

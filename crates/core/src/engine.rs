@@ -12,7 +12,7 @@
 //!
 //! * **Memoization** — shared intermediates are cached keyed by
 //!   `(task fingerprint, effective cache geometry, interference)`:
-//!   hierarchy fixpoints by [`HierKey`]-equivalence, block costs and IPET
+//!   hierarchy fixpoints by `HierKey`-equivalence, block costs and IPET
 //!   bounds additionally by the bus bound and core mode. Two modes that
 //!   induce the same effective context (e.g. `solo` and `isolated` on a
 //!   partitioned L2) share everything but the report label.
@@ -213,8 +213,11 @@ pub struct AnalysisEngine {
     bound_stats: TableStats,
     /// Warm-start basis cache threaded through every IPET solve. Keyed
     /// by task content only, so it survives `with_options` (options
-    /// change the solve, never the constraint system the basis is for).
-    solve_ctx: SolveContext,
+    /// change the solve, never the constraint system the basis is for)
+    /// and can be shared across engines (the constraint system is
+    /// machine-independent, so a scenario sweep over many machines still
+    /// warm-starts every re-solve of a known task).
+    solve_ctx: Arc<SolveContext>,
     solver_totals: Mutex<SolveStats>,
 }
 
@@ -238,9 +241,23 @@ impl AnalysisEngine {
             hier_stats: TableStats::default(),
             cost_stats: TableStats::default(),
             bound_stats: TableStats::default(),
-            solve_ctx: SolveContext::new(),
+            solve_ctx: Arc::new(SolveContext::new()),
             solver_totals: Mutex::new(SolveStats::default()),
         }
+    }
+
+    /// Replaces the warm-start context with a shared one (builder-style).
+    /// Several engines — e.g. one per machine of a scenario matrix — can
+    /// then feed one basis cache: results are unchanged (warm starts are
+    /// bit-identical by construction), only the pivot bill shrinks.
+    ///
+    /// Note that [`AnalysisEngine::solver_stats`] reports the *context's*
+    /// warm/cold counters, which become shared too; aggregate them once
+    /// per shared context, not per engine.
+    #[must_use]
+    pub fn with_solve_context(mut self, ctx: Arc<SolveContext>) -> AnalysisEngine {
+        self.solve_ctx = ctx;
+        self
     }
 
     /// Overrides the IPET options (builder-style). Clears the memo: bounds
@@ -602,6 +619,28 @@ mod tests {
             &AnalysisError::Unbounded
         );
         assert_eq!(results[2].as_ref().expect("ok").task, b.name());
+    }
+
+    #[test]
+    fn shared_context_warm_starts_across_engines() {
+        // Two engines over *different* machines share one basis cache:
+        // the task's flow system is machine-independent, so the second
+        // engine's first solve is already warm — and both bounds equal
+        // their sequential counterparts.
+        let ctx = Arc::new(SolveContext::new());
+        let m1 = MachineConfig::symmetric(2);
+        let mut m2 = MachineConfig::symmetric(2);
+        m2.l2 = None;
+        let e1 = AnalysisEngine::new(m1.clone()).with_solve_context(Arc::clone(&ctx));
+        let e2 = AnalysisEngine::new(m2.clone()).with_solve_context(Arc::clone(&ctx));
+        let p = fir(4, 8, Placement::slot(0));
+        let r1 = e1.analyze(&p, 0, 0, &Isolated).expect("analyses");
+        let r2 = e2.analyze(&p, 0, 0, &Isolated).expect("analyses");
+        assert_eq!(r1, Analyzer::new(m1).wcet_isolated(&p, 0, 0).expect("ok"));
+        assert_eq!(r2, Analyzer::new(m2).wcet_isolated(&p, 0, 0).expect("ok"));
+        let stats = ctx.stats();
+        assert_eq!(stats.cold_solves, 1);
+        assert_eq!(stats.warm_hits, 1);
     }
 
     #[test]

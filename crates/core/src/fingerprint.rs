@@ -1,5 +1,5 @@
-//! Program content fingerprinting, shared by the engine memo tables and
-//! the IPET warm-start context.
+//! Content fingerprinting, shared by the engine memo tables, the IPET
+//! warm-start context and the scenario matrix deduplicator.
 
 use std::hash::{DefaultHasher, Hash, Hasher};
 
@@ -16,21 +16,57 @@ impl std::fmt::Write for HashWriter<'_> {
     }
 }
 
-/// 128-bit structural fingerprint of a program (name + full content), so
-/// memo entries never alias distinct tasks that happen to share a name.
-/// Two independently-seeded 64-bit digests of the Debug rendering: a
-/// collision between distinct programs needs both halves to collide
-/// (~2⁻¹²⁸ per pair), which is below any practical concern — the memo
-/// never stores enough entries to make a birthday attack on 128 bits
-/// relevant.
-pub(crate) fn program_fingerprint(program: &Program) -> (u64, u64) {
+/// 128-bit structural fingerprint of any `Debug`-rendered value. Two
+/// independently-seeded 64-bit digests of the rendering: a collision
+/// between distinct values needs both halves to collide (~2⁻¹²⁸ per
+/// pair), which is below any practical concern for memo tables and
+/// scenario deduplication.
+///
+/// The fingerprint is only as discriminating as the type's `Debug`
+/// output: values whose rendering elides state hash as equal.
+#[must_use]
+pub fn debug_fingerprint<T: std::fmt::Debug + ?Sized>(value: &T) -> (u64, u64) {
     use std::fmt::Write as _;
     let mut h1 = DefaultHasher::new();
     let mut h2 = DefaultHasher::new();
     h2.write_u64(0x9e37_79b9_7f4a_7c15); // domain-separate the second half
     for h in [&mut h1, &mut h2] {
+        write!(HashWriter(h), "{value:?}").expect("hashing never fails");
+    }
+    (h1.finish(), h2.finish())
+}
+
+/// 128-bit structural fingerprint of a program (name + full content), so
+/// memo entries never alias distinct tasks that happen to share a name.
+#[must_use]
+pub fn program_fingerprint(program: &Program) -> (u64, u64) {
+    use std::fmt::Write as _;
+    let mut h1 = DefaultHasher::new();
+    let mut h2 = DefaultHasher::new();
+    h2.write_u64(0x9e37_79b9_7f4a_7c15);
+    for h in [&mut h1, &mut h2] {
         program.name().hash(h);
         write!(HashWriter(h), "{program:?}").expect("hashing never fails");
     }
     (h1.finish(), h2.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcet_ir::synth::{fir, Placement};
+
+    #[test]
+    fn fingerprints_discriminate_and_repeat() {
+        let a = fir(4, 8, Placement::slot(0));
+        let b = fir(4, 8, Placement::slot(1));
+        assert_eq!(program_fingerprint(&a), program_fingerprint(&a));
+        assert_ne!(
+            program_fingerprint(&a),
+            program_fingerprint(&b),
+            "placement is content"
+        );
+        assert_eq!(debug_fingerprint("x"), debug_fingerprint("x"));
+        assert_ne!(debug_fingerprint("x"), debug_fingerprint("y"));
+    }
 }

@@ -45,6 +45,22 @@ impl Table {
         self.notes.push(note.into());
         self
     }
+
+    /// A two-column key/value summary table (used by the scenario CLI for
+    /// run summaries).
+    #[must_use]
+    pub fn kv<K, V, I>(title: impl Into<String>, pairs: I) -> Table
+    where
+        K: Into<String>,
+        V: Into<String>,
+        I: IntoIterator<Item = (K, V)>,
+    {
+        let mut t = Table::new(title, &["key", "value"]);
+        for (k, v) in pairs {
+            t.row([k.into(), v.into()]);
+        }
+        t
+    }
 }
 
 impl fmt::Display for Table {
@@ -111,6 +127,14 @@ mod tests {
     fn row_length_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(["only-one".into()]);
+    }
+
+    #[test]
+    fn kv_table() {
+        let t = Table::kv("Summary", [("cells", "24"), ("sound", "24/24")]);
+        let s = t.to_string();
+        assert!(s.contains("| cells | 24    |"));
+        assert!(s.contains("| sound | 24/24 |"));
     }
 
     #[test]

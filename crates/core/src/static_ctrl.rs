@@ -16,7 +16,9 @@ use wcet_ir::{BlockId, Program};
 use wcet_pipeline::cost::{block_costs, BlockCosts, CoreMode, CostInput};
 use wcet_pipeline::timing::{MemTimings, PipelineConfig};
 
-use crate::analyzer::AnalysisError;
+use wcet_sim::config::MachineConfig;
+
+use crate::analyzer::{AnalysisError, Analyzer};
 use crate::ipet::{wcet_ipet, wcet_ipet_ctx, IpetOptions, SolveContext};
 
 /// One IPET solve, warm-started through `ctx` when provided. Sweep
@@ -57,6 +59,41 @@ pub struct StaticParams {
 }
 
 impl StaticParams {
+    /// Derives a task's statically-controlled parameters from a machine
+    /// description, exactly as [`crate::analyzer::Analyzer`] would see the
+    /// task at `(core, thread)`: effective (partition-sliced) cache
+    /// geometries, the memory timing ladder, and the arbiter's
+    /// workload-independent bus bound. This is how scenario matrices
+    /// route their `static-ctrl` / lock-mode cells through one shared
+    /// machine description.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`] — notably `Unanalysable` for cores without a
+    /// sound per-thread model and `Unbounded` when the arbiter cannot
+    /// bound this requester. (An unbounded bus is an error here because a
+    /// statically-controlled study charges a finite wait per transaction.)
+    pub fn from_machine(
+        machine: &MachineConfig,
+        core: usize,
+        thread: usize,
+    ) -> Result<StaticParams, AnalysisError> {
+        let analyzer = Analyzer::new(machine.clone());
+        let ctx = analyzer.task_context(core, thread, Vec::new(), None)?;
+        if ctx.bus_wait_bound.is_none() {
+            return Err(AnalysisError::Unbounded);
+        }
+        Ok(StaticParams {
+            l1i: ctx.l1i,
+            l1d: ctx.l1d,
+            l2: ctx.l2.as_ref().map(|input| input.cache),
+            timings: ctx.timings,
+            bus_wait_bound: ctx.bus_wait_bound,
+            pipeline: machine.pipeline,
+            mode: ctx.mode,
+        })
+    }
+
     fn hierarchy_with_l2(&self, l2_input: Option<AnalysisInput>) -> HierarchyConfig {
         HierarchyConfig {
             l1i: self.l1i,
@@ -426,6 +463,48 @@ mod tests {
             pipeline: PipelineConfig::default(),
             mode: CoreMode::Single,
         }
+    }
+
+    #[test]
+    fn from_machine_matches_hand_built_params() {
+        // The exp05 machine shape: two scalar cores with tiny L1s over a
+        // shared 4-way L2, a round-robin bus (bound N·L−1 = 15) and a
+        // 30-cycle predictable memory.
+        let mut m = MachineConfig::symmetric(2);
+        for c in &mut m.cores {
+            c.l1i = CacheConfig::new(8, 1, 16, 1).expect("valid");
+            c.l1d = CacheConfig::new(2, 1, 32, 1).expect("valid");
+        }
+        m.l2.as_mut().expect("has L2").cache = CacheConfig::new(64, 4, 32, 4).expect("valid");
+        let derived = StaticParams::from_machine(&m, 0, 0).expect("derives");
+        assert_eq!(derived.l1i, CacheConfig::new(8, 1, 16, 1).expect("valid"));
+        assert_eq!(derived.l1d, CacheConfig::new(2, 1, 32, 1).expect("valid"));
+        assert_eq!(
+            derived.l2,
+            Some(CacheConfig::new(64, 4, 32, 4).expect("valid"))
+        );
+        assert_eq!(derived.bus_wait_bound, Some(2 * 8 - 1));
+        assert_eq!(
+            derived.timings,
+            MemTimings {
+                l1_hit: 1,
+                l2_hit: Some(4),
+                bus_transfer: 8,
+                mem_latency: 30,
+            }
+        );
+        assert_eq!(derived.mode, CoreMode::Single);
+        // And the derived parameters drive the same unlocked analysis.
+        let p = bsort(10, Placement::slot(0));
+        let direct = wcet_unlocked(&p, &derived, &IpetOptions::default()).expect("analyses");
+        assert!(direct > 0);
+        // An arbiter that cannot bound the requester is an error.
+        let mut unbounded = m.clone();
+        unbounded.bus.arbiter = wcet_arbiter::ArbiterKind::FixedPriority { hrt: 0 };
+        assert_eq!(
+            StaticParams::from_machine(&unbounded, 1, 0).unwrap_err(),
+            AnalysisError::Unbounded
+        );
     }
 
     fn tdma2(slot_len: u64) -> Tdma {

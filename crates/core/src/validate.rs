@@ -51,6 +51,34 @@ pub fn run_machine(
     m.run(cycle_limit)
 }
 
+/// Runs *all* `loads` of one concrete scenario together in a single
+/// simulation and observes each `watched` slot `(core, thread, bound)`
+/// against its own analysed bound.
+///
+/// This is the scenario-matrix validation primitive: one simulation run
+/// yields a soundness/tightness verdict per analysed cell row, with
+/// every loaded task acting as a co-runner of every other — including
+/// co-runners that were loaded but not analysed (interference sources).
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+pub fn observe_all(
+    config: &MachineConfig,
+    loads: Vec<(usize, usize, Program)>,
+    watched: &[(usize, usize, u64)],
+    cycle_limit: u64,
+) -> Result<Vec<Observation>, SimError> {
+    let result = run_machine(config, loads, cycle_limit)?;
+    Ok(watched
+        .iter()
+        .map(|&(core, thread, bound)| Observation {
+            observed: result.cycles(core, thread),
+            bound,
+        })
+        .collect())
+}
+
 /// Runs the task under test at `(core, thread)` together with co-runners,
 /// returning its observation against `bound`.
 ///
@@ -121,6 +149,59 @@ mod tests {
             obs.bound
         );
         assert!(obs.ratio() >= 1.0);
+    }
+
+    #[test]
+    fn observe_all_matches_per_task_observations() {
+        let machine = MachineConfig::symmetric(2);
+        let an = Analyzer::new(machine.clone());
+        let a = fir(4, 8, Placement::slot(0));
+        let b = crc(24, Placement::slot(1));
+        let ba = an.wcet_isolated(&a, 0, 0).expect("analyses").wcet;
+        let bb = an.wcet_isolated(&b, 1, 0).expect("analyses").wcet;
+        let all = observe_all(
+            &machine,
+            vec![(0, 0, a.clone()), (1, 0, b.clone())],
+            &[(0, 0, ba), (1, 0, bb)],
+            100_000_000,
+        )
+        .expect("runs");
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().all(Observation::sound));
+        // The joint run is one simulation; each task's observation equals
+        // what `observe` reports with the other task as its co-runner.
+        let solo_a = observe(&machine, (0, 0, a), vec![(1, 0, b)], ba, 100_000_000).expect("runs");
+        assert_eq!(all[0], solo_a);
+    }
+
+    #[test]
+    fn oversubscribed_locked_lines_stay_sound() {
+        // More locked lines than a tiny L2 has ways: the machine pins
+        // only the first `ways` per set (sorted order), so the analysis
+        // must neither count overflow lines as always-hit nor leave full
+        // associativity to the unlocked lines.
+        let mut machine = MachineConfig::symmetric(1);
+        {
+            let l2 = machine.l2.as_mut().expect("has L2");
+            l2.cache = wcet_cache::config::CacheConfig::new(4, 2, 32, 4).expect("valid");
+            // 3 lines per set on a 2-way cache: one overflow line per set.
+            for set in 0..4u64 {
+                for way in 0..3u64 {
+                    l2.locked
+                        .insert(wcet_cache::config::LineAddr(way * 4 + set));
+                }
+            }
+        }
+        let an = Analyzer::new(machine.clone());
+        let p = crc(24, Placement::slot(0));
+        let rep = an.wcet_isolated(&p, 0, 0).expect("analyses");
+        let obs = observe(&machine, (0, 0, p), vec![], rep.wcet, 100_000_000).expect("runs");
+        assert!(
+            obs.sound(),
+            "oversubscribed locks broke soundness: {} > {}",
+            obs.observed,
+            obs.bound
+        );
     }
 
     #[test]

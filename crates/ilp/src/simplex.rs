@@ -9,7 +9,7 @@
 //!   working state is the basis, an explicit `B⁻¹` maintained by
 //!   product-form pivots, and the basic solution `x_B = B⁻¹b`.
 //! * Pricing is Dantzig (most-positive reduced cost) with a **Bland
-//!   fallback** that engages after [`BLAND_STREAK`] consecutive
+//!   fallback** that engages after `BLAND_STREAK` consecutive
 //!   degenerate pivots and disengages only on a strict objective
 //!   improvement. Termination: an infinite pivot sequence would have an
 //!   infinite all-degenerate tail, in which the fallback engages

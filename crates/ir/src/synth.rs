@@ -907,6 +907,141 @@ pub fn two_phase(words: u32, iters: u32, place: Placement) -> Program {
     p
 }
 
+/// Instantiates a generator from the compact kernel spec used by
+/// declarative scenario files: `NAME:ARGS` with `x`-separated integer
+/// arguments.
+///
+/// | spec | generator |
+/// |---|---|
+/// | `matmul:N` | [`matmul`] |
+/// | `fir:TAPSxSAMPLES` | [`fir`] |
+/// | `crc:LEN` | [`crc`] |
+/// | `bsort:N` | [`bsort`] |
+/// | `switchy:CASESxITERSxPAD` | [`switchy`] |
+/// | `spath:CHAINxITERS` | [`single_path`] |
+/// | `chase:LENxROUNDS[xSTRIDE]` | [`pointer_chase`] / [`pointer_chase_stride`] |
+/// | `twin:HEAVY` | [`twin_diamonds`] |
+/// | `twophase:WORDSxITERS` | [`two_phase`] |
+/// | `rand:SEED` | [`random_program`] with [`RandomParams::default`] |
+///
+/// # Errors
+///
+/// Returns a description of the problem if the name is unknown, the
+/// argument list does not match the generator's arity, or an argument
+/// is outside the generator's domain (specs are user input; this
+/// parser never panics).
+pub fn parse_kernel(spec: &str, place: Placement) -> Result<Program, String> {
+    let (name, args) = match spec.split_once(':') {
+        Some((name, args)) => (name.trim(), args.trim()),
+        None => (spec.trim(), ""),
+    };
+    let args: Vec<u32> = if args.is_empty() {
+        Vec::new()
+    } else {
+        args.split('x')
+            .map(|a| a.trim().parse::<u32>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("kernel spec {spec:?}: bad argument ({e})"))?
+    };
+    let arity = |n: usize| -> Result<(), String> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(format!(
+                "kernel spec {spec:?}: {name} takes {n} x-separated argument(s), got {}",
+                args.len()
+            ))
+        }
+    };
+    // Generator preconditions, checked here so a bad spec value is a
+    // diagnostic rather than a panic inside the generator's assert.
+    let require = |ok: bool, why: &str| -> Result<(), String> {
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("kernel spec {spec:?}: {why}"))
+        }
+    };
+    match name {
+        "matmul" => {
+            arity(1)?;
+            require(args[0] > 0, "matrix dimension must be positive")?;
+            Ok(matmul(args[0], place))
+        }
+        "fir" => {
+            arity(2)?;
+            require(
+                args[0] > 0 && args[1] > 0,
+                "taps and samples must be positive",
+            )?;
+            Ok(fir(args[0], args[1], place))
+        }
+        "crc" => {
+            arity(1)?;
+            require(args[0] > 0, "input length must be positive")?;
+            Ok(crc(args[0], place))
+        }
+        "bsort" => {
+            arity(1)?;
+            require(args[0] >= 2, "need at least two elements to sort")?;
+            Ok(bsort(args[0], place))
+        }
+        "switchy" => {
+            arity(3)?;
+            require(
+                args[0] > 0 && args[1] > 0,
+                "cases and iters must be positive",
+            )?;
+            Ok(switchy(args[0], args[1], args[2], place))
+        }
+        "spath" => {
+            arity(2)?;
+            require(
+                args[0] > 0 && args[1] > 0,
+                "chain and iters must be positive",
+            )?;
+            Ok(single_path(args[0], args[1], place))
+        }
+        "chase" => {
+            let stride = match args.len() {
+                2 => 8,
+                3 => args[2],
+                n => {
+                    return Err(format!(
+                        "kernel spec {spec:?}: chase takes 2 or 3 x-separated arguments, got {n}"
+                    ))
+                }
+            };
+            require(
+                args[0] >= 2 && args[1] > 0 && stride > 0,
+                "need len >= 2, rounds >= 1 and a non-zero stride",
+            )?;
+            Ok(pointer_chase_stride(args[0], args[1], stride, place))
+        }
+        "twin" => {
+            arity(1)?;
+            Ok(twin_diamonds(args[0], place))
+        }
+        "twophase" => {
+            arity(2)?;
+            require(
+                args[0] > 0 && args[1] > 0,
+                "words and iters must be positive",
+            )?;
+            Ok(two_phase(args[0], args[1], place))
+        }
+        "rand" => {
+            arity(1)?;
+            Ok(random_program(
+                u64::from(args[0]),
+                RandomParams::default(),
+                place,
+            ))
+        }
+        _ => Err(format!("kernel spec {spec:?}: unknown kernel {name:?}")),
+    }
+}
+
 /// Parameters for [`random_program`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RandomParams {
@@ -1227,6 +1362,55 @@ mod tests {
         assert!(a.code_base < b.code_base);
         let p0 = matmul(8, a);
         assert!(p0.code_end().0 < b.code_base.0);
+    }
+
+    #[test]
+    fn kernel_specs_parse_to_the_same_programs() {
+        let pl = Placement::slot(2);
+        for (spec, direct) in [
+            ("matmul:8", matmul(8, pl)),
+            ("fir:6x24", fir(6, 24, pl)),
+            ("crc:48", crc(48, pl)),
+            ("bsort:10", bsort(10, pl)),
+            ("switchy:16x50x20", switchy(16, 50, 20, pl)),
+            ("spath:6x32", single_path(6, 32, pl)),
+            ("chase:64x200", pointer_chase(64, 200, pl)),
+            (
+                "chase:2048x5000x32",
+                pointer_chase_stride(2048, 5000, 32, pl),
+            ),
+            ("twin:12", twin_diamonds(12, pl)),
+            ("twophase:512x8", two_phase(512, 8, pl)),
+            ("rand:3", random_program(3, RandomParams::default(), pl)),
+        ] {
+            let parsed = parse_kernel(spec, pl).expect("parses");
+            assert_eq!(parsed.name(), direct.name(), "{spec}");
+            assert_eq!(
+                format!("{parsed:?}"),
+                format!("{direct:?}"),
+                "{spec}: parsed kernel differs from direct construction"
+            );
+        }
+        for bad in [
+            "",
+            "matmul",
+            "matmul:axb",
+            "fir:6",
+            "mystery:3",
+            "chase:64",
+            // Out-of-domain arguments must be errors, not generator panics.
+            "matmul:0",
+            "fir:0x8",
+            "crc:0",
+            "bsort:1",
+            "switchy:0x40x8",
+            "spath:6x0",
+            "chase:1x10",
+            "chase:8x10x0",
+            "twophase:0x1",
+        ] {
+            assert!(parse_kernel(bad, pl).is_err(), "{bad:?} must not parse");
+        }
     }
 
     #[test]

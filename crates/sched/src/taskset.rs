@@ -128,6 +128,30 @@ impl TaskSet {
         Ok(TaskSet { tasks })
     }
 
+    /// Builds the canonical scenario-matrix placement: task `i` is mapped
+    /// to core `i % cores` with priority `i`, released at 0, with no
+    /// precedence. Deterministic and always valid for `cores > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    #[must_use]
+    pub fn round_robin(names: impl IntoIterator<Item = String>, cores: usize) -> TaskSet {
+        assert!(cores > 0, "need at least one core");
+        let tasks: Vec<Task> = names
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| Task {
+                name,
+                core: i % cores,
+                priority: i as u32,
+                release: 0,
+                predecessors: Vec::new(),
+            })
+            .collect();
+        TaskSet::new(tasks).expect("round-robin placement is always valid")
+    }
+
     /// Number of tasks.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -189,6 +213,17 @@ mod tests {
         let ts = TaskSet::new(vec![task(0, 2), task(0, 1), task(1, 1)]).expect("valid");
         assert_eq!(ts.on_core(0), vec![TaskId(1), TaskId(0)]);
         assert_eq!(ts.cores().len(), 2);
+    }
+
+    #[test]
+    fn round_robin_spreads_tasks_over_cores() {
+        let ts = TaskSet::round_robin((0..5).map(|i| format!("t{i}")), 2);
+        assert_eq!(ts.len(), 5);
+        assert_eq!(ts.on_core(0), vec![TaskId(0), TaskId(2), TaskId(4)]);
+        assert_eq!(ts.on_core(1), vec![TaskId(1), TaskId(3)]);
+        // More cores than tasks: trailing cores stay empty.
+        let wide = TaskSet::round_robin((0..2).map(|i| format!("t{i}")), 4);
+        assert!(wide.on_core(2).is_empty());
     }
 
     #[test]

@@ -143,6 +143,28 @@ impl MachineConfig {
         }
     }
 
+    /// [`MachineConfig::symmetric`] with every core replaced by a
+    /// predictable-round-robin SMT core of `threads` hardware threads and
+    /// partitioned L1s — the analysable SMT shape (Barre et al. \[1\]),
+    /// used by scenario matrices that sweep an SMT axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `threads == 0`.
+    #[must_use]
+    pub fn symmetric_smt(n: usize, threads: u32) -> MachineConfig {
+        assert!(threads > 0, "need at least one hardware thread per core");
+        let mut m = MachineConfig::symmetric(n);
+        for core in &mut m.cores {
+            core.kind = CoreKind::Smt {
+                threads,
+                policy: SmtPolicy::PredictableRoundRobin,
+                partitioned_l1: true,
+            };
+        }
+        m
+    }
+
     /// Total hardware threads across cores.
     #[must_use]
     pub fn total_threads(&self) -> usize {
@@ -192,6 +214,21 @@ mod tests {
         assert_eq!(m.cores.len(), 4);
         assert_eq!(m.total_threads(), 4);
         assert!(m.l2.is_some());
+    }
+
+    #[test]
+    fn symmetric_smt_machine_shape() {
+        let m = MachineConfig::symmetric_smt(2, 4);
+        assert_eq!(m.cores.len(), 2);
+        assert_eq!(m.total_threads(), 8);
+        assert!(m.cores.iter().all(|c| matches!(
+            c.kind,
+            CoreKind::Smt {
+                threads: 4,
+                policy: SmtPolicy::PredictableRoundRobin,
+                partitioned_l1: true,
+            }
+        )));
     }
 
     #[test]
