@@ -1,90 +1,9 @@
 //! E03 (paper §4.1, Li et al. \[41\]): the iterative WCET ⇄ schedule
 //! fixpoint removes interference between tasks whose lifetime windows
 //! cannot overlap — staggered releases and precedence chains win back the
-//! all-overlap pessimism.
-
-use std::collections::BTreeMap;
-
-use wcet_bench::{l2_bound_machine, l2_bound_victim};
-use wcet_core::analyzer::Analyzer;
-use wcet_core::report::Table;
-use wcet_ir::synth::{matmul, Placement};
-use wcet_sched::{lifetime_fixpoint, Task, TaskId, TaskSet};
+//! all-overlap pessimism. Body in [`wcet_bench::experiments::exp03`]
+//! (shared with the in-process `run_all` driver).
 
 fn main() {
-    let m = l2_bound_machine(4);
-    let an = Analyzer::new(m);
-    let victim = l2_bound_victim(0);
-    let bullies: Vec<_> = (1..4u32).map(|i| matmul(16, Placement::slot(i))).collect();
-    let programs: Vec<_> = std::iter::once(&victim).chain(bullies.iter()).collect();
-    // One footprint per task (victim included: bullies see it too).
-    let fps: Vec<_> = programs
-        .iter()
-        .enumerate()
-        .map(|(core, p)| an.l2_footprint(p, core).expect("analyses"))
-        .collect();
-
-    let analyze = |task: TaskId, interfering: &std::collections::BTreeSet<TaskId>| {
-        let idx = task.0 as usize;
-        let refs: Vec<_> = interfering.iter().map(|o| &fps[o.0 as usize]).collect();
-        an.wcet_joint(programs[idx], idx, 0, &refs)
-            .expect("analyses")
-            .wcet
-    };
-
-    let mut t = Table::new(
-        "E03 — lifetime refinement (Li et al.): victim WCET under three schedules",
-        &["schedule", "victim interferers", "victim WCET", "rounds"],
-    );
-    // Honest lower bounds for the lifetime windows: the BCET analysis
-    // (best-case costs + minimum loop iterations).
-    let bcets: Vec<u64> = programs
-        .iter()
-        .enumerate()
-        .map(|(core, p)| an.bcet(p, core, 0).expect("analyses"))
-        .collect();
-
-    let mk_ts = |releases: [u64; 3]| {
-        let mut tasks = vec![Task {
-            name: victim.name().into(),
-            core: 0,
-            priority: 1,
-            release: 0,
-            predecessors: vec![],
-        }];
-        for (i, b) in bullies.iter().enumerate() {
-            tasks.push(Task {
-                name: b.name().into(),
-                core: i + 1,
-                priority: 1,
-                release: releases[i],
-                predecessors: vec![],
-            });
-        }
-        TaskSet::new(tasks).expect("valid")
-    };
-    let bcet = |ts: &TaskSet| -> BTreeMap<TaskId, u64> {
-        ts.ids().map(|t| (t, bcets[t.0 as usize])).collect()
-    };
-
-    for (label, releases) in [
-        ("all released at 0 (full overlap)", [0u64, 0, 0]),
-        ("one bully staggered past victim", [0, 10_000_000, 0]),
-        (
-            "all bullies staggered",
-            [10_000_000, 10_000_000, 10_000_000],
-        ),
-    ] {
-        let ts = mk_ts(releases);
-        let res = lifetime_fixpoint(&ts, &bcet(&ts), analyze, 8);
-        t.row([
-            label.to_string(),
-            res.interference[&TaskId(0)].len().to_string(),
-            res.wcet[&TaskId(0)].to_string(),
-            res.iterations.to_string(),
-        ]);
-    }
-    t.note("fewer feasible overlaps ⇒ smaller interference set ⇒ tighter WCET;");
-    t.note("the iteration is monotone and converges in a couple of rounds.");
-    println!("{t}");
+    let _ = wcet_bench::experiments::exp03();
 }

@@ -1,55 +1,9 @@
 //! E09 (paper §5.3): the round-robin bound `D = N·L − 1`. The per-task
 //! WCET scales linearly in the core count, and the bound is near-tight:
-//! adversarial traffic drives observed waits close to it.
-
-use wcet_arbiter::RoundRobin;
-use wcet_bench::bully;
-use wcet_core::analyzer::Analyzer;
-use wcet_core::report::Table;
-use wcet_core::validate::run_machine;
-use wcet_ir::synth::{pointer_chase_stride, Placement};
-use wcet_sim::config::MachineConfig;
+//! adversarial traffic drives observed waits close to it. Body in
+//! [`wcet_bench::experiments::exp09`] (shared with the in-process
+//! `run_all` driver).
 
 fn main() {
-    let transfer = 8u64;
-    let mut t = Table::new(
-        "E09 — round-robin bus: bound D = N·L − 1 vs observed worst wait",
-        &[
-            "cores N",
-            "bound N·L−1",
-            "max observed wait",
-            "victim WCET",
-            "WCET vs N=1",
-        ],
-    );
-    let mut base_wcet = 0u64;
-    for n in [1usize, 2, 4, 6, 8] {
-        let mut m = MachineConfig::symmetric(n);
-        // Fast memory so the bus saturates (see E12's rationale).
-        m.memory = wcet_arbiter::MemoryKind::Predictable { latency: 8 };
-        let an = Analyzer::new(m.clone());
-        let victim = pointer_chase_stride(4096, 300, 32, Placement::slot(0));
-        let rep = an.wcet_isolated(&victim, 0, 0).expect("analyses");
-        if n == 1 {
-            base_wcet = rep.wcet;
-        }
-        let mut loads = vec![(0, 0, victim)];
-        for c in 1..n {
-            loads.push((c, 0, bully(c as u32)));
-        }
-        let run = run_machine(&m, loads, 500_000_000).expect("runs");
-        let max_wait = run.bus.per_core_max_wait[0];
-        let bound = RoundRobin::bound(n as u64, transfer);
-        assert!(max_wait <= bound, "observed wait exceeds the bound");
-        t.row([
-            n.to_string(),
-            bound.to_string(),
-            max_wait.to_string(),
-            rep.wcet.to_string(),
-            format!("{:.2}×", rep.wcet as f64 / base_wcet as f64),
-        ]);
-    }
-    t.note("the WCET of a memory-bound task grows ≈ linearly with N (each transaction");
-    t.note("charged N·L−1); observed waits approach the bound under saturation.");
-    println!("{t}");
+    let _ = wcet_bench::experiments::exp09();
 }

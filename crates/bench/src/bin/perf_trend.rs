@@ -1,0 +1,111 @@
+//! Report-only perf trend: per-experiment `wall_ms` delta between two
+//! `BENCH_results.json` documents (typically the checked-in baseline vs
+//! a fresh `run_all`). Never fails the build — timing on shared CI
+//! runners is noisy, so the numbers are printed for humans, not gated:
+//!
+//! ```sh
+//! cargo run --release -p wcet-bench --bin perf_trend -- \
+//!     baseline/BENCH_results.json BENCH_results.json
+//! ```
+
+use std::process::ExitCode;
+
+use wcet_bench::json::Json;
+use wcet_core::report::Table;
+
+/// `experiments[]` → `(id, wall_ms)` rows of one document.
+fn walls(doc: &Json) -> Vec<(String, f64)> {
+    doc.get("experiments")
+        .and_then(Json::as_arr)
+        .map(|exps| {
+            exps.iter()
+                .filter_map(|e| {
+                    let id = e.get("id")?.as_str()?.to_string();
+                    let wall = e.get("wall_ms")?.as_f64()?;
+                    Some((id, wall))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path] = args.as_slice() else {
+        eprintln!("usage: perf_trend <baseline BENCH_results.json> <current BENCH_results.json>");
+        return ExitCode::FAILURE;
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            // Report-only: a missing or unreadable document is a note,
+            // not a failure.
+            for r in [b, c] {
+                if let Err(e) = r {
+                    eprintln!("perf_trend: {e}");
+                }
+            }
+            return ExitCode::SUCCESS;
+        }
+    };
+
+    let base = walls(&baseline);
+    let cur = walls(&current);
+    let mut t = Table::new(
+        format!("Per-experiment wall_ms: {baseline_path} → {current_path}"),
+        &["experiment", "baseline ms", "current ms", "delta", "trend"],
+    );
+    let (mut base_total, mut cur_total) = (0.0, 0.0);
+    for (id, cur_ms) in &cur {
+        let Some((_, base_ms)) = base.iter().find(|(bid, _)| bid == id) else {
+            t.row([
+                id.clone(),
+                "—".into(),
+                format!("{cur_ms:.1}"),
+                "new".into(),
+                String::new(),
+            ]);
+            continue;
+        };
+        base_total += base_ms;
+        cur_total += cur_ms;
+        let delta = cur_ms - base_ms;
+        let trend = if *base_ms > 0.0 {
+            format!("{:+.0}%", delta / base_ms * 100.0)
+        } else {
+            String::new()
+        };
+        t.row([
+            id.clone(),
+            format!("{base_ms:.1}"),
+            format!("{cur_ms:.1}"),
+            format!("{delta:+.1}"),
+            trend,
+        ]);
+    }
+    for (id, base_ms) in &base {
+        if !cur.iter().any(|(cid, _)| cid == id) {
+            t.row([
+                id.clone(),
+                format!("{base_ms:.1}"),
+                "—".into(),
+                "removed".into(),
+                String::new(),
+            ]);
+        }
+    }
+    if base_total > 0.0 {
+        t.note(format!(
+            "totals (shared experiments): {base_total:.1} ms → {cur_total:.1} ms \
+             ({:+.0}%); report-only, never a gate",
+            (cur_total - base_total) / base_total * 100.0
+        ));
+    }
+    println!("{t}");
+    ExitCode::SUCCESS
+}

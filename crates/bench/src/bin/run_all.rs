@@ -66,6 +66,13 @@ fn solver_json(s: &SolverStats) -> Json {
         ("warm_starts", Json::from(s.totals.warm_starts)),
         ("phase1_skips", Json::from(s.totals.phase1_skips)),
         ("refactorizations", Json::from(s.totals.refactorizations)),
+        // Schema 4: the two-tier kernel's counters. `fallbacks` is the
+        // exactness watchdog — certified f64 solves that the exact
+        // referee rejected and re-ran on the exact tier.
+        ("f64_solves", Json::from(s.totals.f64_solves)),
+        ("certified", Json::from(s.totals.certified)),
+        ("fallbacks", Json::from(s.totals.fallbacks)),
+        ("eta_factors", Json::from(s.totals.eta_factors)),
     ])
 }
 
@@ -211,14 +218,26 @@ fn batch_vs_sequential() -> Json {
     );
 
     let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let speedup = seq_ms / batch_ms.max(1e-9);
-    println!(
-        "batch-vs-sequential: {} tasks, {workers} workers: sequential {seq_ms:.1} ms, \
-         batch {batch_ms:.1} ms ({speedup:.2}× speedup), results identical",
-        programs.len()
-    );
-    if workers > 1 && speedup <= 1.0 {
-        eprintln!("warning: batch analysis not faster than sequential on this host");
+    // With a single worker the two paths run the same sequential code;
+    // the ratio is pure timer noise, so no speedup is claimed (null).
+    let speedup = (workers > 1).then(|| seq_ms / batch_ms.max(1e-9));
+    match speedup {
+        Some(s) => {
+            println!(
+                "batch-vs-sequential: {} tasks, {workers} workers: sequential {seq_ms:.1} ms, \
+                 batch {batch_ms:.1} ms ({s:.2}× speedup), results identical",
+                programs.len()
+            );
+            if s <= 1.0 {
+                eprintln!("warning: batch analysis not faster than sequential on this host");
+            }
+        }
+        None => println!(
+            "batch-vs-sequential: {} tasks, 1 worker: sequential {seq_ms:.1} ms, \
+             batch {batch_ms:.1} ms (no parallelism available — speedup not claimed), \
+             results identical",
+            programs.len()
+        ),
     }
 
     Json::obj([
@@ -226,7 +245,7 @@ fn batch_vs_sequential() -> Json {
         ("workers", Json::from(workers)),
         ("sequential_ms", Json::from(seq_ms)),
         ("batch_ms", Json::from(batch_ms)),
-        ("speedup", Json::from(speedup)),
+        ("speedup", speedup.map_or(Json::Null, Json::from)),
         ("identical_results", Json::from(identical)),
         ("solver", solver_json(&engine.solver_stats())),
     ])
@@ -295,7 +314,7 @@ fn main() {
     let scenarios = scenario_sweep();
 
     let doc = Json::obj([
-        ("schema", Json::from(3_u64)),
+        ("schema", Json::from(4_u64)),
         ("suite", Json::str("wcet-bench run_all")),
         ("experiments", Json::Arr(experiment_json)),
         ("batch_vs_sequential", comparison),

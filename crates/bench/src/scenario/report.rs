@@ -117,6 +117,9 @@ pub fn matrix_json(run: &MatrixRun) -> Json {
                 ("cold_solves", Json::from(run.solver.cold_solves)),
                 ("pivots", Json::from(run.solver.totals.pivots)),
                 ("phase1_skips", Json::from(run.solver.totals.phase1_skips)),
+                ("f64_solves", Json::from(run.solver.totals.f64_solves)),
+                ("certified", Json::from(run.solver.totals.certified)),
+                ("fallbacks", Json::from(run.solver.totals.fallbacks)),
             ]),
         ),
     ])

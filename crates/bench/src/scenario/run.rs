@@ -124,10 +124,12 @@ pub struct MatrixRun {
     pub cells: Vec<CellOutcome>,
     /// Cells dropped because an earlier cell had the same fingerprint.
     pub duplicates: usize,
-    /// Aggregated solver effort: warm/cold counters from the (possibly
-    /// shared) context, pivot totals summed over the run's engines. The
-    /// statically-controlled path contributes to the warm/cold counters
-    /// but keeps its per-solve pivot counts to itself.
+    /// Aggregated solver effort: warm/cold counters and per-solve
+    /// totals (pivots, certified fast solves, fallbacks…) from the
+    /// (possibly shared) context — engine-family and
+    /// statically-controlled cells alike, since every solve routes
+    /// through the one context. When the caller shared a context across
+    /// several runs, this is the context's cumulative lifetime view.
     pub solver: SolverStats,
 }
 
@@ -354,10 +356,10 @@ pub fn run_matrix(matrix: &ScenarioMatrix, opts: &MatrixOptions) -> MatrixRun {
         cells.push(outcome);
     }
 
-    let mut totals = wcet_ilp::SolveStats::default();
-    for engine in engines.values() {
-        totals.absorb(&engine.solver_stats().totals);
-    }
+    // Engines only route solves; the shared context saw every one of
+    // them (static-ctrl cells included), so its totals are the run's
+    // complete solver bill.
+    drop(engines);
     let ctx_stats = ctx.stats();
     MatrixRun {
         matrix: matrix.name.clone(),
@@ -366,7 +368,7 @@ pub fn run_matrix(matrix: &ScenarioMatrix, opts: &MatrixOptions) -> MatrixRun {
         solver: SolverStats {
             warm_hits: ctx_stats.warm_hits,
             cold_solves: ctx_stats.cold_solves,
-            totals,
+            totals: ctx.totals(),
         },
     }
 }

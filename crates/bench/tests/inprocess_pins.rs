@@ -1,0 +1,127 @@
+//! Pin tests for the PR-4 in-process ports: `exp03` and `exp09` must
+//! reproduce their pre-port implementations byte for byte — same WCETs
+//! through the old sequential `Analyzer` path, and (for E09) the same
+//! observed bus waits whether the adversarial replay runs to completion
+//! or stops at the watched victim's retirement.
+
+use std::collections::BTreeMap;
+
+use wcet_arbiter::RoundRobin;
+use wcet_bench::{bully, experiments, l2_bound_machine, l2_bound_victim};
+use wcet_core::analyzer::Analyzer;
+use wcet_core::validate::{run_machine, run_machine_watched};
+use wcet_ir::synth::{matmul, pointer_chase_stride, Placement};
+use wcet_sched::{lifetime_fixpoint, Task, TaskId, TaskSet};
+use wcet_sim::config::MachineConfig;
+
+/// The pre-port exp03 body, verbatim: per-call `Analyzer`, no engine
+/// memo, no shared warm-start context.
+fn exp03_direct() -> Vec<u64> {
+    let m = l2_bound_machine(4);
+    let an = Analyzer::new(m);
+    let victim = l2_bound_victim(0);
+    let bullies: Vec<_> = (1..4u32).map(|i| matmul(16, Placement::slot(i))).collect();
+    let programs: Vec<_> = std::iter::once(&victim).chain(bullies.iter()).collect();
+    let fps: Vec<_> = programs
+        .iter()
+        .enumerate()
+        .map(|(core, p)| an.l2_footprint(p, core).expect("analyses"))
+        .collect();
+    let analyze = |task: TaskId, interfering: &std::collections::BTreeSet<TaskId>| {
+        let idx = task.0 as usize;
+        let refs: Vec<_> = interfering.iter().map(|o| &fps[o.0 as usize]).collect();
+        an.wcet_joint(programs[idx], idx, 0, &refs)
+            .expect("analyses")
+            .wcet
+    };
+    let bcets: Vec<u64> = programs
+        .iter()
+        .enumerate()
+        .map(|(core, p)| an.bcet(p, core, 0).expect("analyses"))
+        .collect();
+    let mk_ts = |releases: [u64; 3]| {
+        let mut tasks = vec![Task {
+            name: victim.name().into(),
+            core: 0,
+            priority: 1,
+            release: 0,
+            predecessors: vec![],
+        }];
+        for (i, b) in bullies.iter().enumerate() {
+            tasks.push(Task {
+                name: b.name().into(),
+                core: i + 1,
+                priority: 1,
+                release: releases[i],
+                predecessors: vec![],
+            });
+        }
+        TaskSet::new(tasks).expect("valid")
+    };
+    [
+        [0u64, 0, 0],
+        [0, 10_000_000, 0],
+        [10_000_000, 10_000_000, 10_000_000],
+    ]
+    .into_iter()
+    .map(|releases| {
+        let ts = mk_ts(releases);
+        let bcet: BTreeMap<TaskId, u64> = ts.ids().map(|t| (t, bcets[t.0 as usize])).collect();
+        let res = lifetime_fixpoint(&ts, &bcet, analyze, 8);
+        res.wcet[&TaskId(0)]
+    })
+    .collect()
+}
+
+#[test]
+fn exp03_rows_equal_the_direct_analyzer_fixpoint() {
+    let run = experiments::exp03();
+    let got: Vec<u64> = run.rows.iter().map(|r| r.wcet).collect();
+    assert_eq!(got, exp03_direct(), "E03 diverged from the pre-port path");
+    // The engine actually served the repeated (task, interference) pairs
+    // from its warm-start layers rather than re-solving cold.
+    assert!(run.solver.warm_hits > 0, "E03 fixpoint never warm-started");
+}
+
+#[test]
+fn exp09_rows_equal_the_direct_analyzer_sweep() {
+    let run = experiments::exp09();
+    let expected: Vec<u64> = [1usize, 2, 4, 6, 8]
+        .into_iter()
+        .map(|n| {
+            let mut m = MachineConfig::symmetric(n);
+            m.memory = wcet_arbiter::MemoryKind::Predictable { latency: 8 };
+            let an = Analyzer::new(m);
+            let victim = pointer_chase_stride(4096, 300, 32, Placement::slot(0));
+            an.wcet_isolated(&victim, 0, 0).expect("analyses").wcet
+        })
+        .collect();
+    let got: Vec<u64> = run.rows.iter().map(|r| r.wcet).collect();
+    assert_eq!(got, expected, "E09 diverged from the pre-port path");
+}
+
+#[test]
+fn watched_replay_observes_exactly_what_a_full_run_does() {
+    // The early-stopped adversarial replay (what the ported E09 prints)
+    // must report the same victim completion cycle and the same per-core
+    // max bus wait as the old run-to-completion — the tail past the
+    // victim's retirement cannot reach back in time.
+    for n in [2usize, 4, 8] {
+        let mut m = MachineConfig::symmetric(n);
+        m.memory = wcet_arbiter::MemoryKind::Predictable { latency: 8 };
+        let victim = pointer_chase_stride(4096, 300, 32, Placement::slot(0));
+        let mut loads = vec![(0, 0, victim)];
+        for c in 1..n {
+            loads.push((c, 0, bully(c as u32)));
+        }
+        let full = run_machine(&m, loads.clone(), 500_000_000).expect("runs");
+        let watched = run_machine_watched(&m, loads, &[(0, 0)], 500_000_000).expect("runs");
+        assert_eq!(full.cycles(0, 0), watched.cycles(0, 0));
+        assert_eq!(
+            full.bus.per_core_max_wait[0],
+            watched.bus.per_core_max_wait[0]
+        );
+        let bound = RoundRobin::bound(n as u64, 8);
+        assert!(watched.bus.per_core_max_wait[0] <= bound);
+    }
+}

@@ -1,0 +1,38 @@
+//! The interned-bitset domain's headline claim, measured: the must/may
+//! fixpoint (`analysis::analyze`) over growing program sizes and cache
+//! shapes — the cost that used to be per-state `BTreeMap` churn. CI runs
+//! this file with `--test` (criterion smoke mode) so it can never
+//! bit-rot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wcet_cache::analysis::{analyze, AnalysisInput, LevelKind};
+use wcet_cache::config::CacheConfig;
+use wcet_ir::synth::{matmul, switchy, Placement};
+
+fn bench_cache_analyze(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_analyze");
+    g.sample_size(10);
+    let l2 = CacheConfig::new(64, 4, 32, 4).expect("valid");
+    for cases in [8u32, 16, 32] {
+        let p = switchy(cases, 20, 10, Placement::default());
+        let input = AnalysisInput::level1(l2, LevelKind::Unified);
+        g.bench_with_input(BenchmarkId::new("switchy_cases", cases), &cases, |b, _| {
+            b.iter(|| analyze(&p, &input).histogram())
+        });
+    }
+    // A data-heavy kernel with range accesses (the unknown-access path).
+    let p = matmul(12, Placement::default());
+    let input = AnalysisInput::level1(l2, LevelKind::Unified);
+    g.bench_function("matmul12", |b| b.iter(|| analyze(&p, &input).histogram()));
+    // Interference shift: the shared-cache sweep shape.
+    let p = switchy(16, 20, 10, Placement::default());
+    let mut input = AnalysisInput::level1(l2, LevelKind::Unified);
+    input.interference_shift = vec![2; 64];
+    g.bench_function("switchy16_shifted", |b| {
+        b.iter(|| analyze(&p, &input).histogram())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache_analyze);
+criterion_main!(benches);

@@ -20,7 +20,7 @@ use wcet_ir::program::AccessAddrs;
 use wcet_ir::{AccessKind, BlockId, Program};
 
 use crate::config::{CacheConfig, LineAddr};
-use crate::domain::AbsCacheState;
+use crate::domain::{AbsCacheState, CacheDomain, JoinScratch, LineRef};
 
 /// Identifier of an access site: block plus position in the block's access
 /// sequence.
@@ -142,11 +142,21 @@ impl AnalysisInput {
     }
 }
 
-/// One access as seen by this cache level.
+/// One access as seen by this cache level. Line addresses are kept for
+/// classification/footprint bookkeeping; the *interned* effective lines
+/// (locked/bypassed filtered out, resolved against the analysis's
+/// [`CacheDomain`]) are what the fixpoint transfer actually touches —
+/// the filter and the map lookups run once here, not once per state
+/// application.
 #[derive(Debug, Clone)]
 struct LevelAccess {
     site: SiteId,
+    /// Dense per-analysis site index (classification is accumulated in a
+    /// flat vector keyed by this, not a per-site tree).
+    site_idx: u32,
     lines: Vec<LineAddr>, // singleton or range
+    /// Interned non-locked, non-bypassed lines.
+    effective: Vec<LineRef>,
     reach: Reach,
 }
 
@@ -209,21 +219,50 @@ impl CacheAnalysis {
 #[must_use]
 pub fn analyze(program: &Program, input: &AnalysisInput) -> CacheAnalysis {
     let cfg = program.cfg();
-    let accesses = collect_accesses(program, input);
+    let (mut accesses, sites) = collect_accesses(program, input);
     let ways = input.ways_vec();
+
+    // Intern the universe: every effective (non-locked, non-bypassed)
+    // line the program can touch, grouped by set.
+    let mut per_set: Vec<Vec<LineAddr>> = vec![Vec::new(); ways.len()];
+    for block in &accesses {
+        for acc in block {
+            for &line in &acc.lines {
+                if !input.locked.contains(&line) && !input.bypass.contains(&line) {
+                    per_set[input.cache.set_of(line) as usize].push(line);
+                }
+            }
+        }
+    }
+    let dom = CacheDomain::new(ways, per_set);
+    for block in &mut accesses {
+        for acc in block {
+            acc.effective = acc
+                .lines
+                .iter()
+                .filter(|l| !input.locked.contains(l) && !input.bypass.contains(l))
+                .map(|&l| dom.intern(l).expect("line is in the interned universe"))
+                .collect();
+        }
+    }
 
     // Fixpoint over block in-states.
     let mut in_states: Vec<Option<AbsCacheState>> = vec![None; cfg.num_blocks()];
-    in_states[cfg.entry().index()] = Some(AbsCacheState::cold_with_ways(ways.clone()));
+    in_states[cfg.entry().index()] = Some(dom.cold());
     let rpo = cfg.reverse_postorder();
+    let mut out = dom.cold();
+    let mut scratch = JoinScratch::for_domain(&dom);
     let mut changed = true;
     while changed {
         changed = false;
         for &b in &rpo {
-            let Some(in_state) = in_states[b.index()].clone() else {
+            let Some(in_state) = &in_states[b.index()] else {
                 continue;
             };
-            let out = transfer(&in_state, &accesses[b.index()], input);
+            out.clone_from(in_state);
+            for acc in &accesses[b.index()] {
+                apply_access(&mut out, &dom, acc, &mut scratch);
+            }
             for succ in cfg.successors(b) {
                 match &mut in_states[succ.index()] {
                     slot @ None => {
@@ -232,7 +271,7 @@ pub fn analyze(program: &Program, input: &AnalysisInput) -> CacheAnalysis {
                     }
                     Some(cur) => {
                         let before = cur.clone();
-                        cur.join(&out);
+                        cur.join_in(&dom, &out, &mut scratch);
                         if *cur != before {
                             changed = true;
                         }
@@ -259,16 +298,19 @@ pub fn analyze(program: &Program, input: &AnalysisInput) -> CacheAnalysis {
         }
     }
 
-    // Classification pass + footprint.
-    let mut classes = BTreeMap::new();
+    // Classification pass + footprint (classes accumulate in a flat
+    // site-indexed vector; the public BTreeMap is built once at the end).
+    let mut class_by_site: Vec<Option<Classification>> = vec![None; sites.len()];
     let mut footprint: BTreeMap<u32, BTreeSet<LineAddr>> = BTreeMap::new();
+    let mut state = dom.cold();
     for (b, _) in cfg.iter() {
-        let Some(mut state) = in_states[b.index()].clone() else {
+        let Some(in_state) = &in_states[b.index()] else {
             continue;
         };
+        state.clone_from(in_state);
         for acc in &accesses[b.index()] {
-            let class = classify(&state, acc, input, program, &pressure);
-            classes.insert(acc.site, class);
+            let class = classify(&state, &dom, acc, input, program, &pressure);
+            class_by_site[acc.site_idx as usize] = Some(class);
             for &line in &acc.lines {
                 if !input.locked.contains(&line) && !input.bypass.contains(&line) {
                     footprint
@@ -277,9 +319,14 @@ pub fn analyze(program: &Program, input: &AnalysisInput) -> CacheAnalysis {
                         .insert(line);
                 }
             }
-            apply_access(&mut state, acc, input);
+            apply_access(&mut state, &dom, acc, &mut scratch);
         }
     }
+    let classes = sites
+        .iter()
+        .zip(&class_by_site)
+        .filter_map(|(&site, class)| class.map(|c| (site, c)))
+        .collect();
 
     CacheAnalysis {
         classes,
@@ -288,9 +335,16 @@ pub fn analyze(program: &Program, input: &AnalysisInput) -> CacheAnalysis {
     }
 }
 
-fn collect_accesses(program: &Program, input: &AnalysisInput) -> Vec<Vec<LevelAccess>> {
+/// Collects the accesses this level serves, block by block, assigning
+/// each a dense site index. Returns the per-block lists plus the
+/// site-index → [`SiteId`] table.
+fn collect_accesses(
+    program: &Program,
+    input: &AnalysisInput,
+) -> (Vec<Vec<LevelAccess>>, Vec<SiteId>) {
     let cfg = program.cfg();
     let mut out = vec![Vec::new(); cfg.num_blocks()];
+    let mut sites = Vec::new();
     for (b, _) in cfg.iter() {
         for site in program.accesses(b) {
             if !input.kind.serves(site.kind) {
@@ -308,63 +362,56 @@ fn collect_accesses(program: &Program, input: &AnalysisInput) -> Vec<Vec<LevelAc
                 AccessAddrs::Exact(a) => vec![input.cache.line_of(a)],
                 AccessAddrs::Range { base, bytes } => input.cache.lines_of_range(base, bytes),
             };
+            let site_idx = sites.len() as u32;
+            sites.push(id);
             out[b.index()].push(LevelAccess {
                 site: id,
+                site_idx,
                 lines,
+                effective: Vec::new(), // interned once the domain exists
                 reach,
             });
         }
     }
-    out
+    (out, sites)
 }
 
-/// Applies a whole block's accesses to a copy of the in-state.
-fn transfer(
-    in_state: &AbsCacheState,
-    accesses: &[LevelAccess],
-    input: &AnalysisInput,
-) -> AbsCacheState {
-    let mut state = in_state.clone();
-    for acc in accesses {
-        apply_access(&mut state, acc, input);
-    }
-    state
-}
-
-fn apply_access(state: &mut AbsCacheState, acc: &LevelAccess, input: &AnalysisInput) {
-    let effective: Vec<LineAddr> = acc
-        .lines
-        .iter()
-        .copied()
-        .filter(|l| !input.locked.contains(l) && !input.bypass.contains(l))
-        .collect();
-    if effective.is_empty() {
+fn apply_access(
+    state: &mut AbsCacheState,
+    dom: &CacheDomain,
+    acc: &LevelAccess,
+    scratch: &mut JoinScratch,
+) {
+    if acc.effective.is_empty() {
         return; // locked/bypassed accesses don't disturb the state
     }
-    match (acc.reach, effective.len()) {
+    match (acc.reach, acc.effective.len()) {
         (Reach::Always, 1) if acc.lines.len() == 1 => {
-            let line = effective[0];
-            state.access(input.cache.set_of(line) as usize, line);
+            state.access(dom, acc.effective[0]);
         }
         (Reach::Always, _) => {
-            state.access_unknown_of(&input.cache, &effective);
+            state.access_unknown(dom, &acc.effective);
         }
         (Reach::Uncertain, _) => {
-            // The access may or may not happen: join both worlds.
+            // The access may or may not happen: join both worlds. The
+            // two states differ only on the touched sets, so the join is
+            // restricted to them.
             let mut updated = state.clone();
-            if effective.len() == 1 && acc.lines.len() == 1 {
-                let line = effective[0];
-                updated.access(input.cache.set_of(line) as usize, line);
+            if acc.effective.len() == 1 && acc.lines.len() == 1 {
+                updated.access(dom, acc.effective[0]);
             } else {
-                updated.access_unknown_of(&input.cache, &effective);
+                updated.access_unknown(dom, &acc.effective);
             }
-            state.join(&updated);
+            let mut sets: Vec<usize> = acc.effective.iter().map(|r| r.set as usize).collect();
+            sets.sort_unstable();
+            state.join_sets_in(dom, &updated, &sets, scratch);
         }
     }
 }
 
 fn classify(
     state: &AbsCacheState,
+    dom: &CacheDomain,
     acc: &LevelAccess,
     input: &AnalysisInput,
     program: &Program,
@@ -384,14 +431,15 @@ fn classify(
     let line = acc.lines[0];
     let set = input.cache.set_of(line);
     let shift = input.shift_of(set as usize);
-    let ways = state.ways(set as usize);
+    let ways = dom.ways(set as usize);
+    let line_ref = acc.effective[0];
 
-    if let Some(age) = state.must_age(set as usize, line) {
+    if let Some(age) = state.must_age(dom, line_ref) {
         if age.saturating_add(shift) < ways {
             return Classification::AlwaysHit;
         }
     }
-    if !state.may_contain(set as usize, line) && shift == 0 && acc.reach == Reach::Always {
+    if !state.may_contain(dom, line_ref) && shift == 0 && acc.reach == Reach::Always {
         // Guaranteed absent (cold start; no co-runner can have loaded it
         // because interference is zero on this set).
         return Classification::AlwaysMiss;

@@ -1,5 +1,6 @@
 //! Abstract cache domains for LRU: *must* and *may* analyses
-//! (Ferdinand & Wilhelm \[11\] in the paper's bibliography).
+//! (Ferdinand & Wilhelm \[11\] in the paper's bibliography), over an
+//! **interned bitset representation**.
 //!
 //! * **Must** ages are *upper bounds* on a line's LRU position; a line in
 //!   the must state is guaranteed cached, so an access to it is
@@ -17,45 +18,117 @@
 //! * may, access `l` with old lower bound `a`: `l → 0`; every other line
 //!   with age `≤ a` ages by 1 (removed at `ways`); others keep their age.
 //!
+//! **Representation.** A fixpoint only ever touches the lines the
+//! analysed program can access, so a [`CacheDomain`] *interns* that
+//! universe once — every line becomes a dense `(set, bit)` index — and
+//! an [`AbsCacheState`] is then two flat `u64` word arrays (one per
+//! domain), holding one fixed-width bitset per `(set, age)` row: bit `b`
+//! of row `(s, a)` set means "line `b` of set `s` has age bound `a`".
+//! Distinct ages per line ⇒ each bit appears in at most one row of its
+//! set. Join, transfer, aging and equality all become word operations
+//! (`&`/`|`/shifted row copies/`==`), replacing the former per-state
+//! `BTreeMap<LineAddr, u32>` allocations that dominated the fixpoint.
+//!
 //! Per-set way counts support locking (a locked way is invisible to the
 //! abstract state) and shared-cache interference shifts (paper §4.1).
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 use crate::config::{CacheConfig, LineAddr};
 
-/// Abstract state of one cache (all sets), carrying both domains.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AbsCacheState {
-    /// Effective ways per set (reduced by locking).
-    set_ways: Vec<u32>,
-    /// Per set: line → age upper bound (invariant: age < set_ways).
-    must: Vec<BTreeMap<LineAddr, u32>>,
-    /// Per set: line → age lower bound (invariant: age < set_ways).
-    may: Vec<BTreeMap<LineAddr, u32>>,
+/// An interned line: dense bit `bit` of set `set` within a
+/// [`CacheDomain`]'s universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineRef {
+    /// Set index.
+    pub set: u32,
+    /// Bit position within the set's universe.
+    pub bit: u32,
 }
 
-impl AbsCacheState {
-    /// Cold-start state: nothing cached, nothing possibly cached.
-    #[must_use]
-    pub fn cold(config: &CacheConfig) -> AbsCacheState {
-        AbsCacheState::cold_with_ways(vec![config.ways(); config.sets() as usize])
-    }
+/// The interned universe and geometry shared by every [`AbsCacheState`]
+/// of one analysis: per-set effective way counts, the per-set line
+/// universe, and the word layout of the state arrays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheDomain {
+    /// Effective ways per set (reduced by locking).
+    set_ways: Vec<u32>,
+    /// Sorted line universe per set.
+    lines: Vec<Vec<LineAddr>>,
+    /// Line → (set, bit) interning map.
+    index: HashMap<LineAddr, LineRef>,
+    /// Words per set (`ceil(lines.len() / 64)`).
+    words: Vec<usize>,
+    /// Word offset of each set's age-0 row in the flat state arrays.
+    offsets: Vec<usize>,
+    /// Total words of one domain array.
+    total_words: usize,
+    /// Widest set's word count (join scratch sizing).
+    max_words: usize,
+}
 
-    /// Cold-start state with per-set effective way counts (locking support).
+impl CacheDomain {
+    /// Builds a domain from per-set effective way counts and the per-set
+    /// line universe (lines are sorted and deduplicated here).
     ///
     /// # Panics
     ///
-    /// Panics if `set_ways` is empty.
+    /// Panics if `set_ways` is empty or the two vectors disagree in
+    /// length.
     #[must_use]
-    pub fn cold_with_ways(set_ways: Vec<u32>) -> AbsCacheState {
+    pub fn new(set_ways: Vec<u32>, mut lines_per_set: Vec<Vec<LineAddr>>) -> CacheDomain {
         assert!(!set_ways.is_empty(), "cache must have at least one set");
-        let n = set_ways.len();
-        AbsCacheState {
-            set_ways,
-            must: vec![BTreeMap::new(); n],
-            may: vec![BTreeMap::new(); n],
+        assert_eq!(
+            set_ways.len(),
+            lines_per_set.len(),
+            "one line universe per set"
+        );
+        let mut index = HashMap::new();
+        for (s, lines) in lines_per_set.iter_mut().enumerate() {
+            lines.sort_unstable();
+            lines.dedup();
+            for (b, &line) in lines.iter().enumerate() {
+                index.insert(
+                    line,
+                    LineRef {
+                        set: s as u32,
+                        bit: b as u32,
+                    },
+                );
+            }
         }
+        let words: Vec<usize> = lines_per_set.iter().map(|l| l.len().div_ceil(64)).collect();
+        let mut offsets = Vec::with_capacity(set_ways.len());
+        let mut total = 0usize;
+        for (s, &w) in words.iter().enumerate() {
+            offsets.push(total);
+            total += w * set_ways[s] as usize;
+        }
+        let max_words = words.iter().copied().max().unwrap_or(0);
+        CacheDomain {
+            set_ways,
+            lines: lines_per_set,
+            index,
+            words,
+            offsets,
+            total_words: total,
+            max_words,
+        }
+    }
+
+    /// Convenience constructor: full associativity everywhere, universe
+    /// grouped by `config`'s set mapping.
+    #[must_use]
+    pub fn for_config(
+        config: &CacheConfig,
+        lines: impl IntoIterator<Item = LineAddr>,
+    ) -> CacheDomain {
+        let sets = config.sets() as usize;
+        let mut per_set = vec![Vec::new(); sets];
+        for line in lines {
+            per_set[config.set_of(line) as usize].push(line);
+        }
+        CacheDomain::new(vec![config.ways(); sets], per_set)
     }
 
     /// Number of sets.
@@ -74,67 +147,177 @@ impl AbsCacheState {
         self.set_ways[set]
     }
 
-    /// Must-age upper bound of `line`, if the line is guaranteed cached.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `set` is out of range.
+    /// The dense index of `line`, if it belongs to the universe.
     #[must_use]
-    pub fn must_age(&self, set: usize, line: LineAddr) -> Option<u32> {
-        self.must[set].get(&line).copied()
+    pub fn intern(&self, line: LineAddr) -> Option<LineRef> {
+        self.index.get(&line).copied()
+    }
+
+    /// The cold-start state: nothing cached, nothing possibly cached.
+    #[must_use]
+    pub fn cold(&self) -> AbsCacheState {
+        AbsCacheState {
+            must: vec![0; self.total_words],
+            may: vec![0; self.total_words],
+        }
+    }
+
+    /// Word range of row `(set, age)`.
+    #[inline]
+    fn row(&self, set: usize, age: u32) -> std::ops::Range<usize> {
+        debug_assert!(age < self.set_ways[set]);
+        let start = self.offsets[set] + age as usize * self.words[set];
+        start..start + self.words[set]
+    }
+}
+
+/// Abstract state of one cache (all sets), carrying both domains as flat
+/// bitset word arrays over a [`CacheDomain`]'s interned universe. Every
+/// operation takes the domain the state was created from; equality
+/// compares the word arrays (states of different domains must not be
+/// mixed — joins `debug_assert` the layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsCacheState {
+    /// Must rows: bit b of row (s, a) ⇔ line b of set s has age bound a.
+    must: Vec<u64>,
+    /// May rows, same layout.
+    may: Vec<u64>,
+}
+
+/// Which of the two age arrays an update targets.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Dom {
+    Must,
+    May,
+}
+
+/// Reusable join buffers (one row copy and one cumulative mask per
+/// side), sized for the widest set.
+pub(crate) struct JoinScratch {
+    row_a: Vec<u64>,
+    row_b: Vec<u64>,
+    cum_a: Vec<u64>,
+    cum_b: Vec<u64>,
+}
+
+impl JoinScratch {
+    /// Buffers sized for `dom`'s widest set.
+    pub(crate) fn for_domain(dom: &CacheDomain) -> JoinScratch {
+        let words = dom.max_words;
+        JoinScratch {
+            row_a: vec![0; words],
+            row_b: vec![0; words],
+            cum_a: vec![0; words],
+            cum_b: vec![0; words],
+        }
+    }
+}
+
+impl AbsCacheState {
+    fn words(&self, which: Dom) -> &[u64] {
+        match which {
+            Dom::Must => &self.must,
+            Dom::May => &self.may,
+        }
+    }
+
+    fn words_mut(&mut self, which: Dom) -> &mut [u64] {
+        match which {
+            Dom::Must => &mut self.must,
+            Dom::May => &mut self.may,
+        }
+    }
+
+    /// The age of `line` in `which`, by row scan (at most `ways` word
+    /// tests).
+    fn age_of(&self, dom: &CacheDomain, which: Dom, line: LineRef) -> Option<u32> {
+        let set = line.set as usize;
+        let word = (line.bit / 64) as usize;
+        let mask = 1u64 << (line.bit % 64);
+        let arr = self.words(which);
+        (0..dom.set_ways[set]).find(|&age| arr[dom.row(set, age).start + word] & mask != 0)
+    }
+
+    fn clear_bit(&mut self, dom: &CacheDomain, which: Dom, line: LineRef, age: u32) {
+        let word = (line.bit / 64) as usize;
+        let mask = 1u64 << (line.bit % 64);
+        let start = dom.row(line.set as usize, age).start;
+        self.words_mut(which)[start + word] &= !mask;
+    }
+
+    fn set_bit(&mut self, dom: &CacheDomain, which: Dom, line: LineRef, age: u32) {
+        let word = (line.bit / 64) as usize;
+        let mask = 1u64 << (line.bit % 64);
+        let start = dom.row(line.set as usize, age).start;
+        self.words_mut(which)[start + word] |= mask;
+    }
+
+    /// Ages rows `0..threshold` of `set` up by one: row `threshold`
+    /// absorbs row `threshold − 1` (or drops it when `threshold == ways`),
+    /// row 0 empties. `threshold == 0` is a no-op.
+    fn age_rows(&mut self, dom: &CacheDomain, which: Dom, set: usize, threshold: u32) {
+        if threshold == 0 {
+            return;
+        }
+        let ways = dom.set_ways[set];
+        let w = dom.words[set];
+        if w == 0 {
+            return;
+        }
+        let arr = self.words_mut(which);
+        if threshold < ways {
+            let (dst, src) = (
+                dom.row(set, threshold).start,
+                dom.row(set, threshold - 1).start,
+            );
+            for k in 0..w {
+                arr[dst + k] |= arr[src + k];
+            }
+        }
+        for age in (1..threshold).rev() {
+            let (dst, src) = (dom.row(set, age).start, dom.row(set, age - 1).start);
+            for k in 0..w {
+                arr[dst + k] = arr[src + k];
+            }
+        }
+        let z = dom.row(set, 0);
+        arr[z].fill(0);
+    }
+
+    /// Must-age upper bound of `line`, if the line is guaranteed cached.
+    #[must_use]
+    pub fn must_age(&self, dom: &CacheDomain, line: LineRef) -> Option<u32> {
+        self.age_of(dom, Dom::Must, line)
     }
 
     /// True if `line` may be cached (absent ⇒ guaranteed miss).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `set` is out of range.
     #[must_use]
-    pub fn may_contain(&self, set: usize, line: LineAddr) -> bool {
-        self.may[set].contains_key(&line)
+    pub fn may_contain(&self, dom: &CacheDomain, line: LineRef) -> bool {
+        self.age_of(dom, Dom::May, line).is_some()
     }
 
     /// Applies an access to a *known* line.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `set` is out of range.
-    pub fn access(&mut self, set: usize, line: LineAddr) {
-        let ways = self.set_ways[set];
+    pub fn access(&mut self, dom: &CacheDomain, line: LineRef) {
+        let set = line.set as usize;
+        let ways = dom.set_ways[set];
         if ways == 0 {
             return; // fully locked set: no unlocked state to track
         }
-        // Must update.
-        let old = self.must[set].get(&line).copied();
-        let threshold = old.unwrap_or(u32::MAX);
-        let mut next = BTreeMap::new();
-        for (&m, &age) in &self.must[set] {
-            if m == line {
-                continue;
-            }
-            let new_age = if age < threshold { age + 1 } else { age };
-            if new_age < ways {
-                next.insert(m, new_age);
-            }
+        // Must: lines with age < old bound (all, when absent) age by one.
+        let must_t = self.age_of(dom, Dom::Must, line).unwrap_or(ways);
+        if let Some(a) = (must_t < ways).then_some(must_t) {
+            self.clear_bit(dom, Dom::Must, line, a);
         }
-        next.insert(line, 0);
-        self.must[set] = next;
-
-        // May update.
-        let old = self.may[set].get(&line).copied();
-        let threshold = old.unwrap_or(u32::MAX);
-        let mut next = BTreeMap::new();
-        for (&m, &age) in &self.may[set] {
-            if m == line {
-                continue;
-            }
-            let new_age = if age <= threshold { age + 1 } else { age };
-            if new_age < ways {
-                next.insert(m, new_age);
-            }
+        self.age_rows(dom, Dom::Must, set, must_t);
+        self.set_bit(dom, Dom::Must, line, 0);
+        // May: lines with age ≤ old bound (all, when absent) age by one.
+        let may_old = self.age_of(dom, Dom::May, line);
+        let may_t = may_old.map_or(ways, |a| (a + 1).min(ways));
+        if let Some(a) = may_old {
+            self.clear_bit(dom, Dom::May, line, a);
         }
-        next.insert(line, 0);
-        self.may[set] = next;
+        self.age_rows(dom, Dom::May, set, may_t);
+        self.set_bit(dom, Dom::May, line, 0);
     }
 
     /// Applies an access to an *unknown* line drawn from `lines`
@@ -142,63 +325,133 @@ impl AbsCacheState {
     ///
     /// Must: every tracked line in a touched set may be pushed, so ages
     /// increase by 1 (nothing can be inserted). May: every candidate line
-    /// may now be cached at age 0; other may-ages are unchanged (their lower
-    /// bounds remain valid whether or not they shifted).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a computed set index is out of range (config mismatch).
-    pub fn access_unknown_of(&mut self, config: &CacheConfig, lines: &[LineAddr]) {
-        let mut touched: Vec<usize> = lines.iter().map(|&l| config.set_of(l) as usize).collect();
+    /// may now be cached at age 0; other may-ages are unchanged (their
+    /// lower bounds remain valid whether or not they shifted).
+    pub fn access_unknown(&mut self, dom: &CacheDomain, lines: &[LineRef]) {
+        let mut touched: Vec<usize> = lines.iter().map(|l| l.set as usize).collect();
         touched.sort_unstable();
         touched.dedup();
         for &set in &touched {
-            let ways = self.set_ways[set];
-            if ways == 0 {
+            if dom.set_ways[set] == 0 {
                 continue;
             }
-            let mut next = BTreeMap::new();
-            for (&m, &age) in &self.must[set] {
-                if age + 1 < ways {
-                    next.insert(m, age + 1);
-                }
-            }
-            self.must[set] = next;
+            self.age_rows(dom, Dom::Must, set, dom.set_ways[set]);
         }
         for &l in lines {
-            let set = config.set_of(l) as usize;
-            if self.set_ways[set] == 0 {
+            if dom.set_ways[l.set as usize] == 0 {
                 continue;
             }
-            let e = self.may[set].entry(l).or_insert(0);
-            *e = 0;
+            if let Some(a) = self.age_of(dom, Dom::May, l) {
+                self.clear_bit(dom, Dom::May, l, a);
+            }
+            self.set_bit(dom, Dom::May, l, 0);
         }
     }
 
-    /// Least upper bound (control-flow join): must intersects with max age,
-    /// may unions with min age.
+    /// Hard layout guard: both states must carry exactly `dom`'s word
+    /// count. This catches every cross-domain mix-up that changes the
+    /// layout; two *different* domains with identical word counts are
+    /// indistinguishable here, so states must only ever meet states of
+    /// the domain that created them (the `analyze` fixpoint guarantees
+    /// this by construction).
+    fn check_layout(&self, dom: &CacheDomain, other: &AbsCacheState) {
+        assert_eq!(
+            self.must.len(),
+            dom.total_words,
+            "state does not belong to this CacheDomain"
+        );
+        assert_eq!(
+            other.must.len(),
+            dom.total_words,
+            "joined states come from different CacheDomains"
+        );
+    }
+
+    /// Least upper bound (control-flow join): must intersects with max
+    /// age, may unions with min age — all as word operations over
+    /// cumulative-age masks.
     ///
     /// # Panics
     ///
-    /// Panics if the two states have different geometry.
-    pub fn join(&mut self, other: &AbsCacheState) {
-        assert_eq!(
-            self.set_ways, other.set_ways,
-            "joining incompatible cache states"
-        );
-        for set in 0..self.set_ways.len() {
-            // Must: intersection, max age.
-            let mut next = BTreeMap::new();
-            for (&l, &a) in &self.must[set] {
-                if let Some(&b) = other.must[set].get(&l) {
-                    next.insert(l, a.max(b));
-                }
+    /// Panics if the two states disagree with `dom`'s layout.
+    pub fn join(&mut self, dom: &CacheDomain, other: &AbsCacheState) {
+        let mut scratch = JoinScratch::for_domain(dom);
+        self.join_in(dom, other, &mut scratch);
+    }
+
+    /// [`AbsCacheState::join`] with a caller-provided scratch (the
+    /// fixpoint reuses one across every join instead of allocating).
+    pub(crate) fn join_in(
+        &mut self,
+        dom: &CacheDomain,
+        other: &AbsCacheState,
+        scratch: &mut JoinScratch,
+    ) {
+        self.check_layout(dom, other);
+        for set in 0..dom.num_sets() {
+            self.join_set(dom, other, set, scratch);
+        }
+    }
+
+    /// [`AbsCacheState::join`] restricted to `sets` (sorted or not; the
+    /// untouched sets are assumed equal in both states, which holds for
+    /// the may-or-may-not-happen transfer where `other` diverged from
+    /// `self` only on the touched sets).
+    pub(crate) fn join_sets_in(
+        &mut self,
+        dom: &CacheDomain,
+        other: &AbsCacheState,
+        sets: &[usize],
+        scratch: &mut JoinScratch,
+    ) {
+        self.check_layout(dom, other);
+        let mut last = usize::MAX;
+        for &set in sets {
+            if set != last {
+                self.join_set(dom, other, set, scratch);
+                last = set;
             }
-            self.must[set] = next;
-            // May: union, min age.
-            for (&l, &b) in &other.may[set] {
-                let e = self.may[set].entry(l).or_insert(b);
-                *e = (*e).min(b);
+        }
+    }
+
+    /// One set's join (see [`AbsCacheState::join`] for the lattice).
+    fn join_set(
+        &mut self,
+        dom: &CacheDomain,
+        other: &AbsCacheState,
+        set: usize,
+        s: &mut JoinScratch,
+    ) {
+        let w = dom.words[set];
+        if w == 0 {
+            return;
+        }
+        s.cum_a[..w].fill(0);
+        s.cum_b[..w].fill(0);
+        for age in 0..dom.set_ways[set] {
+            let r = dom.row(set, age);
+            s.row_a[..w].copy_from_slice(&self.must[r.clone()]);
+            s.row_b[..w].copy_from_slice(&other.must[r.clone()]);
+            // new[a] = (A[a] ∩ cumB[≤a]) ∪ (B[a] ∩ cumA[≤a]):
+            // a surviving line takes the larger of its two ages.
+            for k in 0..w {
+                s.cum_a[k] |= s.row_a[k];
+                s.cum_b[k] |= s.row_b[k];
+                self.must[r.start + k] = (s.row_a[k] & s.cum_b[k]) | (s.row_b[k] & s.cum_a[k]);
+            }
+        }
+        s.cum_a[..w].fill(0);
+        s.cum_b[..w].fill(0);
+        for age in 0..dom.set_ways[set] {
+            let r = dom.row(set, age);
+            s.row_a[..w].copy_from_slice(&self.may[r.clone()]);
+            s.row_b[..w].copy_from_slice(&other.may[r.clone()]);
+            // new[a] = (A[a] ∖ cumB[<a]) ∪ (B[a] ∖ cumA[<a]):
+            // a line takes the smaller of its ages, union overall.
+            for k in 0..w {
+                self.may[r.start + k] = (s.row_a[k] & !s.cum_b[k]) | (s.row_b[k] & !s.cum_a[k]);
+                s.cum_a[k] |= s.row_a[k];
+                s.cum_b[k] |= s.row_b[k];
             }
         }
     }
@@ -206,145 +459,362 @@ impl AbsCacheState {
     /// Shifts every must age in `set` up by `delta`, evicting lines whose
     /// age reaches the way count (shared-cache interference, paper §4.1:
     /// each conflicting line of a co-runner can age our contents by one).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `set` is out of range.
-    pub fn shift_must_ages(&mut self, set: usize, delta: u32) {
-        if delta == 0 {
+    pub fn shift_must_ages(&mut self, dom: &CacheDomain, set: usize, delta: u32) {
+        if delta == 0 || dom.words[set] == 0 {
             return;
         }
-        let ways = self.set_ways[set];
-        let mut next = BTreeMap::new();
-        for (&l, &a) in &self.must[set] {
-            let shifted = a.saturating_add(delta);
-            if shifted < ways {
-                next.insert(l, shifted);
+        let ways = dom.set_ways[set];
+        let w = dom.words[set];
+        for age in (delta..ways).rev() {
+            let (dst, src) = (dom.row(set, age).start, dom.row(set, age - delta).start);
+            for k in 0..w {
+                self.must[dst + k] = self.must[src + k];
             }
         }
-        self.must[set] = next;
+        for age in 0..delta.min(ways) {
+            let r = dom.row(set, age);
+            self.must[r].fill(0);
+        }
     }
 
     /// Number of lines tracked in the must state of `set` (diagnostics).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `set` is out of range.
     #[must_use]
-    pub fn must_len(&self, set: usize) -> usize {
-        self.must[set].len()
+    pub fn must_len(&self, dom: &CacheDomain, set: usize) -> usize {
+        (0..dom.set_ways[set])
+            .map(|age| {
+                self.must[dom.row(set, age)]
+                    .iter()
+                    .map(|w| w.count_ones() as usize)
+                    .sum::<usize>()
+            })
+            .sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
     use wcet_ir::Addr;
 
     fn cfg2() -> CacheConfig {
         CacheConfig::new(1, 2, 32, 1).expect("valid")
     }
 
+    /// Domain over an explicit universe on the 1-set 2-way config.
+    fn dom2(lines: &[LineAddr]) -> CacheDomain {
+        CacheDomain::for_config(&cfg2(), lines.iter().copied())
+    }
+
     #[test]
     fn must_hit_after_access() {
         let c = cfg2();
-        let mut s = AbsCacheState::cold(&c);
         let l = c.line_of(Addr(0));
-        assert_eq!(s.must_age(0, l), None);
-        s.access(0, l);
-        assert_eq!(s.must_age(0, l), Some(0));
-        assert!(s.may_contain(0, l));
+        let dom = dom2(&[l]);
+        let mut s = dom.cold();
+        let r = dom.intern(l).expect("interned");
+        assert_eq!(s.must_age(&dom, r), None);
+        s.access(&dom, r);
+        assert_eq!(s.must_age(&dom, r), Some(0));
+        assert!(s.may_contain(&dom, r));
     }
 
     #[test]
     fn must_eviction_at_ways() {
-        let c = cfg2(); // 2 ways
-        let mut s = AbsCacheState::cold(&c);
         let (a, b, d) = (LineAddr(0), LineAddr(1), LineAddr(2));
-        s.access(0, a);
-        s.access(0, b);
-        assert_eq!(s.must_age(0, a), Some(1));
-        s.access(0, d); // pushes a out
-        assert_eq!(s.must_age(0, a), None);
-        assert_eq!(s.must_age(0, b), Some(1));
-        assert_eq!(s.must_age(0, d), Some(0));
+        let dom = dom2(&[a, b, d]);
+        let (ra, rb, rd) = (
+            dom.intern(a).unwrap(),
+            dom.intern(b).unwrap(),
+            dom.intern(d).unwrap(),
+        );
+        let mut s = dom.cold();
+        s.access(&dom, ra);
+        s.access(&dom, rb);
+        assert_eq!(s.must_age(&dom, ra), Some(1));
+        s.access(&dom, rd); // pushes a out
+        assert_eq!(s.must_age(&dom, ra), None);
+        assert_eq!(s.must_age(&dom, rb), Some(1));
+        assert_eq!(s.must_age(&dom, rd), Some(0));
     }
 
     #[test]
     fn repeated_access_does_not_age_others() {
-        let c = cfg2();
-        let mut s = AbsCacheState::cold(&c);
         let (a, b) = (LineAddr(0), LineAddr(1));
-        s.access(0, a);
-        s.access(0, b);
-        s.access(0, b); // b already age 0: a must not age
-        assert_eq!(s.must_age(0, a), Some(1));
+        let dom = dom2(&[a, b]);
+        let (ra, rb) = (dom.intern(a).unwrap(), dom.intern(b).unwrap());
+        let mut s = dom.cold();
+        s.access(&dom, ra);
+        s.access(&dom, rb);
+        s.access(&dom, rb); // b already age 0: a must not age
+        assert_eq!(s.must_age(&dom, ra), Some(1));
     }
 
     #[test]
     fn join_must_intersects_max() {
-        let c = cfg2();
         let (a, b) = (LineAddr(0), LineAddr(1));
-        let mut s1 = AbsCacheState::cold(&c);
-        s1.access(0, a);
-        s1.access(0, b); // a:1 b:0
-        let mut s2 = AbsCacheState::cold(&c);
-        s2.access(0, a); // a:0
-        s1.join(&s2);
-        assert_eq!(s1.must_age(0, a), Some(1)); // max(1, 0)
-        assert_eq!(s1.must_age(0, b), None); // not in s2
-                                             // May keeps the union.
-        assert!(s1.may_contain(0, a));
-        assert!(s1.may_contain(0, b));
+        let dom = dom2(&[a, b]);
+        let (ra, rb) = (dom.intern(a).unwrap(), dom.intern(b).unwrap());
+        let mut s1 = dom.cold();
+        s1.access(&dom, ra);
+        s1.access(&dom, rb); // a:1 b:0
+        let mut s2 = dom.cold();
+        s2.access(&dom, ra); // a:0
+        s1.join(&dom, &s2);
+        assert_eq!(s1.must_age(&dom, ra), Some(1)); // max(1, 0)
+        assert_eq!(s1.must_age(&dom, rb), None); // not in s2
+                                                 // May keeps the union.
+        assert!(s1.may_contain(&dom, ra));
+        assert!(s1.may_contain(&dom, rb));
     }
 
     #[test]
     fn unknown_access_ages_must_and_feeds_may() {
         let c = CacheConfig::new(2, 2, 32, 1).expect("valid");
-        let mut s = AbsCacheState::cold(&c);
         let known = LineAddr(0); // set 0
-        s.access(0, known);
         let range = [LineAddr(2), LineAddr(4)]; // both set 0
-        s.access_unknown_of(&c, &range);
-        assert_eq!(s.must_age(0, known), Some(1));
-        assert!(s.may_contain(0, LineAddr(2)));
-        assert!(s.may_contain(0, LineAddr(4)));
+        let dom = CacheDomain::for_config(&c, [known, range[0], range[1]]);
+        let rk = dom.intern(known).unwrap();
+        let rr: Vec<LineRef> = range.iter().map(|&l| dom.intern(l).unwrap()).collect();
+        let mut s = dom.cold();
+        s.access(&dom, rk);
+        s.access_unknown(&dom, &rr);
+        assert_eq!(s.must_age(&dom, rk), Some(1));
+        assert!(s.may_contain(&dom, rr[0]));
+        assert!(s.may_contain(&dom, rr[1]));
         // Second unknown access evicts `known` from must (age 2 == ways).
-        s.access_unknown_of(&c, &range);
-        assert_eq!(s.must_age(0, known), None);
+        s.access_unknown(&dom, &rr);
+        assert_eq!(s.must_age(&dom, rk), None);
     }
 
     #[test]
     fn shift_must_ages_evicts() {
-        let c = cfg2();
-        let mut s = AbsCacheState::cold(&c);
         let (a, b) = (LineAddr(0), LineAddr(1));
-        s.access(0, a);
-        s.access(0, b); // a:1, b:0
-        s.shift_must_ages(0, 1);
-        assert_eq!(s.must_age(0, a), None); // 1+1 == ways
-        assert_eq!(s.must_age(0, b), Some(1));
+        let dom = dom2(&[a, b]);
+        let (ra, rb) = (dom.intern(a).unwrap(), dom.intern(b).unwrap());
+        let mut s = dom.cold();
+        s.access(&dom, ra);
+        s.access(&dom, rb); // a:1, b:0
+        s.shift_must_ages(&dom, 0, 1);
+        assert_eq!(s.must_age(&dom, ra), None); // 1+1 == ways
+        assert_eq!(s.must_age(&dom, rb), Some(1));
     }
 
     #[test]
     fn zero_way_set_is_inert() {
-        let mut s = AbsCacheState::cold_with_ways(vec![0]);
-        s.access(0, LineAddr(0));
-        assert_eq!(s.must_age(0, LineAddr(0)), None);
-        assert!(!s.may_contain(0, LineAddr(0)));
+        let dom = CacheDomain::new(vec![0], vec![vec![LineAddr(0)]]);
+        let r = dom.intern(LineAddr(0)).unwrap();
+        let mut s = dom.cold();
+        s.access(&dom, r);
+        assert_eq!(s.must_age(&dom, r), None);
+        assert!(!s.may_contain(&dom, r));
     }
 
     #[test]
     fn may_eviction_needs_full_aging() {
-        let c = cfg2();
-        let mut s = AbsCacheState::cold(&c);
         let (a, b, d) = (LineAddr(0), LineAddr(1), LineAddr(2));
-        s.access(0, a);
-        s.access(0, b);
-        s.access(0, d);
+        let dom = dom2(&[a, b, d]);
+        let (ra, rb, rd) = (
+            dom.intern(a).unwrap(),
+            dom.intern(b).unwrap(),
+            dom.intern(d).unwrap(),
+        );
+        let mut s = dom.cold();
+        s.access(&dom, ra);
+        s.access(&dom, rb);
+        s.access(&dom, rd);
         // a's may-age lower bound is 2 >= ways ⇒ definitely evicted.
-        assert!(!s.may_contain(0, a));
-        assert!(s.may_contain(0, b));
-        assert!(s.may_contain(0, d));
+        assert!(!s.may_contain(&dom, ra));
+        assert!(s.may_contain(&dom, rb));
+        assert!(s.may_contain(&dom, rd));
+    }
+
+    #[test]
+    fn wide_sets_cross_word_boundaries() {
+        // > 64 lines in one set exercises the multi-word rows.
+        let lines: Vec<LineAddr> = (0..100).map(LineAddr).collect();
+        let dom = CacheDomain::new(vec![4], vec![lines.clone()]);
+        let mut s = dom.cold();
+        for &l in &lines {
+            s.access(&dom, dom.intern(l).unwrap());
+        }
+        // The last 4 accessed lines hold must ages 3..0.
+        for (i, &l) in lines[96..].iter().enumerate() {
+            assert_eq!(s.must_age(&dom, dom.intern(l).unwrap()), Some(3 - i as u32));
+        }
+        assert_eq!(s.must_len(&dom, 0), 4);
+        assert!(!s.may_contain(&dom, dom.intern(lines[0]).unwrap()));
+        assert!(s.may_contain(&dom, dom.intern(lines[96]).unwrap()));
+    }
+
+    /// Reference (map-based) twin of the bitset domain — the pre-intern
+    /// implementation, verbatim in semantics.
+    #[derive(Clone, Default)]
+    struct RefState {
+        must: Vec<BTreeMap<LineAddr, u32>>,
+        may: Vec<BTreeMap<LineAddr, u32>>,
+    }
+
+    impl RefState {
+        fn cold(sets: usize) -> RefState {
+            RefState {
+                must: vec![BTreeMap::new(); sets],
+                may: vec![BTreeMap::new(); sets],
+            }
+        }
+
+        fn access(&mut self, set: usize, ways: u32, line: LineAddr) {
+            if ways == 0 {
+                return;
+            }
+            for (map, strict) in [(&mut self.must[set], true), (&mut self.may[set], false)] {
+                let old = map.get(&line).copied();
+                let threshold = old.unwrap_or(u32::MAX);
+                let mut next = BTreeMap::new();
+                for (&m, &age) in map.iter() {
+                    if m == line {
+                        continue;
+                    }
+                    let bump = if strict {
+                        age < threshold
+                    } else {
+                        age <= threshold
+                    };
+                    let new_age = if bump { age + 1 } else { age };
+                    if new_age < ways {
+                        next.insert(m, new_age);
+                    }
+                }
+                next.insert(line, 0);
+                *map = next;
+            }
+        }
+
+        fn access_unknown(&mut self, per_set: &[(usize, u32, Vec<LineAddr>)]) {
+            for &(set, ways, ref lines) in per_set {
+                if ways == 0 {
+                    continue;
+                }
+                let mut next = BTreeMap::new();
+                for (&m, &age) in &self.must[set] {
+                    if age + 1 < ways {
+                        next.insert(m, age + 1);
+                    }
+                }
+                self.must[set] = next;
+                for &l in lines {
+                    self.may[set].insert(l, 0);
+                }
+            }
+        }
+
+        fn join(&mut self, other: &RefState) {
+            for set in 0..self.must.len() {
+                let mut next = BTreeMap::new();
+                for (&l, &a) in &self.must[set] {
+                    if let Some(&b) = other.must[set].get(&l) {
+                        next.insert(l, a.max(b));
+                    }
+                }
+                self.must[set] = next;
+                for (&l, &b) in &other.may[set] {
+                    let e = self.may[set].entry(l).or_insert(b);
+                    *e = (*e).min(b);
+                }
+            }
+        }
+    }
+
+    /// Randomized differential test: a scripted mix of accesses, unknown
+    /// accesses and joins must leave the bitset and the map domains in
+    /// agreement on every (line, age) fact. Narrow rows (1 word per set).
+    #[test]
+    fn bitset_domain_matches_map_reference() {
+        differential_vs_reference(&[2u32, 4, 1], 24, 0x9E37_79B9_7F4A_7C15);
+    }
+
+    /// The same differential script over >64 lines per set, so every
+    /// join/aging loop runs across word boundaries (2 words per row).
+    #[test]
+    fn bitset_domain_matches_map_reference_multiword() {
+        differential_vs_reference(&[3u32, 2], 150, 0x0123_4567_89AB_CDEF);
+    }
+
+    fn differential_vs_reference(ways: &[u32], num_lines: u64, seed: u64) {
+        let sets = ways.len();
+        let lines: Vec<LineAddr> = (0..num_lines).map(LineAddr).collect();
+        let set_of = |l: LineAddr| (l.0 % sets as u64) as usize;
+        let mut per_set = vec![Vec::new(); sets];
+        for &l in &lines {
+            per_set[set_of(l)].push(l);
+        }
+        let dom = CacheDomain::new(ways.to_vec(), per_set);
+
+        let mut rng = seed;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let check = |s: &AbsCacheState, r: &RefState| {
+            for &l in &lines {
+                let lr = dom.intern(l).expect("interned");
+                let set = set_of(l);
+                assert_eq!(
+                    s.must_age(&dom, lr),
+                    r.must[set].get(&l).copied(),
+                    "must diverged on {l:?}"
+                );
+                assert_eq!(
+                    s.may_contain(&dom, lr),
+                    r.may[set].contains_key(&l),
+                    "may diverged on {l:?}"
+                );
+            }
+        };
+
+        let mut s = dom.cold();
+        let mut r = RefState::cold(sets);
+        let mut forked: Option<(AbsCacheState, RefState)> = None;
+        for step in 0..400 {
+            match next() % 5 {
+                0..=2 => {
+                    let l = lines[(next() % lines.len() as u64) as usize];
+                    let set = set_of(l);
+                    s.access(&dom, dom.intern(l).unwrap());
+                    r.access(set, ways[set], l);
+                }
+                3 => {
+                    // Unknown access over a random 3-line slice.
+                    let start = (next() % (lines.len() as u64 - 3)) as usize;
+                    let mut slice: Vec<LineAddr> = lines[start..start + 3].to_vec();
+                    slice.sort_by_key(|&l| (set_of(l), l.0));
+                    let refs: Vec<LineRef> =
+                        slice.iter().map(|&l| dom.intern(l).unwrap()).collect();
+                    s.access_unknown(&dom, &refs);
+                    let mut grouped: Vec<(usize, u32, Vec<LineAddr>)> = Vec::new();
+                    for &l in &slice {
+                        let set = set_of(l);
+                        match grouped.iter_mut().find(|g| g.0 == set) {
+                            Some(g) => g.2.push(l),
+                            None => grouped.push((set, ways[set], vec![l])),
+                        }
+                    }
+                    r.access_unknown(&grouped);
+                }
+                _ => match forked.take() {
+                    None => forked = Some((s.clone(), r.clone())),
+                    Some((fs, fr)) => {
+                        s.join(&dom, &fs);
+                        r.join(&fr);
+                    }
+                },
+            }
+            if step % 16 == 0 {
+                check(&s, &r);
+            }
+        }
+        check(&s, &r);
     }
 }

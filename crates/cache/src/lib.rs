@@ -54,7 +54,7 @@ pub use analysis::{
 };
 pub use concrete::{AccessOutcome, ConcreteCache};
 pub use config::{CacheConfig, ConfigError, LineAddr};
-pub use domain::AbsCacheState;
+pub use domain::{AbsCacheState, CacheDomain, LineRef};
 pub use multilevel::{analyze_hierarchy, reach_filter, HierarchyAnalysis, HierarchyConfig};
 pub use partition::{AllocationPolicy, OwnerId, PartitionPlan};
 pub use shared::{ConflictDowngrade, InterferenceMap};

@@ -45,6 +45,15 @@ impl SolveContext {
     pub fn stats(&self) -> ContextStats {
         self.inner.stats()
     }
+
+    /// Summed per-solve effort counters (pivots, certified f64 solves,
+    /// fallbacks, eta refactorizations…) of every IPET solve served
+    /// through this context — engine-family *and* statically-controlled
+    /// paths alike.
+    #[must_use]
+    pub fn totals(&self) -> SolveStats {
+        self.inner.totals()
+    }
 }
 
 /// IPET options.

@@ -51,6 +51,33 @@ pub fn run_machine(
     m.run(cycle_limit)
 }
 
+/// [`run_machine`], stopped as soon as every `watched` slot has retired.
+/// Unwatched co-runners keep interfering until that point; every metric
+/// attributable to a watched thread (its completion cycle, its thread
+/// stats, its requester slot's bus waits) is byte-identical to a
+/// run-to-completion — the machine is deterministic and a finished
+/// thread's metrics are immutable. Machine-wide aggregates (makespan,
+/// cache totals) and unwatched threads' stats reflect only the
+/// truncated run; use [`run_machine`] to read those. Pure wall-clock
+/// optimization for observation runs whose interference sources far
+/// outlive the tasks under test.
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+pub fn run_machine_watched(
+    config: &MachineConfig,
+    loads: Vec<(usize, usize, Program)>,
+    watched: &[(usize, usize)],
+    cycle_limit: u64,
+) -> Result<RunResult, SimError> {
+    let mut m = Machine::new(config.clone());
+    for (core, thread, program) in loads {
+        m.load(core, thread, program)?;
+    }
+    m.run_watched(cycle_limit, watched)
+}
+
 /// Runs *all* `loads` of one concrete scenario together in a single
 /// simulation and observes each `watched` slot `(core, thread, bound)`
 /// against its own analysed bound.
@@ -69,7 +96,8 @@ pub fn observe_all(
     watched: &[(usize, usize, u64)],
     cycle_limit: u64,
 ) -> Result<Vec<Observation>, SimError> {
-    let result = run_machine(config, loads, cycle_limit)?;
+    let slots: Vec<(usize, usize)> = watched.iter().map(|&(c, t, _)| (c, t)).collect();
+    let result = run_machine_watched(config, loads, &slots, cycle_limit)?;
     Ok(watched
         .iter()
         .map(|&(core, thread, bound)| Observation {
@@ -95,7 +123,7 @@ pub fn observe(
     let (core, thread, program) = task;
     let mut loads = vec![(core, thread, program)];
     loads.extend(corunners);
-    let result = run_machine(config, loads, cycle_limit)?;
+    let result = run_machine_watched(config, loads, &[(core, thread)], cycle_limit)?;
     Ok(Observation {
         observed: result.cycles(core, thread),
         bound,

@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::branch_bound::{solve_ilp_warm, IlpConfig, IlpError, IlpStats};
-use crate::model::{LpModel, Solution};
+use crate::model::{LpModel, Solution, SolveStats};
 use crate::simplex::{solve_lp_warm, WarmBasis};
 
 /// Key identifying one constraint system (callers typically use a task
@@ -47,6 +47,11 @@ pub struct SolveContext {
     bases: Mutex<HashMap<SolveKey, Arc<WarmBasis>>>,
     warm_hits: AtomicU64,
     cold_solves: AtomicU64,
+    /// Per-solve effort counters summed over every solve served through
+    /// this context (pivots, certified fast solves, fallbacks…) — the
+    /// one place a mixed engine/static-path workload can read its whole
+    /// solver bill.
+    totals: Mutex<SolveStats>,
 }
 
 impl SolveContext {
@@ -65,6 +70,17 @@ impl SolveContext {
         }
     }
 
+    /// Summed per-solve effort counters of every solve served through
+    /// this context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread died while holding the totals lock.
+    #[must_use]
+    pub fn totals(&self) -> SolveStats {
+        *self.totals.lock().expect("context totals lock")
+    }
+
     fn cached(&self, key: SolveKey) -> Option<Arc<WarmBasis>> {
         self.bases.lock().expect("context lock").get(&key).cloned()
     }
@@ -75,7 +91,17 @@ impl SolveContext {
     /// system, so any produced basis is equally valid — and if a caller
     /// mis-keys two systems together, keeping the first avoids the two
     /// thrashing each other out of the cache forever.
-    fn record(&self, key: SolveKey, warm_used: bool, feasible: Option<WarmBasis>) {
+    fn record(
+        &self,
+        key: SolveKey,
+        warm_used: bool,
+        feasible: Option<WarmBasis>,
+        stats: &SolveStats,
+    ) {
+        self.totals
+            .lock()
+            .expect("context totals lock")
+            .absorb(stats);
         if warm_used {
             self.warm_hits.fetch_add(1, Ordering::Relaxed);
             return;
@@ -103,7 +129,12 @@ impl SolveContext {
     ) -> Result<(Solution, IlpStats), IlpError> {
         let warm = self.cached(key);
         let out = solve_ilp_warm(model, config, warm.as_deref())?;
-        self.record(key, out.root_warm_used, out.root_feasible_basis);
+        self.record(
+            key,
+            out.root_warm_used,
+            out.root_feasible_basis,
+            &out.solution.stats,
+        );
         Ok((out.solution, out.stats))
     }
 
@@ -113,7 +144,7 @@ impl SolveContext {
         let warm = self.cached(key);
         let out = solve_lp_warm(model, warm.as_deref());
         let warm_used = out.solution.stats.warm_starts > 0;
-        self.record(key, warm_used, out.feasible_basis);
+        self.record(key, warm_used, out.feasible_basis, &out.solution.stats);
         out.solution
     }
 }

@@ -1,0 +1,526 @@
+//! The speculative f64 tier of the two-tier LP kernel.
+//!
+//! A floating-point revised simplex runs over the same sparse standard
+//! form as the exact solver, but keeps its basis inverse as an **eta
+//! file** (product-form updates, periodically refactorized) instead of
+//! an explicit dense `B⁻¹`, and pivots in `f64` instead of [`Rat`]. Its
+//! only job is to *propose a terminal basis*; [`crate::certify`] then
+//! proves, in exact arithmetic, that the basis is primal feasible and
+//! dual optimal. A certified basis yields the exact optimum (computed in
+//! `Rat` from the basis, not from any float); anything less — a
+//! non-optimal status claim, a numerical bail-out, a refuted basis —
+//! makes [`crate::simplex::solve_lp_warm`] rerun the exact solver from a
+//! cold start, so every returned [`Solution`] is exactly optimal either
+//! way.
+//!
+//! **Warm/cold bit-identity.** Phase 2 always starts from a *freshly
+//! refactorized* eta file of the phase-1 (or adopted) basis, and the
+//! refactorization is a deterministic function of the basis column set.
+//! A warm solve adopting the cached basis `B` therefore replays the
+//! byte-for-byte float trajectory a cold solve takes after its own
+//! phase 1 produced the same `B` — so the certified vertex, like the
+//! exact tier's, cannot depend on who populated the cache. This holds
+//! because every *cached* basis has f64-phase-1 provenance: the
+//! fallback path deliberately withholds the exact tier's feasible basis
+//! (see `solve_lp_warm`), so an adopted basis is always the one a cold
+//! f64 solve of the same system would have produced.
+
+use crate::certify;
+use crate::model::{LpModel, Solution, SolveStats, SolveStatus};
+use crate::simplex::{LpSolve, Revised, WarmBasis};
+
+/// Degenerate-pivot streak before Bland's rule engages (mirrors the
+/// exact tier).
+const BLAND_STREAK: u32 = 12;
+/// Eta-file length that triggers a refactorization.
+const REFACTOR_EVERY: usize = 64;
+/// Entering threshold on reduced costs, scaled by the cost magnitude.
+const DANTZIG_TOL: f64 = 1e-9;
+/// Smallest acceptable pivot magnitude.
+const PIVOT_TOL: f64 = 1e-8;
+/// Feasibility slack on basic values (scaled by the rhs magnitude).
+const FEAS_TOL: f64 = 1e-9;
+/// Hard pivot cap: past this, the instance is declared ill-conditioned.
+fn pivot_cap(rows: usize, cols: usize) -> u64 {
+    200 + 40 * (rows + cols) as u64
+}
+
+/// One product-form elementary transformation: pivot on `row`, with
+/// `entries` holding the full eta column *including* the pivot position
+/// (`1/pivot` at `row`, `-w_i/pivot` elsewhere).
+struct Eta {
+    row: usize,
+    entries: Vec<(usize, f64)>,
+}
+
+impl Eta {
+    /// `w ← E·w` (FTRAN step).
+    fn ftran(&self, w: &mut [f64]) {
+        let wr = w[self.row];
+        if wr == 0.0 {
+            return;
+        }
+        for &(i, v) in &self.entries {
+            if i == self.row {
+                w[i] = v * wr;
+            } else {
+                w[i] += v * wr;
+            }
+        }
+    }
+
+    /// `zᵀ ← zᵀ·E` (BTRAN step).
+    fn btran(&self, z: &mut [f64]) {
+        let mut acc = 0.0;
+        for &(i, v) in &self.entries {
+            acc += z[i] * v;
+        }
+        z[self.row] = acc;
+    }
+}
+
+/// The f64 working instance over a borrowed exact standard form.
+struct Fast<'a> {
+    rev: &'a Revised,
+    /// f64 copies of the sparse standard-form columns.
+    cols: Vec<Vec<(usize, f64)>>,
+    rhs: Vec<f64>,
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    etas: Vec<Eta>,
+    xb: Vec<f64>,
+    /// Scale of the rhs (for feasibility tolerances).
+    b_scale: f64,
+    pivots_since_refactor: usize,
+    pivot_budget: u64,
+    stats: SolveStats,
+}
+
+/// Why the fast tier gave up (all reasons route to the exact fallback).
+enum Bail {
+    /// Pivot budget exhausted / no usable pivot element.
+    Numeric,
+    /// The f64 run claims the model is infeasible or unbounded; those
+    /// claims are never certified, only re-derived exactly.
+    NonOptimalClaim,
+}
+
+impl<'a> Fast<'a> {
+    fn new(rev: &'a Revised) -> Fast<'a> {
+        let cols = rev
+            .cols
+            .iter()
+            .map(|c| c.iter().map(|&(r, v)| (r, v.to_f64())).collect())
+            .collect();
+        let rhs: Vec<f64> = rev.rhs.iter().map(|v| v.to_f64()).collect();
+        let b_scale = 1.0 + rhs.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let m = rhs.len();
+        let n = rev.cols.len();
+        let mut t = Fast {
+            rev,
+            cols,
+            rhs,
+            basis: rev.init_basis.clone(),
+            in_basis: vec![false; n],
+            etas: Vec::new(),
+            xb: Vec::new(),
+            b_scale,
+            pivots_since_refactor: 0,
+            pivot_budget: pivot_cap(m, n),
+            stats: SolveStats::default(),
+        };
+        t.reset_cold();
+        t
+    }
+
+    fn num_rows(&self) -> usize {
+        self.rhs.len()
+    }
+
+    fn num_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    fn reset_cold(&mut self) {
+        self.basis = self.rev.init_basis.clone();
+        self.in_basis = vec![false; self.num_cols()];
+        for &b in &self.basis {
+            self.in_basis[b] = true;
+        }
+        self.etas.clear();
+        self.pivots_since_refactor = 0;
+        self.xb = self.rhs.clone();
+    }
+
+    /// `B⁻¹ a_col` through the eta file.
+    fn ftran_col(&self, col: usize) -> Vec<f64> {
+        let mut w = vec![0.0; self.num_rows()];
+        for &(r, v) in &self.cols[col] {
+            w[r] = v;
+        }
+        for e in &self.etas {
+            e.ftran(&mut w);
+        }
+        w
+    }
+
+    /// `c_B B⁻¹` through the eta file, in reverse.
+    fn btran_costs(&self, c: &[f64]) -> Vec<f64> {
+        let mut z: Vec<f64> = self.basis.iter().map(|&b| c[b]).collect();
+        for e in self.etas.iter().rev() {
+            e.btran(&mut z);
+        }
+        z
+    }
+
+    fn reduced_cost(&self, c: &[f64], y: &[f64], j: usize) -> f64 {
+        let mut r = c[j];
+        for &(row, v) in &self.cols[j] {
+            r -= y[row] * v;
+        }
+        r
+    }
+
+    /// Rebuilds the eta file from `basis_cols` by sparse elimination
+    /// (columns in ascending (nnz, index) order, pivot on the smallest
+    /// free row — the same deterministic rule the exact referee uses).
+    /// Recomputes `x_B` from the rhs. `false` = dependent/ill-conditioned.
+    fn refactorize(&mut self, basis_cols: &[usize]) -> bool {
+        let m = self.num_rows();
+        if basis_cols.len() != m || basis_cols.iter().any(|&c| c >= self.num_cols()) {
+            return false;
+        }
+        self.stats.eta_factors += 1;
+        self.etas.clear();
+        self.pivots_since_refactor = 0;
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by_key(|&i| (self.cols[basis_cols[i]].len(), basis_cols[i]));
+        let mut assigned = vec![false; m];
+        let mut basis = vec![usize::MAX; m];
+        for &i in &order {
+            let col = basis_cols[i];
+            let mut w = vec![0.0; m];
+            for &(r, v) in &self.cols[col] {
+                w[r] = v;
+            }
+            for e in &self.etas {
+                e.ftran(&mut w);
+            }
+            // Deterministic free pivot: the largest-magnitude entry on an
+            // unassigned row (ties to the smaller row index).
+            let mut best: Option<(usize, f64)> = None;
+            for (r, &v) in w.iter().enumerate() {
+                if !assigned[r] && v.abs() > PIVOT_TOL && best.is_none_or(|(_, bv)| v.abs() > bv) {
+                    best = Some((r, v.abs()));
+                }
+            }
+            let Some((row, _)) = best else {
+                return false;
+            };
+            assigned[row] = true;
+            basis[row] = col;
+            self.push_eta(row, &w);
+        }
+        self.basis = basis;
+        self.in_basis = vec![false; self.num_cols()];
+        for &b in &self.basis {
+            self.in_basis[b] = true;
+        }
+        let mut xb = self.rhs.clone();
+        for e in &self.etas {
+            e.ftran(&mut xb);
+        }
+        self.xb = xb;
+        true
+    }
+
+    fn push_eta(&mut self, row: usize, w: &[f64]) {
+        let inv = 1.0 / w[row];
+        let mut entries = Vec::with_capacity(8);
+        entries.push((row, inv));
+        for (i, &v) in w.iter().enumerate() {
+            if i != row && v != 0.0 {
+                entries.push((i, -v * inv));
+            }
+        }
+        self.etas.push(Eta { row, entries });
+    }
+
+    /// Executes a pivot: extends the eta file, updates `x_B` and the
+    /// basis, refactorizes when the file is long.
+    fn pivot(&mut self, row: usize, col: usize, w: &[f64]) -> Result<(), Bail> {
+        let piv = w[row];
+        if piv.abs() <= PIVOT_TOL {
+            return Err(Bail::Numeric);
+        }
+        self.push_eta(row, w);
+        let xr = self.xb[row] / piv;
+        for (i, wi) in w.iter().enumerate() {
+            if i != row && *wi != 0.0 {
+                self.xb[i] -= wi * xr;
+            }
+        }
+        self.xb[row] = xr;
+        self.in_basis[self.basis[row]] = false;
+        self.in_basis[col] = true;
+        self.basis[row] = col;
+        self.stats.pivots += 1;
+        self.pivots_since_refactor += 1;
+        if self.pivots_since_refactor >= REFACTOR_EVERY {
+            let basis = self.basis.clone();
+            if !self.refactorize(&basis) {
+                return Err(Bail::Numeric);
+            }
+        }
+        Ok(())
+    }
+
+    /// Primal simplex over `c`; mirrors the exact tier's pricing
+    /// (Dantzig, Bland fallback after a degenerate streak).
+    fn primal(&mut self, c: &[f64], phase1: bool) -> Result<bool, Bail> {
+        let c_scale = 1.0 + c.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let enter_tol = DANTZIG_TOL * c_scale;
+        let mut bland = false;
+        let mut streak = 0u32;
+        loop {
+            if self.stats.pivots >= self.pivot_budget {
+                return Err(Bail::Numeric);
+            }
+            let y = self.btran_costs(c);
+            let mut entering: Option<(usize, f64)> = None;
+            for j in 0..self.num_cols() {
+                if self.in_basis[j] || (!phase1 && self.rev.artificial[j]) {
+                    continue;
+                }
+                let r = self.reduced_cost(c, &y, j);
+                if r > enter_tol {
+                    if bland {
+                        entering = Some((j, r));
+                        break;
+                    }
+                    if entering.as_ref().is_none_or(|&(_, br)| r > br) {
+                        entering = Some((j, r));
+                    }
+                }
+            }
+            let Some((col, _)) = entering else {
+                return Ok(true);
+            };
+            let w = self.ftran_col(col);
+            let mut best: Option<(usize, f64)> = None;
+            for (i, &wi) in w.iter().enumerate() {
+                if wi > PIVOT_TOL {
+                    let ratio = (self.xb[i].max(0.0)) / wi;
+                    let better = match best {
+                        None => true,
+                        Some((bi, br)) => {
+                            ratio < br - FEAS_TOL * self.b_scale
+                                || (ratio <= br + FEAS_TOL * self.b_scale
+                                    && self.basis[i] < self.basis[bi])
+                        }
+                    };
+                    if better {
+                        best = Some((i, ratio));
+                    }
+                }
+            }
+            let Some((row, ratio)) = best else {
+                return Ok(false); // unbounded claim
+            };
+            if bland {
+                self.stats.bland_pivots += 1;
+            }
+            if ratio <= FEAS_TOL * self.b_scale {
+                streak += 1;
+                if streak >= BLAND_STREAK {
+                    bland = true;
+                }
+            } else {
+                streak = 0;
+                bland = false;
+            }
+            if phase1 {
+                self.stats.phase1_pivots += 1;
+            }
+            self.pivot(row, col, &w)?;
+        }
+    }
+
+    /// Phase 1 (artificial minimization). `Ok(false)` = infeasible claim.
+    fn phase1(&mut self) -> Result<bool, Bail> {
+        if !self.rev.artificial.iter().any(|&a| a) {
+            return Ok(true);
+        }
+        let c1: Vec<f64> = self
+            .rev
+            .artificial
+            .iter()
+            .map(|&a| if a { -1.0 } else { 0.0 })
+            .collect();
+        if !self.primal(&c1, true)? {
+            return Err(Bail::Numeric); // phase 1 can never be unbounded
+        }
+        let residue: f64 = self
+            .basis
+            .iter()
+            .zip(&self.xb)
+            .filter(|&(&b, _)| self.rev.artificial[b])
+            .map(|(_, x)| x.abs())
+            .sum();
+        if residue > 1e-7 * self.b_scale {
+            return Ok(false);
+        }
+        self.drive_out_artificials()?;
+        Ok(true)
+    }
+
+    /// Pivots zero-level basic artificials out where possible (mirrors
+    /// the exact tier; remaining ones sit in redundant rows).
+    fn drive_out_artificials(&mut self) -> Result<(), Bail> {
+        for row in 0..self.num_rows() {
+            if !self.rev.artificial[self.basis[row]] {
+                continue;
+            }
+            let mut found: Option<(usize, Vec<f64>)> = None;
+            for j in 0..self.num_cols() {
+                if self.rev.artificial[j] || self.in_basis[j] {
+                    continue;
+                }
+                let w = self.ftran_col(j);
+                if w[row].abs() > PIVOT_TOL {
+                    found = Some((j, w));
+                    break;
+                }
+            }
+            if let Some((col, w)) = found {
+                self.pivot(row, col, &w)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Adopts a warm basis: refactorize, then check primal feasibility
+    /// and artificial levels in f64. `false` = back to the cold state.
+    fn try_warm_start(&mut self, wb: &WarmBasis) -> bool {
+        if wb.num_rows != self.num_rows() || wb.num_cols != self.num_cols() {
+            return false;
+        }
+        if !self.refactorize(&wb.cols) {
+            self.reset_cold();
+            return false;
+        }
+        let tol = 1e-7 * self.b_scale;
+        let infeasible = self.xb.iter().any(|&x| x < -tol);
+        let artificial_level = self
+            .basis
+            .iter()
+            .zip(&self.xb)
+            .any(|(&b, &x)| self.rev.artificial[b] && x.abs() > tol);
+        if infeasible || artificial_level {
+            self.reset_cold();
+            return false;
+        }
+        self.stats.warm_starts += 1;
+        if self.rev.artificial.iter().any(|&a| a) {
+            self.stats.phase1_skips += 1;
+        }
+        true
+    }
+}
+
+/// Runs the speculative f64 solve and, when its terminal basis passes
+/// exact certification, packages the exact optimum. `Err(stats)` = fall
+/// back to the exact tier (non-optimal status claim, numerical bail-out,
+/// or a refuted basis); the attempt's effort counters come back so the
+/// fallback can absorb them.
+pub(crate) fn solve_certified(
+    model: &LpModel,
+    warm: Option<&WarmBasis>,
+) -> Result<LpSolve, SolveStats> {
+    let rev = Revised::build(model);
+    let mut t = Fast::new(&rev);
+    t.stats.f64_solves += 1;
+
+    let mut c2_f64 = vec![0.0; rev.cols.len()];
+    for (v, coeff) in model.objective().terms() {
+        c2_f64[v.index()] = coeff.to_f64();
+    }
+    let outcome = run_fast(&mut t, warm, &c2_f64);
+    let mut stats = t.stats;
+    let refute = |mut s: SolveStats| {
+        // A skip that did not stick is not a skip: the exact rerun pays
+        // phase 1 again, so the counters must not claim otherwise.
+        s.warm_starts = 0;
+        s.phase1_skips = 0;
+        s.fallbacks += 1;
+        s
+    };
+    let (feasible_cols, terminal) = match outcome {
+        Ok(pair) => pair,
+        Err(_) => return Err(refute(stats)),
+    };
+
+    let c2 = rev.phase2_costs(model);
+    let Some(point) = certify::certify_optimal(&rev, &terminal, &c2) else {
+        return Err(refute(stats));
+    };
+    let mut values = vec![crate::rational::Rat::ZERO; rev.n_struct];
+    for (&col, val) in terminal.iter().zip(&point.x_basic) {
+        if col < rev.n_struct {
+            values[col] = *val;
+        }
+    }
+    let objective = model.objective().eval(&values);
+    stats.certified += 1;
+    let num_rows = rev.rhs.len();
+    let num_cols = rev.cols.len();
+    Ok(LpSolve {
+        solution: Solution {
+            status: SolveStatus::Optimal,
+            objective,
+            values,
+            stats,
+        },
+        feasible_basis: Some(WarmBasis {
+            cols: feasible_cols,
+            num_rows,
+            num_cols,
+        }),
+        optimal_basis: Some(WarmBasis {
+            cols: terminal,
+            num_rows,
+            num_cols,
+        }),
+    })
+}
+
+/// The f64 trajectory proper: warm-or-phase-1, refactorize at the phase
+/// boundary (so warm and cold phase 2 start from byte-identical state),
+/// then phase 2. Returns `(feasible_basis, terminal_basis)`.
+fn run_fast(
+    t: &mut Fast<'_>,
+    warm: Option<&WarmBasis>,
+    c2: &[f64],
+) -> Result<(Vec<usize>, Vec<usize>), Bail> {
+    let mut warm_ok = false;
+    if let Some(wb) = warm {
+        warm_ok = t.try_warm_start(wb);
+    }
+    if !warm_ok {
+        if !t.phase1()? {
+            return Err(Bail::NonOptimalClaim); // infeasible claim
+        }
+        // Phase boundary: restart the eta file from the feasible basis so
+        // the phase-2 float trajectory depends only on that basis (the
+        // warm path enters phase 2 through the same refactorization).
+        let basis = t.basis.clone();
+        if !t.refactorize(&basis) {
+            return Err(Bail::Numeric);
+        }
+    }
+    let feasible = t.basis.clone();
+    if !t.primal(c2, false)? {
+        return Err(Bail::NonOptimalClaim); // unbounded claim
+    }
+    Ok((feasible, t.basis.clone()))
+}

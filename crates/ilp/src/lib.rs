@@ -5,8 +5,13 @@
 //! the WCET bound. Because the bound must never be under-estimated, this
 //! solver works over **exact rationals** ([`Rat`]) rather than floats:
 //!
-//! * [`simplex`] — sparse revised simplex (Dantzig pricing with a Bland
-//!   anti-cycling fallback), warm-startable from a cached basis;
+//! * [`simplex`] — the **two-tier** sparse revised simplex: a
+//!   speculative f64 eta-file simplex runs first and its terminal basis
+//!   is certified by one exact pass (feasibility + optimality over
+//!   [`Rat`]); refuted or ill-conditioned solves fall back to the exact
+//!   tier (Dantzig pricing with a Bland anti-cycling fallback,
+//!   warm-startable from a cached basis), so every returned optimum is
+//!   exact by construction — see [`solve_lp_warm`] vs [`solve_lp_exact`];
 //! * [`branch_bound`] — branch & bound whose child nodes re-solve via
 //!   dual simplex from the parent's optimal basis;
 //! * [`context`] — [`SolveContext`], a cross-solve cache of phase-1
@@ -38,10 +43,12 @@
 #![forbid(unsafe_code)]
 
 pub mod branch_bound;
+mod certify;
 pub mod context;
 pub mod dag;
 #[cfg(feature = "dense")]
 pub mod dense;
+mod fast;
 pub mod model;
 pub mod rational;
 pub mod simplex;
@@ -53,4 +60,6 @@ pub use dag::{longest_path, CycleError};
 pub use dense::solve_lp_dense;
 pub use model::{CmpOp, Constraint, LinExpr, LpModel, Solution, SolveStats, SolveStatus, VarId};
 pub use rational::Rat;
-pub use simplex::{solve_lp, solve_lp_warm, LpSolve, WarmBasis};
+pub use simplex::{
+    solve_lp, solve_lp_exact, solve_lp_exact_warm, solve_lp_warm, LpSolve, WarmBasis,
+};

@@ -299,6 +299,16 @@ pub struct SolveStats {
     pub phase1_skips: u64,
     /// Warm bases rebuilt by refactorization.
     pub refactorizations: u64,
+    /// Solves attempted on the speculative f64 fast path.
+    pub f64_solves: u64,
+    /// Fast-path solves whose terminal basis passed exact certification
+    /// (the returned optimum came from the f64 simplex, proven exact).
+    pub certified: u64,
+    /// Fast-path solves rejected by the exact referee (or numerically
+    /// abandoned) and re-run on the exact solver.
+    pub fallbacks: u64,
+    /// Eta-file refactorizations performed by the f64 simplex.
+    pub eta_factors: u64,
 }
 
 impl SolveStats {
@@ -311,6 +321,10 @@ impl SolveStats {
         self.warm_starts += other.warm_starts;
         self.phase1_skips += other.phase1_skips;
         self.refactorizations += other.refactorizations;
+        self.f64_solves += other.f64_solves;
+        self.certified += other.certified;
+        self.fallbacks += other.fallbacks;
+        self.eta_factors += other.eta_factors;
     }
 }
 

@@ -104,7 +104,11 @@ impl Rat {
         -(-self.num).div_euclid(self.den)
     }
 
-    /// Converts to `f64` (for reporting only; never used in pivoting).
+    /// Converts to `f64` (rounded, not exact). The speculative tier of
+    /// the LP kernel pivots on these conversions, which is safe only
+    /// because its every outcome is re-proven in exact arithmetic — see
+    /// the certify-or-fallback argument in `crate::simplex`. Results are
+    /// never derived from the converted values directly.
     #[must_use]
     pub fn to_f64(self) -> f64 {
         self.num as f64 / self.den as f64

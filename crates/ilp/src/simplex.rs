@@ -45,6 +45,14 @@ pub fn solve_lp(model: &LpModel) -> Solution {
     solve_lp_warm(model, None).solution
 }
 
+/// [`solve_lp`] restricted to the exact tier: no f64 speculation, every
+/// pivot over [`Rat`]. This is the differential-test oracle for the
+/// certified fast path (and what [`solve_lp_warm`] falls back to).
+#[must_use]
+pub fn solve_lp_exact(model: &LpModel) -> Solution {
+    solve_lp_exact_warm(model, None).solution
+}
+
 /// A reusable simplex basis: the basic column of every constraint row,
 /// plus the dimensions it was taken from (reuse is refused on mismatch).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,8 +82,42 @@ pub struct LpSolve {
 /// constraint system (typically [`LpSolve::feasible_basis`] of an earlier
 /// solve). An incompatible or stale basis silently degrades to a cold
 /// solve — warm starting is an optimization, never a correctness input.
+///
+/// This is the **two-tier** entry point: a speculative f64 revised
+/// simplex (the private `fast` module) runs first and its terminal
+/// basis is certified by one exact pass (the private `certify` module);
+/// on certification failure or numerical trouble the solve falls back
+/// to [`solve_lp_exact_warm`] from a cold start. Either way the
+/// returned optimum is exact.
 #[must_use]
 pub fn solve_lp_warm(model: &LpModel, warm: Option<&WarmBasis>) -> LpSolve {
+    let attempt = match crate::fast::solve_certified(model, warm) {
+        Ok(certified) => return certified,
+        Err(attempt_stats) => attempt_stats,
+    };
+    // Fallback: the exact solver, deliberately *cold*. A cached basis may
+    // have been produced by the f64 phase 1, whose terminal basis can
+    // differ from the exact phase 1's — warm-starting the exact path from
+    // it could reach a different (equally optimal) vertex than a cold
+    // exact solve, breaking the warm == cold bit-identity guarantee.
+    let mut fell_back = solve_lp_exact_warm(model, None);
+    fell_back.solution.stats.absorb(&attempt);
+    // Same argument, other direction: never hand the exact tier's
+    // phase-1 basis to the warm-start caches. A later warm f64 solve
+    // adopting a basis of exact provenance would pivot from a start a
+    // cold f64 solve never produces — the certified vertex could then
+    // differ between warm and cold among alternate optima. Withholding
+    // the basis keeps every cached basis f64-phase-1-deterministic, so
+    // fallback-prone systems simply stay cold (correct, just slower).
+    fell_back.feasible_basis = None;
+    fell_back
+}
+
+/// The exact sparse revised simplex — the pre-fast-path solver, kept as
+/// the referee's fallback and as the oracle for differential tests.
+/// Semantics are identical to [`solve_lp_warm`] minus the f64 tier.
+#[must_use]
+pub fn solve_lp_exact_warm(model: &LpModel, warm: Option<&WarmBasis>) -> LpSolve {
     let mut t = Revised::build(model);
     let mut warm_ok = false;
     if let Some(wb) = warm {
@@ -108,19 +150,23 @@ pub fn solve_lp_warm(model: &LpModel, warm: Option<&WarmBasis>) -> LpSolve {
 }
 
 /// The revised-simplex working instance: sparse structure + basis state.
+/// The standard-form fields (`cols`, `rhs`, `artificial`, `n_struct`,
+/// `init_basis`) double as the shared description the speculative f64
+/// solver ([`crate::fast`]) and the exact referee ([`crate::certify`])
+/// both read.
 pub(crate) struct Revised {
     /// Sparse columns: `cols[j]` lists `(row, coefficient)`.
-    cols: Vec<Vec<(usize, Rat)>>,
+    pub(crate) cols: Vec<Vec<(usize, Rat)>>,
     /// Right-hand sides. Model rows are normalized to `rhs >= 0`; rows
     /// appended by [`Revised::append_bound_row`] may be negative (they
     /// are repaired by dual simplex).
-    rhs: Vec<Rat>,
+    pub(crate) rhs: Vec<Rat>,
     /// Per-column artificial marker.
-    artificial: Vec<bool>,
+    pub(crate) artificial: Vec<bool>,
     /// Number of structural (model) variables, columns `0..n_struct`.
-    n_struct: usize,
+    pub(crate) n_struct: usize,
     /// The cold-start basic column of each row (slack or artificial).
-    init_basis: Vec<usize>,
+    pub(crate) init_basis: Vec<usize>,
     /// Basic column of each row.
     basis: Vec<usize>,
     /// Per-column: currently basic?

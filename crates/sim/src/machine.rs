@@ -278,7 +278,55 @@ impl Machine {
     ///
     /// Returns [`SimError::CycleLimit`] if the limit elapses first.
     pub fn run(&mut self, cycle_limit: u64) -> Result<RunResult, SimError> {
-        while !self.all_finished() {
+        self.run_watched(cycle_limit, &[])
+    }
+
+    /// Runs until every `watched` slot finishes (every loaded thread when
+    /// `watched` is empty). Unwatched threads keep running — and keep
+    /// interfering — until that point, then the run stops; their
+    /// [`ThreadResult::finished_at`] may be `None`.
+    ///
+    /// Because the machine is deterministic and a finished thread's
+    /// statistics are immutable, every metric *attributable to a watched
+    /// thread* — its completion cycle, its [`ThreadStats`], the bus-wait
+    /// statistics of its requester slot — is byte-identical to what a
+    /// run-to-completion would report: the tail past the last watched
+    /// retirement cannot reach back in time. Machine-wide aggregates
+    /// (`makespan`, cache hit totals) and unwatched threads' statistics
+    /// reflect only the truncated run; read them from [`Machine::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimit`] if the limit elapses first, or
+    /// [`SimError::NoSuchSlot`] for a watched slot with no loaded thread
+    /// (it would never finish).
+    pub fn run_watched(
+        &mut self,
+        cycle_limit: u64,
+        watched: &[(usize, usize)],
+    ) -> Result<RunResult, SimError> {
+        for &(core, thread) in watched {
+            let loaded = self
+                .cores
+                .get(core)
+                .and_then(|c| c.threads.get(thread))
+                .is_some_and(Option::is_some);
+            if !loaded {
+                return Err(SimError::NoSuchSlot { core, thread });
+            }
+        }
+        let done = |m: &Machine| {
+            if watched.is_empty() {
+                m.all_finished()
+            } else {
+                watched.iter().all(|&(core, thread)| {
+                    m.cores[core].threads[thread]
+                        .as_ref()
+                        .is_some_and(|t| t.finished_at.is_some())
+                })
+            }
+        };
+        while !done(self) {
             if self.cycle >= cycle_limit {
                 return Err(SimError::CycleLimit { limit: cycle_limit });
             }
