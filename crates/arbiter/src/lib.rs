@@ -81,6 +81,31 @@ pub trait Arbiter: std::fmt::Debug + Send {
     /// scheme).
     fn worst_case_delay(&self, requester: usize, transfer_len: u64) -> Option<u64>;
 
+    /// The earliest cycle `c ≥ from` at which [`Arbiter::grant`] *could*
+    /// return `Some` for this pending mask (assuming the mask does not
+    /// change until then), or `None` if no such cycle exists.
+    ///
+    /// This powers the simulator's event-skipping fast-forward: when
+    /// every core is provably stalled, time jumps straight to the next
+    /// grant opportunity instead of ticking through idle cycles. The
+    /// contract is two-sided — `grant` must return `None` at every cycle
+    /// in `from..c` and must not be *prevented* from granting at `c` —
+    /// and is property-tested against `grant` for every scheme.
+    ///
+    /// The default is exact for work-conserving arbiters (any pending
+    /// request is granted the moment the bus is free) and conservatively
+    /// correct for every other implementation: claiming the immediate
+    /// cycle simply disables skipping over this arbiter.
+    fn next_grant_opportunity(
+        &self,
+        from: u64,
+        pending: &[bool],
+        transfer_len: u64,
+    ) -> Option<u64> {
+        let _ = transfer_len;
+        pending.iter().any(|&p| p).then_some(from)
+    }
+
     /// Clears mutable state (simulation restart).
     fn reset(&mut self);
 

@@ -121,6 +121,16 @@ impl Arbiter for MultiBandwidth {
         self.inner.worst_case_delay(requester, transfer_len)
     }
 
+    fn next_grant_opportunity(
+        &self,
+        from: u64,
+        pending: &[bool],
+        transfer_len: u64,
+    ) -> Option<u64> {
+        self.inner
+            .next_grant_opportunity(from, pending, transfer_len)
+    }
+
     fn reset(&mut self) {}
 
     fn work_conserving(&self) -> bool {

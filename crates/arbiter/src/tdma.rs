@@ -184,6 +184,38 @@ impl Arbiter for Tdma {
         self.worst_delay(requester, transfer_len)
     }
 
+    /// Slot-table arbitration is *not* work-conserving, but the next
+    /// grant opportunity is fully determined by the table: scan forward
+    /// slot by slot for the first slot owned by a pending requester with
+    /// enough remainder. Within a slot the remainder only shrinks, so
+    /// jumping to slot boundaries is exact.
+    fn next_grant_opportunity(
+        &self,
+        from: u64,
+        pending: &[bool],
+        transfer_len: u64,
+    ) -> Option<u64> {
+        if !pending.iter().any(|&p| p) {
+            return None;
+        }
+        let mut t = from;
+        // A grantable cycle, if any exists for this mask, lies within one
+        // period of `from` (a fitting slot recurs every period); 2 periods
+        // bounds the scan with margin for the partial first slot.
+        let limit = from + 2 * self.period;
+        while t <= limit {
+            let off = t % self.period;
+            let idx = self.slot_at(off);
+            let slot = self.slots[idx];
+            let remaining = self.starts[idx] + slot.len - off;
+            if pending[slot.owner] && remaining >= transfer_len {
+                return Some(t);
+            }
+            t += remaining; // jump to the next slot boundary
+        }
+        None // no pending owner has any slot fitting this transfer
+    }
+
     fn reset(&mut self) {}
 
     fn work_conserving(&self) -> bool {

@@ -130,8 +130,10 @@ fn main() {
     tasks.push(column_sweep(5, 40, 64 * 32));
     let total = tasks.len();
     for p in tasks {
-        let wc = wcet_unlocked_ctx(&p, &params(col_eff), &opts, Some(&ctx)).expect("analyses");
-        let wb = wcet_unlocked_ctx(&p, &params(bank_eff), &opts, Some(&ctx)).expect("analyses");
+        let wc =
+            wcet_unlocked_ctx(&p, &params(col_eff), &opts, Some(&ctx), None).expect("analyses");
+        let wb =
+            wcet_unlocked_ctx(&p, &params(bank_eff), &opts, Some(&ctx), None).expect("analyses");
         if wb <= wc {
             bank_wins += 1;
         }

@@ -7,26 +7,59 @@
 //! cargo run --release -p wcet-bench --bin perf_trend -- \
 //!     baseline/BENCH_results.json BENCH_results.json
 //! ```
+//!
+//! Understands schema 5's deterministic effort counters (worklist
+//! fixpoint evaluations vs the naive-sweep equivalent, simulator cycles
+//! fast-forwarded) and still accepts schema-4 documents — absent
+//! counters render as `—`, so the trend step keeps comparing against the
+//! previous run across the schema bump.
 
 use std::process::ExitCode;
 
 use wcet_bench::json::Json;
 use wcet_core::report::Table;
 
-/// `experiments[]` → `(id, wall_ms)` rows of one document.
-fn walls(doc: &Json) -> Vec<(String, f64)> {
+/// One experiment's measurements from either schema.
+struct ExpEntry {
+    id: String,
+    wall_ms: f64,
+    /// Schema 5: `(evaluated, sweep_evals)` of the fixpoint engine.
+    fixpoint: Option<(u64, u64)>,
+    /// Schema 5: simulator cycles skipped by event fast-forwarding.
+    skipped_cycles: Option<u64>,
+}
+
+/// `experiments[]` rows of one document (schema 4 and 5 both parse; the
+/// schema-5 members are simply absent on older documents).
+fn walls(doc: &Json) -> Vec<ExpEntry> {
     doc.get("experiments")
         .and_then(Json::as_arr)
         .map(|exps| {
             exps.iter()
                 .filter_map(|e| {
-                    let id = e.get("id")?.as_str()?.to_string();
-                    let wall = e.get("wall_ms")?.as_f64()?;
-                    Some((id, wall))
+                    Some(ExpEntry {
+                        id: e.get("id")?.as_str()?.to_string(),
+                        wall_ms: e.get("wall_ms")?.as_f64()?,
+                        fixpoint: e
+                            .get_path(&["fixpoint", "evaluated"])
+                            .and_then(Json::as_u64)
+                            .zip(
+                                e.get_path(&["fixpoint", "sweep_evals"])
+                                    .and_then(Json::as_u64),
+                            ),
+                        skipped_cycles: e
+                            .get_path(&["sim_skip", "skipped_cycles"])
+                            .and_then(Json::as_u64),
+                    })
                 })
                 .collect()
         })
         .unwrap_or_default()
+}
+
+/// Renders an optional counter.
+fn opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "—".into(), |v| v.to_string())
 }
 
 fn load(path: &str) -> Result<Json, String> {
@@ -61,38 +94,38 @@ fn main() -> ExitCode {
         &["experiment", "baseline ms", "current ms", "delta", "trend"],
     );
     let (mut base_total, mut cur_total) = (0.0, 0.0);
-    for (id, cur_ms) in &cur {
-        let Some((_, base_ms)) = base.iter().find(|(bid, _)| bid == id) else {
+    for e in &cur {
+        let Some(b) = base.iter().find(|b| b.id == e.id) else {
             t.row([
-                id.clone(),
+                e.id.clone(),
                 "—".into(),
-                format!("{cur_ms:.1}"),
+                format!("{:.1}", e.wall_ms),
                 "new".into(),
                 String::new(),
             ]);
             continue;
         };
-        base_total += base_ms;
-        cur_total += cur_ms;
-        let delta = cur_ms - base_ms;
-        let trend = if *base_ms > 0.0 {
-            format!("{:+.0}%", delta / base_ms * 100.0)
+        base_total += b.wall_ms;
+        cur_total += e.wall_ms;
+        let delta = e.wall_ms - b.wall_ms;
+        let trend = if b.wall_ms > 0.0 {
+            format!("{:+.0}%", delta / b.wall_ms * 100.0)
         } else {
             String::new()
         };
         t.row([
-            id.clone(),
-            format!("{base_ms:.1}"),
-            format!("{cur_ms:.1}"),
+            e.id.clone(),
+            format!("{:.1}", b.wall_ms),
+            format!("{:.1}", e.wall_ms),
             format!("{delta:+.1}"),
             trend,
         ]);
     }
-    for (id, base_ms) in &base {
-        if !cur.iter().any(|(cid, _)| cid == id) {
+    for b in &base {
+        if !cur.iter().any(|e| e.id == b.id) {
             t.row([
-                id.clone(),
-                format!("{base_ms:.1}"),
+                b.id.clone(),
+                format!("{:.1}", b.wall_ms),
                 "—".into(),
                 "removed".into(),
                 String::new(),
@@ -107,5 +140,42 @@ fn main() -> ExitCode {
         ));
     }
     println!("{t}");
+
+    // Schema 5: deterministic effort counters (immune to timer noise).
+    // Rendered whenever either side carries them; schema-4 sides show —.
+    if cur
+        .iter()
+        .any(|e| e.fixpoint.is_some() || e.skipped_cycles.is_some())
+        || base
+            .iter()
+            .any(|e| e.fixpoint.is_some() || e.skipped_cycles.is_some())
+    {
+        let mut t = Table::new(
+            "Deterministic effort (schema 5): fixpoint evaluations vs naive sweep, sim skips",
+            &[
+                "experiment",
+                "base evals",
+                "cur evals",
+                "cur sweep equiv",
+                "base skipped cyc",
+                "cur skipped cyc",
+            ],
+        );
+        for e in &cur {
+            let b = base.iter().find(|b| b.id == e.id);
+            if e.fixpoint.is_none() && e.skipped_cycles.is_none() {
+                continue; // subprocess experiment: nothing to report
+            }
+            t.row([
+                e.id.clone(),
+                opt(b.and_then(|b| b.fixpoint.map(|f| f.0))),
+                opt(e.fixpoint.map(|f| f.0)),
+                opt(e.fixpoint.map(|f| f.1)),
+                opt(b.and_then(|b| b.skipped_cycles)),
+                opt(e.skipped_cycles),
+            ]);
+        }
+        println!("{t}");
+    }
     ExitCode::SUCCESS
 }

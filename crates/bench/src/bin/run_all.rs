@@ -15,6 +15,7 @@ use wcet_bench::experiments::{ExperimentRun, IN_PROCESS};
 use wcet_bench::json::Json;
 use wcet_bench::scenario::{matrix_json, parse_matrix, run_matrix, MatrixOptions};
 use wcet_bench::{comparison_workload, l2_bound_machine, l2_bound_victim, machine};
+use wcet_bench::{fixpoint_json, skip_json};
 use wcet_core::analyzer::Analyzer;
 use wcet_core::engine::{AnalysisEngine, SolverStats};
 use wcet_core::mode::{Footprint, Isolated, JointRefs};
@@ -248,6 +249,7 @@ fn batch_vs_sequential() -> Json {
         ("speedup", speedup.map_or(Json::Null, Json::from)),
         ("identical_results", Json::from(identical)),
         ("solver", solver_json(&engine.solver_stats())),
+        ("fixpoint", fixpoint_json(&engine.fixpoint_stats())),
     ])
 }
 
@@ -258,21 +260,41 @@ fn main() {
         println!("===== {exp} =====");
         let in_process = IN_PROCESS.iter().find(|(id, _)| *id == exp);
         let start = Instant::now();
-        let (ok, title, rows, solver) = match in_process {
+        let (ok, title, rows, solver, fixpoint, sim_skip) = match in_process {
             Some((_, runner)) => {
                 // Match the subprocess path's failure isolation: a
                 // panicking experiment is recorded as failed, and the
                 // rest of the suite (and the JSON summary) still runs.
                 match std::panic::catch_unwind(runner) {
-                    Ok(run) => (
-                        true,
-                        Json::str(run.title),
-                        rows_json(&run),
-                        solver_json(&run.solver),
-                    ),
+                    Ok(run) => {
+                        // Schema 5 acceptance: wherever the worklist ran,
+                        // it must beat the naive-sweep bill. A regression
+                        // fails this experiment (like a panic would), not
+                        // the whole suite.
+                        let fix_ok = run.fixpoint.evaluated == 0
+                            || run.fixpoint.evaluated < run.fixpoint.sweep_evals;
+                        if !fix_ok {
+                            eprintln!("{exp}: worklist did not beat the sweep: {:?}", run.fixpoint);
+                        }
+                        (
+                            fix_ok,
+                            Json::str(run.title),
+                            rows_json(&run),
+                            solver_json(&run.solver),
+                            fixpoint_json(&run.fixpoint),
+                            skip_json(&run.sim_skip),
+                        )
+                    }
                     Err(_) => {
                         eprintln!("{exp} failed (panicked)");
-                        (false, Json::Null, Json::Arr(Vec::new()), Json::Null)
+                        (
+                            false,
+                            Json::Null,
+                            Json::Arr(Vec::new()),
+                            Json::Null,
+                            Json::Null,
+                            Json::Null,
+                        )
                     }
                 }
             }
@@ -281,7 +303,14 @@ fn main() {
                 if !ok {
                     eprintln!("{exp} failed");
                 }
-                (ok, Json::Null, Json::Arr(Vec::new()), Json::Null)
+                (
+                    ok,
+                    Json::Null,
+                    Json::Arr(Vec::new()),
+                    Json::Null,
+                    Json::Null,
+                    Json::Null,
+                )
             }
         };
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -303,6 +332,10 @@ fn main() {
             ("wall_ms", Json::from(wall_ms)),
             ("rows", rows),
             ("solver", solver),
+            // Schema 5: fixpoint + event-skipping effort (null for
+            // subprocess experiments, which cannot report them).
+            ("fixpoint", fixpoint),
+            ("sim_skip", sim_skip),
         ]));
     }
 
@@ -314,7 +347,7 @@ fn main() {
     let scenarios = scenario_sweep();
 
     let doc = Json::obj([
-        ("schema", Json::from(4_u64)),
+        ("schema", Json::from(5_u64)),
         ("suite", Json::str("wcet-bench run_all")),
         ("experiments", Json::Arr(experiment_json)),
         ("batch_vs_sequential", comparison),

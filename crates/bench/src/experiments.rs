@@ -20,8 +20,9 @@ use wcet_core::engine::{AnalysisEngine, Job, SolverStats};
 use wcet_core::mode::{Isolated, JointRefs, Solo};
 use wcet_core::report::Table;
 use wcet_core::static_ctrl::{offset_state_sizes, tdma_offset_aware_wcet, StaticParams};
-use wcet_core::validate::{observe, run_machine_watched};
+use wcet_core::validate::{run_machine_watched, Observation};
 use wcet_core::SolveContext;
+use wcet_ir::fixpoint::FixpointStats;
 use wcet_ir::synth::{
     self, bsort, crc, matmul, pointer_chase_stride, random_program, single_path, twin_diamonds,
     Placement, RandomParams,
@@ -32,6 +33,7 @@ use wcet_pipeline::smt::SmtPolicy;
 use wcet_pipeline::timing::{MemTimings, PipelineConfig};
 use wcet_sched::{lifetime_fixpoint, Task, TaskId, TaskSet};
 use wcet_sim::config::{CoreKind, MachineConfig};
+use wcet_sim::machine::SkipStats;
 
 use crate::scenario::run::{CellOutcome, MatrixOptions, MatrixRun};
 use crate::scenario::{parse_matrix, run_matrix};
@@ -64,6 +66,13 @@ pub struct ExperimentRun {
     /// (warm-start hits, pivots, phase-1 skips) — lands in
     /// `BENCH_results.json` so the warm-start payoff is tracked per run.
     pub solver: SolverStats,
+    /// Worklist-fixpoint effort summed over every cache analysis the
+    /// experiment computed (schema 5: blocks evaluated vs the
+    /// naive-sweep equivalent).
+    pub fixpoint: FixpointStats,
+    /// Event-skipping effort summed over the experiment's simulator
+    /// replays (schema 5).
+    pub sim_skip: SkipStats,
 }
 
 /// Sums the solver counters of several engines.
@@ -73,6 +82,35 @@ fn solver_totals<'a>(engines: impl IntoIterator<Item = &'a AnalysisEngine>) -> S
         acc.absorb(&e.solver_stats());
     }
     acc
+}
+
+/// Sums the fixpoint counters of several engines.
+fn fixpoint_totals<'a>(engines: impl IntoIterator<Item = &'a AnalysisEngine>) -> FixpointStats {
+    let mut acc = FixpointStats::default();
+    for e in engines {
+        acc.absorb(&e.fixpoint_stats());
+    }
+    acc
+}
+
+/// [`observe`] that also banks the replay's event-skipping counters.
+fn observe_skip(
+    config: &wcet_sim::config::MachineConfig,
+    task: (usize, usize, Program),
+    corunners: Vec<(usize, usize, Program)>,
+    bound: u64,
+    cycle_limit: u64,
+    skip: &mut SkipStats,
+) -> Observation {
+    let (core, thread, program) = task;
+    let mut loads = vec![(core, thread, program)];
+    loads.extend(corunners);
+    let run = run_machine_watched(config, loads, &[(core, thread)], cycle_limit).expect("runs");
+    skip.absorb(&run.skip);
+    Observation {
+        observed: run.cycles(core, thread),
+        bound,
+    }
 }
 
 fn row(
@@ -120,9 +158,17 @@ pub fn exp01() -> ExperimentRun {
         ],
     );
     let mut rows = Vec::new();
+    let mut skip = SkipStats::default();
     for (p, rep) in tasks.iter().zip(reports) {
         let rep = rep.expect("analyses");
-        let obs = observe(&m, (0, 0, p.clone()), vec![], rep.wcet, 500_000_000).expect("runs");
+        let obs = observe_skip(
+            &m,
+            (0, 0, p.clone()),
+            vec![],
+            rep.wcet,
+            500_000_000,
+            &mut skip,
+        );
         assert!(obs.sound(), "{}: solo bound violated alone", p.name());
         t.row([
             p.name().to_string(),
@@ -141,6 +187,8 @@ pub fn exp01() -> ExperimentRun {
         title: "solo WCET, single predictable core",
         rows,
         solver: solver_totals([&engine]),
+        fixpoint: fixpoint_totals([&engine]),
+        sim_skip: skip,
     }
 }
 
@@ -243,11 +291,15 @@ pub fn exp02() -> ExperimentRun {
     t2.note("direct-mapped: a single conflicting line kills the whole set (ways = 1),");
     t2.note("so degradation hits its ceiling with the very first co-runner.");
     println!("{t2}");
+    let mut fixpoint = run_a.fixpoint;
+    fixpoint.absorb(&run_b.fixpoint);
     ExperimentRun {
         id: "exp02_shared_l2",
         title: "joint analysis of a shared L2",
         rows,
         solver: matrix_solver(&run_b),
+        fixpoint,
+        sim_skip: SkipStats::default(),
     }
 }
 
@@ -366,6 +418,8 @@ pub fn exp03() -> ExperimentRun {
         title: "lifetime refinement",
         rows,
         solver: solver_totals([&engine]),
+        fixpoint: fixpoint_totals([&engine]),
+        sim_skip: SkipStats::default(),
     }
 }
 
@@ -395,6 +449,8 @@ pub fn exp09() -> ExperimentRun {
     );
     let mut rows = Vec::new();
     let mut base_wcet = 0u64;
+    let mut skip = SkipStats::default();
+    let mut fixpoint = FixpointStats::default();
     for n in [1usize, 2, 4, 6, 8] {
         let mut m = MachineConfig::symmetric(n);
         // Fast memory so the bus saturates (see E12's rationale).
@@ -411,6 +467,7 @@ pub fn exp09() -> ExperimentRun {
             loads.push((c, 0, bully(c as u32)));
         }
         let run = run_machine_watched(&m, loads, &[(0, 0)], 500_000_000).expect("runs");
+        skip.absorb(&run.skip);
         let max_wait = run.bus.per_core_max_wait[0];
         let bound = RoundRobin::bound(n as u64, transfer);
         assert!(max_wait <= bound, "observed wait exceeds the bound");
@@ -422,6 +479,7 @@ pub fn exp09() -> ExperimentRun {
             format!("{:.2}×", rep.wcet as f64 / base_wcet as f64),
         ]);
         rows.push(row(format!("E09 N={n}"), victim_name, &rep.mode, rep.wcet));
+        fixpoint.absorb(&engine.fixpoint_stats());
     }
     t.note("the WCET of a memory-bound task grows ≈ linearly with N (each transaction");
     t.note("charged N·L−1); observed waits approach the bound under saturation.");
@@ -435,6 +493,8 @@ pub fn exp09() -> ExperimentRun {
             cold_solves: ctx.stats().cold_solves,
             totals: ctx.totals(),
         },
+        fixpoint,
+        sim_skip: skip,
     }
 }
 
@@ -583,11 +643,15 @@ pub fn exp05() -> ExperimentRun {
         "solver context: {} warm-started solves, {} cold (phase 1 runs once per task)",
         s.warm_hits, s.cold_solves
     );
+    let mut fixpoint = run_a.fixpoint;
+    fixpoint.absorb(&run_b.fixpoint);
     ExperimentRun {
         id: "exp05_partition_lock",
         title: "locking × partitioning design space",
         rows,
         solver: matrix_solver(&run_b),
+        fixpoint,
+        sim_skip: SkipStats::default(),
     }
 }
 
@@ -687,6 +751,9 @@ pub fn exp08() -> ExperimentRun {
     t1.note("share is constant — Rochange's §5.2 objection to coarse TDMA slots.");
     println!("{t1}");
 
+    let mut fixpoint = run.fixpoint;
+    let mut skip = SkipStats::default();
+
     // (b) Offset-state explosion: single-path vs multi-path programs.
     let mut t2 = Table::new(
         "E08b — per-block offset-state sets (period 64): path multiplicity",
@@ -720,6 +787,7 @@ pub fn exp08() -> ExperimentRun {
                 l2: None,
             },
         );
+        fixpoint.absorb(&h.fixpoint_stats());
         let input = CostInput {
             pipeline: pr.pipeline,
             timings: pr.timings,
@@ -749,16 +817,19 @@ pub fn exp08() -> ExperimentRun {
         };
         m
     };
-    let an = wcet_core::analyzer::Analyzer::new(m.clone());
-    let rep = an.wcet_isolated(&task, 0, 0).expect("analyses");
-    let obs = observe(
+    // Through the engine (identical to the sequential Analyzer by the
+    // engine≡analyzer invariant) so the spot-check's cache analyses are
+    // counted in the experiment's fixpoint block.
+    let engine_c = AnalysisEngine::new(m.clone());
+    let rep = engine_c.analyze(&task, 0, 0, &Isolated).expect("analyses");
+    let obs = observe_skip(
         &m,
         (0, 0, task.clone()),
         vec![(1, 0, bully(1)), (2, 0, bully(2)), (3, 0, bully(3))],
         rep.wcet,
         500_000_000,
-    )
-    .expect("runs");
+        &mut skip,
+    );
     assert!(obs.sound());
     println!(
         "E08c — blind TDMA bound {} vs observed-with-bullies {} ({:.2}× margin): sound\n",
@@ -767,11 +838,14 @@ pub fn exp08() -> ExperimentRun {
         obs.ratio()
     );
     rows.push(row("E08c spot-check", task.name(), "isolated", rep.wcet));
+    fixpoint.absorb(&engine_c.fixpoint_stats());
     ExperimentRun {
         id: "exp08_tdma",
         title: "TDMA bus scheduling",
         rows,
         solver: matrix_solver(&run),
+        fixpoint,
+        sim_skip: skip,
     }
 }
 
@@ -785,6 +859,7 @@ pub fn exp08() -> ExperimentRun {
 #[must_use]
 pub fn exp11() -> ExperimentRun {
     let mut rows = Vec::new();
+    let mut skip = SkipStats::default();
 
     // (a) Multicore isolation: partitioned L2 + TDMA bus.
     let mut mc = MachineConfig::symmetric(4);
@@ -822,9 +897,9 @@ pub fn exp11() -> ExperimentRun {
     for (label, others) in mixes {
         let mut loads = vec![(0, 0, victim.clone())];
         loads.extend(others);
-        let cycles = run_machine_watched(&mc, loads, &[(0, 0)], 500_000_000)
-            .expect("runs")
-            .cycles(0, 0);
+        let replay = run_machine_watched(&mc, loads, &[(0, 0)], 500_000_000).expect("runs");
+        skip.absorb(&replay.skip);
+        let cycles = replay.cycles(0, 0);
         let identical = *alone_cycles.get_or_insert(cycles) == cycles;
         assert!(cycles <= bound);
         assert!(identical, "slot-isolated machine must be cycle-exact");
@@ -863,9 +938,9 @@ pub fn exp11() -> ExperimentRun {
     for th in 1..4usize {
         loads.push((0, th, synth::bsort(8, Placement::slot(th as u32))));
     }
-    let observed = run_machine_watched(&smt, loads, &[(0, 0)], 500_000_000)
-        .expect("runs")
-        .cycles(0, 0);
+    let smt_replay = run_machine_watched(&smt, loads, &[(0, 0)], 500_000_000).expect("runs");
+    skip.absorb(&smt_replay.skip);
+    let observed = smt_replay.cycles(0, 0);
     assert!(observed <= hrt_bound);
     println!(
         "E11b — CarCore-style SMT: HRT bound {hrt_bound}, observed-with-siblings {observed} \
@@ -893,9 +968,11 @@ pub fn exp11() -> ExperimentRun {
         pret_rep.wcet,
     ));
     let pret_bound = pret_rep.wcet;
-    let alone = run_machine_watched(&pret, vec![(0, 0, th0.clone())], &[(0, 0)], 500_000_000)
-        .expect("runs")
-        .cycles(0, 0);
+    let alone_replay =
+        run_machine_watched(&pret, vec![(0, 0, th0.clone())], &[(0, 0)], 500_000_000)
+            .expect("runs");
+    skip.absorb(&alone_replay.skip);
+    let alone = alone_replay.cycles(0, 0);
     let mut full = vec![(0, 0, th0.clone())];
     for th in 1..6usize {
         full.push((
@@ -904,9 +981,9 @@ pub fn exp11() -> ExperimentRun {
             synth::pointer_chase(32, 100, Placement::slot(th as u32)),
         ));
     }
-    let busy = run_machine_watched(&pret, full, &[(0, 0)], 500_000_000)
-        .expect("runs")
-        .cycles(0, 0);
+    let busy_replay = run_machine_watched(&pret, full, &[(0, 0)], 500_000_000).expect("runs");
+    skip.absorb(&busy_replay.skip);
+    let busy = busy_replay.cycles(0, 0);
     assert_eq!(alone, busy, "PRET must be repeatable");
     assert!(busy <= pret_bound);
     println!(
@@ -918,6 +995,8 @@ pub fn exp11() -> ExperimentRun {
         title: "full task isolation",
         rows,
         solver: solver_totals([&engine, &engine2, &engine3]),
+        fixpoint: fixpoint_totals([&engine, &engine2, &engine3]),
+        sim_skip: skip,
     }
 }
 
@@ -948,7 +1027,15 @@ pub fn exp12() -> ExperimentRun {
         "E12 — the unsafe solo assumption on shared hardware",
         &["scenario", "bound", "observed", "sound?"],
     );
-    let alone = observe(&m, (0, 0, victim.clone()), vec![], solo, 500_000_000).expect("runs");
+    let mut skip = SkipStats::default();
+    let alone = observe_skip(
+        &m,
+        (0, 0, victim.clone()),
+        vec![],
+        solo,
+        500_000_000,
+        &mut skip,
+    );
     t.row([
         "solo bound, run alone".into(),
         solo.to_string(),
@@ -960,14 +1047,14 @@ pub fn exp12() -> ExperimentRun {
         },
     ]);
     let hostile = vec![(1, 0, bully(1)), (2, 0, bully(2)), (3, 0, bully(3))];
-    let contended = observe(
+    let contended = observe_skip(
         &m,
         (0, 0, victim.clone()),
         hostile.clone(),
         solo,
         500_000_000,
-    )
-    .expect("runs");
+        &mut skip,
+    );
     t.row([
         "solo bound, 3 bus hogs".into(),
         solo.to_string(),
@@ -978,7 +1065,7 @@ pub fn exp12() -> ExperimentRun {
             "NO — bound violated".to_string()
         },
     ]);
-    let iso_obs = observe(&m, (0, 0, victim), hostile, iso, 500_000_000).expect("runs");
+    let iso_obs = observe_skip(&m, (0, 0, victim), hostile, iso, 500_000_000, &mut skip);
     t.row([
         "isolation bound, 3 bus hogs".into(),
         iso.to_string(),
@@ -1000,6 +1087,8 @@ pub fn exp12() -> ExperimentRun {
         title: "the unsafe solo assumption",
         rows,
         solver: solver_totals([&engine]),
+        fixpoint: fixpoint_totals([&engine]),
+        sim_skip: skip,
     }
 }
 

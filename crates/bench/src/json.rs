@@ -67,6 +67,22 @@ impl Json {
         }
     }
 
+    /// Exact unsigned view of `UInt` values (counters; `Num` is rejected
+    /// so 2^53-lossy floats can never masquerade as exact counts).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Nested member lookup: `get_path(&["a", "b"])` ≡ `get("a")?.get("b")`.
+    #[must_use]
+    pub fn get_path(&self, path: &[&str]) -> Option<&Json> {
+        path.iter().try_fold(self, |v, key| v.get(key))
+    }
+
     /// Array view of `Arr` values.
     #[must_use]
     pub fn as_arr(&self) -> Option<&[Json]> {
@@ -397,5 +413,51 @@ mod tests {
         assert_eq!(v.get("b").and_then(Json::as_arr).map(|a| a.len()), Some(1));
         assert_eq!(v.get("c").and_then(Json::as_str), Some("x"));
         assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn u64_and_path_accessors() {
+        let v = Json::parse(r#"{"fixpoint": {"evaluated": 12, "sweep_evals": 40}, "f": 1.5}"#)
+            .expect("parses");
+        assert_eq!(
+            v.get_path(&["fixpoint", "evaluated"])
+                .and_then(Json::as_u64),
+            Some(12)
+        );
+        assert_eq!(v.get_path(&["fixpoint", "missing"]), None);
+        // Floats never pass as exact counters.
+        assert_eq!(v.get("f").and_then(Json::as_u64), None);
+        assert_eq!(v.get("f").and_then(Json::as_f64), Some(1.5));
+    }
+
+    /// A schema-4 experiment entry (no `fixpoint` / `sim_skip` members)
+    /// and a schema-5 one parse through the same accessors; the schema-4
+    /// lookups simply come back `None` — the compatibility contract the
+    /// `perf_trend` bin relies on.
+    #[test]
+    fn schema_4_and_5_experiment_entries_coexist() {
+        let doc = Json::parse(
+            r#"{"schema": 5, "experiments": [
+                {"id": "old", "wall_ms": 2.0},
+                {"id": "new", "wall_ms": 1.0,
+                 "fixpoint": {"evaluated": 7, "max_trips": 2, "sweep_evals": 30},
+                 "sim_skip": {"fast_forwards": 3, "skipped_cycles": 999}}
+            ]}"#,
+        )
+        .expect("parses");
+        let exps = doc.get("experiments").and_then(Json::as_arr).expect("arr");
+        assert_eq!(exps[0].get_path(&["fixpoint", "evaluated"]), None);
+        assert_eq!(
+            exps[1]
+                .get_path(&["fixpoint", "evaluated"])
+                .and_then(Json::as_u64),
+            Some(7)
+        );
+        assert_eq!(
+            exps[1]
+                .get_path(&["sim_skip", "skipped_cycles"])
+                .and_then(Json::as_u64),
+            Some(999)
+        );
     }
 }

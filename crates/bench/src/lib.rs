@@ -12,6 +12,29 @@ pub mod experiments;
 pub mod json;
 pub mod scenario;
 
+use json::Json;
+use wcet_ir::fixpoint::FixpointStats;
+use wcet_sim::machine::SkipStats;
+
+/// Schema-5 JSON rendering of worklist-fixpoint counters.
+#[must_use]
+pub fn fixpoint_json(s: &FixpointStats) -> Json {
+    Json::obj([
+        ("evaluated", Json::from(s.evaluated)),
+        ("max_trips", Json::from(s.max_trips)),
+        ("sweep_evals", Json::from(s.sweep_evals)),
+    ])
+}
+
+/// Schema-5 JSON rendering of simulator event-skipping counters.
+#[must_use]
+pub fn skip_json(s: &SkipStats) -> Json {
+    Json::obj([
+        ("fast_forwards", Json::from(s.fast_forwards)),
+        ("skipped_cycles", Json::from(s.skipped_cycles)),
+    ])
+}
+
 use wcet_cache::config::CacheConfig;
 use wcet_ir::synth::{self, Placement};
 use wcet_ir::Program;

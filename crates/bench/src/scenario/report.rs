@@ -8,7 +8,7 @@ use super::run::{CellOutcome, MatrixRun};
 use crate::json::Json;
 
 /// The JSON schema version of [`matrix_json`] documents.
-pub const SCHEMA: u64 = 1;
+pub const SCHEMA: u64 = 2;
 
 fn fingerprint_hex(fp: (u64, u64)) -> String {
     format!("{:016x}{:016x}", fp.0, fp.1)
@@ -122,6 +122,10 @@ pub fn matrix_json(run: &MatrixRun) -> Json {
                 ("fallbacks", Json::from(run.solver.totals.fallbacks)),
             ]),
         ),
+        // Schema 2: iteration effort — worklist fixpoint vs the naive
+        // sweep it replaced, and the validation replays' skipped cycles.
+        ("fixpoint", crate::fixpoint_json(&run.fixpoint)),
+        ("sim_skip", crate::skip_json(&run.sim_skip)),
     ])
 }
 
@@ -245,7 +249,7 @@ mod tests {
         );
         assert_eq!(run.cells.len(), 2);
         let doc = matrix_json(&run).to_string();
-        assert!(doc.contains("\"schema\":1"));
+        assert!(doc.contains("\"schema\":2"));
         assert!(doc.contains("\"matrix\":\"tiny\""));
         assert!(doc.contains("\"all_sound\":true"));
         let md = matrix_markdown(&run);

@@ -20,10 +20,12 @@ use wcet_core::static_ctrl::{
 };
 use wcet_core::validate::{observe_all, Observation};
 use wcet_core::{IpetOptions, SolveContext, WcetReport};
+use wcet_ir::fixpoint::{FixpointSink, FixpointStats};
 use wcet_ir::synth::{parse_kernel, Placement};
 use wcet_ir::Program;
 use wcet_sched::TaskSet;
 use wcet_sim::config::{L2Config, MachineConfig};
+use wcet_sim::machine::SkipStats;
 
 use super::spec::{AnalyzeSpec, L2Layout, ModeSpec, Scenario, ScenarioMatrix};
 
@@ -131,6 +133,11 @@ pub struct MatrixRun {
     /// through the one context. When the caller shared a context across
     /// several runs, this is the context's cumulative lifetime view.
     pub solver: SolverStats,
+    /// Worklist-fixpoint effort summed over every cache analysis the run
+    /// computed (engine-family and statically-controlled cells alike).
+    pub fixpoint: FixpointStats,
+    /// Event-skipping effort summed over every validation replay.
+    pub sim_skip: SkipStats,
 }
 
 impl MatrixRun {
@@ -307,6 +314,8 @@ pub fn run_matrix(matrix: &ScenarioMatrix, opts: &MatrixOptions) -> MatrixRun {
     let mut seen: HashSet<(u64, u64)> = HashSet::new();
     let mut cells = Vec::new();
     let mut duplicates = 0usize;
+    let fix = FixpointSink::new();
+    let mut sim_skip = SkipStats::default();
 
     for scn in matrix.expand() {
         let built = build_scenario(&scn);
@@ -331,7 +340,7 @@ pub fn run_matrix(matrix: &ScenarioMatrix, opts: &MatrixOptions) -> MatrixRun {
         };
 
         let rows = if scn.mode.is_static_family() {
-            analyze_static(&scn, &built, &ipet, &ctx)
+            analyze_static(&scn, &built, &ipet, &ctx, &fix)
         } else {
             let machine_fp = debug_fingerprint(&built.machine);
             let engine = engines.entry(machine_fp).or_insert_with(|| {
@@ -351,7 +360,7 @@ pub fn run_matrix(matrix: &ScenarioMatrix, opts: &MatrixOptions) -> MatrixRun {
             error: None,
         };
         if opts.validate {
-            validate_cell(&built, &mut outcome);
+            validate_cell(&built, &mut outcome, &mut sim_skip);
         }
         cells.push(outcome);
     }
@@ -359,6 +368,10 @@ pub fn run_matrix(matrix: &ScenarioMatrix, opts: &MatrixOptions) -> MatrixRun {
     // Engines only route solves; the shared context saw every one of
     // them (static-ctrl cells included), so its totals are the run's
     // complete solver bill.
+    let mut fixpoint = fix.total();
+    for engine in engines.values() {
+        fixpoint.absorb(&engine.fixpoint_stats());
+    }
     drop(engines);
     let ctx_stats = ctx.stats();
     MatrixRun {
@@ -370,6 +383,8 @@ pub fn run_matrix(matrix: &ScenarioMatrix, opts: &MatrixOptions) -> MatrixRun {
             cold_solves: ctx_stats.cold_solves,
             totals: ctx.totals(),
         },
+        fixpoint,
+        sim_skip,
     }
 }
 
@@ -437,6 +452,7 @@ fn analyze_static(
     built: &BuiltScenario,
     ipet: &IpetOptions,
     ctx: &SolveContext,
+    fix: &FixpointSink,
 ) -> Vec<TaskRow> {
     analyzed_range(scn, built)
         .map(|i| {
@@ -444,18 +460,22 @@ fn analyze_static(
             let (core, thread) = built.placement[i];
             let wcet = StaticParams::from_machine(&built.machine, core, thread)
                 .and_then(|params| match scn.mode {
-                    ModeSpec::StaticCtrl => wcet_unlocked_ctx(p, &params, ipet, Some(ctx)),
+                    ModeSpec::StaticCtrl => {
+                        wcet_unlocked_ctx(p, &params, ipet, Some(ctx), Some(fix))
+                    }
                     ModeSpec::StaticLock { ways } => {
                         if params.l2.is_none() {
                             return Err(missing_l2(scn));
                         }
-                        wcet_static_lock_ctx(p, &params, ways, ipet, Some(ctx)).map(|(w, _)| w)
+                        wcet_static_lock_ctx(p, &params, ways, ipet, Some(ctx), Some(fix))
+                            .map(|(w, _)| w)
                     }
                     ModeSpec::DynamicLock { ways } => {
                         if params.l2.is_none() {
                             return Err(missing_l2(scn));
                         }
-                        wcet_dynamic_lock_ctx(p, &params, ways, ipet, Some(ctx)).map(|(w, _)| w)
+                        wcet_dynamic_lock_ctx(p, &params, ways, ipet, Some(ctx), Some(fix))
+                            .map(|(w, _)| w)
                     }
                     _ => unreachable!("engine modes route through analyze_engine"),
                 })
@@ -479,7 +499,7 @@ fn missing_l2(scn: &Scenario) -> wcet_core::AnalysisError {
 }
 
 /// Replays the cell on the simulator, or records why it cannot be.
-fn validate_cell(built: &BuiltScenario, outcome: &mut CellOutcome) {
+fn validate_cell(built: &BuiltScenario, outcome: &mut CellOutcome, sim_skip: &mut SkipStats) {
     if outcome.scenario.mode.is_lock_mode() {
         outcome.validation_skipped = Some(
             "lock contents are an analysis assumption the simulated machine does not load"
@@ -513,10 +533,11 @@ fn validate_cell(built: &BuiltScenario, outcome: &mut CellOutcome) {
         &watched,
         outcome.scenario.cycle_limit,
     ) {
-        Ok(observations) => {
-            let all_sound = observations.iter().all(Observation::sound);
+        Ok(run) => {
+            sim_skip.absorb(&run.skip);
+            let all_sound = run.observations.iter().all(Observation::sound);
             outcome.validation = Some(CellValidation {
-                observations,
+                observations: run.observations,
                 all_sound,
             });
         }

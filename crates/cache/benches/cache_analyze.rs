@@ -5,9 +5,9 @@
 //! bit-rot.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use wcet_cache::analysis::{analyze, AnalysisInput, LevelKind};
+use wcet_cache::analysis::{analyze, analyze_sweep, AnalysisInput, LevelKind};
 use wcet_cache::config::CacheConfig;
-use wcet_ir::synth::{matmul, switchy, Placement};
+use wcet_ir::synth::{matmul, pointer_chase_stride, switchy, Placement};
 
 fn bench_cache_analyze(c: &mut Criterion) {
     let mut g = c.benchmark_group("cache_analyze");
@@ -34,5 +34,33 @@ fn bench_cache_analyze(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cache_analyze);
+/// The worklist fixpoint over precompiled block transfers vs the
+/// preserved naive sweep, on the workloads where the schedule matters:
+/// a branchy kernel (many blocks, nested loops) and a range-access-heavy
+/// chase (wide transfer programs).
+fn bench_worklist_vs_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("worklist_vs_sweep");
+    g.sample_size(10);
+    let l2 = CacheConfig::new(64, 4, 32, 4).expect("valid");
+    let cases: Vec<(&str, wcet_ir::Program)> = vec![
+        ("switchy24", switchy(24, 20, 10, Placement::default())),
+        ("matmul12", matmul(12, Placement::default())),
+        (
+            "chase4096",
+            pointer_chase_stride(4096, 300, 32, Placement::default()),
+        ),
+    ];
+    for (name, p) in &cases {
+        let input = AnalysisInput::level1(l2, LevelKind::Unified);
+        g.bench_with_input(BenchmarkId::new("worklist", name), name, |b, _| {
+            b.iter(|| analyze(p, &input).histogram())
+        });
+        g.bench_with_input(BenchmarkId::new("sweep", name), name, |b, _| {
+            b.iter(|| analyze_sweep(p, &input).histogram())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache_analyze, bench_worklist_vs_sweep);
 criterion_main!(benches);

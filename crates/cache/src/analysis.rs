@@ -16,11 +16,12 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use wcet_ir::fixpoint::{FixpointStats, Worklist};
 use wcet_ir::program::AccessAddrs;
 use wcet_ir::{AccessKind, BlockId, Program};
 
 use crate::config::{CacheConfig, LineAddr};
-use crate::domain::{AbsCacheState, CacheDomain, JoinScratch, LineRef};
+use crate::domain::{AbsCacheState, BlockTransfer, CacheDomain, JoinScratch, LineRef};
 
 /// Identifier of an access site: block plus position in the block's access
 /// sequence.
@@ -166,6 +167,13 @@ pub struct CacheAnalysis {
     classes: BTreeMap<SiteId, Classification>,
     footprint: BTreeMap<u32, BTreeSet<LineAddr>>,
     sets: u32,
+    /// Classification counts `(ah, am, ps, nc)`, accumulated during the
+    /// classification pass (the public map is never re-walked for them).
+    hist: (usize, usize, usize, usize),
+    /// Fixpoint effort (excluded from any result comparison — the
+    /// worklist and the sweep produce identical classifications at
+    /// different bills).
+    stats: FixpointStats,
 }
 
 impl CacheAnalysis {
@@ -198,27 +206,149 @@ impl CacheAnalysis {
         self.sets
     }
 
-    /// Counts classifications: `(ah, am, ps, nc)`.
+    /// Counts classifications: `(ah, am, ps, nc)` — a stored counter
+    /// filled during classification, not a walk over the site map.
     #[must_use]
     pub fn histogram(&self) -> (usize, usize, usize, usize) {
-        let mut h = (0, 0, 0, 0);
-        for c in self.classes.values() {
-            match c {
-                Classification::AlwaysHit => h.0 += 1,
-                Classification::AlwaysMiss => h.1 += 1,
-                Classification::Persistent { .. } => h.2 += 1,
-                Classification::NotClassified => h.3 += 1,
-            }
-        }
-        h
+        self.hist
+    }
+
+    /// The fixpoint-iteration effort behind this analysis.
+    #[must_use]
+    pub fn fixpoint_stats(&self) -> FixpointStats {
+        self.stats
     }
 }
 
 /// Runs the must/may fixpoint and classifies every access of `program`
 /// relevant to this level.
+///
+/// The fixpoint is driven by the shared loop-nest-aware worklist
+/// ([`wcet_ir::fixpoint::Worklist`]) over *precompiled block transfers*:
+/// each block's access sequence is compiled once into a flat word-op
+/// program and applied as a unit, and only blocks whose in-state actually
+/// changed are re-evaluated. Results are bit-identical to the preserved
+/// sweep ([`analyze_sweep`]): both converge to the same least fixpoint of
+/// the same monotone transfer system (pinned by the differential property
+/// tests).
 #[must_use]
 pub fn analyze(program: &Program, input: &AnalysisInput) -> CacheAnalysis {
+    let prep = prepare(program, input);
     let cfg = program.cfg();
+    let dom = &prep.dom;
+    let transfers = compile_transfers(&prep);
+
+    // Worklist fixpoint over block in-states: stabilize inner loops
+    // before re-entering outer ones.
+    let mut in_states: Vec<Option<AbsCacheState>> = vec![None; cfg.num_blocks()];
+    in_states[cfg.entry().index()] = Some(dom.cold());
+    let mut out = dom.cold();
+    let mut tmp = dom.cold();
+    let mut scratch = JoinScratch::for_domain(dom);
+    let mut wl = Worklist::nested(cfg, program.loops());
+    wl.push(cfg.entry());
+    while let Some(b) = wl.pop() {
+        out.clone_from(
+            in_states[b.index()]
+                .as_ref()
+                .expect("popped block has in-state"),
+        );
+        out.apply_transfer(dom, &transfers[b.index()], &mut tmp, &mut scratch);
+        for &succ in cfg.successors(b) {
+            let changed = match &mut in_states[succ.index()] {
+                slot @ None => {
+                    *slot = Some(out.clone());
+                    true
+                }
+                Some(cur) => cur.join_in(dom, &out, &mut scratch),
+            };
+            if changed {
+                wl.push(succ);
+            }
+        }
+    }
+
+    finish(program, input, &prep, &transfers, in_states, wl.stats())
+}
+
+/// The preserved naive fixpoint: full reverse-postorder sweeps,
+/// re-interpreting every access of every block per round, until a whole
+/// round changes nothing. This is the reference twin of [`analyze`] for
+/// the differential property tests and the worklist-vs-sweep benchmark;
+/// production callers use [`analyze`].
+#[must_use]
+pub fn analyze_sweep(program: &Program, input: &AnalysisInput) -> CacheAnalysis {
+    let prep = prepare(program, input);
+    let cfg = program.cfg();
+    let dom = &prep.dom;
+
+    let mut in_states: Vec<Option<AbsCacheState>> = vec![None; cfg.num_blocks()];
+    in_states[cfg.entry().index()] = Some(dom.cold());
+    let rpo = cfg.reverse_postorder();
+    let mut out = dom.cold();
+    let mut scratch = JoinScratch::for_domain(dom);
+    let mut stats = FixpointStats::default();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        stats.max_trips += 1; // one full sweep
+        for &b in rpo {
+            let Some(in_state) = &in_states[b.index()] else {
+                continue;
+            };
+            stats.evaluated += 1;
+            out.clone_from(in_state);
+            for acc in &prep.accesses[b.index()] {
+                apply_access(&mut out, dom, acc, &mut scratch);
+            }
+            for &succ in cfg.successors(b) {
+                match &mut in_states[succ.index()] {
+                    slot @ None => {
+                        *slot = Some(out.clone());
+                        changed = true;
+                    }
+                    Some(cur) => {
+                        if cur.join_in(dom, &out, &mut scratch) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    stats.sweep_evals = stats.evaluated; // this *is* the sweep bill
+
+    let transfers = compile_transfers(&prep);
+    finish(program, input, &prep, &transfers, in_states, stats)
+}
+
+/// Compiles each block's access sequence into its flat transfer program
+/// (slots aligned with the access list).
+fn compile_transfers(prep: &Prepared) -> Vec<BlockTransfer> {
+    prep.accesses
+        .iter()
+        .map(|block| {
+            let mut t = BlockTransfer::default();
+            for acc in block {
+                let certain = acc.effective.len() == 1 && acc.lines.len() == 1;
+                t.push(
+                    prep.dom
+                        .compile_step(acc.reach == Reach::Always, certain, &acc.effective),
+                );
+            }
+            t
+        })
+        .collect()
+}
+
+/// Shared preparation: access collection plus the interned line universe.
+struct Prepared {
+    accesses: Vec<Vec<LevelAccess>>,
+    sites: Vec<SiteId>,
+    dom: CacheDomain,
+}
+
+fn prepare(program: &Program, input: &AnalysisInput) -> Prepared {
     let (mut accesses, sites) = collect_accesses(program, input);
     let ways = input.ways_vec();
 
@@ -245,84 +375,101 @@ pub fn analyze(program: &Program, input: &AnalysisInput) -> CacheAnalysis {
                 .collect();
         }
     }
-
-    // Fixpoint over block in-states.
-    let mut in_states: Vec<Option<AbsCacheState>> = vec![None; cfg.num_blocks()];
-    in_states[cfg.entry().index()] = Some(dom.cold());
-    let rpo = cfg.reverse_postorder();
-    let mut out = dom.cold();
-    let mut scratch = JoinScratch::for_domain(&dom);
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for &b in &rpo {
-            let Some(in_state) = &in_states[b.index()] else {
-                continue;
-            };
-            out.clone_from(in_state);
-            for acc in &accesses[b.index()] {
-                apply_access(&mut out, &dom, acc, &mut scratch);
-            }
-            for succ in cfg.successors(b) {
-                match &mut in_states[succ.index()] {
-                    slot @ None => {
-                        *slot = Some(out.clone());
-                        changed = true;
-                    }
-                    Some(cur) => {
-                        let before = cur.clone();
-                        cur.join_in(&dom, &out, &mut scratch);
-                        if *cur != before {
-                            changed = true;
-                        }
-                    }
-                }
-            }
-        }
+    Prepared {
+        accesses,
+        sites,
+        dom,
     }
+}
 
-    // Loop pressure per (loop, set): distinct installable lines.
+/// Shared epilogue: loop pressure, classification, footprint, histogram.
+/// Replays each block's compiled transfer one access at a time so the
+/// per-site classification sees the exact pre-access state.
+fn finish(
+    program: &Program,
+    input: &AnalysisInput,
+    prep: &Prepared,
+    transfers: &[BlockTransfer],
+    in_states: Vec<Option<AbsCacheState>>,
+    stats: FixpointStats,
+) -> CacheAnalysis {
+    let cfg = program.cfg();
+    let dom = &prep.dom;
+    let num_sets = dom.num_sets();
+
+    // Loop pressure per (loop, set): distinct installable lines, counted
+    // as bitsets over the interned universe (one row of words per set)
+    // instead of per-line `BTreeSet` insertions.
     let loops = program.loops();
-    let mut pressure: Vec<BTreeMap<u32, BTreeSet<LineAddr>>> = vec![BTreeMap::new(); loops.len()];
-    for l in loops.ids() {
-        for &b in &loops.loop_of(l).blocks {
-            for acc in &accesses[b.index()] {
-                for &line in &acc.lines {
-                    if input.locked.contains(&line) || input.bypass.contains(&line) {
-                        continue;
+    let mut row_off = vec![0usize; num_sets];
+    let mut row_words = 0usize;
+    for (set, off) in row_off.iter_mut().enumerate() {
+        *off = row_words;
+        row_words += dom.words_of(set);
+    }
+    let mut pressure: Vec<Vec<u32>> = vec![vec![0; num_sets]; loops.len()];
+    if !loops.is_empty() && row_words > 0 {
+        let mut bits = vec![0u64; row_words];
+        for l in loops.ids() {
+            bits.fill(0);
+            for &b in &loops.loop_of(l).blocks {
+                for acc in &prep.accesses[b.index()] {
+                    for r in &acc.effective {
+                        bits[row_off[r.set as usize] + (r.bit / 64) as usize] |=
+                            1u64 << (r.bit % 64);
                     }
-                    let set = input.cache.set_of(line);
-                    pressure[l.index()].entry(set).or_default().insert(line);
                 }
+            }
+            for set in 0..num_sets {
+                pressure[l.index()][set] = bits[row_off[set]..row_off[set] + dom.words_of(set)]
+                    .iter()
+                    .map(|w| w.count_ones())
+                    .sum();
             }
         }
     }
 
-    // Classification pass + footprint (classes accumulate in a flat
-    // site-indexed vector; the public BTreeMap is built once at the end).
-    let mut class_by_site: Vec<Option<Classification>> = vec![None; sites.len()];
+    // Footprint: the distinct effective lines any access may install —
+    // by construction exactly the interned universe (both are built from
+    // the same locked/bypass-filtered access lines, and every block is
+    // reachable), read off the domain in one sorted pass instead of
+    // re-inserting every access's line list.
     let mut footprint: BTreeMap<u32, BTreeSet<LineAddr>> = BTreeMap::new();
+    for set in 0..num_sets {
+        let lines = dom.lines_of_set(set);
+        if !lines.is_empty() {
+            footprint.insert(set as u32, lines.iter().copied().collect());
+        }
+    }
+
+    // Classification pass (classes accumulate in a flat site-indexed
+    // vector; the public BTreeMap is built once at the end).
+    let mut class_by_site: Vec<Option<Classification>> = vec![None; prep.sites.len()];
+    let mut hist = (0usize, 0usize, 0usize, 0usize);
     let mut state = dom.cold();
+    let mut tmp = dom.cold();
+    let mut scratch = JoinScratch::for_domain(dom);
     for (b, _) in cfg.iter() {
         let Some(in_state) = &in_states[b.index()] else {
             continue;
         };
         state.clone_from(in_state);
-        for acc in &accesses[b.index()] {
-            let class = classify(&state, &dom, acc, input, program, &pressure);
+        for (i, acc) in prep.accesses[b.index()].iter().enumerate() {
+            let class = classify(&state, dom, acc, input, program, &pressure);
             class_by_site[acc.site_idx as usize] = Some(class);
-            for &line in &acc.lines {
-                if !input.locked.contains(&line) && !input.bypass.contains(&line) {
-                    footprint
-                        .entry(input.cache.set_of(line))
-                        .or_default()
-                        .insert(line);
-                }
+            match class {
+                Classification::AlwaysHit => hist.0 += 1,
+                Classification::AlwaysMiss => hist.1 += 1,
+                Classification::Persistent { .. } => hist.2 += 1,
+                Classification::NotClassified => hist.3 += 1,
             }
-            apply_access(&mut state, &dom, acc, &mut scratch);
+            if let Some(step) = transfers[b.index()].step(i) {
+                state.apply_step(dom, step, &mut tmp, &mut scratch);
+            }
         }
     }
-    let classes = sites
+    let classes = prep
+        .sites
         .iter()
         .zip(&class_by_site)
         .filter_map(|(&site, class)| class.map(|c| (site, c)))
@@ -332,6 +479,8 @@ pub fn analyze(program: &Program, input: &AnalysisInput) -> CacheAnalysis {
         classes,
         footprint,
         sets: input.cache.sets(),
+        hist,
+        stats,
     }
 }
 
@@ -415,7 +564,7 @@ fn classify(
     acc: &LevelAccess,
     input: &AnalysisInput,
     program: &Program,
-    pressure: &[BTreeMap<u32, BTreeSet<LineAddr>>],
+    pressure: &[Vec<u32>],
 ) -> Classification {
     // Locked lines always hit (all range lines must be locked).
     if acc.lines.iter().all(|l| input.locked.contains(l)) {
@@ -448,7 +597,7 @@ fn classify(
     let loops = program.loops();
     let containing = loops.containing(acc.site.0); // innermost first
     for l in containing.into_iter().rev() {
-        let own = pressure[l.index()].get(&set).map_or(0, BTreeSet::len) as u32;
+        let own = pressure[l.index()][set as usize];
         if own.saturating_add(shift) <= ways {
             return Classification::Persistent {
                 scope: loops.loop_of(l).header,

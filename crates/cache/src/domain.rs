@@ -33,8 +33,35 @@
 //! abstract state) and shared-cache interference shifts (paper §4.1).
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::config::{CacheConfig, LineAddr};
+
+/// Multiply-shift hasher for the line-interning map. Keys are `LineAddr`
+/// (one `u64`); the default SipHash dominates domain construction when a
+/// range access interns thousands of lines.
+#[derive(Default)]
+struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by u64 keys): FNV-1a.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 29;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type LineMap = HashMap<LineAddr, LineRef, BuildHasherDefault<LineHasher>>;
 
 /// An interned line: dense bit `bit` of set `set` within a
 /// [`CacheDomain`]'s universe.
@@ -56,7 +83,7 @@ pub struct CacheDomain {
     /// Sorted line universe per set.
     lines: Vec<Vec<LineAddr>>,
     /// Line → (set, bit) interning map.
-    index: HashMap<LineAddr, LineRef>,
+    index: LineMap,
     /// Words per set (`ceil(lines.len() / 64)`).
     words: Vec<usize>,
     /// Word offset of each set's age-0 row in the flat state arrays.
@@ -83,7 +110,7 @@ impl CacheDomain {
             lines_per_set.len(),
             "one line universe per set"
         );
-        let mut index = HashMap::new();
+        let mut index = LineMap::default();
         for (s, lines) in lines_per_set.iter_mut().enumerate() {
             lines.sort_unstable();
             lines.dedup();
@@ -168,6 +195,179 @@ impl CacheDomain {
         debug_assert!(age < self.set_ways[set]);
         let start = self.offsets[set] + age as usize * self.words[set];
         start..start + self.words[set]
+    }
+
+    /// Words per set-row (fixpoint clients lay per-set bitsets over the
+    /// interned universe, e.g. the loop-pressure counters).
+    #[must_use]
+    pub(crate) fn words_of(&self, set: usize) -> usize {
+        self.words[set]
+    }
+
+    /// The interned universe of `set`, sorted and deduplicated.
+    #[must_use]
+    pub(crate) fn lines_of_set(&self, set: usize) -> &[LineAddr] {
+        &self.lines[set]
+    }
+
+    fn line_op(&self, line: LineRef) -> LineOp {
+        let set = line.set as usize;
+        LineOp {
+            ways: self.set_ways[set],
+            word: (line.bit / 64) as usize,
+            mask: 1u64 << (line.bit % 64),
+            row0: self.offsets[set],
+            stride: self.words[set],
+        }
+    }
+
+    /// Compiles one access into a [`CompiledStep`], resolving every
+    /// geometry lookup, bit position and touched-set list once.
+    ///
+    /// `certain_line` is true when the access resolves to exactly one
+    /// line *and* that line survived the locked/bypass filter (the
+    /// single-line transfer rule differs from the unknown-line rule).
+    /// Returns `None` for accesses that cannot disturb the state: empty
+    /// effective sets (fully locked/bypassed) and zero-way (fully locked)
+    /// sets, mirroring the early returns of the interpreted path.
+    pub(crate) fn compile_step(
+        &self,
+        reach_always: bool,
+        certain_line: bool,
+        effective: &[LineRef],
+    ) -> Option<CompiledStep> {
+        if effective.is_empty() {
+            return None;
+        }
+        if certain_line {
+            debug_assert_eq!(effective.len(), 1);
+            let op = self.line_op(effective[0]);
+            if op.ways == 0 {
+                return None; // fully locked set: no unlocked state to track
+            }
+            let set = effective[0].set as usize;
+            return Some(if reach_always {
+                CompiledStep::Known(op)
+            } else {
+                CompiledStep::UncertainKnown {
+                    op,
+                    join_sets: Box::new([set]),
+                }
+            });
+        }
+        let mut touched: Vec<usize> = effective.iter().map(|l| l.set as usize).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let live: Vec<usize> = touched
+            .iter()
+            .copied()
+            .filter(|&set| self.set_ways[set] > 0)
+            .collect();
+        let mut sets: Vec<SetOp> = live
+            .iter()
+            .map(|&set| SetOp {
+                ways: self.set_ways[set],
+                row0: self.offsets[set],
+                stride: self.words[set],
+                mask: vec![0u64; self.words[set]].into_boxed_slice(),
+            })
+            .collect();
+        for l in effective {
+            if let Ok(i) = live.binary_search(&(l.set as usize)) {
+                sets[i].mask[(l.bit / 64) as usize] |= 1u64 << (l.bit % 64);
+            }
+        }
+        if sets.is_empty() {
+            return None;
+        }
+        let sets = sets.into_boxed_slice();
+        Some(if reach_always {
+            CompiledStep::Unknown { sets }
+        } else {
+            CompiledStep::UncertainUnknown {
+                sets,
+                join_sets: touched.into_boxed_slice(),
+            }
+        })
+    }
+}
+
+/// A precompiled single-line operand: everything
+/// [`AbsCacheState::access`] would re-derive per application (effective
+/// way count, word index, bit mask, row geometry), resolved once.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LineOp {
+    ways: u32,
+    word: usize,
+    mask: u64,
+    row0: usize,
+    stride: usize,
+}
+
+/// A precompiled touched-set operand of an unknown-line access: the
+/// set's row geometry plus the candidate-line bitmask (`stride` words).
+/// The per-line may update ("clear the line's old age bit, insert it at
+/// age 0") folds into whole-row word ops over this mask, so a
+/// 4096-candidate range access costs `ways × words` word operations per
+/// application instead of 4096 bit probes.
+#[derive(Debug, Clone)]
+pub(crate) struct SetOp {
+    ways: u32,
+    row0: usize,
+    stride: usize,
+    mask: Box<[u64]>,
+}
+
+/// One compiled access of a [`BlockTransfer`].
+#[derive(Debug, Clone)]
+pub(crate) enum CompiledStep {
+    /// Certain access to a known line.
+    Known(LineOp),
+    /// Certain access to an unknown line out of a range.
+    Unknown {
+        /// Touched sets (deduplicated, zero-way-filtered) with their
+        /// candidate masks.
+        sets: Box<[SetOp]>,
+    },
+    /// May-or-may-not-happen access to a known line.
+    UncertainKnown {
+        /// The line operand.
+        op: LineOp,
+        /// The set to re-join (the line's set).
+        join_sets: Box<[usize]>,
+    },
+    /// May-or-may-not-happen access to an unknown line.
+    UncertainUnknown {
+        /// Touched sets (deduplicated, zero-way-filtered) with their
+        /// candidate masks.
+        sets: Box<[SetOp]>,
+        /// Sorted touched sets to re-join after the speculative update.
+        join_sets: Box<[usize]>,
+    },
+}
+
+/// A block's access sequence compiled into a flat word-op program,
+/// applied as a unit by the fixpoint instead of re-interpreting each
+/// access per evaluation. Compiled once per analysis per block. Slots
+/// stay aligned with the block's access list (`None` = the access cannot
+/// disturb the state), so the classification pass can replay the same
+/// program one access at a time.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BlockTransfer {
+    steps: Vec<Option<CompiledStep>>,
+}
+
+impl BlockTransfer {
+    /// Appends one compiled access slot.
+    pub(crate) fn push(&mut self, step: Option<CompiledStep>) {
+        self.steps.push(step);
+    }
+
+    /// The compiled step of the block's `i`-th access, if it does
+    /// anything.
+    #[must_use]
+    pub(crate) fn step(&self, i: usize) -> Option<&CompiledStep> {
+        self.steps.get(i).and_then(Option::as_ref)
     }
 }
 
@@ -256,32 +456,37 @@ impl AbsCacheState {
     /// absorbs row `threshold − 1` (or drops it when `threshold == ways`),
     /// row 0 empties. `threshold == 0` is a no-op.
     fn age_rows(&mut self, dom: &CacheDomain, which: Dom, set: usize, threshold: u32) {
-        if threshold == 0 {
-            return;
-        }
-        let ways = dom.set_ways[set];
-        let w = dom.words[set];
-        if w == 0 {
+        self.age_rows_at(
+            which,
+            dom.offsets[set],
+            dom.words[set],
+            dom.set_ways[set],
+            threshold,
+        );
+    }
+
+    /// [`AbsCacheState::age_rows`] on precompiled row geometry: the set's
+    /// rows live at `row0 + age·w`.
+    fn age_rows_at(&mut self, which: Dom, row0: usize, w: usize, ways: u32, threshold: u32) {
+        if threshold == 0 || w == 0 {
             return;
         }
         let arr = self.words_mut(which);
         if threshold < ways {
-            let (dst, src) = (
-                dom.row(set, threshold).start,
-                dom.row(set, threshold - 1).start,
-            );
+            let dst = row0 + threshold as usize * w;
+            let src = dst - w;
             for k in 0..w {
                 arr[dst + k] |= arr[src + k];
             }
         }
         for age in (1..threshold).rev() {
-            let (dst, src) = (dom.row(set, age).start, dom.row(set, age - 1).start);
+            let dst = row0 + age as usize * w;
+            let src = dst - w;
             for k in 0..w {
                 arr[dst + k] = arr[src + k];
             }
         }
-        let z = dom.row(set, 0);
-        arr[z].fill(0);
+        arr[row0..row0 + w].fill(0);
     }
 
     /// Must-age upper bound of `line`, if the line is guaranteed cached.
@@ -381,51 +586,61 @@ impl AbsCacheState {
 
     /// [`AbsCacheState::join`] with a caller-provided scratch (the
     /// fixpoint reuses one across every join instead of allocating).
+    /// Returns whether `self` changed — computed word-by-word during the
+    /// join, which is what lets the worklist fixpoint requeue only
+    /// successors whose in-state actually moved (the former sweep cloned
+    /// the state and compared afterwards).
     pub(crate) fn join_in(
         &mut self,
         dom: &CacheDomain,
         other: &AbsCacheState,
         scratch: &mut JoinScratch,
-    ) {
+    ) -> bool {
         self.check_layout(dom, other);
+        let mut changed = false;
         for set in 0..dom.num_sets() {
-            self.join_set(dom, other, set, scratch);
+            changed |= self.join_set(dom, other, set, scratch);
         }
+        changed
     }
 
     /// [`AbsCacheState::join`] restricted to `sets` (sorted or not; the
     /// untouched sets are assumed equal in both states, which holds for
     /// the may-or-may-not-happen transfer where `other` diverged from
-    /// `self` only on the touched sets).
+    /// `self` only on the touched sets). Returns whether `self` changed.
     pub(crate) fn join_sets_in(
         &mut self,
         dom: &CacheDomain,
         other: &AbsCacheState,
         sets: &[usize],
         scratch: &mut JoinScratch,
-    ) {
+    ) -> bool {
         self.check_layout(dom, other);
+        let mut changed = false;
         let mut last = usize::MAX;
         for &set in sets {
             if set != last {
-                self.join_set(dom, other, set, scratch);
+                changed |= self.join_set(dom, other, set, scratch);
                 last = set;
             }
         }
+        changed
     }
 
     /// One set's join (see [`AbsCacheState::join`] for the lattice).
+    /// Returns whether any word of `self` changed.
     fn join_set(
         &mut self,
         dom: &CacheDomain,
         other: &AbsCacheState,
         set: usize,
         s: &mut JoinScratch,
-    ) {
+    ) -> bool {
         let w = dom.words[set];
         if w == 0 {
-            return;
+            return false;
         }
+        let mut delta = 0u64;
         s.cum_a[..w].fill(0);
         s.cum_b[..w].fill(0);
         for age in 0..dom.set_ways[set] {
@@ -437,7 +652,9 @@ impl AbsCacheState {
             for k in 0..w {
                 s.cum_a[k] |= s.row_a[k];
                 s.cum_b[k] |= s.row_b[k];
-                self.must[r.start + k] = (s.row_a[k] & s.cum_b[k]) | (s.row_b[k] & s.cum_a[k]);
+                let new = (s.row_a[k] & s.cum_b[k]) | (s.row_b[k] & s.cum_a[k]);
+                delta |= new ^ s.row_a[k];
+                self.must[r.start + k] = new;
             }
         }
         s.cum_a[..w].fill(0);
@@ -449,11 +666,14 @@ impl AbsCacheState {
             // new[a] = (A[a] ∖ cumB[<a]) ∪ (B[a] ∖ cumA[<a]):
             // a line takes the smaller of its ages, union overall.
             for k in 0..w {
-                self.may[r.start + k] = (s.row_a[k] & !s.cum_b[k]) | (s.row_b[k] & !s.cum_a[k]);
+                let new = (s.row_a[k] & !s.cum_b[k]) | (s.row_b[k] & !s.cum_a[k]);
+                delta |= new ^ s.row_a[k];
+                self.may[r.start + k] = new;
                 s.cum_a[k] |= s.row_a[k];
                 s.cum_b[k] |= s.row_b[k];
             }
         }
+        delta != 0
     }
 
     /// Shifts every must age in `set` up by `delta`, evicting lines whose
@@ -474,6 +694,94 @@ impl AbsCacheState {
         for age in 0..delta.min(ways) {
             let r = dom.row(set, age);
             self.must[r].fill(0);
+        }
+    }
+
+    /// Applies one access of a compiled transfer (see [`BlockTransfer`]).
+    pub(crate) fn apply_step(
+        &mut self,
+        dom: &CacheDomain,
+        step: &CompiledStep,
+        tmp: &mut AbsCacheState,
+        scratch: &mut JoinScratch,
+    ) {
+        match step {
+            CompiledStep::Known(op) => self.access_op(op),
+            CompiledStep::Unknown { sets } => self.access_unknown_ops(sets),
+            CompiledStep::UncertainKnown { op, join_sets } => {
+                // The access may or may not happen: join both worlds. The
+                // two states differ only on the touched sets, so the join
+                // is restricted to them.
+                tmp.clone_from(self);
+                tmp.access_op(op);
+                self.join_sets_in(dom, tmp, join_sets, scratch);
+            }
+            CompiledStep::UncertainUnknown { sets, join_sets } => {
+                tmp.clone_from(self);
+                tmp.access_unknown_ops(sets);
+                self.join_sets_in(dom, tmp, join_sets, scratch);
+            }
+        }
+    }
+
+    /// Applies a whole compiled block transfer as a unit. `tmp` is a
+    /// caller-owned state buffer for the may-or-may-not-happen snapshot
+    /// (reused across applications instead of cloning per access).
+    pub(crate) fn apply_transfer(
+        &mut self,
+        dom: &CacheDomain,
+        transfer: &BlockTransfer,
+        tmp: &mut AbsCacheState,
+        scratch: &mut JoinScratch,
+    ) {
+        for step in transfer.steps.iter().flatten() {
+            self.apply_step(dom, step, tmp, scratch);
+        }
+    }
+
+    /// [`AbsCacheState::access`] on a precompiled operand — identical
+    /// update, with the interning, geometry and bit arithmetic resolved
+    /// once at compile time.
+    fn access_op(&mut self, op: &LineOp) {
+        let base = op.row0 + op.word;
+        let stride = op.stride;
+        // Must: lines with age < old bound (all, when absent) age by one.
+        let must_t = (0..op.ways)
+            .find(|&age| self.must[base + age as usize * stride] & op.mask != 0)
+            .unwrap_or(op.ways);
+        if must_t < op.ways {
+            self.must[base + must_t as usize * stride] &= !op.mask;
+        }
+        self.age_rows_at(Dom::Must, op.row0, stride, op.ways, must_t);
+        self.must[base] |= op.mask;
+        // May: lines with age ≤ old bound (all, when absent) age by one.
+        let may_old =
+            (0..op.ways).find(|&age| self.may[base + age as usize * stride] & op.mask != 0);
+        let may_t = may_old.map_or(op.ways, |a| (a + 1).min(op.ways));
+        if let Some(a) = may_old {
+            self.may[base + a as usize * stride] &= !op.mask;
+        }
+        self.age_rows_at(Dom::May, op.row0, stride, op.ways, may_t);
+        self.may[base] |= op.mask;
+    }
+
+    /// [`AbsCacheState::access_unknown`] on precompiled operands. The
+    /// per-line may update ("drop the line's old age bit, insert at age
+    /// 0") is applied for *all* candidates of a set at once through the
+    /// compiled candidate mask: clear the mask from every row, set it on
+    /// row 0 — identical per line, `ways × words` word ops total.
+    fn access_unknown_ops(&mut self, sets: &[SetOp]) {
+        for s in sets {
+            self.age_rows_at(Dom::Must, s.row0, s.stride, s.ways, s.ways);
+            for age in 0..s.ways as usize {
+                let row = s.row0 + age * s.stride;
+                for (k, &m) in s.mask.iter().enumerate() {
+                    self.may[row + k] &= !m;
+                }
+            }
+            for (k, &m) in s.mask.iter().enumerate() {
+                self.may[s.row0 + k] |= m;
+            }
         }
     }
 

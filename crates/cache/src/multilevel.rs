@@ -49,6 +49,19 @@ pub struct HierarchyAnalysis {
     pub l2: Option<CacheAnalysis>,
 }
 
+impl HierarchyAnalysis {
+    /// Worklist-fixpoint effort summed over every analysed level.
+    #[must_use]
+    pub fn fixpoint_stats(&self) -> wcet_ir::fixpoint::FixpointStats {
+        let mut total = self.l1i.fixpoint_stats();
+        total.absorb(&self.l1d.fixpoint_stats());
+        if let Some(l2) = &self.l2 {
+            total.absorb(&l2.fixpoint_stats());
+        }
+        total
+    }
+}
+
 /// Hierarchy description for [`analyze_hierarchy`].
 #[derive(Debug, Clone)]
 pub struct HierarchyConfig {

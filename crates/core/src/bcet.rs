@@ -124,7 +124,7 @@ pub fn bcet_ipet(program: &Program, costs: &BlockCosts, ilp: IlpConfig) -> Resul
         inflow.add_term(x[&b], -1);
         model.add_constraint(inflow, CmpOp::Eq, 0);
         let mut outflow = LinExpr::new();
-        for s in cfg.successors(b) {
+        for &s in cfg.successors(b) {
             outflow.add_term(f[&Edge::new(b, s)], 1);
         }
         if let Some(&fx) = f_exit.get(&b) {

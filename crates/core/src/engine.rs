@@ -33,6 +33,7 @@ use wcet_cache::analysis::{AnalysisInput, CacheAnalysis};
 use wcet_cache::config::{CacheConfig, LineAddr};
 use wcet_cache::multilevel::{analyze_hierarchy, HierarchyAnalysis, HierarchyConfig};
 use wcet_ilp::SolveStats;
+use wcet_ir::fixpoint::FixpointStats;
 use wcet_ir::Program;
 use wcet_pipeline::cost::{block_costs, BlockCosts, CoreMode, CostInput};
 use wcet_sched::TaskSet;
@@ -238,6 +239,9 @@ pub struct AnalysisEngine {
     /// warm-starts every re-solve of a known task).
     solve_ctx: Arc<SolveContext>,
     solver_totals: Mutex<SolveStats>,
+    /// Worklist-fixpoint effort summed over every cache analysis this
+    /// engine actually computed (memo hits add nothing).
+    fix_totals: Mutex<FixpointStats>,
 }
 
 impl AnalysisEngine {
@@ -264,6 +268,7 @@ impl AnalysisEngine {
             bound_stats: TableStats::default(),
             solve_ctx: Arc::new(SolveContext::new()),
             solver_totals: Mutex::new(SolveStats::default()),
+            fix_totals: Mutex::new(FixpointStats::default()),
         }
     }
 
@@ -339,6 +344,17 @@ impl AnalysisEngine {
             cold_solves: ctx.cold_solves,
             totals: *self.solver_totals.lock().expect("solver stats lock"),
         }
+    }
+
+    /// Worklist-fixpoint effort (blocks evaluated vs the naive-sweep
+    /// equivalent) across every cache analysis this engine computed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread died while holding the stats lock.
+    #[must_use]
+    pub fn fixpoint_stats(&self) -> FixpointStats {
+        *self.fix_totals.lock().expect("fixpoint stats lock")
     }
 
     /// Analyses one task under `mode`, reusing every memoized
@@ -526,7 +542,12 @@ impl AnalysisEngine {
             let mut input = l2_input;
             input.kind = wcet_cache::analysis::LevelKind::Unified;
             input.reach = Some(wcet_cache::multilevel::reach_filter(&[&l1.0, &l1.1]));
-            wcet_cache::analysis::analyze(program, &input)
+            let analysis = wcet_cache::analysis::analyze(program, &input);
+            self.fix_totals
+                .lock()
+                .expect("fixpoint stats lock")
+                .absorb(&analysis.fixpoint_stats());
+            analysis
         });
         let computed = Arc::new(HierarchyAnalysis {
             l1i: l1.0.clone(),
@@ -552,6 +573,10 @@ impl AnalysisEngine {
             return Arc::clone(hit);
         }
         let partial = analyze_hierarchy(program, &HierarchyConfig { l1i, l1d, l2: None });
+        self.fix_totals
+            .lock()
+            .expect("fixpoint stats lock")
+            .absorb(&partial.fixpoint_stats());
         let computed = Arc::new((partial.l1i, partial.l1d));
         self.l1_stats.miss();
         let mut table = self.l1s.write().expect("memo lock");

@@ -211,7 +211,7 @@ fn wcet_ipet_in(
             inflow.add_term(f_entry, 1);
         }
         let mut outflow = LinExpr::new();
-        for s in cfg.successors(b) {
+        for &s in cfg.successors(b) {
             outflow.add_term(f[&Edge::new(b, s)], 1);
         }
         if let Some(&fx) = f_exit.get(&b) {

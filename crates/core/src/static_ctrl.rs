@@ -10,6 +10,7 @@ use wcet_cache::concrete::ConcreteCache;
 use wcet_cache::config::CacheConfig;
 use wcet_cache::lock::{select_dynamic, select_static, DynamicLockPlan, LockPlan};
 use wcet_cache::multilevel::{analyze_hierarchy, HierarchyConfig};
+use wcet_ir::fixpoint::FixpointSink;
 use wcet_ir::interp::execute;
 use wcet_ir::program::AccessKind;
 use wcet_ir::{BlockId, Program};
@@ -127,7 +128,7 @@ pub fn wcet_unlocked(
     params: &StaticParams,
     opts: &IpetOptions,
 ) -> Result<u64, AnalysisError> {
-    wcet_unlocked_ctx(program, params, opts, None)
+    wcet_unlocked_ctx(program, params, opts, None, None)
 }
 
 /// [`wcet_unlocked`] with an optional warm-start [`SolveContext`]
@@ -141,8 +142,12 @@ pub fn wcet_unlocked_ctx(
     params: &StaticParams,
     opts: &IpetOptions,
     ctx: Option<&SolveContext>,
+    fix: Option<&FixpointSink>,
 ) -> Result<u64, AnalysisError> {
     let hierarchy = analyze_hierarchy(program, &params.hierarchy_with_l2(params.plain_l2_input()));
+    if let Some(fix) = fix {
+        fix.absorb(hierarchy.fixpoint_stats());
+    }
     let costs = block_costs(program, &hierarchy, &params.cost_input())?;
     ipet_wcet(program, &costs, opts, ctx)
 }
@@ -164,7 +169,7 @@ pub fn wcet_static_lock(
     lock_ways: u32,
     opts: &IpetOptions,
 ) -> Result<(u64, LockPlan), AnalysisError> {
-    wcet_static_lock_ctx(program, params, lock_ways, opts, None)
+    wcet_static_lock_ctx(program, params, lock_ways, opts, None, None)
 }
 
 /// [`wcet_static_lock`] with an optional warm-start [`SolveContext`].
@@ -182,6 +187,7 @@ pub fn wcet_static_lock_ctx(
     lock_ways: u32,
     opts: &IpetOptions,
     ctx: Option<&SolveContext>,
+    fix: Option<&FixpointSink>,
 ) -> Result<(u64, LockPlan), AnalysisError> {
     let l2 = params.l2.expect("static locking needs an L2 slice");
     let plan = select_static(program, &l2, lock_ways);
@@ -189,6 +195,9 @@ pub fn wcet_static_lock_ctx(
     input.locked = plan.lines.clone();
     input.set_ways = Some(locked_ways_vector(&l2, &plan.lines));
     let hierarchy = analyze_hierarchy(program, &params.hierarchy_with_l2(Some(input)));
+    if let Some(fix) = fix {
+        fix.absorb(hierarchy.fixpoint_stats());
+    }
     let mut costs = block_costs(program, &hierarchy, &params.cost_input())?;
     // Preload: one memory fetch per locked line at task start.
     let preload =
@@ -217,7 +226,7 @@ pub fn wcet_dynamic_lock(
     lock_ways: u32,
     opts: &IpetOptions,
 ) -> Result<(u64, DynamicLockPlan), AnalysisError> {
-    wcet_dynamic_lock_ctx(program, params, lock_ways, opts, None)
+    wcet_dynamic_lock_ctx(program, params, lock_ways, opts, None, None)
 }
 
 /// [`wcet_dynamic_lock`] with an optional warm-start [`SolveContext`].
@@ -235,6 +244,7 @@ pub fn wcet_dynamic_lock_ctx(
     lock_ways: u32,
     opts: &IpetOptions,
     ctx: Option<&SolveContext>,
+    fix: Option<&FixpointSink>,
 ) -> Result<(u64, DynamicLockPlan), AnalysisError> {
     let l2 = params.l2.expect("dynamic locking needs an L2 slice");
     let plan = select_dynamic(program, &l2, lock_ways);
@@ -254,6 +264,9 @@ pub fn wcet_dynamic_lock_ctx(
         input.locked = region.lines.clone();
         input.set_ways = Some(locked_ways_vector(&l2, &region.lines));
         let hierarchy = analyze_hierarchy(program, &params.hierarchy_with_l2(Some(input)));
+        if let Some(fix) = fix {
+            fix.absorb(hierarchy.fixpoint_stats());
+        }
         let costs = block_costs(program, &hierarchy, &params.cost_input())?;
         for &b in &region.blocks {
             base.insert(b, costs.cost(b));
@@ -426,7 +439,7 @@ pub fn offset_state_sizes(
             .iter()
             .map(|&o| (o + costs.cost(b)) % period)
             .collect();
-        for s in cfg.successors(b) {
+        for &s in cfg.successors(b) {
             if back.contains(&wcet_ir::Edge::new(b, s)) {
                 continue;
             }

@@ -8,7 +8,7 @@
 
 use wcet_ir::Program;
 use wcet_sim::config::{MachineConfig, SimError};
-use wcet_sim::machine::{Machine, RunResult};
+use wcet_sim::machine::{Machine, RunResult, SkipStats};
 
 /// One observation of a task on a machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +78,15 @@ pub fn run_machine_watched(
     m.run_watched(cycle_limit, watched)
 }
 
+/// One scenario replay's observations plus its simulation effort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationRun {
+    /// Per-watched-slot observations, in `watched` order.
+    pub observations: Vec<Observation>,
+    /// Event-skipping effort of the replay (idle cycles fast-forwarded).
+    pub skip: SkipStats,
+}
+
 /// Runs *all* `loads` of one concrete scenario together in a single
 /// simulation and observes each `watched` slot `(core, thread, bound)`
 /// against its own analysed bound.
@@ -95,16 +104,19 @@ pub fn observe_all(
     loads: Vec<(usize, usize, Program)>,
     watched: &[(usize, usize, u64)],
     cycle_limit: u64,
-) -> Result<Vec<Observation>, SimError> {
+) -> Result<ValidationRun, SimError> {
     let slots: Vec<(usize, usize)> = watched.iter().map(|&(c, t, _)| (c, t)).collect();
     let result = run_machine_watched(config, loads, &slots, cycle_limit)?;
-    Ok(watched
-        .iter()
-        .map(|&(core, thread, bound)| Observation {
-            observed: result.cycles(core, thread),
-            bound,
-        })
-        .collect())
+    Ok(ValidationRun {
+        observations: watched
+            .iter()
+            .map(|&(core, thread, bound)| Observation {
+                observed: result.cycles(core, thread),
+                bound,
+            })
+            .collect(),
+        skip: result.skip,
+    })
 }
 
 /// Runs the task under test at `(core, thread)` together with co-runners,
@@ -194,12 +206,12 @@ mod tests {
             100_000_000,
         )
         .expect("runs");
-        assert_eq!(all.len(), 2);
-        assert!(all.iter().all(Observation::sound));
+        assert_eq!(all.observations.len(), 2);
+        assert!(all.observations.iter().all(Observation::sound));
         // The joint run is one simulation; each task's observation equals
         // what `observe` reports with the other task as its co-runner.
         let solo_a = observe(&machine, (0, 0, a), vec![(1, 0, b)], ba, 100_000_000).expect("runs");
-        assert_eq!(all[0], solo_a);
+        assert_eq!(all.observations[0], solo_a);
     }
 
     #[test]

@@ -126,7 +126,7 @@ pub fn joint_yield_wcet(
             inflow.add_term(x[&b], -1);
             model.add_constraint(inflow, CmpOp::Eq, 0);
             let mut outflow = LinExpr::new();
-            for s in cfg.successors(b) {
+            for &s in cfg.successors(b) {
                 outflow.add_term(f[&Edge::new(b, s)], 1);
             }
             if let Some(&fx) = f_exit.get(&b) {

@@ -207,12 +207,33 @@ impl std::error::Error for CfgError {}
 /// * every block is reachable from the entry,
 /// * at least one `Return` block exists,
 /// * no duplicate edges (a branch's two targets differ).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Cfg {
     blocks: Vec<BasicBlock>,
     entry: BlockId,
     preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
     exits: Vec<BlockId>,
+    /// Reverse postorder, computed once at construction — it used to be
+    /// recomputed by every analysis pass (cache fixpoint, dominators,
+    /// loop discovery) over the same immutable graph.
+    rpo: Vec<BlockId>,
+}
+
+/// Manual `Debug`: prints exactly the defining fields. The derived
+/// caches (`succs`, `rpo`) are pure functions of `blocks` + `entry`;
+/// keeping them out of the rendering keeps `Debug`-based structural
+/// fingerprints (`wcet-core`'s memo keys and scenario-cell ids) stable
+/// across representation changes.
+impl fmt::Debug for Cfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cfg")
+            .field("blocks", &self.blocks)
+            .field("entry", &self.entry)
+            .field("preds", &self.preds)
+            .field("exits", &self.exits)
+            .finish()
+    }
 }
 
 impl Cfg {
@@ -285,16 +306,21 @@ impl Cfg {
             return Err(CfgError::NoExit);
         }
         let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
         for (i, blk) in blocks.iter().enumerate() {
             for s in blk.terminator().successors() {
                 preds[s.index()].push(BlockId::from_index(i));
+                succs[i].push(s);
             }
         }
+        let rpo = compute_rpo(&succs, entry);
         Ok(Cfg {
             blocks,
             entry,
             preds,
+            succs,
             exits,
+            rpo,
         })
     }
 
@@ -341,8 +367,8 @@ impl Cfg {
 
     /// Successor blocks of `id`.
     #[must_use]
-    pub fn successors(&self, id: BlockId) -> Vec<BlockId> {
-        self.blocks[id.index()].terminator().successors()
+    pub fn successors(&self, id: BlockId) -> &[BlockId] {
+        &self.succs[id.index()]
     }
 
     /// Predecessor blocks of `id`.
@@ -364,42 +390,104 @@ impl Cfg {
         out
     }
 
-    /// Blocks in reverse postorder of a depth-first search from the entry.
+    /// Blocks in reverse postorder of a depth-first search from the entry,
+    /// computed once at construction.
     ///
     /// Reverse postorder visits every block before any of its successors,
     /// back edges aside, which makes data-flow fixpoints converge quickly.
     #[must_use]
-    pub fn reverse_postorder(&self) -> Vec<BlockId> {
-        let n = self.blocks.len();
-        let mut visited = vec![false; n];
-        let mut postorder = Vec::with_capacity(n);
-        // Iterative DFS with an explicit "next successor" cursor per frame so
-        // we can record postorder without recursion.
-        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
-        visited[self.entry.index()] = true;
-        while let Some(&(b, next)) = stack.last() {
-            let succs = self.successors(b);
-            if next < succs.len() {
-                stack.last_mut().expect("stack non-empty").1 += 1;
-                let s = succs[next];
-                if !visited[s.index()] {
-                    visited[s.index()] = true;
-                    stack.push((s, 0));
-                }
-            } else {
-                postorder.push(b);
-                stack.pop();
-            }
-        }
-        postorder.reverse();
-        postorder
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
     }
 
-    /// Immediate dominators, indexed by block, using the Cooper–Harvey–
-    /// Kennedy iterative algorithm. The entry's immediate dominator is
-    /// itself.
+    /// Immediate dominators, indexed by block. The entry's immediate
+    /// dominator is itself.
+    ///
+    /// Computed as the textbook dominator dataflow —
+    /// `Dom(b) = {b} ∪ ⋂ Dom(pred)`, greatest fixpoint over bitsets — on
+    /// the reverse-postorder priority worklist
+    /// ([`crate::fixpoint::Worklist`]): only blocks whose predecessors'
+    /// dominator sets changed are re-evaluated. The block transfer reads
+    /// *direct predecessors only*, which is exactly the locality the
+    /// worklist's re-evaluate-on-change contract requires (the former
+    /// Cooper–Harvey–Kennedy sweep walks idom *chains*, whose hidden
+    /// non-local reads a changed-input worklist cannot track; it is
+    /// preserved as [`Cfg::immediate_dominators_sweep`], the reference
+    /// twin of the differential tests). Dominator trees are unique, so
+    /// both produce identical results.
     #[must_use]
     pub fn immediate_dominators(&self) -> Vec<BlockId> {
+        let n = self.blocks.len();
+        let words = n.div_ceil(64);
+        let entry = self.entry.index();
+        let mut full = vec![u64::MAX; words];
+        if !n.is_multiple_of(64) {
+            full[words - 1] = (1u64 << (n % 64)) - 1;
+        }
+        // Greatest fixpoint: start every non-entry block at ⊤ (all blocks).
+        let mut dom: Vec<Vec<u64>> = vec![full; n];
+        dom[entry].fill(0);
+        dom[entry][entry / 64] = 1u64 << (entry % 64);
+
+        let mut wl = crate::fixpoint::Worklist::rpo(self);
+        for &b in self.reverse_postorder().iter().skip(1) {
+            wl.push(b);
+        }
+        let mut new = vec![0u64; words];
+        while let Some(b) = wl.pop() {
+            if b.index() == entry {
+                continue; // the entry's set is an axiom, not an equation
+            }
+            new.copy_from_slice(&dom[self.predecessors(b)[0].index()]);
+            for &p in &self.predecessors(b)[1..] {
+                for (w, pw) in new.iter_mut().zip(&dom[p.index()]) {
+                    *w &= pw;
+                }
+            }
+            new[b.index() / 64] |= 1u64 << (b.index() % 64);
+            if new != dom[b.index()] {
+                dom[b.index()].copy_from_slice(&new);
+                for &s in self.successors(b) {
+                    wl.push(s);
+                }
+            }
+        }
+
+        // Dominators of a block form a chain; the immediate dominator is
+        // the deepest strict one — the chain member with the largest set.
+        let sizes: Vec<u32> = dom
+            .iter()
+            .map(|set| set.iter().map(|w| w.count_ones()).sum())
+            .collect();
+        (0..n)
+            .map(|b| {
+                if b == entry {
+                    return self.entry;
+                }
+                let mut best: Option<usize> = None;
+                for (w, &word) in dom[b].iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let d = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        if d != b && best.is_none_or(|cur| sizes[d] > sizes[cur]) {
+                            best = Some(d);
+                        }
+                    }
+                }
+                BlockId::from_index(best.expect("non-entry block has a strict dominator"))
+            })
+            .collect()
+    }
+
+    /// The pre-worklist immediate-dominator computation: the
+    /// Cooper–Harvey–Kennedy chain-intersection iterated in full
+    /// reverse-postorder sweeps until stable. Kept verbatim as the
+    /// reference twin for the differential property tests (dominator
+    /// trees are unique, so [`Cfg::immediate_dominators`] must match it
+    /// exactly).
+    #[must_use]
+    pub fn immediate_dominators_sweep(&self) -> Vec<BlockId> {
         let rpo = self.reverse_postorder();
         let n = self.blocks.len();
         let mut rpo_pos = vec![usize::MAX; n];
@@ -520,6 +608,34 @@ impl Cfg {
         }
         out
     }
+}
+
+/// Reverse postorder of a depth-first search over `succs` from `entry`
+/// (construction-time helper; every block is reachable by validation).
+fn compute_rpo(succs: &[Vec<BlockId>], entry: BlockId) -> Vec<BlockId> {
+    let n = succs.len();
+    let mut visited = vec![false; n];
+    let mut postorder = Vec::with_capacity(n);
+    // Iterative DFS with an explicit "next successor" cursor per frame so
+    // we can record postorder without recursion.
+    let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+    visited[entry.index()] = true;
+    while let Some(&(b, next)) = stack.last() {
+        let ss = &succs[b.index()];
+        if next < ss.len() {
+            stack.last_mut().expect("stack non-empty").1 += 1;
+            let s = ss[next];
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            postorder.push(b);
+            stack.pop();
+        }
+    }
+    postorder.reverse();
+    postorder
 }
 
 #[cfg(test)]

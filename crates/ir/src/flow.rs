@@ -296,7 +296,7 @@ mod tests {
             .block_ids()
             .find(|&b| {
                 b != cfg.entry() && b != header && !cfg.successors(b).is_empty() && {
-                    cfg.successors(b) == vec![header]
+                    cfg.successors(b) == [header]
                 }
             })
             .expect("body block");

@@ -35,6 +35,7 @@
 
 pub mod builder;
 pub mod cfg;
+pub mod fixpoint;
 pub mod flow;
 pub mod interp;
 pub mod isa;

@@ -130,7 +130,7 @@ impl LoopForest {
                 .collect();
             let mut exit_edges = Vec::new();
             for &b in &body {
-                for s in cfg.successors(b) {
+                for &s in cfg.successors(b) {
                     if !body.contains(&s) {
                         exit_edges.push(Edge::new(b, s));
                     }
@@ -210,7 +210,7 @@ impl LoopForest {
         let mut seen = 0usize;
         while let Some(b) = queue.pop() {
             seen += 1;
-            for s in cfg.successors(b) {
+            for &s in cfg.successors(b) {
                 if back.contains(&Edge::new(b, s)) {
                     continue;
                 }

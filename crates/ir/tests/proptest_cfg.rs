@@ -26,7 +26,7 @@ fn dominates_oracle(cfg: &Cfg, a: BlockId, b: BlockId) -> bool {
         if v == a {
             continue; // blocked: paths through `a` don't count
         }
-        for s in cfg.successors(v) {
+        for &s in cfg.successors(v) {
             if seen.insert(s) {
                 stack.push(s);
             }
@@ -53,6 +53,16 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Differential: the worklist dominator dataflow must reproduce the
+    /// preserved Cooper–Harvey–Kennedy sweep exactly (the dominator tree
+    /// is unique, so any divergence is a bug in one of them).
+    #[test]
+    fn worklist_idom_equals_chk_sweep(seed in 0u64..10_000) {
+        let p = random_program(seed, RandomParams::default(), Placement::default());
+        let cfg = p.cfg();
+        prop_assert_eq!(cfg.immediate_dominators(), cfg.immediate_dominators_sweep());
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Replay-validation cost: the event-skipping fast-forward vs the
+//! cycle-stepped reference on a deep-stall TDMA workload (long slots,
+//! slow memory — every core spends most cycles provably asleep, exactly
+//! the shape of the suite's observation replays). CI runs this file with
+//! `--test` (criterion smoke mode) so it can never bit-rot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wcet_arbiter::{ArbiterKind, MemoryKind};
+use wcet_ir::synth::{matmul, pointer_chase_stride, Placement};
+use wcet_sim::config::MachineConfig;
+use wcet_sim::machine::Machine;
+
+fn deep_stall_machine(cores: usize, slot_len: u64) -> MachineConfig {
+    let mut m = MachineConfig::symmetric(cores);
+    m.bus.arbiter = ArbiterKind::TdmaEqual { slot_len };
+    m.memory = MemoryKind::Predictable { latency: 24 };
+    m
+}
+
+fn load(m: &MachineConfig) -> Machine {
+    let mut machine = Machine::new(m.clone());
+    machine
+        .load(
+            0,
+            0,
+            pointer_chase_stride(2048, 150, 32, Placement::slot(0)),
+        )
+        .expect("slot");
+    for c in 1..m.cores.len() {
+        machine
+            .load(c, 0, matmul(8, Placement::slot(c as u32)))
+            .expect("slot");
+    }
+    machine
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_replay");
+    g.sample_size(10);
+    for slot_len in [8u64, 32] {
+        let m = deep_stall_machine(4, slot_len);
+        g.bench_with_input(
+            BenchmarkId::new("event_skipping", slot_len),
+            &slot_len,
+            |b, _| {
+                b.iter(|| {
+                    load(&m)
+                        .run_watched(500_000_000, &[(0, 0)])
+                        .expect("finishes")
+                        .skip
+                        .skipped_cycles
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("cycle_stepped", slot_len),
+            &slot_len,
+            |b, _| {
+                b.iter(|| {
+                    load(&m)
+                        .run_watched_stepped(500_000_000, &[(0, 0)])
+                        .expect("finishes")
+                        .makespan
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -41,10 +41,15 @@ struct PendingReq {
 #[derive(Debug)]
 pub struct Bus {
     arbiter: Box<dyn Arbiter>,
+    /// Cached [`Arbiter::work_conserving`] (the event-skipping fast path
+    /// asks every probe).
+    work_conserving: bool,
     transfer: u64,
     pending: Vec<Option<PendingReq>>,
     busy_until: u64,
     stats: BusStats,
+    /// Reusable pending-mask buffer (tick and skip probes run per cycle).
+    mask: Vec<bool>,
 }
 
 impl Bus {
@@ -52,6 +57,7 @@ impl Bus {
     #[must_use]
     pub fn new(arbiter: Box<dyn Arbiter>, transfer: u64, n: usize) -> Bus {
         Bus {
+            work_conserving: arbiter.work_conserving(),
             arbiter,
             transfer,
             pending: vec![None; n],
@@ -60,6 +66,7 @@ impl Bus {
                 per_core_max_wait: vec![0; n],
                 ..BusStats::default()
             },
+            mask: vec![false; n],
         }
     }
 
@@ -87,6 +94,35 @@ impl Bus {
         self.pending[core].is_some()
     }
 
+    /// True if any requester has an outstanding request.
+    #[must_use]
+    pub(crate) fn has_any_pending(&self) -> bool {
+        self.pending.iter().any(Option::is_some)
+    }
+
+    /// The earliest cycle `≥ now` at which [`Bus::tick`] could grant a
+    /// transaction for the *current* pending mask, or `None` when there
+    /// is nothing pending or the arbiter can never serve this mask.
+    /// Exactness is the arbiter's [`Arbiter::next_grant_opportunity`]
+    /// contract; bus occupancy is folded in (ticks during `busy_until`
+    /// return early without consulting the arbiter).
+    #[must_use]
+    pub(crate) fn next_opportunity(&mut self, now: u64) -> Option<u64> {
+        if !self.has_any_pending() {
+            return None;
+        }
+        let from = now.max(self.busy_until);
+        if self.work_conserving {
+            // Any pending request is granted the moment the bus frees up.
+            return Some(from);
+        }
+        for (m, p) in self.mask.iter_mut().zip(&self.pending) {
+            *m = p.is_some();
+        }
+        self.arbiter
+            .next_grant_opportunity(from, &self.mask, self.transfer)
+    }
+
     /// Advances the bus by one cycle: if free, arbitrates among pending
     /// requests; the winning transaction occupies the bus for `transfer`
     /// cycles and stalls its requester for `transfer + mem` cycles.
@@ -94,11 +130,13 @@ impl Bus {
         if cycle < self.busy_until {
             return None;
         }
-        let pending_mask: Vec<bool> = self.pending.iter().map(Option::is_some).collect();
-        if !pending_mask.iter().any(|&p| p) {
+        if !self.has_any_pending() {
             return None;
         }
-        let winner = self.arbiter.grant(cycle, &pending_mask, self.transfer)?;
+        for (m, p) in self.mask.iter_mut().zip(&self.pending) {
+            *m = p.is_some();
+        }
+        let winner = self.arbiter.grant(cycle, &self.mask, self.transfer)?;
         let req = self.pending[winner]
             .take()
             .expect("granted core had a request");

@@ -50,8 +50,25 @@ pub struct ThreadResult {
     pub stats: ThreadStats,
 }
 
+/// Event-skipping fast-forward counters (see [`Machine::run_watched`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SkipStats {
+    /// Fast-forward jumps taken.
+    pub fast_forwards: u64,
+    /// Idle cycles skipped instead of stepped.
+    pub skipped_cycles: u64,
+}
+
+impl SkipStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn absorb(&mut self, other: &SkipStats) {
+        self.fast_forwards += other.fast_forwards;
+        self.skipped_cycles += other.skipped_cycles;
+    }
+}
+
 /// Result of a machine run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct RunResult {
     /// Per-thread results, in `(core, thread)` order.
     pub threads: Vec<ThreadResult>,
@@ -63,6 +80,21 @@ pub struct RunResult {
     pub l1_stats: Vec<(u64, u64, u64, u64)>,
     /// `(l2_hits, l2_misses)` summed over partitions.
     pub l2_stats: (u64, u64),
+    /// Fast-forward effort. Excluded from `PartialEq`: the event-skipping
+    /// and cycle-stepped runs produce identical *results* at different
+    /// skip bills (the same convention `SolveStats` uses on solver
+    /// results).
+    pub skip: SkipStats,
+}
+
+impl PartialEq for RunResult {
+    fn eq(&self, other: &RunResult) -> bool {
+        self.threads == other.threads
+            && self.makespan == other.makespan
+            && self.bus == other.bus
+            && self.l1_stats == other.l1_stats
+            && self.l2_stats == other.l2_stats
+    }
 }
 
 impl RunResult {
@@ -186,6 +218,7 @@ pub struct Machine {
     bus: Bus,
     memctrl: MemoryController,
     cycle: u64,
+    skip: SkipStats,
 }
 
 impl Machine {
@@ -227,6 +260,7 @@ impl Machine {
             bus,
             memctrl,
             cycle: 0,
+            skip: SkipStats::default(),
         }
     }
 
@@ -281,6 +315,39 @@ impl Machine {
         self.run_watched(cycle_limit, &[])
     }
 
+    /// [`Machine::run`] without the event-skipping fast-forward: every
+    /// cycle is stepped individually. The reference twin for the
+    /// differential property tests — results are byte-identical to
+    /// [`Machine::run`] by construction (skipped cycles are provably
+    /// no-ops), only [`RunResult::skip`] differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimit`] if the limit elapses first.
+    pub fn run_stepped(&mut self, cycle_limit: u64) -> Result<RunResult, SimError> {
+        self.run_watched_stepped(cycle_limit, &[])
+    }
+
+    /// [`Machine::run_watched`] without the event-skipping fast-forward
+    /// (see [`Machine::run_stepped`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::run_watched`].
+    pub fn run_watched_stepped(
+        &mut self,
+        cycle_limit: u64,
+        watched: &[(usize, usize)],
+    ) -> Result<RunResult, SimError> {
+        self.run_watched_inner(cycle_limit, watched, false)
+    }
+
+    /// Fast-forward counters accumulated so far.
+    #[must_use]
+    pub fn skip_stats(&self) -> SkipStats {
+        self.skip
+    }
+
     /// Runs until every `watched` slot finishes (every loaded thread when
     /// `watched` is empty). Unwatched threads keep running — and keep
     /// interfering — until that point, then the run stops; their
@@ -295,6 +362,17 @@ impl Machine {
     /// (`makespan`, cache hit totals) and unwatched threads' statistics
     /// reflect only the truncated run; read them from [`Machine::run`].
     ///
+    /// **Event skipping.** When every live thread is provably stalled
+    /// until a known cycle — memory/transfer latency expiry, an SMT
+    /// round-robin issue slot, the bus's next grant opportunity (TDMA /
+    /// wheel slot, round-robin turn) — the run jumps time straight to the
+    /// earliest wake-up instead of ticking through the idle cycles.
+    /// Skipped cycles are provably no-ops (no core can act, the arbiter
+    /// cannot grant, and `Arbiter::grant` is pure when it returns
+    /// `None`), so results are byte-identical to the cycle-stepped
+    /// reference [`Machine::run_watched_stepped`]; [`RunResult::skip`]
+    /// counts the savings.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::CycleLimit`] if the limit elapses first, or
@@ -304,6 +382,15 @@ impl Machine {
         &mut self,
         cycle_limit: u64,
         watched: &[(usize, usize)],
+    ) -> Result<RunResult, SimError> {
+        self.run_watched_inner(cycle_limit, watched, true)
+    }
+
+    fn run_watched_inner(
+        &mut self,
+        cycle_limit: u64,
+        watched: &[(usize, usize)],
+        event_skipping: bool,
     ) -> Result<RunResult, SimError> {
         for &(core, thread) in watched {
             let loaded = self
@@ -326,13 +413,118 @@ impl Machine {
                 })
             }
         };
+        // Probe for a fast-forward only after a *fruitless* step (no
+        // segment processed, no grant): dense phases pay nothing for the
+        // machinery, idle windows pay one no-op step before the jump.
+        let mut probe_skip = false;
         while !done(self) {
             if self.cycle >= cycle_limit {
                 return Err(SimError::CycleLimit { limit: cycle_limit });
             }
-            self.step();
+            if event_skipping && probe_skip {
+                match self.next_event_cycle() {
+                    // Something happens this cycle after all: step it.
+                    Some(at) if at == self.cycle => {}
+                    // Everything sleeps until `at`: jump there.
+                    Some(at) => self.fast_forward(at.min(cycle_limit)),
+                    // Nothing can ever happen again (e.g. a transfer no
+                    // slot fits): idle straight to the limit, exactly
+                    // where the stepped run ends up.
+                    None => {
+                        self.fast_forward(cycle_limit);
+                        continue;
+                    }
+                }
+            }
+            probe_skip = !self.step() && event_skipping;
         }
         Ok(self.collect())
+    }
+
+    /// Jumps time to `target`, accounting the per-cycle state the skipped
+    /// no-op cycles would have advanced (only the free-for-all rotation
+    /// cursor moves unconditionally per cycle).
+    fn fast_forward(&mut self, target: u64) {
+        let delta = target - self.cycle;
+        if delta == 0 {
+            return;
+        }
+        for core in &mut self.cores {
+            if matches!(
+                core.kind,
+                CoreKind::Smt {
+                    policy: SmtPolicy::FreeForAll,
+                    ..
+                }
+            ) {
+                let n = core.threads.len().max(1);
+                // step_core sets `active = (active % n) + 1` each cycle
+                // regardless of activity; `delta` idle cycles advance it
+                // `delta` times (mod n at the point of use).
+                core.active = (core.active + delta as usize % n) % n;
+            }
+        }
+        self.skip.fast_forwards += 1;
+        self.skip.skipped_cycles += delta;
+        self.cycle = target;
+    }
+
+    /// The earliest cycle `≥ self.cycle` at which any machine state can
+    /// change: a thread acts (stall expired, issue slot reached) or the
+    /// bus can grant. `None` when no future event exists for the current
+    /// state (every pending transfer fits no slot and no thread will ever
+    /// wake).
+    fn next_event_cycle(&mut self) -> Option<u64> {
+        let now = self.cycle;
+        let mut wake: Option<u64> = None;
+        let mut closest = |c: u64| match wake {
+            Some(w) if w <= c => {}
+            _ => wake = Some(c),
+        };
+        for core in &self.cores {
+            let k = match core.kind {
+                CoreKind::Smt {
+                    threads,
+                    policy: SmtPolicy::PredictableRoundRobin,
+                    ..
+                } => u64::from(threads.max(1)),
+                _ => 1,
+            };
+            for (t, th) in core.threads.iter().enumerate() {
+                let Some(th) = th else { continue };
+                if th.finished_at.is_some() || th.waiting_bus {
+                    continue; // woken by the bus side, if at all
+                }
+                // A yield-switching core runs only its active thread;
+                // swapped-out threads do nothing until a rotation, which
+                // only another thread's action can trigger.
+                if matches!(core.kind, CoreKind::YieldMt { .. }) && core.active != t {
+                    continue;
+                }
+                if th.busy_until > now {
+                    closest(th.busy_until);
+                    continue;
+                }
+                // Ready. Everything except `Exec` acts regardless of the
+                // issue gate (lookups, bus requests, retirement), and
+                // `Exec` is gated only on predictable-round-robin SMT.
+                let gated = k > 1
+                    && now % k != t as u64
+                    && matches!(th.segments.front(), Some(Segment::Exec(_)));
+                if !gated {
+                    return Some(now);
+                }
+                // Next issue slot: the smallest c > now with c % k == t.
+                closest(now + (t as u64 + k - now % k - 1) % k + 1);
+            }
+        }
+        if let Some(c) = self.bus.next_opportunity(now) {
+            if c == now {
+                return Some(now);
+            }
+            closest(c);
+        }
+        wake
     }
 
     fn all_finished(&self) -> bool {
@@ -343,12 +535,16 @@ impl Machine {
         })
     }
 
-    /// Advances one cycle.
-    fn step(&mut self) {
+    /// Advances one cycle. Returns whether anything happened — a thread
+    /// processed at least one segment or the bus granted — i.e. whether
+    /// the cycle was *not* a pure no-op (the event-skipping probe's
+    /// trigger).
+    fn step(&mut self) -> bool {
         let now = self.cycle;
+        let mut progressed = false;
         // Cores act first…
         for core_idx in 0..self.cores.len() {
-            self.step_core(core_idx, now);
+            progressed |= self.step_core(core_idx, now);
         }
         // …then the bus arbitrates (a request issued this cycle can be
         // granted this cycle — wait 0, matching the replay semantics).
@@ -362,11 +558,14 @@ impl Machine {
             th.stats.bus_transactions += 1;
             th.stats.max_bus_wait = th.stats.max_bus_wait.max(grant.waited);
             th.stats.total_bus_wait += grant.waited;
+            progressed = true;
         }
         self.cycle += 1;
+        progressed
     }
 
-    fn step_core(&mut self, core_idx: usize, now: u64) {
+    /// Steps one core; true if any of its threads processed a segment.
+    fn step_core(&mut self, core_idx: usize, now: u64) -> bool {
         // FreeForAll: one instruction issue opportunity per cycle, offered
         // to threads in rotating order so no thread starves another.
         let mut issue_token = true;
@@ -383,6 +582,7 @@ impl Machine {
         } else {
             0
         };
+        let mut progressed = false;
         for i in 0..n_threads {
             let t = (start + i) % n_threads;
             // A yield-switching core runs only its active thread; swapped-out
@@ -399,7 +599,7 @@ impl Machine {
                 continue;
             }
             let gated_ok = self.cores[core_idx].slot_allows(t, now);
-            self.act(core_idx, t, now, gated_ok, &mut issue_token);
+            progressed |= self.act(core_idx, t, now, gated_ok, &mut issue_token);
         }
         if free_for_all {
             self.cores[core_idx].active = (start + 1) % n_threads.max(1);
@@ -408,6 +608,7 @@ impl Machine {
         if matches!(self.cores[core_idx].kind, CoreKind::YieldMt { .. }) {
             self.rotate_yield_core(core_idx);
         }
+        progressed
     }
 
     fn rotate_yield_core(&mut self, core_idx: usize) {
@@ -437,8 +638,16 @@ impl Machine {
     }
 
     /// Processes segments of `(core_idx, t)` until the thread blocks
-    /// (stall, bus wait or slot gate).
-    fn act(&mut self, core_idx: usize, t: usize, now: u64, gated_ok: bool, issue_token: &mut bool) {
+    /// (stall, bus wait or slot gate). Returns whether at least one
+    /// segment was processed (false only for a gate refusal).
+    fn act(
+        &mut self,
+        core_idx: usize,
+        t: usize,
+        now: u64,
+        gated_ok: bool,
+        issue_token: &mut bool,
+    ) -> bool {
         let k = match self.cores[core_idx].kind {
             CoreKind::Smt {
                 threads,
@@ -447,6 +656,7 @@ impl Machine {
             } => u64::from(threads.max(1)),
             _ => 1,
         };
+        let mut progressed = false;
         loop {
             let th = self.cores[core_idx].threads[t]
                 .as_mut()
@@ -458,6 +668,7 @@ impl Machine {
                 Segment::FetchLookup => {
                     let addr = th.program.fetch_addr(th.block, th.slot);
                     th.segments.pop_front();
+                    progressed = true;
                     // Queue what follows the fetch: data access (if any),
                     // exec, advance.
                     if th.is_terminator_slot() {
@@ -480,7 +691,7 @@ impl Machine {
                     }
                     if out.extra > 0 {
                         th.busy_until = now + out.extra;
-                        return;
+                        return progressed;
                     }
                 }
                 Segment::DataLookup => {
@@ -499,6 +710,7 @@ impl Machine {
                         AccessKind::Load
                     };
                     th.segments.pop_front();
+                    progressed = true;
                     let out = self.hierarchy.lookup(core_idx, t, false, addr);
                     let th = self.cores[core_idx].threads[t]
                         .as_mut()
@@ -508,7 +720,7 @@ impl Machine {
                     }
                     if out.extra > 0 {
                         th.busy_until = now + out.extra;
-                        return;
+                        return progressed;
                     }
                 }
                 Segment::BusRequest(addr, _kind) => {
@@ -516,16 +728,16 @@ impl Machine {
                     th.waiting_bus = true;
                     let slot = self.slot_base[core_idx] + t;
                     self.bus.request(slot, t, addr, now);
-                    return;
+                    return true;
                 }
                 Segment::Exec(n) => {
                     // Slot-gated: on multithreaded cores, execution consumes
                     // the thread's issue slots.
                     if !gated_ok {
-                        return;
+                        return progressed;
                     }
                     if !*issue_token {
-                        return; // FreeForAll: another thread issued this cycle
+                        return progressed; // FreeForAll: another thread issued this cycle
                     }
                     *issue_token = matches!(self.cores[core_idx].kind, CoreKind::Scalar)
                         || !matches!(
@@ -541,21 +753,22 @@ impl Machine {
                     th.segments.pop_front();
                     th.segments.push_front(Segment::Advance);
                     th.busy_until = now + n * k;
-                    return;
+                    return true;
                 }
                 Segment::Advance => {
                     th.segments.pop_front();
+                    progressed = true;
                     th.stats.instrs += 1;
                     self.retire(core_idx, t, now);
                     let th = self.cores[core_idx].threads[t]
                         .as_ref()
                         .expect("thread exists");
                     if th.finished_at.is_some() {
-                        return;
+                        return true;
                     }
                     // Yield switches relinquish the core immediately.
                     if th.yielded {
-                        return;
+                        return true;
                     }
                 }
             }
@@ -623,6 +836,7 @@ impl Machine {
             bus: self.bus.stats().clone(),
             l1_stats,
             l2_stats: self.hierarchy.l2_stats(),
+            skip: self.skip,
         }
     }
 }

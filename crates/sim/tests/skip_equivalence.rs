@@ -1,0 +1,179 @@
+//! Differential property suite: the event-skipping fast-forward must be
+//! invisible. For random machines (arbiters, core kinds, memory
+//! latencies) and random workloads, [`Machine::run_watched`] and the
+//! cycle-stepped reference [`Machine::run_watched_stepped`] must return
+//! byte-identical [`RunResult`]s — every [`ThreadStats`], completion
+//! cycle, bus statistic and cache counter — while the skipping run
+//! actually skips.
+
+use proptest::prelude::*;
+use wcet_arbiter::ArbiterKind;
+use wcet_ir::synth::{bsort, crc, fir, matmul, pointer_chase, single_path, Placement};
+use wcet_ir::Program;
+use wcet_pipeline::smt::SmtPolicy;
+use wcet_sim::config::{CoreKind, MachineConfig};
+use wcet_sim::machine::{Machine, RunResult};
+
+fn kernel(which: usize, slot: u32) -> Program {
+    match which % 6 {
+        0 => fir(3, 8, Placement::slot(slot)),
+        1 => crc(16, Placement::slot(slot)),
+        2 => matmul(5, Placement::slot(slot)),
+        3 => bsort(6, Placement::slot(slot)),
+        4 => single_path(3, 24, Placement::slot(slot)),
+        _ => pointer_chase(64, 60, Placement::slot(slot)),
+    }
+}
+
+/// An arbiter valid for `n` requester slots.
+fn arbiter(which: usize, n: usize) -> ArbiterKind {
+    match which % 6 {
+        0 => ArbiterKind::RoundRobin,
+        1 => ArbiterKind::TdmaEqual { slot_len: 10 },
+        2 => ArbiterKind::Tdma {
+            // Uneven table still covering every owner (a slotless owner
+            // would never finish).
+            slots: std::iter::once((0, 12))
+                .chain((0..n).map(|o| (o, 8 + 4 * (o as u64 % 2))))
+                .collect(),
+        },
+        3 => ArbiterKind::Mbba {
+            weights: (0..n).map(|i| 1 + (i as u32 % 3)).collect(),
+            slot_len: 8,
+        },
+        4 => ArbiterKind::FixedPriority { hrt: 0 },
+        _ => ArbiterKind::MemoryWheel { window: 8 },
+    }
+}
+
+/// Runs the same configuration twice — fast and stepped — and demands
+/// full equality (the `PartialEq` on `RunResult` already ignores the
+/// skip counters; thread stats are additionally compared field by
+/// field).
+fn assert_identical(
+    config: &MachineConfig,
+    loads: &[(usize, usize, Program)],
+    watched: &[(usize, usize)],
+) -> (RunResult, RunResult) {
+    let run = |stepped: bool| {
+        let mut m = Machine::new(config.clone());
+        for (core, thread, p) in loads {
+            m.load(*core, *thread, p.clone()).expect("slot exists");
+        }
+        if stepped {
+            m.run_watched_stepped(100_000_000, watched)
+        } else {
+            m.run_watched(100_000_000, watched)
+        }
+    };
+    let fast = run(false).expect("fast run finishes");
+    let slow = run(true).expect("stepped run finishes");
+    assert_eq!(fast, slow, "event-skipping diverged from stepped run");
+    assert_eq!(fast.threads.len(), slow.threads.len());
+    for (a, b) in fast.threads.iter().zip(&slow.threads) {
+        assert_eq!(a.stats, b.stats, "ThreadStats diverged for {}", a.program);
+        assert_eq!(a.finished_at, b.finished_at);
+    }
+    assert_eq!(slow.skip.skipped_cycles, 0, "stepped run must not skip");
+    (fast, slow)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Multicore mixes over every arbiter scheme.
+    #[test]
+    fn multicore_skipping_is_invisible(
+        arb in 0usize..6,
+        cores in 1usize..5,
+        kernels in proptest::collection::vec(0usize..6, 4),
+        mem_latency in 1u64..40,
+    ) {
+        let mut config = MachineConfig::symmetric(cores.max(1));
+        config.bus.arbiter = arbiter(arb, cores.max(1));
+        config.memory = wcet_arbiter::MemoryKind::Predictable { latency: mem_latency };
+        let loads: Vec<(usize, usize, Program)> = (0..cores)
+            .map(|c| (c, 0, kernel(kernels[c % kernels.len()], c as u32)))
+            .collect();
+        let (fast, _) = assert_identical(&config, &loads, &[]);
+        // Memory latency stalls every core at once: the fast run must
+        // actually fast-forward somewhere.
+        prop_assert!(fast.skip.skipped_cycles > 0, "nothing skipped");
+    }
+
+    /// Watched replays (the validation harness shape): only the victim is
+    /// watched, bullies keep interfering.
+    #[test]
+    fn watched_replay_skipping_is_invisible(
+        arb in 0usize..6,
+        victim in 0usize..6,
+        mem_latency in 4u64..40,
+    ) {
+        let mut config = MachineConfig::symmetric(3);
+        config.bus.arbiter = arbiter(arb, 3);
+        config.memory = wcet_arbiter::MemoryKind::Predictable { latency: mem_latency };
+        let loads = vec![
+            (0, 0, kernel(victim, 0)),
+            (1, 0, pointer_chase(256, 4_000, Placement::slot(1))),
+            (2, 0, matmul(10, Placement::slot(2))),
+        ];
+        assert_identical(&config, &loads, &[(0, 0)]);
+    }
+
+    /// SMT cores: predictable round-robin issue gating and free-for-all
+    /// rotation both survive fast-forwarding.
+    #[test]
+    fn smt_cores_skipping_is_invisible(
+        policy in 0usize..2,
+        threads in 2u32..4,
+        kernels in proptest::collection::vec(0usize..6, 4),
+    ) {
+        let mut config = MachineConfig::symmetric(1);
+        config.cores[0].kind = CoreKind::Smt {
+            threads,
+            policy: [SmtPolicy::PredictableRoundRobin, SmtPolicy::FreeForAll][policy],
+            partitioned_l1: true,
+        };
+        let loads: Vec<(usize, usize, Program)> = (0..threads as usize)
+            .map(|t| (0, t, kernel(kernels[t % kernels.len()], t as u32)))
+            .collect();
+        assert_identical(&config, &loads, &[]);
+    }
+}
+
+/// A transfer no TDMA slot can fit idles the machine forever: both runs
+/// must report the same cycle-limit error (the fast one without ticking
+/// a billion cycles first).
+#[test]
+fn unservable_transfer_hits_the_limit_identically() {
+    let mut config = MachineConfig::symmetric(2);
+    config.bus.arbiter = ArbiterKind::TdmaEqual {
+        slot_len: config.bus.transfer - 1, // transfer never fits
+    };
+    let run = |stepped: bool| {
+        let mut m = Machine::new(config.clone());
+        m.load(0, 0, fir(3, 8, Placement::slot(0))).expect("slot");
+        // Keep the stepped limit small enough to actually execute.
+        let limit = 200_000;
+        if stepped {
+            m.run_stepped(limit)
+        } else {
+            m.run(limit)
+        }
+    };
+    assert_eq!(run(false), run(true));
+    assert!(run(false).is_err(), "unservable transfer must time out");
+}
+
+/// Yield-switching cores rotate on explicit yields; skipping must not
+/// disturb the rotation.
+#[test]
+fn yield_core_skipping_is_invisible() {
+    let mut config = MachineConfig::symmetric(1);
+    config.cores[0].kind = CoreKind::YieldMt { threads: 2 };
+    let loads = vec![
+        (0, 0, crc(12, Placement::slot(0))),
+        (0, 1, fir(2, 6, Placement::slot(1))),
+    ];
+    assert_identical(&config, &loads, &[]);
+}
