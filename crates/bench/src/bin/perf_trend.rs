@@ -10,9 +10,11 @@
 //!
 //! Understands schema 5's deterministic effort counters (worklist
 //! fixpoint evaluations vs the naive-sweep equivalent, simulator cycles
-//! fast-forwarded) and still accepts schema-4 documents — absent
-//! counters render as `—`, so the trend step keeps comparing against the
-//! previous run across the schema bump.
+//! fast-forwarded) and schema 6's `campaign` block (streaming-campaign
+//! throughput in cells/sec, dedup and reuse rates) — and still accepts
+//! older documents: absent sections and counters render as `—`, so the
+//! trend step keeps comparing against the previous run across schema
+//! bumps.
 
 use std::process::ExitCode;
 
@@ -60,6 +62,49 @@ fn walls(doc: &Json) -> Vec<ExpEntry> {
 /// Renders an optional counter.
 fn opt(v: Option<u64>) -> String {
     v.map_or_else(|| "—".into(), |v| v.to_string())
+}
+
+/// The schema-6 streaming-campaign headline numbers of one document.
+/// `None` for older documents (schema ≤ 5 has no `campaign` block).
+struct CampaignEntry {
+    cells_per_sec: f64,
+    unique: Option<u64>,
+    dedup_rate: Option<f64>,
+    neighbor_hit_rate: Option<f64>,
+    disk_hit_rate: Option<f64>,
+}
+
+fn campaign(doc: &Json) -> Option<CampaignEntry> {
+    let block = doc.get("campaign")?;
+    Some(CampaignEntry {
+        cells_per_sec: block
+            .get_path(&["cold", "cells_per_sec"])
+            .and_then(Json::as_f64)?,
+        unique: block.get_path(&["cold", "unique"]).and_then(Json::as_u64),
+        dedup_rate: block.get("dedup_rate").and_then(Json::as_f64),
+        neighbor_hit_rate: block.get("neighbor_hit_rate").and_then(Json::as_f64),
+        disk_hit_rate: block.get("disk_hit_rate").and_then(Json::as_f64),
+    })
+}
+
+/// Renders an optional rate as a percentage.
+fn pct(v: Option<f64>) -> String {
+    v.map_or_else(|| "—".into(), |v| format!("{:.1}%", v * 100.0))
+}
+
+/// One side of the campaign comparison, or `—`s when the document
+/// predates schema 6.
+fn campaign_cells(e: Option<&CampaignEntry>) -> [String; 5] {
+    match e {
+        Some(e) => [
+            format!("{:.0}", e.cells_per_sec),
+            opt(e.unique),
+            pct(e.dedup_rate),
+            pct(e.neighbor_hit_rate),
+            pct(e.disk_hit_rate),
+        ],
+        None => std::array::from_fn(|_| "—".into()),
+    }
 }
 
 fn load(path: &str) -> Result<Json, String> {
@@ -174,6 +219,39 @@ fn main() -> ExitCode {
                 opt(b.and_then(|b| b.skipped_cycles)),
                 opt(e.skipped_cycles),
             ]);
+        }
+        println!("{t}");
+    }
+
+    // Schema 6: the streaming campaign's throughput and reuse rates.
+    // Older documents on either side simply render as `—`; both sides
+    // missing the block (pre-schema-6 baselines) skips the table.
+    let (base_c, cur_c) = (campaign(&baseline), campaign(&current));
+    if base_c.is_some() || cur_c.is_some() {
+        let mut t = Table::new(
+            "Streaming campaign (schema 6): cold-run throughput and reuse",
+            &[
+                "side",
+                "cells/sec",
+                "unique",
+                "dedup",
+                "neighbor hits",
+                "disk hits (warm)",
+            ],
+        );
+        for (side, e) in [("baseline", base_c.as_ref()), ("current", cur_c.as_ref())] {
+            let [cps, unique, dedup, neighbor, disk] = campaign_cells(e);
+            t.row([side.to_string(), cps, unique, dedup, neighbor, disk]);
+        }
+        if let (Some(b), Some(c)) = (&base_c, &cur_c) {
+            if b.cells_per_sec > 0.0 {
+                t.note(format!(
+                    "throughput {:.0} → {:.0} cells/sec ({:+.0}%); report-only, never a gate",
+                    b.cells_per_sec,
+                    c.cells_per_sec,
+                    (c.cells_per_sec - b.cells_per_sec) / b.cells_per_sec * 100.0
+                ));
+            }
         }
         println!("{t}");
     }

@@ -13,7 +13,10 @@ use std::time::Instant;
 
 use wcet_bench::experiments::{ExperimentRun, IN_PROCESS};
 use wcet_bench::json::Json;
-use wcet_bench::scenario::{matrix_json, parse_matrix, run_matrix, MatrixOptions};
+use wcet_bench::scenario::{
+    campaign_json, matrix_json, parse_matrix, run_campaign_with, run_matrix, CampaignOptions,
+    CampaignRun, MatrixOptions,
+};
 use wcet_bench::{comparison_workload, l2_bound_machine, l2_bound_victim, machine};
 use wcet_bench::{fixpoint_json, skip_json};
 use wcet_core::analyzer::Analyzer;
@@ -159,6 +162,126 @@ fn scenario_sweep() -> Json {
     };
     doc.insert("wall_ms".into(), Json::from(wall_ms));
     Json::Obj(doc)
+}
+
+/// The checked-in 108 000-cell streaming campaign (compiled in, like the
+/// example matrix), run twice: cold — measuring lazy expansion, dedup,
+/// work stealing and neighbour-incremental reuse — then disk-warm
+/// against the memo the cold run persisted, which must serve every
+/// bounded cell without re-analysis and reproduce every bound exactly.
+fn campaign_sweep() -> Json {
+    let matrix =
+        parse_matrix(include_str!("../../../../scenarios/campaign.scn")).expect("campaign parses");
+    let memo_path = std::env::temp_dir().join(format!(
+        "wcet-run-all-campaign-memo-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&memo_path);
+
+    // Compact per-cell signature: every (task, core.thread, mode, bound
+    // or error) row, keyed by cell fingerprint. Cheap enough to keep for
+    // 10⁵ cells, strong enough to catch any cold/warm divergence.
+    type Signatures = std::collections::BTreeMap<(u64, u64), Vec<(String, String)>>;
+    fn signature(cell: &wcet_bench::scenario::CellOutcome) -> Vec<(String, String)> {
+        cell.rows
+            .iter()
+            .map(|r| {
+                let outcome = match &r.outcome {
+                    Ok(b) => b.wcet.to_string(),
+                    Err(e) => format!("error: {e}"),
+                };
+                (
+                    format!("{}@{}.{}/{}", r.task, r.core, r.thread, r.mode),
+                    outcome,
+                )
+            })
+            .collect()
+    }
+    let pass = |label: &str| -> (CampaignRun, Signatures) {
+        let mut sigs = Signatures::new();
+        let run = run_campaign_with(
+            &matrix,
+            &CampaignOptions {
+                sample_one_in: 500,
+                cache: Some(memo_path.clone()),
+                ..CampaignOptions::default()
+            },
+            |cell| {
+                sigs.insert(cell.fingerprint, signature(cell));
+            },
+        );
+        println!(
+            "campaign `{}` ({label}): {} unique of {} cells ({} duplicates), \
+             {} bounded, {} row reuses, {} neighbour fixpoint hits, {} disk hits, \
+             {}/{} sampled cells sound, {:.2}s ({:.0} cells/s)",
+            run.matrix,
+            run.unique,
+            run.produced,
+            run.duplicates,
+            run.bounded,
+            run.rows_reused,
+            run.memo.neighbor_hits,
+            run.disk_hits,
+            run.sound,
+            run.validated,
+            run.wall.as_secs_f64(),
+            run.cells_per_sec(),
+        );
+        assert!(
+            run.violations.is_empty(),
+            "campaign produced unsound cells: {:?}",
+            run.violations
+        );
+        assert!(run.cache_error.is_none(), "memo write-back failed");
+        (run, sigs)
+    };
+    let (cold, cold_sigs) = pass("cold");
+    let (warm, warm_sigs) = pass("disk-warm");
+    let _ = std::fs::remove_file(&memo_path);
+    assert_eq!(
+        cold_sigs, warm_sigs,
+        "disk-warm campaign diverged from the cold run"
+    );
+    assert!(
+        warm.disk_hits >= cold.bounded,
+        "warm run must serve every bounded cell from the memo \
+         ({} hits for {} bounded cells)",
+        warm.disk_hits,
+        cold.bounded,
+    );
+
+    #[allow(clippy::cast_precision_loss)] // report-only rates
+    let rate = |num: usize, den: usize| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    Json::obj([
+        ("cold", campaign_json(&cold)),
+        ("warm", campaign_json(&warm)),
+        (
+            "dedup_rate",
+            Json::from(rate(cold.duplicates, cold.produced)),
+        ),
+        (
+            "row_reuse_rate",
+            Json::from(rate(cold.rows_reused, cold.unique)),
+        ),
+        (
+            "neighbor_hit_rate",
+            Json::from(rate(
+                usize::try_from(cold.memo.neighbor_hits).unwrap_or(usize::MAX),
+                cold.unique,
+            )),
+        ),
+        (
+            "disk_hit_rate",
+            Json::from(rate(warm.disk_hits, warm.unique)),
+        ),
+        ("identical_bounds", Json::from(true)),
+    ])
 }
 
 fn run_subprocess(exp: &str) -> bool {
@@ -345,14 +468,19 @@ fn main() {
     let warm_cold = solver_warm_vs_cold();
     println!("===== scenario sweep =====");
     let scenarios = scenario_sweep();
+    println!("===== streaming campaign =====");
+    let campaign = campaign_sweep();
 
     let doc = Json::obj([
-        ("schema", Json::from(5_u64)),
+        // Schema 6: the `campaign` block — the streaming pipeline's
+        // cold + disk-warm passes over the 108k-cell matrix.
+        ("schema", Json::from(6_u64)),
         ("suite", Json::str("wcet-bench run_all")),
         ("experiments", Json::Arr(experiment_json)),
         ("batch_vs_sequential", comparison),
         ("solver_warm_vs_cold", warm_cold),
         ("scenarios", scenarios),
+        ("campaign", campaign),
     ]);
     let out = "BENCH_results.json";
     match std::fs::write(out, format!("{doc}\n")) {

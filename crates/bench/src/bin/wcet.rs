@@ -7,24 +7,79 @@
 //! wcet scenarios report   <spec.scn> [--json P] [--md P]   # validate + write
 //! ```
 //!
-//! `run` performs analysis only; `validate` additionally replays every
-//! concrete cell on the cycle-level simulator and exits non-zero if a
+//! `run` performs analysis only; `validate` additionally replays cells
+//! on the cycle-level simulator and exits non-zero if a
 //! sound-by-construction cell breaks its bound; `report` is `validate`
 //! plus default output files (`SCENARIOS.json` / `SCENARIOS.md`).
+//!
+//! ## Streaming campaigns
+//!
+//! Large matrices (or any invocation carrying a streaming flag) run
+//! through the streaming campaign pipeline instead of the materialized
+//! runner: cells are expanded lazily, analysed by work-stealing workers
+//! with neighbour-incremental reuse, and their report rows are printed
+//! *as they complete* (in deterministic order) rather than after the
+//! whole run:
+//!
+//! ```text
+//! wcet scenarios run scenarios/campaign.scn --limit 2000 --threads 4
+//! wcet scenarios validate big.scn --sample 500 --seed 7 --cache target/memo.jsonl
+//! ```
+//!
+//! * `--limit N` — stop after N expanded cells (duplicates included);
+//! * `--threads N` — worker threads (default: all cores);
+//! * `--cache PATH` — persistent fingerprint → bounds memo (JSON lines,
+//!   schema-versioned; corrupt lines are skipped, alien files replaced);
+//! * `--sample N` — simulate one in N cells, chosen by a seeded hash
+//!   (`validate`/`report` default to 1 in 500 when streaming);
+//! * `--seed S` — the sample seed (default 0);
+//! * `--stream` — force the streaming pipeline for a small matrix.
+//!
+//! In streaming mode `--json` writes the campaign *summary* document
+//! (`campaign_json`); per-cell rows live on stdout only.
 
+use std::io::Write as _;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use wcet_bench::scenario::{matrix_json, matrix_markdown, parse_matrix, run_matrix, MatrixOptions};
+use wcet_bench::scenario::{
+    campaign_json, campaign_markdown, matrix_json, matrix_markdown, parse_matrix,
+    run_campaign_with, run_matrix, CampaignOptions, MatrixOptions,
+};
 use wcet_core::report::Table;
 
 const USAGE: &str = "usage: wcet scenarios <list|run|validate|report> <spec.scn> \
-                     [--json PATH] [--md PATH]";
+                     [--json PATH] [--md PATH] [--limit N] [--threads N] \
+                     [--cache PATH] [--sample N] [--seed S] [--stream]";
+
+/// Matrices at or above this many cross-product cells stream by default.
+const STREAM_THRESHOLD: usize = 4096;
+
+/// Streaming `validate`/`report` sample density when `--sample` is absent.
+const DEFAULT_SAMPLE: u64 = 500;
 
 struct Args {
     command: String,
     spec_path: String,
     json_out: Option<String>,
     md_out: Option<String>,
+    limit: Option<usize>,
+    threads: Option<usize>,
+    cache: Option<String>,
+    sample: Option<u64>,
+    seed: u64,
+    stream: bool,
+}
+
+impl Args {
+    /// Any streaming flag forces the campaign pipeline.
+    fn wants_stream(&self) -> bool {
+        self.stream
+            || self.limit.is_some()
+            || self.threads.is_some()
+            || self.cache.is_some()
+            || self.sample.is_some()
+    }
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -38,33 +93,70 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         return Err(format!("unknown subcommand {command:?}\n{USAGE}"));
     }
     let spec_path = it.next().ok_or(USAGE)?.clone();
-    let mut json_out = None;
-    let mut md_out = None;
+    let mut args = Args {
+        command,
+        spec_path,
+        json_out: None,
+        md_out: None,
+        limit: None,
+        threads: None,
+        cache: None,
+        sample: None,
+        seed: 0,
+        stream: false,
+    };
+    fn value<'a>(
+        it: &mut impl Iterator<Item = &'a String>,
+        flag: &str,
+    ) -> Result<&'a String, String> {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+    fn number<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+        raw.parse()
+            .map_err(|_| format!("{flag} needs a number, got {raw:?}"))
+    }
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--json" => {
-                json_out = Some(
-                    it.next()
-                        .ok_or_else(|| "--json needs a path".to_string())?
-                        .clone(),
-                );
-            }
-            "--md" => {
-                md_out = Some(
-                    it.next()
-                        .ok_or_else(|| "--md needs a path".to_string())?
-                        .clone(),
-                );
-            }
+            "--json" => args.json_out = Some(value(&mut it, "--json")?.clone()),
+            "--md" => args.md_out = Some(value(&mut it, "--md")?.clone()),
+            "--limit" => args.limit = Some(number(value(&mut it, "--limit")?, "--limit")?),
+            "--threads" => args.threads = Some(number(value(&mut it, "--threads")?, "--threads")?),
+            "--cache" => args.cache = Some(value(&mut it, "--cache")?.clone()),
+            "--sample" => args.sample = Some(number(value(&mut it, "--sample")?, "--sample")?),
+            "--seed" => args.seed = number(value(&mut it, "--seed")?, "--seed")?,
+            "--stream" => args.stream = true,
             _ => return Err(format!("unknown flag {flag:?}\n{USAGE}")),
         }
     }
-    Ok(Args {
-        command,
-        spec_path,
-        json_out,
-        md_out,
-    })
+    Ok(args)
+}
+
+fn write_outputs(
+    json_out: Option<String>,
+    md_out: Option<String>,
+    json_doc: &str,
+    md_doc: &str,
+) -> bool {
+    let mut failed = false;
+    if let Some(path) = json_out {
+        match std::fs::write(&path, format!("{json_doc}\n")) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = md_out {
+        match std::fs::write(&path, md_doc) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    failed
 }
 
 fn main() -> ExitCode {
@@ -106,6 +198,10 @@ fn main() -> ExitCode {
     }
 
     let validate = matches!(args.command.as_str(), "validate" | "report");
+    if args.wants_stream() || matrix.num_cells() >= STREAM_THRESHOLD {
+        return run_streaming(&args, &matrix, validate);
+    }
+
     let run = run_matrix(
         &matrix,
         &MatrixOptions {
@@ -123,25 +219,12 @@ fn main() -> ExitCode {
         .md_out
         .clone()
         .or_else(|| (args.command == "report").then(|| "SCENARIOS.md".to_string()));
-    let mut failed = false;
-    if let Some(path) = json_out {
-        match std::fs::write(&path, format!("{}\n", matrix_json(&run))) {
-            Ok(()) => println!("wrote {path}"),
-            Err(e) => {
-                eprintln!("cannot write {path}: {e}");
-                failed = true;
-            }
-        }
-    }
-    if let Some(path) = md_out {
-        match std::fs::write(&path, matrix_markdown(&run)) {
-            Ok(()) => println!("wrote {path}"),
-            Err(e) => {
-                eprintln!("cannot write {path}: {e}");
-                failed = true;
-            }
-        }
-    }
+    let mut failed = write_outputs(
+        json_out,
+        md_out,
+        &matrix_json(&run).to_string(),
+        &matrix_markdown(&run),
+    );
 
     // A run in which not a single cell produced a bound is a failure —
     // otherwise a regression that breaks every cell (bad spec value,
@@ -165,6 +248,106 @@ fn main() -> ExitCode {
                 .collect::<Vec<_>>()
                 .join(", ")
         );
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The streaming path: report rows hit stdout as their chunk sequences,
+/// then the campaign summary (and optional JSON/Markdown outputs).
+fn run_streaming(
+    args: &Args,
+    matrix: &wcet_bench::scenario::ScenarioMatrix,
+    validate: bool,
+) -> ExitCode {
+    let opts = CampaignOptions {
+        threads: args.threads.unwrap_or(0),
+        limit: args.limit,
+        sample_one_in: match (validate, args.sample) {
+            (_, Some(n)) => n,
+            (true, None) => DEFAULT_SAMPLE,
+            (false, None) => 0,
+        },
+        seed: args.seed,
+        cache: args.cache.as_ref().map(PathBuf::from),
+        keep_cells: false,
+        ctx: None,
+    };
+    println!(
+        "streaming campaign `{}`: {} cross-product cells{}",
+        matrix.name,
+        matrix.num_cells(),
+        args.limit
+            .map(|l| format!(" (limit {l})"))
+            .unwrap_or_default(),
+    );
+    println!("cell\ttask@core.thread\tmode\twcet");
+    let stdout = std::io::stdout();
+    let mut any_bound = false;
+    let run = run_campaign_with(matrix, &opts, |cell| {
+        // One tab-separated line per row, streamed in deterministic
+        // order; a locked writer keeps multi-row cells contiguous.
+        let mut out = stdout.lock();
+        if let Some(e) = &cell.error {
+            let _ = writeln!(out, "{}\t—\t—\terror: {e}", cell.scenario.name);
+            return;
+        }
+        for row in &cell.rows {
+            let wcet = match &row.outcome {
+                Ok(b) => {
+                    any_bound = true;
+                    b.wcet.to_string()
+                }
+                Err(e) => format!("error: {e}"),
+            };
+            let sound = cell
+                .validation
+                .as_ref()
+                .map(|v| if v.all_sound { "\tsound" } else { "\tUNSOUND" })
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "{}\t{}@{}.{}\t{}\t{}{}",
+                cell.scenario.name, row.task, row.core, row.thread, row.mode, wcet, sound
+            );
+        }
+    });
+    println!();
+    println!("{}", campaign_markdown(&run));
+
+    let json_out = args
+        .json_out
+        .clone()
+        .or_else(|| (args.command == "report").then(|| "SCENARIOS.json".to_string()));
+    let md_out = args
+        .md_out
+        .clone()
+        .or_else(|| (args.command == "report").then(|| "SCENARIOS.md".to_string()));
+    let mut failed = write_outputs(
+        json_out,
+        md_out,
+        &campaign_json(&run).to_string(),
+        &campaign_markdown(&run),
+    );
+
+    if !any_bound {
+        eprintln!("no cell produced a WCET bound — every cell failed to build or analyse");
+        failed = true;
+    }
+    if validate && !run.violations.is_empty() {
+        eprintln!(
+            "soundness violations in {} cell(s): {}",
+            run.violations.len(),
+            run.violations.join(", ")
+        );
+        failed = true;
+    }
+    if let Some(e) = &run.cache_error {
+        eprintln!("cache write-back failed: {e}");
         failed = true;
     }
     if failed {

@@ -1,0 +1,316 @@
+//! The persistent campaign memo: a JSON-lines file mapping cell
+//! fingerprints to their per-task bounds, so repeated campaigns (and a
+//! future serving layer) survive process restarts.
+//!
+//! Format — one JSON object per line, header first:
+//!
+//! ```text
+//! {"kind":"wcet-campaign-memo","schema":1}
+//! {"fp":"00ab…32 hex…","rows":[{"core":0,"mode":"isolated","task":"fir4x8","thread":0,"wcet":9444}]}
+//! ```
+//!
+//! Robustness rules, in order:
+//!
+//! * missing file → empty cache (a cold run);
+//! * unreadable / wrong `kind` / newer or older `schema` header → the
+//!   whole file is ignored and the next write-back replaces it (a schema
+//!   bump never poisons results, it just recomputes);
+//! * a corrupt *line* → that line alone is skipped (a torn append, e.g.
+//!   from a killed process, costs one entry, not the cache);
+//! * only fully-bounded cells are written (error cells are cheap to
+//!   rediscover and their messages are not stable schema).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+
+/// On-disk schema version; bump on any layout change.
+pub const CACHE_SCHEMA: u64 = 1;
+const CACHE_KIND: &str = "wcet-campaign-memo";
+
+/// One cached per-task bound row (the compact projection of a
+/// [`super::run::TaskRow`] — bounds only, no report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedRow {
+    /// Program name.
+    pub task: String,
+    /// Core index.
+    pub core: usize,
+    /// Hardware-thread index.
+    pub thread: usize,
+    /// Mode label.
+    pub mode: String,
+    /// The WCET bound in cycles.
+    pub wcet: u64,
+}
+
+/// A loaded (or disabled) campaign memo cache.
+#[derive(Debug, Default)]
+pub struct DiskCache {
+    path: Option<PathBuf>,
+    entries: HashMap<(u64, u64), Vec<CachedRow>>,
+    /// True when the file on disk (if any) carries the current header —
+    /// append-in-place is then safe; otherwise write-back rewrites.
+    header_ok: bool,
+    /// Corrupt lines skipped while loading.
+    pub skipped: usize,
+}
+
+impl DiskCache {
+    /// A cache that never hits and never writes.
+    #[must_use]
+    pub fn disabled() -> DiskCache {
+        DiskCache::default()
+    }
+
+    /// Loads the cache at `path`, tolerating absence and corruption (see
+    /// the [module docs](self)).
+    #[must_use]
+    pub fn open(path: &Path) -> DiskCache {
+        let mut cache = DiskCache {
+            path: Some(path.to_path_buf()),
+            entries: HashMap::new(),
+            header_ok: false,
+            skipped: 0,
+        };
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return cache; // missing or unreadable: cold
+        };
+        let mut lines = text.lines();
+        let header_ok = lines
+            .next()
+            .and_then(|l| Json::parse(l).ok())
+            .is_some_and(|h| {
+                h.get("kind").and_then(Json::as_str) == Some(CACHE_KIND)
+                    && h.get("schema").and_then(Json::as_u64) == Some(CACHE_SCHEMA)
+            });
+        if !header_ok {
+            return cache; // wrong vintage: ignore wholesale, rewrite later
+        }
+        cache.header_ok = true;
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_entry(line) {
+                Some((fp, rows)) => {
+                    cache.entries.insert(fp, rows);
+                }
+                None => cache.skipped += 1,
+            }
+        }
+        cache
+    }
+
+    /// Number of loaded entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are loaded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The cached rows of a cell fingerprint, if any.
+    #[must_use]
+    pub fn lookup(&self, fp: (u64, u64)) -> Option<&[CachedRow]> {
+        self.entries.get(&fp).map(Vec::as_slice)
+    }
+
+    /// Appends freshly-computed entries (header first when the file is
+    /// new or of the wrong vintage), returning how many were written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the cache file may then be torn, which
+    /// the next [`DiskCache::open`] tolerates line-by-line.
+    pub fn append(&self, fresh: &[((u64, u64), Vec<CachedRow>)]) -> std::io::Result<usize> {
+        let Some(path) = &self.path else {
+            return Ok(0);
+        };
+        if fresh.is_empty() && self.header_ok {
+            return Ok(0);
+        }
+        let mut text = String::new();
+        if !self.header_ok {
+            let _ = writeln!(
+                text,
+                "{}",
+                Json::obj([
+                    ("kind", Json::str(CACHE_KIND)),
+                    ("schema", Json::from(CACHE_SCHEMA)),
+                ])
+            );
+        }
+        let mut written = 0usize;
+        for (fp, rows) in fresh {
+            if self.entries.contains_key(fp) {
+                continue; // already durable
+            }
+            let _ = writeln!(text, "{}", entry_json(*fp, rows));
+            written += 1;
+        }
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(self.header_ok)
+            .truncate(!self.header_ok)
+            .write(true)
+            .open(path)?;
+        file.write_all(text.as_bytes())?;
+        Ok(written)
+    }
+}
+
+fn fingerprint_hex(fp: (u64, u64)) -> String {
+    format!("{:016x}{:016x}", fp.0, fp.1)
+}
+
+fn parse_fingerprint(hex: &str) -> Option<(u64, u64)> {
+    if hex.len() != 32 {
+        return None;
+    }
+    Some((
+        u64::from_str_radix(&hex[..16], 16).ok()?,
+        u64::from_str_radix(&hex[16..], 16).ok()?,
+    ))
+}
+
+fn entry_json(fp: (u64, u64), rows: &[CachedRow]) -> Json {
+    Json::obj([
+        ("fp", Json::str(fingerprint_hex(fp))),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("task", Json::str(r.task.clone())),
+                            ("core", Json::from(r.core as u64)),
+                            ("thread", Json::from(r.thread as u64)),
+                            ("mode", Json::str(r.mode.clone())),
+                            ("wcet", Json::from(r.wcet)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn parse_entry(line: &str) -> Option<((u64, u64), Vec<CachedRow>)> {
+    let value = Json::parse(line).ok()?;
+    let fp = parse_fingerprint(value.get("fp")?.as_str()?)?;
+    let rows = value
+        .get("rows")?
+        .as_arr()?
+        .iter()
+        .map(|r| {
+            Some(CachedRow {
+                task: r.get("task")?.as_str()?.to_string(),
+                core: usize::try_from(r.get("core")?.as_u64()?).ok()?,
+                thread: usize::try_from(r.get("thread")?.as_u64()?).ok()?,
+                mode: r.get("mode")?.as_str()?.to_string(),
+                wcet: r.get("wcet")?.as_u64()?,
+            })
+        })
+        .collect::<Option<Vec<CachedRow>>>()?;
+    Some((fp, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(task: &str, wcet: u64) -> CachedRow {
+        CachedRow {
+            task: task.into(),
+            core: 0,
+            thread: 0,
+            mode: "isolated".into(),
+            wcet,
+        }
+    }
+
+    #[test]
+    fn round_trips_and_appends() {
+        let dir = std::env::temp_dir().join("wcet-cache-test-rt");
+        let path = dir.join("memo.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let cold = DiskCache::open(&path);
+        assert!(cold.is_empty());
+        let written = cold
+            .append(&[
+                ((1, 2), vec![row("fir", 10)]),
+                ((3, 4), vec![row("crc", 20)]),
+            ])
+            .expect("writes");
+        assert_eq!(written, 2);
+        let warm = DiskCache::open(&path);
+        assert_eq!(warm.len(), 2);
+        assert_eq!(warm.skipped, 0);
+        assert_eq!(warm.lookup((1, 2)), Some(&[row("fir", 10)][..]));
+        // Appending an already-durable entry is a no-op.
+        assert_eq!(
+            warm.append(&[((1, 2), vec![row("fir", 10)])]).expect("ok"),
+            0
+        );
+        assert_eq!(DiskCache::open(&path).len(), 2);
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_not_fatal() {
+        let dir = std::env::temp_dir().join("wcet-cache-test-corrupt");
+        let path = dir.join("memo.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let cache = DiskCache::open(&path);
+        cache
+            .append(&[((1, 2), vec![row("fir", 10)])])
+            .expect("writes");
+        // Simulate a torn append plus line noise.
+        let mut text = std::fs::read_to_string(&path).expect("reads");
+        text.push_str("{\"fp\":\"zz\"}\n{\"fp\":\"truncat");
+        std::fs::write(&path, text).expect("writes");
+        let warm = DiskCache::open(&path);
+        assert_eq!(warm.len(), 1);
+        assert_eq!(warm.skipped, 2);
+        assert!(warm.lookup((1, 2)).is_some());
+    }
+
+    #[test]
+    fn wrong_schema_is_ignored_then_replaced() {
+        let dir = std::env::temp_dir().join("wcet-cache-test-schema");
+        let path = dir.join("memo.jsonl");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(
+            &path,
+            "{\"kind\":\"wcet-campaign-memo\",\"schema\":99}\n{\"fp\":\"x\"}\n",
+        )
+        .expect("writes");
+        let cache = DiskCache::open(&path);
+        assert!(cache.is_empty(), "newer schema must not be trusted");
+        cache
+            .append(&[((5, 6), vec![row("bsort", 30)])])
+            .expect("writes");
+        let warm = DiskCache::open(&path);
+        assert_eq!(warm.len(), 1, "write-back replaced the alien file");
+        assert!(warm.lookup((5, 6)).is_some());
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let cache = DiskCache::disabled();
+        assert!(cache.lookup((1, 2)).is_none());
+        assert_eq!(cache.append(&[((1, 2), vec![])]).expect("ok"), 0);
+    }
+}

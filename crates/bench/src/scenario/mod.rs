@@ -7,6 +7,13 @@
 //!   [`wcet_core::AnalysisEngine`] (one shared warm-start context across
 //!   every machine of the batch) and the statically-controlled path, and
 //!   cycle-level cross-validation on `wcet-sim`;
+//! * [`stream`] — the streaming campaign runner for 10⁵–10⁶-cell
+//!   matrices: lazy Gray-code expansion, work-stealing workers,
+//!   neighbour-incremental analysis, and deterministic seeded-sample
+//!   validation;
+//! * [`cache`] — the persistent (schema-versioned, corruption-tolerant)
+//!   fingerprint → bounds memo that lets repeated campaigns skip
+//!   already-solved cells;
 //! * [`report`] — the structured JSON report and the rendered Markdown
 //!   table.
 //!
@@ -14,10 +21,14 @@
 //! CLI over this module; `exp02`/`exp05`/`exp08` are thin wrappers over
 //! embedded matrix specs.
 
+pub mod cache;
 pub mod report;
 pub mod run;
 pub mod spec;
+pub mod stream;
 
-pub use report::{matrix_json, matrix_markdown};
+pub use cache::{CachedRow, DiskCache};
+pub use report::{campaign_json, campaign_markdown, matrix_json, matrix_markdown};
 pub use run::{run_matrix, CellOutcome, MatrixOptions, MatrixRun, TaskRow};
 pub use spec::{parse_matrix, L2Layout, ModeSpec, Scenario, ScenarioMatrix, SpecError};
+pub use stream::{run_campaign, run_campaign_with, CampaignOptions, CampaignRun};

@@ -1,10 +1,13 @@
 //! Structured reporting of a matrix run: a machine-readable JSON
-//! document (`wcet scenarios` schema 1) and a rendered Markdown table.
+//! document (`wcet scenarios` schema 1) and a rendered Markdown table —
+//! plus the compact summary forms of a streaming [`CampaignRun`] (whose
+//! cells are not retained, so only aggregates are reported).
 
 use wcet_core::report::Table;
 use wcet_core::validate::Observation;
 
 use super::run::{CellOutcome, MatrixRun};
+use super::stream::CampaignRun;
 use crate::json::Json;
 
 /// The JSON schema version of [`matrix_json`] documents.
@@ -230,11 +233,91 @@ pub fn matrix_markdown(run: &MatrixRun) -> String {
     format!("{summary}\n{t}")
 }
 
+/// Serializes a streaming campaign's aggregates (per-cell rows stream
+/// through `wcet scenarios run`'s stdout instead — a million-cell
+/// document would defeat the point of streaming).
+#[must_use]
+pub fn campaign_json(run: &CampaignRun) -> Json {
+    Json::obj([
+        ("schema", Json::from(SCHEMA)),
+        ("suite", Json::str("wcet scenarios campaign")),
+        ("matrix", Json::str(&run.matrix)),
+        ("total_cells", Json::from(run.total_cells)),
+        ("produced", Json::from(run.produced)),
+        ("unique", Json::from(run.unique)),
+        ("duplicates", Json::from(run.duplicates)),
+        ("errors", Json::from(run.errors)),
+        ("bounded", Json::from(run.bounded)),
+        ("rows_reused", Json::from(run.rows_reused)),
+        ("neighbor_hits", Json::from(run.memo.neighbor_hits)),
+        ("disk_hits", Json::from(run.disk_hits)),
+        ("disk_appended", Json::from(run.disk_appended)),
+        ("validated_cells", Json::from(run.validated)),
+        ("sound_cells", Json::from(run.sound)),
+        (
+            "violations",
+            Json::Arr(run.violations.iter().map(Json::str).collect()),
+        ),
+        ("wall_ms", Json::from(run.wall.as_millis() as u64)),
+        ("cells_per_sec", Json::from(run.cells_per_sec())),
+        (
+            "solver",
+            Json::obj([
+                ("warm_hits", Json::from(run.solver.warm_hits)),
+                ("cold_solves", Json::from(run.solver.cold_solves)),
+                ("pivots", Json::from(run.solver.totals.pivots)),
+            ]),
+        ),
+        ("fixpoint", crate::fixpoint_json(&run.fixpoint)),
+        ("sim_skip", crate::skip_json(&run.sim_skip)),
+    ])
+}
+
+/// Renders a campaign's summary as a Markdown key/value table.
+#[must_use]
+pub fn campaign_markdown(run: &CampaignRun) -> String {
+    let summary = Table::kv(
+        format!("Campaign `{}` — summary", run.matrix),
+        [
+            ("cross-product cells", run.total_cells.to_string()),
+            ("produced (after --limit)", run.produced.to_string()),
+            ("unique analysed/served", run.unique.to_string()),
+            ("duplicates removed", run.duplicates.to_string()),
+            ("errors", run.errors.to_string()),
+            ("fully bounded", run.bounded.to_string()),
+            ("neighbour row reuses", run.rows_reused.to_string()),
+            (
+                "neighbour fixpoint hits",
+                run.memo.neighbor_hits.to_string(),
+            ),
+            ("disk-cache hits", run.disk_hits.to_string()),
+            ("disk-cache appended", run.disk_appended.to_string()),
+            ("validated (seeded sample)", run.validated.to_string()),
+            ("sound", format!("{}/{}", run.sound, run.validated)),
+            ("wall", format!("{:.2}s", run.wall.as_secs_f64())),
+            ("throughput", format!("{:.0} cells/s", run.cells_per_sec())),
+            (
+                "solver warm/cold",
+                format!("{}/{}", run.solver.warm_hits, run.solver.cold_solves),
+            ),
+        ],
+    );
+    let mut out = summary.to_string();
+    for v in &run.violations {
+        out.push_str(&format!("\nSOUNDNESS VIOLATION: {v}"));
+    }
+    if let Some(e) = &run.cache_error {
+        out.push_str(&format!("\ncache write-back failed: {e}"));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scenario::run::{run_matrix, MatrixOptions};
     use crate::scenario::spec::parse_matrix;
+    use crate::scenario::stream::{run_campaign, CampaignOptions};
 
     #[test]
     fn json_and_markdown_render_a_small_run() {
@@ -255,6 +338,27 @@ mod tests {
         let md = matrix_markdown(&run);
         assert!(md.contains("Scenario matrix `tiny` — cells"));
         assert!(md.contains("isolated"));
+        assert!(!md.contains("SOUNDNESS VIOLATION"));
+    }
+
+    #[test]
+    fn campaign_json_and_markdown_render() {
+        let m = parse_matrix("name = tiny\nmode = [isolated, solo]\ntasks = fir:2x4\n")
+            .expect("parses");
+        let run = run_campaign(
+            &m,
+            &CampaignOptions {
+                sample_one_in: 1,
+                ..CampaignOptions::default()
+            },
+        );
+        assert_eq!(run.unique, 2);
+        let doc = campaign_json(&run).to_string();
+        assert!(doc.contains("\"suite\":\"wcet scenarios campaign\""));
+        assert!(doc.contains("\"matrix\":\"tiny\""));
+        assert!(doc.contains("\"unique\":2"));
+        let md = campaign_markdown(&run);
+        assert!(md.contains("Campaign `tiny` — summary"));
         assert!(!md.contains("SOUNDNESS VIOLATION"));
     }
 }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use wcet_cache::bypass::single_usage_lines;
 use wcet_cache::lock::select_static;
 use wcet_cache::partition::PartitionPlan;
-use wcet_core::engine::{AnalysisEngine, SolverStats};
+use wcet_core::engine::{AnalysisEngine, MemoDomain, SolverStats, TaskArtifacts};
 use wcet_core::fingerprint::{debug_fingerprint, program_fingerprint};
 use wcet_core::mode::{Footprint, Isolated, JointRefs, Solo};
 use wcet_core::static_ctrl::{
@@ -176,13 +176,26 @@ impl MatrixRun {
 /// tasks than hardware threads, partition over-commit, arbiter/requester
 /// mismatch…).
 pub fn build_scenario(scn: &Scenario) -> Result<BuiltScenario, String> {
-    let programs: Vec<Program> = scn
-        .tasks
+    build_with_programs(scn, parse_programs(&scn.tasks)?)
+}
+
+/// Parses a cell's kernel specs into placed programs (task *i* at
+/// address slot *i*). Factored out of [`build_scenario`] so the
+/// streaming producer can cache programs per task-set axis value.
+pub(crate) fn parse_programs(tasks: &[String]) -> Result<Vec<Program>, String> {
+    tasks
         .iter()
         .enumerate()
         .map(|(i, spec)| parse_kernel(spec, Placement::slot(i as u32)))
-        .collect::<Result<_, _>>()?;
+        .collect()
+}
 
+/// The machine/placement half of [`build_scenario`], for callers that
+/// already hold the cell's parsed programs.
+pub(crate) fn build_with_programs(
+    scn: &Scenario,
+    programs: Vec<Program>,
+) -> Result<BuiltScenario, String> {
     // Placement: round-robin over cores (the validated TaskSet builder),
     // then hardware threads for the overflow.
     let set = TaskSet::round_robin(programs.iter().map(|p| p.name().to_string()), scn.cores);
@@ -275,31 +288,47 @@ fn cell_fingerprint(scn: &Scenario, built: Option<&BuiltScenario>) -> (u64, u64)
     match built {
         Some(b) => {
             let task_fps: Vec<(u64, u64)> = b.programs.iter().map(program_fingerprint).collect();
-            debug_fingerprint(&(
-                &b.machine,
-                &b.placement,
-                scn.mode.label(),
-                scn.analyze,
-                task_fps,
-                scn.cycle_limit,
-            ))
+            fingerprint_built(scn, b, &task_fps)
         }
-        // Unbuildable cells: fingerprint the raw description (sans name).
-        None => debug_fingerprint(&(
-            scn.cores,
-            scn.smt_threads,
-            &scn.arbiter,
-            scn.bus_transfer,
-            scn.mem_latency,
-            scn.l1i,
-            scn.l1d,
-            scn.l2_geom,
-            scn.l2_layout,
-            scn.mode,
-            scn.analyze,
-            &scn.tasks,
-        )),
+        None => fingerprint_unbuildable(scn),
     }
+}
+
+/// The buildable-cell half of [`cell_fingerprint`], with the per-task
+/// content fingerprints supplied by the caller (the streaming producer
+/// caches them per task-set axis value; a slice renders identically to
+/// the `Vec` the materialized path hashes).
+pub(crate) fn fingerprint_built(
+    scn: &Scenario,
+    built: &BuiltScenario,
+    task_fps: &[(u64, u64)],
+) -> (u64, u64) {
+    debug_fingerprint(&(
+        &built.machine,
+        &built.placement,
+        scn.mode.label(),
+        scn.analyze,
+        task_fps,
+        scn.cycle_limit,
+    ))
+}
+
+/// Unbuildable cells: fingerprint the raw description (sans name).
+pub(crate) fn fingerprint_unbuildable(scn: &Scenario) -> (u64, u64) {
+    debug_fingerprint(&(
+        scn.cores,
+        scn.smt_threads,
+        &scn.arbiter,
+        scn.bus_transfer,
+        scn.mem_latency,
+        scn.l1i,
+        scn.l1d,
+        scn.l2_geom,
+        scn.l2_layout,
+        scn.mode,
+        scn.analyze,
+        &scn.tasks,
+    ))
 }
 
 /// Runs one expanded matrix: dedup → analysis → (optional) validation.
@@ -310,6 +339,9 @@ pub fn run_matrix(matrix: &ScenarioMatrix, opts: &MatrixOptions) -> MatrixRun {
         .clone()
         .unwrap_or_else(|| Arc::new(SolveContext::new()));
     let ipet = IpetOptions::default();
+    // One memo domain across every engine: keys are machine-independent,
+    // so arbiter/timing sweep points share fixpoints and cost tables.
+    let memo = Arc::new(MemoDomain::new());
     let mut engines: HashMap<(u64, u64), Arc<AnalysisEngine>> = HashMap::new();
     let mut seen: HashSet<(u64, u64)> = HashSet::new();
     let mut cells = Vec::new();
@@ -345,7 +377,9 @@ pub fn run_matrix(matrix: &ScenarioMatrix, opts: &MatrixOptions) -> MatrixRun {
             let machine_fp = debug_fingerprint(&built.machine);
             let engine = engines.entry(machine_fp).or_insert_with(|| {
                 Arc::new(
-                    AnalysisEngine::new(built.machine.clone()).with_solve_context(Arc::clone(&ctx)),
+                    AnalysisEngine::new(built.machine.clone())
+                        .with_solve_context(Arc::clone(&ctx))
+                        .with_memo(Arc::clone(&memo)),
                 )
             });
             analyze_engine(&scn, &built, engine)
@@ -367,11 +401,10 @@ pub fn run_matrix(matrix: &ScenarioMatrix, opts: &MatrixOptions) -> MatrixRun {
 
     // Engines only route solves; the shared context saw every one of
     // them (static-ctrl cells included), so its totals are the run's
-    // complete solver bill.
+    // complete solver bill. Fixpoint effort likewise lives in the one
+    // shared memo domain — read it once, never per engine.
     let mut fixpoint = fix.total();
-    for engine in engines.values() {
-        fixpoint.absorb(&engine.fixpoint_stats());
-    }
+    fixpoint.absorb(&memo.fixpoint_stats());
     drop(engines);
     let ctx_stats = ctx.stats();
     MatrixRun {
@@ -389,35 +422,75 @@ pub fn run_matrix(matrix: &ScenarioMatrix, opts: &MatrixOptions) -> MatrixRun {
 }
 
 /// The task indices a cell analyses: all of them, or just the victim.
-fn analyzed_range(scn: &Scenario, built: &BuiltScenario) -> std::ops::Range<usize> {
+pub(crate) fn analyzed_range(scn: &Scenario, built: &BuiltScenario) -> std::ops::Range<usize> {
     match scn.analyze {
         AnalyzeSpec::All => 0..built.programs.len(),
         AnalyzeSpec::Victim => 0..1.min(built.programs.len()),
     }
 }
 
+/// The engine-level leftovers of one analysed cell, fed back in by the
+/// streaming runner when the next cell's delta is bus/timing-only (see
+/// [`wcet_core::engine::TaskArtifacts`] for what that buys).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CellArtifacts {
+    /// One entry per analysed row, `None` for failed rows.
+    tasks: Vec<Option<TaskArtifacts>>,
+    /// Joint-mode co-runner footprints (empty for other modes). Like the
+    /// task artifacts, these depend only on cache geometry and task
+    /// content — never on bus or memory timing — so a bus-delta
+    /// neighbour reuses them wholesale.
+    footprints: Arc<Vec<Option<Footprint>>>,
+}
+
 /// Engine-family analysis (`solo` / `isolated` / `joint`) of the cell's
 /// analysed tasks.
 fn analyze_engine(scn: &Scenario, built: &BuiltScenario, engine: &AnalysisEngine) -> Vec<TaskRow> {
+    analyze_engine_incremental(scn, built, engine, None).0
+}
+
+/// [`analyze_engine`], threading neighbour artifacts: with
+/// `prior: Some(...)` from a cell whose delta provably left every
+/// hierarchy input unchanged (only `arbiter` / `transfer` /
+/// `mem_latency` / `cycle_limit` moved), each task reuses its
+/// predecessor's fixpoints without re-keying. Rows are identical either
+/// way — the artifacts only skip work, never change it.
+pub(crate) fn analyze_engine_incremental(
+    scn: &Scenario,
+    built: &BuiltScenario,
+    engine: &AnalysisEngine,
+    prior: Option<&CellArtifacts>,
+) -> (Vec<TaskRow>, CellArtifacts) {
     // Joint mode: each task is analysed against the footprints of every
-    // *other* task in the cell (including non-analysed ones).
-    let footprints: Vec<Option<Footprint>> = if scn.mode == ModeSpec::Joint {
-        built
-            .programs
-            .iter()
-            .zip(&built.placement)
-            .map(|(p, &(core, _))| engine.l2_footprint(p, core).ok())
-            .collect()
-    } else {
-        Vec::new()
+    // *other* task in the cell (including non-analysed ones). A neighbour
+    // cell's footprints are reused as-is — they are geometry/content
+    // functions, unaffected by any bus-only delta.
+    let footprints: Arc<Vec<Option<Footprint>>> = match prior {
+        Some(c) if scn.mode == ModeSpec::Joint && !c.footprints.is_empty() => {
+            Arc::clone(&c.footprints)
+        }
+        _ if scn.mode == ModeSpec::Joint => Arc::new(
+            built
+                .programs
+                .iter()
+                .zip(&built.placement)
+                .map(|(p, &(core, _))| engine.l2_footprint(p, core).ok())
+                .collect(),
+        ),
+        _ => Arc::new(Vec::new()),
     };
-    analyzed_range(scn, built)
+    let mut artifacts = CellArtifacts {
+        tasks: Vec::new(),
+        footprints: Arc::clone(&footprints),
+    };
+    let rows = analyzed_range(scn, built)
         .map(|i| {
             let p = &built.programs[i];
             let (core, thread) = built.placement[i];
+            let prior_task = prior.and_then(|c| c.tasks.get(i)).and_then(Option::as_ref);
             let result = match scn.mode {
-                ModeSpec::Solo => engine.analyze(p, core, thread, &Solo),
-                ModeSpec::Isolated => engine.analyze(p, core, thread, &Isolated),
+                ModeSpec::Solo => engine.analyze_prior(p, core, thread, &Solo, prior_task),
+                ModeSpec::Isolated => engine.analyze_prior(p, core, thread, &Isolated, prior_task),
                 ModeSpec::Joint => {
                     let refs: Vec<&Footprint> = footprints
                         .iter()
@@ -425,29 +498,36 @@ fn analyze_engine(scn: &Scenario, built: &BuiltScenario, engine: &AnalysisEngine
                         .filter(|&(j, _)| j != i)
                         .filter_map(|(_, fp)| fp.as_ref())
                         .collect();
-                    engine.analyze(p, core, thread, &JointRefs(&refs))
+                    engine.analyze_prior(p, core, thread, &JointRefs(&refs), prior_task)
                 }
                 _ => unreachable!("static modes route through analyze_static"),
             };
+            let (outcome, art) = match result {
+                Ok((report, art)) => (
+                    Ok(TaskBound {
+                        wcet: report.wcet,
+                        report: Some(report),
+                    }),
+                    Some(art),
+                ),
+                Err(e) => (Err(e.to_string()), None),
+            };
+            artifacts.tasks.push(art);
             TaskRow {
                 task: p.name().to_string(),
                 core,
                 thread,
                 mode: scn.mode.label(),
-                outcome: result
-                    .map(|report| TaskBound {
-                        wcet: report.wcet,
-                        report: Some(report),
-                    })
-                    .map_err(|e| e.to_string()),
+                outcome,
             }
         })
-        .collect()
+        .collect();
+    (rows, artifacts)
 }
 
 /// Statically-controlled analysis (`static-ctrl` / lock modes) of every
 /// task, with machine-derived [`StaticParams`].
-fn analyze_static(
+pub(crate) fn analyze_static(
     scn: &Scenario,
     built: &BuiltScenario,
     ipet: &IpetOptions,
@@ -499,7 +579,11 @@ fn missing_l2(scn: &Scenario) -> wcet_core::AnalysisError {
 }
 
 /// Replays the cell on the simulator, or records why it cannot be.
-fn validate_cell(built: &BuiltScenario, outcome: &mut CellOutcome, sim_skip: &mut SkipStats) {
+pub(crate) fn validate_cell(
+    built: &BuiltScenario,
+    outcome: &mut CellOutcome,
+    sim_skip: &mut SkipStats,
+) {
     if outcome.scenario.mode.is_lock_mode() {
         outcome.validation_skipped = Some(
             "lock contents are an analysis assumption the simulated machine does not load"

@@ -604,78 +604,112 @@ pub fn parse_matrix(src: &str) -> Result<ScenarioMatrix, SpecError> {
     Ok(m)
 }
 
+/// Number of matrix axes — the width of the mixed-radix odometer over a
+/// [`ScenarioMatrix`]. Axis index order (`cores` = 0 outermost …
+/// `cycle_limit` = 12 innermost) defines lexicographic cell ranks and
+/// therefore cell names.
+pub const NUM_AXES: usize = 13;
+
+/// Axis index of `cycle_limit` — the only axis that changes *nothing*
+/// about a cell's analysis (it budgets the validation replay alone).
+pub(crate) const AXIS_CYCLE_LIMIT: usize = 12;
+
+/// Axis indices whose value reaches the analysis only through the bus /
+/// memory timing side (`arbiter`, `transfer`, `mem_latency`): they leave
+/// every cache-hierarchy input — geometries, layout, partition shifts,
+/// task contents — untouched.
+pub(crate) const AXES_BUS_ONLY: [usize; 3] = [2, 3, 4];
+
 impl ScenarioMatrix {
     /// Number of cells the cross product yields (before deduplication).
     #[must_use]
     pub fn num_cells(&self) -> usize {
-        self.cores.len()
-            * self.smt.len()
-            * self.arbiter.len()
-            * self.transfer.len()
-            * self.mem_latency.len()
-            * self.l1i.len()
-            * self.l1d.len()
-            * self.l2_geom.len()
-            * self.l2.len()
-            * self.mode.len()
-            * self.analyze.len()
-            * self.tasks.len()
-            * self.cycle_limit.len()
+        self.radices().iter().product()
+    }
+
+    /// Per-axis value counts, in axis-index order (`cores` first,
+    /// `cycle_limit` last) — the mixed radices of the odometer.
+    #[must_use]
+    pub fn radices(&self) -> [usize; NUM_AXES] {
+        [
+            self.cores.len(),
+            self.smt.len(),
+            self.arbiter.len(),
+            self.transfer.len(),
+            self.mem_latency.len(),
+            self.l1i.len(),
+            self.l1d.len(),
+            self.l2_geom.len(),
+            self.l2.len(),
+            self.mode.len(),
+            self.analyze.len(),
+            self.tasks.len(),
+            self.cycle_limit.len(),
+        ]
+    }
+
+    /// The lexicographic rank of an odometer position: the ordinal
+    /// [`ScenarioMatrix::expand`] would assign the same cell, so streaming
+    /// and materialized expansion agree on names.
+    #[must_use]
+    pub fn lex_rank(&self, digits: &[usize; NUM_AXES]) -> usize {
+        let radices = self.radices();
+        digits
+            .iter()
+            .zip(radices)
+            .fold(0, |rank, (&digit, radix)| rank * radix + digit)
+    }
+
+    /// The concrete cell at an odometer position (one value index per
+    /// axis), named by its lexicographic rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a digit is out of its axis's range.
+    #[must_use]
+    pub fn cell_at(&self, digits: &[usize; NUM_AXES]) -> Scenario {
+        let layout = self.l2[digits[8]];
+        Scenario {
+            name: format!("{}#{:03}", self.name, self.lex_rank(digits)),
+            cores: self.cores[digits[0]],
+            smt_threads: self.smt[digits[1]],
+            arbiter: self.arbiter[digits[2]].clone(),
+            bus_transfer: self.transfer[digits[3]],
+            mem_latency: self.mem_latency[digits[4]],
+            l1i: self.l1i[digits[5]],
+            l1d: self.l1d[digits[6]],
+            l2_geom: layout.map(|_| self.l2_geom[digits[7]]),
+            l2_layout: layout.unwrap_or(L2Layout::Shared),
+            mode: self.mode[digits[9]],
+            analyze: self.analyze[digits[10]],
+            tasks: self.tasks[digits[11]].clone(),
+            cycle_limit: self.cycle_limit[digits[12]],
+        }
     }
 
     /// Expands the full cross product into concrete cells, in a fixed
     /// axis order (`cores` outermost, `cycle_limit` innermost, each axis
     /// iterating in declaration order). Duplicate cells are *kept* here;
     /// the runner deduplicates by semantic fingerprint.
+    ///
+    /// Materializes every cell — use the streaming campaign runner
+    /// (`scenario::stream`) for matrices beyond ~10³ cells.
     #[must_use]
     pub fn expand(&self) -> Vec<Scenario> {
+        let radices = self.radices();
         let mut cells = Vec::with_capacity(self.num_cells());
-        for &cores in &self.cores {
-            for &smt_threads in &self.smt {
-                for arbiter in &self.arbiter {
-                    for &bus_transfer in &self.transfer {
-                        for &mem_latency in &self.mem_latency {
-                            for &l1i in &self.l1i {
-                                for &l1d in &self.l1d {
-                                    for &geom in &self.l2_geom {
-                                        for &layout in &self.l2 {
-                                            for &mode in &self.mode {
-                                                for &analyze in &self.analyze {
-                                                    for tasks in &self.tasks {
-                                                        for &cycle_limit in &self.cycle_limit {
-                                                            cells.push(Scenario {
-                                                                name: format!(
-                                                                    "{}#{:03}",
-                                                                    self.name,
-                                                                    cells.len()
-                                                                ),
-                                                                cores,
-                                                                smt_threads,
-                                                                arbiter: arbiter.clone(),
-                                                                bus_transfer,
-                                                                mem_latency,
-                                                                l1i,
-                                                                l1d,
-                                                                l2_geom: layout.map(|_| geom),
-                                                                l2_layout: layout
-                                                                    .unwrap_or(L2Layout::Shared),
-                                                                mode,
-                                                                analyze,
-                                                                tasks: tasks.clone(),
-                                                                cycle_limit,
-                                                            });
-                                                        }
-                                                    }
-                                                }
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
+        let mut digits = [0usize; NUM_AXES];
+        'cells: loop {
+            cells.push(self.cell_at(&digits));
+            // Lexicographic increment, innermost axis fastest.
+            for axis in (0..NUM_AXES).rev() {
+                digits[axis] += 1;
+                if digits[axis] < radices[axis] {
+                    continue 'cells;
                 }
+                digits[axis] = 0;
             }
+            break;
         }
         cells
     }

@@ -1,0 +1,753 @@
+//! The streaming campaign runner: lazy Gray-code expansion,
+//! work-stealing execution, neighbour-incremental analysis and the
+//! persistent disk memo — the 10⁵–10⁶-cell counterpart of the
+//! materialized [`super::run::run_matrix`].
+//!
+//! * **Lazy expansion** — a mixed-radix *reflected Gray* odometer walks
+//!   the cross product without materializing a `Vec<Scenario>`;
+//!   consecutive positions differ in exactly one axis. The odometer's
+//!   significance order puts the cheapest axes innermost (`cycle_limit`,
+//!   then `mem_latency`/`transfer`/`arbiter`), so almost every step is a
+//!   delta the analysis can exploit. Cell *names* still use the
+//!   lexicographic rank ([`ScenarioMatrix::lex_rank`]), so streaming and
+//!   materialized expansion agree cell-for-cell.
+//! * **Dedup** — the sequential producer fingerprints every cell
+//!   (program fingerprints and builds are cached across the Gray run,
+//!   where only one axis moves at a time) and drops repeats through a
+//!   compact interned-fingerprint set, exactly like the materialized
+//!   runner. Skipped cells fold their changed axes into the next
+//!   emitted cell's delta, keeping the delta chain honest.
+//! * **Work stealing** — `std::thread::scope` workers pull fixed-size
+//!   chunks from the producer. Each worker owns its engines; all
+//!   engines share one [`MemoDomain`] and one warm-start
+//!   [`SolveContext`]. Finished chunks enter a sequencing sink that
+//!   releases them in chunk order, so per-cell output and every
+//!   order-sensitive aggregate are byte-stable for a given spec —
+//!   regardless of worker count or scheduling.
+//! * **Neighbour-incremental analysis** — within a chunk, a cell whose
+//!   accumulated delta is `cycle_limit`-only reuses its predecessor's
+//!   rows wholesale (nothing about the *analysis* changed), and a
+//!   bus/timing-only delta threads the predecessor's
+//!   [`wcet_core::engine::TaskArtifacts`] into
+//!   [`AnalysisEngine::analyze_prior`], skipping re-fingerprinting and
+//!   every hierarchy probe. Chunk boundaries reset the chain (the
+//!   predecessor may live on another worker).
+//! * **Disk memo** — fingerprints resolved by [`DiskCache`] skip
+//!   analysis entirely; fresh fully-bounded cells are appended after the
+//!   run (see [`super::cache`] for the format and corruption rules).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use wcet_core::engine::{AnalysisEngine, MemoDomain, MemoStats, SolverStats};
+use wcet_core::fingerprint::{debug_fingerprint, program_fingerprint};
+use wcet_core::{IpetOptions, SolveContext};
+use wcet_ir::fixpoint::{FixpointSink, FixpointStats};
+use wcet_ir::Program;
+use wcet_sim::machine::SkipStats;
+
+use super::cache::{CachedRow, DiskCache};
+use super::run::{
+    analyze_engine_incremental, analyze_static, build_with_programs, fingerprint_built,
+    fingerprint_unbuildable, parse_programs, validate_cell, BuiltScenario, CellArtifacts,
+    CellOutcome, TaskBound, TaskRow,
+};
+use super::spec::{ScenarioMatrix, AXES_BUS_ONLY, AXIS_CYCLE_LIMIT, NUM_AXES};
+
+/// Cells per work-stealing chunk: long enough to amortize the queue
+/// lock and keep neighbour chains useful (several `cycle_limit` runs),
+/// short enough to spread a small campaign across workers.
+const CHUNK: usize = 64;
+
+/// Delta mask: only the validation budget moved.
+const CYCLE_MASK: u16 = 1 << AXIS_CYCLE_LIMIT;
+/// Delta mask: at most the bus/timing axes (and the validation budget)
+/// moved — every cache-hierarchy input is intact.
+const BUS_MASK: u16 =
+    CYCLE_MASK | (1 << AXES_BUS_ONLY[0]) | (1 << AXES_BUS_ONLY[1]) | (1 << AXES_BUS_ONLY[2]);
+/// The "no usable predecessor" delta (first cell of a chunk).
+const MASK_ALL: u16 = u16::MAX;
+
+/// Gray-odometer significance order, fastest-moving axis first. The
+/// cheaper a delta, the more often it should be the one that moves:
+/// `cycle_limit` (row reuse), then the bus/timing axes (hierarchy
+/// reuse), then the full-recompute axes.
+const GRAY_ORDER: [usize; NUM_AXES] = [
+    AXIS_CYCLE_LIMIT,
+    AXES_BUS_ONLY[2], // mem_latency
+    AXES_BUS_ONLY[1], // transfer
+    AXES_BUS_ONLY[0], // arbiter
+    9,                // mode
+    10,               // analyze
+    8,                // l2 layout
+    7,                // l2 geometry
+    6,                // l1d
+    5,                // l1i
+    11,               // tasks
+    1,                // smt
+    0,                // cores
+];
+
+/// Options of one streaming campaign run.
+#[derive(Debug, Default)]
+pub struct CampaignOptions {
+    /// Worker threads (`0` = one per available core).
+    pub threads: usize,
+    /// Stop after consuming this many odometer positions (duplicates
+    /// included) — the `--limit` smoke bound. `None` runs everything.
+    pub limit: Option<usize>,
+    /// Cross-validate every cell whose seeded hash satisfies
+    /// `hash(seed, lex_rank) % sample_one_in == 0` on the cycle-level
+    /// simulator. `0` disables validation.
+    pub sample_one_in: u64,
+    /// Seed of the deterministic validation sample.
+    pub seed: u64,
+    /// Persistent memo location (`None` = no disk cache).
+    pub cache: Option<PathBuf>,
+    /// Retain every [`CellOutcome`] in [`CampaignRun::cells`] (tests and
+    /// small runs; campaigns should stream instead).
+    pub keep_cells: bool,
+    /// An external warm-start context (see
+    /// [`super::run::MatrixOptions::ctx`]); counters are cumulative when
+    /// shared.
+    pub ctx: Option<Arc<SolveContext>>,
+}
+
+/// The outcome of a streaming campaign.
+#[derive(Debug)]
+pub struct CampaignRun {
+    /// Matrix name.
+    pub matrix: String,
+    /// Full cross-product size (before `limit` and dedup).
+    pub total_cells: usize,
+    /// Odometer positions consumed (`≤ limit`, duplicates included).
+    pub produced: usize,
+    /// Cells analysed or served (post-dedup).
+    pub unique: usize,
+    /// Cells dropped because an earlier cell had the same fingerprint.
+    pub duplicates: usize,
+    /// Unbuildable cells among `unique`.
+    pub errors: usize,
+    /// Cells whose every row carries a bound.
+    pub bounded: usize,
+    /// Cells whose rows were copied from their in-chunk predecessor
+    /// (`cycle_limit`-only delta: the analysis is untouched).
+    pub rows_reused: usize,
+    /// Cells served from the disk memo.
+    pub disk_hits: usize,
+    /// Fresh cells appended to the disk memo.
+    pub disk_appended: usize,
+    /// Disk write-back failure, if any (the run itself is unaffected).
+    pub cache_error: Option<String>,
+    /// Cells replayed on the simulator.
+    pub validated: usize,
+    /// Replayed cells whose every observation satisfied its bound.
+    pub sound: usize,
+    /// Names of cells expected sound that broke their bound — a
+    /// soundness bug if non-empty.
+    pub violations: Vec<String>,
+    /// Memo-table counters of the campaign's shared [`MemoDomain`]
+    /// (including neighbour hits).
+    pub memo: MemoStats,
+    /// Solver effort from the (possibly shared) warm-start context.
+    pub solver: SolverStats,
+    /// Worklist-fixpoint effort across every cache analysis computed.
+    pub fixpoint: FixpointStats,
+    /// Event-skipping effort summed over every validation replay.
+    pub sim_skip: SkipStats,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Every cell outcome, in deterministic emission order
+    /// ([`CampaignOptions::keep_cells`] only).
+    pub cells: Vec<CellOutcome>,
+}
+
+impl CampaignRun {
+    /// Unique cells per wall-clock second (the headline throughput).
+    #[must_use]
+    pub fn cells_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            #[allow(clippy::cast_precision_loss)] // report-only metric
+            {
+                self.unique as f64 / secs
+            }
+        } else {
+            0.0
+        }
+    }
+}
+
+/// SplitMix64: the deterministic sample hash (also a fine general
+/// mixer). Stable across platforms and runs.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The mixed-radix *reflected Gray* odometer: every `step` moves exactly
+/// one axis by ±1, visiting each position of the cross product exactly
+/// once. Axes move in [`GRAY_ORDER`] significance.
+struct GrayOdometer {
+    radices: [usize; NUM_AXES],
+    digits: [usize; NUM_AXES],
+    descending: [bool; NUM_AXES],
+    started: bool,
+    done: bool,
+}
+
+impl GrayOdometer {
+    fn new(radices: [usize; NUM_AXES]) -> GrayOdometer {
+        GrayOdometer {
+            radices,
+            digits: [0; NUM_AXES],
+            descending: [false; NUM_AXES],
+            started: false,
+            done: radices.contains(&0),
+        }
+    }
+
+    /// The next position and the axis that moved (`None` for the first
+    /// position); `None` overall once exhausted.
+    fn step(&mut self) -> Option<([usize; NUM_AXES], Option<usize>)> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some((self.digits, None));
+        }
+        for &axis in &GRAY_ORDER {
+            if self.descending[axis] {
+                if self.digits[axis] > 0 {
+                    self.digits[axis] -= 1;
+                    return Some((self.digits, Some(axis)));
+                }
+            } else if self.digits[axis] + 1 < self.radices[axis] {
+                self.digits[axis] += 1;
+                return Some((self.digits, Some(axis)));
+            }
+            // This axis is pinned at its reflected end: flip its
+            // direction and carry on to the next-more-significant axis.
+            self.descending[axis] = !self.descending[axis];
+        }
+        self.done = true;
+        None
+    }
+}
+
+/// One deduplicated cell, ready for a worker.
+struct WorkItem {
+    scenario: super::spec::Scenario,
+    built: Result<Arc<BuiltScenario>, String>,
+    /// `debug_fingerprint` of the machine (engine cache key), for
+    /// buildable cells.
+    machine_fp: (u64, u64),
+    fingerprint: (u64, u64),
+    /// Axes changed since the previous item of the same chunk
+    /// (accumulated over dedup-skips); [`MASK_ALL`] at chunk start.
+    changed: u16,
+    /// Disk-memo rows, when the fingerprint was already durable.
+    cached: Option<Vec<CachedRow>>,
+    /// Replay this cell on the simulator.
+    sample: bool,
+}
+
+/// Per-task-axis cached parse results (programs and their content
+/// fingerprints are placement-stable across the whole campaign).
+struct ProgramEntry {
+    programs: Result<Vec<Program>, String>,
+    task_fps: Vec<(u64, u64)>,
+}
+
+/// A cached build: the digits of the axes [`build_with_programs`]
+/// reads, the build outcome, and the machine fingerprint.
+type CachedBuild = ([usize; 10], Result<Arc<BuiltScenario>, String>, (u64, u64));
+
+/// The sequential chunk producer behind a mutex: odometer + build cache
+/// + fingerprint dedup + disk-memo probe.
+struct Producer<'m> {
+    matrix: &'m ScenarioMatrix,
+    odo: GrayOdometer,
+    seen: HashSet<(u64, u64)>,
+    programs: HashMap<usize, Arc<ProgramEntry>>,
+    /// Gray locality: the previous build, keyed by the digits of the
+    /// axes [`build_with_programs`] reads. Most steps (cycle_limit,
+    /// mode, analyze) leave it untouched.
+    last_build: Option<CachedBuild>,
+    pending: u16,
+    produced: usize,
+    duplicates: usize,
+    limit: usize,
+    next_chunk: usize,
+    sample_one_in: u64,
+    seed: u64,
+    cache: Arc<DiskCache>,
+}
+
+impl<'m> Producer<'m> {
+    fn new(matrix: &'m ScenarioMatrix, opts: &CampaignOptions, cache: Arc<DiskCache>) -> Self {
+        Producer {
+            matrix,
+            odo: GrayOdometer::new(matrix.radices()),
+            seen: HashSet::new(),
+            programs: HashMap::new(),
+            last_build: None,
+            pending: MASK_ALL,
+            produced: 0,
+            duplicates: 0,
+            limit: opts.limit.unwrap_or(usize::MAX),
+            next_chunk: 0,
+            sample_one_in: opts.sample_one_in,
+            seed: opts.seed,
+            cache,
+        }
+    }
+
+    fn programs_for(&mut self, tasks_digit: usize) -> Arc<ProgramEntry> {
+        let matrix = self.matrix;
+        Arc::clone(self.programs.entry(tasks_digit).or_insert_with(|| {
+            // Any cell of this tasks-axis value parses the same specs;
+            // reconstruct them once via a throw-away cell.
+            let mut digits = [0usize; NUM_AXES];
+            digits[11] = tasks_digit;
+            let scn = matrix.cell_at(&digits);
+            let programs = parse_programs(&scn.tasks);
+            let task_fps = programs
+                .as_deref()
+                .map(|ps| ps.iter().map(program_fingerprint).collect())
+                .unwrap_or_default();
+            Arc::new(ProgramEntry { programs, task_fps })
+        }))
+    }
+
+    fn build(
+        &mut self,
+        digits: &[usize; NUM_AXES],
+    ) -> (Result<Arc<BuiltScenario>, String>, (u64, u64)) {
+        let mut sig = [0usize; 10];
+        sig[..9].copy_from_slice(&digits[..9]);
+        sig[9] = digits[11];
+        if let Some((last_sig, built, fp)) = &self.last_build {
+            if *last_sig == sig {
+                return (built.clone(), *fp);
+            }
+        }
+        let entry = self.programs_for(digits[11]);
+        let scn = self.matrix.cell_at(digits);
+        let built = match &entry.programs {
+            Ok(programs) => build_with_programs(&scn, programs.clone()).map(Arc::new),
+            Err(e) => Err(e.clone()),
+        };
+        let machine_fp = built
+            .as_ref()
+            .map(|b| debug_fingerprint(&b.machine))
+            .unwrap_or_default();
+        self.last_build = Some((sig, built.clone(), machine_fp));
+        (built, machine_fp)
+    }
+
+    /// The next chunk of deduplicated work, or `None` when the campaign
+    /// is exhausted (odometer done or `limit` reached).
+    fn next_chunk(&mut self) -> Option<(usize, Vec<WorkItem>)> {
+        let mut items = Vec::with_capacity(CHUNK);
+        // A chunk may run on any worker: no cross-chunk neighbour chain.
+        self.pending = MASK_ALL;
+        while items.len() < CHUNK && self.produced < self.limit {
+            let Some((digits, moved)) = self.odo.step() else {
+                break;
+            };
+            self.produced += 1;
+            if self.pending != MASK_ALL {
+                match moved {
+                    Some(axis) => self.pending |= 1 << axis,
+                    None => self.pending = MASK_ALL,
+                }
+            }
+            let (built, machine_fp) = self.build(&digits);
+            let scenario = self.matrix.cell_at(&digits);
+            let fingerprint = match &built {
+                Ok(b) => {
+                    let entry = self.programs_for(digits[11]);
+                    fingerprint_built(&scenario, b, &entry.task_fps)
+                }
+                Err(_) => fingerprint_unbuildable(&scenario),
+            };
+            if !self.seen.insert(fingerprint) {
+                self.duplicates += 1;
+                continue;
+            }
+            let cached = self.cache.lookup(fingerprint).map(<[CachedRow]>::to_vec);
+            let sample = self.sample_one_in > 0
+                && splitmix64(self.seed ^ self.matrix.lex_rank(&digits) as u64)
+                    .is_multiple_of(self.sample_one_in);
+            items.push(WorkItem {
+                scenario,
+                built,
+                machine_fp,
+                fingerprint,
+                changed: std::mem::replace(&mut self.pending, 0),
+                cached,
+                sample,
+            });
+        }
+        if items.is_empty() {
+            return None;
+        }
+        let idx = self.next_chunk;
+        self.next_chunk += 1;
+        Some((idx, items))
+    }
+}
+
+/// One worker's finished chunk, handed to the sequencing sink.
+struct ChunkResult {
+    outcomes: Vec<CellOutcome>,
+    /// Fresh `(fingerprint, compact rows)` pairs for disk write-back.
+    fresh: Vec<((u64, u64), Vec<CachedRow>)>,
+    rows_reused: usize,
+    disk_hits: usize,
+    fixpoint: FixpointStats,
+    sim_skip: SkipStats,
+}
+
+/// The per-cell streaming callback, boxed so the sink can hold it.
+type OnCell<'f> = Box<dyn FnMut(&CellOutcome) + Send + 'f>;
+
+/// The order-restoring sink: chunks arrive in any order, aggregates and
+/// the per-cell stream advance strictly in chunk order.
+struct Sink<'f> {
+    next: usize,
+    staged: BTreeMap<usize, ChunkResult>,
+    on_cell: Option<OnCell<'f>>,
+    keep_cells: bool,
+    cells: Vec<CellOutcome>,
+    fresh: Vec<((u64, u64), Vec<CachedRow>)>,
+    unique: usize,
+    errors: usize,
+    bounded: usize,
+    rows_reused: usize,
+    disk_hits: usize,
+    validated: usize,
+    sound: usize,
+    violations: Vec<String>,
+    fixpoint: FixpointStats,
+    sim_skip: SkipStats,
+}
+
+impl Sink<'_> {
+    fn push(&mut self, idx: usize, result: ChunkResult) {
+        self.staged.insert(idx, result);
+        while let Some(result) = self.staged.remove(&self.next) {
+            self.next += 1;
+            self.absorb(result);
+        }
+    }
+
+    fn absorb(&mut self, result: ChunkResult) {
+        self.rows_reused += result.rows_reused;
+        self.disk_hits += result.disk_hits;
+        self.fixpoint.absorb(&result.fixpoint);
+        self.sim_skip.absorb(&result.sim_skip);
+        self.fresh.extend(result.fresh);
+        for outcome in result.outcomes {
+            self.unique += 1;
+            if outcome.error.is_some() {
+                self.errors += 1;
+            } else if outcome.all_bounded() {
+                self.bounded += 1;
+            }
+            if let Some(v) = &outcome.validation {
+                self.validated += 1;
+                if v.all_sound {
+                    self.sound += 1;
+                } else if outcome
+                    .scenario
+                    .mode
+                    .expected_sound(outcome.scenario.tasks.len())
+                {
+                    self.violations.push(outcome.scenario.name.clone());
+                }
+            }
+            if let Some(f) = &mut self.on_cell {
+                f(&outcome);
+            }
+            if self.keep_cells {
+                self.cells.push(outcome);
+            }
+        }
+    }
+}
+
+/// Runs a streaming campaign, discarding each cell after aggregation.
+#[must_use]
+pub fn run_campaign(matrix: &ScenarioMatrix, opts: &CampaignOptions) -> CampaignRun {
+    run_campaign_with(matrix, opts, |_| {})
+}
+
+/// Runs a streaming campaign, handing every cell outcome — in
+/// deterministic emission order — to `on_cell` as soon as its chunk is
+/// sequenced.
+pub fn run_campaign_with(
+    matrix: &ScenarioMatrix,
+    opts: &CampaignOptions,
+    on_cell: impl FnMut(&CellOutcome) + Send,
+) -> CampaignRun {
+    let start = Instant::now();
+    let ctx = opts
+        .ctx
+        .clone()
+        .unwrap_or_else(|| Arc::new(SolveContext::new()));
+    let memo = Arc::new(MemoDomain::new());
+    let cache = Arc::new(match &opts.cache {
+        Some(path) => DiskCache::open(path),
+        None => DiskCache::disabled(),
+    });
+    let ipet = IpetOptions::default();
+    let workers = match opts.threads {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        n => n,
+    };
+    let producer = Mutex::new(Producer::new(matrix, opts, Arc::clone(&cache)));
+    let sink = Mutex::new(Sink {
+        next: 0,
+        staged: BTreeMap::new(),
+        on_cell: Some(Box::new(on_cell)),
+        keep_cells: opts.keep_cells,
+        cells: Vec::new(),
+        fresh: Vec::new(),
+        unique: 0,
+        errors: 0,
+        bounded: 0,
+        rows_reused: 0,
+        disk_hits: 0,
+        validated: 0,
+        sound: 0,
+        violations: Vec::new(),
+        fixpoint: FixpointStats::default(),
+        sim_skip: SkipStats::default(),
+    });
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut engines: HashMap<(u64, u64), AnalysisEngine> = HashMap::new();
+                loop {
+                    let chunk = producer.lock().expect("producer lock").next_chunk();
+                    let Some((idx, items)) = chunk else { break };
+                    let result = process_chunk(items, &mut engines, &memo, &ctx, &ipet);
+                    sink.lock().expect("sink lock").push(idx, result);
+                }
+            });
+        }
+    });
+
+    let producer = producer.into_inner().expect("producer lock");
+    let sink = sink.into_inner().expect("sink lock");
+    debug_assert!(sink.staged.is_empty(), "every chunk must have flushed");
+    let (disk_appended, cache_error) = match cache.append(&sink.fresh) {
+        Ok(n) => (n, None),
+        Err(e) => (0, Some(e.to_string())),
+    };
+    let ctx_stats = ctx.stats();
+    let mut fixpoint = sink.fixpoint;
+    fixpoint.absorb(&memo.fixpoint_stats());
+    CampaignRun {
+        matrix: matrix.name.clone(),
+        total_cells: matrix.num_cells(),
+        produced: producer.produced,
+        unique: sink.unique,
+        duplicates: producer.duplicates,
+        errors: sink.errors,
+        bounded: sink.bounded,
+        rows_reused: sink.rows_reused,
+        disk_hits: sink.disk_hits,
+        disk_appended,
+        cache_error,
+        validated: sink.validated,
+        sound: sink.sound,
+        violations: sink.violations,
+        memo: memo.stats(),
+        solver: SolverStats {
+            warm_hits: ctx_stats.warm_hits,
+            cold_solves: ctx_stats.cold_solves,
+            totals: ctx.totals(),
+        },
+        fixpoint,
+        sim_skip: sink.sim_skip,
+        wall: start.elapsed(),
+        cells: sink.cells,
+    }
+}
+
+/// Runs one chunk's cells in order, threading the neighbour chain.
+fn process_chunk(
+    items: Vec<WorkItem>,
+    engines: &mut HashMap<(u64, u64), AnalysisEngine>,
+    memo: &Arc<MemoDomain>,
+    ctx: &Arc<SolveContext>,
+    ipet: &IpetOptions,
+) -> ChunkResult {
+    let fix = FixpointSink::new();
+    let mut result = ChunkResult {
+        outcomes: Vec::with_capacity(items.len()),
+        fresh: Vec::new(),
+        rows_reused: 0,
+        disk_hits: 0,
+        fixpoint: FixpointStats::default(),
+        sim_skip: SkipStats::default(),
+    };
+    // The in-chunk neighbour chain: the previous cell's rows (valid
+    // while only `cycle_limit` moves) and engine artifacts (valid while
+    // only bus/timing axes move).
+    let mut last_rows: Option<Vec<TaskRow>> = None;
+    let mut last_arts: Option<CellArtifacts> = None;
+    for item in items {
+        let built = match item.built {
+            Ok(b) => b,
+            Err(e) => {
+                last_rows = None;
+                last_arts = None;
+                result.outcomes.push(CellOutcome {
+                    scenario: item.scenario,
+                    fingerprint: item.fingerprint,
+                    rows: Vec::new(),
+                    validation: None,
+                    validation_skipped: None,
+                    error: Some(e),
+                });
+                continue;
+            }
+        };
+        let scn = &item.scenario;
+        let rows = if let Some(cached) = item.cached {
+            // Disk memo: rows are prefabricated (bounds only, no
+            // report). The analysis chain breaks here — artifacts were
+            // never computed — but row reuse stays valid.
+            result.disk_hits += 1;
+            last_arts = None;
+            cached
+                .into_iter()
+                .map(|r| TaskRow {
+                    task: r.task,
+                    core: r.core,
+                    thread: r.thread,
+                    mode: r.mode,
+                    outcome: Ok(TaskBound {
+                        wcet: r.wcet,
+                        report: None,
+                    }),
+                })
+                .collect()
+        } else if (item.changed & !CYCLE_MASK) == 0 && last_rows.is_some() {
+            // Only the validation budget moved: the analysis — and
+            // therefore every row — is the predecessor's. Artifacts
+            // stay valid too (the machine is untouched).
+            result.rows_reused += 1;
+            last_rows.clone().expect("checked above")
+        } else if scn.mode.is_static_family() {
+            last_arts = None;
+            analyze_static(scn, &built, ipet, ctx, &fix)
+        } else {
+            let engine = engines.entry(item.machine_fp).or_insert_with(|| {
+                AnalysisEngine::new(built.machine.clone())
+                    .with_solve_context(Arc::clone(ctx))
+                    .with_memo(Arc::clone(memo))
+            });
+            let prior = if (item.changed & !BUS_MASK) == 0 {
+                last_arts.as_ref()
+            } else {
+                None
+            };
+            let (rows, arts) = analyze_engine_incremental(scn, &built, engine, prior);
+            last_arts = Some(arts);
+            rows
+        };
+        let mut outcome = CellOutcome {
+            scenario: item.scenario,
+            fingerprint: item.fingerprint,
+            rows,
+            validation: None,
+            validation_skipped: None,
+            error: None,
+        };
+        if item.sample {
+            validate_cell(&built, &mut outcome, &mut result.sim_skip);
+        }
+        if outcome.all_bounded() && !result_has(&result.fresh, item.fingerprint) {
+            result.fresh.push((
+                item.fingerprint,
+                outcome
+                    .rows
+                    .iter()
+                    .map(|r| CachedRow {
+                        task: r.task.clone(),
+                        core: r.core,
+                        thread: r.thread,
+                        mode: r.mode.clone(),
+                        wcet: r.outcome.as_ref().expect("all_bounded").wcet,
+                    })
+                    .collect(),
+            ));
+        }
+        last_rows = Some(outcome.rows.clone());
+        result.outcomes.push(outcome);
+    }
+    result.fixpoint.absorb(&fix.total());
+    result
+}
+
+/// True when `fresh` already carries `fp` — only possible for disk-memo
+/// hits, which are never re-appended (the producer deduplicates
+/// fingerprints, so fresh cells are unique by construction).
+fn result_has(fresh: &[((u64, u64), Vec<CachedRow>)], fp: (u64, u64)) -> bool {
+    fresh.iter().any(|(f, _)| *f == fp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_odometer_visits_every_cell_once_one_axis_at_a_time() {
+        let mut radices = [1usize; NUM_AXES];
+        radices[0] = 2;
+        radices[4] = 3;
+        radices[9] = 2;
+        radices[12] = 4;
+        let total: usize = radices.iter().product();
+        let mut odo = GrayOdometer::new(radices);
+        let mut seen = HashSet::new();
+        let mut prev: Option<[usize; NUM_AXES]> = None;
+        while let Some((digits, moved)) = odo.step() {
+            assert!(seen.insert(digits), "position repeated: {digits:?}");
+            match (prev, moved) {
+                (None, None) => {}
+                (Some(p), Some(axis)) => {
+                    let diffs: Vec<usize> = (0..NUM_AXES).filter(|&a| p[a] != digits[a]).collect();
+                    assert_eq!(diffs, vec![axis], "exactly the moved axis differs");
+                    assert_eq!(
+                        p[axis].abs_diff(digits[axis]),
+                        1,
+                        "axes move by single steps"
+                    );
+                }
+                other => panic!("inconsistent step report: {other:?}"),
+            }
+            prev = Some(digits);
+        }
+        assert_eq!(seen.len(), total, "every cross-product position visited");
+        assert!(odo.step().is_none(), "exhaustion is terminal");
+    }
+
+    #[test]
+    fn splitmix_is_stable() {
+        // The on-disk sample selection must never drift between builds.
+        assert_eq!(splitmix64(0), 0xe220_a839_7b1d_cdaf);
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

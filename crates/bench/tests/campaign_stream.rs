@@ -1,0 +1,305 @@
+//! Streaming-campaign guarantees:
+//!
+//! 1. the streaming pipeline is *semantics-preserving*: on the
+//!    checked-in example matrix and on random proptest matrices, the
+//!    deduplicated fingerprint set and every per-cell row (bounds,
+//!    reports, errors — byte-identical `Debug`) match the materialized
+//!    [`run_matrix`] runner;
+//! 2. the per-cell output order is deterministic — independent of the
+//!    worker count — and re-runs byte-identically;
+//! 3. the disk memo round-trips: a warm run serves every bounded cell
+//!    with identical bounds, and corrupted or alien cache files fall
+//!    back to recomputation instead of poisoning results;
+//! 4. the checked-in `campaign.scn` is a genuine 10⁵-cell campaign and
+//!    a limited streaming run over it stays sound.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use wcet_bench::scenario::run::TaskRow;
+use wcet_bench::scenario::{
+    parse_matrix, run_campaign, run_campaign_with, run_matrix, CampaignOptions, CampaignRun,
+    MatrixOptions, ScenarioMatrix,
+};
+
+/// Fingerprint → `Debug`-rendered rows of a materialized run.
+fn materialized_rows(matrix: &ScenarioMatrix) -> BTreeMap<(u64, u64), String> {
+    let run = run_matrix(matrix, &MatrixOptions::default());
+    run.cells
+        .iter()
+        .map(|c| (c.fingerprint, format!("{:?}", c.rows)))
+        .collect()
+}
+
+/// Per-fingerprint `(task, bound-or-error)` projection of streamed rows
+/// — the strongest comparison that survives disk-cache row compaction
+/// (cached rows carry bounds but no attached reports).
+fn row_projection(rows: &[TaskRow]) -> Vec<(String, Result<u64, String>)> {
+    rows.iter()
+        .map(|r| {
+            (
+                format!("{}@{}.{}/{}", r.task, r.core, r.thread, r.mode),
+                r.outcome.as_ref().map(|b| b.wcet).map_err(Clone::clone),
+            )
+        })
+        .collect()
+}
+
+type Projection = BTreeMap<(u64, u64), Vec<(String, Result<u64, String>)>>;
+
+/// Everything [`streaming_rows`] collects: fingerprint → rendered rows,
+/// fingerprint → bound projection, the emission-ordered byte stream
+/// (for determinism checks) and the run itself.
+type Streamed = (
+    BTreeMap<(u64, u64), String>,
+    Projection,
+    Vec<String>,
+    CampaignRun,
+);
+
+/// Fingerprint → `Debug`-rendered rows and fingerprint → bound
+/// projection of a streaming run, plus the emission-ordered byte stream
+/// (for determinism checks) and the run itself.
+fn streaming_rows(matrix: &ScenarioMatrix, opts: &CampaignOptions) -> Streamed {
+    type Collected = (BTreeMap<(u64, u64), String>, Projection, Vec<String>);
+    let collected: Mutex<Collected> = Mutex::default();
+    let run = run_campaign_with(matrix, opts, |cell| {
+        let rendered = format!("{:?}", cell.rows);
+        let mut c = collected.lock().expect("collector lock");
+        c.2.push(format!("{} {rendered}", cell.scenario.name));
+        c.1.insert(cell.fingerprint, row_projection(&cell.rows));
+        c.0.insert(cell.fingerprint, rendered);
+    });
+    let (by_fp, projection, ordered) = collected.into_inner().expect("collector lock");
+    (by_fp, projection, ordered, run)
+}
+
+#[test]
+fn example_matrix_streaming_equals_materialized() {
+    let matrix = parse_matrix(include_str!("../../../scenarios/example.scn")).expect("parses");
+    let materialized = materialized_rows(&matrix);
+    let (streamed, _, _, run) = streaming_rows(&matrix, &CampaignOptions::default());
+    assert_eq!(run.unique, materialized.len());
+    assert_eq!(
+        streamed, materialized,
+        "streaming and materialized runs must agree on every cell"
+    );
+}
+
+#[test]
+fn output_order_is_deterministic_across_worker_counts() {
+    let matrix = parse_matrix(include_str!("../../../scenarios/example.scn")).expect("parses");
+    let opts = |threads| CampaignOptions {
+        threads,
+        sample_one_in: 3,
+        ..CampaignOptions::default()
+    };
+    let (_, _, one_worker, _) = streaming_rows(&matrix, &opts(1));
+    let (_, _, four_workers, _) = streaming_rows(&matrix, &opts(4));
+    let (_, _, again, _) = streaming_rows(&matrix, &opts(4));
+    assert!(!one_worker.is_empty());
+    assert_eq!(
+        one_worker, four_workers,
+        "worker count must not change the emitted cell stream"
+    );
+    assert_eq!(four_workers, again, "re-runs must be byte-identical");
+}
+
+#[test]
+fn limit_caps_the_expansion() {
+    let matrix = parse_matrix(include_str!("../../../scenarios/example.scn")).expect("parses");
+    let run = run_campaign(
+        &matrix,
+        &CampaignOptions {
+            limit: Some(5),
+            ..CampaignOptions::default()
+        },
+    );
+    assert_eq!(run.produced, 5);
+    assert_eq!(run.unique + run.duplicates, 5);
+    assert_eq!(run.total_cells, matrix.num_cells());
+}
+
+#[test]
+fn disk_cache_round_trips_and_tolerates_corruption() {
+    let matrix = parse_matrix(
+        "name = memo\ncores = 2\narbiter = [rr, tdma:10]\nmode = [isolated, joint]\n\
+         cycle_limit = [100000, 200000]\ntasks = \"fir:2x4 crc:16\"\n",
+    )
+    .expect("parses");
+    let dir = std::env::temp_dir().join(format!("wcet-campaign-roundtrip-{}", std::process::id()));
+    let path = dir.join("memo.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let opts = || CampaignOptions {
+        cache: Some(path.clone()),
+        ..CampaignOptions::default()
+    };
+
+    let (_, cold_bounds, _, cold) = streaming_rows(&matrix, &opts());
+    assert_eq!(cold.disk_hits, 0, "first run is cold");
+    assert_eq!(cold.disk_appended, cold.bounded);
+    assert!(cold.disk_appended > 0);
+
+    // Disk-served rows drop their attached reports (bounds only), so
+    // compare the (task, wcet) projection, which must match exactly.
+    let (_, warm_bounds, _, warm) = streaming_rows(&matrix, &opts());
+    assert_eq!(warm.disk_hits, warm.unique, "warm run is fully disk-served");
+    assert_eq!(warm.disk_appended, 0);
+    assert_eq!(
+        cold_bounds, warm_bounds,
+        "warm bounds must equal cold bounds"
+    );
+
+    // Corrupt the tail (a torn append) — the next run must still serve
+    // every intact entry and skip the garbage.
+    let mut text = std::fs::read_to_string(&path).expect("cache exists");
+    text.push_str("{\"fp\":\"zz\"}\nnot json at all\n");
+    std::fs::write(&path, &text).expect("writes");
+    let (_, corrupt_bounds, _, corrupt) = streaming_rows(&matrix, &opts());
+    assert_eq!(corrupt.disk_hits, warm.disk_hits, "intact entries survive");
+    assert_eq!(corrupt_bounds, warm_bounds);
+
+    // An alien schema falls back to a cold run (identical bounds) and
+    // the write-back replaces the file.
+    std::fs::write(&path, "{\"kind\":\"wcet-campaign-memo\",\"schema\":99}\n").expect("writes");
+    let (_, alien_bounds, _, alien) = streaming_rows(&matrix, &opts());
+    assert_eq!(alien.disk_hits, 0, "alien schema must not be trusted");
+    assert_eq!(alien.disk_appended, alien.bounded);
+    assert_eq!(alien_bounds, cold_bounds);
+    let replaced = std::fs::read_to_string(&path).expect("cache exists");
+    assert!(replaced.starts_with("{\"kind\":\"wcet-campaign-memo\",\"schema\":1}"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn campaign_matrix_is_a_six_figure_campaign_and_streams_soundly() {
+    let matrix = parse_matrix(include_str!("../../../scenarios/campaign.scn")).expect("parses");
+    assert!(
+        matrix.num_cells() >= 100_000,
+        "campaign.scn must be a ≥100k-cell campaign, got {}",
+        matrix.num_cells()
+    );
+    let run = run_campaign(
+        &matrix,
+        &CampaignOptions {
+            limit: Some(3000),
+            sample_one_in: 200,
+            seed: 7,
+            ..CampaignOptions::default()
+        },
+    );
+    assert_eq!(run.produced, 3000);
+    assert!(run.bounded > 0, "the campaign must produce bounds");
+    assert!(
+        run.rows_reused > 0,
+        "cycle_limit-only neighbours must reuse rows"
+    );
+    assert!(
+        run.memo.neighbor_hits > 0,
+        "bus-delta neighbours must reuse fixpoint artifacts"
+    );
+    assert!(run.validated > 0, "the seeded sample must pick cells");
+    assert_eq!(
+        run.violations,
+        Vec::<String>::new(),
+        "sampled cells must all be sound"
+    );
+}
+
+const ARB_EXTRAS: [&str; 4] = ["tdma:12", "mbba:2-1@12", "wheel:16", "fp:0"];
+const L2S: [&str; 3] = ["shared", "partitioned", "none"];
+const MODE_PAIRS: [&str; 3] = [
+    "[isolated, joint]",
+    "[isolated, static-ctrl]",
+    "[solo, isolated]",
+];
+const LIMIT_AXES: [&str; 2] = ["100000", "[100000, 200000]"];
+const MEMO_ARBS: [&str; 3] = ["rr", "tdma:12", "wheel:16"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random matrices with duplicate-inducing axes: streaming dedup +
+    /// analysis must agree with the materialized runner on the
+    /// fingerprint set and on every cell's rows, byte for byte.
+    #[test]
+    fn streaming_equals_materialized_on_random_matrices(
+        seed in 0u64..500,
+        cores in 1usize..=2,
+        arb_idx in 0usize..ARB_EXTRAS.len(),
+        l2_idx in 0usize..L2S.len(),
+        mode_idx in 0usize..MODE_PAIRS.len(),
+        limit_idx in 0usize..LIMIT_AXES.len(),
+    ) {
+        let (arb_extra, l2, modes, limits) = (
+            ARB_EXTRAS[arb_idx], L2S[l2_idx], MODE_PAIRS[mode_idx], LIMIT_AXES[limit_idx],
+        );
+        // `l2 = none` × two geometries forces duplicates through the
+        // dedup path; two cycle limits force row-reuse deltas.
+        let spec = format!(
+            "name = prop\ncores = {cores}\narbiter = [rr, {arb_extra}]\n\
+             l2_geom = [64x4x32@4, 128x4x32@4]\nl2 = {l2}\nmode = {modes}\n\
+             cycle_limit = {limits}\ntasks = rand:{seed}\n",
+        );
+        let matrix = parse_matrix(&spec).expect("spec parses");
+        let materialized = run_matrix(&matrix, &MatrixOptions::default());
+        let (_, _, _, streamed) = streaming_rows(
+            &matrix,
+            &CampaignOptions { threads: 3, keep_cells: true, ..CampaignOptions::default() },
+        );
+        prop_assert_eq!(streamed.unique + streamed.duplicates, matrix.num_cells());
+        prop_assert_eq!(streamed.unique, materialized.cells.len());
+        prop_assert_eq!(streamed.duplicates, materialized.duplicates);
+
+        let mat_by_fp: BTreeMap<_, _> = materialized
+            .cells
+            .iter()
+            .map(|c| (c.fingerprint, format!("{:?}", c.rows)))
+            .collect();
+        let str_by_fp: BTreeMap<_, _> = streamed
+            .cells
+            .iter()
+            .map(|c| (c.fingerprint, format!("{:?}", c.rows)))
+            .collect();
+        prop_assert_eq!(str_by_fp, mat_by_fp);
+    }
+
+    /// The disk memo on random matrices: cold, warm, and
+    /// corrupted-then-recovered runs all agree on every bound.
+    #[test]
+    fn disk_cache_agrees_on_random_matrices(
+        seed in 0u64..500,
+        arb_idx in 0usize..MEMO_ARBS.len(),
+    ) {
+        let arb = MEMO_ARBS[arb_idx];
+        let spec = format!(
+            "name = prop-memo\ncores = 2\narbiter = {arb}\nmode = [isolated, joint]\n\
+             cycle_limit = [100000, 200000]\ntasks = rand:{seed}\n",
+        );
+        let matrix = parse_matrix(&spec).expect("spec parses");
+        let dir = std::env::temp_dir().join(format!(
+            "wcet-campaign-prop-{}-{seed}-{arb_idx}",
+            std::process::id()
+        ));
+        let path = dir.join("memo.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let opts = || CampaignOptions {
+            cache: Some(path.clone()),
+            keep_cells: true,
+            ..CampaignOptions::default()
+        };
+        let cold = run_campaign(&matrix, &opts());
+        let warm = run_campaign(&matrix, &opts());
+        prop_assert_eq!(cold.disk_hits, 0);
+        prop_assert_eq!(warm.disk_hits, cold.bounded);
+        let project = |run: &CampaignRun| -> Projection {
+            run.cells
+                .iter()
+                .map(|c| (c.fingerprint, row_projection(&c.rows)))
+                .collect()
+        };
+        prop_assert_eq!(project(&cold), project(&warm));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -36,16 +36,19 @@ use wcet_ilp::SolveStats;
 use wcet_ir::fixpoint::FixpointStats;
 use wcet_ir::Program;
 use wcet_pipeline::cost::{block_costs, BlockCosts, CoreMode, CostInput};
+use wcet_pipeline::{MemTimings, PipelineConfig};
 use wcet_sched::TaskSet;
 use wcet_sim::config::MachineConfig;
 
 use crate::analyzer::{build_report, AnalysisError, Analyzer, TaskContext, WcetReport};
-use crate::fingerprint::program_fingerprint;
+use crate::fingerprint::{debug_fingerprint, program_fingerprint};
 use crate::ipet::{wcet_ipet_ctx, IpetOptions, SolveContext, WcetBound};
 use crate::mode::AnalysisMode;
 
 /// Memo key of one hierarchy fixpoint: the task's content fingerprint plus
-/// everything [`analyze_hierarchy`] reads from the context.
+/// everything [`analyze_hierarchy`] reads from the context. Deliberately
+/// machine-independent (no arbiter, bus or memory timing members), so one
+/// [`MemoDomain`] can serve engines over many machines.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct HierKey {
     task: (u64, u64),
@@ -87,14 +90,27 @@ impl L2Key {
     }
 }
 
-/// Memo key of block costs and IPET bounds: the hierarchy plus the two
-/// remaining cost inputs that vary per task context (pipeline geometry and
-/// timings are fixed by the engine's machine).
+/// Memo key of block costs: the hierarchy plus every remaining cost
+/// input. Timing and pipeline members make the key machine-independent
+/// (a [`MemoDomain`] shared across engines over different machines never
+/// aliases two distinct cost tables); the hierarchy half rides behind an
+/// `Arc` so cloning a key into the table is cheap.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CostKey {
-    hier: HierKey,
+    hier: Arc<HierKey>,
     bus_wait_bound: Option<u64>,
     mode: CoreMode,
+    timings: MemTimings,
+    pipeline: PipelineConfig,
+}
+
+/// Memo key of IPET bounds: the cost key plus the IPET options'
+/// fingerprint (options change the solve, so engines with different
+/// options sharing one [`MemoDomain`] must not alias bounds).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct BoundKey {
+    cost: CostKey,
+    options: (u64, u64),
 }
 
 /// Monotonic hit/miss counters for one memo table.
@@ -134,10 +150,15 @@ pub struct MemoStats {
     pub bound_hits: u64,
     /// IPET bounds solved.
     pub bound_misses: u64,
+    /// Hierarchy fixpoints reused straight from a neighbouring cell's
+    /// [`TaskArtifacts`] — no re-fingerprinting, no key construction, no
+    /// table probe (see [`AnalysisEngine::analyze_prior`]).
+    pub neighbor_hits: u64,
 }
 
 impl MemoStats {
-    /// Total lookups across all three tables.
+    /// Total lookups across all tables (neighbour reuses count: they
+    /// answer the same question a hierarchy probe would).
     #[must_use]
     pub fn lookups(&self) -> u64 {
         self.hierarchy_hits
@@ -148,12 +169,13 @@ impl MemoStats {
             + self.cost_misses
             + self.bound_hits
             + self.bound_misses
+            + self.neighbor_hits
     }
 
-    /// Total hits across all four tables.
+    /// Total hits across all tables, neighbour reuses included.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hierarchy_hits + self.l1_hits + self.cost_hits + self.bound_hits
+        self.hierarchy_hits + self.l1_hits + self.cost_hits + self.bound_hits + self.neighbor_hits
     }
 }
 
@@ -218,19 +240,85 @@ impl SolverStats {
     }
 }
 
+/// The shared memo tables of one or more [`AnalysisEngine`]s.
+///
+/// Every key is machine-independent (geometry, timings and interference
+/// are key members, never implied by "the engine's machine"), so a
+/// scenario sweep can hand one domain to an engine per machine and every
+/// fixpoint, cost table and bound is computed once across the whole
+/// sweep. A domain is internally locked; sharing is `Arc`-cheap.
+#[derive(Debug, Default)]
+pub struct MemoDomain {
+    hierarchies: RwLock<HashMap<Arc<HierKey>, Arc<HierarchyAnalysis>>>,
+    l1s: RwLock<HashMap<L1Key, Arc<(CacheAnalysis, CacheAnalysis)>>>,
+    costs: RwLock<HashMap<CostKey, Arc<BlockCosts>>>,
+    bounds: RwLock<HashMap<BoundKey, WcetBound>>,
+    hier_stats: TableStats,
+    l1_stats: TableStats,
+    cost_stats: TableStats,
+    bound_stats: TableStats,
+    neighbor_hits: AtomicU64,
+    /// Worklist-fixpoint effort summed over every cache analysis computed
+    /// into this domain (memo hits add nothing).
+    fix_totals: Mutex<FixpointStats>,
+}
+
+impl MemoDomain {
+    /// An empty domain.
+    #[must_use]
+    pub fn new() -> MemoDomain {
+        MemoDomain::default()
+    }
+
+    /// Current memoization counters, summed over every engine feeding
+    /// this domain.
+    #[must_use]
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hierarchy_hits: self.hier_stats.hits.load(Ordering::Relaxed),
+            hierarchy_misses: self.hier_stats.misses.load(Ordering::Relaxed),
+            l1_hits: self.l1_stats.hits.load(Ordering::Relaxed),
+            l1_misses: self.l1_stats.misses.load(Ordering::Relaxed),
+            cost_hits: self.cost_stats.hits.load(Ordering::Relaxed),
+            cost_misses: self.cost_stats.misses.load(Ordering::Relaxed),
+            bound_hits: self.bound_stats.hits.load(Ordering::Relaxed),
+            bound_misses: self.bound_stats.misses.load(Ordering::Relaxed),
+            neighbor_hits: self.neighbor_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Worklist-fixpoint effort (blocks evaluated vs the naive-sweep
+    /// equivalent) across every cache analysis computed into this domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread died while holding the stats lock.
+    #[must_use]
+    pub fn fixpoint_stats(&self) -> FixpointStats {
+        *self.fix_totals.lock().expect("fixpoint stats lock")
+    }
+}
+
+/// The hierarchy-level intermediates of one analysed task, handed back by
+/// [`AnalysisEngine::analyze_prior`] so a *neighbouring* cell (one whose
+/// delta provably leaves the cache-hierarchy inputs unchanged — e.g. an
+/// arbiter or memory-latency step) can reuse them without re-hashing the
+/// program or re-probing the memo tables.
+#[derive(Debug, Clone)]
+pub struct TaskArtifacts {
+    hier_key: Arc<HierKey>,
+    hierarchy: Arc<HierarchyAnalysis>,
+}
+
 /// The memoizing, parallel batch analyser. See the [module docs](self).
 #[derive(Debug)]
 pub struct AnalysisEngine {
     analyzer: Analyzer,
     threads: Option<NonZeroUsize>,
-    hierarchies: RwLock<HashMap<HierKey, Arc<HierarchyAnalysis>>>,
-    l1s: RwLock<HashMap<L1Key, Arc<(CacheAnalysis, CacheAnalysis)>>>,
-    costs: RwLock<HashMap<CostKey, Arc<BlockCosts>>>,
-    bounds: RwLock<HashMap<CostKey, WcetBound>>,
-    hier_stats: TableStats,
-    l1_stats: TableStats,
-    cost_stats: TableStats,
-    bound_stats: TableStats,
+    /// All memo tables live here; see [`MemoDomain`] for sharing.
+    memo: Arc<MemoDomain>,
+    /// Fingerprint of the analyser's IPET options, a [`BoundKey`] member.
+    options_fp: (u64, u64),
     /// Warm-start basis cache threaded through every IPET solve. Keyed
     /// by task content only, so it survives `with_options` (options
     /// change the solve, never the constraint system the basis is for)
@@ -239,9 +327,6 @@ pub struct AnalysisEngine {
     /// warm-starts every re-solve of a known task).
     solve_ctx: Arc<SolveContext>,
     solver_totals: Mutex<SolveStats>,
-    /// Worklist-fixpoint effort summed over every cache analysis this
-    /// engine actually computed (memo hits add nothing).
-    fix_totals: Mutex<FixpointStats>,
 }
 
 impl AnalysisEngine {
@@ -255,20 +340,14 @@ impl AnalysisEngine {
     /// Wraps an existing analyser (keeping its IPET options).
     #[must_use]
     pub fn from_analyzer(analyzer: Analyzer) -> AnalysisEngine {
+        let options_fp = debug_fingerprint(analyzer.options());
         AnalysisEngine {
             analyzer,
             threads: None,
-            hierarchies: RwLock::new(HashMap::new()),
-            l1s: RwLock::new(HashMap::new()),
-            costs: RwLock::new(HashMap::new()),
-            bounds: RwLock::new(HashMap::new()),
-            hier_stats: TableStats::default(),
-            l1_stats: TableStats::default(),
-            cost_stats: TableStats::default(),
-            bound_stats: TableStats::default(),
+            memo: Arc::new(MemoDomain::new()),
+            options_fp,
             solve_ctx: Arc::new(SolveContext::new()),
             solver_totals: Mutex::new(SolveStats::default()),
-            fix_totals: Mutex::new(FixpointStats::default()),
         }
     }
 
@@ -286,12 +365,31 @@ impl AnalysisEngine {
         self
     }
 
-    /// Overrides the IPET options (builder-style). Clears the memo: bounds
-    /// depend on the options.
+    /// Replaces the memo domain with a shared one (builder-style), so
+    /// several engines — e.g. one per machine of a scenario sweep —
+    /// pool their fixpoints, cost tables and bounds. Results are
+    /// unchanged (every key is machine-independent and deterministic);
+    /// only repeated work disappears. Aggregate [`MemoDomain::stats`]
+    /// once per shared domain, not per engine.
+    #[must_use]
+    pub fn with_memo(mut self, memo: Arc<MemoDomain>) -> AnalysisEngine {
+        self.memo = memo;
+        self
+    }
+
+    /// The engine's memo domain (shared or private).
+    #[must_use]
+    pub fn memo(&self) -> &Arc<MemoDomain> {
+        &self.memo
+    }
+
+    /// Overrides the IPET options (builder-style). Memoized bounds are
+    /// keyed by an options fingerprint, so previously cached bounds stay
+    /// valid (and shared domains are never cross-contaminated).
     #[must_use]
     pub fn with_options(mut self, options: IpetOptions) -> AnalysisEngine {
         self.analyzer = self.analyzer.clone().with_options(options);
-        self.bounds = RwLock::new(HashMap::new());
+        self.options_fp = debug_fingerprint(self.analyzer.options());
         self
     }
 
@@ -315,19 +413,11 @@ impl AnalysisEngine {
         self.analyzer.machine()
     }
 
-    /// Current memoization counters.
+    /// Current memoization counters (of the engine's — possibly shared —
+    /// [`MemoDomain`]).
     #[must_use]
     pub fn memo_stats(&self) -> MemoStats {
-        MemoStats {
-            hierarchy_hits: self.hier_stats.hits.load(Ordering::Relaxed),
-            hierarchy_misses: self.hier_stats.misses.load(Ordering::Relaxed),
-            l1_hits: self.l1_stats.hits.load(Ordering::Relaxed),
-            l1_misses: self.l1_stats.misses.load(Ordering::Relaxed),
-            cost_hits: self.cost_stats.hits.load(Ordering::Relaxed),
-            cost_misses: self.cost_stats.misses.load(Ordering::Relaxed),
-            bound_hits: self.bound_stats.hits.load(Ordering::Relaxed),
-            bound_misses: self.bound_stats.misses.load(Ordering::Relaxed),
-        }
+        self.memo.stats()
     }
 
     /// Current ILP-solver effort counters (warm-start hits, pivots,
@@ -347,14 +437,15 @@ impl AnalysisEngine {
     }
 
     /// Worklist-fixpoint effort (blocks evaluated vs the naive-sweep
-    /// equivalent) across every cache analysis this engine computed.
+    /// equivalent) across every cache analysis computed into the engine's
+    /// memo domain.
     ///
     /// # Panics
     ///
     /// Panics if a thread died while holding the stats lock.
     #[must_use]
     pub fn fixpoint_stats(&self) -> FixpointStats {
-        *self.fix_totals.lock().expect("fixpoint stats lock")
+        self.memo.fixpoint_stats()
     }
 
     /// Analyses one task under `mode`, reusing every memoized
@@ -371,10 +462,37 @@ impl AnalysisEngine {
         thread: usize,
         mode: &dyn AnalysisMode,
     ) -> Result<WcetReport, AnalysisError> {
+        self.analyze_prior(program, core, thread, mode, None)
+            .map(|(report, _)| report)
+    }
+
+    /// Like [`AnalysisEngine::analyze`], but additionally returns the
+    /// task's [`TaskArtifacts`], and accepts the artifacts of a
+    /// *neighbouring* analysis whose hierarchy inputs are known-identical.
+    ///
+    /// With `prior: Some(art)` the engine skips program fingerprinting,
+    /// hierarchy-key construction and the hierarchy memo probe entirely
+    /// and reuses `art`'s fixpoints — the caller asserts that nothing the
+    /// hierarchy reads (task content, L1/L2 geometry, locking, bypass,
+    /// interference shift, core mode's partition view) differs from the
+    /// prior analysis; only bus/memory timings and the IPET side may
+    /// differ. Debug builds verify the assertion by recomputing the key.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn analyze_prior(
+        &self,
+        program: &Program,
+        core: usize,
+        thread: usize,
+        mode: &dyn AnalysisMode,
+        prior: Option<&TaskArtifacts>,
+    ) -> Result<(WcetReport, TaskArtifacts), AnalysisError> {
         let shift = mode.l2_shift(self.machine());
         let bus = mode.bus_bound(&self.analyzer, core, thread);
         let ctx = self.analyzer.task_context(core, thread, shift, bus)?;
-        self.analyze_in_context(program, &ctx, mode.name())
+        self.analyze_ctx_prior(program, &ctx, mode.name(), prior)
     }
 
     /// The memoized equivalent of [`Analyzer::analyze_with_context`].
@@ -388,26 +506,59 @@ impl AnalysisEngine {
         ctx: &TaskContext,
         mode_name: &str,
     ) -> Result<WcetReport, AnalysisError> {
-        let hier_key = HierKey {
-            task: program_fingerprint(program),
-            l1i: ctx.l1i,
-            l1d: ctx.l1d,
-            l2: ctx.l2.as_ref().map(L2Key::of),
+        self.analyze_ctx_prior(program, ctx, mode_name, None)
+            .map(|(report, _)| report)
+    }
+
+    fn analyze_ctx_prior(
+        &self,
+        program: &Program,
+        ctx: &TaskContext,
+        mode_name: &str,
+        prior: Option<&TaskArtifacts>,
+    ) -> Result<(WcetReport, TaskArtifacts), AnalysisError> {
+        let (hier_key, hierarchy) = match prior {
+            Some(art) => {
+                self.memo.neighbor_hits.fetch_add(1, Ordering::Relaxed);
+                debug_assert_eq!(
+                    *art.hier_key,
+                    HierKey {
+                        task: program_fingerprint(program),
+                        l1i: ctx.l1i,
+                        l1d: ctx.l1d,
+                        l2: ctx.l2.as_ref().map(L2Key::of),
+                    },
+                    "neighbour reuse requires identical hierarchy inputs"
+                );
+                (Arc::clone(&art.hier_key), Arc::clone(&art.hierarchy))
+            }
+            None => {
+                let key = Arc::new(HierKey {
+                    task: program_fingerprint(program),
+                    l1i: ctx.l1i,
+                    l1d: ctx.l1d,
+                    l2: ctx.l2.as_ref().map(L2Key::of),
+                });
+                let hierarchy = self.hierarchy(program, ctx, &key);
+                (key, hierarchy)
+            }
         };
-        let hierarchy = self.hierarchy(program, ctx, &hier_key);
         let cost_key = CostKey {
-            hier: hier_key,
+            hier: Arc::clone(&hier_key),
             bus_wait_bound: ctx.bus_wait_bound,
             mode: ctx.mode,
+            timings: ctx.timings,
+            pipeline: self.machine().pipeline,
         };
         let costs = self.block_costs(program, &hierarchy, ctx, &cost_key)?;
-        let bound = self.bound(program, &costs, &cost_key)?;
-        Ok(build_report(
-            program,
-            mode_name,
-            &hierarchy,
-            ctx.bus_wait_bound,
-            bound,
+        let bound = self.bound(program, &costs, cost_key)?;
+        let report = build_report(program, mode_name, &hierarchy, ctx.bus_wait_bound, bound);
+        Ok((
+            report,
+            TaskArtifacts {
+                hier_key,
+                hierarchy,
+            },
         ))
     }
 
@@ -493,12 +644,12 @@ impl AnalysisEngine {
     ) -> Result<crate::mode::Footprint, AnalysisError> {
         let (l1i, l1d, _) = self.analyzer.core_context(core)?;
         let l2 = self.analyzer.l2_input(core, Vec::new());
-        let hier_key = HierKey {
+        let hier_key = Arc::new(HierKey {
             task: program_fingerprint(program),
             l1i,
             l1d,
             l2: l2.as_ref().map(L2Key::of),
-        };
+        });
         // Reuse the hierarchy memo via a synthetic context carrying only
         // the fields `hierarchy` reads.
         let hierarchy = self.hierarchy_from_parts(program, l1i, l1d, l2, &hier_key);
@@ -513,7 +664,7 @@ impl AnalysisEngine {
         &self,
         program: &Program,
         ctx: &TaskContext,
-        key: &HierKey,
+        key: &Arc<HierKey>,
     ) -> Arc<HierarchyAnalysis> {
         self.hierarchy_from_parts(program, ctx.l1i, ctx.l1d, ctx.l2.clone(), key)
     }
@@ -524,10 +675,11 @@ impl AnalysisEngine {
         l1i: CacheConfig,
         l1d: CacheConfig,
         l2: Option<AnalysisInput>,
-        key: &HierKey,
+        key: &Arc<HierKey>,
     ) -> Arc<HierarchyAnalysis> {
-        if let Some(hit) = self.hierarchies.read().expect("memo lock").get(key) {
-            self.hier_stats.hit();
+        let memo = &*self.memo;
+        if let Some(hit) = memo.hierarchies.read().expect("memo lock").get(&**key) {
+            memo.hier_stats.hit();
             return Arc::clone(hit);
         }
         // Compute outside the lock: fixpoints are slow, and duplicated
@@ -543,7 +695,7 @@ impl AnalysisEngine {
             input.kind = wcet_cache::analysis::LevelKind::Unified;
             input.reach = Some(wcet_cache::multilevel::reach_filter(&[&l1.0, &l1.1]));
             let analysis = wcet_cache::analysis::analyze(program, &input);
-            self.fix_totals
+            memo.fix_totals
                 .lock()
                 .expect("fixpoint stats lock")
                 .absorb(&analysis.fixpoint_stats());
@@ -554,9 +706,9 @@ impl AnalysisEngine {
             l1d: l1.1.clone(),
             l2,
         });
-        self.hier_stats.miss();
-        let mut table = self.hierarchies.write().expect("memo lock");
-        Arc::clone(table.entry(key.clone()).or_insert(computed))
+        memo.hier_stats.miss();
+        let mut table = memo.hierarchies.write().expect("memo lock");
+        Arc::clone(table.entry(Arc::clone(key)).or_insert(computed))
     }
 
     /// The memoized private-L1 fixpoint pair `(l1i, l1d)`.
@@ -567,19 +719,20 @@ impl AnalysisEngine {
         l1d: CacheConfig,
         task: (u64, u64),
     ) -> Arc<(CacheAnalysis, CacheAnalysis)> {
+        let memo = &*self.memo;
         let key = L1Key { task, l1i, l1d };
-        if let Some(hit) = self.l1s.read().expect("memo lock").get(&key) {
-            self.l1_stats.hit();
+        if let Some(hit) = memo.l1s.read().expect("memo lock").get(&key) {
+            memo.l1_stats.hit();
             return Arc::clone(hit);
         }
         let partial = analyze_hierarchy(program, &HierarchyConfig { l1i, l1d, l2: None });
-        self.fix_totals
+        memo.fix_totals
             .lock()
             .expect("fixpoint stats lock")
             .absorb(&partial.fixpoint_stats());
         let computed = Arc::new((partial.l1i, partial.l1d));
-        self.l1_stats.miss();
-        let mut table = self.l1s.write().expect("memo lock");
+        memo.l1_stats.miss();
+        let mut table = memo.l1s.write().expect("memo lock");
         Arc::clone(table.entry(key).or_insert(computed))
     }
 
@@ -590,19 +743,21 @@ impl AnalysisEngine {
         ctx: &TaskContext,
         key: &CostKey,
     ) -> Result<Arc<BlockCosts>, AnalysisError> {
-        if let Some(hit) = self.costs.read().expect("memo lock").get(key) {
-            self.cost_stats.hit();
+        let memo = &*self.memo;
+        if let Some(hit) = memo.costs.read().expect("memo lock").get(key) {
+            memo.cost_stats.hit();
             return Ok(Arc::clone(hit));
         }
         let input = CostInput {
-            pipeline: self.machine().pipeline,
-            timings: ctx.timings,
-            bus_wait_bound: ctx.bus_wait_bound,
-            mode: ctx.mode,
+            pipeline: key.pipeline,
+            timings: key.timings,
+            bus_wait_bound: key.bus_wait_bound,
+            mode: key.mode,
         };
+        debug_assert_eq!(input.timings, ctx.timings);
         let computed = Arc::new(block_costs(program, hierarchy, &input)?);
-        self.cost_stats.miss();
-        let mut table = self.costs.write().expect("memo lock");
+        memo.cost_stats.miss();
+        let mut table = memo.costs.write().expect("memo lock");
         Ok(Arc::clone(table.entry(key.clone()).or_insert(computed)))
     }
 
@@ -610,20 +765,25 @@ impl AnalysisEngine {
         &self,
         program: &Program,
         costs: &BlockCosts,
-        key: &CostKey,
+        cost_key: CostKey,
     ) -> Result<WcetBound, AnalysisError> {
-        if let Some(hit) = self.bounds.read().expect("memo lock").get(key) {
-            self.bound_stats.hit();
+        let memo = &*self.memo;
+        let key = BoundKey {
+            cost: cost_key,
+            options: self.options_fp,
+        };
+        if let Some(hit) = memo.bounds.read().expect("memo lock").get(&key) {
+            memo.bound_stats.hit();
             return Ok(hit.clone());
         }
         let computed = wcet_ipet_ctx(program, costs, self.analyzer.options(), &self.solve_ctx)?;
-        self.bound_stats.miss();
+        memo.bound_stats.miss();
         self.solver_totals
             .lock()
             .expect("solver stats lock")
             .absorb(&computed.solver);
-        let mut table = self.bounds.write().expect("memo lock");
-        Ok(table.entry(key.clone()).or_insert(computed).clone())
+        let mut table = memo.bounds.write().expect("memo lock");
+        Ok(table.entry(key).or_insert(computed).clone())
     }
 }
 

@@ -53,7 +53,7 @@ pub mod yieldgraph;
 
 pub use analyzer::{AnalysisError, Analyzer, TaskContext, WcetReport};
 pub use bcet::{bcet_ipet, best_block_costs};
-pub use engine::{AnalysisEngine, Job, MemoStats, SolverStats};
+pub use engine::{AnalysisEngine, Job, MemoDomain, MemoStats, SolverStats, TaskArtifacts};
 pub use fingerprint::{debug_fingerprint, program_fingerprint};
 pub use ipet::{wcet_ipet, wcet_ipet_ctx, IpetError, IpetOptions, SolveContext, WcetBound};
 pub use mode::{AnalysisMode, Footprint, Isolated, Joint, JointRefs, Solo};

@@ -18,7 +18,7 @@
 use wcet_ir::Instr;
 
 /// Latencies of the memory system as seen by one core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemTimings {
     /// L1 (I or D) hit latency in cycles; 1 means a hit never stalls.
     pub l1_hit: u32,
@@ -100,7 +100,7 @@ pub fn smt_mem_stall(mem_extra: u64, k: u64) -> u64 {
 }
 
 /// Pipeline geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PipelineConfig {
     /// Number of stages; the fill cost `depth − 1` is paid once at task
     /// start (the simplified context parameterisation of Rochange &
