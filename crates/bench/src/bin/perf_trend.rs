@@ -10,11 +10,14 @@
 //!
 //! Understands schema 5's deterministic effort counters (worklist
 //! fixpoint evaluations vs the naive-sweep equivalent, simulator cycles
-//! fast-forwarded) and schema 6's `campaign` block (streaming-campaign
-//! throughput in cells/sec, dedup and reuse rates) — and still accepts
-//! older documents: absent sections and counters render as `—`, so the
-//! trend step keeps comparing against the previous run across schema
-//! bumps.
+//! fast-forwarded), schema 6's `campaign` block (streaming-campaign
+//! throughput in cells/sec, dedup and reuse rates), and schema 7's
+//! supervision counters (cell failures, cold retries, resume
+//! fast-forward distance) — and still accepts older documents: absent
+//! sections and counters render as `—`, so the trend step keeps
+//! comparing against the previous run across schema bumps (a schema-6
+//! baseline against a schema-7 current run is the expected case right
+//! after the bump).
 
 use std::process::ExitCode;
 
@@ -72,6 +75,11 @@ struct CampaignEntry {
     dedup_rate: Option<f64>,
     neighbor_hit_rate: Option<f64>,
     disk_hit_rate: Option<f64>,
+    /// Schema 7: supervised-cell failures of the cold pass (absent on
+    /// schema-6 baselines).
+    failures: Option<u64>,
+    /// Schema 7: odometer positions the resume pass fast-forwarded.
+    resume_fast_forwarded: Option<u64>,
 }
 
 fn campaign(doc: &Json) -> Option<CampaignEntry> {
@@ -84,6 +92,10 @@ fn campaign(doc: &Json) -> Option<CampaignEntry> {
         dedup_rate: block.get("dedup_rate").and_then(Json::as_f64),
         neighbor_hit_rate: block.get("neighbor_hit_rate").and_then(Json::as_f64),
         disk_hit_rate: block.get("disk_hit_rate").and_then(Json::as_f64),
+        failures: block.get_path(&["cold", "failures"]).and_then(Json::as_u64),
+        resume_fast_forwarded: block
+            .get_path(&["resume", "resumed", "resumed"])
+            .and_then(Json::as_u64),
     })
 }
 
@@ -93,8 +105,9 @@ fn pct(v: Option<f64>) -> String {
 }
 
 /// One side of the campaign comparison, or `—`s when the document
-/// predates schema 6.
-fn campaign_cells(e: Option<&CampaignEntry>) -> [String; 5] {
+/// predates schema 6 (the schema-7 columns likewise render `—` for a
+/// schema-6 side).
+fn campaign_cells(e: Option<&CampaignEntry>) -> [String; 7] {
     match e {
         Some(e) => [
             format!("{:.0}", e.cells_per_sec),
@@ -102,6 +115,8 @@ fn campaign_cells(e: Option<&CampaignEntry>) -> [String; 5] {
             pct(e.dedup_rate),
             pct(e.neighbor_hit_rate),
             pct(e.disk_hit_rate),
+            opt(e.failures),
+            opt(e.resume_fast_forwarded),
         ],
         None => std::array::from_fn(|_| "—".into()),
     }
@@ -229,7 +244,7 @@ fn main() -> ExitCode {
     let (base_c, cur_c) = (campaign(&baseline), campaign(&current));
     if base_c.is_some() || cur_c.is_some() {
         let mut t = Table::new(
-            "Streaming campaign (schema 6): cold-run throughput and reuse",
+            "Streaming campaign (schema 6+): cold-run throughput, reuse, supervision",
             &[
                 "side",
                 "cells/sec",
@@ -237,11 +252,22 @@ fn main() -> ExitCode {
                 "dedup",
                 "neighbor hits",
                 "disk hits (warm)",
+                "failures",
+                "resume ffwd",
             ],
         );
         for (side, e) in [("baseline", base_c.as_ref()), ("current", cur_c.as_ref())] {
-            let [cps, unique, dedup, neighbor, disk] = campaign_cells(e);
-            t.row([side.to_string(), cps, unique, dedup, neighbor, disk]);
+            let [cps, unique, dedup, neighbor, disk, failures, ffwd] = campaign_cells(e);
+            t.row([
+                side.to_string(),
+                cps,
+                unique,
+                dedup,
+                neighbor,
+                disk,
+                failures,
+                ffwd,
+            ]);
         }
         if let (Some(b), Some(c)) = (&base_c, &cur_c) {
             if b.cells_per_sec > 0.0 {

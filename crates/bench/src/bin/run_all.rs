@@ -169,6 +169,9 @@ fn scenario_sweep() -> Json {
 /// work stealing and neighbour-incremental reuse — then disk-warm
 /// against the memo the cold run persisted, which must serve every
 /// bounded cell without re-analysis and reproduce every bound exactly.
+/// A third, deliberately interrupted pass (limited, with its memo tail
+/// torn off) is then resumed and checked against an uninterrupted
+/// reference — the kill-9 recovery guarantee, measured end to end.
 fn campaign_sweep() -> Json {
     let matrix =
         parse_matrix(include_str!("../../../../scenarios/campaign.scn")).expect("campaign parses");
@@ -197,19 +200,11 @@ fn campaign_sweep() -> Json {
             })
             .collect()
     }
-    let pass = |label: &str| -> (CampaignRun, Signatures) {
+    let pass = |label: &str, opts: CampaignOptions| -> (CampaignRun, Signatures) {
         let mut sigs = Signatures::new();
-        let run = run_campaign_with(
-            &matrix,
-            &CampaignOptions {
-                sample_one_in: 500,
-                cache: Some(memo_path.clone()),
-                ..CampaignOptions::default()
-            },
-            |cell| {
-                sigs.insert(cell.fingerprint, signature(cell));
-            },
-        );
+        let run = run_campaign_with(&matrix, &opts, |cell| {
+            sigs.insert(cell.fingerprint, signature(cell));
+        });
         println!(
             "campaign `{}` ({label}): {} unique of {} cells ({} duplicates), \
              {} bounded, {} row reuses, {} neighbour fixpoint hits, {} disk hits, \
@@ -233,10 +228,16 @@ fn campaign_sweep() -> Json {
             run.violations
         );
         assert!(run.cache_error.is_none(), "memo write-back failed");
+        assert_eq!(run.failures, 0, "no cell may fail under supervision");
         (run, sigs)
     };
-    let (cold, cold_sigs) = pass("cold");
-    let (warm, warm_sigs) = pass("disk-warm");
+    let with_memo = |memo: &std::path::Path| CampaignOptions {
+        sample_one_in: 500,
+        cache: Some(memo.to_path_buf()),
+        ..CampaignOptions::default()
+    };
+    let (cold, cold_sigs) = pass("cold", with_memo(&memo_path));
+    let (warm, warm_sigs) = pass("disk-warm", with_memo(&memo_path));
     let _ = std::fs::remove_file(&memo_path);
     assert_eq!(
         cold_sigs, warm_sigs,
@@ -250,6 +251,63 @@ fn campaign_sweep() -> Json {
         cold.bounded,
     );
 
+    // Schema 7: the faulted + resumed pass. A third run over a fresh
+    // memo is killed by `--limit`, its final append torn off (the bytes
+    // a real `kill -9` would lose mid-write), then resumed past the last
+    // trusted checkpoint; interrupted ∪ resumed must reproduce an
+    // uninterrupted reference run cell-for-cell.
+    const INTERRUPT_AT: usize = 2048;
+    const RESUME_TO: usize = 4096;
+    let resume_memo = std::env::temp_dir().join(format!(
+        "wcet-run-all-campaign-resume-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&resume_memo);
+    let (interrupted, interrupted_sigs) = pass(
+        "interrupted",
+        CampaignOptions {
+            limit: Some(INTERRUPT_AT),
+            ..with_memo(&resume_memo)
+        },
+    );
+    let memo_bytes = std::fs::read(&resume_memo).expect("interrupted pass persisted a memo");
+    std::fs::write(
+        &resume_memo,
+        &memo_bytes[..memo_bytes.len().saturating_sub(7)],
+    )
+    .expect("tears the memo tail");
+    let (resumed, resumed_sigs) = pass(
+        "resumed",
+        CampaignOptions {
+            limit: Some(RESUME_TO),
+            resume: true,
+            ..with_memo(&resume_memo)
+        },
+    );
+    let (reference, reference_sigs) = pass(
+        "reference",
+        CampaignOptions {
+            limit: Some(RESUME_TO),
+            sample_one_in: 500,
+            ..CampaignOptions::default()
+        },
+    );
+    let _ = std::fs::remove_file(&resume_memo);
+    assert!(
+        resumed.resumed > 0,
+        "resume must fast-forward past the last trusted checkpoint"
+    );
+    assert!(
+        resumed.disk_skipped >= 1,
+        "the torn line must be counted as skipped, not fatal"
+    );
+    let mut union_sigs = interrupted_sigs;
+    union_sigs.extend(resumed_sigs);
+    assert_eq!(
+        union_sigs, reference_sigs,
+        "interrupted+resumed campaign diverged from the uninterrupted run"
+    );
+
     #[allow(clippy::cast_precision_loss)] // report-only rates
     let rate = |num: usize, den: usize| {
         if den == 0 {
@@ -261,6 +319,15 @@ fn campaign_sweep() -> Json {
     Json::obj([
         ("cold", campaign_json(&cold)),
         ("warm", campaign_json(&warm)),
+        (
+            "resume",
+            Json::obj([
+                ("interrupted", campaign_json(&interrupted)),
+                ("resumed", campaign_json(&resumed)),
+                ("reference", campaign_json(&reference)),
+                ("identical_bounds", Json::from(true)),
+            ]),
+        ),
         (
             "dedup_rate",
             Json::from(rate(cold.duplicates, cold.produced)),
@@ -472,9 +539,10 @@ fn main() {
     let campaign = campaign_sweep();
 
     let doc = Json::obj([
-        // Schema 6: the `campaign` block — the streaming pipeline's
-        // cold + disk-warm passes over the 108k-cell matrix.
-        ("schema", Json::from(6_u64)),
+        // Schema 7: campaign passes gain supervision counters (failures,
+        // retries, deadline_hit, resumed) and a `campaign.resume` block —
+        // the interrupted + torn + resumed sweep proving kill-9 recovery.
+        ("schema", Json::from(7_u64)),
         ("suite", Json::str("wcet-bench run_all")),
         ("experiments", Json::Arr(experiment_json)),
         ("batch_vs_sequential", comparison),

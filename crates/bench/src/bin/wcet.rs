@@ -29,14 +29,36 @@
 //! * `--limit N` — stop after N expanded cells (duplicates included);
 //! * `--threads N` — worker threads (default: all cores);
 //! * `--cache PATH` — persistent fingerprint → bounds memo (JSON lines,
-//!   schema-versioned; corrupt lines are skipped, alien files replaced);
+//!   schema-versioned, CRC-checksummed; corrupt lines are skipped,
+//!   alien files replaced);
 //! * `--sample N` — simulate one in N cells, chosen by a seeded hash
 //!   (`validate`/`report` default to 1 in 500 when streaming);
 //! * `--seed S` — the sample seed (default 0);
-//! * `--stream` — force the streaming pipeline for a small matrix.
+//! * `--stream` — force the streaming pipeline for a small matrix;
+//! * `--resume` — fast-forward past the memo's newest checkpoint of
+//!   this spec instead of recomputing from rank zero (needs `--cache`);
+//! * `--deadline-ms N` — stop handing out work after N ms of wall
+//!   clock; in-flight chunks flush, the run stays resumable;
+//! * `--budget-pivots N` / `--budget-evals N` / `--budget-cell-ms N` —
+//!   per-cell resource budgets (simplex pivots, fixpoint evaluations,
+//!   wall clock): a cell that exhausts one fails alone, as a
+//!   `failed(budget, …)` row, instead of stalling its worker;
+//! * `--strict` — escalate failed cells and a fired deadline to a hard
+//!   error (exit 1).
 //!
 //! In streaming mode `--json` writes the campaign *summary* document
 //! (`campaign_json`); per-cell rows live on stdout only.
+//!
+//! ## Exit codes
+//!
+//! * `0` — clean run;
+//! * `1` — hard error: bad usage, unreadable spec, output-write or
+//!   memo write-back failure, zero bounds, a soundness violation, or
+//!   anything `--strict` escalates;
+//! * `2` — the campaign finished but some supervised cells failed
+//!   (panic or exhausted budget);
+//! * `3` — the `--deadline-ms` deadline fired; coverage is partial and
+//!   the run can continue with `--resume`.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -44,13 +66,15 @@ use std::process::ExitCode;
 
 use wcet_bench::scenario::{
     campaign_json, campaign_markdown, matrix_json, matrix_markdown, parse_matrix,
-    run_campaign_with, run_matrix, CampaignOptions, MatrixOptions,
+    run_campaign_with, run_matrix, CampaignOptions, CellBudget, MatrixOptions,
 };
 use wcet_core::report::Table;
 
 const USAGE: &str = "usage: wcet scenarios <list|run|validate|report> <spec.scn> \
                      [--json PATH] [--md PATH] [--limit N] [--threads N] \
-                     [--cache PATH] [--sample N] [--seed S] [--stream]";
+                     [--cache PATH] [--sample N] [--seed S] [--stream] \
+                     [--resume] [--strict] [--deadline-ms N] [--budget-pivots N] \
+                     [--budget-evals N] [--budget-cell-ms N]";
 
 /// Matrices at or above this many cross-product cells stream by default.
 const STREAM_THRESHOLD: usize = 4096;
@@ -69,6 +93,12 @@ struct Args {
     sample: Option<u64>,
     seed: u64,
     stream: bool,
+    resume: bool,
+    strict: bool,
+    deadline_ms: Option<u64>,
+    budget_pivots: Option<u64>,
+    budget_evals: Option<u64>,
+    budget_cell_ms: Option<u64>,
 }
 
 impl Args {
@@ -79,6 +109,12 @@ impl Args {
             || self.threads.is_some()
             || self.cache.is_some()
             || self.sample.is_some()
+            || self.resume
+            || self.strict
+            || self.deadline_ms.is_some()
+            || self.budget_pivots.is_some()
+            || self.budget_evals.is_some()
+            || self.budget_cell_ms.is_some()
     }
 }
 
@@ -104,6 +140,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         sample: None,
         seed: 0,
         stream: false,
+        resume: false,
+        strict: false,
+        deadline_ms: None,
+        budget_pivots: None,
+        budget_evals: None,
+        budget_cell_ms: None,
     };
     fn value<'a>(
         it: &mut impl Iterator<Item = &'a String>,
@@ -125,6 +167,27 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--sample" => args.sample = Some(number(value(&mut it, "--sample")?, "--sample")?),
             "--seed" => args.seed = number(value(&mut it, "--seed")?, "--seed")?,
             "--stream" => args.stream = true,
+            "--resume" => args.resume = true,
+            "--strict" => args.strict = true,
+            "--deadline-ms" => {
+                args.deadline_ms = Some(number(value(&mut it, "--deadline-ms")?, "--deadline-ms")?);
+            }
+            "--budget-pivots" => {
+                args.budget_pivots = Some(number(
+                    value(&mut it, "--budget-pivots")?,
+                    "--budget-pivots",
+                )?);
+            }
+            "--budget-evals" => {
+                args.budget_evals =
+                    Some(number(value(&mut it, "--budget-evals")?, "--budget-evals")?);
+            }
+            "--budget-cell-ms" => {
+                args.budget_cell_ms = Some(number(
+                    value(&mut it, "--budget-cell-ms")?,
+                    "--budget-cell-ms",
+                )?);
+            }
             _ => return Err(format!("unknown flag {flag:?}\n{USAGE}")),
         }
     }
@@ -276,6 +339,14 @@ fn run_streaming(
         cache: args.cache.as_ref().map(PathBuf::from),
         keep_cells: false,
         ctx: None,
+        budget: CellBudget {
+            max_pivots: args.budget_pivots,
+            max_fixpoint_evals: args.budget_evals,
+            max_cell_ms: args.budget_cell_ms,
+        },
+        deadline: args.deadline_ms.map(std::time::Duration::from_millis),
+        resume: args.resume,
+        fault: None,
     };
     println!(
         "streaming campaign `{}`: {} cross-product cells{}",
@@ -294,6 +365,14 @@ fn run_streaming(
         let mut out = stdout.lock();
         if let Some(e) = &cell.error {
             let _ = writeln!(out, "{}\t—\t—\terror: {e}", cell.scenario.name);
+            return;
+        }
+        if let Some(f) = &cell.failure {
+            let _ = writeln!(
+                out,
+                "{}\t—\t—\tfailed({}, retries={}): {}",
+                cell.scenario.name, f.kind, f.retries, f.message
+            );
             return;
         }
         for row in &cell.rows {
@@ -334,7 +413,11 @@ fn run_streaming(
         &campaign_markdown(&run),
     );
 
-    if !any_bound {
+    // A resumed run may legitimately bound nothing new, a deadline can
+    // fire before the first bound lands, and supervised failures carry
+    // their own (more precise) diagnostic and exit code — none of these
+    // is the everything-broke regression this check exists to catch.
+    if !any_bound && !run.deadline_hit && run.resumed == 0 && run.failures == 0 {
         eprintln!("no cell produced a WCET bound — every cell failed to build or analyse");
         failed = true;
     }
@@ -350,8 +433,36 @@ fn run_streaming(
         eprintln!("cache write-back failed: {e}");
         failed = true;
     }
-    if failed {
+    if run.failures > 0 {
+        eprintln!(
+            "{} cell(s) failed under supervision ({} cold retr{} spent); failed cells are \
+             excluded from the memo{}",
+            run.failures,
+            run.retries,
+            if run.retries == 1 { "y" } else { "ies" },
+            if args.strict {
+                ""
+            } else {
+                " (pass --strict to make this a hard error)"
+            }
+        );
+    }
+    if run.deadline_hit {
+        eprintln!(
+            "deadline fired after {} of {} odometer positions; rerun with --resume to continue",
+            run.produced,
+            run.total_cells.min(args.limit.unwrap_or(usize::MAX)),
+        );
+    }
+    // Exit-code ladder: hard errors (1) dominate, then failed cells
+    // (2), then a fired deadline (3) — distinct codes so CI and the
+    // driver can tell "broken" from "degraded" from "ran out of time".
+    if failed || (args.strict && (run.failures > 0 || run.deadline_hit)) {
         ExitCode::FAILURE
+    } else if run.failures > 0 {
+        ExitCode::from(2)
+    } else if run.deadline_hit {
+        ExitCode::from(3)
     } else {
         ExitCode::SUCCESS
     }

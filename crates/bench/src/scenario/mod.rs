@@ -11,9 +11,12 @@
 //!   matrices: lazy Gray-code expansion, work-stealing workers,
 //!   neighbour-incremental analysis, and deterministic seeded-sample
 //!   validation;
-//! * [`cache`] — the persistent (schema-versioned, corruption-tolerant)
-//!   fingerprint → bounds memo that lets repeated campaigns skip
-//!   already-solved cells;
+//! * [`cache`] — the persistent (schema-versioned, checksummed,
+//!   corruption-tolerant, checkpointed) fingerprint → bounds memo that
+//!   lets repeated campaigns skip already-solved cells and interrupted
+//!   campaigns resume;
+//! * [`fault`] — the deterministic fault-injection plan driving the
+//!   supervision test suite (inert without the `fault-inject` feature);
 //! * [`report`] — the structured JSON report and the rendered Markdown
 //!   table.
 //!
@@ -22,13 +25,17 @@
 //! embedded matrix specs.
 
 pub mod cache;
+pub mod fault;
 pub mod report;
 pub mod run;
 pub mod spec;
 pub mod stream;
 
 pub use cache::{CachedRow, DiskCache};
+pub use fault::FaultPlan;
 pub use report::{campaign_json, campaign_markdown, matrix_json, matrix_markdown};
-pub use run::{run_matrix, CellOutcome, MatrixOptions, MatrixRun, TaskRow};
+pub use run::{
+    run_matrix, CellFailure, CellOutcome, FailureKind, MatrixOptions, MatrixRun, TaskRow,
+};
 pub use spec::{parse_matrix, L2Layout, ModeSpec, Scenario, ScenarioMatrix, SpecError};
-pub use stream::{run_campaign, run_campaign_with, CampaignOptions, CampaignRun};
+pub use stream::{run_campaign, run_campaign_with, CampaignOptions, CampaignRun, CellBudget};

@@ -252,6 +252,16 @@ pub fn campaign_json(run: &CampaignRun) -> Json {
         ("neighbor_hits", Json::from(run.memo.neighbor_hits)),
         ("disk_hits", Json::from(run.disk_hits)),
         ("disk_appended", Json::from(run.disk_appended)),
+        ("disk_skipped", Json::from(run.disk_skipped)),
+        ("disk_crc_rejected", Json::from(run.disk_crc_rejected)),
+        // Supervision aggregates: cells that failed under the per-cell
+        // fault boundary, cold retries spent recovering from neighbour
+        // state, whether the campaign deadline fired, and how many
+        // odometer positions a `--resume` fast-forwarded past.
+        ("failures", Json::from(run.failures)),
+        ("retries", Json::from(run.retries)),
+        ("deadline_hit", Json::from(run.deadline_hit)),
+        ("resumed", Json::from(run.resumed)),
         ("validated_cells", Json::from(run.validated)),
         ("sound_cells", Json::from(run.sound)),
         (
@@ -292,6 +302,13 @@ pub fn campaign_markdown(run: &CampaignRun) -> String {
             ),
             ("disk-cache hits", run.disk_hits.to_string()),
             ("disk-cache appended", run.disk_appended.to_string()),
+            (
+                "disk-cache rejected (parse/CRC)",
+                format!("{}/{}", run.disk_skipped, run.disk_crc_rejected),
+            ),
+            ("cell failures", run.failures.to_string()),
+            ("cold retries", run.retries.to_string()),
+            ("resumed past", format!("{} positions", run.resumed)),
             ("validated (seeded sample)", run.validated.to_string()),
             ("sound", format!("{}/{}", run.sound, run.validated)),
             ("wall", format!("{:.2}s", run.wall.as_secs_f64())),
@@ -305,6 +322,9 @@ pub fn campaign_markdown(run: &CampaignRun) -> String {
     let mut out = summary.to_string();
     for v in &run.violations {
         out.push_str(&format!("\nSOUNDNESS VIOLATION: {v}"));
+    }
+    if run.deadline_hit {
+        out.push_str("\ndeadline hit: campaign stopped early; rerun with --resume");
     }
     if let Some(e) = &run.cache_error {
         out.push_str(&format!("\ncache write-back failed: {e}"));
@@ -357,8 +377,15 @@ mod tests {
         assert!(doc.contains("\"suite\":\"wcet scenarios campaign\""));
         assert!(doc.contains("\"matrix\":\"tiny\""));
         assert!(doc.contains("\"unique\":2"));
+        assert!(doc.contains("\"failures\":0"));
+        assert!(doc.contains("\"retries\":0"));
+        assert!(doc.contains("\"deadline_hit\":false"));
+        assert!(doc.contains("\"resumed\":0"));
+        assert!(doc.contains("\"disk_crc_rejected\":0"));
         let md = campaign_markdown(&run);
         assert!(md.contains("Campaign `tiny` — summary"));
+        assert!(md.contains("cell failures"));
+        assert!(!md.contains("deadline hit"));
         assert!(!md.contains("SOUNDNESS VIOLATION"));
     }
 }

@@ -91,6 +91,39 @@ pub struct CellValidation {
     pub all_sound: bool,
 }
 
+/// Why a supervised cell was abandoned by the campaign runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The cell's analysis (or validation) panicked.
+    Panic,
+    /// The cell exhausted a resource budget (pivots, fixpoint
+    /// evaluations, or per-cell wall clock).
+    Budget,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Budget => "budget",
+        })
+    }
+}
+
+/// A supervised cell's failure record: the campaign kept running, this
+/// cell alone was given up on (possibly after a retry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// What class of failure this was.
+    pub kind: FailureKind,
+    /// The panic payload or exhausted-budget description.
+    pub message: String,
+    /// Fresh-analysis retries spent before giving up (0 or 1: a cell
+    /// that first failed on neighbour-incremental state is re-analysed
+    /// cold once, in case the inherited chain was poisoned).
+    pub retries: u32,
+}
+
 /// One cell's complete outcome.
 #[derive(Debug, Clone)]
 pub struct CellOutcome {
@@ -107,13 +140,19 @@ pub struct CellOutcome {
     pub validation_skipped: Option<String>,
     /// Build failure (unplaceable tasks, inconsistent machine…).
     pub error: Option<String>,
+    /// Supervision failure (panic or budget exhaustion) — only the
+    /// streaming campaign runner sets this; the materialized path runs
+    /// unsupervised.
+    pub failure: Option<CellFailure>,
 }
 
 impl CellOutcome {
     /// True if every task row carries a bound.
     #[must_use]
     pub fn all_bounded(&self) -> bool {
-        self.error.is_none() && self.rows.iter().all(|r| r.outcome.is_ok())
+        self.error.is_none()
+            && self.failure.is_none()
+            && self.rows.iter().all(|r| r.outcome.is_ok())
     }
 }
 
@@ -366,6 +405,7 @@ pub fn run_matrix(matrix: &ScenarioMatrix, opts: &MatrixOptions) -> MatrixRun {
                     validation: None,
                     validation_skipped: None,
                     error: Some(e),
+                    failure: None,
                 });
                 continue;
             }
@@ -392,6 +432,7 @@ pub fn run_matrix(matrix: &ScenarioMatrix, opts: &MatrixOptions) -> MatrixRun {
             validation: None,
             validation_skipped: None,
             error: None,
+            failure: None,
         };
         if opts.validate {
             validate_cell(&built, &mut outcome, &mut sim_skip);

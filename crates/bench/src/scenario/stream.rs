@@ -33,12 +33,32 @@
 //!   every hierarchy probe. Chunk boundaries reset the chain (the
 //!   predecessor may live on another worker).
 //! * **Disk memo** — fingerprints resolved by [`DiskCache`] skip
-//!   analysis entirely; fresh fully-bounded cells are appended after the
-//!   run (see [`super::cache`] for the format and corruption rules).
+//!   analysis entirely; fresh fully-bounded cells are appended as their
+//!   chunk is sequenced (see [`super::cache`] for the format and
+//!   corruption rules), so a killed campaign loses at most the
+//!   in-flight chunks.
+//! * **Supervision** — every cell runs under `catch_unwind` with
+//!   per-cell resource budgets ([`CellBudget`]: simplex pivots,
+//!   fixpoint evaluations, wall clock): a panicking or runaway cell
+//!   becomes a structured [`CellFailure`] and the campaign keeps going.
+//!   A cell that first failed on inherited neighbour state is retried
+//!   once, cold, in case the chain it inherited was poisoned. A
+//!   campaign-level deadline is checked whenever a worker asks for a
+//!   chunk; in-flight chunks still flush, so a deadline exit is clean
+//!   and resumable.
+//! * **Resume** — [`CampaignOptions::resume`] replays the Gray odometer
+//!   (builds, fingerprints and the dedup set, but no analysis) past the
+//!   positions covered by the memo's newest trusted checkpoint; chunk
+//!   boundaries and neighbour chains then line up with the original
+//!   run's, so an interrupted-and-resumed campaign appends exactly the
+//!   memo entries an uninterrupted run would have.
+
+use std::cell::Cell;
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Once};
 use std::time::{Duration, Instant};
 
 use wcet_core::engine::{AnalysisEngine, MemoDomain, MemoStats, SolverStats};
@@ -49,17 +69,22 @@ use wcet_ir::Program;
 use wcet_sim::machine::SkipStats;
 
 use super::cache::{CachedRow, DiskCache};
+use super::fault::FaultPlan;
 use super::run::{
     analyze_engine_incremental, analyze_static, build_with_programs, fingerprint_built,
     fingerprint_unbuildable, parse_programs, validate_cell, BuiltScenario, CellArtifacts,
-    CellOutcome, TaskBound, TaskRow,
+    CellFailure, CellOutcome, FailureKind, TaskBound, TaskRow,
 };
-use super::spec::{ScenarioMatrix, AXES_BUS_ONLY, AXIS_CYCLE_LIMIT, NUM_AXES};
+use super::spec::{Scenario, ScenarioMatrix, AXES_BUS_ONLY, AXIS_CYCLE_LIMIT, NUM_AXES};
 
 /// Cells per work-stealing chunk: long enough to amortize the queue
 /// lock and keep neighbour chains useful (several `cycle_limit` runs),
 /// short enough to spread a small campaign across workers.
 const CHUNK: usize = 64;
+
+/// Sequenced chunks between memo checkpoint records: rare enough not to
+/// bloat the file, frequent enough that a kill loses little coverage.
+const CHECKPOINT_EVERY: usize = 16;
 
 /// Delta mask: only the validation budget moved.
 const CYCLE_MASK: u16 = 1 << AXIS_CYCLE_LIMIT;
@@ -113,6 +138,34 @@ pub struct CampaignOptions {
     /// [`super::run::MatrixOptions::ctx`]); counters are cumulative when
     /// shared.
     pub ctx: Option<Arc<SolveContext>>,
+    /// Per-cell resource budgets; an exhausted cell fails alone (a
+    /// [`CellFailure`] of kind `Budget`) instead of stalling a worker.
+    pub budget: CellBudget,
+    /// Campaign-level wall-clock deadline, checked whenever a worker
+    /// asks for a chunk: expired → no new work, in-flight chunks flush,
+    /// the run reports [`CampaignRun::deadline_hit`] and remains
+    /// resumable.
+    pub deadline: Option<Duration>,
+    /// Fast-forward past the memo's newest trusted checkpoint (of this
+    /// same matrix) instead of recomputing from rank zero.
+    pub resume: bool,
+    /// Deterministic fault injection (tests only; inert unless built
+    /// with the `fault-inject` feature).
+    pub fault: Option<FaultPlan>,
+}
+
+/// Per-cell resource budgets of a supervised campaign. `None` fields
+/// are unlimited. Exhaustion aborts the *cell* — the solvers unwind
+/// with a typed payload that the supervisor catches and classifies —
+/// never the campaign.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CellBudget {
+    /// Simplex pivots per cell, across every solve the cell issues.
+    pub max_pivots: Option<u64>,
+    /// Worklist-fixpoint node evaluations per cell.
+    pub max_fixpoint_evals: Option<u64>,
+    /// Wall clock per cell, in milliseconds.
+    pub max_cell_ms: Option<u64>,
 }
 
 /// The outcome of a streaming campaign.
@@ -139,8 +192,24 @@ pub struct CampaignRun {
     pub disk_hits: usize,
     /// Fresh cells appended to the disk memo.
     pub disk_appended: usize,
+    /// Unparseable memo lines skipped while loading (torn appends).
+    pub disk_skipped: usize,
+    /// Memo lines rejected for a CRC mismatch while loading.
+    pub disk_crc_rejected: usize,
     /// Disk write-back failure, if any (the run itself is unaffected).
     pub cache_error: Option<String>,
+    /// Cells abandoned by the supervisor (panic or exhausted budget),
+    /// after any retry.
+    pub failures: usize,
+    /// Fresh-analysis retries spent on cells that first failed on
+    /// inherited neighbour state (successful or not).
+    pub retries: usize,
+    /// The campaign deadline fired: coverage is partial but every
+    /// finished chunk was flushed, and the memo supports `--resume`.
+    pub deadline_hit: bool,
+    /// Odometer positions fast-forwarded past a trusted checkpoint
+    /// instead of recomputed (`--resume` only).
+    pub resumed: usize,
     /// Cells replayed on the simulator.
     pub validated: usize,
     /// Replayed cells whose every observation satisfied its bound.
@@ -181,8 +250,9 @@ impl CampaignRun {
 }
 
 /// SplitMix64: the deterministic sample hash (also a fine general
-/// mixer). Stable across platforms and runs.
-fn splitmix64(mut x: u64) -> u64 {
+/// mixer, reused by the seeded [`FaultPlan`]). Stable across platforms
+/// and runs.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -242,7 +312,7 @@ impl GrayOdometer {
 
 /// One deduplicated cell, ready for a worker.
 struct WorkItem {
-    scenario: super::spec::Scenario,
+    scenario: Scenario,
     built: Result<Arc<BuiltScenario>, String>,
     /// `debug_fingerprint` of the machine (engine cache key), for
     /// buildable cells.
@@ -255,6 +325,8 @@ struct WorkItem {
     cached: Option<Vec<CachedRow>>,
     /// Replay this cell on the simulator.
     sample: bool,
+    /// Lexicographic rank (the fault plan's and sampler's cell key).
+    rank: u64,
 }
 
 /// Per-task-axis cached parse results (programs and their content
@@ -287,11 +359,19 @@ struct Producer<'m> {
     sample_one_in: u64,
     seed: u64,
     cache: Arc<DiskCache>,
+    deadline: Option<Instant>,
+    deadline_hit: bool,
+    resumed: usize,
 }
 
 impl<'m> Producer<'m> {
-    fn new(matrix: &'m ScenarioMatrix, opts: &CampaignOptions, cache: Arc<DiskCache>) -> Self {
-        Producer {
+    fn new(
+        matrix: &'m ScenarioMatrix,
+        opts: &CampaignOptions,
+        cache: Arc<DiskCache>,
+        matrix_fp: (u64, u64),
+    ) -> Self {
+        let mut producer = Producer {
             matrix,
             odo: GrayOdometer::new(matrix.radices()),
             seen: HashSet::new(),
@@ -304,7 +384,46 @@ impl<'m> Producer<'m> {
             next_chunk: 0,
             sample_one_in: opts.sample_one_in,
             seed: opts.seed,
+            deadline: opts.deadline.map(|d| Instant::now() + d),
+            deadline_hit: false,
+            resumed: 0,
             cache,
+        };
+        if opts.resume {
+            if let Some(ckpt) = producer.cache.checkpoint() {
+                if ckpt.matrix == matrix_fp {
+                    producer.fast_forward(ckpt.produced);
+                }
+            }
+        }
+        producer
+    }
+
+    /// Replays the odometer past the positions a trusted checkpoint
+    /// covers: builds, fingerprints and the dedup set are computed
+    /// exactly as the original run computed them (so later chunk
+    /// boundaries, dedup decisions and Gray deltas line up), but
+    /// nothing is emitted — every bounded cell in this range is already
+    /// durable in the memo.
+    fn fast_forward(&mut self, skip: usize) {
+        while self.produced < skip && self.produced < self.limit {
+            let Some((digits, _)) = self.odo.step() else {
+                break;
+            };
+            self.produced += 1;
+            self.resumed += 1;
+            let (built, _) = self.build(&digits);
+            let scenario = self.matrix.cell_at(&digits);
+            let fingerprint = match &built {
+                Ok(b) => {
+                    let entry = self.programs_for(digits[11]);
+                    fingerprint_built(&scenario, b, &entry.task_fps)
+                }
+                Err(_) => fingerprint_unbuildable(&scenario),
+            };
+            if !self.seen.insert(fingerprint) {
+                self.duplicates += 1;
+            }
         }
     }
 
@@ -351,9 +470,21 @@ impl<'m> Producer<'m> {
         (built, machine_fp)
     }
 
-    /// The next chunk of deduplicated work, or `None` when the campaign
-    /// is exhausted (odometer done or `limit` reached).
-    fn next_chunk(&mut self) -> Option<(usize, Vec<WorkItem>)> {
+    /// The next chunk of deduplicated work plus the odometer position
+    /// after it (the checkpoint coverage bound), or `None` when the
+    /// campaign is exhausted (odometer done, `limit` reached, or the
+    /// deadline fired).
+    fn next_chunk(&mut self) -> Option<(usize, Vec<WorkItem>, usize)> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                // Chunk-boundary cancellation: hand out no new work and
+                // let in-flight chunks flush. (A deadline that expires
+                // in the instant after the true final chunk was handed
+                // out still marks the run — harmlessly conservative.)
+                self.deadline_hit = true;
+                return None;
+            }
+        }
         let mut items = Vec::with_capacity(CHUNK);
         // A chunk may run on any worker: no cross-chunk neighbour chain.
         self.pending = MASK_ALL;
@@ -382,9 +513,9 @@ impl<'m> Producer<'m> {
                 continue;
             }
             let cached = self.cache.lookup(fingerprint).map(<[CachedRow]>::to_vec);
+            let rank = self.matrix.lex_rank(&digits) as u64;
             let sample = self.sample_one_in > 0
-                && splitmix64(self.seed ^ self.matrix.lex_rank(&digits) as u64)
-                    .is_multiple_of(self.sample_one_in);
+                && splitmix64(self.seed ^ rank).is_multiple_of(self.sample_one_in);
             items.push(WorkItem {
                 scenario,
                 built,
@@ -393,6 +524,7 @@ impl<'m> Producer<'m> {
                 changed: std::mem::replace(&mut self.pending, 0),
                 cached,
                 sample,
+                rank,
             });
         }
         if items.is_empty() {
@@ -400,7 +532,7 @@ impl<'m> Producer<'m> {
         }
         let idx = self.next_chunk;
         self.next_chunk += 1;
-        Some((idx, items))
+        Some((idx, items, self.produced))
     }
 }
 
@@ -409,8 +541,14 @@ struct ChunkResult {
     outcomes: Vec<CellOutcome>,
     /// Fresh `(fingerprint, compact rows)` pairs for disk write-back.
     fresh: Vec<((u64, u64), Vec<CachedRow>)>,
+    /// Odometer positions consumed through the end of this chunk — once
+    /// the sink has absorbed (and therefore flushed) every chunk up to
+    /// and including this one, a checkpoint may claim this coverage.
+    produced_after: usize,
     rows_reused: usize,
     disk_hits: usize,
+    failures: usize,
+    retries: usize,
     fixpoint: FixpointStats,
     sim_skip: SkipStats,
 }
@@ -426,10 +564,18 @@ struct Sink<'f> {
     on_cell: Option<OnCell<'f>>,
     keep_cells: bool,
     cells: Vec<CellOutcome>,
-    fresh: Vec<((u64, u64), Vec<CachedRow>)>,
+    cache: Arc<DiskCache>,
+    /// The matrix fingerprint every checkpoint is stamped with.
+    matrix_fp: (u64, u64),
+    fault: Option<FaultPlan>,
+    chunks_since_ckpt: usize,
+    disk_appended: usize,
+    cache_error: Option<String>,
     unique: usize,
     errors: usize,
     bounded: usize,
+    failures: usize,
+    retries: usize,
     rows_reused: usize,
     disk_hits: usize,
     validated: usize,
@@ -448,12 +594,46 @@ impl Sink<'_> {
         }
     }
 
+    fn record_cache_error(&mut self, e: &std::io::Error) {
+        if self.cache_error.is_none() {
+            self.cache_error = Some(e.to_string());
+        }
+    }
+
     fn absorb(&mut self, result: ChunkResult) {
+        let absorbed_chunk = self.next - 1;
         self.rows_reused += result.rows_reused;
         self.disk_hits += result.disk_hits;
+        self.failures += result.failures;
+        self.retries += result.retries;
         self.fixpoint.absorb(&result.fixpoint);
         self.sim_skip.absorb(&result.sim_skip);
-        self.fresh.extend(result.fresh);
+        // Durability before coverage: this chunk's entries flush now,
+        // and a checkpoint may only ever claim positions whose chunks
+        // were absorbed — so a kill between the two loses coverage
+        // (recomputed on resume), never correctness.
+        match self.cache.append(&result.fresh) {
+            Ok(n) => self.disk_appended += n,
+            Err(e) => self.record_cache_error(&e),
+        }
+        if let Some(plan) = &self.fault {
+            if plan.tears_after_chunk(absorbed_chunk) {
+                self.cache.inject_torn_tail();
+            }
+            if plan.poisons_after_chunk(absorbed_chunk) {
+                self.cache.inject_poisoned_line();
+            }
+        }
+        self.chunks_since_ckpt += 1;
+        if self.chunks_since_ckpt >= CHECKPOINT_EVERY {
+            self.chunks_since_ckpt = 0;
+            if let Err(e) = self
+                .cache
+                .write_checkpoint(self.matrix_fp, result.produced_after)
+            {
+                self.record_cache_error(&e);
+            }
+        }
         for outcome in result.outcomes {
             self.unique += 1;
             if outcome.error.is_some() {
@@ -512,17 +692,30 @@ pub fn run_campaign_with(
         0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         n => n,
     };
-    let producer = Mutex::new(Producer::new(matrix, opts, Arc::clone(&cache)));
+    // Checkpoints bind to the matrix they measured: a memo shared
+    // across specs never fast-forwards the wrong campaign.
+    let matrix_fp = debug_fingerprint(matrix);
+    let budget = opts.budget;
+    let fault = opts.fault;
+    install_supervised_panic_hook();
+    let producer = Mutex::new(Producer::new(matrix, opts, Arc::clone(&cache), matrix_fp));
     let sink = Mutex::new(Sink {
         next: 0,
         staged: BTreeMap::new(),
         on_cell: Some(Box::new(on_cell)),
         keep_cells: opts.keep_cells,
         cells: Vec::new(),
-        fresh: Vec::new(),
+        cache: Arc::clone(&cache),
+        matrix_fp,
+        fault,
+        chunks_since_ckpt: 0,
+        disk_appended: 0,
+        cache_error: None,
         unique: 0,
         errors: 0,
         bounded: 0,
+        failures: 0,
+        retries: 0,
         rows_reused: 0,
         disk_hits: 0,
         validated: 0,
@@ -538,8 +731,19 @@ pub fn run_campaign_with(
                 let mut engines: HashMap<(u64, u64), AnalysisEngine> = HashMap::new();
                 loop {
                     let chunk = producer.lock().expect("producer lock").next_chunk();
-                    let Some((idx, items)) = chunk else { break };
-                    let result = process_chunk(items, &mut engines, &memo, &ctx, &ipet);
+                    let Some((idx, items, produced_after)) = chunk else {
+                        break;
+                    };
+                    let result = process_chunk(
+                        items,
+                        produced_after,
+                        budget,
+                        fault.as_ref(),
+                        &mut engines,
+                        &memo,
+                        &ctx,
+                        &ipet,
+                    );
                     sink.lock().expect("sink lock").push(idx, result);
                 }
             });
@@ -547,12 +751,16 @@ pub fn run_campaign_with(
     });
 
     let producer = producer.into_inner().expect("producer lock");
-    let sink = sink.into_inner().expect("sink lock");
+    let mut sink = sink.into_inner().expect("sink lock");
     debug_assert!(sink.staged.is_empty(), "every chunk must have flushed");
-    let (disk_appended, cache_error) = match cache.append(&sink.fresh) {
-        Ok(n) => (n, None),
-        Err(e) => (0, Some(e.to_string())),
-    };
+    // The final checkpoint: every consumed position's chunk has been
+    // absorbed and flushed, so coverage through `produced` is durable
+    // (a later `--resume` of a finished run has nothing left to do).
+    if producer.produced > 0 {
+        if let Err(e) = cache.write_checkpoint(matrix_fp, producer.produced) {
+            sink.record_cache_error(&e);
+        }
+    }
     let ctx_stats = ctx.stats();
     let mut fixpoint = sink.fixpoint;
     fixpoint.absorb(&memo.fixpoint_stats());
@@ -566,8 +774,14 @@ pub fn run_campaign_with(
         bounded: sink.bounded,
         rows_reused: sink.rows_reused,
         disk_hits: sink.disk_hits,
-        disk_appended,
-        cache_error,
+        disk_appended: sink.disk_appended,
+        disk_skipped: cache.skipped,
+        disk_crc_rejected: cache.crc_rejected,
+        cache_error: sink.cache_error,
+        failures: sink.failures,
+        retries: sink.retries,
+        deadline_hit: producer.deadline_hit,
+        resumed: producer.resumed,
         validated: sink.validated,
         sound: sink.sound,
         violations: sink.violations,
@@ -584,9 +798,160 @@ pub fn run_campaign_with(
     }
 }
 
-/// Runs one chunk's cells in order, threading the neighbour chain.
+thread_local! {
+    /// True while a supervised cell runs: its panics are expected,
+    /// caught and recorded, so the process-wide hook stays silent —
+    /// a 10⁵-cell campaign must not print 10⁵ backtraces.
+    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs — once, process-wide — a panic hook that is silent for
+/// supervised cells and delegates to the previous hook otherwise (other
+/// threads and unsupervised code keep their normal backtraces).
+fn install_supervised_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.get() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs one supervised attempt, catching its panic quietly.
+fn supervised<T>(f: impl FnOnce() -> T) -> Result<T, Box<dyn std::any::Any + Send>> {
+    let was = SUPPRESS_PANIC_OUTPUT.get();
+    SUPPRESS_PANIC_OUTPUT.set(true);
+    let result = catch_unwind(AssertUnwindSafe(f));
+    SUPPRESS_PANIC_OUTPUT.set(was);
+    result
+}
+
+/// Maps a caught panic payload to a failure class: typed budget
+/// exhaustion from either solver crate, or a plain panic.
+fn classify_panic(payload: &(dyn std::any::Any + Send)) -> (FailureKind, String) {
+    if let Some(b) = payload.downcast_ref::<wcet_ilp::budget::BudgetExceeded>() {
+        (FailureKind::Budget, b.to_string())
+    } else if let Some(b) = payload.downcast_ref::<wcet_ir::budget::BudgetExceeded>() {
+        (FailureKind::Budget, b.to_string())
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (FailureKind::Panic, (*s).to_string())
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        (FailureKind::Panic, s.clone())
+    } else {
+        (FailureKind::Panic, "non-string panic payload".to_string())
+    }
+}
+
+/// What one successful supervised attempt computed.
+struct CellAnalysis {
+    outcome: CellOutcome,
+    /// Engine artifacts for the next neighbour (`None` off the engine
+    /// path; ignored by the caller when `rows_reused`, where the
+    /// predecessor's artifacts stay valid).
+    arts: Option<CellArtifacts>,
+    disk_hit: bool,
+    rows_reused: bool,
+}
+
+/// One attempt at a buildable cell: budgets armed, then disk memo →
+/// row reuse → static path → engine path, plus sampled validation.
+/// Runs inside [`supervised`]; may unwind at any point.
+#[allow(clippy::too_many_arguments)]
+fn analyze_cell(
+    scn: &Scenario,
+    built: &Arc<BuiltScenario>,
+    fingerprint: (u64, u64),
+    machine_fp: (u64, u64),
+    cached: Option<&[CachedRow]>,
+    sample: bool,
+    budget: CellBudget,
+    prior_rows: Option<&[TaskRow]>,
+    prior_arts: Option<&CellArtifacts>,
+    engines: &mut HashMap<(u64, u64), AnalysisEngine>,
+    memo: &Arc<MemoDomain>,
+    ctx: &Arc<SolveContext>,
+    ipet: &IpetOptions,
+    fix: &FixpointSink,
+    sim_skip: &mut SkipStats,
+) -> CellAnalysis {
+    // Budgets live for exactly this attempt; unwinding (budget blown or
+    // plain panic) restores the thread's previous budget via Drop.
+    let wall = budget
+        .max_cell_ms
+        .map(|ms| (Instant::now() + Duration::from_millis(ms), ms));
+    let _fix_budget = wcet_ir::budget::BudgetScope::arm(budget.max_fixpoint_evals, wall);
+    let _lp_budget = wcet_ilp::budget::BudgetScope::arm(budget.max_pivots, wall);
+
+    let (rows, arts, disk_hit, rows_reused) = if let Some(cached) = cached {
+        // Disk memo: rows are prefabricated (bounds only, no report).
+        // The analysis chain breaks here — artifacts were never
+        // computed — but row reuse stays valid.
+        let rows = cached
+            .iter()
+            .map(|r| TaskRow {
+                task: r.task.clone(),
+                core: r.core,
+                thread: r.thread,
+                mode: r.mode.clone(),
+                outcome: Ok(TaskBound {
+                    wcet: r.wcet,
+                    report: None,
+                }),
+            })
+            .collect();
+        (rows, None, true, false)
+    } else if let Some(prev) = prior_rows {
+        // Only the validation budget moved: the analysis — and
+        // therefore every row — is the predecessor's. Artifacts stay
+        // valid too (the machine is untouched).
+        (prev.to_vec(), None, false, true)
+    } else if scn.mode.is_static_family() {
+        (
+            analyze_static(scn, built, ipet, ctx, fix),
+            None,
+            false,
+            false,
+        )
+    } else {
+        let engine = engines.entry(machine_fp).or_insert_with(|| {
+            AnalysisEngine::new(built.machine.clone())
+                .with_solve_context(Arc::clone(ctx))
+                .with_memo(Arc::clone(memo))
+        });
+        let (rows, arts) = analyze_engine_incremental(scn, built, engine, prior_arts);
+        (rows, Some(arts), false, false)
+    };
+    let mut outcome = CellOutcome {
+        scenario: scn.clone(),
+        fingerprint,
+        rows,
+        validation: None,
+        validation_skipped: None,
+        error: None,
+        failure: None,
+    };
+    if sample {
+        validate_cell(built, &mut outcome, sim_skip);
+    }
+    CellAnalysis {
+        outcome,
+        arts,
+        disk_hit,
+        rows_reused,
+    }
+}
+
+/// Runs one chunk's cells in order, threading the neighbour chain, each
+/// cell under supervision (see the [module docs](self)).
+#[allow(clippy::too_many_arguments)]
 fn process_chunk(
     items: Vec<WorkItem>,
+    produced_after: usize,
+    budget: CellBudget,
+    fault: Option<&FaultPlan>,
     engines: &mut HashMap<(u64, u64), AnalysisEngine>,
     memo: &Arc<MemoDomain>,
     ctx: &Arc<SolveContext>,
@@ -596,8 +961,11 @@ fn process_chunk(
     let mut result = ChunkResult {
         outcomes: Vec::with_capacity(items.len()),
         fresh: Vec::new(),
+        produced_after,
         rows_reused: 0,
         disk_hits: 0,
+        failures: 0,
+        retries: 0,
         fixpoint: FixpointStats::default(),
         sim_skip: SkipStats::default(),
     };
@@ -607,80 +975,149 @@ fn process_chunk(
     let mut last_rows: Option<Vec<TaskRow>> = None;
     let mut last_arts: Option<CellArtifacts> = None;
     for item in items {
-        let built = match item.built {
+        let WorkItem {
+            scenario,
+            built,
+            machine_fp,
+            fingerprint,
+            changed,
+            cached,
+            sample,
+            rank,
+        } = item;
+        let built = match built {
             Ok(b) => b,
             Err(e) => {
                 last_rows = None;
                 last_arts = None;
                 result.outcomes.push(CellOutcome {
-                    scenario: item.scenario,
-                    fingerprint: item.fingerprint,
+                    scenario,
+                    fingerprint,
                     rows: Vec::new(),
                     validation: None,
                     validation_skipped: None,
                     error: Some(e),
+                    failure: None,
                 });
                 continue;
             }
         };
-        let scn = &item.scenario;
-        let rows = if let Some(cached) = item.cached {
-            // Disk memo: rows are prefabricated (bounds only, no
-            // report). The analysis chain breaks here — artifacts were
-            // never computed — but row reuse stays valid.
-            result.disk_hits += 1;
-            last_arts = None;
-            cached
-                .into_iter()
-                .map(|r| TaskRow {
-                    task: r.task,
-                    core: r.core,
-                    thread: r.thread,
-                    mode: r.mode,
-                    outcome: Ok(TaskBound {
-                        wcet: r.wcet,
-                        report: None,
-                    }),
-                })
-                .collect()
-        } else if (item.changed & !CYCLE_MASK) == 0 && last_rows.is_some() {
-            // Only the validation budget moved: the analysis — and
-            // therefore every row — is the predecessor's. Artifacts
-            // stay valid too (the machine is untouched).
-            result.rows_reused += 1;
-            last_rows.clone().expect("checked above")
-        } else if scn.mode.is_static_family() {
-            last_arts = None;
-            analyze_static(scn, &built, ipet, ctx, &fix)
+        let cell_budget = match fault {
+            Some(plan) if plan.starves(rank) => CellBudget {
+                max_pivots: Some(1),
+                max_fixpoint_evals: Some(1),
+                max_cell_ms: budget.max_cell_ms,
+            },
+            _ => budget,
+        };
+        let inject_panic = fault.is_some_and(|plan| plan.injects_panic(rank));
+        let prior_rows = if (changed & !CYCLE_MASK) == 0 {
+            last_rows.as_deref()
         } else {
-            let engine = engines.entry(item.machine_fp).or_insert_with(|| {
-                AnalysisEngine::new(built.machine.clone())
-                    .with_solve_context(Arc::clone(ctx))
-                    .with_memo(Arc::clone(memo))
-            });
-            let prior = if (item.changed & !BUS_MASK) == 0 {
-                last_arts.as_ref()
-            } else {
-                None
-            };
-            let (rows, arts) = analyze_engine_incremental(scn, &built, engine, prior);
-            last_arts = Some(arts);
-            rows
+            None
         };
-        let mut outcome = CellOutcome {
-            scenario: item.scenario,
-            fingerprint: item.fingerprint,
-            rows,
-            validation: None,
-            validation_skipped: None,
-            error: None,
+        let prior_arts = if (changed & !BUS_MASK) == 0 {
+            last_arts.as_ref()
+        } else {
+            None
         };
-        if item.sample {
-            validate_cell(&built, &mut outcome, &mut result.sim_skip);
+        let used_neighbor = prior_rows.is_some() || prior_arts.is_some();
+        let first = supervised(|| {
+            assert!(!inject_panic, "injected fault: panic at cell rank {rank}");
+            analyze_cell(
+                &scenario,
+                &built,
+                fingerprint,
+                machine_fp,
+                cached.as_deref(),
+                sample,
+                cell_budget,
+                prior_rows,
+                prior_arts,
+                engines,
+                memo,
+                ctx,
+                ipet,
+                &fix,
+                &mut result.sim_skip,
+            )
+        });
+        let (analysis, retries) = match first {
+            Ok(a) => (Ok(a), 0u32),
+            Err(payload) => {
+                let (kind, message) = classify_panic(&*payload);
+                if kind == FailureKind::Panic && used_neighbor {
+                    // The inherited chain may be poisoned (a neighbour
+                    // left partial state behind): one cold retry.
+                    // Budget failures never retry — a cold re-analysis
+                    // only does more work, deterministically.
+                    let second = supervised(|| {
+                        analyze_cell(
+                            &scenario,
+                            &built,
+                            fingerprint,
+                            machine_fp,
+                            cached.as_deref(),
+                            sample,
+                            cell_budget,
+                            None,
+                            None,
+                            engines,
+                            memo,
+                            ctx,
+                            ipet,
+                            &fix,
+                            &mut result.sim_skip,
+                        )
+                    });
+                    match second {
+                        Ok(a) => (Ok(a), 1),
+                        Err(p2) => (Err(classify_panic(&*p2)), 1),
+                    }
+                } else {
+                    (Err((kind, message)), 0)
+                }
+            }
+        };
+        result.retries += retries as usize;
+        let analysis = match analysis {
+            Ok(a) => a,
+            Err((kind, message)) => {
+                // Give up on this cell alone; the chain resets so the
+                // next cell analyses cold instead of inheriting state a
+                // panic may have left half-updated.
+                last_rows = None;
+                last_arts = None;
+                result.failures += 1;
+                result.outcomes.push(CellOutcome {
+                    scenario,
+                    fingerprint,
+                    rows: Vec::new(),
+                    validation: None,
+                    validation_skipped: None,
+                    error: None,
+                    failure: Some(CellFailure {
+                        kind,
+                        message,
+                        retries,
+                    }),
+                });
+                continue;
+            }
+        };
+        if analysis.disk_hit {
+            result.disk_hits += 1;
         }
-        if outcome.all_bounded() && !result_has(&result.fresh, item.fingerprint) {
+        if analysis.rows_reused {
+            result.rows_reused += 1;
+            // last_arts stays: the machine is untouched.
+        } else {
+            last_arts = analysis.arts;
+        }
+        let outcome = analysis.outcome;
+        if !analysis.disk_hit && outcome.all_bounded() && !result_has(&result.fresh, fingerprint) {
             result.fresh.push((
-                item.fingerprint,
+                fingerprint,
                 outcome
                     .rows
                     .iter()

@@ -11,16 +11,27 @@
 //!    with identical bounds, and corrupted or alien cache files fall
 //!    back to recomputation instead of poisoning results;
 //! 4. the checked-in `campaign.scn` is a genuine 10⁵-cell campaign and
-//!    a limited streaming run over it stays sound.
+//!    a limited streaming run over it stays sound;
+//! 5. every memo-corruption class is survived and *observably counted*:
+//!    CRC-corrupt lines (distinct from unparseable ones), a truncated
+//!    final line, duplicate fingerprints (last write wins), and a
+//!    checkpoint claiming more entries than the file holds;
+//! 6. resource budgets fail the starved cell alone — typed, retry-free
+//!    — and a zero deadline stops cleanly and stays resumable;
+//! 7. kill-then-`--resume` (including a torn final append) reproduces
+//!    the uninterrupted run's memo data lines byte-for-byte and its
+//!    emitted bounds exactly.
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
+use std::time::Duration;
 
 use proptest::prelude::*;
+use wcet_bench::scenario::cache::{self, CachedRow, Checkpoint, DiskCache};
 use wcet_bench::scenario::run::TaskRow;
 use wcet_bench::scenario::{
     parse_matrix, run_campaign, run_campaign_with, run_matrix, CampaignOptions, CampaignRun,
-    MatrixOptions, ScenarioMatrix,
+    CellBudget, FailureKind, MatrixOptions, ScenarioMatrix,
 };
 
 /// Fingerprint → `Debug`-rendered rows of a materialized run.
@@ -168,7 +179,7 @@ fn disk_cache_round_trips_and_tolerates_corruption() {
     assert_eq!(alien.disk_appended, alien.bounded);
     assert_eq!(alien_bounds, cold_bounds);
     let replaced = std::fs::read_to_string(&path).expect("cache exists");
-    assert!(replaced.starts_with("{\"kind\":\"wcet-campaign-memo\",\"schema\":1}"));
+    assert!(replaced.starts_with("{\"kind\":\"wcet-campaign-memo\",\"schema\":2}"));
     let _ = std::fs::remove_file(&path);
 }
 
@@ -205,6 +216,302 @@ fn campaign_matrix_is_a_six_figure_campaign_and_streams_soundly() {
         Vec::<String>::new(),
         "sampled cells must all be sound"
     );
+}
+
+/// The small fully-bounded matrix the corruption-class tests run (every
+/// unique cell gets a bound, so memo arithmetic is exact).
+const MEMO_MATRIX: &str = "name = memo\ncores = 2\narbiter = [rr, tdma:10]\n\
+                           mode = [isolated, joint]\ncycle_limit = [100000, 200000]\n\
+                           tasks = \"fir:2x4 crc:16\"\n";
+
+fn temp_memo(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("wcet-campaign-{tag}-{}", std::process::id()));
+    let path = dir.join("memo.jsonl");
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Flips one digit inside the JSON payload of the last *entry* line —
+/// the payload stays parseable, so only the CRC can catch it.
+fn poison_last_entry_line(path: &std::path::Path) {
+    let text = std::fs::read_to_string(path).expect("memo exists");
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let idx = lines
+        .iter()
+        .rposition(|l| l.contains("\"fp\":"))
+        .expect("an entry line");
+    let tab = lines[idx].find('\t').expect("CRC prefix");
+    let mut line = std::mem::take(&mut lines[idx]).into_bytes();
+    let digit = (tab..line.len())
+        .find(|&i| line[i].is_ascii_digit())
+        .expect("a digit in the payload");
+    line[digit] = if line[digit] == b'9' { b'8' } else { b'9' };
+    lines[idx] = String::from_utf8(line).expect("still ASCII");
+    std::fs::write(path, format!("{}\n", lines.join("\n"))).expect("writes");
+}
+
+#[test]
+fn crc_corrupt_entry_is_rejected_counted_and_recomputed() {
+    let matrix = parse_matrix(MEMO_MATRIX).expect("parses");
+    let path = temp_memo("crc");
+    let opts = || CampaignOptions {
+        cache: Some(path.clone()),
+        ..CampaignOptions::default()
+    };
+    let (_, cold_bounds, _, cold) = streaming_rows(&matrix, &opts());
+    assert!(cold.bounded > 1);
+    poison_last_entry_line(&path);
+
+    // The poisoned entry is rejected on the CRC (not as unparseable),
+    // its cell alone recomputed — with the same bound — and re-appended.
+    let (_, warm_bounds, _, warm) = streaming_rows(&matrix, &opts());
+    assert_eq!(warm.disk_crc_rejected, 1, "CRC corruption is counted");
+    assert_eq!(warm.disk_skipped, 0, "…distinctly from unparseable lines");
+    assert_eq!(warm.disk_hits, cold.bounded - 1);
+    assert_eq!(warm.disk_appended, 1, "the recomputed cell is re-appended");
+    assert_eq!(warm_bounds, cold_bounds, "bounds are unaffected");
+
+    // The re-appended duplicate supersedes the poisoned line (last
+    // write wins), so a third run is fully disk-served again.
+    let (_, third_bounds, _, third) = streaming_rows(&matrix, &opts());
+    assert_eq!(third.disk_crc_rejected, 1, "the poisoned line remains");
+    assert_eq!(third.disk_hits, cold.bounded);
+    assert_eq!(third.disk_appended, 0);
+    assert_eq!(third_bounds, cold_bounds);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_final_line_is_skipped_without_losing_entries() {
+    let matrix = parse_matrix(MEMO_MATRIX).expect("parses");
+    let path = temp_memo("trunc");
+    let opts = || CampaignOptions {
+        cache: Some(path.clone()),
+        ..CampaignOptions::default()
+    };
+    let (_, cold_bounds, _, cold) = streaming_rows(&matrix, &opts());
+    // Tear mid-line, as a `kill -9` during the final append would. The
+    // last line is the campaign's closing checkpoint, so every entry
+    // stays intact.
+    let bytes = std::fs::read(&path).expect("memo exists");
+    std::fs::write(&path, &bytes[..bytes.len() - 9]).expect("writes");
+    let (_, warm_bounds, _, warm) = streaming_rows(&matrix, &opts());
+    assert_eq!(warm.disk_skipped, 1, "the torn line is counted as skipped");
+    assert_eq!(warm.disk_crc_rejected, 0);
+    assert_eq!(warm.disk_hits, cold.bounded, "no entry was lost");
+    assert_eq!(warm_bounds, cold_bounds);
+    let _ = std::fs::remove_file(&path);
+}
+
+fn cached_row(task: &str, wcet: u64) -> CachedRow {
+    CachedRow {
+        task: task.into(),
+        core: 0,
+        thread: 0,
+        mode: "isolated".into(),
+        wcet,
+    }
+}
+
+fn append_raw_line(path: &std::path::Path, line: &str) {
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .expect("memo exists");
+    writeln!(f, "{line}").expect("writes");
+}
+
+#[test]
+fn duplicate_fingerprints_last_write_wins() {
+    let path = temp_memo("dup");
+    let cache = DiskCache::open(&path);
+    cache
+        .append(&[((1, 2), vec![cached_row("fir", 10)])])
+        .expect("writes");
+    // A second, newer line for the same fingerprint — as an append-only
+    // file accumulates across re-runs — must shadow the first.
+    append_raw_line(&path, &cache::entry_line((1, 2), &[cached_row("fir", 99)]));
+    let warm = DiskCache::open(&path);
+    assert_eq!(warm.len(), 1);
+    assert_eq!(warm.skipped, 0);
+    assert_eq!(warm.crc_rejected, 0);
+    assert_eq!(warm.lookup((1, 2)), Some(&[cached_row("fir", 99)][..]));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpoint_newer_than_the_memo_is_ignored() {
+    let path = temp_memo("ckpt-tamper");
+    let cache = DiskCache::open(&path);
+    cache
+        .append(&[((1, 2), vec![cached_row("fir", 10)])])
+        .expect("writes");
+    // A checkpoint claiming five durable entries over a one-entry file
+    // (a truncated or tampered memo) must not be trusted — `--resume`
+    // degrades to recomputation instead of losing cells.
+    append_raw_line(&path, &cache::checkpoint_line((7, 8), 640, 5));
+    let warm = DiskCache::open(&path);
+    assert_eq!(warm.checkpoint(), None, "inflated checkpoint is ignored");
+    // An honest checkpoint over the same file is trusted.
+    append_raw_line(&path, &cache::checkpoint_line((7, 8), 640, 1));
+    assert_eq!(
+        DiskCache::open(&path).checkpoint(),
+        Some(Checkpoint {
+            matrix: (7, 8),
+            produced: 640,
+            entries: 1,
+        })
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn budget_starved_cells_fail_alone_without_retries() {
+    let matrix = parse_matrix(MEMO_MATRIX).expect("parses");
+    let starved = run_campaign(
+        &matrix,
+        &CampaignOptions {
+            keep_cells: true,
+            budget: CellBudget {
+                max_pivots: Some(1),
+                max_fixpoint_evals: Some(1),
+                max_cell_ms: None,
+            },
+            ..CampaignOptions::default()
+        },
+    );
+    assert!(starved.failures > 0, "a 1-pivot budget must starve cells");
+    assert_eq!(starved.retries, 0, "budget exhaustion must never retry");
+    let failed: Vec<_> = starved
+        .cells
+        .iter()
+        .filter_map(|c| c.failure.as_ref().map(|f| (c, f)))
+        .collect();
+    assert_eq!(failed.len(), starved.failures);
+    for (cell, failure) in failed {
+        assert_eq!(failure.kind, FailureKind::Budget);
+        assert_eq!(failure.retries, 0);
+        assert!(!cell.all_bounded(), "a failed cell must not claim bounds");
+    }
+    // The same matrix unbudgeted is clean — the failures were the
+    // budget's, not the analysis's.
+    let clean = run_campaign(&matrix, &CampaignOptions::default());
+    assert_eq!(clean.failures, 0);
+    assert_eq!(clean.errors, 0);
+}
+
+#[test]
+fn zero_deadline_stops_cleanly_and_stays_resumable() {
+    let matrix = parse_matrix(MEMO_MATRIX).expect("parses");
+    let path = temp_memo("deadline");
+    let expired = run_campaign(
+        &matrix,
+        &CampaignOptions {
+            cache: Some(path.clone()),
+            deadline: Some(Duration::ZERO),
+            ..CampaignOptions::default()
+        },
+    );
+    assert!(expired.deadline_hit, "an expired deadline is reported");
+    assert_eq!(expired.produced, 0, "no work is handed out past it");
+    assert_eq!(expired.failures, 0);
+    // Continuing the campaign (here: a plain rerun against the same
+    // memo) completes the coverage the deadline cut short.
+    let completed = run_campaign(
+        &matrix,
+        &CampaignOptions {
+            cache: Some(path.clone()),
+            resume: true,
+            ..CampaignOptions::default()
+        },
+    );
+    assert!(!completed.deadline_hit);
+    assert!(completed.bounded > 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The memo's entry lines (CRC-prefixed data rows), in file order —
+/// checkpoint records are interleaved bookkeeping and excluded.
+fn memo_entry_lines(path: &std::path::Path) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .expect("memo exists")
+        .lines()
+        .filter(|l| l.contains("\"fp\":"))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn kill_and_resume_reproduces_the_uninterrupted_run_byte_for_byte() {
+    let matrix = parse_matrix(include_str!("../../../scenarios/campaign.scn")).expect("parses");
+    const INTERRUPT_AT: usize = 1100;
+    const RESUME_TO: usize = 2200;
+    let killed = temp_memo("kill-resume");
+    let reference_memo = temp_memo("kill-resume-ref");
+
+    // Phase 1: the run that dies — `--limit` plays `kill -9`, and the
+    // torn tail below plays the half-written line the kill left behind.
+    let (_, interrupted_bounds, _, interrupted) = streaming_rows(
+        &matrix,
+        &CampaignOptions {
+            cache: Some(killed.clone()),
+            limit: Some(INTERRUPT_AT),
+            ..CampaignOptions::default()
+        },
+    );
+    assert_eq!(interrupted.produced, INTERRUPT_AT);
+    let bytes = std::fs::read(&killed).expect("memo exists");
+    std::fs::write(&killed, &bytes[..bytes.len() - 7]).expect("tears");
+
+    // Phase 2: resume. The torn final checkpoint is skipped; the last
+    // intact one (a periodic, chunk-aligned record) fast-forwards the
+    // odometer, and the durable entries serve the gap as disk hits.
+    let (_, resumed_bounds, _, resumed) = streaming_rows(
+        &matrix,
+        &CampaignOptions {
+            cache: Some(killed.clone()),
+            limit: Some(RESUME_TO),
+            resume: true,
+            ..CampaignOptions::default()
+        },
+    );
+    assert!(resumed.resumed > 0, "resume must fast-forward");
+    assert!(
+        resumed.resumed < INTERRUPT_AT,
+        "…to the torn-back checkpoint"
+    );
+    assert_eq!(resumed.disk_skipped, 1, "the torn line is counted");
+    assert_eq!(resumed.produced, RESUME_TO);
+
+    // The uninterrupted reference run over its own memo.
+    let (_, reference_bounds, _, reference) = streaming_rows(
+        &matrix,
+        &CampaignOptions {
+            cache: Some(reference_memo.clone()),
+            limit: Some(RESUME_TO),
+            ..CampaignOptions::default()
+        },
+    );
+    assert_eq!(reference.produced, RESUME_TO);
+
+    // Bounds: interrupted ∪ resumed covers exactly what the reference
+    // emitted, cell for cell.
+    let mut union = interrupted_bounds;
+    union.extend(resumed_bounds);
+    assert_eq!(
+        union, reference_bounds,
+        "kill-then-resume must reproduce the uninterrupted bounds"
+    );
+    // Memo: the data lines of both files are byte-identical, in order
+    // (only the interleaved checkpoint records may differ).
+    assert_eq!(
+        memo_entry_lines(&killed),
+        memo_entry_lines(&reference_memo),
+        "kill-then-resume must reproduce the uninterrupted memo"
+    );
+    let _ = std::fs::remove_file(&killed);
+    let _ = std::fs::remove_file(&reference_memo);
 }
 
 const ARB_EXTRAS: [&str; 4] = ["tdma:12", "mbba:2-1@12", "wheel:16", "fp:0"];

@@ -1,0 +1,137 @@
+//! The `wcet` binary's exit-code ladder, end to end:
+//!
+//! * `0` — clean (streaming or materialized) run;
+//! * `1` — hard error (bad usage) and `--strict` escalation;
+//! * `2` — supervised cell failures (here: starved budgets);
+//! * `3` — the `--deadline-ms` deadline fired; a `--resume` rerun then
+//!   completes the campaign cleanly.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const SPEC: &str = "name = cli\ncores = 2\narbiter = [rr, tdma:10]\n\
+                    mode = [isolated, joint]\ncycle_limit = [100000, 200000]\n\
+                    tasks = \"fir:2x4 crc:16\"\n";
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wcet-cli-exit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn write_spec(dir: &std::path::Path) -> PathBuf {
+    let spec = dir.join("cli.scn");
+    std::fs::write(&spec, SPEC).expect("writes spec");
+    spec
+}
+
+fn wcet(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_wcet"))
+        .args(args)
+        .output()
+        .expect("spawns wcet")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn clean_streaming_run_exits_zero() {
+    let dir = temp_dir();
+    let spec = write_spec(&dir);
+    let out = wcet(&["scenarios", "run", spec.to_str().expect("utf8"), "--stream"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+}
+
+#[test]
+fn bad_usage_exits_one() {
+    let out = wcet(&["scenarios", "frobnicate", "nope.scn"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("usage:"));
+}
+
+#[test]
+fn starved_budgets_exit_two_with_a_summary() {
+    let dir = temp_dir();
+    let spec = write_spec(&dir);
+    let out = wcet(&[
+        "scenarios",
+        "run",
+        spec.to_str().expect("utf8"),
+        "--budget-pivots",
+        "1",
+        "--budget-evals",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("failed under supervision"),
+        "stderr must summarize the failures, got: {err}"
+    );
+    assert!(
+        err.contains("--strict"),
+        "stderr must point at the escalation flag, got: {err}"
+    );
+    // The failed cells stream as failed(...) rows, not as bounds.
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("failed(budget"), "stdout: {stdout}");
+}
+
+#[test]
+fn strict_escalates_failures_to_one() {
+    let dir = temp_dir();
+    let spec = write_spec(&dir);
+    let out = wcet(&[
+        "scenarios",
+        "run",
+        spec.to_str().expect("utf8"),
+        "--budget-pivots",
+        "1",
+        "--budget-evals",
+        "1",
+        "--strict",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr_of(&out));
+}
+
+#[test]
+fn deadline_exits_three_and_resume_completes() {
+    let dir = temp_dir();
+    let spec = write_spec(&dir);
+    let memo = dir.join("deadline-memo.jsonl");
+    let _ = std::fs::remove_file(&memo);
+    let spec_str = spec.to_str().expect("utf8");
+    let memo_str = memo.to_str().expect("utf8");
+
+    let out = wcet(&[
+        "scenarios",
+        "run",
+        spec_str,
+        "--cache",
+        memo_str,
+        "--deadline-ms",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("deadline"), "stderr: {err}");
+    assert!(err.contains("--resume"), "stderr: {err}");
+
+    let resumed = wcet(&[
+        "scenarios",
+        "run",
+        spec_str,
+        "--cache",
+        memo_str,
+        "--resume",
+    ]);
+    assert_eq!(
+        resumed.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_of(&resumed)
+    );
+    let _ = std::fs::remove_file(&memo);
+}

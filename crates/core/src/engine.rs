@@ -27,7 +27,7 @@
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use wcet_cache::analysis::{AnalysisInput, CacheAnalysis};
 use wcet_cache::config::{CacheConfig, LineAddr};
@@ -44,6 +44,24 @@ use crate::analyzer::{build_report, AnalysisError, Analyzer, TaskContext, WcetRe
 use crate::fingerprint::{debug_fingerprint, program_fingerprint};
 use crate::ipet::{wcet_ipet_ctx, IpetOptions, SolveContext, WcetBound};
 use crate::mode::AnalysisMode;
+
+/// Poison-tolerant lock accessors. A supervised campaign cell that
+/// panics is caught at its cell boundary, but the unwind may have
+/// crossed a thread that once held one of the shared memo/stats locks —
+/// and every critical section below is a pure insert/absorb that cannot
+/// unwind half-way, so the guarded data is consistent even with the
+/// poison flag set. Recover instead of wedging every other worker.
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn read_ok<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_ok<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Memo key of one hierarchy fixpoint: the task's content fingerprint plus
 /// everything [`analyze_hierarchy`] reads from the context. Deliberately
@@ -289,13 +307,9 @@ impl MemoDomain {
 
     /// Worklist-fixpoint effort (blocks evaluated vs the naive-sweep
     /// equivalent) across every cache analysis computed into this domain.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a thread died while holding the stats lock.
     #[must_use]
     pub fn fixpoint_stats(&self) -> FixpointStats {
-        *self.fix_totals.lock().expect("fixpoint stats lock")
+        *lock_ok(&self.fix_totals)
     }
 }
 
@@ -422,27 +436,19 @@ impl AnalysisEngine {
 
     /// Current ILP-solver effort counters (warm-start hits, pivots,
     /// phase-1 skips) across every bound this engine has solved.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a thread died while holding the stats lock.
     #[must_use]
     pub fn solver_stats(&self) -> SolverStats {
         let ctx = self.solve_ctx.stats();
         SolverStats {
             warm_hits: ctx.warm_hits,
             cold_solves: ctx.cold_solves,
-            totals: *self.solver_totals.lock().expect("solver stats lock"),
+            totals: *lock_ok(&self.solver_totals),
         }
     }
 
     /// Worklist-fixpoint effort (blocks evaluated vs the naive-sweep
     /// equivalent) across every cache analysis computed into the engine's
     /// memo domain.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a thread died while holding the stats lock.
     #[must_use]
     pub fn fixpoint_stats(&self) -> FixpointStats {
         self.memo.fixpoint_stats()
@@ -678,7 +684,7 @@ impl AnalysisEngine {
         key: &Arc<HierKey>,
     ) -> Arc<HierarchyAnalysis> {
         let memo = &*self.memo;
-        if let Some(hit) = memo.hierarchies.read().expect("memo lock").get(&**key) {
+        if let Some(hit) = read_ok(&memo.hierarchies).get(&**key) {
             memo.hier_stats.hit();
             return Arc::clone(hit);
         }
@@ -695,10 +701,7 @@ impl AnalysisEngine {
             input.kind = wcet_cache::analysis::LevelKind::Unified;
             input.reach = Some(wcet_cache::multilevel::reach_filter(&[&l1.0, &l1.1]));
             let analysis = wcet_cache::analysis::analyze(program, &input);
-            memo.fix_totals
-                .lock()
-                .expect("fixpoint stats lock")
-                .absorb(&analysis.fixpoint_stats());
+            lock_ok(&memo.fix_totals).absorb(&analysis.fixpoint_stats());
             analysis
         });
         let computed = Arc::new(HierarchyAnalysis {
@@ -707,7 +710,7 @@ impl AnalysisEngine {
             l2,
         });
         memo.hier_stats.miss();
-        let mut table = memo.hierarchies.write().expect("memo lock");
+        let mut table = write_ok(&memo.hierarchies);
         Arc::clone(table.entry(Arc::clone(key)).or_insert(computed))
     }
 
@@ -721,18 +724,15 @@ impl AnalysisEngine {
     ) -> Arc<(CacheAnalysis, CacheAnalysis)> {
         let memo = &*self.memo;
         let key = L1Key { task, l1i, l1d };
-        if let Some(hit) = memo.l1s.read().expect("memo lock").get(&key) {
+        if let Some(hit) = read_ok(&memo.l1s).get(&key) {
             memo.l1_stats.hit();
             return Arc::clone(hit);
         }
         let partial = analyze_hierarchy(program, &HierarchyConfig { l1i, l1d, l2: None });
-        memo.fix_totals
-            .lock()
-            .expect("fixpoint stats lock")
-            .absorb(&partial.fixpoint_stats());
+        lock_ok(&memo.fix_totals).absorb(&partial.fixpoint_stats());
         let computed = Arc::new((partial.l1i, partial.l1d));
         memo.l1_stats.miss();
-        let mut table = memo.l1s.write().expect("memo lock");
+        let mut table = write_ok(&memo.l1s);
         Arc::clone(table.entry(key).or_insert(computed))
     }
 
@@ -744,7 +744,7 @@ impl AnalysisEngine {
         key: &CostKey,
     ) -> Result<Arc<BlockCosts>, AnalysisError> {
         let memo = &*self.memo;
-        if let Some(hit) = memo.costs.read().expect("memo lock").get(key) {
+        if let Some(hit) = read_ok(&memo.costs).get(key) {
             memo.cost_stats.hit();
             return Ok(Arc::clone(hit));
         }
@@ -757,7 +757,7 @@ impl AnalysisEngine {
         debug_assert_eq!(input.timings, ctx.timings);
         let computed = Arc::new(block_costs(program, hierarchy, &input)?);
         memo.cost_stats.miss();
-        let mut table = memo.costs.write().expect("memo lock");
+        let mut table = write_ok(&memo.costs);
         Ok(Arc::clone(table.entry(key.clone()).or_insert(computed)))
     }
 
@@ -772,17 +772,14 @@ impl AnalysisEngine {
             cost: cost_key,
             options: self.options_fp,
         };
-        if let Some(hit) = memo.bounds.read().expect("memo lock").get(&key) {
+        if let Some(hit) = read_ok(&memo.bounds).get(&key) {
             memo.bound_stats.hit();
             return Ok(hit.clone());
         }
         let computed = wcet_ipet_ctx(program, costs, self.analyzer.options(), &self.solve_ctx)?;
         memo.bound_stats.miss();
-        self.solver_totals
-            .lock()
-            .expect("solver stats lock")
-            .absorb(&computed.solver);
-        let mut table = memo.bounds.write().expect("memo lock");
+        lock_ok(&self.solver_totals).absorb(&computed.solver);
+        let mut table = write_ok(&memo.bounds);
         Ok(table.entry(key).or_insert(computed).clone())
     }
 }

@@ -25,6 +25,14 @@ use crate::branch_bound::{solve_ilp_warm, IlpConfig, IlpError, IlpStats};
 use crate::model::{LpModel, Solution, SolveStats};
 use crate::simplex::{solve_lp_warm, WarmBasis};
 
+/// Poison-tolerant lock accessor: a supervised caller that panics
+/// mid-solve (budget abort, injected fault) never holds these locks at
+/// the point of unwind, so the guarded state is consistent; recover
+/// instead of wedging every other worker sharing the context.
+fn lock_ok<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Key identifying one constraint system (callers typically use a task
 /// content fingerprint — any stable 128-bit identity works; a mismatch
 /// only costs the warm start, never correctness, because basis
@@ -71,18 +79,16 @@ impl SolveContext {
     }
 
     /// Summed per-solve effort counters of every solve served through
-    /// this context.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a thread died while holding the totals lock.
+    /// this context. Lock poisoning is recovered from: the critical
+    /// sections here are pure reads and absorbs, so a (supervised)
+    /// panicking solver thread cannot leave the totals inconsistent.
     #[must_use]
     pub fn totals(&self) -> SolveStats {
-        *self.totals.lock().expect("context totals lock")
+        *lock_ok(&self.totals)
     }
 
     fn cached(&self, key: SolveKey) -> Option<Arc<WarmBasis>> {
-        self.bases.lock().expect("context lock").get(&key).cloned()
+        lock_ok(&self.bases).get(&key).cloned()
     }
 
     /// Records the outcome of one solve: count the hit/miss and, on a
@@ -98,19 +104,14 @@ impl SolveContext {
         feasible: Option<WarmBasis>,
         stats: &SolveStats,
     ) {
-        self.totals
-            .lock()
-            .expect("context totals lock")
-            .absorb(stats);
+        lock_ok(&self.totals).absorb(stats);
         if warm_used {
             self.warm_hits.fetch_add(1, Ordering::Relaxed);
             return;
         }
         self.cold_solves.fetch_add(1, Ordering::Relaxed);
         if let Some(basis) = feasible {
-            self.bases
-                .lock()
-                .expect("context lock")
+            lock_ok(&self.bases)
                 .entry(key)
                 .or_insert_with(|| Arc::new(basis));
         }

@@ -249,6 +249,7 @@ impl<'a> Fast<'a> {
     /// Executes a pivot: extends the eta file, updates `x_B` and the
     /// basis, refactorizes when the file is long.
     fn pivot(&mut self, row: usize, col: usize, w: &[f64]) -> Result<(), Bail> {
+        crate::budget::charge_pivot();
         let piv = w[row];
         if piv.abs() <= PIVOT_TOL {
             return Err(Bail::Numeric);

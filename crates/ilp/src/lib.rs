@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub mod branch_bound;
+pub mod budget;
 mod certify;
 pub mod context;
 pub mod dag;

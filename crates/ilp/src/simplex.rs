@@ -483,6 +483,7 @@ impl Revised {
     }
 
     fn pivot(&mut self, row: usize, col: usize, w: &[Rat]) {
+        crate::budget::charge_pivot();
         self.eta_update(row, w);
         self.in_basis[self.basis[row]] = false;
         self.in_basis[col] = true;

@@ -1,0 +1,171 @@
+//! Cooperative per-cell budgets for worklist-fixpoint effort.
+//!
+//! A campaign worker arms a [`BudgetScope`] around one cell's analysis;
+//! every [`crate::fixpoint::Worklist::pop`] then charges one evaluation
+//! against the scope. When the budget (or the cell's wall-clock
+//! deadline) is exhausted the charge aborts the cell by unwinding with a
+//! typed [`BudgetExceeded`] payload, which the supervisor catches at the
+//! cell boundary and turns into a structured failure row — cooperative
+//! cancellation without threading a token through every analysis
+//! signature.
+//!
+//! The state is thread-local because analyses run synchronously on the
+//! worker that armed the scope; an unarmed thread pays one `Cell` read
+//! per evaluation. Scopes nest by restore-on-drop, so a stray inner arm
+//! can never leak a stale budget into the next cell.
+
+use std::cell::Cell;
+use std::fmt;
+use std::time::Instant;
+
+/// The unwind payload of an exhausted budget. Catch with
+/// `std::panic::catch_unwind` and downcast to classify the abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// What ran out (e.g. `"fixpoint evaluations"`).
+    pub resource: &'static str,
+    /// The armed limit.
+    pub limit: u64,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell budget exceeded: over {} {}",
+            self.limit, self.resource
+        )
+    }
+}
+
+#[derive(Clone, Copy)]
+struct State {
+    remaining: u64,
+    limit: u64,
+    deadline: Option<Instant>,
+    wall_ms: u64,
+    tick: u32,
+}
+
+const UNARMED: State = State {
+    remaining: u64::MAX,
+    limit: u64::MAX,
+    deadline: None,
+    wall_ms: 0,
+    tick: 0,
+};
+
+thread_local! {
+    static STATE: Cell<State> = const { Cell::new(UNARMED) };
+}
+
+/// An armed budget; dropping it restores whatever was armed before.
+pub struct BudgetScope {
+    prev: State,
+}
+
+impl BudgetScope {
+    /// Arms this thread with an evaluation budget and/or a wall-clock
+    /// deadline (`(instant, limit_ms)`, the latter only for the abort
+    /// message). `None`/`None` arms an infinite scope, which still
+    /// shields the caller from any stale outer scope.
+    #[must_use]
+    pub fn arm(max_evals: Option<u64>, deadline: Option<(Instant, u64)>) -> BudgetScope {
+        let prev = STATE.get();
+        STATE.set(State {
+            remaining: max_evals.unwrap_or(u64::MAX),
+            limit: max_evals.unwrap_or(u64::MAX),
+            deadline: deadline.map(|(at, _)| at),
+            wall_ms: deadline.map_or(0, |(_, ms)| ms),
+            tick: 0,
+        });
+        BudgetScope { prev }
+    }
+}
+
+impl Drop for BudgetScope {
+    fn drop(&mut self) {
+        STATE.set(self.prev);
+    }
+}
+
+/// Charges one worklist evaluation against the armed budget (no-op when
+/// unarmed). Aborts by unwinding with [`BudgetExceeded`] on exhaustion;
+/// the wall-clock deadline is probed every 64 charges (and on the
+/// first), keeping the `Instant::now` cost off the hot path.
+#[inline]
+pub(crate) fn charge_eval() {
+    let mut s = STATE.get();
+    if s.remaining == u64::MAX && s.deadline.is_none() {
+        return;
+    }
+    if s.remaining == 0 {
+        std::panic::panic_any(BudgetExceeded {
+            resource: "fixpoint evaluations",
+            limit: s.limit,
+        });
+    }
+    if s.remaining != u64::MAX {
+        s.remaining -= 1;
+    }
+    if let Some(at) = s.deadline {
+        if s.tick.is_multiple_of(64) && Instant::now() >= at {
+            std::panic::panic_any(BudgetExceeded {
+                resource: "cell wall-clock ms",
+                limit: s.wall_ms,
+            });
+        }
+        s.tick = s.tick.wrapping_add(1);
+    }
+    STATE.set(s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_charges_are_free_and_infallible() {
+        for _ in 0..10_000 {
+            charge_eval();
+        }
+    }
+
+    #[test]
+    fn exhaustion_unwinds_with_a_typed_payload() {
+        let _scope = BudgetScope::arm(Some(3), None);
+        charge_eval();
+        charge_eval();
+        charge_eval();
+        let err = std::panic::catch_unwind(charge_eval).expect_err("fourth charge must abort");
+        let payload = err
+            .downcast::<BudgetExceeded>()
+            .expect("typed BudgetExceeded payload");
+        assert_eq!(payload.resource, "fixpoint evaluations");
+        assert_eq!(payload.limit, 3);
+    }
+
+    #[test]
+    fn scopes_restore_on_drop() {
+        {
+            let _outer = BudgetScope::arm(Some(1), None);
+            {
+                let _inner = BudgetScope::arm(None, None);
+                for _ in 0..100 {
+                    charge_eval(); // inner scope is infinite
+                }
+            }
+            charge_eval(); // outer's single eval
+            assert!(std::panic::catch_unwind(charge_eval).is_err());
+        }
+        charge_eval(); // unarmed again
+    }
+
+    #[test]
+    fn expired_deadline_aborts_on_first_charge() {
+        let _scope = BudgetScope::arm(None, Some((Instant::now(), 0)));
+        let err = std::panic::catch_unwind(charge_eval).expect_err("deadline already passed");
+        let payload = err.downcast::<BudgetExceeded>().expect("typed payload");
+        assert_eq!(payload.resource, "cell wall-clock ms");
+    }
+}

@@ -167,9 +167,12 @@ impl Worklist {
         }
     }
 
-    /// Pops the lowest-priority dirty block, counting the evaluation.
+    /// Pops the lowest-priority dirty block, counting the evaluation —
+    /// and charging it against any armed [`crate::budget::BudgetScope`],
+    /// which aborts a runaway fixpoint by unwinding.
     pub fn pop(&mut self) -> Option<BlockId> {
         let Reverse(p) = self.heap.pop()?;
+        crate::budget::charge_eval();
         let block = self.order[p as usize];
         self.queued[block.index()] = false;
         self.trips[block.index()] += 1;
