@@ -13,11 +13,12 @@
 //! fast-forwarded), schema 6's `campaign` block (streaming-campaign
 //! throughput in cells/sec, dedup and reuse rates), and schema 7's
 //! supervision counters (cell failures, cold retries, resume
-//! fast-forward distance) — and still accepts older documents: absent
-//! sections and counters render as `—`, so the trend step keeps
-//! comparing against the previous run across schema bumps (a schema-6
-//! baseline against a schema-7 current run is the expected case right
-//! after the bump).
+//! fast-forward distance), and schema 8's `serve` block (the analysis
+//! server's request throughput and hot-memo hit rate) — and still
+//! accepts older documents: absent sections and counters render as `—`,
+//! so the trend step keeps comparing against the previous run across
+//! schema bumps (a schema-7 baseline against a schema-8 current run is
+//! the expected case right after the bump).
 
 use std::process::ExitCode;
 
@@ -117,6 +118,46 @@ fn campaign_cells(e: Option<&CampaignEntry>) -> [String; 7] {
             pct(e.disk_hit_rate),
             opt(e.failures),
             opt(e.resume_fast_forwarded),
+        ],
+        None => std::array::from_fn(|_| "—".into()),
+    }
+}
+
+/// The schema-8 serving-pass headline numbers of one document. `None`
+/// for older documents (schema ≤ 7 has no `serve` block).
+struct ServeEntry {
+    req_per_sec: f64,
+    requests: Option<u64>,
+    hot_hit_rate: Option<f64>,
+    evictions: Option<u64>,
+    identical: Option<bool>,
+}
+
+fn serve(doc: &Json) -> Option<ServeEntry> {
+    let block = doc.get("serve")?;
+    Some(ServeEntry {
+        req_per_sec: block.get("req_per_sec").and_then(Json::as_f64)?,
+        requests: block.get("requests").and_then(Json::as_u64),
+        hot_hit_rate: block.get("hot_hit_rate").and_then(Json::as_f64),
+        evictions: block.get("evictions").and_then(Json::as_u64),
+        identical: match block.get("identical_bounds") {
+            Some(Json::Bool(b)) => Some(*b),
+            _ => None,
+        },
+    })
+}
+
+/// One side of the serving comparison, or `—`s when the document
+/// predates schema 8.
+fn serve_cells(e: Option<&ServeEntry>) -> [String; 5] {
+    match e {
+        Some(e) => [
+            format!("{:.1}", e.req_per_sec),
+            opt(e.requests),
+            pct(e.hot_hit_rate),
+            opt(e.evictions),
+            e.identical
+                .map_or_else(|| "—".into(), |b| if b { "yes" } else { "NO" }.into()),
         ],
         None => std::array::from_fn(|_| "—".into()),
     }
@@ -276,6 +317,45 @@ fn main() -> ExitCode {
                     b.cells_per_sec,
                     c.cells_per_sec,
                     (c.cells_per_sec - b.cells_per_sec) / b.cells_per_sec * 100.0
+                ));
+            }
+        }
+        println!("{t}");
+    }
+
+    // Schema 8: the serving pass. Same convention — either side missing
+    // the block renders `—`; both missing skips the table.
+    let (base_s, cur_s) = (serve(&baseline), serve(&current));
+    if base_s.is_some() || cur_s.is_some() {
+        let mut t = Table::new(
+            "Analysis server (schema 8): request throughput, hot-memo hit rate",
+            &[
+                "side",
+                "req/sec",
+                "requests",
+                "hot hit rate",
+                "evictions",
+                "identical bounds",
+            ],
+        );
+        for (side, e) in [("baseline", base_s.as_ref()), ("current", cur_s.as_ref())] {
+            let [rps, requests, hit_rate, evictions, identical] = serve_cells(e);
+            t.row([
+                side.to_string(),
+                rps,
+                requests,
+                hit_rate,
+                evictions,
+                identical,
+            ]);
+        }
+        if let (Some(b), Some(c)) = (&base_s, &cur_s) {
+            if b.req_per_sec > 0.0 {
+                t.note(format!(
+                    "throughput {:.1} → {:.1} req/sec ({:+.0}%); report-only, never a gate",
+                    b.req_per_sec,
+                    c.req_per_sec,
+                    (c.req_per_sec - b.req_per_sec) / b.req_per_sec * 100.0
                 ));
             }
         }

@@ -139,7 +139,7 @@ fn scenario_sweep() -> Json {
         &matrix,
         &MatrixOptions {
             validate: true,
-            ctx: None,
+            ..MatrixOptions::default()
         },
     );
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -363,6 +363,65 @@ fn run_subprocess(exp: &str) -> bool {
     matches!(status, Ok(s) if s.success())
 }
 
+/// Schema 8: the serving pass. The server lives in `wcet-serve`, which
+/// depends on this crate — so the pass runs as the `serve_bench` sibling
+/// binary (falling back to `cargo run` when the sibling isn't built) and
+/// its one stdout line of JSON becomes the `serve` block. The binary
+/// itself asserts the served bounds are byte-identical to its own
+/// in-process run and exits non-zero otherwise.
+fn serve_pass() -> (bool, Json) {
+    let sibling = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("serve_bench")))
+        .filter(|p| p.exists());
+    let output = match sibling {
+        Some(bin) => Command::new(bin).output(),
+        None => Command::new("cargo")
+            .args([
+                "run",
+                "--release",
+                "-q",
+                "-p",
+                "wcet-serve",
+                "--bin",
+                "serve_bench",
+            ])
+            .output(),
+    };
+    let out = match output {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("serving pass failed to spawn: {e}");
+            return (false, Json::Null);
+        }
+    };
+    // serve_bench narrates on stderr; relay it.
+    eprint!("{}", String::from_utf8_lossy(&out.stderr));
+    if !out.status.success() {
+        eprintln!("serving pass failed ({})", out.status);
+        return (false, Json::Null);
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let Some(line) = stdout.lines().rev().find(|l| !l.trim().is_empty()) else {
+        eprintln!("serving pass produced no JSON line");
+        return (false, Json::Null);
+    };
+    match Json::parse(line) {
+        Ok(doc) => {
+            assert_eq!(
+                doc.get("identical_bounds"),
+                Some(&Json::from(true)),
+                "served bounds diverged from the in-process run"
+            );
+            (true, doc)
+        }
+        Err(e) => {
+            eprintln!("serving pass emitted unparseable JSON: {e}");
+            (false, Json::Null)
+        }
+    }
+}
+
 /// Times batch engine analysis of the workload against the same tasks
 /// through sequential `Analyzer` calls, checking result equivalence.
 fn batch_vs_sequential() -> Json {
@@ -537,18 +596,24 @@ fn main() {
     let scenarios = scenario_sweep();
     println!("===== streaming campaign =====");
     let campaign = campaign_sweep();
+    println!("===== serving pass =====");
+    let (serve_ok, serve) = serve_pass();
+    if !serve_ok {
+        failed.push("serve");
+    }
 
     let doc = Json::obj([
-        // Schema 7: campaign passes gain supervision counters (failures,
-        // retries, deadline_hit, resumed) and a `campaign.resume` block —
-        // the interrupted + torn + resumed sweep proving kill-9 recovery.
-        ("schema", Json::from(7_u64)),
+        // Schema 8: a `serve` block — the analysis server submitted the
+        // example matrix over a real socket, with throughput, the hot
+        // memo hit rate, and the asserted bounds-identity flag.
+        ("schema", Json::from(8_u64)),
         ("suite", Json::str("wcet-bench run_all")),
         ("experiments", Json::Arr(experiment_json)),
         ("batch_vs_sequential", comparison),
         ("solver_warm_vs_cold", warm_cold),
         ("scenarios", scenarios),
         ("campaign", campaign),
+        ("serve", serve),
     ]);
     let out = "BENCH_results.json";
     match std::fs::write(out, format!("{doc}\n")) {

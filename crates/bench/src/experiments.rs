@@ -244,6 +244,7 @@ pub fn exp02() -> ExperimentRun {
     let opts = MatrixOptions {
         validate: false,
         ctx: Some(Arc::clone(&ctx)),
+        ..MatrixOptions::default()
     };
     let mut rows = Vec::new();
 
@@ -542,6 +543,7 @@ pub fn exp05() -> ExperimentRun {
     let opts = MatrixOptions {
         validate: false,
         ctx: Some(Arc::clone(&ctx)),
+        ..MatrixOptions::default()
     };
     let mut rows = Vec::new();
     let preamble = "cores = 2\nl1i = 8x1x16@1\nl1d = 2x1x32@1\n";

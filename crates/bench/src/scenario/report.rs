@@ -347,7 +347,7 @@ mod tests {
             &m,
             &MatrixOptions {
                 validate: true,
-                ctx: None,
+                ..MatrixOptions::default()
             },
         );
         assert_eq!(run.cells.len(), 2);

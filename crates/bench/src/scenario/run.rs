@@ -27,6 +27,7 @@ use wcet_sched::TaskSet;
 use wcet_sim::config::{L2Config, MachineConfig};
 use wcet_sim::machine::SkipStats;
 
+use super::cache::DiskCache;
 use super::spec::{AnalyzeSpec, L2Layout, ModeSpec, Scenario, ScenarioMatrix};
 
 /// Options of one matrix run.
@@ -43,6 +44,21 @@ pub struct MatrixOptions {
     /// everything it served, so [`MatrixRun::solver`] reflects the
     /// context's lifetime when shared.
     pub ctx: Option<Arc<SolveContext>>,
+    /// An external memo domain: a long-lived caller (the analysis
+    /// service) passes its — possibly budgeted, see
+    /// [`MemoDomain::with_budget`] — domain so hierarchy fixpoints, cost
+    /// tables and bounds stay hot across runs. Results are unchanged
+    /// (every memo key is deterministic and machine-independent); like
+    /// the shared context, [`MatrixRun::fixpoint`] then reflects the
+    /// domain's lifetime. `None` creates a fresh domain for this run.
+    pub memo: Option<Arc<MemoDomain>>,
+    /// A durable disk memo (the CRC-checkpointed campaign cache): cells
+    /// whose fingerprint is already durable are answered straight from
+    /// disk — counted in [`MatrixRun::disk_hits`], rows carry no engine
+    /// report, validation is skipped — instead of being re-analysed.
+    /// `None` disables the disk path. Nothing is written back; durable
+    /// appends stay the caller's job (the service flushes on shutdown).
+    pub disk: Option<Arc<DiskCache>>,
 }
 
 /// A concrete, buildable cell: machine + programs + placement.
@@ -165,6 +181,9 @@ pub struct MatrixRun {
     pub cells: Vec<CellOutcome>,
     /// Cells dropped because an earlier cell had the same fingerprint.
     pub duplicates: usize,
+    /// Cells answered from the durable disk memo ([`MatrixOptions::disk`])
+    /// without analysis. Zero when no disk memo was passed.
+    pub disk_hits: usize,
     /// Aggregated solver effort: warm/cold counters and per-solve
     /// totals (pivots, certified fast solves, fallbacks…) from the
     /// (possibly shared) context — engine-family and
@@ -380,11 +399,15 @@ pub fn run_matrix(matrix: &ScenarioMatrix, opts: &MatrixOptions) -> MatrixRun {
     let ipet = IpetOptions::default();
     // One memo domain across every engine: keys are machine-independent,
     // so arbiter/timing sweep points share fixpoints and cost tables.
-    let memo = Arc::new(MemoDomain::new());
+    let memo = opts
+        .memo
+        .clone()
+        .unwrap_or_else(|| Arc::new(MemoDomain::new()));
     let mut engines: HashMap<(u64, u64), Arc<AnalysisEngine>> = HashMap::new();
     let mut seen: HashSet<(u64, u64)> = HashSet::new();
     let mut cells = Vec::new();
     let mut duplicates = 0usize;
+    let mut disk_hits = 0usize;
     let fix = FixpointSink::new();
     let mut sim_skip = SkipStats::default();
 
@@ -393,6 +416,35 @@ pub fn run_matrix(matrix: &ScenarioMatrix, opts: &MatrixOptions) -> MatrixRun {
         let fingerprint = cell_fingerprint(&scn, built.as_ref().ok());
         if !seen.insert(fingerprint) {
             duplicates += 1;
+            continue;
+        }
+        // Durable rows answer the cell outright (only fully-bounded cells
+        // are ever appended, so a hit is complete by construction).
+        if let Some(rows) = opts.disk.as_ref().and_then(|d| d.lookup(fingerprint)) {
+            disk_hits += 1;
+            cells.push(CellOutcome {
+                fingerprint,
+                rows: rows
+                    .iter()
+                    .map(|r| TaskRow {
+                        task: r.task.clone(),
+                        core: r.core,
+                        thread: r.thread,
+                        mode: r.mode.clone(),
+                        outcome: Ok(TaskBound {
+                            wcet: r.wcet,
+                            report: None,
+                        }),
+                    })
+                    .collect(),
+                validation: None,
+                validation_skipped: opts
+                    .validate
+                    .then(|| "rows served from the disk memo".to_string()),
+                error: None,
+                failure: None,
+                scenario: scn,
+            });
             continue;
         }
         let built = match built {
@@ -452,6 +504,7 @@ pub fn run_matrix(matrix: &ScenarioMatrix, opts: &MatrixOptions) -> MatrixRun {
         matrix: matrix.name.clone(),
         cells,
         duplicates,
+        disk_hits,
         solver: SolverStats {
             warm_hits: ctx_stats.warm_hits,
             cold_solves: ctx_stats.cold_solves,
@@ -697,7 +750,7 @@ mod tests {
             &m,
             &MatrixOptions {
                 validate: true,
-                ctx: None,
+                ..MatrixOptions::default()
             },
         );
         assert_eq!(run.cells.len(), 2);
@@ -726,7 +779,7 @@ mod tests {
             &m,
             &MatrixOptions {
                 validate: true,
-                ctx: None,
+                ..MatrixOptions::default()
             },
         );
         let cell = &run.cells[0];
@@ -749,7 +802,7 @@ mod tests {
             &m,
             &MatrixOptions {
                 validate: true,
-                ctx: None,
+                ..MatrixOptions::default()
             },
         );
         let cell = &run.cells[0];
@@ -787,7 +840,7 @@ mod tests {
             &m,
             &MatrixOptions {
                 validate: true,
-                ctx: None,
+                ..MatrixOptions::default()
             },
         );
         let cell = &run.cells[0];
@@ -822,7 +875,7 @@ mod tests {
             &m,
             &MatrixOptions {
                 validate: true,
-                ctx: None,
+                ..MatrixOptions::default()
             },
         );
         let cell = &run.cells[0];

@@ -33,7 +33,7 @@ fn example_matrix_expands_validates_and_is_sound() {
         &matrix,
         &MatrixOptions {
             validate: true,
-            ctx: None,
+            ..MatrixOptions::default()
         },
     );
     let (validated, sound) = run.validation_counts();
@@ -61,7 +61,7 @@ fn solo_mode_breaks_under_sharing_through_the_matrix() {
         &parse_matrix(spec).expect("parses"),
         &MatrixOptions {
             validate: true,
-            ctx: None,
+            ..MatrixOptions::default()
         },
     );
     let cell = &run.cells[0];
@@ -139,7 +139,7 @@ proptest! {
             ARBS[arb], L2S[l2a], L2S[l2b],
         );
         let matrix = parse_matrix(&spec).expect("spec parses");
-        let run = run_matrix(&matrix, &MatrixOptions { validate: true, ctx: None });
+        let run = run_matrix(&matrix, &MatrixOptions { validate: true, ..MatrixOptions::default() });
         prop_assert!(run.cells.len() + run.duplicates == matrix.num_cells());
         for cell in &run.cells {
             if cell.error.is_some() {

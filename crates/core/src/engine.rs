@@ -24,7 +24,9 @@
 //! Results are byte-identical to the sequential [`Analyzer`] path: every
 //! memoized function is deterministic in its key.
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -131,11 +133,12 @@ struct BoundKey {
     options: (u64, u64),
 }
 
-/// Monotonic hit/miss counters for one memo table.
+/// Monotonic hit/miss/eviction counters for one memo table.
 #[derive(Debug, Default)]
 struct TableStats {
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl TableStats {
@@ -145,6 +148,98 @@ impl TableStats {
 
     fn miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn evict(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One resident memo entry plus its LRU stamp: the domain-clock tick of
+/// the last hit or insert. An atomic so the hot read path can refresh
+/// recency under the table's *read* lock.
+#[derive(Debug)]
+struct Stamped<V> {
+    value: V,
+    last_used: AtomicU64,
+}
+
+/// One memo table: a keyed map of deterministic intermediates plus its
+/// counters. Lookups refresh the entry's LRU stamp; inserts evict the
+/// least-recently-used entries whenever the owning [`MemoDomain`] caps
+/// the table (see [`MemoDomain::with_budget`]).
+#[derive(Debug)]
+struct MemoTable<K, V> {
+    map: RwLock<HashMap<K, Stamped<V>>>,
+    stats: TableStats,
+}
+
+impl<K, V> Default for MemoTable<K, V> {
+    fn default() -> MemoTable<K, V> {
+        MemoTable {
+            map: RwLock::new(HashMap::new()),
+            stats: TableStats::default(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> MemoTable<K, V> {
+    /// Probes the table; a hit counts and refreshes the LRU stamp.
+    fn lookup<Q>(&self, key: &Q, clock: &AtomicU64) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        let map = read_ok(&self.map);
+        let entry = map.get(key)?;
+        self.stats.hit();
+        let stamp = clock.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.last_used.store(stamp, Ordering::Relaxed);
+        Some(entry.value.clone())
+    }
+
+    /// Counts a miss and inserts `computed` with `or_insert` semantics: a
+    /// racing insert wins and its value is returned (every memoized
+    /// function is deterministic in its key, so either copy is correct).
+    /// When `budget` caps the table, least-recently-used entries are then
+    /// evicted down to the cap; the entry just touched carries the
+    /// freshest stamp and is never the victim.
+    fn insert(&self, key: K, computed: V, clock: &AtomicU64, budget: Option<NonZeroUsize>) -> V {
+        self.stats.miss();
+        let stamp = clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut map = write_ok(&self.map);
+        let value = match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                slot.get().last_used.store(stamp, Ordering::Relaxed);
+                slot.get().value.clone()
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Stamped {
+                    value: computed.clone(),
+                    last_used: AtomicU64::new(stamp),
+                });
+                computed
+            }
+        };
+        if let Some(cap) = budget {
+            // O(len) victim scan per over-budget insert: budgets exist to
+            // keep `len` small, so a scan beats maintaining an intrusive
+            // recency list under the same write lock.
+            while map.len() > cap.get() {
+                let victim = map
+                    .iter()
+                    .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
+                    .map(|(k, _)| k.clone());
+                let Some(victim) = victim else { break };
+                map.remove(&victim);
+                self.stats.evict();
+            }
+        }
+        value
+    }
+
+    fn len(&self) -> usize {
+        read_ok(&self.map).len()
     }
 }
 
@@ -168,6 +263,15 @@ pub struct MemoStats {
     pub bound_hits: u64,
     /// IPET bounds solved.
     pub bound_misses: u64,
+    /// Hierarchy fixpoints evicted under a [`MemoDomain::with_budget`]
+    /// cap (zero on unbounded domains).
+    pub hierarchy_evictions: u64,
+    /// Private-L1 fixpoint pairs evicted under a budget cap.
+    pub l1_evictions: u64,
+    /// Block-cost tables evicted under a budget cap.
+    pub cost_evictions: u64,
+    /// IPET bounds evicted under a budget cap.
+    pub bound_evictions: u64,
     /// Hierarchy fixpoints reused straight from a neighbouring cell's
     /// [`TaskArtifacts`] — no re-fingerprinting, no key construction, no
     /// table probe (see [`AnalysisEngine::analyze_prior`]).
@@ -194,6 +298,41 @@ impl MemoStats {
     #[must_use]
     pub fn hits(&self) -> u64 {
         self.hierarchy_hits + self.l1_hits + self.cost_hits + self.bound_hits + self.neighbor_hits
+    }
+
+    /// Total evictions across all tables (always zero on unbounded
+    /// domains).
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.hierarchy_evictions + self.l1_evictions + self.cost_evictions + self.bound_evictions
+    }
+
+    /// The counters accumulated since `baseline` was captured from the
+    /// same domain — the per-request delta a long-lived service reports.
+    /// Saturating, so a baseline from another domain never underflows.
+    #[must_use]
+    pub fn since(&self, baseline: &MemoStats) -> MemoStats {
+        MemoStats {
+            hierarchy_hits: self.hierarchy_hits.saturating_sub(baseline.hierarchy_hits),
+            hierarchy_misses: self
+                .hierarchy_misses
+                .saturating_sub(baseline.hierarchy_misses),
+            l1_hits: self.l1_hits.saturating_sub(baseline.l1_hits),
+            l1_misses: self.l1_misses.saturating_sub(baseline.l1_misses),
+            cost_hits: self.cost_hits.saturating_sub(baseline.cost_hits),
+            cost_misses: self.cost_misses.saturating_sub(baseline.cost_misses),
+            bound_hits: self.bound_hits.saturating_sub(baseline.bound_hits),
+            bound_misses: self.bound_misses.saturating_sub(baseline.bound_misses),
+            hierarchy_evictions: self
+                .hierarchy_evictions
+                .saturating_sub(baseline.hierarchy_evictions),
+            l1_evictions: self.l1_evictions.saturating_sub(baseline.l1_evictions),
+            cost_evictions: self.cost_evictions.saturating_sub(baseline.cost_evictions),
+            bound_evictions: self
+                .bound_evictions
+                .saturating_sub(baseline.bound_evictions),
+            neighbor_hits: self.neighbor_hits.saturating_sub(baseline.neighbor_hits),
+        }
     }
 }
 
@@ -265,16 +404,22 @@ impl SolverStats {
 /// scenario sweep can hand one domain to an engine per machine and every
 /// fixpoint, cost table and bound is computed once across the whole
 /// sweep. A domain is internally locked; sharing is `Arc`-cheap.
+///
+/// A domain is unbounded by default; a long-lived service caps its
+/// resident footprint with [`MemoDomain::with_budget`], which evicts in
+/// least-recently-used order. Eviction never changes results — every
+/// memoized function is deterministic in its key, so a re-miss recomputes
+/// the identical value and only the hit/miss bill moves.
 #[derive(Debug, Default)]
 pub struct MemoDomain {
-    hierarchies: RwLock<HashMap<Arc<HierKey>, Arc<HierarchyAnalysis>>>,
-    l1s: RwLock<HashMap<L1Key, Arc<(CacheAnalysis, CacheAnalysis)>>>,
-    costs: RwLock<HashMap<CostKey, Arc<BlockCosts>>>,
-    bounds: RwLock<HashMap<BoundKey, WcetBound>>,
-    hier_stats: TableStats,
-    l1_stats: TableStats,
-    cost_stats: TableStats,
-    bound_stats: TableStats,
+    hierarchies: MemoTable<Arc<HierKey>, Arc<HierarchyAnalysis>>,
+    l1s: MemoTable<L1Key, Arc<(CacheAnalysis, CacheAnalysis)>>,
+    costs: MemoTable<CostKey, Arc<BlockCosts>>,
+    bounds: MemoTable<BoundKey, WcetBound>,
+    /// Per-table entry cap; `None` = unbounded (the default).
+    budget: Option<NonZeroUsize>,
+    /// Logical LRU clock, bumped on every table hit and insert.
+    clock: AtomicU64,
     neighbor_hits: AtomicU64,
     /// Worklist-fixpoint effort summed over every cache analysis computed
     /// into this domain (memo hits add nothing).
@@ -282,10 +427,33 @@ pub struct MemoDomain {
 }
 
 impl MemoDomain {
-    /// An empty domain.
+    /// An empty, unbounded domain.
     #[must_use]
     pub fn new() -> MemoDomain {
         MemoDomain::default()
+    }
+
+    /// An empty domain whose four memo tables are each capped at
+    /// `per_table` entries, evicted in least-recently-used order on
+    /// insert. `0` means unbounded (same as [`MemoDomain::new`]).
+    #[must_use]
+    pub fn with_budget(per_table: usize) -> MemoDomain {
+        MemoDomain {
+            budget: NonZeroUsize::new(per_table),
+            ..MemoDomain::default()
+        }
+    }
+
+    /// The per-table entry cap, if any.
+    #[must_use]
+    pub fn budget(&self) -> Option<usize> {
+        self.budget.map(NonZeroUsize::get)
+    }
+
+    /// Total entries currently resident across all four tables.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.hierarchies.len() + self.l1s.len() + self.costs.len() + self.bounds.len()
     }
 
     /// Current memoization counters, summed over every engine feeding
@@ -293,14 +461,18 @@ impl MemoDomain {
     #[must_use]
     pub fn stats(&self) -> MemoStats {
         MemoStats {
-            hierarchy_hits: self.hier_stats.hits.load(Ordering::Relaxed),
-            hierarchy_misses: self.hier_stats.misses.load(Ordering::Relaxed),
-            l1_hits: self.l1_stats.hits.load(Ordering::Relaxed),
-            l1_misses: self.l1_stats.misses.load(Ordering::Relaxed),
-            cost_hits: self.cost_stats.hits.load(Ordering::Relaxed),
-            cost_misses: self.cost_stats.misses.load(Ordering::Relaxed),
-            bound_hits: self.bound_stats.hits.load(Ordering::Relaxed),
-            bound_misses: self.bound_stats.misses.load(Ordering::Relaxed),
+            hierarchy_hits: self.hierarchies.stats.hits.load(Ordering::Relaxed),
+            hierarchy_misses: self.hierarchies.stats.misses.load(Ordering::Relaxed),
+            l1_hits: self.l1s.stats.hits.load(Ordering::Relaxed),
+            l1_misses: self.l1s.stats.misses.load(Ordering::Relaxed),
+            cost_hits: self.costs.stats.hits.load(Ordering::Relaxed),
+            cost_misses: self.costs.stats.misses.load(Ordering::Relaxed),
+            bound_hits: self.bounds.stats.hits.load(Ordering::Relaxed),
+            bound_misses: self.bounds.stats.misses.load(Ordering::Relaxed),
+            hierarchy_evictions: self.hierarchies.stats.evictions.load(Ordering::Relaxed),
+            l1_evictions: self.l1s.stats.evictions.load(Ordering::Relaxed),
+            cost_evictions: self.costs.stats.evictions.load(Ordering::Relaxed),
+            bound_evictions: self.bounds.stats.evictions.load(Ordering::Relaxed),
             neighbor_hits: self.neighbor_hits.load(Ordering::Relaxed),
         }
     }
@@ -684,9 +856,8 @@ impl AnalysisEngine {
         key: &Arc<HierKey>,
     ) -> Arc<HierarchyAnalysis> {
         let memo = &*self.memo;
-        if let Some(hit) = read_ok(&memo.hierarchies).get(&**key) {
-            memo.hier_stats.hit();
-            return Arc::clone(hit);
+        if let Some(hit) = memo.hierarchies.lookup(&**key, &memo.clock) {
+            return hit;
         }
         // Compute outside the lock: fixpoints are slow, and duplicated
         // work on a race is benign (deterministic result). The private-L1
@@ -709,9 +880,8 @@ impl AnalysisEngine {
             l1d: l1.1.clone(),
             l2,
         });
-        memo.hier_stats.miss();
-        let mut table = write_ok(&memo.hierarchies);
-        Arc::clone(table.entry(Arc::clone(key)).or_insert(computed))
+        memo.hierarchies
+            .insert(Arc::clone(key), computed, &memo.clock, memo.budget)
     }
 
     /// The memoized private-L1 fixpoint pair `(l1i, l1d)`.
@@ -724,16 +894,13 @@ impl AnalysisEngine {
     ) -> Arc<(CacheAnalysis, CacheAnalysis)> {
         let memo = &*self.memo;
         let key = L1Key { task, l1i, l1d };
-        if let Some(hit) = read_ok(&memo.l1s).get(&key) {
-            memo.l1_stats.hit();
-            return Arc::clone(hit);
+        if let Some(hit) = memo.l1s.lookup(&key, &memo.clock) {
+            return hit;
         }
         let partial = analyze_hierarchy(program, &HierarchyConfig { l1i, l1d, l2: None });
         lock_ok(&memo.fix_totals).absorb(&partial.fixpoint_stats());
         let computed = Arc::new((partial.l1i, partial.l1d));
-        memo.l1_stats.miss();
-        let mut table = write_ok(&memo.l1s);
-        Arc::clone(table.entry(key).or_insert(computed))
+        memo.l1s.insert(key, computed, &memo.clock, memo.budget)
     }
 
     fn block_costs(
@@ -744,9 +911,8 @@ impl AnalysisEngine {
         key: &CostKey,
     ) -> Result<Arc<BlockCosts>, AnalysisError> {
         let memo = &*self.memo;
-        if let Some(hit) = read_ok(&memo.costs).get(key) {
-            memo.cost_stats.hit();
-            return Ok(Arc::clone(hit));
+        if let Some(hit) = memo.costs.lookup(key, &memo.clock) {
+            return Ok(hit);
         }
         let input = CostInput {
             pipeline: key.pipeline,
@@ -756,9 +922,9 @@ impl AnalysisEngine {
         };
         debug_assert_eq!(input.timings, ctx.timings);
         let computed = Arc::new(block_costs(program, hierarchy, &input)?);
-        memo.cost_stats.miss();
-        let mut table = write_ok(&memo.costs);
-        Ok(Arc::clone(table.entry(key.clone()).or_insert(computed)))
+        Ok(memo
+            .costs
+            .insert(key.clone(), computed, &memo.clock, memo.budget))
     }
 
     fn bound(
@@ -772,15 +938,12 @@ impl AnalysisEngine {
             cost: cost_key,
             options: self.options_fp,
         };
-        if let Some(hit) = read_ok(&memo.bounds).get(&key) {
-            memo.bound_stats.hit();
-            return Ok(hit.clone());
+        if let Some(hit) = memo.bounds.lookup(&key, &memo.clock) {
+            return Ok(hit);
         }
         let computed = wcet_ipet_ctx(program, costs, self.analyzer.options(), &self.solve_ctx)?;
-        memo.bound_stats.miss();
         lock_ok(&self.solver_totals).absorb(&computed.solver);
-        let mut table = write_ok(&memo.bounds);
-        Ok(table.entry(key).or_insert(computed).clone())
+        Ok(memo.bounds.insert(key, computed, &memo.clock, memo.budget))
     }
 }
 

@@ -1,10 +1,15 @@
-//! The `wcet` CLI: declarative scenario matrices from the command line.
+//! The `wcet` CLI: declarative scenario matrices from the command line,
+//! plus the analysis daemon and its client.
 //!
 //! ```text
 //! wcet scenarios list     <spec.scn>                 # expand + dedup, show cells
 //! wcet scenarios run      <spec.scn> [--json P] [--md P]   # analyse every cell
 //! wcet scenarios validate <spec.scn> [--json P] [--md P]   # analyse + simulate
 //! wcet scenarios report   <spec.scn> [--json P] [--md P]   # validate + write
+//! wcet serve  [--addr H:P] [--workers N] [--memo-budget N] [--cache PATH]
+//! wcet client <addr> <scenario|matrix> <spec.scn>    # submit through a server
+//! wcet client <addr> <stats|shutdown>                # probe / stop a server
+//! wcet client <addr> raw <payload>                   # send an arbitrary frame
 //! ```
 //!
 //! `run` performs analysis only; `validate` additionally replays cells
@@ -59,6 +64,12 @@
 //!   (panic or exhausted budget);
 //! * `3` — the `--deadline-ms` deadline fired; coverage is partial and
 //!   the run can continue with `--resume`.
+//!
+//! `wcet client` has its own ladder: `0` — the server answered and
+//! every row is bounded; `1` — transport failure or a protocol-level
+//! rejection (bad frame, bad spec, bad schema); `2` — the server
+//! answered but the analysis failed (panic/budget error, or cells with
+//! per-task errors).
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -69,12 +80,22 @@ use wcet_bench::scenario::{
     run_campaign_with, run_matrix, CampaignOptions, CellBudget, MatrixOptions,
 };
 use wcet_core::report::Table;
+use wcet_serve::{Client, ErrorKind, Response, ServerConfig};
 
 const USAGE: &str = "usage: wcet scenarios <list|run|validate|report> <spec.scn> \
                      [--json PATH] [--md PATH] [--limit N] [--threads N] \
                      [--cache PATH] [--sample N] [--seed S] [--stream] \
                      [--resume] [--strict] [--deadline-ms N] [--budget-pivots N] \
-                     [--budget-evals N] [--budget-cell-ms N]";
+                     [--budget-evals N] [--budget-cell-ms N]\n\
+                     \x20      wcet serve [--addr HOST:PORT] [--workers N] \
+                     [--memo-budget N] [--cache PATH]\n\
+                     \x20      wcet client <addr> <scenario|matrix|stats|shutdown|raw> [ARG]";
+
+const SERVE_USAGE: &str =
+    "usage: wcet serve [--addr HOST:PORT] [--workers N] [--memo-budget N] [--cache PATH]";
+
+const CLIENT_USAGE: &str =
+    "usage: wcet client <addr> <scenario SPEC.scn|matrix SPEC.scn|stats|shutdown|raw PAYLOAD>";
 
 /// Matrices at or above this many cross-product cells stream by default.
 const STREAM_THRESHOLD: usize = 4096;
@@ -224,6 +245,11 @@ fn write_outputs(
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return serve_main(&argv[1..]),
+        Some("client") => return client_main(&argv[1..]),
+        _ => {}
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(e) => {
@@ -269,7 +295,7 @@ fn main() -> ExitCode {
         &matrix,
         &MatrixOptions {
             validate,
-            ctx: None,
+            ..MatrixOptions::default()
         },
     );
     println!("{}", matrix_markdown(&run));
@@ -465,5 +491,185 @@ fn run_streaming(
         ExitCode::from(3)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `wcet serve`: bind, announce the bound address, and serve until a
+/// client sends `shutdown`.
+fn serve_main(argv: &[String]) -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut it = argv.iter();
+    fn value<'a>(
+        it: &mut impl Iterator<Item = &'a String>,
+        flag: &str,
+    ) -> Result<&'a String, String> {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+    while let Some(flag) = it.next() {
+        let parsed = match flag.as_str() {
+            "--addr" => value(&mut it, "--addr").map(|v| config.addr = v.clone()),
+            "--workers" => value(&mut it, "--workers").and_then(|v| {
+                v.parse()
+                    .map(|n| config.workers = n)
+                    .map_err(|_| format!("--workers needs a number, got {v:?}"))
+            }),
+            "--memo-budget" => value(&mut it, "--memo-budget").and_then(|v| {
+                v.parse()
+                    .map(|n| config.memo_budget = n)
+                    .map_err(|_| format!("--memo-budget needs a number, got {v:?}"))
+            }),
+            "--cache" => value(&mut it, "--cache").map(|v| config.cache = Some(PathBuf::from(v))),
+            _ => Err(format!("unknown flag {flag:?}\n{SERVE_USAGE}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let handle = match wcet_serve::start(&config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cannot start server on {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // The address line is the startup handshake: scripts (and the CI
+    // smoke job) block on it before connecting, so flush it out.
+    println!("listening on {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    handle.join();
+    println!("server stopped");
+    ExitCode::SUCCESS
+}
+
+/// `wcet client`: one request, one printed response, a typed exit code.
+fn client_main(argv: &[String]) -> ExitCode {
+    let (Some(addr), Some(cmd)) = (argv.first(), argv.get(1)) else {
+        eprintln!("{CLIENT_USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let response = match cmd.as_str() {
+        "scenario" | "matrix" => {
+            let Some(spec_path) = argv.get(2) else {
+                eprintln!("{CLIENT_USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let spec = match std::fs::read_to_string(spec_path) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("cannot read {spec_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if cmd == "scenario" {
+                client.submit_scenario(&spec)
+            } else {
+                client.submit_matrix(&spec)
+            }
+        }
+        "stats" => client.stats(),
+        "shutdown" => client.shutdown(),
+        "raw" => {
+            let Some(payload) = argv.get(2) else {
+                eprintln!("{CLIENT_USAGE}");
+                return ExitCode::FAILURE;
+            };
+            client.send_raw(payload)
+        }
+        _ => {
+            eprintln!("unknown client command {cmd:?}\n{CLIENT_USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let response = match response {
+        Ok(response) => response,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match response {
+        Response::Bounds(b) => {
+            println!("cell\ttask@core.thread\tmode\twcet");
+            let mut errors = 0usize;
+            for cell in &b.cells {
+                if let Some(e) = &cell.error {
+                    errors += 1;
+                    println!("{}\t—\t—\terror: {e}", cell.cell);
+                    continue;
+                }
+                for row in &cell.rows {
+                    match &row.outcome {
+                        Ok(wcet) => println!(
+                            "{}\t{}@{}.{}\t{}\t{wcet}",
+                            cell.cell, row.task, row.core, row.thread, row.mode
+                        ),
+                        Err(e) => {
+                            errors += 1;
+                            println!(
+                                "{}\t{}@{}.{}\t{}\terror: {e}",
+                                cell.cell, row.task, row.core, row.thread, row.mode
+                            );
+                        }
+                    }
+                }
+            }
+            let m = &b.stats.memo;
+            println!(
+                "{}: {} cell(s), {} duplicate(s), {} disk hit(s); request effort: \
+                 {} memo hit(s), {} miss(es), {} solver warm, {} cold, {} pivot(s)",
+                b.matrix,
+                b.cells.len(),
+                b.duplicates,
+                b.disk_hits,
+                m.hits(),
+                m.hierarchy_misses + m.l1_misses + m.cost_misses + m.bound_misses,
+                b.stats.solver_warm_hits,
+                b.stats.solver_cold_solves,
+                b.stats.solver_pivots,
+            );
+            if errors > 0 {
+                eprintln!("{errors} row(s)/cell(s) carry analysis errors");
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Response::Stats(s) => {
+            println!(
+                "requests: {}\nmemo entries: {}{}\nmemo hits: {} (evictions: {})\n\
+                 disk hits: {}\nsolver warm/cold: {}/{}",
+                s.requests,
+                s.memo_entries,
+                s.memo_budget
+                    .map(|b| format!(" (budget {b} per table)"))
+                    .unwrap_or_default(),
+                s.memo.hits(),
+                s.memo.evictions(),
+                s.disk_hits,
+                s.solver_warm_hits,
+                s.solver_cold_solves,
+            );
+            ExitCode::SUCCESS
+        }
+        Response::Shutdown { flushed } => {
+            println!("server stopping; {flushed} cell(s) flushed to the disk memo");
+            ExitCode::SUCCESS
+        }
+        Response::Error(e) => {
+            eprintln!("server error ({}): {}", e.kind, e.message);
+            if e.kind == ErrorKind::Protocol {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::from(2)
+            }
+        }
     }
 }

@@ -1,0 +1,115 @@
+//! A thin synchronous client: one connection, one request frame out,
+//! one response frame in.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::proto::{Request, Response};
+
+/// What a request can fail with, transport-side. (A server-side failure
+/// arrives as a successful [`Response::Error`], not a `ClientError`.)
+#[derive(Debug)]
+pub enum ClientError {
+    /// Writing the request frame failed.
+    Io(io::Error),
+    /// Reading the response frame failed (including a server that
+    /// dropped the connection without answering).
+    Frame(FrameError),
+    /// The response frame arrived but was not a well-formed response
+    /// document.
+    Proto(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "request write failed: {e}"),
+            ClientError::Frame(e) => write!(f, "response read failed: {e}"),
+            ClientError::Proto(e) => write!(f, "undecodable response: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A connected client.
+#[derive(Debug)]
+pub struct Client {
+    conn: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the TCP connect reports.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        Ok(Client {
+            conn: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Sends an arbitrary payload and decodes the response. Exists so
+    /// the protocol-robustness tests (and the `wcet client ... raw`
+    /// subcommand) can send byte-exact malformed payloads.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn send_raw(&mut self, payload: &str) -> Result<Response, ClientError> {
+        write_frame(&mut self.conn, payload).map_err(ClientError::Io)?;
+        let reply = read_frame(&mut self.conn).map_err(ClientError::Frame)?;
+        Response::decode(&reply).map_err(ClientError::Proto)
+    }
+
+    /// Sends a typed request and decodes the response.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send_raw(&request.encode())
+    }
+
+    /// Submits a single-cell scenario spec.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn submit_scenario(&mut self, spec: &str) -> Result<Response, ClientError> {
+        self.request(&Request::SubmitScenario {
+            spec: spec.to_string(),
+        })
+    }
+
+    /// Submits a scenario matrix spec.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn submit_matrix(&mut self, spec: &str) -> Result<Response, ClientError> {
+        self.request(&Request::SubmitMatrix {
+            spec: spec.to_string(),
+        })
+    }
+
+    /// Asks for cumulative server statistics.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn stats(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::Stats)
+    }
+
+    /// Asks the server to flush its hot memo to disk and stop.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,168 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! One frame = a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON. The prefix makes message boundaries explicit (no
+//! sentinel scanning inside JSON strings) and lets the server reject an
+//! oversized or empty claim *before* buffering a byte of payload.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted frame payload, in bytes. Scenario specs and response
+/// documents are a few KiB; anything over a mebibyte is a protocol error
+/// (or an attempt to make the server buffer unbounded input).
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Why a frame could not be read (or written).
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean end-of-stream at a frame boundary: the peer is done.
+    Closed,
+    /// The header claimed a zero-length payload.
+    Empty,
+    /// The header claimed more than [`MAX_FRAME`] bytes.
+    TooLarge(u32),
+    /// The payload was not UTF-8.
+    Utf8,
+    /// The stream failed mid-frame (torn header, torn payload, or a
+    /// transport error).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => f.write_str("connection closed"),
+            FrameError::Empty => f.write_str("zero-length frame"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            FrameError::Utf8 => f.write_str("frame payload is not UTF-8"),
+            FrameError::Io(e) => write!(f, "frame transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reads until `buf` is full or the stream ends; returns bytes read.
+fn read_full(r: &mut impl Read, mut buf: &mut [u8]) -> io::Result<usize> {
+    let mut total = 0usize;
+    while !buf.is_empty() {
+        match r.read(buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                total += n;
+                buf = &mut buf[n..];
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(total)
+}
+
+/// Reads one frame's payload.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on a clean end-of-stream *before* any header
+/// byte; every torn read (mid-header or mid-payload disconnect) is
+/// [`FrameError::Io`]; malformed claims are [`FrameError::Empty`] /
+/// [`FrameError::TooLarge`], detected without buffering the payload.
+pub fn read_frame(r: &mut impl Read) -> Result<String, FrameError> {
+    let mut header = [0u8; 4];
+    let got = read_full(r, &mut header).map_err(FrameError::Io)?;
+    if got == 0 {
+        return Err(FrameError::Closed);
+    }
+    if got < header.len() {
+        return Err(FrameError::Io(io::ErrorKind::UnexpectedEof.into()));
+    }
+    let len = u32::from_be_bytes(header);
+    if len == 0 {
+        return Err(FrameError::Empty);
+    }
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let got = read_full(r, &mut payload).map_err(FrameError::Io)?;
+    if got < payload.len() {
+        return Err(FrameError::Io(io::ErrorKind::UnexpectedEof.into()));
+    }
+    String::from_utf8(payload).map_err(|_| FrameError::Utf8)
+}
+
+/// Writes one frame (header + payload) and flushes.
+///
+/// # Errors
+///
+/// `InvalidInput` for payloads the peer would reject (empty or over
+/// [`MAX_FRAME`]); otherwise the transport's error.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&n| n > 0 && n <= MAX_FRAME)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "frame payload of {} bytes is outside 1..={MAX_FRAME}",
+                    payload.len()
+                ),
+            )
+        })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"x\":1}").expect("writes");
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).expect("reads"), "{\"x\":1}");
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn rejects_bad_claims_before_buffering() {
+        let mut zero = &[0u8, 0, 0, 0][..];
+        assert!(matches!(read_frame(&mut zero), Err(FrameError::Empty)));
+        let huge = (MAX_FRAME + 1).to_be_bytes();
+        let mut huge = &huge[..];
+        assert!(matches!(
+            read_frame(&mut huge),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn torn_header_and_torn_payload_are_io_errors() {
+        let mut torn_header = &[0u8, 0][..];
+        assert!(matches!(
+            read_frame(&mut torn_header),
+            Err(FrameError::Io(_))
+        ));
+        let mut torn_payload = Vec::from(10u32.to_be_bytes());
+        torn_payload.extend_from_slice(b"abc");
+        let mut torn_payload = &torn_payload[..];
+        assert!(matches!(
+            read_frame(&mut torn_payload),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn non_utf8_payload_is_typed() {
+        let mut buf = Vec::from(2u32.to_be_bytes());
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut cursor = &buf[..];
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Utf8)));
+    }
+}

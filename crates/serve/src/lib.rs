@@ -1,0 +1,32 @@
+//! WCET-as-a-service: a persistent analysis daemon over the engine.
+//!
+//! A batch analyzer pays its warm-up — cache fixpoints, simplex bases,
+//! block-cost tables — once per invocation and throws it away. This
+//! crate keeps that state alive behind a socket: a framed JSON protocol
+//! ([`frame`], [`proto`]), a worker pool sharing one warm-start
+//! [`SolveContext`](wcet_core::SolveContext) and one bounded hot
+//! [`MemoDomain`](wcet_core::MemoDomain) ([`server`]), and a thin
+//! synchronous [`client`]. On shutdown the hot state drains into the
+//! CRC-checkpointed disk memo, so a restarted server comes back warm.
+//!
+//! The load-bearing property is *equivalence*: served bounds are
+//! byte-identical to what the in-process matrix runner produces,
+//! because submissions route through the same `run_matrix` entry point
+//! with shared state — pinned by the differential battery in
+//! `tests/serve_equivalence.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME};
+pub use proto::{
+    BoundRow, BoundsResponse, CellBounds, ErrorKind, Request, RequestStats, Response, ServeError,
+    StatsResponse, PROTO_SCHEMA,
+};
+pub use server::{start, ServerConfig, ServerHandle};

@@ -1,0 +1,470 @@
+//! The analysis daemon: a TCP accept loop feeding a small worker pool,
+//! every worker answering framed requests against ONE shared warm-start
+//! solve context, ONE (optionally budgeted) hot memo domain, and ONE
+//! durable disk memo.
+//!
+//! Sharing is the whole point of serving: the first request pays for
+//! cache fixpoints and simplex bases, every later request that overlaps
+//! semantically rides the hot tables. Because every memo key is
+//! deterministic and machine-independent, serving changes *when* work
+//! happens, never *what* a bound is — the differential test battery in
+//! `tests/serve_equivalence.rs` pins that claim against the in-process
+//! runner.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use wcet_bench::scenario::{
+    parse_matrix, run_matrix, CachedRow, DiskCache, MatrixOptions, MatrixRun,
+};
+use wcet_core::{MemoDomain, SolveContext};
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::proto::{
+    BoundsResponse, CellBounds, ErrorKind, Request, RequestStats, Response, ServeError,
+    StatsResponse,
+};
+
+/// How long a worker blocks — in a read, or waiting on the connection
+/// queue — before giving the connection back (or re-checking the stop
+/// flag). Long enough that a normal request/response exchange never
+/// notices, short enough that an idle keep-alive connection can
+/// neither starve the pool nor hold a shutdown hostage.
+const POLL_INTERVAL: Duration = Duration::from_millis(150);
+
+/// How to run the server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address. The default `127.0.0.1:0` asks the OS for a free
+    /// port; read the real one back from [`ServerHandle::addr`].
+    pub addr: String,
+    /// Worker threads. `0` means the default of 2 — enough that a
+    /// stalled connection cannot starve a shutdown request, small
+    /// enough for a single-CPU CI container.
+    pub workers: usize,
+    /// Per-table hot-memo entry budget; `0` means unbounded.
+    pub memo_budget: usize,
+    /// Durable disk memo path. When set, the server opens it warm at
+    /// startup (cells already on disk are served without analysis) and
+    /// flushes freshly bounded cells back on shutdown.
+    pub cache: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            memo_budget: 0,
+            cache: None,
+        }
+    }
+}
+
+/// Everything the workers share.
+struct ServeState {
+    /// The one warm-start simplex context.
+    ctx: Arc<SolveContext>,
+    /// The one hot memo domain (budgeted iff configured).
+    memo: Arc<MemoDomain>,
+    /// The disk memo loaded at startup, if any.
+    disk: Option<Arc<DiskCache>>,
+    /// Where the shutdown flush writes, if anywhere.
+    cache_path: Option<PathBuf>,
+    /// Bounded cells accumulated since startup, keyed by fingerprint so
+    /// a resubmission overwrites instead of duplicating (the disk
+    /// format wants each fingerprint at most once per append batch).
+    pending: Mutex<HashMap<(u64, u64), Vec<CachedRow>>>,
+    /// Requests handled, lifetime.
+    requests: AtomicU64,
+    /// Cells served straight from the disk memo, lifetime.
+    disk_hits: AtomicU64,
+    /// Set once; accept loop and idle workers drain out after.
+    stop: AtomicBool,
+    /// The bound address, for the self-connect that wakes the accept
+    /// loop out of its blocking `accept`.
+    addr: SocketAddr,
+}
+
+/// A running server: its address and the threads to join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server stops (a client sent `Shutdown`, or
+    /// [`ServerHandle::stop`] was called from another thread).
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    /// Programmatic clean stop — the SIGINT-equivalent path: flushes
+    /// pending cells to the disk memo, stops the accept loop, drains
+    /// the workers, and returns how many cells were flushed.
+    pub fn stop(mut self) -> u64 {
+        let flushed = flush_pending(&self.state);
+        begin_stop(&self.state);
+        self.join_threads();
+        flushed
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Binds, spawns the accept loop and worker pool, and returns a handle.
+///
+/// # Errors
+///
+/// Whatever binding the listener or spawning a thread reports.
+pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(config.addr.as_str())?;
+    let addr = listener.local_addr()?;
+    let memo = if config.memo_budget > 0 {
+        Arc::new(MemoDomain::with_budget(config.memo_budget))
+    } else {
+        Arc::new(MemoDomain::new())
+    };
+    let state = Arc::new(ServeState {
+        ctx: Arc::new(SolveContext::new()),
+        memo,
+        disk: config
+            .cache
+            .as_deref()
+            .map(|p| Arc::new(DiskCache::open(p))),
+        cache_path: config.cache.clone(),
+        pending: Mutex::new(HashMap::new()),
+        requests: AtomicU64::new(0),
+        disk_hits: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        addr,
+    });
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let worker_count = if config.workers == 0 {
+        2
+    } else {
+        config.workers
+    };
+    let mut workers = Vec::with_capacity(worker_count);
+    for i in 0..worker_count {
+        let rx = Arc::clone(&rx);
+        let tx = tx.clone();
+        let state = Arc::clone(&state);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("wcet-serve-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &tx, &state))?,
+        );
+    }
+    let accept_state = Arc::clone(&state);
+    let accept = std::thread::Builder::new()
+        .name("wcet-serve-accept".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if accept_state.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                match conn {
+                    Ok(conn) => {
+                        if tx.send(conn).is_err() {
+                            break;
+                        }
+                    }
+                    // A failed accept (peer vanished between SYN and
+                    // accept) is the peer's problem, not ours.
+                    Err(_) => continue,
+                }
+            }
+            // Dropping the sender lets idle workers drain out.
+        })?;
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn worker_loop(
+    rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    tx: &mpsc::Sender<TcpStream>,
+    state: &Arc<ServeState>,
+) {
+    loop {
+        // Hold the lock only while waiting for a connection, never while
+        // serving one: the next idle worker takes over the receiver.
+        let conn = {
+            let Ok(guard) = rx.lock() else { return };
+            match guard.recv_timeout(POLL_INTERVAL) {
+                Ok(conn) => Some(conn),
+                Err(mpsc::RecvTimeoutError::Timeout) => None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        if state.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Some(conn) = conn else { continue };
+        // A still-open connection goes back to the queue rather than
+        // parking this worker: idle keep-alive clients rotate through
+        // the pool instead of starving it. (Send fails only once every
+        // receiver is gone, i.e. during teardown — drop is correct.)
+        if let Some(conn) = serve_one(state, conn) {
+            let _ = tx.send(conn);
+        }
+    }
+}
+
+/// Serves at most ONE request on the connection, then hands it back.
+///
+/// Returns the connection if it should stay open (answered a normal
+/// request, or merely idle this poll interval); `None` when it is done —
+/// peer left, transport died, a framing error made the stream offset
+/// untrustworthy, or the request asked for a close (decode error,
+/// shutdown).
+fn serve_one(state: &Arc<ServeState>, mut conn: TcpStream) -> Option<TcpStream> {
+    // The read timeout bounds how long this worker is tied to one
+    // connection, not how long a client may think: an idle connection
+    // rotates back into the queue. (A client that dribbles a frame
+    // across poll intervals is indistinguishable from a stall and gets
+    // dropped — clients write whole frames in one call.)
+    let _ = conn.set_read_timeout(Some(POLL_INTERVAL));
+    let payload = match read_frame(&mut conn) {
+        Ok(payload) => payload,
+        Err(FrameError::Io(e))
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            // Nothing arrived this interval: rotate the connection back
+            // (unless the server is draining out).
+            return (!state.stop.load(Ordering::Acquire)).then_some(conn);
+        }
+        // Clean goodbye, torn frame, or dead transport: nothing to
+        // answer on — drop the connection, keep serving others.
+        Err(FrameError::Closed | FrameError::Io(_)) => return None,
+        // A malformed claim gets a typed error, then the
+        // connection is dropped cleanly (the stream offset can no
+        // longer be trusted).
+        Err(e @ (FrameError::Empty | FrameError::TooLarge(_) | FrameError::Utf8)) => {
+            let resp = protocol_error(format!("bad frame: {e}"));
+            let _ = write_frame(&mut conn, &resp.encode());
+            return None;
+        }
+    };
+    let (response, done) = handle_payload(state, &payload);
+    if write_frame(&mut conn, &response.encode()).is_err() || done {
+        return None;
+    }
+    Some(conn)
+}
+
+fn protocol_error(message: String) -> Response {
+    Response::Error(ServeError {
+        kind: ErrorKind::Protocol,
+        message,
+    })
+}
+
+/// Interprets one frame payload. The bool says whether the connection
+/// should close after the response is written.
+fn handle_payload(state: &Arc<ServeState>, payload: &str) -> (Response, bool) {
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    let request = match Request::decode(payload) {
+        Ok(request) => request,
+        Err(message) => return (protocol_error(message), true),
+    };
+    match request {
+        Request::SubmitScenario { spec } => (submit(state, &spec, true), false),
+        Request::SubmitMatrix { spec } => (submit(state, &spec, false), false),
+        Request::Stats => (stats_response(state), false),
+        Request::Shutdown => {
+            let flushed = flush_pending(state);
+            begin_stop(state);
+            (Response::Shutdown { flushed }, true)
+        }
+    }
+}
+
+fn submit(state: &Arc<ServeState>, spec: &str, single_cell: bool) -> Response {
+    let matrix = match parse_matrix(spec) {
+        Ok(matrix) => matrix,
+        Err(e) => return protocol_error(format!("bad spec: {e}")),
+    };
+    if single_cell && matrix.num_cells() != 1 {
+        return protocol_error(format!(
+            "submit_scenario wants exactly one cell, spec expands to {} (use submit_matrix)",
+            matrix.num_cells()
+        ));
+    }
+
+    // Effort baselines around the run; deltas are approximate under
+    // concurrent submissions (documented on RequestStats).
+    let memo_before = state.memo.stats();
+    let fix_before = state.memo.fixpoint_stats();
+    let ctx_before = state.ctx.stats();
+    let pivots_before = state.ctx.totals().pivots;
+
+    let opts = MatrixOptions {
+        validate: false,
+        ctx: Some(Arc::clone(&state.ctx)),
+        memo: Some(Arc::clone(&state.memo)),
+        disk: state.disk.clone(),
+    };
+    // The engine is panic-clean in normal operation, but a server must
+    // not die for one poisoned request: map a panic onto the campaign
+    // runner's failure ladder and keep serving.
+    let run = match catch_unwind(AssertUnwindSafe(|| run_matrix(&matrix, &opts))) {
+        Ok(run) => run,
+        Err(payload) => {
+            return Response::Error(ServeError {
+                kind: ErrorKind::Panic,
+                message: panic_message(payload.as_ref()),
+            })
+        }
+    };
+
+    remember_bounded(state, &run);
+    state
+        .disk_hits
+        .fetch_add(run.disk_hits as u64, Ordering::Relaxed);
+
+    let memo_total = state.memo.stats();
+    let ctx_after = state.ctx.stats();
+    let stats = RequestStats {
+        memo: memo_total.since(&memo_before),
+        memo_total,
+        solver_warm_hits: ctx_after.warm_hits.saturating_sub(ctx_before.warm_hits),
+        solver_cold_solves: ctx_after.cold_solves.saturating_sub(ctx_before.cold_solves),
+        solver_pivots: state.ctx.totals().pivots.saturating_sub(pivots_before),
+        fixpoint_evaluated: state
+            .memo
+            .fixpoint_stats()
+            .evaluated
+            .saturating_sub(fix_before.evaluated),
+    };
+    Response::Bounds(BoundsResponse {
+        matrix: run.matrix.clone(),
+        cells: run.cells.iter().map(CellBounds::of).collect(),
+        duplicates: run.duplicates as u64,
+        disk_hits: run.disk_hits as u64,
+        stats,
+    })
+}
+
+/// Buffers every fully-bounded cell for the shutdown flush. Cells the
+/// disk memo already answered round-trip through here too — the append
+/// path skips fingerprints that are already durable, so this only costs
+/// a map insert.
+fn remember_bounded(state: &Arc<ServeState>, run: &MatrixRun) {
+    let Ok(mut pending) = state.pending.lock() else {
+        return;
+    };
+    for cell in run.cells.iter().filter(|c| c.all_bounded()) {
+        let rows = cell
+            .rows
+            .iter()
+            .filter_map(|r| {
+                r.outcome.as_ref().ok().map(|b| CachedRow {
+                    task: r.task.clone(),
+                    core: r.core,
+                    thread: r.thread,
+                    mode: r.mode.clone(),
+                    wcet: b.wcet,
+                })
+            })
+            .collect();
+        pending.insert(cell.fingerprint, rows);
+    }
+}
+
+fn stats_response(state: &Arc<ServeState>) -> Response {
+    let ctx = state.ctx.stats();
+    Response::Stats(StatsResponse {
+        requests: state.requests.load(Ordering::Relaxed),
+        memo: state.memo.stats(),
+        memo_entries: state.memo.entries() as u64,
+        memo_budget: state.memo.budget().map(|b| b as u64),
+        disk_hits: state.disk_hits.load(Ordering::Relaxed),
+        solver_warm_hits: ctx.warm_hits,
+        solver_cold_solves: ctx.cold_solves,
+    })
+}
+
+/// Flushes pending bounded cells into the disk memo. Opens a fresh
+/// handle so cells another process persisted since startup are seen and
+/// skipped; the CRC-checkpointed format makes the append torn-tail safe
+/// for the next warm start.
+fn flush_pending(state: &ServeState) -> u64 {
+    let Some(path) = state.cache_path.as_deref() else {
+        return 0;
+    };
+    let fresh: Vec<((u64, u64), Vec<CachedRow>)> = match state.pending.lock() {
+        Ok(mut pending) => pending.drain().collect(),
+        Err(_) => return 0,
+    };
+    if fresh.is_empty() {
+        return 0;
+    }
+    let disk = DiskCache::open(path);
+    match disk.append(&fresh) {
+        Ok(appended) => appended as u64,
+        Err(e) => {
+            // A daemon's log is stderr; the shutdown still proceeds.
+            eprintln!("wcet-serve: flush to {} failed: {e}", path.display());
+            0
+        }
+    }
+}
+
+/// Sets the stop flag and kicks the accept loop out of its blocking
+/// `accept` with a throwaway self-connection.
+fn begin_stop(state: &ServeState) {
+    state.stop.store(true, Ordering::Release);
+    let _ = TcpStream::connect(state.addr);
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "analysis panicked".to_string()
+    }
+}
