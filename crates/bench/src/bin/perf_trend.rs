@@ -14,11 +14,13 @@
 //! throughput in cells/sec, dedup and reuse rates), and schema 7's
 //! supervision counters (cell failures, cold retries, resume
 //! fast-forward distance), and schema 8's `serve` block (the analysis
-//! server's request throughput and hot-memo hit rate) — and still
-//! accepts older documents: absent sections and counters render as `—`,
-//! so the trend step keeps comparing against the previous run across
-//! schema bumps (a schema-7 baseline against a schema-8 current run is
-//! the expected case right after the bump).
+//! server's request throughput and hot-memo hit rate), and schema 9's
+//! suite-level `total_ms` plus the word-kernel effort counter
+//! (`fixpoint.kernel_words`) — and still accepts older documents:
+//! absent sections and counters render as `—`, so the trend step keeps
+//! comparing against the previous run across schema bumps (a schema-8
+//! baseline against a schema-9 current run is the expected case right
+//! after the bump).
 
 use std::process::ExitCode;
 
@@ -33,6 +35,8 @@ struct ExpEntry {
     fixpoint: Option<(u64, u64)>,
     /// Schema 5: simulator cycles skipped by event fast-forwarding.
     skipped_cycles: Option<u64>,
+    /// Schema 9: 64-bit words pushed through the domain kernels.
+    kernel_words: Option<u64>,
 }
 
 /// `experiments[]` rows of one document (schema 4 and 5 both parse; the
@@ -55,6 +59,9 @@ fn walls(doc: &Json) -> Vec<ExpEntry> {
                             ),
                         skipped_cycles: e
                             .get_path(&["sim_skip", "skipped_cycles"])
+                            .and_then(Json::as_u64),
+                        kernel_words: e
+                            .get_path(&["fixpoint", "kernel_words"])
                             .and_then(Json::as_u64),
                     })
                 })
@@ -240,6 +247,23 @@ fn main() -> ExitCode {
             (cur_total - base_total) / base_total * 100.0
         ));
     }
+    // Schema 9: the suite-level wall clock (everything run_all does,
+    // including the subprocess passes the per-experiment rows miss). A
+    // side that predates schema 9 renders `—` and gets no delta.
+    let total_ms = |doc: &Json| doc.get("total_ms").and_then(Json::as_f64);
+    let (base_suite, cur_suite) = (total_ms(&baseline), total_ms(&current));
+    if base_suite.is_some() || cur_suite.is_some() {
+        let show = |v: Option<f64>| v.map_or_else(|| "—".into(), |v| format!("{v:.1} ms"));
+        let delta = match (base_suite, cur_suite) {
+            (Some(b), Some(c)) if b > 0.0 => format!(" ({:+.0}%)", (c - b) / b * 100.0),
+            _ => String::new(),
+        };
+        t.note(format!(
+            "suite total_ms (schema 9): {} → {}{delta}",
+            show(base_suite),
+            show(cur_suite),
+        ));
+    }
     println!("{t}");
 
     // Schema 5: deterministic effort counters (immune to timer noise).
@@ -252,7 +276,8 @@ fn main() -> ExitCode {
             .any(|e| e.fixpoint.is_some() || e.skipped_cycles.is_some())
     {
         let mut t = Table::new(
-            "Deterministic effort (schema 5): fixpoint evaluations vs naive sweep, sim skips",
+            "Deterministic effort (schema 5+): fixpoint evaluations vs naive sweep, \
+             sim skips, kernel words (schema 9)",
             &[
                 "experiment",
                 "base evals",
@@ -260,6 +285,8 @@ fn main() -> ExitCode {
                 "cur sweep equiv",
                 "base skipped cyc",
                 "cur skipped cyc",
+                "base kern words",
+                "cur kern words",
             ],
         );
         for e in &cur {
@@ -274,6 +301,8 @@ fn main() -> ExitCode {
                 opt(e.fixpoint.map(|f| f.1)),
                 opt(b.and_then(|b| b.skipped_cycles)),
                 opt(e.skipped_cycles),
+                opt(b.and_then(|b| b.kernel_words)),
+                opt(e.kernel_words),
             ]);
         }
         println!("{t}");

@@ -503,6 +503,7 @@ fn batch_vs_sequential() -> Json {
 }
 
 fn main() {
+    let suite_start = Instant::now();
     let mut failed = Vec::new();
     let mut experiment_json = Vec::new();
     for exp in EXPERIMENTS {
@@ -603,11 +604,16 @@ fn main() {
     }
 
     let doc = Json::obj([
-        // Schema 8: a `serve` block — the analysis server submitted the
-        // example matrix over a real socket, with throughput, the hot
-        // memo hit rate, and the asserted bounds-identity flag.
-        ("schema", Json::from(8_u64)),
+        // Schema 9: fixpoint blocks carry the word-kernel and arena
+        // counters (kernel_words / arena_bytes / arena_resets), and the
+        // document gains `total_ms` — wall time of the entire suite run,
+        // so perf_trend can report a suite-level delta.
+        ("schema", Json::from(9_u64)),
         ("suite", Json::str("wcet-bench run_all")),
+        (
+            "total_ms",
+            Json::from(suite_start.elapsed().as_secs_f64() * 1e3),
+        ),
         ("experiments", Json::Arr(experiment_json)),
         ("batch_vs_sequential", comparison),
         ("solver_warm_vs_cold", warm_cold),

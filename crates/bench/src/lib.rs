@@ -16,13 +16,17 @@ use json::Json;
 use wcet_ir::fixpoint::FixpointStats;
 use wcet_sim::machine::SkipStats;
 
-/// Schema-5 JSON rendering of worklist-fixpoint counters.
+/// JSON rendering of worklist-fixpoint counters (schema 5; the kernel
+/// and arena counters joined in schema 9).
 #[must_use]
 pub fn fixpoint_json(s: &FixpointStats) -> Json {
     Json::obj([
         ("evaluated", Json::from(s.evaluated)),
         ("max_trips", Json::from(s.max_trips)),
         ("sweep_evals", Json::from(s.sweep_evals)),
+        ("kernel_words", Json::from(s.kernel_words)),
+        ("arena_bytes", Json::from(s.arena_bytes)),
+        ("arena_resets", Json::from(s.arena_resets)),
     ])
 }
 

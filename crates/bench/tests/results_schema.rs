@@ -1,0 +1,81 @@
+//! Schema guard over the checked-in `BENCH_results.json`: the perf-trend
+//! step diffs fresh runs against this document, so a malformed or
+//! silently-regressed baseline would make every future comparison render
+//! `—` instead of a delta. This test pins the members the trend tooling
+//! keys on — it is about *shape*, not timing values, so it is stable on
+//! any machine.
+
+use wcet_bench::json::Json;
+
+fn checked_in_results() -> Json {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_results.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_results.json is checked in");
+    Json::parse(&text).expect("BENCH_results.json parses")
+}
+
+#[test]
+fn results_schema_is_current_and_campaign_throughput_parses() {
+    let doc = checked_in_results();
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_u64)
+        .expect("document carries a schema number");
+    assert!(schema >= 9, "schema regressed below 9: {schema}");
+
+    // Schema 9's suite-level wall clock.
+    let total_ms = doc
+        .get("total_ms")
+        .and_then(Json::as_f64)
+        .expect("schema 9 documents carry total_ms");
+    assert!(total_ms > 0.0, "total_ms must be positive: {total_ms}");
+
+    // The trend step's campaign headline number must exist and parse.
+    let cells_per_sec = doc
+        .get_path(&["campaign", "cold", "cells_per_sec"])
+        .and_then(Json::as_f64)
+        .expect("campaign.cold.cells_per_sec exists and parses");
+    assert!(
+        cells_per_sec > 0.0,
+        "campaign cold throughput must be positive: {cells_per_sec}"
+    );
+
+    // And the serving pass headline.
+    let req_per_sec = doc
+        .get_path(&["serve", "req_per_sec"])
+        .and_then(Json::as_f64)
+        .expect("serve.req_per_sec exists and parses");
+    assert!(req_per_sec > 0.0);
+}
+
+#[test]
+fn fixpoint_blocks_carry_schema9_kernel_counters() {
+    let doc = checked_in_results();
+    let exps = doc
+        .get("experiments")
+        .and_then(Json::as_arr)
+        .expect("experiments array");
+    let mut with_fixpoint = 0usize;
+    for e in exps {
+        // Subprocess experiments carry `fixpoint: null`.
+        let Some(fp) = e.get("fixpoint") else {
+            continue;
+        };
+        if matches!(fp, Json::Null) {
+            continue;
+        }
+        with_fixpoint += 1;
+        for key in ["kernel_words", "arena_bytes", "arena_resets"] {
+            let v = fp.get(key).and_then(Json::as_u64);
+            assert!(
+                v.is_some(),
+                "fixpoint block of {:?} lacks {key}",
+                e.get("id")
+            );
+        }
+        assert!(
+            fp.get("kernel_words").and_then(Json::as_u64).unwrap_or(0) > 0,
+            "an analysis that ran must have pushed words through the kernels"
+        );
+    }
+    assert!(with_fixpoint > 0, "no experiment carried a fixpoint block");
+}

@@ -7,6 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wcet_cache::analysis::{analyze, analyze_sweep, AnalysisInput, LevelKind};
 use wcet_cache::config::CacheConfig;
+use wcet_cache::kernel;
 use wcet_ir::synth::{matmul, pointer_chase_stride, switchy, Placement};
 
 fn bench_cache_analyze(c: &mut Criterion) {
@@ -62,5 +63,83 @@ fn bench_worklist_vs_sweep(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cache_analyze, bench_worklist_vs_sweep);
+/// The chunked word kernels against their scalar twins at the row
+/// widths that matter: 1 word (tiny L1 sets — pure tail), 4 words (one
+/// chunk exactly), and 64 words (a wide shared-L2 row where the unroll
+/// has room to pay off). Same inputs to both sides, so the ratio is the
+/// unroll's contribution alone.
+fn bench_domain_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("domain_kernels");
+    g.sample_size(10);
+    for words in [1usize, 4, 64] {
+        let a: Vec<u64> = (0..words)
+            .map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))
+            .collect();
+        let b: Vec<u64> = (0..words)
+            .map(|i| 0xD1B5_4A32_D192_ED03u64.wrapping_mul(i as u64 + 1))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("join_must", words), &words, |bench, _| {
+            bench.iter(|| {
+                let mut dst = a.clone();
+                let (mut ca, mut cb) = (vec![0u64; words], vec![0u64; words]);
+                kernel::join_must_rows(&mut dst, &b, &mut ca, &mut cb)
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("join_must_scalar", words),
+            &words,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut dst = a.clone();
+                    let (mut ca, mut cb) = (vec![0u64; words], vec![0u64; words]);
+                    kernel::join_must_rows_scalar(&mut dst, &b, &mut ca, &mut cb)
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("aging_or", words), &words, |bench, _| {
+            bench.iter(|| {
+                let mut dst = a.clone();
+                kernel::or_row(&mut dst, &b);
+                dst
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("aging_or_scalar", words),
+            &words,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut dst = a.clone();
+                    kernel::or_row_scalar(&mut dst, &b);
+                    dst
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("mask_clear", words), &words, |bench, _| {
+            bench.iter(|| {
+                let mut dst = a.clone();
+                kernel::mask_clear(&mut dst, &b);
+                dst
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("mask_clear_scalar", words),
+            &words,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut dst = a.clone();
+                    kernel::mask_clear_scalar(&mut dst, &b);
+                    dst
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache_analyze,
+    bench_worklist_vs_sweep,
+    bench_domain_kernels
+);
 criterion_main!(benches);

@@ -13,15 +13,20 @@
 //! loaded. This is less precise than age-based persistence but is immune to
 //! the known unsoundness of the classic formulation on nested loops.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use wcet_ir::arena::{Arena, Slab};
 use wcet_ir::fixpoint::{FixpointStats, Worklist};
 use wcet_ir::program::AccessAddrs;
 use wcet_ir::{AccessKind, BlockId, Program};
 
 use crate::config::{CacheConfig, LineAddr};
-use crate::domain::{AbsCacheState, BlockTransfer, CacheDomain, JoinScratch, LineRef};
+use crate::domain::{
+    join_into_words, AbsCacheState, CacheDomain, CompiledStep, JoinScratch, LineRef,
+};
+use crate::kernel;
 
 /// Identifier of an access site: block plus position in the block's access
 /// sequence.
@@ -220,6 +225,92 @@ impl CacheAnalysis {
     }
 }
 
+/// The reusable per-analysis workspace: one bump [`Arena`] owning every
+/// per-analysis allocation shape (block in-state slabs, compiled
+/// transfer programs with their candidate masks) plus the reused state
+/// and scratch buffers of the fixpoint loop. [`analyze`] borrows a
+/// thread-local instance, so after the first analysis on a thread warms
+/// the buffers up, an analysis allocates only its result containers;
+/// [`analyze_in`] takes an explicit workspace (campaign drivers, the
+/// arena-reuse differential test).
+#[derive(Default)]
+pub struct AnalysisArena {
+    /// State slabs + compiled candidate masks; reset once per analysis.
+    arena: Arena<u64>,
+    /// Per-block in-state handles into `arena`.
+    slots: Vec<Option<Slab>>,
+    /// Compiled transfer programs, all blocks flattened (slots stay
+    /// aligned with each block's access list; `None` = the access
+    /// cannot disturb the state).
+    steps: Vec<Option<CompiledStep>>,
+    /// Per-block `[start, end)` ranges into `steps`.
+    ranges: Vec<(u32, u32)>,
+    /// Fixpoint out-state buffer.
+    out: AbsCacheState,
+    /// Snapshot buffer for may-or-may-not-happen steps.
+    tmp: AbsCacheState,
+    /// Classification-pass state buffer.
+    cls: AbsCacheState,
+    /// Join scratch rows.
+    scratch: JoinScratch,
+}
+
+impl AnalysisArena {
+    /// An empty workspace; buffers grow to fit on first use.
+    #[must_use]
+    pub fn new() -> AnalysisArena {
+        AnalysisArena::default()
+    }
+
+    /// Re-targets the workspace at one analysis: resets the arena (one
+    /// reset per analysis) and resizes every buffer for `dom`, reusing
+    /// capacity.
+    fn begin(&mut self, dom: &CacheDomain, num_blocks: usize) {
+        self.arena.reset();
+        self.slots.clear();
+        self.slots.resize(num_blocks, None);
+        self.steps.clear();
+        self.ranges.clear();
+        self.out.resize_cold(dom);
+        self.tmp.resize_cold(dom);
+        self.cls.resize_cold(dom);
+        self.scratch.ensure(dom);
+    }
+
+    /// Compiles each block's access sequence into the flattened transfer
+    /// program (masks bump-allocated from the arena).
+    fn compile(&mut self, prep: &Prepared) {
+        for block in &prep.accesses {
+            let start = self.steps.len() as u32;
+            for acc in block {
+                let certain = acc.effective.len() == 1 && acc.lines.len() == 1;
+                self.steps.push(prep.dom.compile_step(
+                    acc.reach == Reach::Always,
+                    certain,
+                    &acc.effective,
+                    &mut self.arena,
+                ));
+            }
+            self.ranges.push((start, self.steps.len() as u32));
+        }
+    }
+}
+
+thread_local! {
+    /// The default workspace of [`analyze`] / [`analyze_sweep`]: every
+    /// analysis on a thread reuses one arena and one set of buffers.
+    static WORKSPACE: RefCell<AnalysisArena> = RefCell::new(AnalysisArena::new());
+}
+
+/// Runs `f` on the thread's workspace (fresh fallback on re-entrancy,
+/// which plain analysis call chains never hit).
+pub(crate) fn with_workspace<R>(f: impl FnOnce(&mut AnalysisArena) -> R) -> R {
+    WORKSPACE.with(|w| match w.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        Err(_) => f(&mut AnalysisArena::new()),
+    })
+}
+
 /// Runs the must/may fixpoint and classifies every access of `program`
 /// relevant to this level.
 ///
@@ -227,40 +318,62 @@ impl CacheAnalysis {
 /// ([`wcet_ir::fixpoint::Worklist`]) over *precompiled block transfers*:
 /// each block's access sequence is compiled once into a flat word-op
 /// program and applied as a unit, and only blocks whose in-state actually
-/// changed are re-evaluated. Results are bit-identical to the preserved
-/// sweep ([`analyze_sweep`]): both converge to the same least fixpoint of
-/// the same monotone transfer system (pinned by the differential property
-/// tests).
+/// changed are re-evaluated. Per-analysis storage comes from a
+/// thread-local [`AnalysisArena`]. Results are bit-identical to the
+/// preserved sweep ([`analyze_sweep`]): both converge to the same least
+/// fixpoint of the same monotone transfer system (pinned by the
+/// differential property tests).
 #[must_use]
 pub fn analyze(program: &Program, input: &AnalysisInput) -> CacheAnalysis {
+    with_workspace(|ws| analyze_in(ws, program, input))
+}
+
+/// [`analyze`] on an explicit workspace. Reusing one workspace across
+/// analyses amortizes every per-analysis allocation; results are
+/// identical to fresh-workspace runs (pinned by the arena-reuse test).
+#[must_use]
+pub fn analyze_in(
+    ws: &mut AnalysisArena,
+    program: &Program,
+    input: &AnalysisInput,
+) -> CacheAnalysis {
+    let kw0 = kernel::words_total();
     let prep = prepare(program, input);
     let cfg = program.cfg();
     let dom = &prep.dom;
-    let transfers = compile_transfers(&prep);
+    ws.begin(dom, cfg.num_blocks());
+    ws.compile(&prep);
+    let AnalysisArena {
+        arena,
+        slots,
+        steps,
+        ranges,
+        out,
+        tmp,
+        cls,
+        scratch,
+    } = ws;
 
-    // Worklist fixpoint over block in-states: stabilize inner loops
-    // before re-entering outer ones.
-    let mut in_states: Vec<Option<AbsCacheState>> = vec![None; cfg.num_blocks()];
-    in_states[cfg.entry().index()] = Some(dom.cold());
-    let mut out = dom.cold();
-    let mut tmp = dom.cold();
-    let mut scratch = JoinScratch::for_domain(dom);
+    // Worklist fixpoint over block in-states (arena slabs): stabilize
+    // inner loops before re-entering outer ones.
+    let state_words = 2 * dom.total_words();
+    slots[cfg.entry().index()] = Some(arena.alloc_zeroed(state_words)); // cold = all-zero
     let mut wl = Worklist::nested(cfg, program.loops());
     wl.push(cfg.entry());
     while let Some(b) = wl.pop() {
-        out.clone_from(
-            in_states[b.index()]
-                .as_ref()
-                .expect("popped block has in-state"),
-        );
-        out.apply_transfer(dom, &transfers[b.index()], &mut tmp, &mut scratch);
+        let slab = slots[b.index()].expect("popped block has in-state");
+        out.load_words(dom, arena.get(slab));
+        let (s0, s1) = ranges[b.index()];
+        out.apply_transfer(dom, &steps[s0 as usize..s1 as usize], arena, tmp, scratch);
         for &succ in cfg.successors(b) {
-            let changed = match &mut in_states[succ.index()] {
-                slot @ None => {
-                    *slot = Some(out.clone());
+            let changed = match slots[succ.index()] {
+                None => {
+                    let slab = arena.alloc_zeroed(state_words);
+                    out.store_words(dom, arena.get_mut(slab));
+                    slots[succ.index()] = Some(slab);
                     true
                 }
-                Some(cur) => cur.join_in(dom, &out, &mut scratch),
+                Some(slab) => join_into_words(dom, arena.get_mut(slab), out, scratch),
             };
             if changed {
                 wl.push(succ);
@@ -268,7 +381,13 @@ pub fn analyze(program: &Program, input: &AnalysisInput) -> CacheAnalysis {
         }
     }
 
-    finish(program, input, &prep, &transfers, in_states, wl.stats())
+    let mut stats = wl.stats();
+    stats.kernel_words = kernel::words_total() - kw0;
+    stats.arena_bytes = arena.high_water_bytes();
+    stats.arena_resets = 1;
+    finish(
+        program, input, &prep, arena, steps, ranges, slots, cls, tmp, scratch, stats,
+    )
 }
 
 /// The preserved naive fixpoint: full reverse-postorder sweeps,
@@ -278,37 +397,57 @@ pub fn analyze(program: &Program, input: &AnalysisInput) -> CacheAnalysis {
 /// production callers use [`analyze`].
 #[must_use]
 pub fn analyze_sweep(program: &Program, input: &AnalysisInput) -> CacheAnalysis {
+    with_workspace(|ws| analyze_sweep_in(ws, program, input))
+}
+
+fn analyze_sweep_in(
+    ws: &mut AnalysisArena,
+    program: &Program,
+    input: &AnalysisInput,
+) -> CacheAnalysis {
+    let kw0 = kernel::words_total();
     let prep = prepare(program, input);
     let cfg = program.cfg();
     let dom = &prep.dom;
+    ws.begin(dom, cfg.num_blocks());
+    let AnalysisArena {
+        arena,
+        slots,
+        steps,
+        ranges,
+        out,
+        tmp,
+        cls,
+        scratch,
+    } = ws;
 
-    let mut in_states: Vec<Option<AbsCacheState>> = vec![None; cfg.num_blocks()];
-    in_states[cfg.entry().index()] = Some(dom.cold());
+    let state_words = 2 * dom.total_words();
+    slots[cfg.entry().index()] = Some(arena.alloc_zeroed(state_words)); // cold = all-zero
     let rpo = cfg.reverse_postorder();
-    let mut out = dom.cold();
-    let mut scratch = JoinScratch::for_domain(dom);
     let mut stats = FixpointStats::default();
     let mut changed = true;
     while changed {
         changed = false;
         stats.max_trips += 1; // one full sweep
         for &b in rpo {
-            let Some(in_state) = &in_states[b.index()] else {
+            let Some(slab) = slots[b.index()] else {
                 continue;
             };
             stats.evaluated += 1;
-            out.clone_from(in_state);
+            out.load_words(dom, arena.get(slab));
             for acc in &prep.accesses[b.index()] {
-                apply_access(&mut out, dom, acc, &mut scratch);
+                apply_access(out, dom, acc, scratch);
             }
             for &succ in cfg.successors(b) {
-                match &mut in_states[succ.index()] {
-                    slot @ None => {
-                        *slot = Some(out.clone());
+                match slots[succ.index()] {
+                    None => {
+                        let slab = arena.alloc_zeroed(state_words);
+                        out.store_words(dom, arena.get_mut(slab));
+                        slots[succ.index()] = Some(slab);
                         changed = true;
                     }
-                    Some(cur) => {
-                        if cur.join_in(dom, &out, &mut scratch) {
+                    Some(slab) => {
+                        if join_into_words(dom, arena.get_mut(slab), out, scratch) {
                             changed = true;
                         }
                     }
@@ -318,27 +457,46 @@ pub fn analyze_sweep(program: &Program, input: &AnalysisInput) -> CacheAnalysis 
     }
     stats.sweep_evals = stats.evaluated; // this *is* the sweep bill
 
-    let transfers = compile_transfers(&prep);
-    finish(program, input, &prep, &transfers, in_states, stats)
+    // Compile the transfers only now: the classification replay uses
+    // them, the sweep itself interprets accesses directly.
+    let mut compile_ws = CompileView {
+        arena,
+        steps,
+        ranges,
+    };
+    compile_ws.compile(&prep);
+    stats.kernel_words = kernel::words_total() - kw0;
+    stats.arena_bytes = arena.high_water_bytes();
+    stats.arena_resets = 1;
+    finish(
+        program, input, &prep, arena, steps, ranges, slots, cls, tmp, scratch, stats,
+    )
 }
 
-/// Compiles each block's access sequence into its flat transfer program
-/// (slots aligned with the access list).
-fn compile_transfers(prep: &Prepared) -> Vec<BlockTransfer> {
-    prep.accesses
-        .iter()
-        .map(|block| {
-            let mut t = BlockTransfer::default();
+/// A borrow-splitting view for compiling transfers after the workspace
+/// has been destructured (the sweep path compiles late).
+struct CompileView<'a> {
+    arena: &'a mut Arena<u64>,
+    steps: &'a mut Vec<Option<CompiledStep>>,
+    ranges: &'a mut Vec<(u32, u32)>,
+}
+
+impl CompileView<'_> {
+    fn compile(&mut self, prep: &Prepared) {
+        for block in &prep.accesses {
+            let start = self.steps.len() as u32;
             for acc in block {
                 let certain = acc.effective.len() == 1 && acc.lines.len() == 1;
-                t.push(
-                    prep.dom
-                        .compile_step(acc.reach == Reach::Always, certain, &acc.effective),
-                );
+                self.steps.push(prep.dom.compile_step(
+                    acc.reach == Reach::Always,
+                    certain,
+                    &acc.effective,
+                    self.arena,
+                ));
             }
-            t
-        })
-        .collect()
+            self.ranges.push((start, self.steps.len() as u32));
+        }
+    }
 }
 
 /// Shared preparation: access collection plus the interned line universe.
@@ -385,12 +543,18 @@ fn prepare(program: &Program, input: &AnalysisInput) -> Prepared {
 /// Shared epilogue: loop pressure, classification, footprint, histogram.
 /// Replays each block's compiled transfer one access at a time so the
 /// per-site classification sees the exact pre-access state.
+#[allow(clippy::too_many_arguments)] // destructured AnalysisArena halves
 fn finish(
     program: &Program,
     input: &AnalysisInput,
     prep: &Prepared,
-    transfers: &[BlockTransfer],
-    in_states: Vec<Option<AbsCacheState>>,
+    arena: &Arena<u64>,
+    steps: &[Option<CompiledStep>],
+    ranges: &[(u32, u32)],
+    slots: &[Option<Slab>],
+    cls: &mut AbsCacheState,
+    tmp: &mut AbsCacheState,
+    scratch: &mut JoinScratch,
     stats: FixpointStats,
 ) -> CacheAnalysis {
     let cfg = program.cfg();
@@ -446,16 +610,14 @@ fn finish(
     // vector; the public BTreeMap is built once at the end).
     let mut class_by_site: Vec<Option<Classification>> = vec![None; prep.sites.len()];
     let mut hist = (0usize, 0usize, 0usize, 0usize);
-    let mut state = dom.cold();
-    let mut tmp = dom.cold();
-    let mut scratch = JoinScratch::for_domain(dom);
     for (b, _) in cfg.iter() {
-        let Some(in_state) = &in_states[b.index()] else {
+        let Some(slab) = slots[b.index()] else {
             continue;
         };
-        state.clone_from(in_state);
+        cls.load_words(dom, arena.get(slab));
+        let (s0, _) = ranges[b.index()];
         for (i, acc) in prep.accesses[b.index()].iter().enumerate() {
-            let class = classify(&state, dom, acc, input, program, &pressure);
+            let class = classify(cls, dom, acc, input, program, &pressure);
             class_by_site[acc.site_idx as usize] = Some(class);
             match class {
                 Classification::AlwaysHit => hist.0 += 1,
@@ -463,8 +625,8 @@ fn finish(
                 Classification::Persistent { .. } => hist.2 += 1,
                 Classification::NotClassified => hist.3 += 1,
             }
-            if let Some(step) = transfers[b.index()].step(i) {
-                state.apply_step(dom, step, &mut tmp, &mut scratch);
+            if let Some(step) = &steps[s0 as usize + i] {
+                cls.apply_step(dom, step, arena, tmp, scratch);
             }
         }
     }

@@ -31,11 +31,22 @@
 //!
 //! Per-set way counts support locking (a locked way is invisible to the
 //! abstract state) and shared-cache interference shifts (paper §4.1).
+//!
+//! The word loops themselves live in [`crate::kernel`] as explicitly
+//! unrolled chunk kernels; this module supplies the row geometry and the
+//! lattice, and counts kernel words at op granularity for the
+//! `kernel_words` statistic. Compiled-step candidate masks are owned by
+//! the per-analysis bump [`Arena`] (handles, not boxes), so compiling a
+//! transfer program allocates nothing after the first analysis warms the
+//! arena up.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
+use wcet_ir::arena::{Arena, Slab};
+
 use crate::config::{CacheConfig, LineAddr};
+use crate::kernel;
 
 /// Multiply-shift hasher for the line-interning map. Keys are `LineAddr`
 /// (one `u64`); the default SipHash dominates domain construction when a
@@ -45,9 +56,12 @@ struct LineHasher(u64);
 
 impl Hasher for LineHasher {
     fn write(&mut self, bytes: &[u8]) {
-        // Generic fallback (unused by u64 keys): FNV-1a.
+        // Generic fallback (unused by u64 keys, which go through
+        // `write_u64`): fold each byte through the same multiply-shift
+        // mixer, so a generic write composes with the u64 path instead
+        // of seeding the state with raw FNV products mid-stream.
         for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+            self.write_u64(u64::from(b));
         }
     }
 
@@ -204,6 +218,13 @@ impl CacheDomain {
         self.words[set]
     }
 
+    /// Total words of one domain array (an [`AbsCacheState`] slab holds
+    /// twice this: must rows, then may rows).
+    #[must_use]
+    pub(crate) fn total_words(&self) -> usize {
+        self.total_words
+    }
+
     /// The interned universe of `set`, sorted and deduplicated.
     #[must_use]
     pub(crate) fn lines_of_set(&self, set: usize) -> &[LineAddr] {
@@ -230,11 +251,16 @@ impl CacheDomain {
     /// Returns `None` for accesses that cannot disturb the state: empty
     /// effective sets (fully locked/bypassed) and zero-way (fully locked)
     /// sets, mirroring the early returns of the interpreted path.
+    ///
+    /// Candidate masks are bump-allocated from `masks`, the per-analysis
+    /// arena that also owns the state slabs; the returned step refers to
+    /// them by [`Slab`] handle.
     pub(crate) fn compile_step(
         &self,
         reach_always: bool,
         certain_line: bool,
         effective: &[LineRef],
+        masks: &mut Arena<u64>,
     ) -> Option<CompiledStep> {
         if effective.is_empty() {
             return None;
@@ -263,18 +289,18 @@ impl CacheDomain {
             .copied()
             .filter(|&set| self.set_ways[set] > 0)
             .collect();
-        let mut sets: Vec<SetOp> = live
+        let sets: Vec<SetOp> = live
             .iter()
             .map(|&set| SetOp {
                 ways: self.set_ways[set],
                 row0: self.offsets[set],
                 stride: self.words[set],
-                mask: vec![0u64; self.words[set]].into_boxed_slice(),
+                mask: masks.alloc_zeroed(self.words[set]),
             })
             .collect();
         for l in effective {
             if let Ok(i) = live.binary_search(&(l.set as usize)) {
-                sets[i].mask[(l.bit / 64) as usize] |= 1u64 << (l.bit % 64);
+                masks.get_mut(sets[i].mask)[(l.bit / 64) as usize] |= 1u64 << (l.bit % 64);
             }
         }
         if sets.is_empty() {
@@ -305,20 +331,23 @@ pub(crate) struct LineOp {
 }
 
 /// A precompiled touched-set operand of an unknown-line access: the
-/// set's row geometry plus the candidate-line bitmask (`stride` words).
-/// The per-line may update ("clear the line's old age bit, insert it at
-/// age 0") folds into whole-row word ops over this mask, so a
-/// 4096-candidate range access costs `ways × words` word operations per
-/// application instead of 4096 bit probes.
-#[derive(Debug, Clone)]
+/// set's row geometry plus the candidate-line bitmask (`stride` words,
+/// held by the per-analysis arena). The per-line may update ("clear the
+/// line's old age bit, insert it at age 0") folds into whole-row word
+/// ops over this mask, so a 4096-candidate range access costs
+/// `ways × words` word operations per application instead of 4096 bit
+/// probes.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct SetOp {
     ways: u32,
     row0: usize,
     stride: usize,
-    mask: Box<[u64]>,
+    mask: Slab,
 }
 
-/// One compiled access of a [`BlockTransfer`].
+/// One compiled access of a block's transfer program. Applying a step
+/// needs the arena that owns its candidate masks (the same arena the
+/// analysis allocates its state slabs from).
 #[derive(Debug, Clone)]
 pub(crate) enum CompiledStep {
     /// Certain access to a known line.
@@ -346,43 +375,29 @@ pub(crate) enum CompiledStep {
     },
 }
 
-/// A block's access sequence compiled into a flat word-op program,
-/// applied as a unit by the fixpoint instead of re-interpreting each
-/// access per evaluation. Compiled once per analysis per block. Slots
-/// stay aligned with the block's access list (`None` = the access cannot
-/// disturb the state), so the classification pass can replay the same
-/// program one access at a time.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct BlockTransfer {
-    steps: Vec<Option<CompiledStep>>,
-}
-
-impl BlockTransfer {
-    /// Appends one compiled access slot.
-    pub(crate) fn push(&mut self, step: Option<CompiledStep>) {
-        self.steps.push(step);
-    }
-
-    /// The compiled step of the block's `i`-th access, if it does
-    /// anything.
-    #[must_use]
-    pub(crate) fn step(&self, i: usize) -> Option<&CompiledStep> {
-        self.steps.get(i).and_then(Option::as_ref)
-    }
-}
-
 /// Abstract state of one cache (all sets), carrying both domains as flat
 /// bitset word arrays over a [`CacheDomain`]'s interned universe. Every
 /// operation takes the domain the state was created from; equality
 /// compares the word arrays (states of different domains must not be
 /// mixed — joins `debug_assert` the layout).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct AbsCacheState {
     /// Must rows: bit b of row (s, a) ⇔ line b of set s has age bound a.
     must: Vec<u64>,
     /// May rows, same layout.
     may: Vec<u64>,
 }
+
+impl PartialEq for AbsCacheState {
+    fn eq(&self, other: &AbsCacheState) -> bool {
+        self.must.len() == other.must.len()
+            && self.may.len() == other.may.len()
+            && kernel::rows_eq(&self.must, &other.must)
+            && kernel::rows_eq(&self.may, &other.may)
+    }
+}
+
+impl Eq for AbsCacheState {}
 
 /// Which of the two age arrays an update targets.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -391,11 +406,12 @@ enum Dom {
     May,
 }
 
-/// Reusable join buffers (one row copy and one cumulative mask per
-/// side), sized for the widest set.
+/// Reusable join buffers (one cumulative-age mask per side), sized for
+/// the widest set. The fused kernels made the former row copies
+/// unnecessary: each word of the destination row is read before it is
+/// written, so the join runs in place.
+#[derive(Default)]
 pub(crate) struct JoinScratch {
-    row_a: Vec<u64>,
-    row_b: Vec<u64>,
     cum_a: Vec<u64>,
     cum_b: Vec<u64>,
 }
@@ -403,13 +419,17 @@ pub(crate) struct JoinScratch {
 impl JoinScratch {
     /// Buffers sized for `dom`'s widest set.
     pub(crate) fn for_domain(dom: &CacheDomain) -> JoinScratch {
-        let words = dom.max_words;
-        JoinScratch {
-            row_a: vec![0; words],
-            row_b: vec![0; words],
-            cum_a: vec![0; words],
-            cum_b: vec![0; words],
-        }
+        let mut s = JoinScratch::default();
+        s.ensure(dom);
+        s
+    }
+
+    /// Resizes the buffers for `dom`'s widest set, reusing capacity.
+    pub(crate) fn ensure(&mut self, dom: &CacheDomain) {
+        self.cum_a.clear();
+        self.cum_a.resize(dom.max_words, 0);
+        self.cum_b.clear();
+        self.cum_b.resize(dom.max_words, 0);
     }
 }
 
@@ -471,20 +491,18 @@ impl AbsCacheState {
         if threshold == 0 || w == 0 {
             return;
         }
+        kernel::count_words((threshold as usize + 1) * w);
         let arr = self.words_mut(which);
         if threshold < ways {
             let dst = row0 + threshold as usize * w;
-            let src = dst - w;
-            for k in 0..w {
-                arr[dst + k] |= arr[src + k];
-            }
+            let (lo, hi) = arr.split_at_mut(dst);
+            kernel::or_row(&mut hi[..w], &lo[dst - w..dst]);
         }
+        // Shift rows (1..threshold) down from their younger neighbour —
+        // one memmove per row.
         for age in (1..threshold).rev() {
             let dst = row0 + age as usize * w;
-            let src = dst - w;
-            for k in 0..w {
-                arr[dst + k] = arr[src + k];
-            }
+            arr.copy_within(dst - w..dst, dst);
         }
         arr[row0..row0 + w].fill(0);
     }
@@ -599,7 +617,15 @@ impl AbsCacheState {
         self.check_layout(dom, other);
         let mut changed = false;
         for set in 0..dom.num_sets() {
-            changed |= self.join_set(dom, other, set, scratch);
+            changed |= join_set_words(
+                dom,
+                &mut self.must,
+                &mut self.may,
+                &other.must,
+                &other.may,
+                set,
+                scratch,
+            );
         }
         changed
     }
@@ -620,60 +646,19 @@ impl AbsCacheState {
         let mut last = usize::MAX;
         for &set in sets {
             if set != last {
-                changed |= self.join_set(dom, other, set, scratch);
+                changed |= join_set_words(
+                    dom,
+                    &mut self.must,
+                    &mut self.may,
+                    &other.must,
+                    &other.may,
+                    set,
+                    scratch,
+                );
                 last = set;
             }
         }
         changed
-    }
-
-    /// One set's join (see [`AbsCacheState::join`] for the lattice).
-    /// Returns whether any word of `self` changed.
-    fn join_set(
-        &mut self,
-        dom: &CacheDomain,
-        other: &AbsCacheState,
-        set: usize,
-        s: &mut JoinScratch,
-    ) -> bool {
-        let w = dom.words[set];
-        if w == 0 {
-            return false;
-        }
-        let mut delta = 0u64;
-        s.cum_a[..w].fill(0);
-        s.cum_b[..w].fill(0);
-        for age in 0..dom.set_ways[set] {
-            let r = dom.row(set, age);
-            s.row_a[..w].copy_from_slice(&self.must[r.clone()]);
-            s.row_b[..w].copy_from_slice(&other.must[r.clone()]);
-            // new[a] = (A[a] ∩ cumB[≤a]) ∪ (B[a] ∩ cumA[≤a]):
-            // a surviving line takes the larger of its two ages.
-            for k in 0..w {
-                s.cum_a[k] |= s.row_a[k];
-                s.cum_b[k] |= s.row_b[k];
-                let new = (s.row_a[k] & s.cum_b[k]) | (s.row_b[k] & s.cum_a[k]);
-                delta |= new ^ s.row_a[k];
-                self.must[r.start + k] = new;
-            }
-        }
-        s.cum_a[..w].fill(0);
-        s.cum_b[..w].fill(0);
-        for age in 0..dom.set_ways[set] {
-            let r = dom.row(set, age);
-            s.row_a[..w].copy_from_slice(&self.may[r.clone()]);
-            s.row_b[..w].copy_from_slice(&other.may[r.clone()]);
-            // new[a] = (A[a] ∖ cumB[<a]) ∪ (B[a] ∖ cumA[<a]):
-            // a line takes the smaller of its ages, union overall.
-            for k in 0..w {
-                let new = (s.row_a[k] & !s.cum_b[k]) | (s.row_b[k] & !s.cum_a[k]);
-                delta |= new ^ s.row_a[k];
-                self.may[r.start + k] = new;
-                s.cum_a[k] |= s.row_a[k];
-                s.cum_b[k] |= s.row_b[k];
-            }
-        }
-        delta != 0
     }
 
     /// Shifts every must age in `set` up by `delta`, evicting lines whose
@@ -685,11 +670,10 @@ impl AbsCacheState {
         }
         let ways = dom.set_ways[set];
         let w = dom.words[set];
+        kernel::count_words(ways as usize * w);
         for age in (delta..ways).rev() {
             let (dst, src) = (dom.row(set, age).start, dom.row(set, age - delta).start);
-            for k in 0..w {
-                self.must[dst + k] = self.must[src + k];
-            }
+            self.must.copy_within(src..src + w, dst);
         }
         for age in 0..delta.min(ways) {
             let r = dom.row(set, age);
@@ -697,17 +681,19 @@ impl AbsCacheState {
         }
     }
 
-    /// Applies one access of a compiled transfer (see [`BlockTransfer`]).
+    /// Applies one access of a compiled transfer program. `masks` is the
+    /// arena holding the step's candidate masks.
     pub(crate) fn apply_step(
         &mut self,
         dom: &CacheDomain,
         step: &CompiledStep,
+        masks: &Arena<u64>,
         tmp: &mut AbsCacheState,
         scratch: &mut JoinScratch,
     ) {
         match step {
             CompiledStep::Known(op) => self.access_op(op),
-            CompiledStep::Unknown { sets } => self.access_unknown_ops(sets),
+            CompiledStep::Unknown { sets } => self.access_unknown_ops(sets, masks),
             CompiledStep::UncertainKnown { op, join_sets } => {
                 // The access may or may not happen: join both worlds. The
                 // two states differ only on the touched sets, so the join
@@ -718,7 +704,7 @@ impl AbsCacheState {
             }
             CompiledStep::UncertainUnknown { sets, join_sets } => {
                 tmp.clone_from(self);
-                tmp.access_unknown_ops(sets);
+                tmp.access_unknown_ops(sets, masks);
                 self.join_sets_in(dom, tmp, join_sets, scratch);
             }
         }
@@ -730,12 +716,13 @@ impl AbsCacheState {
     pub(crate) fn apply_transfer(
         &mut self,
         dom: &CacheDomain,
-        transfer: &BlockTransfer,
+        steps: &[Option<CompiledStep>],
+        masks: &Arena<u64>,
         tmp: &mut AbsCacheState,
         scratch: &mut JoinScratch,
     ) {
-        for step in transfer.steps.iter().flatten() {
-            self.apply_step(dom, step, tmp, scratch);
+        for step in steps.iter().flatten() {
+            self.apply_step(dom, step, masks, tmp, scratch);
         }
     }
 
@@ -770,19 +757,44 @@ impl AbsCacheState {
     /// 0") is applied for *all* candidates of a set at once through the
     /// compiled candidate mask: clear the mask from every row, set it on
     /// row 0 — identical per line, `ways × words` word ops total.
-    fn access_unknown_ops(&mut self, sets: &[SetOp]) {
+    fn access_unknown_ops(&mut self, sets: &[SetOp], masks: &Arena<u64>) {
         for s in sets {
             self.age_rows_at(Dom::Must, s.row0, s.stride, s.ways, s.ways);
+            let mask = masks.get(s.mask);
+            kernel::count_words((s.ways as usize + 1) * s.stride);
             for age in 0..s.ways as usize {
                 let row = s.row0 + age * s.stride;
-                for (k, &m) in s.mask.iter().enumerate() {
-                    self.may[row + k] &= !m;
-                }
+                kernel::mask_clear(&mut self.may[row..row + s.stride], mask);
             }
-            for (k, &m) in s.mask.iter().enumerate() {
-                self.may[s.row0 + k] |= m;
-            }
+            kernel::mask_set(&mut self.may[s.row0..s.row0 + s.stride], mask);
         }
+    }
+
+    /// Resizes this state to `dom`'s layout, all-cold, reusing the word
+    /// buffers' capacity (a workspace state re-targeted per analysis).
+    pub(crate) fn resize_cold(&mut self, dom: &CacheDomain) {
+        self.must.clear();
+        self.must.resize(dom.total_words, 0);
+        self.may.clear();
+        self.may.resize(dom.total_words, 0);
+    }
+
+    /// Loads this state from a raw state slab (must words, then may
+    /// words — the layout [`Arena`] state slabs use).
+    pub(crate) fn load_words(&mut self, dom: &CacheDomain, slab: &[u64]) {
+        debug_assert_eq!(slab.len(), 2 * dom.total_words);
+        let (must, may) = slab.split_at(dom.total_words);
+        kernel::copy_row(&mut self.must, must);
+        kernel::copy_row(&mut self.may, may);
+    }
+
+    /// Stores this state into a raw state slab (inverse of
+    /// [`AbsCacheState::load_words`]).
+    pub(crate) fn store_words(&self, dom: &CacheDomain, slab: &mut [u64]) {
+        debug_assert_eq!(slab.len(), 2 * dom.total_words);
+        let (must, may) = slab.split_at_mut(dom.total_words);
+        kernel::copy_row(must, &self.must);
+        kernel::copy_row(may, &self.may);
     }
 
     /// Number of lines tracked in the must state of `set` (diagnostics).
@@ -799,6 +811,80 @@ impl AbsCacheState {
     }
 }
 
+/// One set's join, on raw word arrays (see [`AbsCacheState::join`] for
+/// the lattice). The single implementation behind both the
+/// [`AbsCacheState`] methods and the slab-based fixpoint path
+/// ([`join_into_words`]), so the two storage layouts cannot drift.
+/// Returns whether any destination word changed.
+fn join_set_words(
+    dom: &CacheDomain,
+    dst_must: &mut [u64],
+    dst_may: &mut [u64],
+    src_must: &[u64],
+    src_may: &[u64],
+    set: usize,
+    s: &mut JoinScratch,
+) -> bool {
+    let w = dom.words[set];
+    if w == 0 {
+        return false;
+    }
+    let ways = dom.set_ways[set];
+    kernel::count_words(2 * ways as usize * w);
+    let mut delta = 0u64;
+    s.cum_a[..w].fill(0);
+    s.cum_b[..w].fill(0);
+    for age in 0..ways {
+        let r = dom.row(set, age);
+        // new[a] = (A[a] ∩ cumB[≤a]) ∪ (B[a] ∩ cumA[≤a]):
+        // a surviving line takes the larger of its two ages.
+        delta |= kernel::join_must_rows(
+            &mut dst_must[r.clone()],
+            &src_must[r],
+            &mut s.cum_a[..w],
+            &mut s.cum_b[..w],
+        );
+    }
+    s.cum_a[..w].fill(0);
+    s.cum_b[..w].fill(0);
+    for age in 0..ways {
+        let r = dom.row(set, age);
+        // new[a] = (A[a] ∖ cumB[<a]) ∪ (B[a] ∖ cumA[<a]):
+        // a line takes the smaller of its ages, union overall.
+        delta |= kernel::join_may_rows(
+            &mut dst_may[r.clone()],
+            &src_may[r],
+            &mut s.cum_a[..w],
+            &mut s.cum_b[..w],
+        );
+    }
+    delta != 0
+}
+
+/// Joins `src` into a raw state slab (must words, then may words) — the
+/// fixpoint's per-block in-states live as arena slabs, and this is the
+/// edge-join that updates them in place. Returns whether the slab
+/// changed.
+pub(crate) fn join_into_words(
+    dom: &CacheDomain,
+    dst: &mut [u64],
+    src: &AbsCacheState,
+    scratch: &mut JoinScratch,
+) -> bool {
+    debug_assert_eq!(dst.len(), 2 * dom.total_words);
+    assert_eq!(
+        src.must.len(),
+        dom.total_words,
+        "joined state comes from a different CacheDomain"
+    );
+    let (dst_must, dst_may) = dst.split_at_mut(dom.total_words);
+    let mut changed = false;
+    for set in 0..dom.num_sets() {
+        changed |= join_set_words(dom, dst_must, dst_may, &src.must, &src.may, set, scratch);
+    }
+    changed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -812,6 +898,41 @@ mod tests {
     /// Domain over an explicit universe on the 1-set 2-way config.
     fn dom2(lines: &[LineAddr]) -> CacheDomain {
         CacheDomain::for_config(&cfg2(), lines.iter().copied())
+    }
+
+    #[test]
+    fn line_hasher_generic_write_folds_into_mix_state() {
+        let hash = |f: &dyn Fn(&mut LineHasher)| {
+            let mut h = LineHasher::default();
+            f(&mut h);
+            h.finish()
+        };
+        // Both entry points mix (no raw passthrough of the key).
+        let key = 0xDEAD_BEEF_u64;
+        assert_ne!(hash(&|h| h.write_u64(key)), key);
+        assert_ne!(hash(&|h| h.write(&key.to_le_bytes())), 0);
+        // The generic path folds per byte through the same multiply-shift
+        // mixer, so a one-byte generic write mid-stream is exactly a
+        // `write_u64` of that byte — the two paths compose instead of the
+        // generic one resetting the state to FNV products.
+        let mixed = hash(&|h| {
+            h.write_u64(1);
+            h.write(&[7]);
+            h.write_u64(2);
+        });
+        let pure = hash(&|h| {
+            h.write_u64(1);
+            h.write_u64(7);
+            h.write_u64(2);
+        });
+        assert_eq!(mixed, pure);
+        // And the byte value matters.
+        let other = hash(&|h| {
+            h.write_u64(1);
+            h.write(&[8]);
+            h.write_u64(2);
+        });
+        assert_ne!(mixed, other);
     }
 
     #[test]

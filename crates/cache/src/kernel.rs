@@ -1,0 +1,250 @@
+//! Word-level kernels of the cache fixpoint: the inner loops of join,
+//! aging and candidate-mask application, written as explicitly unrolled
+//! `u64`-chunk loops.
+//!
+//! Every kernel walks its rows in 4-wide chunks (one 256-bit vector
+//! lane of `u64`s, [`CHUNK`] re-exported from [`wcet_ir::words`]) with
+//! a scalar tail, so the auto-vectorizer maps a chunk onto one
+//! lane-parallel operation instead of having to rediscover the shape
+//! in a generic per-word loop. The joins additionally **fuse the
+//! changed-flag** into the same pass: the fixpoint requeues successors
+//! only when a join moved some word, and computing that as `delta |=
+//! new ^ old` inside the kernel costs one OR per word, where a
+//! separate equality pass would re-read both rows.
+//!
+//! Each chunked kernel has a `*_scalar` twin — the plain per-word loop
+//! it replaced, kept public as the reference for the differential
+//! property tests (`tests/worklist_equivalence.rs`) and the
+//! `domain_kernels` criterion group. Twins must produce identical
+//! words *and* identical changed-flags on every input.
+//!
+//! The module also hosts the thread-local kernel-word counter behind
+//! the `kernel_words` statistic: the domain operations report how many
+//! words their kernels walked, and an analysis publishes the
+//! difference of two snapshots through
+//! [`wcet_ir::fixpoint::FixpointStats`].
+
+use std::cell::Cell;
+
+pub use wcet_ir::words::CHUNK;
+use wcet_ir::words::{copy_into, or_into, words_eq};
+
+/// One lane of the must-join: cumulative-age masks absorb the operand
+/// rows *before* the new row is formed, so a surviving line takes the
+/// larger of its two ages.
+#[inline(always)]
+fn must_lane(a: u64, b: u64, cum_a: &mut u64, cum_b: &mut u64) -> (u64, u64) {
+    *cum_a |= a;
+    *cum_b |= b;
+    let new = (a & *cum_b) | (b & *cum_a);
+    (new, new ^ a)
+}
+
+/// One lane of the may-join: the new row is formed from the strictly
+/// younger cumulative masks, which absorb the operand rows *after* —
+/// a line takes the smaller of its ages, union overall.
+#[inline(always)]
+fn may_lane(a: u64, b: u64, cum_a: &mut u64, cum_b: &mut u64) -> (u64, u64) {
+    let new = (a & !*cum_b) | (b & !*cum_a);
+    *cum_a |= a;
+    *cum_b |= b;
+    (new, new ^ a)
+}
+
+macro_rules! join_kernel {
+    ($chunked:ident, $scalar:ident, $lane:ident, $doc:literal) => {
+        #[doc = $doc]
+        ///
+        /// Joins `other`'s row into `dst` under the cumulative-age masks
+        /// `cum_a` (ours) / `cum_b` (theirs), returning the OR of every
+        /// `new ^ old` word — non-zero iff `dst` changed.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the four slices disagree in length.
+        pub fn $chunked(
+            dst: &mut [u64],
+            other: &[u64],
+            cum_a: &mut [u64],
+            cum_b: &mut [u64],
+        ) -> u64 {
+            let n = dst.len();
+            assert!(
+                other.len() == n && cum_a.len() == n && cum_b.len() == n,
+                "join kernel rows must have equal lengths"
+            );
+            let mut delta = 0u64;
+            let mut k = 0;
+            while k + CHUNK <= n {
+                let (n0, d0) = $lane(dst[k], other[k], &mut cum_a[k], &mut cum_b[k]);
+                let (n1, d1) = $lane(
+                    dst[k + 1],
+                    other[k + 1],
+                    &mut cum_a[k + 1],
+                    &mut cum_b[k + 1],
+                );
+                let (n2, d2) = $lane(
+                    dst[k + 2],
+                    other[k + 2],
+                    &mut cum_a[k + 2],
+                    &mut cum_b[k + 2],
+                );
+                let (n3, d3) = $lane(
+                    dst[k + 3],
+                    other[k + 3],
+                    &mut cum_a[k + 3],
+                    &mut cum_b[k + 3],
+                );
+                dst[k] = n0;
+                dst[k + 1] = n1;
+                dst[k + 2] = n2;
+                dst[k + 3] = n3;
+                delta |= d0 | d1 | d2 | d3;
+                k += CHUNK;
+            }
+            while k < n {
+                let (new, d) = $lane(dst[k], other[k], &mut cum_a[k], &mut cum_b[k]);
+                dst[k] = new;
+                delta |= d;
+                k += 1;
+            }
+            delta
+        }
+
+        /// Scalar twin of the chunked kernel: the plain per-word loop.
+        /// Must agree with it on words and changed-flag for every input.
+        pub fn $scalar(
+            dst: &mut [u64],
+            other: &[u64],
+            cum_a: &mut [u64],
+            cum_b: &mut [u64],
+        ) -> u64 {
+            let n = dst.len();
+            assert!(
+                other.len() == n && cum_a.len() == n && cum_b.len() == n,
+                "join kernel rows must have equal lengths"
+            );
+            let mut delta = 0u64;
+            for k in 0..n {
+                let (new, d) = $lane(dst[k], other[k], &mut cum_a[k], &mut cum_b[k]);
+                dst[k] = new;
+                delta |= d;
+            }
+            delta
+        }
+    };
+}
+
+join_kernel!(
+    join_must_rows,
+    join_must_rows_scalar,
+    must_lane,
+    "Fused must-join of one `(set, age)` row (intersect, max age)."
+);
+join_kernel!(
+    join_may_rows,
+    join_may_rows_scalar,
+    may_lane,
+    "Fused may-join of one `(set, age)` row (union, min age)."
+);
+
+/// Aging absorb: `dst |= src` (row `threshold` absorbs row
+/// `threshold − 1`). Chunked via [`wcet_ir::words::or_into`].
+pub fn or_row(dst: &mut [u64], src: &[u64]) {
+    or_into(dst, src);
+}
+
+/// Scalar twin of [`or_row`].
+pub fn or_row_scalar(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "rows must have equal lengths");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d |= s;
+    }
+}
+
+/// Aging shift: `dst = src` (row `age` takes row `age − 1`).
+pub fn copy_row(dst: &mut [u64], src: &[u64]) {
+    copy_into(dst, src);
+}
+
+/// Candidate-mask AND application: `row &= !mask` (drop every
+/// candidate's old age bit in one row pass).
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn mask_clear(row: &mut [u64], mask: &[u64]) {
+    let n = row.len();
+    assert_eq!(n, mask.len(), "row and mask must have equal lengths");
+    let mut k = 0;
+    while k + CHUNK <= n {
+        row[k] &= !mask[k];
+        row[k + 1] &= !mask[k + 1];
+        row[k + 2] &= !mask[k + 2];
+        row[k + 3] &= !mask[k + 3];
+        k += CHUNK;
+    }
+    while k < n {
+        row[k] &= !mask[k];
+        k += 1;
+    }
+}
+
+/// Scalar twin of [`mask_clear`].
+pub fn mask_clear_scalar(row: &mut [u64], mask: &[u64]) {
+    assert_eq!(
+        row.len(),
+        mask.len(),
+        "row and mask must have equal lengths"
+    );
+    for (r, &m) in row.iter_mut().zip(mask) {
+        *r &= !m;
+    }
+}
+
+/// Candidate-mask OR application: `row |= mask` (insert every
+/// candidate at age 0).
+pub fn mask_set(row: &mut [u64], mask: &[u64]) {
+    or_into(row, mask);
+}
+
+/// Scalar twin of [`mask_set`].
+pub fn mask_set_scalar(row: &mut [u64], mask: &[u64]) {
+    or_row_scalar(row, mask);
+}
+
+/// Row equality, chunked (fold `a ^ b` and compare once at the end).
+#[must_use]
+pub fn rows_eq(a: &[u64], b: &[u64]) -> bool {
+    words_eq(a, b)
+}
+
+/// Scalar twin of [`rows_eq`].
+#[must_use]
+pub fn rows_eq_scalar(a: &[u64], b: &[u64]) -> bool {
+    assert_eq!(a.len(), b.len(), "rows must have equal lengths");
+    a.iter().zip(b).all(|(x, y)| x == y)
+}
+
+thread_local! {
+    /// Words walked by the kernels on this thread, ever. An analysis
+    /// reports the difference of two [`words_total`] snapshots (each
+    /// analysis runs on one thread, so the diff is self-consistent
+    /// even when campaigns analyse in parallel).
+    static KERNEL_WORDS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Adds `n` words to this thread's kernel-word counter. Called by the
+/// domain operations at op granularity (per row group, not per word),
+/// so the counter costs one thread-local add per kernel *invocation
+/// site*, off the innermost loops.
+#[inline]
+pub(crate) fn count_words(n: usize) {
+    KERNEL_WORDS.with(|c| c.set(c.get() + n as u64));
+}
+
+/// This thread's monotone kernel-word total (snapshot-and-diff).
+#[must_use]
+pub fn words_total() -> u64 {
+    KERNEL_WORDS.with(Cell::get)
+}

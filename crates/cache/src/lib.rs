@@ -11,6 +11,8 @@
 //!   locking and bypass;
 //! * [`domain`] / [`analysis`] — must/may abstract interpretation and the
 //!   AH/AM/PS/NC classification (Ferdinand & Wilhelm style);
+//! * [`kernel`] — the unrolled word-chunk kernels of the fixpoint inner
+//!   loop (fused join-and-changed-flag, aging, candidate masks);
 //! * [`multilevel`] — L1→L2 analysis with reach filtering (Hardy & Puaut);
 //! * [`shared`] — joint shared-L2 interference (Yan & Zhang; Li et al.;
 //!   Hardy et al.) with lifetime refinement hooks;
@@ -44,13 +46,15 @@ pub mod bypass;
 pub mod concrete;
 pub mod config;
 pub mod domain;
+pub mod kernel;
 pub mod lock;
 pub mod multilevel;
 pub mod partition;
 pub mod shared;
 
 pub use analysis::{
-    analyze, AnalysisInput, CacheAnalysis, Classification, LevelKind, Reach, SiteId,
+    analyze, analyze_in, AnalysisArena, AnalysisInput, CacheAnalysis, Classification, LevelKind,
+    Reach, SiteId,
 };
 pub use concrete::{AccessOutcome, ConcreteCache};
 pub use config::{CacheConfig, ConfigError, LineAddr};

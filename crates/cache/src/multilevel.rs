@@ -11,7 +11,8 @@ use std::collections::BTreeMap;
 use wcet_ir::Program;
 
 use crate::analysis::{
-    analyze, AnalysisInput, CacheAnalysis, Classification, LevelKind, Reach, SiteId,
+    analyze_in, with_workspace, AnalysisInput, CacheAnalysis, Classification, LevelKind, Reach,
+    SiteId,
 };
 use crate::config::CacheConfig;
 
@@ -76,21 +77,30 @@ pub struct HierarchyConfig {
 
 /// Analyses a private-L1, (optionally) shared-unified-L2 hierarchy for one
 /// task. The L2 input's `reach` field is overwritten with the filter derived
-/// from the L1 results.
+/// from the L1 results. All three analyses share one workspace borrow, so
+/// the arena and scratch buffers are re-targeted (not reallocated) between
+/// levels.
 #[must_use]
 pub fn analyze_hierarchy(program: &Program, config: &HierarchyConfig) -> HierarchyAnalysis {
-    let l1i = analyze(
-        program,
-        &AnalysisInput::level1(config.l1i, LevelKind::Instruction),
-    );
-    let l1d = analyze(program, &AnalysisInput::level1(config.l1d, LevelKind::Data));
-    let l2 = config.l2.as_ref().map(|l2_input| {
-        let mut input = l2_input.clone();
-        input.kind = LevelKind::Unified;
-        input.reach = Some(reach_filter(&[&l1i, &l1d]));
-        analyze(program, &input)
-    });
-    HierarchyAnalysis { l1i, l1d, l2 }
+    with_workspace(|ws| {
+        let l1i = analyze_in(
+            ws,
+            program,
+            &AnalysisInput::level1(config.l1i, LevelKind::Instruction),
+        );
+        let l1d = analyze_in(
+            ws,
+            program,
+            &AnalysisInput::level1(config.l1d, LevelKind::Data),
+        );
+        let l2 = config.l2.as_ref().map(|l2_input| {
+            let mut input = l2_input.clone();
+            input.kind = LevelKind::Unified;
+            input.reach = Some(reach_filter(&[&l1i, &l1d]));
+            analyze_in(ws, program, &input)
+        });
+        HierarchyAnalysis { l1i, l1d, l2 }
+    })
 }
 
 #[cfg(test)]

@@ -9,8 +9,11 @@
 use std::collections::BTreeSet;
 
 use proptest::prelude::*;
-use wcet_cache::analysis::{analyze, analyze_sweep, AnalysisInput, LevelKind};
+use wcet_cache::analysis::{
+    analyze, analyze_in, analyze_sweep, AnalysisArena, AnalysisInput, LevelKind,
+};
 use wcet_cache::config::{CacheConfig, LineAddr};
+use wcet_cache::kernel;
 use wcet_cache::multilevel::{analyze_hierarchy, reach_filter, HierarchyConfig};
 use wcet_ir::synth::{random_program, Placement, RandomParams};
 use wcet_ir::Program;
@@ -100,6 +103,128 @@ proptest! {
         input.reach = Some(reach_filter(&[&h.l1i, &h.l1d]));
         assert_equal(&p, &input);
     }
+}
+
+/// Row lengths the kernel differential sweep exercises: empty, pure
+/// scalar tail, exact chunk multiples, chunk-plus-tail, and a
+/// max-geometry-wide row (64 sets × 4 ways ⇒ 64 words per age row is
+/// far above anything the analyses allocate).
+fn kernel_rows() -> impl Strategy<Value = (Vec<u64>, Vec<u64>, Vec<u64>, Vec<u64>)> {
+    (0usize..8).prop_flat_map(|i| {
+        let lens = [
+            0,
+            1,
+            3,
+            kernel::CHUNK,
+            kernel::CHUNK + 1,
+            2 * kernel::CHUNK,
+            64,
+            67,
+        ];
+        let n = lens[i];
+        let row = move || proptest::collection::vec(0u64..=u64::MAX, n);
+        (row(), row(), row(), row())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every chunked kernel must agree with its scalar twin on the
+    /// resulting words AND the fused changed-flag, for every row shape
+    /// (the unroll + tail decomposition must be invisible).
+    #[test]
+    fn kernels_equal_scalar_twins((dst, other, cum_a, cum_b) in kernel_rows()) {
+        // Fused joins: words, both cumulative masks, and the delta.
+        for (chunked, scalar) in [
+            (
+                kernel::join_must_rows as fn(&mut [u64], &[u64], &mut [u64], &mut [u64]) -> u64,
+                kernel::join_must_rows_scalar as fn(&mut [u64], &[u64], &mut [u64], &mut [u64]) -> u64,
+            ),
+            (kernel::join_may_rows, kernel::join_may_rows_scalar),
+        ] {
+            let (mut d1, mut ca1, mut cb1) = (dst.clone(), cum_a.clone(), cum_b.clone());
+            let (mut d2, mut ca2, mut cb2) = (dst.clone(), cum_a.clone(), cum_b.clone());
+            let delta1 = chunked(&mut d1, &other, &mut ca1, &mut cb1);
+            let delta2 = scalar(&mut d2, &other, &mut ca2, &mut cb2);
+            prop_assert_eq!(&d1, &d2, "join words diverged");
+            prop_assert_eq!(&ca1, &ca2, "cum_a diverged");
+            prop_assert_eq!(&cb1, &cb2, "cum_b diverged");
+            prop_assert_eq!(delta1, delta2, "changed-flag diverged");
+        }
+
+        // Aging absorb and the two mask applications.
+        let (mut r1, mut r2) = (dst.clone(), dst.clone());
+        kernel::or_row(&mut r1, &other);
+        kernel::or_row_scalar(&mut r2, &other);
+        prop_assert_eq!(&r1, &r2, "or_row diverged");
+
+        let (mut r1, mut r2) = (dst.clone(), dst.clone());
+        kernel::mask_clear(&mut r1, &other);
+        kernel::mask_clear_scalar(&mut r2, &other);
+        prop_assert_eq!(&r1, &r2, "mask_clear diverged");
+
+        let (mut r1, mut r2) = (dst.clone(), dst.clone());
+        kernel::mask_set(&mut r1, &other);
+        kernel::mask_set_scalar(&mut r2, &other);
+        prop_assert_eq!(&r1, &r2, "mask_set diverged");
+
+        // Row equality, on both an arbitrary pair and a guaranteed-equal
+        // one (the xor-fold must see all-zero exactly when scalar does).
+        prop_assert_eq!(kernel::rows_eq(&dst, &other), kernel::rows_eq_scalar(&dst, &other));
+        prop_assert_eq!(kernel::rows_eq(&dst, &dst.clone()), true);
+    }
+}
+
+/// Two analyses on one shared [`AnalysisArena`] must produce exactly
+/// what fresh allocations produce — workspace reuse is a pure
+/// optimisation. The small-then-large ordering is deliberate: the
+/// second analysis' slabs straddle the backing-store boundary left by
+/// the first, the exact shape where a missed scrub of reused prefix
+/// words would leak phantom must-content across analyses.
+#[test]
+fn shared_workspace_equals_fresh_allocation() {
+    let small = random_program(7, RandomParams::default(), Placement::default());
+    let large = random_program(1234, RandomParams::default(), Placement::default());
+    let small_in = AnalysisInput::level1(
+        CacheConfig::new(2, 1, 32, 1).expect("valid"),
+        LevelKind::Unified,
+    );
+    let large_in = AnalysisInput::level1(
+        CacheConfig::new(64, 4, 32, 4).expect("valid"),
+        LevelKind::Unified,
+    );
+
+    let mut ws = AnalysisArena::new();
+    let shared = [
+        analyze_in(&mut ws, &small, &small_in),
+        analyze_in(&mut ws, &large, &large_in),
+        analyze_in(&mut ws, &small, &small_in),
+    ];
+    let fresh = [
+        analyze(&small, &small_in),
+        analyze(&large, &large_in),
+        analyze(&small, &small_in),
+    ];
+    for (s, f) in shared.iter().zip(&fresh) {
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            f.iter().collect::<Vec<_>>(),
+            "classes diverged between shared-workspace and fresh runs"
+        );
+        assert_eq!(s.footprint(), f.footprint(), "footprint diverged");
+        assert_eq!(s.histogram(), f.histogram(), "histogram diverged");
+    }
+    // The reuse is visible in the stats: every analysis resets the
+    // arena exactly once, and the high-water mark only ratchets up.
+    for s in &shared {
+        assert_eq!(s.fixpoint_stats().arena_resets, 1);
+        assert!(
+            s.fixpoint_stats().kernel_words > 0,
+            "kernels must be counted"
+        );
+    }
+    assert!(shared[1].fixpoint_stats().arena_bytes >= shared[0].fixpoint_stats().arena_bytes);
 }
 
 /// The bitset-domain twin check at the hierarchy level: the composed

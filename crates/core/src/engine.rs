@@ -618,9 +618,13 @@ impl AnalysisEngine {
         }
     }
 
-    /// Worklist-fixpoint effort (blocks evaluated vs the naive-sweep
-    /// equivalent) across every cache analysis computed into the engine's
-    /// memo domain.
+    /// Worklist-fixpoint effort across every cache analysis computed
+    /// into the engine's memo domain: blocks evaluated vs the
+    /// naive-sweep equivalent, plus the schema-9 kernel counters —
+    /// `kernel_words` (64-bit words the domain kernels walked, summed),
+    /// `arena_bytes` (peak per-analysis arena footprint, maxed) and
+    /// `arena_resets` (one per computed analysis; memo hits add
+    /// nothing).
     #[must_use]
     pub fn fixpoint_stats(&self) -> FixpointStats {
         self.memo.fixpoint_stats()

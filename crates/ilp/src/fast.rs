@@ -45,23 +45,76 @@ fn pivot_cap(rows: usize, cols: usize) -> u64 {
     200 + 40 * (rows + cols) as u64
 }
 
-/// One product-form elementary transformation: pivot on `row`, with
-/// `entries` holding the full eta column *including* the pivot position
-/// (`1/pivot` at `row`, `-w_i/pivot` elsewhere).
-struct Eta {
-    row: usize,
-    entries: Vec<(usize, f64)>,
+/// The eta file as one flat arena of segments: eta `k` is pivot row
+/// `rows[k]` plus the entry run `starts[k]..starts[k + 1]` of the
+/// shared `idx`/`val` stores. Compared to a `Vec` of per-eta entry
+/// vectors this is a single contiguous allocation that `clear()` only
+/// resets (capacity survives refactorizations and whole solves), and
+/// FTRAN/BTRAN walk one dense `f64` stream instead of chasing a
+/// pointer per eta.
+///
+/// Entry order within a segment is exactly the order the per-eta
+/// vectors used — the pivot position (`1/pivot`) first, then the
+/// remaining rows ascending — so every FTRAN/BTRAN accumulation
+/// happens in the same sequence and the float trajectory is
+/// bit-identical to the boxed representation it replaced.
+#[derive(Default)]
+struct EtaFile {
+    /// Pivot row of eta `k`.
+    rows: Vec<u32>,
+    /// Segment boundaries: eta `k` owns `idx[starts[k]..starts[k+1]]`.
+    /// Always `rows.len() + 1` long (leading 0).
+    starts: Vec<usize>,
+    /// Row indices of the entries, all segments back to back.
+    idx: Vec<u32>,
+    /// Entry values, parallel to `idx`.
+    val: Vec<f64>,
 }
 
-impl Eta {
-    /// `w ← E·w` (FTRAN step).
-    fn ftran(&self, w: &mut [f64]) {
-        let wr = w[self.row];
+impl EtaFile {
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Drops every eta but keeps the backing stores.
+    fn clear(&mut self) {
+        self.rows.clear();
+        self.starts.clear();
+        self.idx.clear();
+        self.val.clear();
+    }
+
+    /// Appends the eta column for a pivot on `row` of the FTRANed
+    /// column `w`: `1/pivot` at `row` first, then `-w_i/pivot` for the
+    /// other non-zero rows in ascending order.
+    fn push(&mut self, row: usize, w: &[f64]) {
+        if self.starts.is_empty() {
+            self.starts.push(0);
+        }
+        let inv = 1.0 / w[row];
+        self.idx.push(row as u32);
+        self.val.push(inv);
+        for (i, &v) in w.iter().enumerate() {
+            if i != row && v != 0.0 {
+                self.idx.push(i as u32);
+                self.val.push(-v * inv);
+            }
+        }
+        self.rows.push(row as u32);
+        self.starts.push(self.idx.len());
+    }
+
+    /// `w ← E_k·w` (FTRAN step of eta `k`).
+    fn ftran(&self, k: usize, w: &mut [f64]) {
+        let row = self.rows[k] as usize;
+        let wr = w[row];
         if wr == 0.0 {
             return;
         }
-        for &(i, v) in &self.entries {
-            if i == self.row {
+        for t in self.starts[k]..self.starts[k + 1] {
+            let i = self.idx[t] as usize;
+            let v = self.val[t];
+            if i == row {
                 w[i] = v * wr;
             } else {
                 w[i] += v * wr;
@@ -69,14 +122,43 @@ impl Eta {
         }
     }
 
-    /// `zᵀ ← zᵀ·E` (BTRAN step).
-    fn btran(&self, z: &mut [f64]) {
+    /// `zᵀ ← zᵀ·E_k` (BTRAN step of eta `k`).
+    fn btran(&self, k: usize, z: &mut [f64]) {
         let mut acc = 0.0;
-        for &(i, v) in &self.entries {
-            acc += z[i] * v;
+        for t in self.starts[k]..self.starts[k + 1] {
+            acc += z[self.idx[t] as usize] * self.val[t];
         }
-        z[self.row] = acc;
+        z[self.rows[k] as usize] = acc;
     }
+
+    /// Applies the whole file forward: `w ← E_last···E_1·w`.
+    fn ftran_all(&self, w: &mut [f64]) {
+        for k in 0..self.len() {
+            self.ftran(k, w);
+        }
+    }
+
+    /// Applies the whole file backward: `zᵀ ← zᵀ·E_last···E_1`.
+    fn btran_all(&self, z: &mut [f64]) {
+        for k in (0..self.len()).rev() {
+            self.btran(k, z);
+        }
+    }
+}
+
+/// Reusable column/dual buffers of one solve: every FTRAN/BTRAN that
+/// used to allocate a fresh `vec![0.0; m]` per pivot now resets one of
+/// these in place. Fields are separate so callers can split-borrow
+/// (`w` holds the entering column across the `pivot` call while
+/// `wcol` serves the refactorization inside it).
+#[derive(Default)]
+struct FastScratch {
+    /// Entering column through the eta file (FTRAN result).
+    w: Vec<f64>,
+    /// Dual prices `c_B B⁻¹` (BTRAN result).
+    y: Vec<f64>,
+    /// Per-column elimination buffer of `refactorize`.
+    wcol: Vec<f64>,
 }
 
 /// The f64 working instance over a borrowed exact standard form.
@@ -87,7 +169,7 @@ struct Fast<'a> {
     rhs: Vec<f64>,
     basis: Vec<usize>,
     in_basis: Vec<bool>,
-    etas: Vec<Eta>,
+    etas: EtaFile,
     xb: Vec<f64>,
     /// Scale of the rhs (for feasibility tolerances).
     b_scale: f64,
@@ -122,7 +204,7 @@ impl<'a> Fast<'a> {
             rhs,
             basis: rev.init_basis.clone(),
             in_basis: vec![false; n],
-            etas: Vec::new(),
+            etas: EtaFile::default(),
             xb: Vec::new(),
             b_scale,
             pivots_since_refactor: 0,
@@ -142,35 +224,33 @@ impl<'a> Fast<'a> {
     }
 
     fn reset_cold(&mut self) {
-        self.basis = self.rev.init_basis.clone();
-        self.in_basis = vec![false; self.num_cols()];
+        self.basis.clone_from(&self.rev.init_basis);
+        self.in_basis.clear();
+        self.in_basis.resize(self.num_cols(), false);
         for &b in &self.basis {
             self.in_basis[b] = true;
         }
         self.etas.clear();
         self.pivots_since_refactor = 0;
-        self.xb = self.rhs.clone();
+        self.xb.clone_from(&self.rhs);
     }
 
-    /// `B⁻¹ a_col` through the eta file.
-    fn ftran_col(&self, col: usize) -> Vec<f64> {
-        let mut w = vec![0.0; self.num_rows()];
+    /// `B⁻¹ a_col` through the eta file, into the reused buffer `w`.
+    fn ftran_col(&self, col: usize, w: &mut Vec<f64>) {
+        w.clear();
+        w.resize(self.num_rows(), 0.0);
         for &(r, v) in &self.cols[col] {
             w[r] = v;
         }
-        for e in &self.etas {
-            e.ftran(&mut w);
-        }
-        w
+        self.etas.ftran_all(w);
     }
 
-    /// `c_B B⁻¹` through the eta file, in reverse.
-    fn btran_costs(&self, c: &[f64]) -> Vec<f64> {
-        let mut z: Vec<f64> = self.basis.iter().map(|&b| c[b]).collect();
-        for e in self.etas.iter().rev() {
-            e.btran(&mut z);
-        }
-        z
+    /// `c_B B⁻¹` through the eta file in reverse, into the reused
+    /// buffer `z`.
+    fn btran_costs(&self, c: &[f64], z: &mut Vec<f64>) {
+        z.clear();
+        z.extend(self.basis.iter().map(|&b| c[b]));
+        self.etas.btran_all(z);
     }
 
     fn reduced_cost(&self, c: &[f64], y: &[f64], j: usize) -> f64 {
@@ -185,7 +265,8 @@ impl<'a> Fast<'a> {
     /// (columns in ascending (nnz, index) order, pivot on the smallest
     /// free row — the same deterministic rule the exact referee uses).
     /// Recomputes `x_B` from the rhs. `false` = dependent/ill-conditioned.
-    fn refactorize(&mut self, basis_cols: &[usize]) -> bool {
+    /// `wcol` is the reused per-column elimination buffer.
+    fn refactorize(&mut self, basis_cols: &[usize], wcol: &mut Vec<f64>) -> bool {
         let m = self.num_rows();
         if basis_cols.len() != m || basis_cols.iter().any(|&c| c >= self.num_cols()) {
             return false;
@@ -199,17 +280,16 @@ impl<'a> Fast<'a> {
         let mut basis = vec![usize::MAX; m];
         for &i in &order {
             let col = basis_cols[i];
-            let mut w = vec![0.0; m];
+            wcol.clear();
+            wcol.resize(m, 0.0);
             for &(r, v) in &self.cols[col] {
-                w[r] = v;
+                wcol[r] = v;
             }
-            for e in &self.etas {
-                e.ftran(&mut w);
-            }
+            self.etas.ftran_all(wcol);
             // Deterministic free pivot: the largest-magnitude entry on an
             // unassigned row (ties to the smaller row index).
             let mut best: Option<(usize, f64)> = None;
-            for (r, &v) in w.iter().enumerate() {
+            for (r, &v) in wcol.iter().enumerate() {
                 if !assigned[r] && v.abs() > PIVOT_TOL && best.is_none_or(|(_, bv)| v.abs() > bv) {
                     best = Some((r, v.abs()));
                 }
@@ -219,42 +299,35 @@ impl<'a> Fast<'a> {
             };
             assigned[row] = true;
             basis[row] = col;
-            self.push_eta(row, &w);
+            self.etas.push(row, wcol);
         }
         self.basis = basis;
-        self.in_basis = vec![false; self.num_cols()];
+        self.in_basis.clear();
+        self.in_basis.resize(self.num_cols(), false);
         for &b in &self.basis {
             self.in_basis[b] = true;
         }
-        let mut xb = self.rhs.clone();
-        for e in &self.etas {
-            e.ftran(&mut xb);
-        }
-        self.xb = xb;
+        self.xb.clone_from(&self.rhs);
+        self.etas.ftran_all(&mut self.xb);
         true
     }
 
-    fn push_eta(&mut self, row: usize, w: &[f64]) {
-        let inv = 1.0 / w[row];
-        let mut entries = Vec::with_capacity(8);
-        entries.push((row, inv));
-        for (i, &v) in w.iter().enumerate() {
-            if i != row && v != 0.0 {
-                entries.push((i, -v * inv));
-            }
-        }
-        self.etas.push(Eta { row, entries });
-    }
-
     /// Executes a pivot: extends the eta file, updates `x_B` and the
-    /// basis, refactorizes when the file is long.
-    fn pivot(&mut self, row: usize, col: usize, w: &[f64]) -> Result<(), Bail> {
+    /// basis, refactorizes when the file is long (`wcol` serves the
+    /// refactorization; `w` stays untouched).
+    fn pivot(
+        &mut self,
+        row: usize,
+        col: usize,
+        w: &[f64],
+        wcol: &mut Vec<f64>,
+    ) -> Result<(), Bail> {
         crate::budget::charge_pivot();
         let piv = w[row];
         if piv.abs() <= PIVOT_TOL {
             return Err(Bail::Numeric);
         }
-        self.push_eta(row, w);
+        self.etas.push(row, w);
         let xr = self.xb[row] / piv;
         for (i, wi) in w.iter().enumerate() {
             if i != row && *wi != 0.0 {
@@ -269,7 +342,7 @@ impl<'a> Fast<'a> {
         self.pivots_since_refactor += 1;
         if self.pivots_since_refactor >= REFACTOR_EVERY {
             let basis = self.basis.clone();
-            if !self.refactorize(&basis) {
+            if !self.refactorize(&basis, wcol) {
                 return Err(Bail::Numeric);
             }
         }
@@ -278,7 +351,8 @@ impl<'a> Fast<'a> {
 
     /// Primal simplex over `c`; mirrors the exact tier's pricing
     /// (Dantzig, Bland fallback after a degenerate streak).
-    fn primal(&mut self, c: &[f64], phase1: bool) -> Result<bool, Bail> {
+    fn primal(&mut self, c: &[f64], phase1: bool, scratch: &mut FastScratch) -> Result<bool, Bail> {
+        let FastScratch { w, y, wcol } = scratch;
         let c_scale = 1.0 + c.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         let enter_tol = DANTZIG_TOL * c_scale;
         let mut bland = false;
@@ -287,13 +361,13 @@ impl<'a> Fast<'a> {
             if self.stats.pivots >= self.pivot_budget {
                 return Err(Bail::Numeric);
             }
-            let y = self.btran_costs(c);
+            self.btran_costs(c, y);
             let mut entering: Option<(usize, f64)> = None;
             for j in 0..self.num_cols() {
                 if self.in_basis[j] || (!phase1 && self.rev.artificial[j]) {
                     continue;
                 }
-                let r = self.reduced_cost(c, &y, j);
+                let r = self.reduced_cost(c, y, j);
                 if r > enter_tol {
                     if bland {
                         entering = Some((j, r));
@@ -307,7 +381,7 @@ impl<'a> Fast<'a> {
             let Some((col, _)) = entering else {
                 return Ok(true);
             };
-            let w = self.ftran_col(col);
+            self.ftran_col(col, w);
             let mut best: Option<(usize, f64)> = None;
             for (i, &wi) in w.iter().enumerate() {
                 if wi > PIVOT_TOL {
@@ -343,12 +417,12 @@ impl<'a> Fast<'a> {
             if phase1 {
                 self.stats.phase1_pivots += 1;
             }
-            self.pivot(row, col, &w)?;
+            self.pivot(row, col, w, wcol)?;
         }
     }
 
     /// Phase 1 (artificial minimization). `Ok(false)` = infeasible claim.
-    fn phase1(&mut self) -> Result<bool, Bail> {
+    fn phase1(&mut self, scratch: &mut FastScratch) -> Result<bool, Bail> {
         if !self.rev.artificial.iter().any(|&a| a) {
             return Ok(true);
         }
@@ -358,7 +432,7 @@ impl<'a> Fast<'a> {
             .iter()
             .map(|&a| if a { -1.0 } else { 0.0 })
             .collect();
-        if !self.primal(&c1, true)? {
+        if !self.primal(&c1, true, scratch)? {
             return Err(Bail::Numeric); // phase 1 can never be unbounded
         }
         let residue: f64 = self
@@ -371,30 +445,31 @@ impl<'a> Fast<'a> {
         if residue > 1e-7 * self.b_scale {
             return Ok(false);
         }
-        self.drive_out_artificials()?;
+        self.drive_out_artificials(scratch)?;
         Ok(true)
     }
 
     /// Pivots zero-level basic artificials out where possible (mirrors
     /// the exact tier; remaining ones sit in redundant rows).
-    fn drive_out_artificials(&mut self) -> Result<(), Bail> {
+    fn drive_out_artificials(&mut self, scratch: &mut FastScratch) -> Result<(), Bail> {
+        let FastScratch { w, wcol, .. } = scratch;
         for row in 0..self.num_rows() {
             if !self.rev.artificial[self.basis[row]] {
                 continue;
             }
-            let mut found: Option<(usize, Vec<f64>)> = None;
+            let mut found: Option<usize> = None;
             for j in 0..self.num_cols() {
                 if self.rev.artificial[j] || self.in_basis[j] {
                     continue;
                 }
-                let w = self.ftran_col(j);
+                self.ftran_col(j, w);
                 if w[row].abs() > PIVOT_TOL {
-                    found = Some((j, w));
+                    found = Some(j);
                     break;
                 }
             }
-            if let Some((col, w)) = found {
-                self.pivot(row, col, &w)?;
+            if let Some(col) = found {
+                self.pivot(row, col, w, wcol)?;
             }
         }
         Ok(())
@@ -402,11 +477,11 @@ impl<'a> Fast<'a> {
 
     /// Adopts a warm basis: refactorize, then check primal feasibility
     /// and artificial levels in f64. `false` = back to the cold state.
-    fn try_warm_start(&mut self, wb: &WarmBasis) -> bool {
+    fn try_warm_start(&mut self, wb: &WarmBasis, wcol: &mut Vec<f64>) -> bool {
         if wb.num_rows != self.num_rows() || wb.num_cols != self.num_cols() {
             return false;
         }
-        if !self.refactorize(&wb.cols) {
+        if !self.refactorize(&wb.cols, wcol) {
             self.reset_cold();
             return false;
         }
@@ -440,13 +515,14 @@ pub(crate) fn solve_certified(
 ) -> Result<LpSolve, SolveStats> {
     let rev = Revised::build(model);
     let mut t = Fast::new(&rev);
+    let mut scratch = FastScratch::default();
     t.stats.f64_solves += 1;
 
     let mut c2_f64 = vec![0.0; rev.cols.len()];
     for (v, coeff) in model.objective().terms() {
         c2_f64[v.index()] = coeff.to_f64();
     }
-    let outcome = run_fast(&mut t, warm, &c2_f64);
+    let outcome = run_fast(&mut t, warm, &c2_f64, &mut scratch);
     let mut stats = t.stats;
     let refute = |mut s: SolveStats| {
         // A skip that did not stick is not a skip: the exact rerun pays
@@ -502,25 +578,26 @@ fn run_fast(
     t: &mut Fast<'_>,
     warm: Option<&WarmBasis>,
     c2: &[f64],
+    scratch: &mut FastScratch,
 ) -> Result<(Vec<usize>, Vec<usize>), Bail> {
     let mut warm_ok = false;
     if let Some(wb) = warm {
-        warm_ok = t.try_warm_start(wb);
+        warm_ok = t.try_warm_start(wb, &mut scratch.wcol);
     }
     if !warm_ok {
-        if !t.phase1()? {
+        if !t.phase1(scratch)? {
             return Err(Bail::NonOptimalClaim); // infeasible claim
         }
         // Phase boundary: restart the eta file from the feasible basis so
         // the phase-2 float trajectory depends only on that basis (the
         // warm path enters phase 2 through the same refactorization).
         let basis = t.basis.clone();
-        if !t.refactorize(&basis) {
+        if !t.refactorize(&basis, &mut scratch.wcol) {
             return Err(Bail::Numeric);
         }
     }
     let feasible = t.basis.clone();
-    if !t.primal(c2, false)? {
+    if !t.primal(c2, false, scratch)? {
         return Err(Bail::NonOptimalClaim); // unbounded claim
     }
     Ok((feasible, t.basis.clone()))

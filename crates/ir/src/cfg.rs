@@ -438,15 +438,13 @@ impl Cfg {
             if b.index() == entry {
                 continue; // the entry's set is an axiom, not an equation
             }
-            new.copy_from_slice(&dom[self.predecessors(b)[0].index()]);
+            crate::words::copy_into(&mut new, &dom[self.predecessors(b)[0].index()]);
             for &p in &self.predecessors(b)[1..] {
-                for (w, pw) in new.iter_mut().zip(&dom[p.index()]) {
-                    *w &= pw;
-                }
+                crate::words::and_into(&mut new, &dom[p.index()]);
             }
             new[b.index() / 64] |= 1u64 << (b.index() % 64);
-            if new != dom[b.index()] {
-                dom[b.index()].copy_from_slice(&new);
+            if !crate::words::words_eq(&new, &dom[b.index()]) {
+                crate::words::copy_into(&mut dom[b.index()], &new);
                 for &s in self.successors(b) {
                     wl.push(s);
                 }

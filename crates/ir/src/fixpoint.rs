@@ -48,6 +48,16 @@ pub struct FixpointStats {
     /// plus the mandatory final round that observes no change —
     /// `(max_trips + 1) × blocks`, summed over absorbed runs.
     pub sweep_evals: u64,
+    /// Words processed by the chunked word-kernels (joins and compiled
+    /// transfers) during the run, summed over absorbed runs. The client
+    /// reports it; runs without kernel instrumentation leave it zero.
+    pub kernel_words: u64,
+    /// Peak bytes of the per-analysis bump arena (max over absorbed
+    /// runs — it is a footprint, not a flow).
+    pub arena_bytes: u64,
+    /// Arena resets: one per analysis by convention, summed over
+    /// absorbed runs.
+    pub arena_resets: u64,
 }
 
 impl FixpointStats {
@@ -57,6 +67,9 @@ impl FixpointStats {
         self.evaluated += other.evaluated;
         self.max_trips = self.max_trips.max(other.max_trips);
         self.sweep_evals += other.sweep_evals;
+        self.kernel_words += other.kernel_words;
+        self.arena_bytes = self.arena_bytes.max(other.arena_bytes);
+        self.arena_resets += other.arena_resets;
     }
 }
 
@@ -187,6 +200,7 @@ impl Worklist {
             evaluated: self.trips.iter().map(|&t| u64::from(t)).sum(),
             max_trips,
             sweep_evals: (max_trips + 1) * self.order.len() as u64,
+            ..FixpointStats::default()
         }
     }
 }
@@ -363,13 +377,24 @@ mod tests {
             evaluated: 3,
             max_trips: 2,
             sweep_evals: 10,
+            kernel_words: 100,
+            arena_bytes: 64,
+            arena_resets: 1,
         });
         sink.absorb(FixpointStats {
             evaluated: 4,
             max_trips: 1,
             sweep_evals: 5,
+            kernel_words: 50,
+            arena_bytes: 32,
+            arena_resets: 1,
         });
         let t = sink.total();
         assert_eq!((t.evaluated, t.max_trips, t.sweep_evals), (7, 2, 15));
+        // kernel words and resets sum; arena bytes is a peak footprint.
+        assert_eq!(
+            (t.kernel_words, t.arena_bytes, t.arena_resets),
+            (150, 64, 2)
+        );
     }
 }

