@@ -16,11 +16,12 @@
 //! fast-forward distance), and schema 8's `serve` block (the analysis
 //! server's request throughput and hot-memo hit rate), and schema 9's
 //! suite-level `total_ms` plus the word-kernel effort counter
-//! (`fixpoint.kernel_words`) — and still accepts older documents:
-//! absent sections and counters render as `—`, so the trend step keeps
-//! comparing against the previous run across schema bumps (a schema-8
-//! baseline against a schema-9 current run is the expected case right
-//! after the bump).
+//! (`fixpoint.kernel_words`), and schema 10's `load` block (the
+//! open-system load pass: throughput, latency percentiles, shed/retry
+//! counts) — and still accepts older documents: absent sections and
+//! counters render as `—`, so the trend step keeps comparing against
+//! the previous run across schema bumps (a schema-9 baseline against a
+//! schema-10 current run is the expected case right after the bump).
 
 use std::process::ExitCode;
 
@@ -163,6 +164,57 @@ fn serve_cells(e: Option<&ServeEntry>) -> [String; 5] {
             opt(e.requests),
             pct(e.hot_hit_rate),
             opt(e.evictions),
+            e.identical
+                .map_or_else(|| "—".into(), |b| if b { "yes" } else { "NO" }.into()),
+        ],
+        None => std::array::from_fn(|_| "—".into()),
+    }
+}
+
+/// The schema-10 open-system load-pass headline numbers of one document.
+/// `None` for older documents (schema ≤ 9 has no `load` block).
+struct LoadEntry {
+    throughput_rps: f64,
+    completed: Option<u64>,
+    p50_ms: Option<f64>,
+    p99_ms: Option<f64>,
+    shed: Option<u64>,
+    retries: Option<u64>,
+    identical: Option<bool>,
+}
+
+fn load_block(doc: &Json) -> Option<LoadEntry> {
+    let block = doc.get("load")?;
+    Some(LoadEntry {
+        throughput_rps: block.get("throughput_rps").and_then(Json::as_f64)?,
+        completed: block.get("completed").and_then(Json::as_u64),
+        p50_ms: block.get("p50_ms").and_then(Json::as_f64),
+        p99_ms: block.get("p99_ms").and_then(Json::as_f64),
+        shed: block.get("shed").and_then(Json::as_u64),
+        retries: block.get("retries").and_then(Json::as_u64),
+        identical: match block.get("identical_bounds") {
+            Some(Json::Bool(b)) => Some(*b),
+            _ => None,
+        },
+    })
+}
+
+/// Renders an optional millisecond figure.
+fn ms(v: Option<f64>) -> String {
+    v.map_or_else(|| "—".into(), |v| format!("{v:.2}"))
+}
+
+/// One side of the load comparison, or `—`s when the document predates
+/// schema 10 (the expected case right after the bump).
+fn load_cells(e: Option<&LoadEntry>) -> [String; 7] {
+    match e {
+        Some(e) => [
+            format!("{:.1}", e.throughput_rps),
+            opt(e.completed),
+            ms(e.p50_ms),
+            ms(e.p99_ms),
+            opt(e.shed),
+            opt(e.retries),
             e.identical
                 .map_or_else(|| "—".into(), |b| if b { "yes" } else { "NO" }.into()),
         ],
@@ -385,6 +437,50 @@ fn main() -> ExitCode {
                     b.req_per_sec,
                     c.req_per_sec,
                     (c.req_per_sec - b.req_per_sec) / b.req_per_sec * 100.0
+                ));
+            }
+        }
+        println!("{t}");
+    }
+
+    // Schema 10: the open-system load pass. A schema-9 baseline renders
+    // `—` on its side; both sides missing skips the table. Latency and
+    // shed figures are timing-shaped — report-only, like everything here.
+    let (base_l, cur_l) = (load_block(&baseline), load_block(&current));
+    if base_l.is_some() || cur_l.is_some() {
+        let mut t = Table::new(
+            "Open-system load (schema 10): throughput, latency percentiles, shed/retry",
+            &[
+                "side",
+                "req/sec",
+                "completed",
+                "p50 ms",
+                "p99 ms",
+                "shed",
+                "retries",
+                "identical bounds",
+            ],
+        );
+        for (side, e) in [("baseline", base_l.as_ref()), ("current", cur_l.as_ref())] {
+            let [rps, completed, p50, p99, shed, retries, identical] = load_cells(e);
+            t.row([
+                side.to_string(),
+                rps,
+                completed,
+                p50,
+                p99,
+                shed,
+                retries,
+                identical,
+            ]);
+        }
+        if let (Some(b), Some(c)) = (&base_l, &cur_l) {
+            if b.throughput_rps > 0.0 {
+                t.note(format!(
+                    "throughput {:.1} → {:.1} req/sec ({:+.0}%); report-only, never a gate",
+                    b.throughput_rps,
+                    c.throughput_rps,
+                    (c.throughput_rps - b.throughput_rps) / b.throughput_rps * 100.0
                 ));
             }
         }

@@ -363,47 +363,37 @@ fn run_subprocess(exp: &str) -> bool {
     matches!(status, Ok(s) if s.success())
 }
 
-/// Schema 8: the serving pass. The server lives in `wcet-serve`, which
-/// depends on this crate — so the pass runs as the `serve_bench` sibling
-/// binary (falling back to `cargo run` when the sibling isn't built) and
-/// its one stdout line of JSON becomes the `serve` block. The binary
-/// itself asserts the served bounds are byte-identical to its own
-/// in-process run and exits non-zero otherwise.
-fn serve_pass() -> (bool, Json) {
+/// Runs a `wcet-serve` sibling binary (falling back to `cargo run` when
+/// the sibling isn't built) and parses its one stdout line of JSON.
+/// The server lives in `wcet-serve`, which depends on this crate — so
+/// socket-driving passes run as subprocesses, never as library calls.
+fn serve_sibling_pass(name: &str, what: &str) -> (bool, Json) {
     let sibling = std::env::current_exe()
         .ok()
-        .and_then(|p| p.parent().map(|d| d.join("serve_bench")))
+        .and_then(|p| p.parent().map(|d| d.join(name)))
         .filter(|p| p.exists());
     let output = match sibling {
         Some(bin) => Command::new(bin).output(),
         None => Command::new("cargo")
-            .args([
-                "run",
-                "--release",
-                "-q",
-                "-p",
-                "wcet-serve",
-                "--bin",
-                "serve_bench",
-            ])
+            .args(["run", "--release", "-q", "-p", "wcet-serve", "--bin", name])
             .output(),
     };
     let out = match output {
         Ok(out) => out,
         Err(e) => {
-            eprintln!("serving pass failed to spawn: {e}");
+            eprintln!("{what} failed to spawn: {e}");
             return (false, Json::Null);
         }
     };
-    // serve_bench narrates on stderr; relay it.
+    // The sibling narrates on stderr; relay it.
     eprint!("{}", String::from_utf8_lossy(&out.stderr));
     if !out.status.success() {
-        eprintln!("serving pass failed ({})", out.status);
+        eprintln!("{what} failed ({})", out.status);
         return (false, Json::Null);
     }
     let stdout = String::from_utf8_lossy(&out.stdout);
     let Some(line) = stdout.lines().rev().find(|l| !l.trim().is_empty()) else {
-        eprintln!("serving pass produced no JSON line");
+        eprintln!("{what} produced no JSON line");
         return (false, Json::Null);
     };
     match Json::parse(line) {
@@ -416,10 +406,25 @@ fn serve_pass() -> (bool, Json) {
             (true, doc)
         }
         Err(e) => {
-            eprintln!("serving pass emitted unparseable JSON: {e}");
+            eprintln!("{what} emitted unparseable JSON: {e}");
             (false, Json::Null)
         }
     }
+}
+
+/// Schema 8: the serving pass — `serve_bench` asserts the served bounds
+/// are byte-identical to its own in-process run and exits non-zero
+/// otherwise.
+fn serve_pass() -> (bool, Json) {
+    serve_sibling_pass("serve_bench", "serving pass")
+}
+
+/// Schema 10: the open-system load pass — `load_bench` drives seeded
+/// Poisson/Zipf traffic with a retrying client against a deliberately
+/// under-provisioned server, asserting byte-identical bounds and zero
+/// unexplained errors (shed/latency counts are reported, not pinned).
+fn load_pass() -> (bool, Json) {
+    serve_sibling_pass("load_bench", "load pass")
 }
 
 /// Times batch engine analysis of the workload against the same tasks
@@ -602,13 +607,17 @@ fn main() {
     if !serve_ok {
         failed.push("serve");
     }
+    println!("===== load pass =====");
+    let (load_ok, load) = load_pass();
+    if !load_ok {
+        failed.push("load");
+    }
 
     let doc = Json::obj([
-        // Schema 9: fixpoint blocks carry the word-kernel and arena
-        // counters (kernel_words / arena_bytes / arena_resets), and the
-        // document gains `total_ms` — wall time of the entire suite run,
-        // so perf_trend can report a suite-level delta.
-        ("schema", Json::from(9_u64)),
+        // Schema 10: the document gains the `load` block — the
+        // open-system load pass (throughput, log2-histogram latency
+        // percentiles, shed/retry counts, byte-identity verdict).
+        ("schema", Json::from(10_u64)),
         ("suite", Json::str("wcet-bench run_all")),
         (
             "total_ms",
@@ -620,6 +629,7 @@ fn main() {
         ("scenarios", scenarios),
         ("campaign", campaign),
         ("serve", serve),
+        ("load", load),
     ]);
     let out = "BENCH_results.json";
     match std::fs::write(out, format!("{doc}\n")) {

@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod json;
+pub mod load;
 pub mod scenario;
 
 use json::Json;

@@ -38,4 +38,6 @@ pub use run::{
     run_matrix, CellFailure, CellOutcome, FailureKind, MatrixOptions, MatrixRun, TaskRow,
 };
 pub use spec::{parse_matrix, L2Layout, ModeSpec, Scenario, ScenarioMatrix, SpecError};
-pub use stream::{run_campaign, run_campaign_with, CampaignOptions, CampaignRun, CellBudget};
+pub use stream::{
+    run_campaign, run_campaign_with, run_supervised, CampaignOptions, CampaignRun, CellBudget,
+};

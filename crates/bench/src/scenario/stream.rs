@@ -829,6 +829,25 @@ fn supervised<T>(f: impl FnOnce() -> T) -> Result<T, Box<dyn std::any::Any + Sen
     result
 }
 
+/// Runs `f` under the campaign supervisor's panic regime: the
+/// process-wide hook is installed (once) and silenced for this thread
+/// while `f` runs, so an *expected* abort — budget exhaustion, a
+/// poisoned input — unwinds quietly into the returned payload instead
+/// of spraying one backtrace per occurrence. The analysis server wraps
+/// each submission in this; the campaign runner uses the same machinery
+/// internally. Unsupervised code on other threads keeps its normal
+/// panic output.
+///
+/// # Errors
+///
+/// The caught panic payload, for the caller to classify (downcast the
+/// solver crates' `BudgetExceeded` types to tell budget exhaustion from
+/// a plain panic).
+pub fn run_supervised<T>(f: impl FnOnce() -> T) -> Result<T, Box<dyn std::any::Any + Send>> {
+    install_supervised_panic_hook();
+    supervised(f)
+}
+
 /// Maps a caught panic payload to a failure class: typed budget
 /// exhaustion from either solver crate, or a plain panic.
 fn classify_panic(payload: &(dyn std::any::Any + Send)) -> (FailureKind, String) {

@@ -20,7 +20,7 @@ fn results_schema_is_current_and_campaign_throughput_parses() {
         .get("schema")
         .and_then(Json::as_u64)
         .expect("document carries a schema number");
-    assert!(schema >= 9, "schema regressed below 9: {schema}");
+    assert!(schema >= 10, "schema regressed below 10: {schema}");
 
     // Schema 9's suite-level wall clock.
     let total_ms = doc
@@ -45,6 +45,39 @@ fn results_schema_is_current_and_campaign_throughput_parses() {
         .and_then(Json::as_f64)
         .expect("serve.req_per_sec exists and parses");
     assert!(req_per_sec > 0.0);
+}
+
+#[test]
+fn load_block_carries_schema10_members_in_shape() {
+    let doc = checked_in_results();
+    let block = doc.get("load").expect("schema 10 documents carry `load`");
+
+    // Shape, not timing: percentiles must be positive and ordered (the
+    // log2 histogram can only widen upward), throughput must be real,
+    // and the byte-identity verdict is a hard pass/fail, not a number.
+    let f = |key: &str| {
+        block
+            .get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("load.{key} exists and parses"))
+    };
+    let p50 = f("p50_ms");
+    let p99 = f("p99_ms");
+    assert!(p50 > 0.0, "p50 must be positive: {p50}");
+    assert!(p99 >= p50, "p99 {p99} must dominate p50 {p50}");
+    assert!(f("throughput_rps") > 0.0);
+    assert_eq!(
+        block.get("identical_bounds"),
+        Some(&Json::from(true)),
+        "the checked-in load pass must have served byte-identical bounds"
+    );
+    // Counters vary with machine timing but must exist and parse.
+    for key in ["requests", "completed", "shed", "retries", "connections"] {
+        assert!(
+            block.get(key).and_then(Json::as_u64).is_some(),
+            "load.{key} exists and parses as u64"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,81 @@
+//! The `run_all` load pass, as a standalone binary (the bench-side
+//! driver cannot link this crate — the dependency points the other
+//! way — so it spawns this and parses the one JSON line on stdout).
+//!
+//! What it measures: the open-system load harness against a private
+//! server deliberately sized *below* the offered load (2 workers,
+//! in-flight cap 2, queue 2, 6 connections), so admission control
+//! actually sheds and the retrying client actually absorbs it — while
+//! every bound that does come back must stay byte-identical to the
+//! in-process reference. Shed/latency *counts* vary with machine
+//! timing and are reported, not asserted; byte-identity and zero
+//! unexplained errors are hard requirements.
+//!
+//! Human-readable progress goes to stderr; stdout carries exactly one
+//! line of JSON.
+
+use std::process::ExitCode;
+
+use wcet_bench::load::load_json;
+use wcet_serve::{LoadConfig, ServerConfig};
+
+fn main() -> ExitCode {
+    let server_config = ServerConfig {
+        workers: 2,
+        max_inflight: Some(2),
+        max_queue: Some(2),
+        ..ServerConfig::default()
+    };
+    let handle = match wcet_serve::start(&server_config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("load_bench: cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = LoadConfig {
+        addr: handle.addr(),
+        requests: 160,
+        connections: 6,
+        pool: 8,
+        zipf_exponent: 1.1,
+        rate_per_sec: 120.0,
+        seed: 7,
+        retries: 12,
+        ..LoadConfig::default()
+    };
+    eprintln!(
+        "load pass: {} requests over {} connections (capacity {} + {} queued), seed {}",
+        config.requests, config.connections, 2, 2, config.seed,
+    );
+    let stats = wcet_serve::run_load(&config);
+    handle.stop();
+
+    eprintln!(
+        "load pass: {}/{} completed in {:.2}s ({:.1} req/s), p50/p95/p99 \
+         {:.2}/{:.2}/{:.2} ms, {} shed absorbed by {} retries, identical bounds: {}",
+        stats.completed,
+        stats.requests,
+        stats.wall_ms / 1e3,
+        stats.throughput_rps,
+        stats.p50_ms,
+        stats.p95_ms,
+        stats.p99_ms,
+        stats.shed,
+        stats.retries,
+        stats.identical_bounds,
+    );
+    if !stats.identical_bounds {
+        eprintln!("load_bench: served bounds diverged from the in-process reference");
+        return ExitCode::FAILURE;
+    }
+    if stats.error_responses > 0 {
+        eprintln!(
+            "load_bench: {} unexplained typed error response(s)",
+            stats.error_responses
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("{}", load_json(&stats));
+    ExitCode::SUCCESS
+}

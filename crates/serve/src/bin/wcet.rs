@@ -7,10 +7,26 @@
 //! wcet scenarios validate <spec.scn> [--json P] [--md P]   # analyse + simulate
 //! wcet scenarios report   <spec.scn> [--json P] [--md P]   # validate + write
 //! wcet serve  [--addr H:P] [--workers N] [--memo-budget N] [--cache PATH]
+//!             [--max-inflight N] [--max-queue N]
 //! wcet client <addr> <scenario|matrix> <spec.scn>    # submit through a server
 //! wcet client <addr> <stats|shutdown>                # probe / stop a server
 //! wcet client <addr> raw <payload>                   # send an arbitrary frame
+//! wcet load   [addr] [--requests N] [--workers N] [--seed S] ...   # open-system load
 //! ```
+//!
+//! `wcet client` flags: `--timeout-ms N` bounds the TCP connect (a dead
+//! address fails fast instead of hanging for the OS default), and
+//! `--retries N` (with `--seed S` jitter) retries `Overloaded` sheds
+//! and transport failures with exponential backoff — safe because
+//! submissions are idempotent (memoized by semantic fingerprint).
+//!
+//! `wcet load` drives the open-system load harness against a live
+//! server (`addr`), or against a private in-process server when `addr`
+//! is omitted: seeded Poisson arrivals over `--workers` closed
+//! connections, Zipf-popular scenarios from a generated pool, retrying
+//! on shed, reporting p50/p95/p99 latency, throughput, and
+//! shed/retry/error counts (`--json PATH` writes the schema-10 `load`
+//! block).
 //!
 //! `run` performs analysis only; `validate` additionally replays cells
 //! on the cycle-level simulator and exits non-zero if a
@@ -69,18 +85,27 @@
 //! every row is bounded; `1` — transport failure or a protocol-level
 //! rejection (bad frame, bad spec, bad schema); `2` — the server
 //! answered but the analysis failed (panic/budget error, or cells with
-//! per-task errors).
+//! per-task errors). `wcet load`: `0` — every request bounded and
+//! byte-identical to the in-process reference; `1` — hard failure
+//! (usage, no server, diverged bounds); `2` — some requests failed
+//! after retries.
 
 use std::io::Write as _;
+use std::net::ToSocketAddrs;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
+use wcet_bench::load::load_json;
 use wcet_bench::scenario::{
     campaign_json, campaign_markdown, matrix_json, matrix_markdown, parse_matrix,
     run_campaign_with, run_matrix, CampaignOptions, CellBudget, MatrixOptions,
 };
 use wcet_core::report::Table;
-use wcet_serve::{Client, ErrorKind, Response, ServerConfig};
+use wcet_serve::{
+    request_with_retry, Client, ErrorKind, LoadConfig, Request, RequestLimits, Response, Retry,
+    ServerConfig,
+};
 
 const USAGE: &str = "usage: wcet scenarios <list|run|validate|report> <spec.scn> \
                      [--json PATH] [--md PATH] [--limit N] [--threads N] \
@@ -88,14 +113,22 @@ const USAGE: &str = "usage: wcet scenarios <list|run|validate|report> <spec.scn>
                      [--resume] [--strict] [--deadline-ms N] [--budget-pivots N] \
                      [--budget-evals N] [--budget-cell-ms N]\n\
                      \x20      wcet serve [--addr HOST:PORT] [--workers N] \
-                     [--memo-budget N] [--cache PATH]\n\
-                     \x20      wcet client <addr> <scenario|matrix|stats|shutdown|raw> [ARG]";
+                     [--memo-budget N] [--cache PATH] [--max-inflight N] [--max-queue N]\n\
+                     \x20      wcet client <addr> <scenario|matrix|stats|shutdown|raw> [ARG] \
+                     [--timeout-ms N] [--retries N] [--seed S]\n\
+                     \x20      wcet load [addr] [--requests N] [--workers N] [--pool N] \
+                     [--zipf X] [--rate R] [--seed S] [--retries N] [--deadline-ms N] \
+                     [--json PATH]";
 
-const SERVE_USAGE: &str =
-    "usage: wcet serve [--addr HOST:PORT] [--workers N] [--memo-budget N] [--cache PATH]";
+const SERVE_USAGE: &str = "usage: wcet serve [--addr HOST:PORT] [--workers N] \
+                           [--memo-budget N] [--cache PATH] [--max-inflight N] [--max-queue N]";
 
-const CLIENT_USAGE: &str =
-    "usage: wcet client <addr> <scenario SPEC.scn|matrix SPEC.scn|stats|shutdown|raw PAYLOAD>";
+const CLIENT_USAGE: &str = "usage: wcet client <addr> <scenario SPEC.scn|matrix SPEC.scn|stats|\
+                            shutdown|raw PAYLOAD> [--timeout-ms N] [--retries N] [--seed S]";
+
+const LOAD_USAGE: &str = "usage: wcet load [HOST:PORT] [--requests N] [--workers N] [--pool N] \
+                          [--zipf X] [--rate R] [--seed S] [--retries N] [--deadline-ms N] \
+                          [--json PATH]";
 
 /// Matrices at or above this many cross-product cells stream by default.
 const STREAM_THRESHOLD: usize = 4096;
@@ -248,6 +281,7 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("serve") => return serve_main(&argv[1..]),
         Some("client") => return client_main(&argv[1..]),
+        Some("load") => return load_main(&argv[1..]),
         _ => {}
     }
     let args = match parse_args(&argv) {
@@ -519,6 +553,16 @@ fn serve_main(argv: &[String]) -> ExitCode {
                     .map_err(|_| format!("--memo-budget needs a number, got {v:?}"))
             }),
             "--cache" => value(&mut it, "--cache").map(|v| config.cache = Some(PathBuf::from(v))),
+            "--max-inflight" => value(&mut it, "--max-inflight").and_then(|v| {
+                v.parse()
+                    .map(|n| config.max_inflight = Some(n))
+                    .map_err(|_| format!("--max-inflight needs a number, got {v:?}"))
+            }),
+            "--max-queue" => value(&mut it, "--max-queue").and_then(|v| {
+                v.parse()
+                    .map(|n| config.max_queue = Some(n))
+                    .map_err(|_| format!("--max-queue needs a number, got {v:?}"))
+            }),
             _ => Err(format!("unknown flag {flag:?}\n{SERVE_USAGE}")),
         };
         if let Err(e) = parsed {
@@ -543,21 +587,48 @@ fn serve_main(argv: &[String]) -> ExitCode {
 }
 
 /// `wcet client`: one request, one printed response, a typed exit code.
+/// `--timeout-ms` bounds the connect; `--retries` (with `--seed`
+/// jitter) absorbs `Overloaded` sheds and transport hiccups for the
+/// typed commands.
 fn client_main(argv: &[String]) -> ExitCode {
-    let (Some(addr), Some(cmd)) = (argv.first(), argv.get(1)) else {
+    let mut positionals: Vec<&String> = Vec::new();
+    let mut timeout_ms: Option<u64> = None;
+    let mut retries: u32 = 0;
+    let mut seed: u64 = 0;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let flag_value = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+            it.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| format!("{flag} needs a number\n{CLIENT_USAGE}"))
+        };
+        let parsed = match arg.as_str() {
+            "--timeout-ms" => flag_value(&mut it, "--timeout-ms").map(|n| timeout_ms = Some(n)),
+            "--retries" => flag_value(&mut it, "--retries").map(|n| {
+                retries = u32::try_from(n).unwrap_or(u32::MAX);
+            }),
+            "--seed" => flag_value(&mut it, "--seed").map(|n| seed = n),
+            _ => {
+                positionals.push(arg);
+                Ok(())
+            }
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let (Some(addr), Some(cmd)) = (positionals.first(), positionals.get(1)) else {
         eprintln!("{CLIENT_USAGE}");
         return ExitCode::FAILURE;
     };
-    let mut client = match Client::connect(addr.as_str()) {
-        Ok(client) => client,
-        Err(e) => {
-            eprintln!("cannot connect to {addr}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let response = match cmd.as_str() {
+    let connect_timeout = Duration::from_millis(timeout_ms.unwrap_or(5_000));
+
+    // The typed commands route through the retrying client when asked
+    // to; `raw` stays a single byte-exact exchange.
+    let typed: Option<Request> = match cmd.as_str() {
         "scenario" | "matrix" => {
-            let Some(spec_path) = argv.get(2) else {
+            let Some(spec_path) = positionals.get(2) else {
                 eprintln!("{CLIENT_USAGE}");
                 return ExitCode::FAILURE;
             };
@@ -568,24 +639,81 @@ fn client_main(argv: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            if cmd == "scenario" {
-                client.submit_scenario(&spec)
+            Some(if cmd.as_str() == "scenario" {
+                Request::SubmitScenario {
+                    spec,
+                    limits: RequestLimits::default(),
+                }
             } else {
-                client.submit_matrix(&spec)
-            }
+                Request::SubmitMatrix {
+                    spec,
+                    limits: RequestLimits::default(),
+                }
+            })
         }
-        "stats" => client.stats(),
-        "shutdown" => client.shutdown(),
-        "raw" => {
-            let Some(payload) = argv.get(2) else {
-                eprintln!("{CLIENT_USAGE}");
-                return ExitCode::FAILURE;
-            };
-            client.send_raw(payload)
-        }
+        "stats" => Some(Request::Stats),
+        "shutdown" => Some(Request::Shutdown),
+        "raw" => None,
         _ => {
             eprintln!("unknown client command {cmd:?}\n{CLIENT_USAGE}");
             return ExitCode::FAILURE;
+        }
+    };
+    let response = match typed {
+        Some(request) if retries > 0 => {
+            let resolved = match addr
+                .as_str()
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut a| a.next())
+            {
+                Some(resolved) => resolved,
+                None => {
+                    eprintln!("cannot resolve {addr}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let policy = Retry {
+                retries,
+                seed,
+                connect_timeout,
+                ..Retry::default()
+            };
+            request_with_retry(resolved, &request, &policy).map(|(response, spent)| {
+                if spent.retries > 0 {
+                    eprintln!(
+                        "{} retr{} spent ({} shed, {} transport)",
+                        spent.retries,
+                        if spent.retries == 1 { "y" } else { "ies" },
+                        spent.shed_retries,
+                        spent.transport_retries,
+                    );
+                }
+                response
+            })
+        }
+        _ => {
+            let connected = if timeout_ms.is_some() {
+                Client::connect_timeout(addr.as_str(), connect_timeout)
+            } else {
+                Client::connect(addr.as_str())
+            };
+            match connected {
+                Ok(mut client) => match typed {
+                    Some(request) => client.request(&request),
+                    None => match positionals.get(2) {
+                        Some(payload) => client.send_raw(payload),
+                        None => {
+                            eprintln!("{CLIENT_USAGE}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                },
+                Err(e) => {
+                    eprintln!("cannot connect to {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     };
     let response = match response {
@@ -671,5 +799,163 @@ fn client_main(argv: &[String]) -> ExitCode {
                 ExitCode::from(2)
             }
         }
+    }
+}
+
+/// `wcet load`: the open-system load harness. Against a live server
+/// when an address is given; otherwise a private in-process server on
+/// an ephemeral port (started, loaded, stopped — nothing to clean up).
+fn load_main(argv: &[String]) -> ExitCode {
+    let mut addr_arg: Option<String> = None;
+    let mut config = LoadConfig {
+        connections: 2,
+        ..LoadConfig::default()
+    };
+    let mut json_out: Option<String> = None;
+    let mut it = argv.iter();
+    fn value<'a>(
+        it: &mut impl Iterator<Item = &'a String>,
+        flag: &str,
+    ) -> Result<&'a String, String> {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+    fn number<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+        raw.parse()
+            .map_err(|_| format!("{flag} needs a number, got {raw:?}"))
+    }
+    while let Some(arg) = it.next() {
+        let parsed = match arg.as_str() {
+            "--requests" => value(&mut it, "--requests")
+                .and_then(|v| number(v, "--requests"))
+                .map(|n| config.requests = n),
+            "--workers" => value(&mut it, "--workers")
+                .and_then(|v| number(v, "--workers"))
+                .map(|n| config.connections = n),
+            "--pool" => value(&mut it, "--pool")
+                .and_then(|v| number(v, "--pool"))
+                .map(|n| config.pool = n),
+            "--zipf" => value(&mut it, "--zipf")
+                .and_then(|v| number(v, "--zipf"))
+                .map(|x| config.zipf_exponent = x),
+            "--rate" => value(&mut it, "--rate")
+                .and_then(|v| number(v, "--rate"))
+                .map(|r| config.rate_per_sec = r),
+            "--seed" => value(&mut it, "--seed")
+                .and_then(|v| number(v, "--seed"))
+                .map(|s| config.seed = s),
+            "--retries" => value(&mut it, "--retries")
+                .and_then(|v| number(v, "--retries"))
+                .map(|n| config.retries = n),
+            "--deadline-ms" => value(&mut it, "--deadline-ms")
+                .and_then(|v| number(v, "--deadline-ms"))
+                .map(|ms| config.limits.deadline_ms = Some(ms)),
+            "--json" => value(&mut it, "--json").map(|v| json_out = Some(v.clone())),
+            flag if flag.starts_with("--") => Err(format!("unknown flag {flag:?}\n{LOAD_USAGE}")),
+            addr => {
+                addr_arg = Some(addr.to_string());
+                Ok(())
+            }
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Resolve the target: an external server, or a private one sized
+    // like the load (same worker count the connections expect).
+    let handle = match &addr_arg {
+        Some(addr) => {
+            match addr
+                .as_str()
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut a| a.next())
+            {
+                Some(resolved) => config.addr = resolved,
+                None => {
+                    eprintln!("cannot resolve {addr}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            None
+        }
+        None => {
+            let server_config = ServerConfig {
+                workers: config.connections,
+                ..ServerConfig::default()
+            };
+            match wcet_serve::start(&server_config) {
+                Ok(handle) => {
+                    config.addr = handle.addr();
+                    Some(handle)
+                }
+                Err(e) => {
+                    eprintln!("cannot start in-process server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    eprintln!(
+        "load: {} requests over {} connections against {} (seed {}, pool {}, zipf {}, \
+         {}/s per connection)",
+        config.requests,
+        config.connections,
+        config.addr,
+        config.seed,
+        config.pool,
+        config.zipf_exponent,
+        config.rate_per_sec,
+    );
+    let stats = wcet_serve::run_load(&config);
+    if let Some(handle) = handle {
+        handle.stop();
+    }
+
+    println!(
+        "completed {}/{} requests in {:.2}s: throughput {:.1} req/s, latency p50 {:.2} ms, \
+         p95 {:.2} ms, p99 {:.2} ms",
+        stats.completed,
+        stats.requests,
+        stats.wall_ms / 1e3,
+        stats.throughput_rps,
+        stats.p50_ms,
+        stats.p95_ms,
+        stats.p99_ms,
+    );
+    println!(
+        "shed {} (absorbed by {} retr{}, {} transport), {} failed, {} error response(s), \
+         bounds identical to in-process: {}",
+        stats.shed,
+        stats.retries,
+        if stats.retries == 1 { "y" } else { "ies" },
+        stats.transport_retries,
+        stats.failed,
+        stats.error_responses,
+        stats.identical_bounds,
+    );
+    if let Some(path) = json_out {
+        match std::fs::write(&path, format!("{}\n", load_json(&stats))) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Ladder: diverged bounds (or nothing completed) is a hard failure;
+    // requests lost after all retries degrade the run to exit 2.
+    if !stats.identical_bounds {
+        eprintln!("served bounds diverged from the in-process reference (or nothing completed)");
+        ExitCode::FAILURE
+    } else if stats.failed > 0 || stats.error_responses > 0 {
+        eprintln!(
+            "{} request(s) failed after retries ({} typed error response(s))",
+            stats.failed, stats.error_responses,
+        );
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -44,53 +44,115 @@ impl std::fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
-/// Reads until `buf` is full or the stream ends; returns bytes read.
-fn read_full(r: &mut impl Read, mut buf: &mut [u8]) -> io::Result<usize> {
-    let mut total = 0usize;
-    while !buf.is_empty() {
-        match r.read(buf) {
-            Ok(0) => break,
-            Ok(n) => {
-                total += n;
-                buf = &mut buf[n..];
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(total)
+/// Incremental frame decoder: buffers header and payload bytes across
+/// reads, so a connection rotated off a worker mid-frame (a client
+/// dribbling bytes slower than the poll interval) resumes exactly where
+/// it left off instead of discarding the partial frame. The server
+/// carries one of these with every rotated connection.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    header: [u8; 4],
+    header_got: usize,
+    payload: Vec<u8>,
+    payload_got: usize,
+    in_payload: bool,
 }
 
-/// Reads one frame's payload.
+impl FrameReader {
+    /// A decoder at a frame boundary.
+    #[must_use]
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// True when bytes of an unfinished frame are buffered.
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        self.header_got > 0 || self.in_payload
+    }
+
+    /// Drives the decoder with whatever `r` can produce right now.
+    /// Returns `Ok(Some(payload))` on a complete frame (the decoder
+    /// resets to the next boundary), `Ok(None)` when the read would
+    /// block or timed out — buffered state is preserved for the next
+    /// poll.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Closed`] on a clean end-of-stream *at* a frame
+    /// boundary; a mid-frame disconnect is [`FrameError::Io`]; malformed
+    /// claims are [`FrameError::Empty`] / [`FrameError::TooLarge`],
+    /// detected without buffering the payload; a complete non-UTF-8
+    /// payload is [`FrameError::Utf8`].
+    pub fn poll(&mut self, r: &mut impl Read) -> Result<Option<String>, FrameError> {
+        loop {
+            let buf = if self.in_payload {
+                &mut self.payload[self.payload_got..]
+            } else {
+                &mut self.header[self.header_got..]
+            };
+            match r.read(buf) {
+                Ok(0) => {
+                    return Err(if self.mid_frame() {
+                        FrameError::Io(io::ErrorKind::UnexpectedEof.into())
+                    } else {
+                        FrameError::Closed
+                    });
+                }
+                Ok(n) if self.in_payload => {
+                    self.payload_got += n;
+                    if self.payload_got == self.payload.len() {
+                        let bytes = std::mem::take(&mut self.payload);
+                        *self = FrameReader::new();
+                        return String::from_utf8(bytes)
+                            .map(Some)
+                            .map_err(|_| FrameError::Utf8);
+                    }
+                }
+                Ok(n) => {
+                    self.header_got += n;
+                    if self.header_got == self.header.len() {
+                        let len = u32::from_be_bytes(self.header);
+                        if len == 0 {
+                            return Err(FrameError::Empty);
+                        }
+                        if len > MAX_FRAME {
+                            return Err(FrameError::TooLarge(len));
+                        }
+                        self.payload = vec![0u8; len as usize];
+                        self.payload_got = 0;
+                        self.in_payload = true;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+    }
+}
+
+/// Reads one frame's payload, blocking until it is complete.
 ///
 /// # Errors
 ///
 /// [`FrameError::Closed`] on a clean end-of-stream *before* any header
 /// byte; every torn read (mid-header or mid-payload disconnect) is
-/// [`FrameError::Io`]; malformed claims are [`FrameError::Empty`] /
+/// [`FrameError::Io`], and so is a read timeout (`WouldBlock` /
+/// `TimedOut` — use [`FrameReader`] directly to resume across
+/// timeouts); malformed claims are [`FrameError::Empty`] /
 /// [`FrameError::TooLarge`], detected without buffering the payload.
 pub fn read_frame(r: &mut impl Read) -> Result<String, FrameError> {
-    let mut header = [0u8; 4];
-    let got = read_full(r, &mut header).map_err(FrameError::Io)?;
-    if got == 0 {
-        return Err(FrameError::Closed);
+    match FrameReader::new().poll(r) {
+        Ok(Some(payload)) => Ok(payload),
+        Ok(None) => Err(FrameError::Io(io::ErrorKind::WouldBlock.into())),
+        Err(e) => Err(e),
     }
-    if got < header.len() {
-        return Err(FrameError::Io(io::ErrorKind::UnexpectedEof.into()));
-    }
-    let len = u32::from_be_bytes(header);
-    if len == 0 {
-        return Err(FrameError::Empty);
-    }
-    if len > MAX_FRAME {
-        return Err(FrameError::TooLarge(len));
-    }
-    let mut payload = vec![0u8; len as usize];
-    let got = read_full(r, &mut payload).map_err(FrameError::Io)?;
-    if got < payload.len() {
-        return Err(FrameError::Io(io::ErrorKind::UnexpectedEof.into()));
-    }
-    String::from_utf8(payload).map_err(|_| FrameError::Utf8)
 }
 
 /// Writes one frame (header + payload) and flushes.
@@ -156,6 +218,65 @@ mod tests {
             read_frame(&mut torn_payload),
             Err(FrameError::Io(_))
         ));
+    }
+
+    /// Yields its script one chunk per read, interleaving `WouldBlock`
+    /// errors — a dribbling client as the kernel presents it.
+    struct Dribble {
+        chunks: Vec<Option<Vec<u8>>>,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.chunks.pop() {
+                Some(Some(bytes)) => {
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Some(None) => Err(io::ErrorKind::WouldBlock.into()),
+                None => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_across_would_block() {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, "{\"x\":1}").expect("writes");
+        // One byte per read, a WouldBlock between every pair.
+        let mut chunks: Vec<Option<Vec<u8>>> = Vec::new();
+        for b in &framed {
+            chunks.push(Some(vec![*b]));
+            chunks.push(None);
+        }
+        chunks.reverse();
+        let mut dribble = Dribble { chunks };
+        let mut reader = FrameReader::new();
+        let mut polls = 0usize;
+        let payload = loop {
+            polls += 1;
+            assert!(polls < 100, "reader must converge");
+            match reader.poll(&mut dribble).expect("no frame error") {
+                Some(p) => break p,
+                None => assert!(
+                    polls == 1 || reader.mid_frame(),
+                    "blocked polls past the first must hold partial state"
+                ),
+            }
+        };
+        assert_eq!(payload, "{\"x\":1}");
+        assert!(!reader.mid_frame(), "reader resets at the boundary");
+    }
+
+    #[test]
+    fn frame_reader_types_a_mid_frame_disconnect() {
+        // Two header bytes then clean EOF: torn, not Closed.
+        let mut torn = Dribble {
+            chunks: vec![Some(vec![0u8, 0])],
+        };
+        torn.chunks.reverse();
+        let mut reader = FrameReader::new();
+        assert!(matches!(reader.poll(&mut torn), Err(FrameError::Io(_))));
     }
 
     #[test]

@@ -14,19 +14,28 @@
 //! because submissions route through the same `run_matrix` entry point
 //! with shared state — pinned by the differential battery in
 //! `tests/serve_equivalence.rs`.
+//!
+//! Overload is part of the contract, not an afterthought: admission
+//! control sheds over-capacity connections with a typed, retryable
+//! [`ErrorKind::Overloaded`] frame, per-request schema-2 limits arm
+//! cooperative budgets around each submission, the [`client`] retries
+//! with seeded backoff, and the open-system [`load`] harness proves the
+//! whole loop degrades gracefully (see `tests/serve_overload.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod frame;
+pub mod load;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, ClientError};
-pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME};
+pub use client::{request_with_retry, Client, ClientError, Retry, RetryStats};
+pub use frame::{read_frame, write_frame, FrameError, FrameReader, MAX_FRAME};
+pub use load::{run_load, LoadConfig};
 pub use proto::{
-    BoundRow, BoundsResponse, CellBounds, ErrorKind, Request, RequestStats, Response, ServeError,
-    StatsResponse, PROTO_SCHEMA,
+    BoundRow, BoundsResponse, CellBounds, ErrorKind, Request, RequestLimits, RequestStats,
+    Response, ServeError, StatsResponse, PROTO_SCHEMA,
 };
 pub use server::{start, ServerConfig, ServerHandle};

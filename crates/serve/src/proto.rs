@@ -11,9 +11,50 @@ use wcet_bench::scenario::run::TaskBound;
 use wcet_bench::scenario::{CellOutcome, FailureKind};
 use wcet_core::MemoStats;
 
-/// Protocol schema version. Requests carrying any other version are
-/// rejected with a typed protocol error before being interpreted.
-pub const PROTO_SCHEMA: u64 = 1;
+/// Highest protocol schema version this build speaks. Peers accept
+/// `1..=PROTO_SCHEMA`; messages are stamped with the *minimum* schema
+/// that can carry them (plain traffic still says `1`), so schema-1
+/// peers keep interoperating until a schema-2-only feature — request
+/// limits, `deadline`/`overloaded` errors — is actually on the wire.
+pub const PROTO_SCHEMA: u64 = 2;
+
+fn schema_gate(doc: &Json, who: &str) -> Result<u64, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer \"schema\" field in {who}"))?;
+    if !(1..=PROTO_SCHEMA).contains(&schema) {
+        return Err(format!(
+            "unsupported schema version {schema} (this peer speaks 1..={PROTO_SCHEMA})"
+        ));
+    }
+    Ok(schema)
+}
+
+/// Optional per-request resource limits (schema 2). The server arms the
+/// cooperative `BudgetScope`s around the supervised submission, so an
+/// oversized or poisoned request unwinds with a typed
+/// [`ErrorKind::Budget`] / [`ErrorKind::Deadline`] error instead of
+/// pinning a worker. All-`None` limits travel as schema 1 — nothing is
+/// emitted on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestLimits {
+    /// Wall-clock deadline for the whole submission, milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Simplex pivot budget across the submission's IPET solves.
+    pub budget_pivots: Option<u64>,
+    /// Worklist block-evaluation budget across the submission's
+    /// fixpoint runs.
+    pub budget_evals: Option<u64>,
+}
+
+impl RequestLimits {
+    /// True when no limit is set (the request can travel as schema 1).
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        *self == RequestLimits::default()
+    }
+}
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,11 +64,15 @@ pub enum Request {
     SubmitScenario {
         /// The scenario spec text, as a `.scn` file body.
         spec: String,
+        /// Optional per-request resource limits.
+        limits: RequestLimits,
     },
     /// Analyze every cell of a (possibly multi-cell) scenario matrix.
     SubmitMatrix {
         /// The scenario spec text, as a `.scn` file body.
         spec: String,
+        /// Optional per-request resource limits.
+        limits: RequestLimits,
     },
     /// Report cumulative server statistics.
     Stats,
@@ -47,23 +92,49 @@ impl Request {
         }
     }
 
-    /// Encodes the request as a frame payload.
+    /// The minimum schema version that can carry this request: `1`
+    /// unless per-request limits are set.
+    #[must_use]
+    pub fn min_schema(&self) -> u64 {
+        match self {
+            Request::SubmitScenario { limits, .. } | Request::SubmitMatrix { limits, .. }
+                if !limits.is_none() =>
+            {
+                2
+            }
+            _ => 1,
+        }
+    }
+
+    /// Encodes the request as a frame payload, stamped with
+    /// [`Request::min_schema`] so schema-1 servers still parse plain
+    /// traffic.
     #[must_use]
     pub fn encode(&self) -> String {
         let mut pairs = vec![
-            ("schema", Json::from(PROTO_SCHEMA)),
+            ("schema", Json::from(self.min_schema())),
             ("req", Json::str(self.label())),
         ];
         match self {
-            Request::SubmitScenario { spec } | Request::SubmitMatrix { spec } => {
+            Request::SubmitScenario { spec, limits } | Request::SubmitMatrix { spec, limits } => {
                 pairs.push(("spec", Json::str(spec.clone())));
+                if let Some(ms) = limits.deadline_ms {
+                    pairs.push(("deadline_ms", Json::from(ms)));
+                }
+                if let Some(p) = limits.budget_pivots {
+                    pairs.push(("budget_pivots", Json::from(p)));
+                }
+                if let Some(e) = limits.budget_evals {
+                    pairs.push(("budget_evals", Json::from(e)));
+                }
             }
             Request::Stats | Request::Shutdown => {}
         }
         Json::obj(pairs).to_string()
     }
 
-    /// Decodes a frame payload into a request.
+    /// Decodes a frame payload into a request. Schema 1 and 2 documents
+    /// both parse; limit fields are optional and default to unset.
     ///
     /// # Errors
     ///
@@ -72,15 +143,7 @@ impl Request {
     /// `req` label.
     pub fn decode(payload: &str) -> Result<Request, String> {
         let doc = Json::parse(payload).map_err(|e| format!("malformed JSON: {e}"))?;
-        let schema = doc
-            .get("schema")
-            .and_then(Json::as_u64)
-            .ok_or_else(|| "missing or non-integer \"schema\" field".to_string())?;
-        if schema != PROTO_SCHEMA {
-            return Err(format!(
-                "unsupported schema version {schema} (this server speaks {PROTO_SCHEMA})"
-            ));
-        }
+        schema_gate(&doc, "request")?;
         let req = doc
             .get("req")
             .and_then(Json::as_str)
@@ -91,9 +154,20 @@ impl Request {
                 .map(str::to_string)
                 .ok_or_else(|| format!("request {req:?} needs a string \"spec\" field"))
         };
+        let limits = RequestLimits {
+            deadline_ms: doc.get("deadline_ms").and_then(Json::as_u64),
+            budget_pivots: doc.get("budget_pivots").and_then(Json::as_u64),
+            budget_evals: doc.get("budget_evals").and_then(Json::as_u64),
+        };
         match req {
-            "submit_scenario" => Ok(Request::SubmitScenario { spec: spec()? }),
-            "submit_matrix" => Ok(Request::SubmitMatrix { spec: spec()? }),
+            "submit_scenario" => Ok(Request::SubmitScenario {
+                spec: spec()?,
+                limits,
+            }),
+            "submit_matrix" => Ok(Request::SubmitMatrix {
+                spec: spec()?,
+                limits,
+            }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request {other:?}")),
@@ -103,7 +177,10 @@ impl Request {
 
 /// What class of failure an error response reports. `Panic` and `Budget`
 /// mirror the campaign runner's [`FailureKind`] ladder; `Protocol` covers
-/// everything wrong with the request itself.
+/// everything wrong with the request itself; `Deadline` and `Overloaded`
+/// are the schema-2 overload ladder — both are *recoverable*: the request
+/// was refused or cut short, the server is healthy, and a retry (after
+/// `retry_after_ms`, for `Overloaded`) is the correct client response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorKind {
     /// The request was malformed: bad frame, bad JSON, bad schema, bad
@@ -113,6 +190,16 @@ pub enum ErrorKind {
     Panic,
     /// The analysis exhausted a resource budget.
     Budget,
+    /// The analysis exhausted its per-request wall-clock deadline
+    /// (schema 2).
+    Deadline,
+    /// The server refused admission: its pending queue and in-flight
+    /// slots were full (schema 2). Never a silent drop — the connection
+    /// gets this frame before it closes.
+    Overloaded {
+        /// Suggested client backoff before retrying, milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl From<FailureKind> for ErrorKind {
@@ -130,16 +217,29 @@ impl std::fmt::Display for ErrorKind {
             ErrorKind::Protocol => "protocol",
             ErrorKind::Panic => "panic",
             ErrorKind::Budget => "budget",
+            ErrorKind::Deadline => "deadline",
+            ErrorKind::Overloaded { .. } => "overloaded",
         })
     }
 }
 
 impl ErrorKind {
-    fn from_label(label: &str) -> Option<ErrorKind> {
+    /// The minimum schema version that can carry this kind on the wire.
+    #[must_use]
+    pub fn min_schema(&self) -> u64 {
+        match self {
+            ErrorKind::Protocol | ErrorKind::Panic | ErrorKind::Budget => 1,
+            ErrorKind::Deadline | ErrorKind::Overloaded { .. } => 2,
+        }
+    }
+
+    fn from_label(label: &str, retry_after_ms: u64) -> Option<ErrorKind> {
         match label {
             "protocol" => Some(ErrorKind::Protocol),
             "panic" => Some(ErrorKind::Panic),
             "budget" => Some(ErrorKind::Budget),
+            "deadline" => Some(ErrorKind::Deadline),
+            "overloaded" => Some(ErrorKind::Overloaded { retry_after_ms }),
             _ => None,
         }
     }
@@ -268,6 +368,15 @@ pub struct StatsResponse {
     pub solver_warm_hits: u64,
     /// IPET solves that ran cold, lifetime.
     pub solver_cold_solves: u64,
+    /// Connections admitted and not yet closed, right now (schema-2
+    /// counter; zero when absent on the wire).
+    pub queue_depth: u64,
+    /// Connections refused with [`ErrorKind::Overloaded`], lifetime.
+    pub shed: u64,
+    /// Submissions that died on their wall-clock deadline, lifetime.
+    pub deadline_errors: u64,
+    /// Submissions that died on a pivot/eval budget, lifetime.
+    pub budget_errors: u64,
 }
 
 /// A server response.
@@ -414,12 +523,26 @@ fn request_stats_from(j: &Json) -> Option<RequestStats> {
 }
 
 impl Response {
-    /// Encodes the response as a frame payload.
+    /// The minimum schema version that can carry this response: `1`
+    /// unless the error kind is schema-2-only.
+    #[must_use]
+    pub fn min_schema(&self) -> u64 {
+        match self {
+            Response::Error(e) => e.kind.min_schema(),
+            _ => 1,
+        }
+    }
+
+    /// Encodes the response as a frame payload, stamped with
+    /// [`Response::min_schema`]. The schema-2 stats counters are
+    /// *additive* — they always travel, schema-1 clients simply ignore
+    /// the unknown fields — so a plain stats response still says
+    /// schema 1.
     #[must_use]
     pub fn encode(&self) -> String {
         let doc = match self {
             Response::Bounds(b) => Json::obj([
-                ("schema", Json::from(PROTO_SCHEMA)),
+                ("schema", Json::from(self.min_schema())),
                 ("ok", Json::from(true)),
                 ("kind", Json::str("bounds")),
                 ("matrix", Json::str(b.matrix.clone())),
@@ -429,7 +552,7 @@ impl Response {
                 ("stats", request_stats_json(&b.stats)),
             ]),
             Response::Stats(s) => Json::obj([
-                ("schema", Json::from(PROTO_SCHEMA)),
+                ("schema", Json::from(self.min_schema())),
                 ("ok", Json::from(true)),
                 ("kind", Json::str("stats")),
                 ("requests", Json::from(s.requests)),
@@ -439,43 +562,45 @@ impl Response {
                 ("disk_hits", Json::from(s.disk_hits)),
                 ("solver_warm_hits", Json::from(s.solver_warm_hits)),
                 ("solver_cold_solves", Json::from(s.solver_cold_solves)),
+                ("queue_depth", Json::from(s.queue_depth)),
+                ("shed", Json::from(s.shed)),
+                ("deadline_errors", Json::from(s.deadline_errors)),
+                ("budget_errors", Json::from(s.budget_errors)),
             ]),
             Response::Shutdown { flushed } => Json::obj([
-                ("schema", Json::from(PROTO_SCHEMA)),
+                ("schema", Json::from(self.min_schema())),
                 ("ok", Json::from(true)),
                 ("kind", Json::str("shutdown")),
                 ("flushed", Json::from(*flushed)),
             ]),
-            Response::Error(e) => Json::obj([
-                ("schema", Json::from(PROTO_SCHEMA)),
-                ("ok", Json::from(false)),
-                (
-                    "error",
-                    Json::obj([
-                        ("kind", Json::str(e.kind.to_string())),
-                        ("message", Json::str(e.message.clone())),
-                    ]),
-                ),
-            ]),
+            Response::Error(e) => {
+                let mut error_pairs = vec![
+                    ("kind", Json::str(e.kind.to_string())),
+                    ("message", Json::str(e.message.clone())),
+                ];
+                if let ErrorKind::Overloaded { retry_after_ms } = e.kind {
+                    error_pairs.push(("retry_after_ms", Json::from(retry_after_ms)));
+                }
+                Json::obj([
+                    ("schema", Json::from(self.min_schema())),
+                    ("ok", Json::from(false)),
+                    ("error", Json::obj(error_pairs)),
+                ])
+            }
         };
         doc.to_string()
     }
 
-    /// Decodes a frame payload into a response.
+    /// Decodes a frame payload into a response. Schema 1 and 2 both
+    /// parse; the schema-2 stats counters default to zero when absent.
     ///
     /// # Errors
     ///
     /// A human-readable diagnostic when the payload is not a
-    /// well-formed schema-1 response document.
+    /// well-formed response document.
     pub fn decode(payload: &str) -> Result<Response, String> {
         let doc = Json::parse(payload).map_err(|e| format!("malformed JSON: {e}"))?;
-        let schema = doc
-            .get("schema")
-            .and_then(Json::as_u64)
-            .ok_or_else(|| "missing \"schema\" field".to_string())?;
-        if schema != PROTO_SCHEMA {
-            return Err(format!("unsupported response schema {schema}"));
-        }
+        schema_gate(&doc, "response")?;
         let ok = match doc.get("ok") {
             Some(Json::Bool(b)) => *b,
             _ => return Err("missing \"ok\" field".to_string()),
@@ -484,10 +609,14 @@ impl Response {
             let err = doc
                 .get("error")
                 .ok_or_else(|| "error response without \"error\" body".to_string())?;
+            let retry_after_ms = err
+                .get("retry_after_ms")
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
             let kind = err
                 .get("kind")
                 .and_then(Json::as_str)
-                .and_then(ErrorKind::from_label)
+                .and_then(|l| ErrorKind::from_label(l, retry_after_ms))
                 .ok_or_else(|| "error response with unknown kind".to_string())?;
             let message = err
                 .get("message")
@@ -535,6 +664,7 @@ impl Response {
                         .and_then(Json::as_u64)
                         .ok_or_else(|| format!("stats response missing {k:?}"))
                 };
+                let additive = |k: &str| doc.get(k).and_then(Json::as_u64).unwrap_or(0);
                 Ok(Response::Stats(StatsResponse {
                     requests: field("requests")?,
                     memo: doc
@@ -546,6 +676,10 @@ impl Response {
                     disk_hits: field("disk_hits")?,
                     solver_warm_hits: field("solver_warm_hits")?,
                     solver_cold_solves: field("solver_cold_solves")?,
+                    queue_depth: additive("queue_depth"),
+                    shed: additive("shed"),
+                    deadline_errors: additive("deadline_errors"),
+                    budget_errors: additive("budget_errors"),
                 }))
             }
             "shutdown" => Ok(Response::Shutdown {
@@ -568,15 +702,52 @@ mod tests {
         for req in [
             Request::SubmitScenario {
                 spec: "name = x\ncores = 2\n".to_string(),
+                limits: RequestLimits::default(),
             },
             Request::SubmitMatrix {
                 spec: "name = m\ncores = [2, 4]\n".to_string(),
+                limits: RequestLimits::default(),
+            },
+            Request::SubmitMatrix {
+                spec: "name = m\ncores = 2\n".to_string(),
+                limits: RequestLimits {
+                    deadline_ms: Some(2_000),
+                    budget_pivots: Some(1_000_000),
+                    budget_evals: None,
+                },
             },
             Request::Stats,
             Request::Shutdown,
         ] {
             let decoded = Request::decode(&req.encode()).expect("decodes");
             assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn plain_requests_stay_schema_1_and_limits_bump_to_2() {
+        let plain = Request::SubmitScenario {
+            spec: "name = x\n".to_string(),
+            limits: RequestLimits::default(),
+        };
+        assert_eq!(plain.min_schema(), 1);
+        assert!(plain.encode().contains("\"schema\":1"));
+        let limited = Request::SubmitScenario {
+            spec: "name = x\n".to_string(),
+            limits: RequestLimits {
+                deadline_ms: Some(500),
+                ..RequestLimits::default()
+            },
+        };
+        assert_eq!(limited.min_schema(), 2);
+        assert!(limited.encode().contains("\"schema\":2"));
+        assert!(limited.encode().contains("\"deadline_ms\":500"));
+        // A hand-written schema-1 document (what an old client sends)
+        // still parses, with no limits armed.
+        let legacy = "{\"schema\": 1, \"req\": \"submit_matrix\", \"spec\": \"name = m\\n\"}";
+        match Request::decode(legacy).expect("legacy parses") {
+            Request::SubmitMatrix { limits, .. } => assert!(limits.is_none()),
+            other => panic!("wrong request: {other:?}"),
         }
     }
 
@@ -644,16 +815,83 @@ mod tests {
             disk_hits: 0,
             solver_warm_hits: 1,
             solver_cold_solves: 2,
+            queue_depth: 4,
+            shed: 9,
+            deadline_errors: 1,
+            budget_errors: 2,
         });
         let shutdown = Response::Shutdown { flushed: 24 };
         let error = Response::Error(ServeError {
             kind: ErrorKind::Protocol,
             message: "zero-length frame".to_string(),
         });
-        for resp in [bounds, stats, shutdown, error] {
+        let deadline = Response::Error(ServeError {
+            kind: ErrorKind::Deadline,
+            message: "cell budget exceeded: over 500 cell wall-clock ms".to_string(),
+        });
+        let overloaded = Response::Error(ServeError {
+            kind: ErrorKind::Overloaded { retry_after_ms: 75 },
+            message: "server at capacity".to_string(),
+        });
+        for resp in [bounds, stats, shutdown, error, deadline, overloaded] {
             let decoded = Response::decode(&resp.encode()).expect("decodes");
             assert_eq!(decoded, resp);
         }
+    }
+
+    #[test]
+    fn overload_errors_stamp_schema_2_and_carry_retry_after() {
+        let resp = Response::Error(ServeError {
+            kind: ErrorKind::Overloaded { retry_after_ms: 75 },
+            message: "server at capacity".to_string(),
+        });
+        assert_eq!(resp.min_schema(), 2);
+        assert!(resp.encode().contains("\"schema\":2"));
+        assert!(resp.encode().contains("\"retry_after_ms\":75"));
+        match Response::decode(&resp.encode()).expect("decodes") {
+            Response::Error(e) => {
+                assert_eq!(e.kind, ErrorKind::Overloaded { retry_after_ms: 75 });
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        // Plain errors still travel as schema 1 — old clients parse them.
+        let plain = Response::Error(ServeError {
+            kind: ErrorKind::Budget,
+            message: "over budget".to_string(),
+        });
+        assert!(plain.encode().contains("\"schema\":1"));
+    }
+
+    #[test]
+    fn schema_1_stats_documents_default_the_new_counters_to_zero() {
+        // A schema-1 server's stats response has none of the overload
+        // counters; the schema-2 client must parse it with zeros.
+        let mut resp = Response::Stats(StatsResponse {
+            requests: 3,
+            memo: MemoStats::default(),
+            memo_entries: 0,
+            memo_budget: None,
+            disk_hits: 0,
+            solver_warm_hits: 0,
+            solver_cold_solves: 0,
+            queue_depth: 7,
+            shed: 7,
+            deadline_errors: 7,
+            budget_errors: 7,
+        });
+        let legacy = resp
+            .encode()
+            .replace("\"queue_depth\":7,", "")
+            .replace("\"shed\":7,", "")
+            .replace("\"deadline_errors\":7,", "")
+            .replace("\"budget_errors\":7,", "");
+        if let Response::Stats(s) = &mut resp {
+            s.queue_depth = 0;
+            s.shed = 0;
+            s.deadline_errors = 0;
+            s.budget_errors = 0;
+        }
+        assert_eq!(Response::decode(&legacy).expect("legacy parses"), resp);
     }
 
     #[test]
@@ -666,6 +904,10 @@ mod tests {
             disk_hits: 0,
             solver_warm_hits: 0,
             solver_cold_solves: 0,
+            queue_depth: 0,
+            shed: 0,
+            deadline_errors: 0,
+            budget_errors: 0,
         });
         assert!(resp.encode().contains("\"memo_budget\":null"));
         assert_eq!(Response::decode(&resp.encode()).expect("decodes"), resp);
@@ -675,8 +917,14 @@ mod tests {
     fn error_kinds_mirror_the_failure_ladder() {
         assert_eq!(ErrorKind::from(FailureKind::Panic), ErrorKind::Panic);
         assert_eq!(ErrorKind::from(FailureKind::Budget), ErrorKind::Budget);
-        for kind in [ErrorKind::Protocol, ErrorKind::Panic, ErrorKind::Budget] {
-            assert_eq!(ErrorKind::from_label(&kind.to_string()), Some(kind));
+        for kind in [
+            ErrorKind::Protocol,
+            ErrorKind::Panic,
+            ErrorKind::Budget,
+            ErrorKind::Deadline,
+            ErrorKind::Overloaded { retry_after_ms: 9 },
+        ] {
+            assert_eq!(ErrorKind::from_label(&kind.to_string(), 9), Some(kind));
         }
     }
 }

@@ -13,23 +13,22 @@
 
 use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use wcet_bench::scenario::{
-    parse_matrix, run_matrix, CachedRow, DiskCache, MatrixOptions, MatrixRun,
+    parse_matrix, run_matrix, run_supervised, CachedRow, DiskCache, MatrixOptions, MatrixRun,
 };
 use wcet_core::{MemoDomain, SolveContext};
 
-use crate::frame::{read_frame, write_frame, FrameError};
+use crate::frame::{write_frame, FrameError, FrameReader};
 use crate::proto::{
-    BoundsResponse, CellBounds, ErrorKind, Request, RequestStats, Response, ServeError,
-    StatsResponse,
+    BoundsResponse, CellBounds, ErrorKind, Request, RequestLimits, RequestStats, Response,
+    ServeError, StatsResponse,
 };
 
 /// How long a worker blocks — in a read, or waiting on the connection
@@ -38,6 +37,23 @@ use crate::proto::{
 /// notices, short enough that an idle keep-alive connection can
 /// neither starve the pool nor hold a shutdown hostage.
 const POLL_INTERVAL: Duration = Duration::from_millis(150);
+
+/// The backoff hint a shed connection is sent: half a poll interval, so
+/// a retrying client lands roughly when the slot it raced for has
+/// rotated back through the queue.
+const RETRY_AFTER_MS: u64 = 75;
+
+/// How long a shed connection's socket is parked after its `Overloaded`
+/// frame is written. Closing immediately would let the kernel answer
+/// the client's (already sent) request bytes with an RST that destroys
+/// the buffered response on the client side; lingering past one poll
+/// interval lets the client read the typed error first.
+const SHED_LINGER: Duration = Duration::from_millis(1_000);
+
+/// Most shed sockets parked at once; beyond this the oldest is dropped
+/// early (an RST to that one client beats unbounded fd growth under a
+/// shed storm).
+const SHED_PARK_CAP: usize = 64;
 
 /// How to run the server.
 #[derive(Debug, Clone)]
@@ -55,6 +71,15 @@ pub struct ServerConfig {
     /// startup (cells already on disk are served without analysis) and
     /// flushes freshly bounded cells back on shutdown.
     pub cache: Option<PathBuf>,
+    /// Open connections actively being served at once; `None` means one
+    /// per worker. Together with `max_queue` this is the admission
+    /// capacity — a connection over it is answered with a typed
+    /// [`ErrorKind::Overloaded`] frame and closed, never silently
+    /// dropped.
+    pub max_inflight: Option<usize>,
+    /// Admitted connections allowed to wait beyond the in-flight cap;
+    /// `None` means four per available core.
+    pub max_queue: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +89,8 @@ impl Default for ServerConfig {
             workers: 0,
             memo_budget: 0,
             cache: None,
+            max_inflight: None,
+            max_queue: None,
         }
     }
 }
@@ -86,11 +113,54 @@ struct ServeState {
     requests: AtomicU64,
     /// Cells served straight from the disk memo, lifetime.
     disk_hits: AtomicU64,
+    /// Admitted connections not yet closed — the admission gauge the
+    /// accept loop checks against `capacity`.
+    open: AtomicUsize,
+    /// Admission capacity: in-flight cap plus queue bound.
+    capacity: usize,
+    /// Connections refused with a typed `Overloaded` frame, lifetime.
+    shed: AtomicU64,
+    /// Submissions aborted on their wall-clock deadline, lifetime.
+    deadline_errors: AtomicU64,
+    /// Submissions aborted on a pivot/eval budget, lifetime.
+    budget_errors: AtomicU64,
     /// Set once; accept loop and idle workers drain out after.
     stop: AtomicBool,
     /// The bound address, for the self-connect that wakes the accept
     /// loop out of its blocking `accept`.
     addr: SocketAddr,
+}
+
+/// RAII admission token: holds one unit of the server's `open` gauge
+/// from admission until the connection is dropped, wherever that
+/// happens (worker, queue, or teardown).
+struct OpenSlot {
+    state: Arc<ServeState>,
+}
+
+impl OpenSlot {
+    fn claim(state: &Arc<ServeState>) -> OpenSlot {
+        state.open.fetch_add(1, Ordering::AcqRel);
+        OpenSlot {
+            state: Arc::clone(state),
+        }
+    }
+}
+
+impl Drop for OpenSlot {
+    fn drop(&mut self) {
+        self.state.open.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// An admitted connection as it travels the worker queue: the stream,
+/// the partial-frame state a rotation must not discard, and the
+/// admission token.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Held only for its Drop (releases the admission gauge).
+    _slot: OpenSlot,
 }
 
 /// A running server: its address and the threads to join.
@@ -156,6 +226,15 @@ pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
     } else {
         Arc::new(MemoDomain::new())
     };
+    let worker_count = if config.workers == 0 {
+        2
+    } else {
+        config.workers
+    };
+    let max_inflight = config.max_inflight.unwrap_or(worker_count).max(1);
+    let max_queue = config.max_queue.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get) * 4
+    });
     let state = Arc::new(ServeState {
         ctx: Arc::new(SolveContext::new()),
         memo,
@@ -167,17 +246,17 @@ pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
         pending: Mutex::new(HashMap::new()),
         requests: AtomicU64::new(0),
         disk_hits: AtomicU64::new(0),
+        open: AtomicUsize::new(0),
+        capacity: max_inflight + max_queue,
+        shed: AtomicU64::new(0),
+        deadline_errors: AtomicU64::new(0),
+        budget_errors: AtomicU64::new(0),
         stop: AtomicBool::new(false),
         addr,
     });
 
-    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let (tx, rx) = mpsc::channel::<Conn>();
     let rx = Arc::new(Mutex::new(rx));
-    let worker_count = if config.workers == 0 {
-        2
-    } else {
-        config.workers
-    };
     let mut workers = Vec::with_capacity(worker_count);
     for i in 0..worker_count {
         let rx = Arc::clone(&rx);
@@ -193,13 +272,31 @@ pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
     let accept = std::thread::Builder::new()
         .name("wcet-serve-accept".to_string())
         .spawn(move || {
+            // Shed sockets linger here after their Overloaded frame so a
+            // close-triggered RST cannot beat the response to the client.
+            let mut parked: Vec<(TcpStream, Instant)> = Vec::new();
             for conn in listener.incoming() {
+                parked.retain(|(_, since)| since.elapsed() < SHED_LINGER);
                 if accept_state.stop.load(Ordering::Acquire) {
                     break;
                 }
                 match conn {
                     Ok(conn) => {
-                        if tx.send(conn).is_err() {
+                        if accept_state.open.load(Ordering::Acquire) >= accept_state.capacity {
+                            if let Some(conn) = shed(&accept_state, conn) {
+                                if parked.len() >= SHED_PARK_CAP {
+                                    parked.remove(0);
+                                }
+                                parked.push((conn, Instant::now()));
+                            }
+                            continue;
+                        }
+                        let admitted = Conn {
+                            stream: conn,
+                            reader: FrameReader::new(),
+                            _slot: OpenSlot::claim(&accept_state),
+                        };
+                        if tx.send(admitted).is_err() {
                             break;
                         }
                     }
@@ -219,11 +316,30 @@ pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
     })
 }
 
-fn worker_loop(
-    rx: &Mutex<mpsc::Receiver<TcpStream>>,
-    tx: &mpsc::Sender<TcpStream>,
-    state: &Arc<ServeState>,
-) {
+/// Refuses one over-capacity connection: a typed `Overloaded` frame with
+/// a retry hint, then a write-side shutdown. Returns the socket for
+/// parking when the frame went out (the read side stays open so the
+/// client can drain the error), `None` when the peer was already gone.
+fn shed(state: &ServeState, mut conn: TcpStream) -> Option<TcpStream> {
+    state.shed.fetch_add(1, Ordering::Relaxed);
+    let resp = Response::Error(ServeError {
+        kind: ErrorKind::Overloaded {
+            retry_after_ms: RETRY_AFTER_MS,
+        },
+        message: format!(
+            "server at capacity ({} connections open); retry after {RETRY_AFTER_MS} ms",
+            state.capacity
+        ),
+    });
+    let _ = conn.set_write_timeout(Some(POLL_INTERVAL));
+    if write_frame(&mut conn, &resp.encode()).is_err() {
+        return None;
+    }
+    let _ = conn.shutdown(Shutdown::Write);
+    Some(conn)
+}
+
+fn worker_loop(rx: &Mutex<mpsc::Receiver<Conn>>, tx: &mpsc::Sender<Conn>, state: &Arc<ServeState>) {
     loop {
         // Hold the lock only while waiting for a connection, never while
         // serving one: the next idle worker takes over the receiver.
@@ -252,27 +368,24 @@ fn worker_loop(
 /// Serves at most ONE request on the connection, then hands it back.
 ///
 /// Returns the connection if it should stay open (answered a normal
-/// request, or merely idle this poll interval); `None` when it is done —
-/// peer left, transport died, a framing error made the stream offset
+/// request, or idle / mid-frame this poll interval — the incremental
+/// [`FrameReader`] travels with it, so a client dribbling a frame
+/// slower than the poll interval resumes where it left off instead of
+/// having its partial frame discarded); `None` when it is done — peer
+/// left, transport died, a framing error made the stream offset
 /// untrustworthy, or the request asked for a close (decode error,
 /// shutdown).
-fn serve_one(state: &Arc<ServeState>, mut conn: TcpStream) -> Option<TcpStream> {
+fn serve_one(state: &Arc<ServeState>, mut conn: Conn) -> Option<Conn> {
     // The read timeout bounds how long this worker is tied to one
-    // connection, not how long a client may think: an idle connection
-    // rotates back into the queue. (A client that dribbles a frame
-    // across poll intervals is indistinguishable from a stall and gets
-    // dropped — clients write whole frames in one call.)
-    let _ = conn.set_read_timeout(Some(POLL_INTERVAL));
-    let payload = match read_frame(&mut conn) {
-        Ok(payload) => payload,
-        Err(FrameError::Io(e))
-            if matches!(
-                e.kind(),
-                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-            ) =>
-        {
-            // Nothing arrived this interval: rotate the connection back
-            // (unless the server is draining out).
+    // connection, not how long a client may think: an idle or dribbling
+    // connection rotates back into the queue.
+    let _ = conn.stream.set_read_timeout(Some(POLL_INTERVAL));
+    let payload = match conn.reader.poll(&mut conn.stream) {
+        Ok(Some(payload)) => payload,
+        Ok(None) => {
+            // Nothing (or only part of a frame) arrived this interval:
+            // rotate the connection back (unless the server is draining
+            // out), carrying any buffered partial frame.
             return (!state.stop.load(Ordering::Acquire)).then_some(conn);
         }
         // Clean goodbye, torn frame, or dead transport: nothing to
@@ -283,12 +396,12 @@ fn serve_one(state: &Arc<ServeState>, mut conn: TcpStream) -> Option<TcpStream> 
         // longer be trusted).
         Err(e @ (FrameError::Empty | FrameError::TooLarge(_) | FrameError::Utf8)) => {
             let resp = protocol_error(format!("bad frame: {e}"));
-            let _ = write_frame(&mut conn, &resp.encode());
+            let _ = write_frame(&mut conn.stream, &resp.encode());
             return None;
         }
     };
     let (response, done) = handle_payload(state, &payload);
-    if write_frame(&mut conn, &response.encode()).is_err() || done {
+    if write_frame(&mut conn.stream, &response.encode()).is_err() || done {
         return None;
     }
     Some(conn)
@@ -310,8 +423,8 @@ fn handle_payload(state: &Arc<ServeState>, payload: &str) -> (Response, bool) {
         Err(message) => return (protocol_error(message), true),
     };
     match request {
-        Request::SubmitScenario { spec } => (submit(state, &spec, true), false),
-        Request::SubmitMatrix { spec } => (submit(state, &spec, false), false),
+        Request::SubmitScenario { spec, limits } => (submit(state, &spec, true, limits), false),
+        Request::SubmitMatrix { spec, limits } => (submit(state, &spec, false, limits), false),
         Request::Stats => (stats_response(state), false),
         Request::Shutdown => {
             let flushed = flush_pending(state);
@@ -321,7 +434,12 @@ fn handle_payload(state: &Arc<ServeState>, payload: &str) -> (Response, bool) {
     }
 }
 
-fn submit(state: &Arc<ServeState>, spec: &str, single_cell: bool) -> Response {
+fn submit(
+    state: &Arc<ServeState>,
+    spec: &str,
+    single_cell: bool,
+    limits: RequestLimits,
+) -> Response {
     let matrix = match parse_matrix(spec) {
         Ok(matrix) => matrix,
         Err(e) => return protocol_error(format!("bad spec: {e}")),
@@ -347,16 +465,21 @@ fn submit(state: &Arc<ServeState>, spec: &str, single_cell: bool) -> Response {
         disk: state.disk.clone(),
     };
     // The engine is panic-clean in normal operation, but a server must
-    // not die for one poisoned request: map a panic onto the campaign
-    // runner's failure ladder and keep serving.
-    let run = match catch_unwind(AssertUnwindSafe(|| run_matrix(&matrix, &opts))) {
+    // not die for one poisoned request — and must not let one pin a
+    // worker: the request's limits arm the cooperative budget scopes
+    // (simplex pivots, fixpoint evaluations, wall clock) on this thread
+    // before the supervised run, so exhaustion unwinds here with a
+    // typed payload instead of running forever.
+    let deadline = limits
+        .deadline_ms
+        .map(|ms| (Instant::now() + Duration::from_millis(ms), ms));
+    let run = match run_supervised(|| {
+        let _pivots = wcet_ilp::budget::BudgetScope::arm(limits.budget_pivots, deadline);
+        let _evals = wcet_ir::budget::BudgetScope::arm(limits.budget_evals, deadline);
+        run_matrix(&matrix, &opts)
+    }) {
         Ok(run) => run,
-        Err(payload) => {
-            return Response::Error(ServeError {
-                kind: ErrorKind::Panic,
-                message: panic_message(payload.as_ref()),
-            })
-        }
+        Err(payload) => return Response::Error(classify_abort(state, payload.as_ref())),
     };
 
     remember_bounded(state, &run);
@@ -413,6 +536,45 @@ fn remember_bounded(state: &Arc<ServeState>, run: &MatrixRun) {
     }
 }
 
+/// Maps a supervised unwind payload onto the wire error ladder: a
+/// wall-clock [`BudgetExceeded`](wcet_ilp::budget::BudgetExceeded) is
+/// [`ErrorKind::Deadline`], any other exhausted budget is
+/// [`ErrorKind::Budget`], everything else is a genuine
+/// [`ErrorKind::Panic`].
+fn classify_abort(state: &ServeState, payload: &(dyn std::any::Any + Send)) -> ServeError {
+    let budget: Option<(&'static str, u64)> = payload
+        .downcast_ref::<wcet_ilp::budget::BudgetExceeded>()
+        .map(|b| (b.resource, b.limit))
+        .or_else(|| {
+            payload
+                .downcast_ref::<wcet_ir::budget::BudgetExceeded>()
+                .map(|b| (b.resource, b.limit))
+        });
+    match budget {
+        Some((resource, limit)) => {
+            let wall_clock = resource.contains("wall-clock");
+            let counter = if wall_clock {
+                &state.deadline_errors
+            } else {
+                &state.budget_errors
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            ServeError {
+                kind: if wall_clock {
+                    ErrorKind::Deadline
+                } else {
+                    ErrorKind::Budget
+                },
+                message: format!("request aborted: over {limit} {resource}"),
+            }
+        }
+        None => ServeError {
+            kind: ErrorKind::Panic,
+            message: panic_message(payload),
+        },
+    }
+}
+
 fn stats_response(state: &Arc<ServeState>) -> Response {
     let ctx = state.ctx.stats();
     Response::Stats(StatsResponse {
@@ -423,6 +585,10 @@ fn stats_response(state: &Arc<ServeState>) -> Response {
         disk_hits: state.disk_hits.load(Ordering::Relaxed),
         solver_warm_hits: ctx.warm_hits,
         solver_cold_solves: ctx.cold_solves,
+        queue_depth: state.open.load(Ordering::Acquire) as u64,
+        shed: state.shed.load(Ordering::Relaxed),
+        deadline_errors: state.deadline_errors.load(Ordering::Relaxed),
+        budget_errors: state.budget_errors.load(Ordering::Relaxed),
     })
 }
 

@@ -129,10 +129,41 @@ fn unknown_requests_and_bad_specs_are_rejected() {
     let response = client
         .request(&Request::SubmitScenario {
             spec: "name = multi\ncores = [2, 4]\ntasks = \"fir:2x4\"\n".to_string(),
+            limits: wcet_serve::RequestLimits::default(),
         })
         .expect("server answers");
     expect_protocol_error(response, "exactly one cell");
 
+    assert_alive(&handle);
+    handle.stop();
+}
+
+/// The worker-rotation fairness pin: a client that dribbles its frame
+/// slower than the server's poll interval used to have the partial
+/// frame discarded on every rotation (so it could never complete a
+/// request). The rotated connection now carries its partial-read state.
+#[test]
+fn slow_writers_survive_worker_rotation() {
+    let handle = start_server();
+    let mut conn = TcpStream::connect(handle.addr()).expect("connects");
+    let payload = Request::Stats.encode();
+    let mut framed = u32::try_from(payload.len())
+        .expect("fits")
+        .to_be_bytes()
+        .to_vec();
+    framed.extend_from_slice(payload.as_bytes());
+    // 5-byte dribbles with 200 ms gaps: slower than the 150 ms poll
+    // interval, so the connection is guaranteed to rotate mid-frame.
+    for chunk in framed.chunks(5) {
+        conn.write_all(chunk).expect("writes dribble");
+        conn.flush().expect("flushes");
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    let reply = read_frame(&mut conn).expect("server answers the dribbled frame");
+    match Response::decode(&reply).expect("decodes") {
+        Response::Stats(_) => {}
+        other => panic!("expected stats, got {other:?}"),
+    }
     assert_alive(&handle);
     handle.stop();
 }
